@@ -1,0 +1,140 @@
+// Ablation: cost of mcTLS's fine-grained access control at the record layer
+// (google-benchmark).
+//
+//  - three MACs (mcTLS §3.4) vs one MAC (TLS) per record, seal + open
+//  - writer reseal vs reader pass-through at a middlebox
+//  - record size sweep: where MAC overhead matters
+//
+// Paper claim being probed: "an efficient fine-grained access control
+// mechanism which we show comes at very low cost".
+#include <benchmark/benchmark.h>
+
+#include "crypto/ed25519.h"
+#include "mctls/context_crypto.h"
+#include "tls/record.h"
+#include "util/rng.h"
+
+using namespace mct;
+
+namespace {
+
+struct Fixture {
+    TestRng rng{42};
+    Bytes rand_c = rng.bytes(32);
+    Bytes rand_s = rng.bytes(32);
+    mctls::EndpointKeys endpoint = mctls::derive_endpoint_keys(rng.bytes(48), rand_c, rand_s);
+    mctls::ContextKeys ctx = mctls::derive_context_keys_ckd(rng.bytes(48), rand_c, rand_s, 1);
+};
+
+void BM_McTlsSealRecord(benchmark::State& state)
+{
+    Fixture fx;
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mctls::seal_record(
+            fx.ctx, fx.endpoint, mctls::Direction::client_to_server, seq++, 1, payload,
+            fx.rng));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsSealRecord)->Arg(512)->Arg(1460)->Arg(4096)->Arg(15000);
+
+void BM_TlsSealRecord(benchmark::State& state)
+{
+    Fixture fx;
+    tls::CbcHmacProtector protector(fx.rng.bytes(16), fx.rng.bytes(32));
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            protector.protect(tls::ContentType::application_data, 0, payload, fx.rng));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TlsSealRecord)->Arg(512)->Arg(1460)->Arg(4096)->Arg(15000);
+
+void BM_McTlsEndpointOpen(benchmark::State& state)
+{
+    Fixture fx;
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    Bytes frag = mctls::seal_record(fx.ctx, fx.endpoint,
+                                    mctls::Direction::client_to_server, 7, 1, payload,
+                                    fx.rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mctls::open_record_endpoint(
+            fx.ctx, fx.endpoint, mctls::Direction::client_to_server, 7, 1, frag));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsEndpointOpen)->Arg(1460)->Arg(15000);
+
+void BM_McTlsReaderOpen(benchmark::State& state)
+{
+    Fixture fx;
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    Bytes frag = mctls::seal_record(fx.ctx, fx.endpoint,
+                                    mctls::Direction::client_to_server, 7, 1, payload,
+                                    fx.rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mctls::open_record_reader(
+            fx.ctx, mctls::Direction::client_to_server, 7, 1, frag));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsReaderOpen)->Arg(1460)->Arg(15000);
+
+void BM_McTlsWriterRewrite(benchmark::State& state)
+{
+    Fixture fx;
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    Bytes frag = mctls::seal_record(fx.ctx, fx.endpoint,
+                                    mctls::Direction::client_to_server, 7, 1, payload,
+                                    fx.rng);
+    for (auto _ : state) {
+        auto opened = mctls::open_record_writer(fx.ctx, mctls::Direction::client_to_server,
+                                                7, 1, frag);
+        benchmark::DoNotOptimize(mctls::reseal_record_writer(
+            fx.ctx, mctls::Direction::client_to_server, 7, 1, opened.value().payload,
+            opened.value().endpoint_mac, fx.rng));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsWriterRewrite)->Arg(1460)->Arg(15000);
+
+void BM_McTlsSealRecordSigned(benchmark::State& state)
+{
+    // Optional mode (b) of §3.4: per-record signatures let readers police
+    // writers and other readers; the paper judged the overhead too high for
+    // the default mode — this quantifies it.
+    Fixture fx;
+    auto signer = crypto::ed25519_keypair(fx.rng);
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mctls::seal_record_signed(
+            fx.ctx, fx.endpoint, mctls::Direction::client_to_server, seq++, 1, payload,
+            signer.private_key, fx.rng));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsSealRecordSigned)->Arg(1460)->Arg(15000);
+
+void BM_McTlsReaderOpenSigned(benchmark::State& state)
+{
+    Fixture fx;
+    auto signer = crypto::ed25519_keypair(fx.rng);
+    Bytes payload = fx.rng.bytes(static_cast<size_t>(state.range(0)));
+    Bytes frag = mctls::seal_record_signed(fx.ctx, fx.endpoint,
+                                           mctls::Direction::client_to_server, 7, 1,
+                                           payload, signer.private_key, fx.rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mctls::open_record_reader_signed(
+            fx.ctx, mctls::Direction::client_to_server, 7, 1, frag, signer.public_key));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_McTlsReaderOpenSigned)->Arg(1460)->Arg(15000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

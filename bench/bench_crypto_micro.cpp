@@ -1,0 +1,106 @@
+// Crypto primitive micro-benchmarks (google-benchmark): sanity-checks the
+// substrate the protocol benches stand on.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/drbg.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "crypto/prf.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+#include "util/rng.h"
+
+using namespace mct;
+using namespace mct::crypto;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state)
+{
+    TestRng rng(1);
+    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(Sha256::digest(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1460)->Arg(16384);
+
+void BM_Sha512(benchmark::State& state)
+{
+    TestRng rng(2);
+    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(Sha512::digest(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(1460);
+
+void BM_HmacSha256(benchmark::State& state)
+{
+    TestRng rng(3);
+    Bytes key = rng.bytes(32);
+    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(HmacSha256::mac(key, data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(1460)->Arg(16384);
+
+void BM_Aes128CbcEncrypt(benchmark::State& state)
+{
+    TestRng rng(4);
+    Bytes key = rng.bytes(16);
+    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(aes128_cbc_encrypt(key, data, rng));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aes128CbcEncrypt)->Arg(1460)->Arg(16384);
+
+void BM_TlsPrf(benchmark::State& state)
+{
+    TestRng rng(5);
+    Bytes secret = rng.bytes(48);
+    Bytes seed = rng.bytes(64);
+    for (auto _ : state) benchmark::DoNotOptimize(prf(secret, "key expansion", seed, 128));
+}
+BENCHMARK(BM_TlsPrf);
+
+void BM_X25519SharedSecret(benchmark::State& state)
+{
+    TestRng rng(6);
+    auto alice = x25519_keypair(rng);
+    auto bob = x25519_keypair(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(x25519_shared(alice.private_key, bob.public_key));
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_Ed25519Sign(benchmark::State& state)
+{
+    TestRng rng(7);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = rng.bytes(256);
+    for (auto _ : state) benchmark::DoNotOptimize(ed25519_sign(kp.private_key, msg));
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state)
+{
+    TestRng rng(8);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = rng.bytes(256);
+    Bytes sig = ed25519_sign(kp.private_key, msg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ed25519_verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_HmacDrbg(benchmark::State& state)
+{
+    HmacDrbg drbg(str_to_bytes("bench"));
+    for (auto _ : state) benchmark::DoNotOptimize(drbg.bytes(1024));
+    state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HmacDrbg);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Figure 3: time to first byte vs number of contexts (left) and number of
+// middleboxes (right). Setup per the paper: 20 ms per-link latency, 10 Mbps,
+// protocols mcTLS / SplitTLS / E2E-TLS / NoEncrypt plus mcTLS with Nagle
+// disabled.
+//
+// Expected shapes (paper §5.1): NoEncrypt = 2 RTT; the TLS-family protocols
+// sit in a ~4 RTT band; with Nagle ON, mcTLS jumps by whole RTTs once a
+// handshake flight exceeds 1 MSS (around 10 contexts, again around 14);
+// disabling Nagle flattens mcTLS back onto the TLS curves. TTFB grows
+// linearly with middlebox count for all protocols (each middlebox adds a
+// link).
+#include <cstdio>
+
+#include "http/testbed.h"
+
+using namespace mct;
+using namespace mct::http;
+
+namespace {
+
+double ttfb_ms(Mode mode, size_t contexts, size_t mboxes, bool nagle)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    cfg.n_middleboxes = mboxes;
+    cfg.contexts_override = contexts;
+    cfg.nagle = nagle;
+    cfg.link = {20_ms, 10e6};
+    Testbed bed(cfg);
+    auto fetch = bed.fetch(100);  // small object: TTFB is handshake-dominated
+    bed.run();
+    if (!fetch->completed || fetch->failed) return -1;
+    return static_cast<double>(fetch->first_byte) / 1000.0;
+}
+
+}  // namespace
+
+int main()
+{
+    std::printf("=== Figure 3 (left): TTFB (ms) vs #contexts "
+                "(1 middlebox, 20 ms links, 10 Mbps) ===\n\n");
+    std::printf("%-9s %-9s %-10s %-9s %-10s %-14s\n", "contexts", "mcTLS", "SplitTLS",
+                "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
+    for (size_t k : {1u, 2u, 4u, 6u, 8u, 9u, 10u, 11u, 12u, 13u, 14u, 15u, 16u}) {
+        std::printf("%-9zu %-9.0f %-10.0f %-9.0f %-10.0f %-14.0f\n", k,
+                    ttfb_ms(Mode::mctls, k, 1, true), ttfb_ms(Mode::split_tls, k, 1, true),
+                    ttfb_ms(Mode::e2e_tls, k, 1, true), ttfb_ms(Mode::no_encrypt, k, 1, true),
+                    ttfb_ms(Mode::mctls, k, 1, false));
+    }
+
+    std::printf("\n=== Figure 3 (right): TTFB (ms) vs #middleboxes "
+                "(1 context; each middlebox adds a 20 ms link) ===\n\n");
+    std::printf("%-12s %-9s %-10s %-9s %-10s %-14s\n", "middleboxes", "mcTLS", "SplitTLS",
+                "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
+    for (size_t n : {0u, 1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
+        std::printf("%-12zu %-9.0f %-10.0f %-9.0f %-10.0f %-14.0f\n", n,
+                    ttfb_ms(Mode::mctls, 1, n, true), ttfb_ms(Mode::split_tls, 1, n, true),
+                    ttfb_ms(Mode::e2e_tls, 1, n, true), ttfb_ms(Mode::no_encrypt, 1, n, true),
+                    ttfb_ms(Mode::mctls, 1, n, false));
+    }
+    std::printf("\nReference: path RTT with 1 middlebox is 80 ms -> NoEncrypt 2 RTT = 160,\n"
+                "TLS-family ~3.5-4 RTT; watch mcTLS/Nagle staircase around 9-14 contexts.\n");
+    return 0;
+}

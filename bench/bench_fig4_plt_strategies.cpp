@@ -1,0 +1,44 @@
+// Figure 4: page load time CDF for mcTLS context strategies — 1-Context,
+// 4-Context, Context-per-Header — each with Nagle on and off.
+//
+// Paper finding: the three strategies perform similarly (mcTLS is not
+// sensitive to how data is placed into contexts); Nagle off is uniformly a
+// bit faster because multi-context sends stop stalling on ACKs.
+#include <cstdio>
+
+#include "plt_common.h"
+
+using namespace mct;
+using mct::net::operator""_ms;
+using mct::net::operator""_s;
+using namespace mct::bench;
+
+int main()
+{
+    workload::CorpusConfig corpus_cfg;
+    corpus_cfg.pages = 40;
+    auto corpus = workload::generate_corpus(corpus_cfg);
+
+    std::printf("=== Figure 4: PLT CDF for mcTLS context strategies "
+                "(10 Mbps, 20 ms links, 1 middlebox) ===\n\n");
+    for (auto strategy : {http::ContextStrategy::one_context,
+                          http::ContextStrategy::four_contexts,
+                          http::ContextStrategy::context_per_header}) {
+        for (bool nagle : {true, false}) {
+            http::TestbedConfig cfg;
+            cfg.mode = http::Mode::mctls;
+            cfg.n_middleboxes = 1;
+            cfg.strategy = strategy;
+            cfg.nagle = nagle;
+            cfg.link = {20_ms, 10e6};
+            auto times = load_corpus(cfg, corpus);
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s%s", http::to_string(strategy),
+                          nagle ? "" : " (Nagle off)");
+            print_cdf_row(label, times);
+        }
+    }
+    std::printf("\nExpected: all six rows within a similar band (the paper found the\n"
+                "strategies indistinguishable), Nagle-off slightly faster.\n");
+    return 0;
+}

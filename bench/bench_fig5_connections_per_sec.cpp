@@ -1,0 +1,102 @@
+// Figure 5: sustainable connections (handshakes only) per second at the
+// server (left plot) and middlebox (right plot) vs number of contexts, for
+// mcTLS (1/2/4 middleboxes), SplitTLS, and E2E-TLS.
+//
+// Paper expectations: the mcTLS server handles 23%-35% fewer connections
+// than SplitTLS / E2E-TLS (more as contexts grow); the mcTLS middlebox
+// handles 45%-75% *more* than SplitTLS (one handshake role vs two) and
+// E2E-TLS middleboxes dwarf both (no crypto at all).
+#include <cstdio>
+
+#include "chain_bench.h"
+#include "util/rng.h"
+
+using namespace mct;
+using namespace mct::bench;
+
+namespace {
+
+constexpr int kHandshakes = 40;
+
+struct Cps {
+    double server = 0;
+    double middlebox = 0;
+};
+
+template <typename RunFn>
+Cps measure(RunFn&& run)
+{
+    PartySeconds seconds;
+    TestRng rng(7);
+    for (int i = 0; i < kHandshakes; ++i) {
+        if (!run(rng, &seconds)) {
+            std::fprintf(stderr, "handshake failed\n");
+            return {};
+        }
+    }
+    Cps cps;
+    cps.server = seconds.server > 0 ? kHandshakes / seconds.server : 0;
+    cps.middlebox = seconds.middlebox > 0 ? kHandshakes / seconds.middlebox : 0;
+    return cps;
+}
+
+}  // namespace
+
+int main()
+{
+    BenchPki pki;
+    std::printf("=== Figure 5: connections per second vs #contexts ===\n\n");
+    std::printf("%-9s %-12s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s\n", "contexts",
+                "srv:mcTLS", "srv:mc(2mb)", "srv:mc(4mb)", "srv:Split", "srv:E2E",
+                "mbx:mcTLS", "mbx:Split", "mbx:E2E");
+
+    for (size_t k : {1u, 2u, 4u, 8u, 12u, 16u}) {
+        Cps mc1 = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        Cps mc2 = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {2, k, false}, rng, s, nullptr);
+        });
+        Cps mc4 = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {4, k, false}, rng, s, nullptr);
+        });
+        Cps split = measure([&](Rng& rng, PartySeconds* s) {
+            return run_split_tls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        Cps e2e = measure([&](Rng& rng, PartySeconds* s) {
+            return run_e2e_tls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        std::printf("%-9zu %-12.0f %-12.0f %-12.0f %-12.0f %-12.0f | %-12.0f %-12.0f %-12s\n",
+                    k, mc1.server, mc2.server, mc4.server, split.server, e2e.server,
+                    mc1.middlebox, split.middlebox, "inf");
+    }
+
+    std::printf("\nDerived ratios (paper: server 23%%-35%% below SplitTLS; middlebox\n"
+                "45%%-75%% above SplitTLS):\n");
+    for (size_t k : {1u, 8u, 16u}) {
+        Cps mc = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        Cps split = measure([&](Rng& rng, PartySeconds* s) {
+            return run_split_tls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        double server_drop = 100.0 * (1.0 - mc.server / split.server);
+        double mbox_gain = 100.0 * (mc.middlebox / split.middlebox - 1.0);
+        std::printf("  K=%-3zu server: mcTLS %.0f%% below SplitTLS;  middlebox: mcTLS "
+                    "%.0f%% above SplitTLS\n",
+                    k, server_drop, mbox_gain);
+    }
+
+    std::printf("\nmcTLS CKD mode recovers server throughput (paper §3.6):\n");
+    for (size_t k : {4u, 16u}) {
+        Cps def = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
+        });
+        Cps ckd = measure([&](Rng& rng, PartySeconds* s) {
+            return run_mctls_handshake(pki, {1, k, true}, rng, s, nullptr);
+        });
+        std::printf("  K=%-3zu server cps: default=%.0f  client-key-dist=%.0f (%+.0f%%)\n", k,
+                    def.server, ckd.server, 100.0 * (ckd.server / def.server - 1.0));
+    }
+    return 0;
+}

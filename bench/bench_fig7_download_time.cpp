@@ -1,0 +1,83 @@
+// Figure 7: file download time across link speeds and file sizes, for
+// mcTLS / SplitTLS / E2E-TLS / NoEncrypt / mcTLS(Nagle off), one middlebox.
+//
+// Groups mirror the paper: at 1 Mbps the 10th/50th/99th-percentile object
+// sizes (0.5 / 4.9 / 185.6 kB) plus a 10 MB download; then 185.6 kB at
+// 10 Mbps, 100 Mbps, and two wide-area profiles (fiber and 3G access).
+//
+// Expected shape: handshakes dominate small files (encrypted protocols pay
+// a fixed extra ~2 RTT over NoEncrypt); bandwidth dominates large files
+// (all protocols converge); mcTLS is never substantially above
+// SplitTLS / E2E-TLS.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "http/testbed.h"
+#include "workload/page_model.h"
+
+using namespace mct;
+using mct::net::operator""_ms;
+using mct::net::operator""_s;
+using namespace mct::http;
+
+namespace {
+
+struct Scenario {
+    std::string label;
+    size_t bytes;
+    net::LinkConfig link;                        // uniform per-hop
+    std::vector<net::LinkConfig> per_hop_links;  // optional override
+};
+
+double download_ms(Mode mode, const Scenario& scenario, bool nagle)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    cfg.n_middleboxes = 1;
+    cfg.strategy = ContextStrategy::four_contexts;
+    cfg.nagle = nagle;
+    cfg.link = scenario.link;
+    cfg.per_hop_links = scenario.per_hop_links;
+    Testbed bed(cfg);
+    auto fetch = bed.fetch(scenario.bytes);
+    bed.run();
+    if (!fetch->completed || fetch->failed) return -1;
+    return static_cast<double>(fetch->done) / 1000.0;
+}
+
+}  // namespace
+
+int main()
+{
+    using workload::FileSizes;
+    // Wide-area profiles: a short access hop to the middlebox, a long WAN
+    // hop to the server (the paper's Spain-Ireland-California EC2 path);
+    // the 3G profile throttles and delays the access link.
+    std::vector<net::LinkConfig> fiber_hops{{15_ms, 100e6}, {70_ms, 100e6}};
+    std::vector<net::LinkConfig> cell_hops{{50_ms, 3e6}, {70_ms, 100e6}};
+
+    std::vector<Scenario> scenarios = {
+        {"1Mbps / 0.5kB", FileSizes::p10, {20_ms, 1e6}, {}},
+        {"1Mbps / 4.9kB", FileSizes::p50, {20_ms, 1e6}, {}},
+        {"1Mbps / 185.6kB", FileSizes::p99, {20_ms, 1e6}, {}},
+        {"1Mbps / 10MB", FileSizes::large, {20_ms, 1e6}, {}},
+        {"10Mbps / 185.6kB", FileSizes::p99, {20_ms, 10e6}, {}},
+        {"100Mbps / 185.6kB", FileSizes::p99, {20_ms, 100e6}, {}},
+        {"WAN-fiber / 185.6kB", FileSizes::p99, {}, fiber_hops},
+        {"WAN-3G / 185.6kB", FileSizes::p99, {}, cell_hops},
+    };
+
+    std::printf("=== Figure 7: download time (ms), 1 middlebox ===\n\n");
+    std::printf("%-22s %-10s %-10s %-10s %-10s %-14s\n", "scenario", "mcTLS", "SplitTLS",
+                "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
+    for (const auto& scenario : scenarios) {
+        std::printf("%-22s %-10.0f %-10.0f %-10.0f %-10.0f %-14.0f\n",
+                    scenario.label.c_str(), download_ms(Mode::mctls, scenario, true),
+                    download_ms(Mode::split_tls, scenario, true),
+                    download_ms(Mode::e2e_tls, scenario, true),
+                    download_ms(Mode::no_encrypt, scenario, true),
+                    download_ms(Mode::mctls, scenario, false));
+    }
+    return 0;
+}

@@ -1,0 +1,306 @@
+#include "chain_bench.h"
+
+namespace mct::bench {
+
+namespace {
+
+std::vector<mctls::ContextDescription> make_contexts(size_t n_contexts, size_t n_mboxes)
+{
+    std::vector<mctls::ContextDescription> contexts;
+    for (size_t i = 0; i < n_contexts; ++i) {
+        mctls::ContextDescription ctx;
+        ctx.id = static_cast<uint8_t>(i + 1);
+        ctx.purpose = "ctx" + std::to_string(i + 1);
+        // Worst case for mcTLS: full read/write everywhere (paper §5).
+        ctx.permissions.assign(n_mboxes, mctls::Permission::write);
+        contexts.push_back(std::move(ctx));
+    }
+    return contexts;
+}
+
+}  // namespace
+
+bool run_mctls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
+                         PartySeconds* seconds, PartyOps* ops)
+{
+    mctls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.contexts = make_contexts(cfg.n_contexts, cfg.n_middleboxes);
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+        ccfg.middleboxes.push_back(
+            {pki.mbox_ids[i].certificate.subject, "mbox" + std::to_string(i)});
+    ccfg.trust = &pki.store;
+    ccfg.rng = &rng;
+    if (ops) ccfg.ops = &ops->client;
+
+    mctls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {pki.server_id.certificate};
+    scfg.private_key = pki.server_id.private_key;
+    scfg.trust = &pki.store;
+    scfg.client_key_distribution = cfg.client_key_distribution;
+    // Paper §3.1: servers typically skip middlebox authentication to save
+    // CPU; Table 3 and Figure 5 assume that default.
+    scfg.authenticate_middleboxes = false;
+    scfg.rng = &rng;
+    if (ops) scfg.ops = &ops->server;
+
+    mctls::Session client(std::move(ccfg));
+    mctls::Session server(std::move(scfg));
+    std::vector<std::unique_ptr<mctls::MiddleboxSession>> mboxes;
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+        mctls::MiddleboxConfig mcfg;
+        mcfg.name = pki.mbox_ids[i].certificate.subject;
+        mcfg.chain = {pki.mbox_ids[i].certificate};
+        mcfg.private_key = pki.mbox_ids[i].private_key;
+        mcfg.rng = &rng;
+        if (ops && i == 0) mcfg.ops = &ops->middlebox;
+        mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(std::move(mcfg)));
+    }
+
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+    double* mbox_bucket = seconds ? &seconds->middlebox : &sink;
+
+    watch.run(client_bucket, [&] { client.start(); });
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        // Client -> chain -> server.
+        for (auto& unit : client.take_write_units()) {
+            progress = true;
+            if (mboxes.empty()) {
+                watch.run(server_bucket, [&] { (void)server.feed(unit); });
+            } else {
+                watch.run(mbox_bucket, [&] { (void)mboxes[0]->feed_from_client(unit); });
+            }
+        }
+        for (size_t i = 0; i < mboxes.size(); ++i) {
+            for (auto& unit : mboxes[i]->take_to_server()) {
+                progress = true;
+                if (i + 1 < mboxes.size()) {
+                    watch.run(mbox_bucket,
+                              [&] { (void)mboxes[i + 1]->feed_from_client(unit); });
+                } else {
+                    watch.run(server_bucket, [&] { (void)server.feed(unit); });
+                }
+            }
+        }
+        for (auto& unit : server.take_write_units()) {
+            progress = true;
+            if (mboxes.empty()) {
+                watch.run(client_bucket, [&] { (void)client.feed(unit); });
+            } else {
+                watch.run(mbox_bucket,
+                          [&] { (void)mboxes.back()->feed_from_server(unit); });
+            }
+        }
+        for (size_t i = mboxes.size(); i-- > 0;) {
+            for (auto& unit : mboxes[i]->take_to_client()) {
+                progress = true;
+                if (i > 0) {
+                    watch.run(mbox_bucket,
+                              [&] { (void)mboxes[i - 1]->feed_from_server(unit); });
+                } else {
+                    watch.run(client_bucket, [&] { (void)client.feed(unit); });
+                }
+            }
+        }
+    }
+
+    bool ok = client.handshake_complete() && server.handshake_complete();
+    for (auto& mbox : mboxes) ok = ok && mbox->handshake_complete();
+    return ok;
+}
+
+namespace {
+
+tls::SessionConfig tls_client_config(BenchPki& pki, Rng& rng, crypto::OpCounters* ops)
+{
+    tls::SessionConfig cfg;
+    cfg.role = tls::Role::client;
+    cfg.server_name = "server.example.com";
+    cfg.trust = &pki.store;
+    cfg.rng = &rng;
+    cfg.ops = ops;
+    return cfg;
+}
+
+tls::SessionConfig tls_server_config(const pki::Identity& id, Rng& rng,
+                                     crypto::OpCounters* ops)
+{
+    tls::SessionConfig cfg;
+    cfg.role = tls::Role::server;
+    cfg.chain = {id.certificate};
+    cfg.private_key = id.private_key;
+    cfg.rng = &rng;
+    cfg.ops = ops;
+    return cfg;
+}
+
+// Drive one TLS handshake between two sessions, charging each side's CPU to
+// its bucket.
+bool pump_tls_pair(tls::Session& client, tls::Session& server, Stopwatch& watch,
+                   double* client_bucket, double* server_bucket)
+{
+    watch.run(client_bucket, [&] { client.start(); });
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : client.take_write_units()) {
+            progress = true;
+            watch.run(server_bucket, [&] { (void)server.feed(unit); });
+        }
+        for (auto& unit : server.take_write_units()) {
+            progress = true;
+            watch.run(client_bucket, [&] { (void)client.feed(unit); });
+        }
+    }
+    return client.handshake_complete() && server.handshake_complete();
+}
+
+}  // namespace
+
+bool run_split_tls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
+                             PartySeconds* seconds, PartyOps* ops)
+{
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+    double* mbox_bucket = seconds ? &seconds->middlebox : &sink;
+
+    // Hop 0: client <-> mbox0 (or server when no middleboxes).
+    // Hops i: mbox(i-1) client-role <-> mbox(i) server-role / server.
+    bool ok = true;
+    size_t hops = cfg.n_middleboxes + 1;
+    for (size_t hop = 0; hop < hops; ++hop) {
+        bool left_is_client = hop == 0;
+        bool right_is_server = hop == hops - 1;
+        crypto::OpCounters* left_ops = nullptr;
+        crypto::OpCounters* right_ops = nullptr;
+        if (ops) {
+            left_ops = left_is_client ? &ops->client : (hop == 1 ? &ops->middlebox : nullptr);
+            right_ops = right_is_server ? &ops->server : (hop == 0 ? &ops->middlebox : nullptr);
+        }
+        double* left_bucket = left_is_client ? client_bucket : mbox_bucket;
+        double* right_bucket = right_is_server ? server_bucket : mbox_bucket;
+
+        const pki::Identity& right_id =
+            right_is_server ? pki.server_id : pki.impersonation_ids[hop];
+        tls::Session left(tls_client_config(pki, rng, left_ops));
+        tls::Session right(tls_server_config(right_id, rng, right_ops));
+        ok = ok && pump_tls_pair(left, right, watch, left_bucket, right_bucket);
+    }
+    return ok;
+}
+
+bool run_e2e_tls_handshake(BenchPki& pki, const ChainConfig&, Rng& rng,
+                           PartySeconds* seconds, PartyOps* ops)
+{
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+    // Middleboxes only copy bytes; their cost is ~0 and charged nowhere.
+    tls::Session client(tls_client_config(pki, rng, ops ? &ops->client : nullptr));
+    tls::Session server(tls_server_config(pki.server_id, rng, ops ? &ops->server : nullptr));
+    return pump_tls_pair(client, server, watch, client_bucket, server_bucket);
+}
+
+uint64_t mctls_handshake_bytes(BenchPki& pki, const ChainConfig& cfg, Rng& rng)
+{
+    mctls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.contexts = make_contexts(cfg.n_contexts, cfg.n_middleboxes);
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+        ccfg.middleboxes.push_back(
+            {pki.mbox_ids[i].certificate.subject, "mbox" + std::to_string(i)});
+    ccfg.trust = &pki.store;
+    ccfg.rng = &rng;
+
+    mctls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {pki.server_id.certificate};
+    scfg.private_key = pki.server_id.private_key;
+    scfg.trust = &pki.store;
+    scfg.rng = &rng;
+
+    mctls::Session client(std::move(ccfg));
+    mctls::Session server(std::move(scfg));
+    std::vector<std::unique_ptr<mctls::MiddleboxSession>> mboxes;
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+        mctls::MiddleboxConfig mcfg;
+        mcfg.name = pki.mbox_ids[i].certificate.subject;
+        mcfg.chain = {pki.mbox_ids[i].certificate};
+        mcfg.private_key = pki.mbox_ids[i].private_key;
+        mcfg.rng = &rng;
+        mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(std::move(mcfg)));
+    }
+
+    client.start();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : client.take_write_units()) {
+            progress = true;
+            if (mboxes.empty())
+                (void)server.feed(unit);
+            else
+                (void)mboxes[0]->feed_from_client(unit);
+        }
+        for (size_t i = 0; i < mboxes.size(); ++i) {
+            for (auto& unit : mboxes[i]->take_to_server()) {
+                progress = true;
+                if (i + 1 < mboxes.size())
+                    (void)mboxes[i + 1]->feed_from_client(unit);
+                else
+                    (void)server.feed(unit);
+            }
+        }
+        for (auto& unit : server.take_write_units()) {
+            progress = true;
+            if (mboxes.empty())
+                (void)client.feed(unit);
+            else
+                (void)mboxes.back()->feed_from_server(unit);
+        }
+        for (size_t i = mboxes.size(); i-- > 0;) {
+            for (auto& unit : mboxes[i]->take_to_client()) {
+                progress = true;
+                if (i > 0)
+                    (void)mboxes[i - 1]->feed_from_server(unit);
+                else
+                    (void)client.feed(unit);
+            }
+        }
+    }
+    return client.handshake_wire_bytes();
+}
+
+uint64_t tls_handshake_bytes(BenchPki& pki, Rng& rng)
+{
+    tls::Session client(tls_client_config(pki, rng, nullptr));
+    tls::Session server(tls_server_config(pki.server_id, rng, nullptr));
+    client.start();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : client.take_write_units()) {
+            progress = true;
+            (void)server.feed(unit);
+        }
+        for (auto& unit : server.take_write_units()) {
+            progress = true;
+            (void)client.feed(unit);
+        }
+    }
+    return client.handshake_wire_bytes();
+}
+
+}  // namespace mct::bench

@@ -1,0 +1,58 @@
+// Page-load-time driver shared by the Figure 4 / Figure 6 benches: replay a
+// synthetic Alexa-like page (parallel connections, sequential objects per
+// connection) through a Testbed and report the load time.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "http/testbed.h"
+#include "workload/page_model.h"
+
+namespace mct::bench {
+
+// Load one page; returns page load time in milliseconds.
+inline double load_page(http::TestbedConfig cfg, const workload::PageTrace& page)
+{
+    http::Testbed bed(cfg);
+    std::vector<http::Testbed::FetchPtr> fetches;
+    for (const auto& conn : page.connections)
+        fetches.push_back(bed.fetch_sequence(conn));
+    bed.run();
+    net::SimTime latest = 0;
+    for (const auto& fetch : fetches) {
+        if (!fetch->completed || fetch->failed) return -1;
+        latest = std::max(latest, fetch->done);
+    }
+    return static_cast<double>(latest) / 1000.0;
+}
+
+inline std::vector<double> load_corpus(const http::TestbedConfig& cfg,
+                                       const std::vector<workload::PageTrace>& corpus)
+{
+    std::vector<double> times;
+    for (const auto& page : corpus) {
+        double t = load_page(cfg, page);
+        if (t >= 0) times.push_back(t);
+    }
+    std::sort(times.begin(), times.end());
+    return times;
+}
+
+inline double percentile(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty()) return 0;
+    size_t index = static_cast<size_t>(p / 100.0 * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+}
+
+inline void print_cdf_row(const char* label, const std::vector<double>& sorted)
+{
+    std::printf("  %-32s p10=%-8.0f p25=%-8.0f p50=%-8.0f p75=%-8.0f p90=%-8.0f (ms, %zu pages)\n",
+                label, percentile(sorted, 10), percentile(sorted, 25),
+                percentile(sorted, 50), percentile(sorted, 75), percentile(sorted, 90),
+                sorted.size());
+}
+
+}  // namespace mct::bench

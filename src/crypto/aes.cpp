@@ -1,0 +1,222 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mct::crypto {
+
+namespace {
+
+// GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
+uint8_t gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1) p ^= a;
+        bool hi = a & 0x80;
+        a <<= 1;
+        if (hi) a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+uint8_t rotl8(uint8_t x, unsigned n)
+{
+    return static_cast<uint8_t>(x << n | x >> (8 - n));
+}
+
+struct Tables {
+    std::array<uint8_t, 256> sbox;
+    std::array<uint8_t, 256> inv_sbox;
+    std::array<uint8_t, 11> rcon;
+    // Fixed-multiplier GF(2^8) product tables for MixColumns and its
+    // inverse; indexed as mul[k][x] with k in {2,3,9,11,13,14}.
+    std::array<std::array<uint8_t, 256>, 15> mul;
+};
+
+const Tables& tables()
+{
+    static const Tables t = [] {
+        Tables out{};
+        // Multiplicative inverses by brute force (256*256 once, at startup).
+        std::array<uint8_t, 256> inv{};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+                    inv[a] = static_cast<uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (int a = 0; a < 256; ++a) {
+            uint8_t x = inv[a];
+            uint8_t s = static_cast<uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^
+                                             rotl8(x, 4) ^ 0x63);
+            out.sbox[a] = s;
+            out.inv_sbox[s] = static_cast<uint8_t>(a);
+        }
+        uint8_t rc = 1;
+        for (int i = 1; i <= 10; ++i) {
+            out.rcon[i] = rc;
+            rc = gmul(rc, 2);
+        }
+        for (int k : {2, 3, 9, 11, 13, 14}) {
+            for (int x = 0; x < 256; ++x)
+                out.mul[k][x] = gmul(static_cast<uint8_t>(k), static_cast<uint8_t>(x));
+        }
+        return out;
+    }();
+    return t;
+}
+
+}  // namespace
+
+Aes128::Aes128(ConstBytes key)
+{
+    if (key.size() != kKeySize) throw std::invalid_argument("Aes128: key must be 16 bytes");
+    const auto& t = tables();
+    std::memcpy(round_keys_[0].data(), key.data(), 16);
+    for (int round = 1; round <= 10; ++round) {
+        const auto& prev = round_keys_[round - 1];
+        auto& rk = round_keys_[round];
+        // First word: RotWord + SubWord + Rcon.
+        uint8_t w[4] = {prev[13], prev[14], prev[15], prev[12]};
+        for (auto& b : w) b = t.sbox[b];
+        w[0] ^= t.rcon[round];
+        for (int i = 0; i < 4; ++i) rk[i] = prev[i] ^ w[i];
+        for (int i = 4; i < 16; ++i) rk[i] = prev[i] ^ rk[i - 4];
+    }
+}
+
+void Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const
+{
+    const auto& t = tables();
+    uint8_t s[16];
+    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[0][i];
+    for (int round = 1; round <= 10; ++round) {
+        // SubBytes.
+        for (auto& b : s) b = t.sbox[b];
+        // ShiftRows (state is column-major: s[r + 4c]).
+        uint8_t tmp[16];
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r) tmp[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+        std::memcpy(s, tmp, 16);
+        // MixColumns (skipped in the final round).
+        if (round != 10) {
+            const auto& m2 = t.mul[2];
+            const auto& m3 = t.mul[3];
+            for (int c = 0; c < 4; ++c) {
+                uint8_t* col = s + 4 * c;
+                uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+                col[0] = m2[a0] ^ m3[a1] ^ a2 ^ a3;
+                col[1] = a0 ^ m2[a1] ^ m3[a2] ^ a3;
+                col[2] = a0 ^ a1 ^ m2[a2] ^ m3[a3];
+                col[3] = m3[a0] ^ a1 ^ a2 ^ m2[a3];
+            }
+        }
+        for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round][i];
+    }
+    std::memcpy(out, s, 16);
+}
+
+void Aes128::decrypt_block(const uint8_t in[16], uint8_t out[16]) const
+{
+    const auto& t = tables();
+    uint8_t s[16];
+    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[10][i];
+    for (int round = 9; round >= 0; --round) {
+        // InvShiftRows.
+        uint8_t tmp[16];
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r) tmp[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+        std::memcpy(s, tmp, 16);
+        // InvSubBytes.
+        for (auto& b : s) b = t.inv_sbox[b];
+        // AddRoundKey.
+        for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round][i];
+        // InvMixColumns (skipped after the last round-key add).
+        if (round != 0) {
+            const auto& m9 = t.mul[9];
+            const auto& m11 = t.mul[11];
+            const auto& m13 = t.mul[13];
+            const auto& m14 = t.mul[14];
+            for (int c = 0; c < 4; ++c) {
+                uint8_t* col = s + 4 * c;
+                uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+                col[0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3];
+                col[1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3];
+                col[2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3];
+                col[3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3];
+            }
+        }
+    }
+    std::memcpy(out, s, 16);
+}
+
+Bytes aes128_cbc_encrypt(ConstBytes key, ConstBytes plaintext, Rng& rng)
+{
+    Aes128 cipher(key);
+    size_t pad = Aes128::kBlockSize - plaintext.size() % Aes128::kBlockSize;
+    Bytes padded = to_bytes(plaintext);
+    padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
+
+    Bytes out = rng.bytes(Aes128::kBlockSize);  // explicit IV
+    out.resize(Aes128::kBlockSize + padded.size());
+    const uint8_t* prev = out.data();  // IV
+    for (size_t off = 0; off < padded.size(); off += Aes128::kBlockSize) {
+        uint8_t block[16];
+        for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
+        cipher.encrypt_block(block, out.data() + Aes128::kBlockSize + off);
+        prev = out.data() + Aes128::kBlockSize + off;
+    }
+    return out;
+}
+
+Result<Bytes> aes128_cbc_decrypt(ConstBytes key, ConstBytes iv_and_ciphertext)
+{
+    constexpr size_t B = Aes128::kBlockSize;
+    if (iv_and_ciphertext.size() < 2 * B || iv_and_ciphertext.size() % B != 0)
+        return err("cbc: bad ciphertext length");
+    Aes128 cipher(key);
+    const uint8_t* prev = iv_and_ciphertext.data();
+    Bytes out(iv_and_ciphertext.size() - B);
+    for (size_t off = B; off < iv_and_ciphertext.size(); off += B) {
+        uint8_t block[16];
+        cipher.decrypt_block(iv_and_ciphertext.data() + off, block);
+        for (size_t i = 0; i < B; ++i) out[off - B + i] = block[i] ^ prev[i];
+        prev = iv_and_ciphertext.data() + off;
+    }
+    uint8_t pad = out.back();
+    if (pad == 0 || pad > B || pad > out.size()) return err("cbc: bad padding");
+    for (size_t i = out.size() - pad; i < out.size(); ++i) {
+        if (out[i] != pad) return err("cbc: bad padding");
+    }
+    out.resize(out.size() - pad);
+    return out;
+}
+
+Bytes aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data)
+{
+    if (nonce16.size() != 16) throw std::invalid_argument("ctr: nonce must be 16 bytes");
+    Aes128 cipher(key);
+    uint8_t counter[16];
+    std::memcpy(counter, nonce16.data(), 16);
+    Bytes out(data.size());
+    size_t off = 0;
+    while (off < data.size()) {
+        uint8_t keystream[16];
+        cipher.encrypt_block(counter, keystream);
+        size_t take = std::min<size_t>(16, data.size() - off);
+        for (size_t i = 0; i < take; ++i) out[off + i] = data[off + i] ^ keystream[i];
+        off += take;
+        for (int i = 15; i >= 0; --i) {
+            if (++counter[i] != 0) break;
+        }
+    }
+    return out;
+}
+
+}  // namespace mct::crypto

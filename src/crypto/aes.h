@@ -1,0 +1,40 @@
+// AES-128 (FIPS 197) block cipher plus CBC (PKCS#7) and CTR modes.
+//
+// The S-box and round constants are derived from their algebraic definition
+// (GF(2^8) inversion + affine map) at first use and the cipher is validated
+// against the FIPS 197 vectors in tests/crypto. CBC+HMAC matches the
+// paper's AES128-SHA256 record protection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mct::crypto {
+
+class Aes128 {
+public:
+    static constexpr size_t kBlockSize = 16;
+    static constexpr size_t kKeySize = 16;
+
+    explicit Aes128(ConstBytes key);
+
+    void encrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+    void decrypt_block(const uint8_t in[16], uint8_t out[16]) const;
+
+private:
+    std::array<std::array<uint8_t, 16>, 11> round_keys_;
+};
+
+// CBC with PKCS#7 padding; the IV is prepended to the ciphertext
+// (TLS 1.2 explicit-IV style).
+Bytes aes128_cbc_encrypt(ConstBytes key, ConstBytes plaintext, Rng& rng);
+Result<Bytes> aes128_cbc_decrypt(ConstBytes key, ConstBytes iv_and_ciphertext);
+
+// CTR keystream mode; nonce is 16 bytes used as the initial counter block.
+Bytes aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data);
+
+}  // namespace mct::crypto

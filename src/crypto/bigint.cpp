@@ -1,0 +1,264 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mct::crypto {
+
+namespace {
+
+int hex_digit(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw std::invalid_argument("BigUint: bad hex digit");
+}
+
+}  // namespace
+
+BigUint::BigUint(uint64_t v)
+{
+    if (v != 0) limbs_.push_back(static_cast<uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<uint32_t>(v >> 32));
+}
+
+void BigUint::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_hex(std::string_view hex)
+{
+    BigUint out;
+    for (char c : hex) {
+        if (c == '_' || c == ' ') continue;
+        // out = out*16 + digit
+        uint64_t carry = static_cast<uint64_t>(hex_digit(c));
+        for (auto& limb : out.limbs_) {
+            uint64_t v = (static_cast<uint64_t>(limb) << 4) | carry;
+            limb = static_cast<uint32_t>(v);
+            carry = v >> 32;
+        }
+        if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::from_le_bytes(ConstBytes b)
+{
+    BigUint out;
+    out.limbs_.resize((b.size() + 3) / 4, 0);
+    for (size_t i = 0; i < b.size(); ++i)
+        out.limbs_[i / 4] |= static_cast<uint32_t>(b[i]) << (8 * (i % 4));
+    out.trim();
+    return out;
+}
+
+Bytes BigUint::to_le_bytes(size_t width) const
+{
+    Bytes out(width, 0);
+    for (size_t i = 0; i < width && i / 4 < limbs_.size(); ++i)
+        out[i] = static_cast<uint8_t>(limbs_[i / 4] >> (8 * (i % 4)));
+    return out;
+}
+
+size_t BigUint::bit_length() const
+{
+    if (limbs_.empty()) return 0;
+    uint32_t top = limbs_.back();
+    size_t bits = limbs_.size() * 32;
+    for (uint32_t probe = 0x80000000u; probe && !(top & probe); probe >>= 1) --bits;
+    return bits;
+}
+
+bool BigUint::bit(size_t i) const
+{
+    size_t limb = i / 32;
+    if (limb >= limbs_.size()) return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigUint::compare(const BigUint& rhs) const
+{
+    if (limbs_.size() != rhs.limbs_.size())
+        return limbs_.size() < rhs.limbs_.size() ? -1 : 1;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] < rhs.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUint BigUint::operator+(const BigUint& rhs) const
+{
+    BigUint out;
+    size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+    out.limbs_.resize(n, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t sum = carry;
+        if (i < limbs_.size()) sum += limbs_[i];
+        if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+        out.limbs_[i] = static_cast<uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+    return out;
+}
+
+BigUint BigUint::operator-(const BigUint& rhs) const
+{
+    if (compare(rhs) < 0) throw std::underflow_error("BigUint: negative result");
+    BigUint out;
+    out.limbs_.resize(limbs_.size(), 0);
+    int64_t borrow = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow;
+        if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+        if (diff < 0) {
+            diff += int64_t{1} << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::operator*(const BigUint& rhs) const
+{
+    if (is_zero() || rhs.is_zero()) return {};
+    BigUint out;
+    out.limbs_.assign(limbs_.size() + rhs.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < rhs.limbs_.size(); ++j) {
+            uint64_t cur = static_cast<uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                           out.limbs_[i + j] + carry;
+            out.limbs_[i + j] = static_cast<uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        out.limbs_[i + rhs.limbs_.size()] += static_cast<uint32_t>(carry);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::operator<<(size_t bits) const
+{
+    if (is_zero()) return {};
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    BigUint out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint BigUint::operator>>(size_t bits) const
+{
+    size_t limb_shift = bits / 32;
+    size_t bit_shift = bits % 32;
+    if (limb_shift >= limbs_.size()) return {};
+    BigUint out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (size_t i = 0; i < out.limbs_.size(); ++i) {
+        uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size())
+            v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+        out.limbs_[i] = static_cast<uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint::DivMod BigUint::divmod(const BigUint& divisor) const
+{
+    if (divisor.is_zero()) throw std::domain_error("BigUint: divide by zero");
+    DivMod result;
+    if (compare(divisor) < 0) {
+        result.remainder = *this;
+        return result;
+    }
+    // Binary shift-subtract long division; operand sizes here are small.
+    size_t shift = bit_length() - divisor.bit_length();
+    BigUint shifted = divisor << shift;
+    BigUint rem = *this;
+    BigUint quo;
+    quo.limbs_.assign((shift + 32) / 32, 0);
+    for (size_t i = shift + 1; i-- > 0;) {
+        if (shifted <= rem) {
+            rem = rem - shifted;
+            quo.limbs_[i / 32] |= uint32_t{1} << (i % 32);
+        }
+        shifted = shifted >> 1;
+    }
+    quo.trim();
+    result.quotient = std::move(quo);
+    result.remainder = std::move(rem);
+    return result;
+}
+
+BigUint BigUint::mulmod(const BigUint& rhs, const BigUint& m) const
+{
+    return (*this * rhs).mod(m);
+}
+
+BigUint BigUint::addmod(const BigUint& rhs, const BigUint& m) const
+{
+    return (*this + rhs).mod(m);
+}
+
+uint64_t BigUint::to_u64() const
+{
+    uint64_t v = 0;
+    if (limbs_.size() > 1) v = static_cast<uint64_t>(limbs_[1]) << 32;
+    if (!limbs_.empty()) v |= limbs_[0];
+    return v;
+}
+
+std::string BigUint::to_hex() const
+{
+    if (is_zero()) return "0";
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 28; shift >= 0; shift -= 4)
+            out.push_back(digits[(limbs_[i] >> shift) & 0xf]);
+    }
+    out.erase(0, out.find_first_not_of('0'));
+    return out;
+}
+
+BigUint BigUint::pow(const BigUint& base, unsigned exp)
+{
+    BigUint result(1);
+    for (unsigned i = 0; i < exp; ++i) result = result * base;
+    return result;
+}
+
+BigUint BigUint::iroot(const BigUint& x, unsigned k)
+{
+    if (x.is_zero() || k == 0) return {};
+    BigUint lo(0);
+    BigUint hi = BigUint(1) << (x.bit_length() / k + 1);
+    // Invariant: lo^k <= x < hi^k.
+    while (BigUint(1) < hi - lo) {
+        BigUint mid = (lo + hi) >> 1;
+        if (pow(mid, k) <= x)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+}  // namespace mct::crypto

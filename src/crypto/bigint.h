@@ -1,0 +1,76 @@
+// Minimal arbitrary-precision unsigned integer.
+//
+// Used for Ed25519 scalar arithmetic mod L and for deriving SHA constants
+// (integer k-th roots of primes in fixed point). Sizes in this library stay
+// under ~600 bits, so simple schoolbook algorithms are more than enough.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mct::crypto {
+
+class BigUint {
+public:
+    BigUint() = default;
+    explicit BigUint(uint64_t v);
+
+    static BigUint from_hex(std::string_view hex);
+    // Little-endian byte import/export (Ed25519 convention).
+    static BigUint from_le_bytes(ConstBytes b);
+    Bytes to_le_bytes(size_t width) const;  // zero-padded / truncates iff value fits
+
+    bool is_zero() const { return limbs_.empty(); }
+    size_t bit_length() const;
+    bool bit(size_t i) const;
+
+    // Comparison: negative if *this < rhs, 0 if equal, positive otherwise.
+    int compare(const BigUint& rhs) const;
+    bool operator==(const BigUint& rhs) const { return compare(rhs) == 0; }
+    bool operator<(const BigUint& rhs) const { return compare(rhs) < 0; }
+    bool operator<=(const BigUint& rhs) const { return compare(rhs) <= 0; }
+
+    BigUint operator+(const BigUint& rhs) const;
+    // Requires *this >= rhs.
+    BigUint operator-(const BigUint& rhs) const;
+    BigUint operator*(const BigUint& rhs) const;
+    BigUint operator<<(size_t bits) const;
+    BigUint operator>>(size_t bits) const;
+
+    // Quotient and remainder; divisor must be nonzero.
+    struct DivMod;
+    DivMod divmod(const BigUint& divisor) const;
+    BigUint mod(const BigUint& m) const;
+
+    BigUint mulmod(const BigUint& rhs, const BigUint& m) const;
+    BigUint addmod(const BigUint& rhs, const BigUint& m) const;
+
+    uint64_t to_u64() const;  // low 64 bits
+    std::string to_hex() const;
+
+    // Largest r with r^k <= *this (integer k-th root by binary search).
+    static BigUint iroot(const BigUint& x, unsigned k);
+
+    static BigUint pow(const BigUint& base, unsigned exp);
+
+private:
+    void trim();
+
+    std::vector<uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+struct BigUint::DivMod {
+    BigUint quotient;
+    BigUint remainder;
+};
+
+inline BigUint BigUint::mod(const BigUint& m) const
+{
+    return divmod(m).remainder;
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,13 @@
+#include "crypto/ct.h"
+
+namespace mct::crypto {
+
+bool ct_equal(ConstBytes a, ConstBytes b)
+{
+    if (a.size() != b.size()) return false;
+    uint8_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+    return acc == 0;
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,12 @@
+// Constant-time helpers for secret data.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace mct::crypto {
+
+// Timing-safe equality; also returns false on length mismatch (the length
+// itself is treated as public, as in TLS MAC checks).
+bool ct_equal(ConstBytes a, ConstBytes b);
+
+}  // namespace mct::crypto

@@ -1,0 +1,42 @@
+#include "crypto/drbg.h"
+
+#include "crypto/hmac.h"
+
+namespace mct::crypto {
+
+HmacDrbg::HmacDrbg(ConstBytes seed)
+    : key_(Sha256::kDigestSize, 0x00), v_(Sha256::kDigestSize, 0x01)
+{
+    update(seed);
+}
+
+void HmacDrbg::update(ConstBytes provided)
+{
+    Bytes msg = concat(v_, Bytes{0x00}, provided);
+    key_ = HmacSha256::mac(key_, msg);
+    v_ = HmacSha256::mac(key_, v_);
+    if (!provided.empty()) {
+        msg = concat(v_, Bytes{0x01}, provided);
+        key_ = HmacSha256::mac(key_, msg);
+        v_ = HmacSha256::mac(key_, v_);
+    }
+}
+
+void HmacDrbg::reseed(ConstBytes entropy)
+{
+    update(entropy);
+}
+
+void HmacDrbg::fill(MutableBytes out)
+{
+    size_t produced = 0;
+    while (produced < out.size()) {
+        v_ = HmacSha256::mac(key_, v_);
+        size_t take = std::min(v_.size(), out.size() - produced);
+        std::copy(v_.begin(), v_.begin() + take, out.begin() + produced);
+        produced += take;
+    }
+    update({});
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,28 @@
+// HMAC-DRBG with SHA-256 (NIST SP 800-90A), implementing the Rng interface.
+//
+// All protocol randomness (hello randoms, ephemeral keys, IVs) is drawn from
+// a DRBG so experiments are reproducible from a seed while exercising the
+// same code paths a production entropy source would.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace mct::crypto {
+
+class HmacDrbg final : public Rng {
+public:
+    explicit HmacDrbg(ConstBytes seed);
+
+    void fill(MutableBytes out) override;
+
+    void reseed(ConstBytes entropy);
+
+private:
+    void update(ConstBytes provided);
+
+    Bytes key_;
+    Bytes v_;
+};
+
+}  // namespace mct::crypto

@@ -1,0 +1,31 @@
+// Ed25519 signatures (RFC 8032).
+//
+// Stands in for the paper's RSA signing keys (PK+_E / PK-_E, Sign): every
+// certificate and ServerKeyExchange/MiddleboxKeyExchange signature in the
+// TLS baseline and mcTLS handshakes uses this scheme.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace mct::crypto {
+
+constexpr size_t kEd25519PublicKeySize = 32;
+constexpr size_t kEd25519PrivateKeySize = 32;  // seed
+constexpr size_t kEd25519SignatureSize = 64;
+
+struct Ed25519KeyPair {
+    Bytes public_key;   // 32 bytes
+    Bytes private_key;  // 32-byte seed
+};
+
+Ed25519KeyPair ed25519_keypair(Rng& rng);
+
+// Derive the public key from a 32-byte seed.
+Bytes ed25519_public_from_seed(ConstBytes seed);
+
+Bytes ed25519_sign(ConstBytes seed, ConstBytes message);
+
+bool ed25519_verify(ConstBytes public_key, ConstBytes message, ConstBytes signature);
+
+}  // namespace mct::crypto

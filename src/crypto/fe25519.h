@@ -1,0 +1,55 @@
+// Field arithmetic modulo p = 2^255 - 19.
+//
+// Representation: five 51-bit limbs (radix 2^51) with 128-bit intermediate
+// products; the layout follows the well-known "donna-c64" construction.
+// Backs both X25519 (Montgomery ladder) and Ed25519 (Edwards group ops).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mct::crypto {
+
+struct Fe {
+    std::array<uint64_t, 5> v{};
+};
+
+Fe fe_zero();
+Fe fe_one();
+Fe fe_from_u64(uint64_t x);
+
+// Load 32 little-endian bytes, ignoring the top bit (RFC 7748 convention).
+Fe fe_from_bytes(ConstBytes b32);
+// Fully reduced 32-byte little-endian encoding.
+Bytes fe_to_bytes(const Fe& f);
+
+Fe fe_add(const Fe& a, const Fe& b);
+Fe fe_sub(const Fe& a, const Fe& b);
+Fe fe_mul(const Fe& a, const Fe& b);
+Fe fe_sq(const Fe& a);
+Fe fe_mul_small(const Fe& a, uint64_t s);  // s must fit in ~13 bits
+Fe fe_neg(const Fe& a);
+
+// a^(p-2) mod p (multiplicative inverse; fe_invert(0) == 0).
+Fe fe_invert(const Fe& a);
+// a^e where e is a little-endian byte exponent.
+Fe fe_pow(const Fe& a, ConstBytes exponent_le);
+
+bool fe_is_zero(const Fe& a);
+bool fe_equal(const Fe& a, const Fe& b);
+// Parity of the fully reduced value (used as the Ed25519 sign bit).
+bool fe_is_negative(const Fe& a);
+
+// Constant-time conditional swap.
+void fe_cswap(Fe& a, Fe& b, uint64_t swap);
+
+// sqrt(-1) mod p == 2^((p-1)/4).
+const Fe& fe_sqrt_m1();
+
+// Square root for Ed25519 point decompression: returns true and sets out
+// with out^2 == a, if a is a quadratic residue.
+bool fe_sqrt(const Fe& a, Fe& out);
+
+}  // namespace mct::crypto

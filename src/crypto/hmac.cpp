@@ -1,0 +1,69 @@
+#include "crypto/hmac.h"
+
+namespace mct::crypto {
+
+namespace {
+
+Bytes normalize_key(ConstBytes key, size_t block_size, Bytes (*hash)(ConstBytes))
+{
+    Bytes k = key.size() > block_size ? hash(key) : to_bytes(key);
+    k.resize(block_size, 0);
+    return k;
+}
+
+}  // namespace
+
+HmacSha256::HmacSha256(ConstBytes key)
+{
+    Bytes k = normalize_key(key, Sha256::kBlockSize, &Sha256::digest);
+    Bytes ipad_key(k.size());
+    opad_key_.resize(k.size());
+    for (size_t i = 0; i < k.size(); ++i) {
+        ipad_key[i] = k[i] ^ 0x36;
+        opad_key_[i] = k[i] ^ 0x5c;
+    }
+    inner_.update(ipad_key);
+}
+
+void HmacSha256::update(ConstBytes data)
+{
+    inner_.update(data);
+}
+
+Bytes HmacSha256::finish()
+{
+    auto inner_digest = inner_.finish();
+    Sha256 outer;
+    outer.update(opad_key_);
+    outer.update(inner_digest);
+    auto d = outer.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+Bytes HmacSha256::mac(ConstBytes key, ConstBytes data)
+{
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finish();
+}
+
+Bytes hmac_sha512(ConstBytes key, ConstBytes data)
+{
+    Bytes k = normalize_key(key, Sha512::kBlockSize, &Sha512::digest);
+    Bytes ipad_key(k.size()), opad_key(k.size());
+    for (size_t i = 0; i < k.size(); ++i) {
+        ipad_key[i] = k[i] ^ 0x36;
+        opad_key[i] = k[i] ^ 0x5c;
+    }
+    Sha512 inner;
+    inner.update(ipad_key);
+    inner.update(data);
+    auto inner_digest = inner.finish();
+    Sha512 outer;
+    outer.update(opad_key);
+    outer.update(inner_digest);
+    auto d = outer.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,27 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-512.
+#pragma once
+
+#include "crypto/sha2.h"
+#include "util/bytes.h"
+
+namespace mct::crypto {
+
+class HmacSha256 {
+public:
+    static constexpr size_t kTagSize = Sha256::kDigestSize;
+
+    explicit HmacSha256(ConstBytes key);
+
+    void update(ConstBytes data);
+    Bytes finish();
+
+    static Bytes mac(ConstBytes key, ConstBytes data);
+
+private:
+    Sha256 inner_;
+    Bytes opad_key_;  // key XOR opad, kept for the outer hash
+};
+
+Bytes hmac_sha512(ConstBytes key, ConstBytes data);
+
+}  // namespace mct::crypto

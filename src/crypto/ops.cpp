@@ -1,0 +1,16 @@
+#include "crypto/ops.h"
+
+#include <sstream>
+
+namespace mct::crypto {
+
+std::string OpCounters::to_string() const
+{
+    std::ostringstream os;
+    os << "hash=" << hash << " secret=" << secret_comp << " keygen=" << key_gen
+       << " sign=" << asym_sign << " verify=" << asym_verify << " enc=" << sym_encrypt
+       << " dec=" << sym_decrypt;
+    return os.str();
+}
+
+}  // namespace mct::crypto

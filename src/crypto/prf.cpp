@@ -1,0 +1,21 @@
+#include "crypto/prf.h"
+
+#include "crypto/hmac.h"
+
+namespace mct::crypto {
+
+Bytes prf(ConstBytes secret, std::string_view label, ConstBytes seed, size_t out_len)
+{
+    Bytes label_seed = concat(str_to_bytes(label), seed);
+    Bytes out;
+    out.reserve(out_len + HmacSha256::kTagSize);
+    Bytes a = label_seed;  // A(0)
+    while (out.size() < out_len) {
+        a = HmacSha256::mac(secret, a);  // A(i)
+        append(out, HmacSha256::mac(secret, concat(a, label_seed)));
+    }
+    out.resize(out_len);
+    return out;
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,282 @@
+#include "crypto/sha2.h"
+
+#include <cstring>
+
+#include "crypto/bigint.h"
+
+namespace mct::crypto {
+
+namespace {
+
+constexpr std::array<unsigned, 80> first_80_primes()
+{
+    std::array<unsigned, 80> primes{};
+    unsigned count = 0;
+    for (unsigned n = 2; count < 80; ++n) {
+        bool prime = true;
+        for (unsigned d = 2; d * d <= n; ++d) {
+            if (n % d == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime) primes[count++] = n;
+    }
+    return primes;
+}
+
+// frac(p^(1/k)) scaled to `frac_bits` bits, exactly:
+// floor(p^(1/k) * 2^frac_bits) = floor((p * 2^(k*frac_bits))^(1/k)), minus
+// the integer part shifted up.
+uint64_t root_fraction(unsigned p, unsigned k, unsigned frac_bits)
+{
+    BigUint scaled = BigUint(p) << (k * frac_bits);
+    BigUint root = BigUint::iroot(scaled, k);
+    // Drop the integer part: keep only the low frac_bits bits.
+    BigUint frac = root - ((root >> frac_bits) << frac_bits);
+    return frac.to_u64();
+}
+
+struct Sha256Constants {
+    std::array<uint32_t, 8> iv;
+    std::array<uint32_t, 64> k;
+};
+
+struct Sha512Constants {
+    std::array<uint64_t, 8> iv;
+    std::array<uint64_t, 80> k;
+};
+
+const Sha256Constants& sha256_constants()
+{
+    static const Sha256Constants c = [] {
+        Sha256Constants out;
+        auto primes = first_80_primes();
+        for (int i = 0; i < 8; ++i)
+            out.iv[i] = static_cast<uint32_t>(root_fraction(primes[i], 2, 32));
+        for (int i = 0; i < 64; ++i)
+            out.k[i] = static_cast<uint32_t>(root_fraction(primes[i], 3, 32));
+        return out;
+    }();
+    return c;
+}
+
+const Sha512Constants& sha512_constants()
+{
+    static const Sha512Constants c = [] {
+        Sha512Constants out;
+        auto primes = first_80_primes();
+        for (int i = 0; i < 8; ++i)
+            out.iv[i] = root_fraction(primes[i], 2, 64);
+        for (int i = 0; i < 80; ++i)
+            out.k[i] = root_fraction(primes[i], 3, 64);
+        return out;
+    }();
+    return c;
+}
+
+inline uint32_t rotr32(uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+inline uint64_t rotr64(uint64_t x, unsigned n)
+{
+    return (x >> n) | (x << (64 - n));
+}
+
+}  // namespace
+
+Sha256::Sha256() : state_(sha256_constants().iv) {}
+
+void Sha256::compress(const uint8_t* block)
+{
+    const auto& K = sha256_constants().k;
+    uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+               static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+               static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+               static_cast<uint32_t>(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+        uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (int i = 0; i < 64; ++i) {
+        uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = h + s1 + ch + K[i] + w[i];
+        uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void Sha256::update(ConstBytes data)
+{
+    total_bytes_ += data.size();
+    size_t offset = 0;
+    if (buffered_ > 0) {
+        size_t take = std::min(kBlockSize - buffered_, data.size());
+        std::memcpy(buffer_.data() + buffered_, data.data(), take);
+        buffered_ += take;
+        offset = take;
+        if (buffered_ == kBlockSize) {
+            compress(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+    while (offset + kBlockSize <= data.size()) {
+        compress(data.data() + offset);
+        offset += kBlockSize;
+    }
+    if (offset < data.size()) {
+        std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+        buffered_ = data.size() - offset;
+    }
+}
+
+std::array<uint8_t, Sha256::kDigestSize> Sha256::finish()
+{
+    uint64_t bit_length = total_bytes_ * 8;
+    uint8_t pad[kBlockSize + 8] = {0x80};
+    size_t pad_len = (buffered_ < 56) ? 56 - buffered_ : 120 - buffered_;
+    update({pad, pad_len});
+    uint8_t len_be[8];
+    for (int i = 0; i < 8; ++i) len_be[i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
+    // update() counted the padding in total_bytes_, but we already captured
+    // bit_length, so that is harmless.
+    update({len_be, 8});
+    std::array<uint8_t, kDigestSize> out;
+    for (int i = 0; i < 8; ++i) {
+        out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
+        out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
+        out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
+        out[4 * i + 3] = static_cast<uint8_t>(state_[i]);
+    }
+    return out;
+}
+
+Bytes Sha256::digest(ConstBytes data)
+{
+    Sha256 h;
+    h.update(data);
+    auto d = h.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+Sha512::Sha512() : state_(sha512_constants().iv) {}
+
+void Sha512::compress(const uint8_t* block)
+{
+    const auto& K = sha512_constants().k;
+    uint64_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        uint64_t v = 0;
+        for (int j = 0; j < 8; ++j) v = v << 8 | block[8 * i + j];
+        w[i] = v;
+    }
+    for (int i = 16; i < 80; ++i) {
+        uint64_t s0 = rotr64(w[i - 15], 1) ^ rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
+        uint64_t s1 = rotr64(w[i - 2], 19) ^ rotr64(w[i - 2], 61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint64_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    uint64_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    for (int i = 0; i < 80; ++i) {
+        uint64_t s1 = rotr64(e, 14) ^ rotr64(e, 18) ^ rotr64(e, 41);
+        uint64_t ch = (e & f) ^ (~e & g);
+        uint64_t t1 = h + s1 + ch + K[i] + w[i];
+        uint64_t s0 = rotr64(a, 28) ^ rotr64(a, 34) ^ rotr64(a, 39);
+        uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint64_t t2 = s0 + maj;
+        h = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    state_[0] += a;
+    state_[1] += b;
+    state_[2] += c;
+    state_[3] += d;
+    state_[4] += e;
+    state_[5] += f;
+    state_[6] += g;
+    state_[7] += h;
+}
+
+void Sha512::update(ConstBytes data)
+{
+    total_bytes_ += data.size();
+    size_t offset = 0;
+    if (buffered_ > 0) {
+        size_t take = std::min(kBlockSize - buffered_, data.size());
+        std::memcpy(buffer_.data() + buffered_, data.data(), take);
+        buffered_ += take;
+        offset = take;
+        if (buffered_ == kBlockSize) {
+            compress(buffer_.data());
+            buffered_ = 0;
+        }
+    }
+    while (offset + kBlockSize <= data.size()) {
+        compress(data.data() + offset);
+        offset += kBlockSize;
+    }
+    if (offset < data.size()) {
+        std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+        buffered_ = data.size() - offset;
+    }
+}
+
+std::array<uint8_t, Sha512::kDigestSize> Sha512::finish()
+{
+    uint64_t bit_length = total_bytes_ * 8;
+    uint8_t pad[kBlockSize + 16] = {0x80};
+    size_t pad_len = (buffered_ < 112) ? 112 - buffered_ : 240 - buffered_;
+    update({pad, pad_len});
+    // 128-bit length field; sizes here never exceed 64 bits.
+    uint8_t len_be[16] = {0};
+    for (int i = 0; i < 8; ++i) len_be[8 + i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
+    update({len_be, 16});
+    std::array<uint8_t, kDigestSize> out;
+    for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j)
+            out[8 * i + j] = static_cast<uint8_t>(state_[i] >> (56 - 8 * j));
+    }
+    return out;
+}
+
+Bytes Sha512::digest(ConstBytes data)
+{
+    Sha512 h;
+    h.update(data);
+    auto d = h.finish();
+    return Bytes(d.begin(), d.end());
+}
+
+}  // namespace mct::crypto

@@ -1,0 +1,58 @@
+// SHA-256 and SHA-512 (FIPS 180-4).
+//
+// Round constants and initial hash values are derived at first use from the
+// fractional parts of prime roots (the FIPS definition) using exact integer
+// arithmetic, and the whole construction is validated against published test
+// vectors in tests/crypto.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace mct::crypto {
+
+class Sha256 {
+public:
+    static constexpr size_t kDigestSize = 32;
+    static constexpr size_t kBlockSize = 64;
+
+    Sha256();
+
+    void update(ConstBytes data);
+    std::array<uint8_t, kDigestSize> finish();
+
+    static Bytes digest(ConstBytes data);
+
+private:
+    void compress(const uint8_t* block);
+
+    std::array<uint32_t, 8> state_;
+    std::array<uint8_t, kBlockSize> buffer_;
+    size_t buffered_ = 0;
+    uint64_t total_bytes_ = 0;
+};
+
+class Sha512 {
+public:
+    static constexpr size_t kDigestSize = 64;
+    static constexpr size_t kBlockSize = 128;
+
+    Sha512();
+
+    void update(ConstBytes data);
+    std::array<uint8_t, kDigestSize> finish();
+
+    static Bytes digest(ConstBytes data);
+
+private:
+    void compress(const uint8_t* block);
+
+    std::array<uint64_t, 8> state_;
+    std::array<uint8_t, kBlockSize> buffer_;
+    size_t buffered_ = 0;
+    uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mct::crypto

@@ -1,0 +1,29 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// Plays the role of the paper's ephemeral Diffie-Hellman exchange
+// (DH+_E / DH-_E, DHCombine) in both the TLS baseline and mcTLS handshakes.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mct::crypto {
+
+constexpr size_t kX25519KeySize = 32;
+
+struct X25519KeyPair {
+    Bytes public_key;   // 32 bytes
+    Bytes private_key;  // 32 bytes (clamped scalar)
+};
+
+// Scalar multiplication k * u on the Montgomery curve.
+Bytes x25519(ConstBytes scalar32, ConstBytes u32);
+
+X25519KeyPair x25519_keypair(Rng& rng);
+
+// DHCombine: shared secret from our private key and the peer's public key.
+// Fails on an all-zero result (low-order peer point).
+Result<Bytes> x25519_shared(ConstBytes private_key, ConstBytes peer_public);
+
+}  // namespace mct::crypto

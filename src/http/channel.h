@@ -1,0 +1,123 @@
+// SecureChannel: one interface over the four transport-security modes the
+// paper evaluates (§5, "four modes of operation"):
+//
+//   mcTLS     - mctls::Session (contexts, three MACs, middlebox key material)
+//   SplitTLS  - tls::Session per hop, terminated at middleboxes
+//   E2E-TLS   - tls::Session end-to-end, middleboxes forward blindly
+//   NoEncrypt - plaintext byte stream
+//
+// HTTP apps talk to this interface only, so the same client/server code runs
+// over every mode. send_part's context id is meaningful only for mcTLS.
+#pragma once
+
+#include <memory>
+
+#include "mctls/session.h"
+#include "tls/session.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::http {
+
+class SecureChannel {
+public:
+    virtual ~SecureChannel() = default;
+
+    // Client side: begin the handshake (may queue outgoing bytes).
+    virtual void start() {}
+    virtual Status on_bytes(ConstBytes wire) = 0;
+    // Write units: send each element with exactly one transport send().
+    virtual std::vector<Bytes> take_outgoing() = 0;
+    virtual bool ready() const = 0;
+    virtual bool failed() const = 0;
+    virtual std::string error() const { return {}; }
+
+    virtual Status send_part(uint8_t context_id, ConstBytes data) = 0;
+    // Ordered application byte stream received so far.
+    virtual Bytes take_received() = 0;
+
+    virtual uint64_t handshake_wire_bytes() const { return 0; }
+    virtual uint64_t app_overhead_bytes() const { return 0; }
+    virtual uint64_t app_records_sent() const { return 0; }
+};
+
+class PlainChannel final : public SecureChannel {
+public:
+    Status on_bytes(ConstBytes wire) override
+    {
+        append(received_, wire);
+        return {};
+    }
+    std::vector<Bytes> take_outgoing() override { return std::exchange(out_, {}); }
+    bool ready() const override { return true; }
+    bool failed() const override { return false; }
+    Status send_part(uint8_t, ConstBytes data) override
+    {
+        out_.push_back(to_bytes(data));
+        return {};
+    }
+    Bytes take_received() override { return std::exchange(received_, {}); }
+
+private:
+    std::vector<Bytes> out_;
+    Bytes received_;
+};
+
+class TlsChannel final : public SecureChannel {
+public:
+    explicit TlsChannel(tls::SessionConfig cfg) : session_(std::move(cfg)) {}
+
+    void start() override { session_.start(); }
+    Status on_bytes(ConstBytes wire) override { return session_.feed(wire); }
+    std::vector<Bytes> take_outgoing() override { return session_.take_write_units(); }
+    bool ready() const override { return session_.handshake_complete(); }
+    bool failed() const override { return session_.failed(); }
+    std::string error() const override { return session_.error(); }
+    Status send_part(uint8_t, ConstBytes data) override { return session_.send_app_data(data); }
+    Bytes take_received() override { return session_.take_app_data(); }
+    uint64_t handshake_wire_bytes() const override { return session_.handshake_wire_bytes(); }
+    uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
+    uint64_t app_records_sent() const override { return session_.app_records_sent(); }
+
+    tls::Session& session() { return session_; }
+
+private:
+    tls::Session session_;
+};
+
+class McTlsChannel final : public SecureChannel {
+public:
+    explicit McTlsChannel(mctls::SessionConfig cfg) : session_(std::move(cfg)) {}
+
+    void start() override { session_.start(); }
+    Status on_bytes(ConstBytes wire) override { return session_.feed(wire); }
+    std::vector<Bytes> take_outgoing() override { return session_.take_write_units(); }
+    bool ready() const override { return session_.handshake_complete(); }
+    bool failed() const override { return session_.failed(); }
+    std::string error() const override { return session_.error(); }
+    Status send_part(uint8_t context_id, ConstBytes data) override
+    {
+        return session_.send_app_data(context_id, data);
+    }
+    Bytes take_received() override
+    {
+        Bytes out;
+        for (auto& chunk : session_.take_app_data()) {
+            if (!chunk.from_endpoint) ++writer_modified_chunks_;
+            append(out, chunk.data);
+        }
+        return out;
+    }
+    uint64_t handshake_wire_bytes() const override { return session_.handshake_wire_bytes(); }
+    uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
+    uint64_t app_records_sent() const override { return session_.app_records_sent(); }
+
+    uint64_t writer_modified_chunks() const { return writer_modified_chunks_; }
+    mctls::Session& session() { return session_; }
+
+private:
+    mctls::Session session_;
+    uint64_t writer_modified_chunks_ = 0;
+};
+
+}  // namespace mct::http

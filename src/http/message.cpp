@@ -1,0 +1,179 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace mct::http {
+
+namespace {
+
+void append_headers(std::string& out, const HeaderList& headers, size_t body_size)
+{
+    bool has_content_length = false;
+    for (const auto& [name, value] : headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += "\r\n";
+        if (name == "Content-Length") has_content_length = true;
+    }
+    if (body_size > 0 && !has_content_length)
+        out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+    out += "\r\n";
+}
+
+const std::string* find_header(const HeaderList& headers, const std::string& name)
+{
+    for (const auto& [n, v] : headers) {
+        if (n == name) return &v;
+    }
+    return nullptr;
+}
+
+size_t content_length(const HeaderList& headers)
+{
+    const std::string* value = find_header(headers, "Content-Length");
+    if (!value) return 0;
+    size_t length = 0;
+    std::from_chars(value->data(), value->data() + value->size(), length);
+    return length;
+}
+
+}  // namespace
+
+Bytes Request::serialize_head() const
+{
+    std::string out = method + " " + path + " HTTP/1.1\r\n";
+    append_headers(out, headers, body.size());
+    return str_to_bytes(out);
+}
+
+Bytes Request::serialize() const
+{
+    return concat(serialize_head(), body);
+}
+
+const std::string* Request::header(const std::string& name) const
+{
+    return find_header(headers, name);
+}
+
+Bytes Response::serialize_head() const
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+    append_headers(out, headers, body.size());
+    return str_to_bytes(out);
+}
+
+Bytes Response::serialize() const
+{
+    return concat(serialize_head(), body);
+}
+
+const std::string* Response::header(const std::string& name) const
+{
+    return find_header(headers, name);
+}
+
+Result<std::optional<size_t>> find_head_end(ConstBytes buffer)
+{
+    static const Bytes kSep = str_to_bytes("\r\n\r\n");
+    auto it = std::search(buffer.begin(), buffer.end(), kSep.begin(), kSep.end());
+    if (it == buffer.end()) {
+        if (buffer.size() > 64 * 1024) return err("http: header section too large");
+        return std::optional<size_t>{};
+    }
+    return std::optional<size_t>{static_cast<size_t>(it - buffer.begin()) + kSep.size()};
+}
+
+Result<HeaderList> parse_header_lines(const std::string& head, size_t first_line_end)
+{
+    HeaderList headers;
+    size_t pos = first_line_end;
+    while (pos < head.size()) {
+        size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos || eol == pos) break;  // blank line = done
+        std::string line = head.substr(pos, eol - pos);
+        size_t colon = line.find(':');
+        if (colon == std::string::npos) return err("http: malformed header line");
+        std::string name = line.substr(0, colon);
+        size_t value_start = colon + 1;
+        while (value_start < line.size() && line[value_start] == ' ') ++value_start;
+        headers.emplace_back(name, line.substr(value_start));
+        pos = eol + 2;
+    }
+    return headers;
+}
+
+void RequestParser::feed(ConstBytes data)
+{
+    append(buffer_, data);
+}
+
+Result<std::optional<Request>> RequestParser::next()
+{
+    auto head_end = find_head_end(buffer_);
+    if (!head_end) return head_end.error();
+    if (!head_end.value().has_value()) return std::optional<Request>{};
+    size_t head_size = *head_end.value();
+    std::string head = bytes_to_str(ConstBytes{buffer_}.subspan(0, head_size));
+
+    size_t line_end = head.find("\r\n");
+    std::string first_line = head.substr(0, line_end);
+    size_t sp1 = first_line.find(' ');
+    size_t sp2 = first_line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 == sp1) return err("http: malformed request line");
+
+    auto headers = parse_header_lines(head, line_end + 2);
+    if (!headers) return headers.error();
+    size_t body_len = content_length(headers.value());
+    if (buffer_.size() < head_size + body_len) return std::optional<Request>{};
+
+    Request req;
+    req.method = first_line.substr(0, sp1);
+    req.path = first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    req.headers = headers.take();
+    req.body.assign(buffer_.begin() + head_size, buffer_.begin() + head_size + body_len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + head_size + body_len);
+    return std::optional<Request>{std::move(req)};
+}
+
+void ResponseParser::feed(ConstBytes data)
+{
+    append(buffer_, data);
+}
+
+Result<std::optional<Response>> ResponseParser::next()
+{
+    auto head_end = find_head_end(buffer_);
+    if (!head_end) return head_end.error();
+    if (!head_end.value().has_value()) return std::optional<Response>{};
+    size_t head_size = *head_end.value();
+    std::string head = bytes_to_str(ConstBytes{buffer_}.subspan(0, head_size));
+
+    size_t line_end = head.find("\r\n");
+    std::string first_line = head.substr(0, line_end);
+    size_t sp1 = first_line.find(' ');
+    if (sp1 == std::string::npos) return err("http: malformed status line");
+    size_t sp2 = first_line.find(' ', sp1 + 1);
+    int status = 0;
+    std::from_chars(first_line.data() + sp1 + 1,
+                    first_line.data() + (sp2 == std::string::npos ? first_line.size() : sp2),
+                    status);
+    if (status < 100 || status > 599) return err("http: bad status code");
+
+    auto headers = parse_header_lines(head, line_end + 2);
+    if (!headers) return headers.error();
+    size_t body_len = content_length(headers.value());
+    if (buffer_.size() < head_size + body_len) return std::optional<Response>{};
+
+    Response resp;
+    resp.status = status;
+    resp.reason = sp2 == std::string::npos ? "" : first_line.substr(sp2 + 1);
+    resp.headers = headers.take();
+    resp.body.assign(buffer_.begin() + head_size, buffer_.begin() + head_size + body_len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + head_size + body_len);
+    return std::optional<Response>{std::move(resp)};
+}
+
+}  // namespace mct::http

@@ -1,0 +1,67 @@
+// Minimal HTTP/1.1 message model: enough for the paper's workloads
+// (GET + Content-Length bodies, persistent connections).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::http {
+
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+struct Request {
+    std::string method = "GET";
+    std::string path = "/";
+    HeaderList headers;
+    Bytes body;
+
+    // First line + headers (+ Content-Length when a body is present),
+    // terminated by the blank line.
+    Bytes serialize_head() const;
+    Bytes serialize() const;
+
+    const std::string* header(const std::string& name) const;
+};
+
+struct Response {
+    int status = 200;
+    std::string reason = "OK";
+    HeaderList headers;
+    Bytes body;
+
+    Bytes serialize_head() const;
+    Bytes serialize() const;
+
+    const std::string* header(const std::string& name) const;
+};
+
+// Incremental stream parsers: feed bytes, pop complete messages.
+// Content length comes from the Content-Length header (0 if absent).
+class RequestParser {
+public:
+    void feed(ConstBytes data);
+    Result<std::optional<Request>> next();
+
+private:
+    Bytes buffer_;
+};
+
+class ResponseParser {
+public:
+    void feed(ConstBytes data);
+    Result<std::optional<Response>> next();
+
+private:
+    Bytes buffer_;
+};
+
+// Shared helpers (exposed for tests).
+Result<std::optional<size_t>> find_head_end(ConstBytes buffer);
+Result<HeaderList> parse_header_lines(const std::string& head, size_t first_line_end);
+
+}  // namespace mct::http

@@ -1,0 +1,134 @@
+#include "http/strategy.h"
+
+#include <string>
+
+namespace mct::http {
+
+const char* to_string(ContextStrategy s)
+{
+    switch (s) {
+    case ContextStrategy::one_context:
+        return "1-Context";
+    case ContextStrategy::four_contexts:
+        return "4-Context";
+    case ContextStrategy::context_per_header:
+        return "CtxPerHeader";
+    }
+    return "?";
+}
+
+size_t strategy_context_count(ContextStrategy strategy)
+{
+    switch (strategy) {
+    case ContextStrategy::one_context:
+        return 1;
+    case ContextStrategy::four_contexts:
+        return 4;
+    case ContextStrategy::context_per_header:
+        return kMaxHeaderContexts + 2;
+    }
+    return 1;
+}
+
+std::vector<mctls::ContextDescription> strategy_contexts(ContextStrategy strategy,
+                                                         size_t n_middleboxes,
+                                                         mctls::Permission perm)
+{
+    static const char* kFourNames[] = {"request-headers", "request-body",
+                                       "response-headers", "response-body"};
+    std::vector<mctls::ContextDescription> contexts;
+    size_t count = strategy_context_count(strategy);
+    for (size_t i = 0; i < count; ++i) {
+        mctls::ContextDescription ctx;
+        ctx.id = static_cast<uint8_t>(i + 1);
+        switch (strategy) {
+        case ContextStrategy::one_context:
+            ctx.purpose = "all-data";
+            break;
+        case ContextStrategy::four_contexts:
+            ctx.purpose = kFourNames[i];
+            break;
+        case ContextStrategy::context_per_header:
+            if (i < kMaxHeaderContexts)
+                ctx.purpose = "header-" + std::to_string(i);
+            else
+                ctx.purpose = i == kMaxHeaderContexts ? "request-body" : "response-body";
+            break;
+        }
+        ctx.permissions.assign(n_middleboxes, perm);
+        contexts.push_back(std::move(ctx));
+    }
+    return contexts;
+}
+
+namespace {
+
+// Split a serialized head into per-line parts for context_per_header: line i
+// goes to context min(i, kMaxHeaderContexts - 1) + 1. Consecutive lines that
+// map to the same context merge into one part.
+std::vector<MessagePart> per_line_parts(const Bytes& head)
+{
+    std::vector<MessagePart> parts;
+    size_t line_start = 0;
+    size_t line_index = 0;
+    std::string text = bytes_to_str(head);
+    while (line_start < text.size()) {
+        size_t eol = text.find("\r\n", line_start);
+        size_t line_end = eol == std::string::npos ? text.size() : eol + 2;
+        uint8_t ctx = static_cast<uint8_t>(
+            std::min(line_index, kMaxHeaderContexts - 1) + 1);
+        Bytes data = str_to_bytes(text.substr(line_start, line_end - line_start));
+        if (!parts.empty() && parts.back().context_id == ctx) {
+            append(parts.back().data, data);
+        } else {
+            parts.push_back({ctx, std::move(data)});
+        }
+        line_start = line_end;
+        ++line_index;
+    }
+    return parts;
+}
+
+}  // namespace
+
+std::vector<MessagePart> partition_request(ContextStrategy strategy, const Request& req)
+{
+    Bytes head = req.serialize_head();
+    switch (strategy) {
+    case ContextStrategy::one_context:
+        return {{1, req.serialize()}};
+    case ContextStrategy::four_contexts: {
+        std::vector<MessagePart> parts{{kCtxRequestHeaders, head}};
+        if (!req.body.empty()) parts.push_back({kCtxRequestBody, req.body});
+        return parts;
+    }
+    case ContextStrategy::context_per_header: {
+        auto parts = per_line_parts(head);
+        if (!req.body.empty()) parts.push_back({kCtxPerHeaderRequestBody, req.body});
+        return parts;
+    }
+    }
+    return {};
+}
+
+std::vector<MessagePart> partition_response(ContextStrategy strategy, const Response& resp)
+{
+    Bytes head = resp.serialize_head();
+    switch (strategy) {
+    case ContextStrategy::one_context:
+        return {{1, resp.serialize()}};
+    case ContextStrategy::four_contexts: {
+        std::vector<MessagePart> parts{{kCtxResponseHeaders, head}};
+        if (!resp.body.empty()) parts.push_back({kCtxResponseBody, resp.body});
+        return parts;
+    }
+    case ContextStrategy::context_per_header: {
+        auto parts = per_line_parts(head);
+        if (!resp.body.empty()) parts.push_back({kCtxPerHeaderResponseBody, resp.body});
+        return parts;
+    }
+    }
+    return {};
+}
+
+}  // namespace mct::http

@@ -1,0 +1,62 @@
+// Context strategies for HTTP over mcTLS (§4.1 and Figure 4).
+//
+//   one_context:        all data in a single context
+//   four_contexts:      request headers / request body / response headers /
+//                       response body (the paper's expected default)
+//   context_per_header: one context per HTTP header position, plus one for
+//                       each body (the extreme case of Figure 4)
+//
+// A strategy yields (a) the context table to negotiate and (b) an ordered
+// partition of each message into (context, bytes) parts. Concatenating the
+// parts in order reproduces the exact HTTP byte stream, so receivers parse
+// the ordered record stream directly — mcTLS's global sequence numbers
+// guarantee cross-context ordering (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "http/message.h"
+#include "mctls/types.h"
+
+namespace mct::http {
+
+enum class ContextStrategy {
+    one_context,
+    four_contexts,
+    context_per_header,
+};
+
+const char* to_string(ContextStrategy s);
+
+struct MessagePart {
+    uint8_t context_id;
+    Bytes data;
+};
+
+// The context table for a strategy, granting every middlebox `perm` in every
+// context (the paper's worst case for mcTLS performance: full read/write).
+std::vector<mctls::ContextDescription> strategy_contexts(ContextStrategy strategy,
+                                                         size_t n_middleboxes,
+                                                         mctls::Permission perm);
+
+// Number of contexts a strategy negotiates.
+size_t strategy_context_count(ContextStrategy strategy);
+
+// Partition a request/response into ordered parts.
+std::vector<MessagePart> partition_request(ContextStrategy strategy, const Request& req);
+std::vector<MessagePart> partition_response(ContextStrategy strategy, const Response& resp);
+
+// Context ids used by the four-context strategy (1-based).
+constexpr uint8_t kCtxRequestHeaders = 1;
+constexpr uint8_t kCtxRequestBody = 2;
+constexpr uint8_t kCtxResponseHeaders = 3;
+constexpr uint8_t kCtxResponseBody = 4;
+
+// context_per_header uses ids [1, kMaxHeaderContexts] for header lines and
+// two more for the bodies.
+constexpr size_t kMaxHeaderContexts = 12;
+constexpr uint8_t kCtxPerHeaderRequestBody = kMaxHeaderContexts + 1;
+constexpr uint8_t kCtxPerHeaderResponseBody = kMaxHeaderContexts + 2;
+
+}  // namespace mct::http

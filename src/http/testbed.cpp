@@ -1,0 +1,598 @@
+#include "http/testbed.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace mct::http {
+
+const char* to_string(Mode mode)
+{
+    switch (mode) {
+    case Mode::mctls:
+        return "mcTLS";
+    case Mode::split_tls:
+        return "SplitTLS";
+    case Mode::e2e_tls:
+        return "E2E-TLS";
+    case Mode::no_encrypt:
+        return "NoEncrypt";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr uint16_t kPort = 443;
+
+std::string mbox_host(size_t i)
+{
+    return "mbox" + std::to_string(i);
+}
+
+Request make_request(const std::string& path)
+{
+    Request req;
+    req.method = "GET";
+    req.path = path;
+    req.headers = {
+        {"Host", "server.example.com"},
+        {"User-Agent", "mct-bench/1.0"},
+        {"Accept", "*/*"},
+        {"Accept-Encoding", "identity"},
+        {"Cookie", "session=0123456789abcdef"},
+    };
+    return req;
+}
+
+Response make_object_response(size_t size)
+{
+    Response resp;
+    resp.status = 200;
+    resp.reason = "OK";
+    resp.headers = {
+        {"Content-Type", "application/octet-stream"},
+        {"Cache-Control", "max-age=3600"},
+        {"Server", "mct-sim/1.0"},
+    };
+    resp.body.assign(size, 'x');
+    return resp;
+}
+
+size_t parse_object_size(const std::string& path)
+{
+    // Paths look like /obj/<bytes>.
+    size_t slash = path.rfind('/');
+    if (slash == std::string::npos) return 0;
+    return static_cast<size_t>(std::strtoull(path.c_str() + slash + 1, nullptr, 10));
+}
+
+}  // namespace
+
+struct Testbed::Impl {
+    TestbedConfig cfg;
+    net::EventLoop* loop;
+    net::SimNet net;
+    crypto::HmacDrbg rng;
+
+    pki::Authority ca;
+    pki::TrustStore store;
+    pki::Identity server_id;
+    std::vector<pki::Identity> mbox_ids;
+    std::vector<pki::Identity> impersonation_ids;  // SplitTLS per middlebox
+    std::vector<mctls::MiddleboxInfo> mbox_infos;
+    std::vector<mctls::ContextDescription> contexts;
+
+    // Optional hook to customize middlebox behaviour (used by examples).
+    std::function<void(size_t, mctls::MiddleboxConfig&)> customize_middlebox;
+
+    // Keep per-connection state alive.
+    std::vector<std::shared_ptr<void>> anchors;
+    std::vector<net::ConnectionPtr> tracked_conns;
+    std::vector<SecureChannel*> all_channels;  // owned via anchors
+
+    Impl(TestbedConfig config, net::EventLoop* outer_loop)
+        : cfg(std::move(config)),
+          loop(outer_loop),
+          net(*outer_loop),
+          rng(str_to_bytes("testbed-seed-" + std::to_string(cfg.seed))),
+          ca("Sim Root CA", rng),
+          server_id(ca.issue("server.example.com", rng))
+    {
+        store.add_root(ca.root_certificate());
+        for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+            std::string name = mbox_host(i) + ".isp.net";
+            mbox_ids.push_back(ca.issue(name, rng));
+            // SplitTLS middleboxes impersonate the server (custom-root model).
+            impersonation_ids.push_back(ca.issue("server.example.com", rng));
+            mbox_infos.push_back({name, mbox_host(i)});
+        }
+        if (cfg.contexts_override > 0) {
+            for (size_t i = 0; i < cfg.contexts_override; ++i) {
+                mctls::ContextDescription ctx;
+                ctx.id = static_cast<uint8_t>(i + 1);
+                ctx.purpose = "ctx" + std::to_string(i + 1);
+                ctx.permissions.assign(cfg.n_middleboxes, cfg.mbox_permission);
+                contexts.push_back(std::move(ctx));
+            }
+            cfg.strategy = ContextStrategy::one_context;
+        } else {
+            contexts =
+                strategy_contexts(cfg.strategy, cfg.n_middleboxes, cfg.mbox_permission);
+        }
+        if (!cfg.permission_rows.empty()) {
+            for (size_t c = 0; c < contexts.size(); ++c) {
+                for (size_t m = 0; m < cfg.n_middleboxes; ++m) {
+                    if (m < cfg.permission_rows.size() &&
+                        c < cfg.permission_rows[m].size())
+                        contexts[c].permissions[m] = cfg.permission_rows[m][c];
+                }
+            }
+        }
+        build_topology();
+        start_server();
+        for (size_t i = 0; i < cfg.n_middleboxes; ++i) start_relay(i);
+    }
+
+    net::LinkConfig hop_link(size_t hop) const
+    {
+        if (hop < cfg.per_hop_links.size()) return cfg.per_hop_links[hop];
+        return cfg.link;
+    }
+
+    void build_topology()
+    {
+        net.add_host("client");
+        net.add_host("server");
+        for (size_t i = 0; i < cfg.n_middleboxes; ++i) net.add_host(mbox_host(i));
+        if (cfg.n_middleboxes == 0) {
+            net.add_link("client", "server", hop_link(0));
+            return;
+        }
+        net.add_link("client", mbox_host(0), hop_link(0));
+        for (size_t i = 0; i + 1 < cfg.n_middleboxes; ++i)
+            net.add_link(mbox_host(i), mbox_host(i + 1), hop_link(i + 1));
+        net.add_link(mbox_host(cfg.n_middleboxes - 1), "server",
+                     hop_link(cfg.n_middleboxes));
+    }
+
+    std::string first_hop() const
+    {
+        return cfg.n_middleboxes == 0 ? "server" : mbox_host(0);
+    }
+
+    std::unique_ptr<SecureChannel> make_client_channel()
+    {
+        switch (cfg.mode) {
+        case Mode::no_encrypt:
+            return std::make_unique<PlainChannel>();
+        case Mode::split_tls:
+        case Mode::e2e_tls: {
+            tls::SessionConfig tcfg;
+            tcfg.role = tls::Role::client;
+            tcfg.server_name = "server.example.com";
+            tcfg.trust = &store;
+            tcfg.rng = &rng;
+            return std::make_unique<TlsChannel>(std::move(tcfg));
+        }
+        case Mode::mctls: {
+            mctls::SessionConfig mcfg;
+            mcfg.role = tls::Role::client;
+            mcfg.server_name = "server.example.com";
+            mcfg.middleboxes = mbox_infos;
+            mcfg.contexts = contexts;
+            mcfg.trust = &store;
+            mcfg.rng = &rng;
+            return std::make_unique<McTlsChannel>(std::move(mcfg));
+        }
+        }
+        return nullptr;
+    }
+
+    std::unique_ptr<SecureChannel> make_server_channel()
+    {
+        switch (cfg.mode) {
+        case Mode::no_encrypt:
+            return std::make_unique<PlainChannel>();
+        case Mode::split_tls:
+        case Mode::e2e_tls: {
+            tls::SessionConfig tcfg;
+            tcfg.role = tls::Role::server;
+            tcfg.chain = {server_id.certificate};
+            tcfg.private_key = server_id.private_key;
+            tcfg.rng = &rng;
+            return std::make_unique<TlsChannel>(std::move(tcfg));
+        }
+        case Mode::mctls: {
+            mctls::SessionConfig mcfg;
+            mcfg.role = tls::Role::server;
+            mcfg.chain = {server_id.certificate};
+            mcfg.private_key = server_id.private_key;
+            mcfg.trust = &store;
+            mcfg.client_key_distribution = cfg.client_key_distribution;
+            mcfg.rng = &rng;
+            return std::make_unique<McTlsChannel>(std::move(mcfg));
+        }
+        }
+        return nullptr;
+    }
+
+    // ---- Server ----
+
+    struct ServerConn {
+        std::unique_ptr<SecureChannel> channel;
+        RequestParser parser;
+        net::ConnectionPtr conn;
+        Impl* impl;
+
+        void flush()
+        {
+            for (auto& unit : channel->take_outgoing()) conn->send(unit);
+        }
+
+        void on_data(ConstBytes data)
+        {
+            if (!channel->on_bytes(data)) {
+                flush();  // alert
+                return;
+            }
+            flush();
+            parser.feed(channel->take_received());
+            while (true) {
+                auto req = parser.next();
+                if (!req.ok() || !req.value().has_value()) break;
+                Response resp = make_object_response(parse_object_size(req.value()->path));
+                for (auto& part : partition_response(impl->cfg.strategy, resp)) {
+                    (void)channel->send_part(part.context_id, part.data);
+                    flush();  // one transport send per part/record
+                }
+            }
+        }
+    };
+
+    void start_server()
+    {
+        net.listen("server", kPort, [this](net::ConnectionPtr conn) {
+            auto state = std::make_shared<ServerConn>();
+            state->impl = this;
+            state->conn = conn;
+            state->channel = make_server_channel();
+            all_channels.push_back(state->channel.get());
+            conn->set_nagle(cfg.nagle);
+            conn->set_on_data([state](ConstBytes data) { state->on_data(data); });
+            anchors.push_back(state);
+            tracked_conns.push_back(conn);
+        });
+    }
+
+    // ---- Relays ----
+
+    struct BlindRelay {
+        net::ConnectionPtr down, up;
+        bool up_ready = false;
+        Bytes up_backlog;
+
+        void down_data(ConstBytes data)
+        {
+            if (up_ready)
+                up->send(data);
+            else
+                append(up_backlog, data);
+        }
+        void up_connected()
+        {
+            up_ready = true;
+            if (!up_backlog.empty()) {
+                up->send(up_backlog);
+                up_backlog.clear();
+            }
+        }
+    };
+
+    struct SplitRelay {
+        std::unique_ptr<TlsChannel> down_tls;  // server role, impersonation cert
+        std::unique_ptr<TlsChannel> up_tls;    // client role toward next hop
+        net::ConnectionPtr down, up;
+        bool up_ready = false;
+
+        void pump()
+        {
+            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
+            if (up_ready) {
+                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+            }
+            // Decrypted relay in both directions.
+            Bytes from_client = down_tls->take_received();
+            if (!from_client.empty() && up_tls->ready())
+                (void)up_tls->send_part(0, from_client);
+            else if (!from_client.empty())
+                append(backlog_up, from_client);
+            Bytes from_server = up_tls->take_received();
+            if (!from_server.empty() && down_tls->ready())
+                (void)down_tls->send_part(0, from_server);
+            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
+            if (up_ready) {
+                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+            }
+            if (up_tls->ready() && !backlog_up.empty()) {
+                (void)up_tls->send_part(0, backlog_up);
+                backlog_up.clear();
+                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+            }
+        }
+
+        Bytes backlog_up;
+    };
+
+    struct McTlsRelay {
+        std::unique_ptr<mctls::MiddleboxSession> session;
+        net::ConnectionPtr down, up;
+        bool up_ready = false;
+        std::vector<Bytes> up_backlog;
+
+        void pump()
+        {
+            for (auto& unit : session->take_to_client()) down->send(unit);
+            for (auto& unit : session->take_to_server()) {
+                if (up_ready)
+                    up->send(unit);
+                else
+                    up_backlog.push_back(unit);
+            }
+        }
+        void up_connected()
+        {
+            up_ready = true;
+            for (auto& unit : up_backlog) up->send(unit);
+            up_backlog.clear();
+        }
+    };
+
+    void start_relay(size_t index)
+    {
+        std::string host = mbox_host(index);
+        std::string next = index + 1 < cfg.n_middleboxes ? mbox_host(index + 1) : "server";
+        net.listen(host, kPort, [this, host, next, index](net::ConnectionPtr down) {
+            down->set_nagle(cfg.nagle);
+
+            // Proxies open the upstream leg when the first downstream bytes
+            // arrive (they need the request / ClientHello first), matching
+            // the paper's 2-RTT NoEncrypt / 4-RTT TLS-family baselines.
+            auto connect_upstream = [this, host, next](auto on_connect, auto on_data) {
+                auto up = net.connect(host, next, kPort);
+                up->set_nagle(cfg.nagle);
+                tracked_conns.push_back(up);
+                up->set_on_connect(on_connect);
+                up->set_on_data(on_data);
+                return up;
+            };
+
+            switch (cfg.mode) {
+            case Mode::no_encrypt:
+            case Mode::e2e_tls: {
+                auto relay = std::make_shared<BlindRelay>();
+                relay->down = down;
+                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                    if (!relay->up) {
+                        relay->up = connect_upstream(
+                            [relay] { relay->up_connected(); },
+                            [relay](ConstBytes b) { relay->down->send(b); });
+                    }
+                    relay->down_data(d);
+                });
+                anchors.push_back(relay);
+                break;
+            }
+            case Mode::split_tls: {
+                auto relay = std::make_shared<SplitRelay>();
+                relay->down = down;
+                tls::SessionConfig down_cfg;
+                down_cfg.role = tls::Role::server;
+                down_cfg.chain = {impersonation_ids[index].certificate};
+                down_cfg.private_key = impersonation_ids[index].private_key;
+                down_cfg.rng = &rng;
+                relay->down_tls = std::make_unique<TlsChannel>(std::move(down_cfg));
+                tls::SessionConfig up_cfg;
+                up_cfg.role = tls::Role::client;
+                up_cfg.server_name = "server.example.com";
+                up_cfg.trust = &store;
+                up_cfg.rng = &rng;
+                relay->up_tls = std::make_unique<TlsChannel>(std::move(up_cfg));
+                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                    if (!relay->up) {
+                        relay->up = connect_upstream(
+                            [relay] {
+                                relay->up_ready = true;
+                                relay->up_tls->start();
+                                relay->pump();
+                            },
+                            [relay](ConstBytes b) {
+                                (void)relay->up_tls->on_bytes(b);
+                                relay->pump();
+                            });
+                    }
+                    (void)relay->down_tls->on_bytes(d);
+                    relay->pump();
+                });
+                anchors.push_back(relay);
+                break;
+            }
+            case Mode::mctls: {
+                auto relay = std::make_shared<McTlsRelay>();
+                relay->down = down;
+                mctls::MiddleboxConfig mcfg;
+                mcfg.name = mbox_ids[index].certificate.subject;
+                mcfg.chain = {mbox_ids[index].certificate};
+                mcfg.private_key = mbox_ids[index].private_key;
+                mcfg.trust = &store;
+                mcfg.rng = &rng;
+                if (customize_middlebox) customize_middlebox(index, mcfg);
+                relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
+                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                    if (!relay->up) {
+                        relay->up = connect_upstream(
+                            [relay] { relay->up_connected(); },
+                            [relay](ConstBytes b) {
+                                (void)relay->session->feed_from_server(b);
+                                relay->pump();
+                            });
+                    }
+                    (void)relay->session->feed_from_client(d);
+                    relay->pump();
+                });
+                anchors.push_back(relay);
+                break;
+            }
+            }
+        });
+    }
+
+    // ---- Client ----
+
+    struct ClientConn {
+        Impl* impl;
+        net::ConnectionPtr conn;
+        std::unique_ptr<SecureChannel> channel;
+        ResponseParser parser;
+        std::deque<size_t> pending;
+        FetchPtr result;
+        std::function<void()> on_done;
+        bool request_outstanding = false;
+
+        void flush()
+        {
+            for (auto& unit : channel->take_outgoing()) conn->send(unit);
+        }
+
+        void maybe_send_request()
+        {
+            if (request_outstanding || pending.empty() || !channel->ready()) return;
+            if (result->handshake_done == 0) {
+                result->handshake_done = impl->loop->now();
+                result->handshake_wire_bytes = channel->handshake_wire_bytes();
+            }
+            Request req = make_request("/obj/" + std::to_string(pending.front()));
+            for (auto& part : partition_request(impl->cfg.strategy, req)) {
+                (void)channel->send_part(part.context_id, part.data);
+                flush();
+            }
+            request_outstanding = true;
+        }
+
+        void on_data(ConstBytes data)
+        {
+            if (!channel->on_bytes(data)) {
+                result->failed = true;
+                flush();
+                finish();
+                return;
+            }
+            flush();
+            maybe_send_request();
+            Bytes received = channel->take_received();
+            if (!received.empty()) {
+                if (result->first_byte == 0) result->first_byte = impl->loop->now();
+                result->app_bytes_received += received.size();
+                parser.feed(received);
+            }
+            while (true) {
+                auto resp = parser.next();
+                if (!resp.ok()) {
+                    result->failed = true;
+                    finish();
+                    return;
+                }
+                if (!resp.value().has_value()) break;
+                result->object_done.push_back(impl->loop->now());
+                pending.pop_front();
+                request_outstanding = false;
+                if (pending.empty()) {
+                    finish();
+                    return;
+                }
+                maybe_send_request();
+            }
+        }
+
+        void finish()
+        {
+            if (result->completed) return;
+            result->completed = true;
+            result->done = impl->loop->now();
+            result->app_overhead_bytes = channel->app_overhead_bytes();
+            result->wire_bytes_client_link = conn->wire_bytes_sent();
+            if (on_done) on_done();
+        }
+    };
+
+    FetchPtr fetch_sequence(std::vector<size_t> sizes, std::function<void()> on_done)
+    {
+        auto state = std::make_shared<ClientConn>();
+        state->impl = this;
+        state->result = std::make_shared<Fetch>();
+        state->result->start = loop->now();
+        state->on_done = std::move(on_done);
+        state->pending.assign(sizes.begin(), sizes.end());
+        state->channel = make_client_channel();
+        all_channels.push_back(state->channel.get());
+        state->conn = net.connect("client", first_hop(), kPort);
+        state->conn->set_nagle(cfg.nagle);
+        state->conn->set_on_connect([state] {
+            state->channel->start();
+            state->flush();
+            state->maybe_send_request();  // NoEncrypt is ready immediately
+        });
+        state->conn->set_on_data([state](ConstBytes d) { state->on_data(d); });
+        anchors.push_back(state);
+        tracked_conns.push_back(state->conn);
+        return state->result;
+    }
+
+    Testbed::OverheadTotals overhead_totals() const
+    {
+        Testbed::OverheadTotals totals;
+        for (const SecureChannel* channel : all_channels) {
+            totals.overhead_bytes += channel->app_overhead_bytes();
+            totals.records += channel->app_records_sent();
+        }
+        return totals;
+    }
+
+    uint64_t total_app_bytes() const
+    {
+        uint64_t total = 0;
+        for (const auto& conn : tracked_conns)
+            total += conn->app_bytes_sent();
+        return total;
+    }
+};
+
+Testbed::Testbed(TestbedConfig cfg)
+{
+    impl_ = std::make_unique<Impl>(std::move(cfg), &loop_);
+    total_conn_bytes_ = [this] { return impl_->total_app_bytes(); };
+}
+
+Testbed::~Testbed() = default;
+
+Testbed::FetchPtr Testbed::fetch_sequence(std::vector<size_t> sizes,
+                                          std::function<void()> on_done)
+{
+    return impl_->fetch_sequence(std::move(sizes), std::move(on_done));
+}
+
+}  // namespace mct::http
+
+namespace mct::http {
+
+void Testbed::set_middlebox_customizer(
+    std::function<void(size_t, mctls::MiddleboxConfig&)> customize)
+{
+    impl_->customize_middlebox = std::move(customize);
+}
+
+Testbed::OverheadTotals Testbed::record_overhead_totals() const
+{
+    return impl_->overhead_totals();
+}
+
+}  // namespace mct::http

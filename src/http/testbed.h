@@ -1,0 +1,112 @@
+// Simulated HTTP-over-{mcTLS, SplitTLS, E2E-TLS, NoEncrypt} testbed.
+//
+// Reproduces the paper's experimental setup (§5 "Experimental Setup"):
+// a client, N middleboxes, and a server in a chain, one TCP connection per
+// hop, configurable per-link latency/bandwidth, Nagle on or off, and the
+// four protocol modes. Figure benches drive this class.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "http/channel.h"
+#include "http/message.h"
+#include "http/strategy.h"
+#include "mctls/middlebox.h"
+#include "net/event_loop.h"
+#include "net/sim_net.h"
+#include "pki/authority.h"
+
+namespace mct::http {
+
+enum class Mode {
+    mctls,
+    split_tls,
+    e2e_tls,
+    no_encrypt,
+};
+
+const char* to_string(Mode mode);
+
+using net::operator""_ms;
+using net::operator""_s;
+
+struct TestbedConfig {
+    Mode mode = Mode::mctls;
+    size_t n_middleboxes = 1;
+    ContextStrategy strategy = ContextStrategy::four_contexts;
+    // Worst case for mcTLS (paper §5): middleboxes get full read/write.
+    mctls::Permission mbox_permission = mctls::Permission::write;
+    // Optional least-privilege override: permission_rows[m][c] = permission
+    // of middlebox m for strategy context c (size n_middleboxes x context
+    // count). Empty = uniform mbox_permission.
+    std::vector<std::vector<mctls::Permission>> permission_rows;
+    // When nonzero, negotiate exactly this many generic contexts instead of
+    // the strategy's table and send all data in context 1 (Figure 3's
+    // contexts sweep varies handshake cost, not data placement).
+    size_t contexts_override = 0;
+    bool nagle = true;
+    bool client_key_distribution = false;
+    net::LinkConfig link{20_ms, 0};  // per hop
+    // Optional per-hop override (size n_middleboxes + 1, client side first).
+    std::vector<net::LinkConfig> per_hop_links;
+    uint64_t seed = 1;
+};
+
+class Testbed {
+public:
+    explicit Testbed(TestbedConfig cfg);
+    ~Testbed();
+
+    net::EventLoop& loop() { return loop_; }
+    void run() { loop_.run(); }
+
+    struct Fetch {
+        net::SimTime start = 0;
+        net::SimTime handshake_done = 0;
+        net::SimTime first_byte = 0;
+        net::SimTime done = 0;
+        std::vector<net::SimTime> object_done;  // completion per object
+        bool completed = false;
+        bool failed = false;
+        uint64_t handshake_wire_bytes = 0;  // client channel view
+        uint64_t app_overhead_bytes = 0;    // client channel record overhead
+        uint64_t app_bytes_received = 0;
+        uint64_t wire_bytes_client_link = 0;  // all TCP payload+headers at client
+    };
+    using FetchPtr = std::shared_ptr<Fetch>;
+
+    // Open a connection and GET objects of the given sizes sequentially.
+    FetchPtr fetch_sequence(std::vector<size_t> sizes, std::function<void()> on_done = {});
+    FetchPtr fetch(size_t size, std::function<void()> on_done = {})
+    {
+        return fetch_sequence({size}, std::move(on_done));
+    }
+
+    // Total TCP payload bytes so far on every link (handshake-size probes).
+    uint64_t total_app_bytes_all_connections() const { return total_conn_bytes_(); }
+
+    // Aggregate record-protection overhead and payload across every channel
+    // in the testbed (both directions) — §5.2's data-volume accounting.
+    struct OverheadTotals {
+        uint64_t overhead_bytes = 0;
+        uint64_t records = 0;
+    };
+    OverheadTotals record_overhead_totals() const;
+
+    // Customize mcTLS middlebox behaviour (observe/transform callbacks) per
+    // relay index before its session is created. Call before any fetch.
+    void set_middlebox_customizer(
+        std::function<void(size_t, mctls::MiddleboxConfig&)> customize);
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    net::EventLoop loop_;
+    std::function<uint64_t()> total_conn_bytes_;
+};
+
+}  // namespace mct::http

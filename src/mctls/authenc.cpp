@@ -1,0 +1,33 @@
+#include "mctls/authenc.h"
+
+#include "crypto/aes.h"
+#include "crypto/ct.h"
+#include "crypto/hmac.h"
+
+namespace mct::mctls {
+
+Bytes authenc_seal(const AuthEncKey& key, ConstBytes associated_data, ConstBytes plaintext,
+                   Rng& rng)
+{
+    Bytes ciphertext = crypto::aes128_cbc_encrypt(key.enc_key, plaintext, rng);
+    crypto::HmacSha256 mac(key.mac_key);
+    mac.update(associated_data);
+    mac.update(ciphertext);
+    return concat(ciphertext, mac.finish());
+}
+
+Result<Bytes> authenc_open(const AuthEncKey& key, ConstBytes associated_data,
+                           ConstBytes sealed)
+{
+    constexpr size_t kTag = crypto::HmacSha256::kTagSize;
+    if (sealed.size() < kTag) return err("authenc: too short");
+    ConstBytes ciphertext = sealed.subspan(0, sealed.size() - kTag);
+    ConstBytes tag = sealed.subspan(sealed.size() - kTag);
+    crypto::HmacSha256 mac(key.mac_key);
+    mac.update(associated_data);
+    mac.update(ciphertext);
+    if (!crypto::ct_equal(mac.finish(), tag)) return err("authenc: bad tag");
+    return crypto::aes128_cbc_decrypt(key.enc_key, ciphertext);
+}
+
+}  // namespace mct::mctls

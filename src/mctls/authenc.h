@@ -1,0 +1,25 @@
+// Authenticated encryption for handshake key material (AuthEnc in Fig. 1).
+//
+// Encrypt-then-MAC: AES-128-CBC then HMAC-SHA256 over associated data and
+// ciphertext. Used for every MiddleboxKeyMaterial message, keyed with
+// K_C-M / K_S-M (to middleboxes) or K_endpoints (between endpoints).
+#pragma once
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mct::mctls {
+
+struct AuthEncKey {
+    Bytes enc_key;  // 16 bytes
+    Bytes mac_key;  // 32 bytes
+};
+
+Bytes authenc_seal(const AuthEncKey& key, ConstBytes associated_data, ConstBytes plaintext,
+                   Rng& rng);
+
+Result<Bytes> authenc_open(const AuthEncKey& key, ConstBytes associated_data,
+                           ConstBytes sealed);
+
+}  // namespace mct::mctls

@@ -1,0 +1,180 @@
+#include "mctls/context_crypto.h"
+
+#include "crypto/aes.h"
+#include "crypto/ct.h"
+#include "crypto/ed25519.h"
+#include "crypto/hmac.h"
+#include "tls/record.h"
+#include "util/serde.h"
+
+namespace mct::mctls {
+
+namespace {
+
+size_t dir_index(Direction dir)
+{
+    return static_cast<size_t>(dir);
+}
+
+Bytes compute_mac(ConstBytes key, uint64_t seq, uint8_t context_id, ConstBytes payload)
+{
+    crypto::HmacSha256 mac(key);
+    mac.update(record_mac_input(seq, context_id, payload));
+    return mac.finish();
+}
+
+struct DecryptedRecord {
+    Bytes payload;
+    Bytes endpoint_mac;
+    Bytes writer_mac;
+    Bytes reader_mac;
+};
+
+Result<DecryptedRecord> decrypt_and_split(const ContextKeys& ctx, Direction dir,
+                                          ConstBytes fragment)
+{
+    if (!ctx.can_read()) return err("mctls: no read access to context");
+    auto plain = crypto::aes128_cbc_decrypt(ctx.reader_enc[dir_index(dir)], fragment);
+    if (!plain) return plain.error();
+    Bytes& data = plain.value();
+    if (data.size() < 3 * kMacSize) return err("mctls: record too short");
+    size_t payload_len = data.size() - 3 * kMacSize;
+    DecryptedRecord rec;
+    rec.payload.assign(data.begin(), data.begin() + payload_len);
+    rec.endpoint_mac.assign(data.begin() + payload_len, data.begin() + payload_len + kMacSize);
+    rec.writer_mac.assign(data.begin() + payload_len + kMacSize,
+                          data.begin() + payload_len + 2 * kMacSize);
+    rec.reader_mac.assign(data.begin() + payload_len + 2 * kMacSize, data.end());
+    return rec;
+}
+
+}  // namespace
+
+Bytes record_mac_input(uint64_t seq, uint8_t context_id, ConstBytes payload)
+{
+    Writer w;
+    w.u64(seq);
+    w.u8(static_cast<uint8_t>(tls::ContentType::application_data));
+    w.u16(tls::kProtocolVersion);
+    w.u8(context_id);
+    w.u16(static_cast<uint16_t>(payload.size()));
+    w.raw(payload);
+    return w.take();
+}
+
+Bytes seal_record(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
+                  uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng)
+{
+    size_t d = dir_index(dir);
+    Bytes endpoint_mac = compute_mac(endpoint.record_mac[d], seq, context_id, payload);
+    Bytes writer_mac = compute_mac(ctx.writer_mac[d], seq, context_id, payload);
+    Bytes reader_mac = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
+    return crypto::aes128_cbc_encrypt(ctx.reader_enc[d],
+                                      concat(payload, endpoint_mac, writer_mac, reader_mac),
+                                      rng);
+}
+
+Result<EndpointOpen> open_record_endpoint(const ContextKeys& ctx, const EndpointKeys& endpoint,
+                                          Direction dir, uint64_t seq, uint8_t context_id,
+                                          ConstBytes fragment)
+{
+    auto rec = decrypt_and_split(ctx, dir, fragment);
+    if (!rec) return rec.error();
+    size_t d = dir_index(dir);
+    Bytes expected_writer = compute_mac(ctx.writer_mac[d], seq, context_id, rec.value().payload);
+    if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
+        return err("mctls: illegal modification (writer MAC mismatch)");
+    Bytes expected_endpoint =
+        compute_mac(endpoint.record_mac[d], seq, context_id, rec.value().payload);
+    EndpointOpen out;
+    out.payload = std::move(rec.value().payload);
+    out.from_endpoint = crypto::ct_equal(expected_endpoint, rec.value().endpoint_mac);
+    return out;
+}
+
+Result<WriterOpen> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                      uint8_t context_id, ConstBytes fragment)
+{
+    if (!ctx.can_write()) return err("mctls: no write access to context");
+    auto rec = decrypt_and_split(ctx, dir, fragment);
+    if (!rec) return rec.error();
+    size_t d = dir_index(dir);
+    Bytes expected_writer = compute_mac(ctx.writer_mac[d], seq, context_id, rec.value().payload);
+    if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
+        return err("mctls: illegal modification (writer MAC mismatch)");
+    WriterOpen out;
+    out.payload = std::move(rec.value().payload);
+    out.endpoint_mac = std::move(rec.value().endpoint_mac);
+    return out;
+}
+
+Bytes reseal_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                           uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
+                           Rng& rng)
+{
+    size_t d = dir_index(dir);
+    Bytes writer_mac = compute_mac(ctx.writer_mac[d], seq, context_id, payload);
+    Bytes reader_mac = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
+    return crypto::aes128_cbc_encrypt(
+        ctx.reader_enc[d], concat(payload, to_bytes(endpoint_mac), writer_mac, reader_mac),
+        rng);
+}
+
+Result<Bytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                 uint8_t context_id, ConstBytes fragment)
+{
+    auto rec = decrypt_and_split(ctx, dir, fragment);
+    if (!rec) return rec.error();
+    size_t d = dir_index(dir);
+    Bytes expected_reader = compute_mac(ctx.reader_mac[d], seq, context_id, rec.value().payload);
+    if (!crypto::ct_equal(expected_reader, rec.value().reader_mac))
+        return err("mctls: third-party modification (reader MAC mismatch)");
+    return std::move(rec.value().payload);
+}
+
+Bytes seal_record_signed(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
+                         uint64_t seq, uint8_t context_id, ConstBytes payload,
+                         ConstBytes signer_seed, Rng& rng)
+{
+    size_t d = dir_index(dir);
+    Bytes endpoint_mac = compute_mac(endpoint.record_mac[d], seq, context_id, payload);
+    Bytes writer_mac = compute_mac(ctx.writer_mac[d], seq, context_id, payload);
+    Bytes reader_mac = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
+    Bytes signature =
+        crypto::ed25519_sign(signer_seed, record_mac_input(seq, context_id, payload));
+    return crypto::aes128_cbc_encrypt(
+        ctx.reader_enc[d], concat(payload, endpoint_mac, writer_mac, reader_mac, signature),
+        rng);
+}
+
+Result<SignedOpen> open_record_reader_signed(const ContextKeys& ctx, Direction dir,
+                                             uint64_t seq, uint8_t context_id,
+                                             ConstBytes fragment, ConstBytes signer_public)
+{
+    if (!ctx.can_read()) return err("mctls: no read access to context");
+    size_t d = dir_index(dir);
+    auto plain = crypto::aes128_cbc_decrypt(ctx.reader_enc[d], fragment);
+    if (!plain) return plain.error();
+    Bytes& data = plain.value();
+    constexpr size_t kTrailer = 3 * kMacSize + crypto::kEd25519SignatureSize;
+    if (data.size() < kTrailer) return err("mctls: signed record too short");
+    size_t payload_len = data.size() - kTrailer;
+    ConstBytes payload{data.data(), payload_len};
+    ConstBytes endpoint_mac{data.data() + payload_len, kMacSize};
+    ConstBytes reader_mac{data.data() + payload_len + 2 * kMacSize, kMacSize};
+    ConstBytes signature{data.data() + payload_len + 3 * kMacSize,
+                         crypto::kEd25519SignatureSize};
+
+    Bytes expected_reader = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
+    if (!crypto::ct_equal(expected_reader, reader_mac))
+        return err("mctls: third-party modification (reader MAC mismatch)");
+    if (!crypto::ed25519_verify(signer_public, record_mac_input(seq, context_id, payload),
+                                signature))
+        return err("mctls: reader/writer forgery (signature mismatch)");
+    SignedOpen out;
+    out.payload = to_bytes(payload);
+    (void)endpoint_mac;  // attribution is the signature's job in this mode
+    return out;
+}
+
+}  // namespace mct::mctls

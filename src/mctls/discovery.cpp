@@ -1,0 +1,34 @@
+#include "mctls/discovery.h"
+
+#include <set>
+
+namespace mct::mctls {
+
+void DnsDirectory::publish(const std::string& domain, std::vector<MiddleboxInfo> middleboxes)
+{
+    records_[domain] = std::move(middleboxes);
+}
+
+std::vector<MiddleboxInfo> DnsDirectory::lookup(const std::string& domain) const
+{
+    auto it = records_.find(domain);
+    return it == records_.end() ? std::vector<MiddleboxInfo>{} : it->second;
+}
+
+std::vector<MiddleboxInfo> assemble_middlebox_list(const DiscoveryInputs& inputs,
+                                                   const std::string& domain)
+{
+    std::vector<MiddleboxInfo> list;
+    std::set<std::string> seen;
+    auto add = [&](const MiddleboxInfo& info) {
+        if (seen.insert(info.name).second) list.push_back(info);
+    };
+    for (const auto& info : inputs.network.required_middleboxes) add(info);
+    for (const auto& info : inputs.user_configured) add(info);
+    if (inputs.dns) {
+        for (const auto& info : inputs.dns->lookup(domain)) add(info);
+    }
+    return list;
+}
+
+}  // namespace mct::mctls

@@ -1,0 +1,53 @@
+// Middlebox discovery (§6.1).
+//
+// mcTLS assumes the client has its middlebox list before the ClientHello;
+// this module models the three a-priori sources the paper lists and merges
+// them into a session's middlebox list:
+//
+//   - user / administrator configuration (e.g. a browser-configured proxy)
+//   - content-provider policy published via DNS (per domain)
+//   - network-operator requirements pushed via DHCP / PDP (per network)
+//
+// The path-order convention matches the rest of the library: index 0 is
+// nearest the client, so operator-required boxes (access network) come
+// first, then user-chosen services, then provider-side boxes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mctls/types.h"
+
+namespace mct::mctls {
+
+// DNS-like directory: domain -> middleboxes the content provider wants in
+// sessions to its servers.
+class DnsDirectory {
+public:
+    void publish(const std::string& domain, std::vector<MiddleboxInfo> middleboxes);
+    std::vector<MiddleboxInfo> lookup(const std::string& domain) const;
+
+private:
+    std::map<std::string, std::vector<MiddleboxInfo>> records_;
+};
+
+// DHCP-like lease information: what the access network requires.
+struct NetworkProfile {
+    std::string network_name;
+    std::vector<MiddleboxInfo> required_middleboxes;
+};
+
+struct DiscoveryInputs {
+    std::vector<MiddleboxInfo> user_configured;
+    NetworkProfile network;
+    const DnsDirectory* dns = nullptr;
+};
+
+// Merge the sources for a session to `domain`, de-duplicating by middlebox
+// name (first occurrence wins, so an operator-required box keeps its place
+// even if the user also configured it).
+std::vector<MiddleboxInfo> assemble_middlebox_list(const DiscoveryInputs& inputs,
+                                                   const std::string& domain);
+
+}  // namespace mct::mctls

@@ -1,0 +1,93 @@
+// mcTLS key schedule (Figure 1 of the paper).
+//
+// Every derivation below mirrors a box in the paper's handshake diagram:
+//
+//   PS_A-B = DHCombine(DH+_B, DH-_A)
+//   S_A-B  = PRF_{PS}("ms", randA || randB)
+//   K_A-B  = PRF_{S}("k", randA || randB)
+//   {K^C_readers, K^C_writers} = PRF_{S_C}("ck", randC)           (per context)
+//   K_readers = PRF_{K^C_readers || K^S_readers}("reader keys", randC || randS)
+//   K_writers = PRF_{K^C_writers || K^S_writers}("writer keys", randC || randS)
+//
+// As the paper's footnote says, K_endpoints / K_readers are "really four
+// keys" and K_writers two (per-direction encryption and MAC keys); the
+// *Keys structs below are those expansions.
+#pragma once
+
+#include <cstdint>
+
+#include "mctls/authenc.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::mctls {
+
+enum class Direction : uint8_t {
+    client_to_server = 0,
+    server_to_client = 1,
+};
+
+inline Direction opposite(Direction d)
+{
+    return d == Direction::client_to_server ? Direction::server_to_client
+                                            : Direction::client_to_server;
+}
+
+// K_endpoints expansion: record MACs per direction, control-context (id 0)
+// encryption keys per direction, and the AuthEnc pair protecting key
+// material exchanged directly between the endpoints.
+struct EndpointKeys {
+    Bytes record_mac[2];  // 32 bytes each, indexed by Direction
+    Bytes control_enc[2];  // 16 bytes each
+    AuthEncKey key_material;
+
+    bool valid() const { return !record_mac[0].empty(); }
+};
+
+// Final per-context keys. Readers hold the reader_* members; writers
+// additionally hold writer_mac.
+struct ContextKeys {
+    Bytes reader_enc[2];  // 16 bytes each: context payload encryption
+    Bytes reader_mac[2];  // 32 bytes each
+    Bytes writer_mac[2];  // 32 bytes each; empty for read-only parties
+
+    bool can_read() const { return !reader_enc[0].empty(); }
+    bool can_write() const { return !writer_mac[0].empty(); }
+
+    // Wire form for client-key-distribution mode; `writer` selects whether
+    // writer keys are included.
+    Bytes serialize(bool writer) const;
+    static Result<ContextKeys> parse(ConstBytes wire);
+};
+
+// One endpoint's halves of a context's keys (K^E_readers, K^E_writers).
+struct PartialContextKeys {
+    Bytes reader_half;  // 32 bytes
+    Bytes writer_half;  // 32 bytes
+};
+
+// S_A-B from a Diffie-Hellman pre-secret.
+Bytes derive_shared_secret(ConstBytes pre_secret, ConstBytes rand_a, ConstBytes rand_b);
+
+// K_A-B: the AuthEnc key a middlebox shares with one endpoint.
+AuthEncKey derive_pairwise_key(ConstBytes shared_secret, ConstBytes rand_a, ConstBytes rand_b);
+
+// K_endpoints expansion from S_C-S.
+EndpointKeys derive_endpoint_keys(ConstBytes s_cs, ConstBytes rand_c, ConstBytes rand_s);
+
+// {K^E_readers, K^E_writers} for one context from the endpoint's secret S_E.
+PartialContextKeys derive_partial_keys(ConstBytes endpoint_secret, ConstBytes rand_e,
+                                       uint8_t context_id);
+
+// Combine both halves into the final context keys.
+ContextKeys combine_context_keys(const PartialContextKeys& client_half,
+                                 const PartialContextKeys& server_half, ConstBytes rand_c,
+                                 ConstBytes rand_s);
+
+// Client-key-distribution mode (§3.6): complete context keys straight from
+// the endpoint master secret — both endpoints can compute them; middleboxes
+// receive them from the client.
+ContextKeys derive_context_keys_ckd(ConstBytes s_cs, ConstBytes rand_c, ConstBytes rand_s,
+                                    uint8_t context_id);
+
+}  // namespace mct::mctls

@@ -1,0 +1,377 @@
+#include "mctls/middlebox.h"
+
+#include <stdexcept>
+
+#include "crypto/ed25519.h"
+#include "crypto/x25519.h"
+
+namespace mct::mctls {
+
+namespace {
+
+Bytes key_material_ad(uint8_t sender, uint8_t entity)
+{
+    return Bytes{sender, entity};
+}
+
+}  // namespace
+
+MiddleboxSession::MiddleboxSession(MiddleboxConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.rng) throw std::invalid_argument("MiddleboxSession: rng is required");
+}
+
+Status MiddleboxSession::fail(std::string message)
+{
+    failed_ = true;
+    error_ = std::move(message);
+    tls::Record alert{tls::ContentType::alert, kControlContext, Bytes{2, 40}};
+    to_client_.push_back(client_side_.codec.encode(alert));
+    to_server_.push_back(server_side_.codec.encode(alert));
+    return err(error_);
+}
+
+Status MiddleboxSession::feed_from_client(ConstBytes wire)
+{
+    return feed(From::client, wire);
+}
+
+Status MiddleboxSession::feed_from_server(ConstBytes wire)
+{
+    return feed(From::server, wire);
+}
+
+Status MiddleboxSession::feed(From from, ConstBytes wire)
+{
+    if (failed_) return err(error_);
+    Side& side = from == From::client ? client_side_ : server_side_;
+    side.codec.feed(wire);
+    while (true) {
+        auto next = side.codec.next();
+        if (!next) return fail(next.error().message);
+        if (!next.value().has_value()) return {};
+        if (auto s = handle_record(from, *next.value()); !s) return s;
+    }
+}
+
+void MiddleboxSession::forward_record(From from, const tls::Record& record, bool own_unit)
+{
+    auto& out = from == From::client ? to_server_ : to_client_;
+    // Output codec framing is identical on both sides.
+    Bytes wire = client_side_.codec.encode(record);
+    if (own_unit || out.empty()) {
+        out.push_back(std::move(wire));
+    } else {
+        append(out.back(), wire);
+    }
+}
+
+void MiddleboxSession::forward_handshake(From from, const tls::HandshakeMessage& msg)
+{
+    forward_record(from, {tls::ContentType::handshake, kControlContext, msg.serialize()},
+                   /*own_unit=*/false);
+}
+
+Status MiddleboxSession::handle_record(From from, const tls::Record& record)
+{
+    Side& side = from == From::client ? client_side_ : server_side_;
+    switch (record.type) {
+    case tls::ContentType::alert:
+        forward_record(from, record, /*own_unit=*/true);
+        return {};
+    case tls::ContentType::change_cipher_spec:
+        side.ccs_seen = true;
+        forward_record(from, record, /*own_unit=*/false);
+        return {};
+    case tls::ContentType::handshake: {
+        if (side.ccs_seen) {
+            // Encrypted Finished (or later control data): endpoint-only,
+            // forwarded opaquely.
+            forward_record(from, record, /*own_unit=*/false);
+            return {};
+        }
+        side.handshake.feed(record.payload);
+        while (true) {
+            auto msg = side.handshake.next();
+            if (!msg) return fail(msg.error().message);
+            if (!msg.value().has_value()) return {};
+            if (auto s = handle_handshake(from, *msg.value()); !s) return s;
+        }
+    }
+    case tls::ContentType::application_data:
+        return handle_app_record(from, record);
+    }
+    return fail("mctls mbox: unknown record type");
+}
+
+Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage& msg)
+{
+    switch (msg.type) {
+    case tls::HandshakeType::client_hello: {
+        auto hello = tls::ClientHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        client_random_ = hello.value().random;
+        auto ext = MiddleboxListExtension::parse(hello.value().extensions);
+        if (!ext) return fail("mctls mbox: bad middlebox list");
+        middleboxes_ = ext.value().middleboxes;
+        contexts_ = ext.value().contexts;
+        for (size_t i = 0; i < middleboxes_.size(); ++i) {
+            if (middleboxes_[i].name == cfg_.name) entity_index_ = i;
+        }
+        if (entity_index_ == SIZE_MAX)
+            return fail("mctls mbox: not listed in the session's middlebox list");
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::server_hello: {
+        auto hello = tls::ServerHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        server_random_ = hello.value().random;
+        auto mode = ServerModeExtension::parse(hello.value().extensions);
+        if (!mode) return fail("mctls mbox: bad server mode extension");
+        ckd_ = mode.value().client_key_distribution;
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::certificate: {
+        auto certs = tls::CertificateMsg::parse(msg.body);
+        if (!certs) return fail(certs.error().message);
+        server_chain_ = certs.take().chain;
+        if (cfg_.trust) {
+            auto status = cfg_.trust->verify_chain(server_chain_, "", cfg_.now);
+            if (!status) return fail("mctls mbox: server auth: " + status.error().message);
+            crypto::count_verify(cfg_.ops);  // n <= 1 in Table 3
+        }
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::server_key_exchange: {
+        auto kx = tls::KeyExchange::parse(msg.type, msg.body);
+        if (!kx) return fail(kx.error().message);
+        server_dh_public_ = kx.value().public_key;
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::server_hello_done: {
+        forward_handshake(from, msg);
+        inject_bundle();
+        return {};
+    }
+    case tls::HandshakeType::middlebox_hello:
+    case tls::HandshakeType::middlebox_key_exchange: {
+        // Another middlebox's bundle: pass through.
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::client_key_exchange: {
+        auto kx = tls::ClientKeyExchange::parse(msg.body);
+        if (!kx) return fail(kx.error().message);
+        client_dh_public_ = kx.value().public_key;
+        forward_handshake(from, msg);
+        return {};
+    }
+    case tls::HandshakeType::middlebox_key_material: {
+        auto km = MiddleboxKeyMaterial::parse(msg.body);
+        if (!km) return fail(km.error().message);
+        forward_handshake(from, msg);
+        if (km.value().entity == entity_index_) {
+            if (auto s = extract_key_material(from, km.value()); !s) return s;
+        }
+        return {};
+    }
+    default:
+        // Unknown plaintext handshake message: forward (future extension).
+        forward_handshake(from, msg);
+        return {};
+    }
+}
+
+void MiddleboxSession::inject_bundle()
+{
+    if (bundle_sent_ || entity_index_ == SIZE_MAX) return;
+    bundle_sent_ = true;
+
+    own_random_ = cfg_.rng->bytes(tls::kRandomSize);
+    auto kp1 = crypto::x25519_keypair(*cfg_.rng);
+    dh_for_client_private_ = kp1.private_key;
+    dh_for_client_public_ = kp1.public_key;
+    auto kp2 = crypto::x25519_keypair(*cfg_.rng);
+    dh_for_server_private_ = kp2.private_key;
+    dh_for_server_public_ = kp2.public_key;
+
+    MiddleboxHello hello;
+    hello.entity = static_cast<uint8_t>(entity_index_);
+    hello.random = own_random_;
+    hello.chain = cfg_.chain;
+
+    MiddleboxKeyExchange kx_client;
+    kx_client.entity = hello.entity;
+    kx_client.recipient = kEntityClient;
+    kx_client.public_key = dh_for_client_public_;
+    kx_client.signature = crypto::ed25519_sign(cfg_.private_key, kx_client.signed_payload());
+    crypto::count_sign(cfg_.ops);
+
+    MiddleboxKeyExchange kx_server;
+    kx_server.entity = hello.entity;
+    kx_server.recipient = kEntityServer;
+    kx_server.public_key = dh_for_server_public_;
+    kx_server.signature = crypto::ed25519_sign(cfg_.private_key, kx_server.signed_payload());
+    crypto::count_sign(cfg_.ops);
+
+    Bytes bundle = concat(hello.to_message().serialize(),
+                          kx_client.to_message().serialize(),
+                          kx_server.to_message().serialize());
+    tls::Record rec{tls::ContentType::handshake, kControlContext, bundle};
+    // Toward the client: part of the flight currently being relayed.
+    Bytes wire = client_side_.codec.encode(rec);
+    if (to_client_.empty()) {
+        to_client_.push_back(wire);
+    } else {
+        append(to_client_.back(), wire);
+    }
+    // Toward the server: its own unit (nothing else flows that way now).
+    to_server_.push_back(wire);
+}
+
+Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMaterial& km)
+{
+    bool from_client = km.sender == kEntityClient;
+    if (from_client != (from == From::client))
+        return fail("mctls mbox: key material sender/direction mismatch");
+
+    // Derive the pairwise AuthEnc key with that endpoint.
+    AuthEncKey pairwise;
+    if (from_client) {
+        if (client_dh_public_.empty()) return fail("mctls mbox: key material before CKE");
+        auto pre = crypto::x25519_shared(dh_for_client_private_, client_dh_public_);
+        if (!pre) return fail("mctls mbox: degenerate client DH share");
+        crypto::count_secret(cfg_.ops);
+        Bytes s_cm = derive_shared_secret(pre.value(), client_random_, own_random_);
+        pairwise = derive_pairwise_key(s_cm, client_random_, own_random_);
+        crypto::count_keygen(cfg_.ops);
+    } else {
+        if (server_dh_public_.empty()) return fail("mctls mbox: key material before SKE");
+        auto pre = crypto::x25519_shared(dh_for_server_private_, server_dh_public_);
+        if (!pre) return fail("mctls mbox: degenerate server DH share");
+        crypto::count_secret(cfg_.ops);
+        Bytes s_sm = derive_shared_secret(pre.value(), server_random_, own_random_);
+        pairwise = derive_pairwise_key(s_sm, server_random_, own_random_);
+        crypto::count_keygen(cfg_.ops);
+    }
+
+    auto plain = authenc_open(pairwise, key_material_ad(km.sender, km.entity), km.sealed);
+    if (!plain) return fail("mctls mbox: key material: " + plain.error().message);
+    crypto::count_dec(cfg_.ops);
+    auto entries = parse_middlebox_material(plain.value());
+    if (!entries) return fail(entries.error().message);
+    if (from_client) {
+        client_material_ = entries.take();
+        client_material_seen_ = true;
+    } else {
+        server_material_ = entries.take();
+        server_material_seen_ = true;
+    }
+    try_finalize_keys();
+    return {};
+}
+
+void MiddleboxSession::try_finalize_keys()
+{
+    if (keys_ready_) return;
+    if (ckd_) {
+        // Client key distribution: complete keys arrive from the client only.
+        if (!client_material_seen_) return;
+        for (const auto& e : client_material_) {
+            auto keys = ContextKeys::parse(e.complete_keys);
+            if (!keys) continue;
+            context_keys_[e.context_id] = keys.take();
+            permissions_[e.context_id] = e.permission;
+        }
+        keys_ready_ = true;
+        return;
+    }
+    if (!client_material_seen_ || !server_material_seen_) return;
+    // A context key exists only where BOTH endpoints supplied their half —
+    // this is how mutual consent (R4) is enforced.
+    for (const auto& ce : client_material_) {
+        for (const auto& se : server_material_) {
+            if (se.context_id != ce.context_id) continue;
+            if (ce.reader_half.empty() || se.reader_half.empty()) continue;
+            PartialContextKeys client_half{ce.reader_half, ce.writer_half};
+            PartialContextKeys server_half{se.reader_half, se.writer_half};
+            bool writer = !ce.writer_half.empty() && !se.writer_half.empty();
+            // combine_context_keys needs both halves for the writer secret;
+            // substitute zeros when read-only so derivation stays defined.
+            if (client_half.writer_half.empty()) client_half.writer_half = Bytes(32, 0);
+            if (server_half.writer_half.empty()) server_half.writer_half = Bytes(32, 0);
+            ContextKeys keys = combine_context_keys(client_half, server_half, client_random_,
+                                                    server_random_);
+            if (!writer) {
+                keys.writer_mac[0].clear();
+                keys.writer_mac[1].clear();
+            }
+            crypto::count_keygen(cfg_.ops, writer ? 2 : 1);  // k <= 2K of Table 3
+            context_keys_[ce.context_id] = std::move(keys);
+            permissions_[ce.context_id] =
+                writer ? Permission::write : Permission::read;
+        }
+    }
+    keys_ready_ = true;
+}
+
+Permission MiddleboxSession::permission(uint8_t context_id) const
+{
+    auto it = permissions_.find(context_id);
+    return it == permissions_.end() ? Permission::none : it->second;
+}
+
+Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
+{
+    if (!keys_ready_) return fail("mctls mbox: application data before key material");
+    Side& side = from == From::client ? client_side_ : server_side_;
+    Direction dir =
+        from == From::client ? Direction::client_to_server : Direction::server_to_client;
+    uint64_t seq = side.app_seq++;
+
+    Permission perm = permission(record.context_id);
+    auto keys = context_keys_.find(record.context_id);
+
+    if (perm == Permission::none || keys == context_keys_.end()) {
+        ++records_forwarded_blind_;
+        forward_record(from, record, /*own_unit=*/true);
+        return {};
+    }
+
+    if (perm == Permission::read) {
+        auto payload = open_record_reader(keys->second, dir, seq, record.context_id,
+                                          record.payload);
+        if (!payload) return fail(payload.error().message);
+        ++records_read_;
+        if (cfg_.observe) cfg_.observe(record.context_id, dir, payload.value());
+        forward_record(from, record, /*own_unit=*/true);  // original bytes
+        return {};
+    }
+
+    // Writer.
+    auto opened =
+        open_record_writer(keys->second, dir, seq, record.context_id, record.payload);
+    if (!opened) return fail(opened.error().message);
+    Bytes payload = std::move(opened.value().payload);
+    Bytes original = payload;
+    if (cfg_.observe) cfg_.observe(record.context_id, dir, payload);
+    if (cfg_.transform) payload = cfg_.transform(record.context_id, dir, std::move(payload));
+    bool modified = payload != original;
+    if (!modified) {
+        // Unmodified: forward the original record, MACs untouched.
+        forward_record(from, record, /*own_unit=*/true);
+        return {};
+    }
+    ++records_rewritten_;
+    Bytes fragment = reseal_record_writer(keys->second, dir, seq, record.context_id, payload,
+                                          opened.value().endpoint_mac, *cfg_.rng);
+    forward_record(from, {tls::ContentType::application_data, record.context_id, fragment},
+                   /*own_unit=*/true);
+    return {};
+}
+
+}  // namespace mct::mctls

@@ -1,0 +1,137 @@
+// mcTLS middlebox session (sans-IO, two-sided).
+//
+// A trusted middlebox sits on two TCP connections (client side and server
+// side). During the handshake it forwards every message, learns its index
+// and permissions from the ClientHello's MiddleboxListExtension, injects its
+// own bundle (MiddleboxHello + two signed ephemeral key exchanges) toward
+// BOTH endpoints as the server flight passes (§3.5 step 3), and extracts the
+// two MiddleboxKeyMaterial messages addressed to it. It gains access to a
+// context only if both endpoints sent their half of that context's keys
+// (§3.3 "contributory context keys").
+//
+// In the record phase it enforces §3.4 semantics per context:
+//   none  -> forward the record verbatim (it cannot even decrypt it)
+//   read  -> decrypt + verify the reader MAC, expose the payload to the
+//            observe callback, forward the ORIGINAL bytes
+//   write -> decrypt + verify the writer MAC, let the transform callback
+//            rewrite the payload, regenerate writer/reader MACs, forward the
+//            original endpoint MAC (so endpoints can detect the legal
+//            modification), re-encrypt
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/ops.h"
+#include "mctls/context_crypto.h"
+#include "mctls/messages.h"
+#include "mctls/types.h"
+#include "pki/trust_store.h"
+#include "tls/record.h"
+#include "util/rng.h"
+
+namespace mct::mctls {
+
+struct MiddleboxConfig {
+    std::string name;  // must match an entry in the client's middlebox list
+    std::vector<pki::Certificate> chain;
+    Bytes private_key;
+    // Optional endpoint authentication (R1 from the middlebox's view).
+    const pki::TrustStore* trust = nullptr;
+    Rng* rng = nullptr;
+    crypto::OpCounters* ops = nullptr;
+    uint64_t now = 100;
+
+    // Write-access contexts: return the (possibly modified) payload.
+    std::function<Bytes(uint8_t context_id, Direction dir, Bytes payload)> transform;
+    // Read-access contexts: observe the plaintext.
+    std::function<void(uint8_t context_id, Direction dir, ConstBytes payload)> observe;
+};
+
+class MiddleboxSession {
+public:
+    explicit MiddleboxSession(MiddleboxConfig cfg);
+
+    Status feed_from_client(ConstBytes wire);
+    Status feed_from_server(ConstBytes wire);
+    std::vector<Bytes> take_to_client() { return std::exchange(to_client_, {}); }
+    std::vector<Bytes> take_to_server() { return std::exchange(to_server_, {}); }
+
+    bool handshake_complete() const { return keys_ready_; }
+    bool failed() const { return failed_; }
+    const std::string& error() const { return error_; }
+
+    // Effective permission (both halves received) for a context.
+    Permission permission(uint8_t context_id) const;
+    size_t entity_index() const { return entity_index_; }
+    const std::vector<ContextDescription>& contexts() const { return contexts_; }
+
+    uint64_t records_forwarded_blind() const { return records_forwarded_blind_; }
+    uint64_t records_read() const { return records_read_; }
+    uint64_t records_rewritten() const { return records_rewritten_; }
+
+private:
+    struct Side {
+        tls::RecordCodec codec{/*with_context_id=*/true};
+        tls::HandshakeReader handshake;
+        bool ccs_seen = false;
+        uint64_t app_seq = 0;  // records flowing *from* this side
+    };
+
+    enum class From { client, server };
+
+    Status fail(std::string message);
+    Status feed(From from, ConstBytes wire);
+    Status handle_record(From from, const tls::Record& record);
+    Status handle_handshake(From from, const tls::HandshakeMessage& msg);
+    Status handle_app_record(From from, const tls::Record& record);
+    void forward_handshake(From from, const tls::HandshakeMessage& msg);
+    void forward_record(From from, const tls::Record& record, bool own_unit);
+    void inject_bundle();
+    Status extract_key_material(From from, const MiddleboxKeyMaterial& km);
+    void try_finalize_keys();
+
+    MiddleboxConfig cfg_;
+    bool failed_ = false;
+    std::string error_;
+
+    Side client_side_;  // connection toward the client
+    Side server_side_;
+    std::vector<Bytes> to_client_;
+    std::vector<Bytes> to_server_;
+
+    // Learned during the handshake.
+    std::vector<MiddleboxInfo> middleboxes_;
+    std::vector<ContextDescription> contexts_;
+    size_t entity_index_ = SIZE_MAX;
+    bool ckd_ = false;
+    Bytes client_random_;
+    Bytes server_random_;
+    Bytes own_random_;
+    Bytes client_dh_public_;
+    Bytes server_dh_public_;
+    Bytes dh_for_client_private_, dh_for_client_public_;  // M1 pair
+    Bytes dh_for_server_private_, dh_for_server_public_;  // M2 pair
+    bool bundle_sent_ = false;
+    std::vector<pki::Certificate> server_chain_;
+
+    std::vector<MiddleboxMaterialEntry> client_material_;
+    std::vector<MiddleboxMaterialEntry> server_material_;
+    bool client_material_seen_ = false;
+    bool server_material_seen_ = false;
+    bool keys_ready_ = false;
+
+    std::map<uint8_t, ContextKeys> context_keys_;
+    std::map<uint8_t, Permission> permissions_;
+
+    uint64_t records_forwarded_blind_ = 0;
+    uint64_t records_read_ = 0;
+    uint64_t records_rewritten_ = 0;
+};
+
+}  // namespace mct::mctls

@@ -1,0 +1,754 @@
+#include "mctls/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/ct.h"
+#include "crypto/ed25519.h"
+#include "crypto/prf.h"
+#include "crypto/x25519.h"
+
+namespace mct::mctls {
+
+namespace {
+
+constexpr size_t kAppChunkLimit = 15000;  // leave room for MACs + padding
+
+Bytes key_material_ad(uint8_t sender, uint8_t entity)
+{
+    return Bytes{sender, entity};
+}
+
+Permission min_permission(Permission a, Permission b)
+{
+    return static_cast<Permission>(
+        std::min(static_cast<uint8_t>(a), static_cast<uint8_t>(b)));
+}
+
+}  // namespace
+
+Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.rng) throw std::invalid_argument("mctls::Session: rng is required");
+    is_client_ = cfg_.role == tls::Role::client;
+    if (is_client_) {
+        if (cfg_.contexts.empty())
+            throw std::invalid_argument("mctls::Session: client needs at least one context");
+        for (const auto& ctx : cfg_.contexts) {
+            if (ctx.id == kControlContext)
+                throw std::invalid_argument("mctls::Session: context id 0 is reserved");
+            if (ctx.permissions.size() != cfg_.middleboxes.size())
+                throw std::invalid_argument("mctls::Session: permission row size mismatch");
+        }
+        state_ = State::idle;
+    } else {
+        state_ = State::wait_client_hello;
+    }
+}
+
+Status Session::fail(std::string message)
+{
+    state_ = State::failed;
+    error_ = std::move(message);
+    tls::Record alert{tls::ContentType::alert, kControlContext,
+                      Bytes{2 /*fatal*/, 40 /*handshake_failure*/}};
+    write_units_.push_back(codec_.encode(alert));
+    return err(error_);
+}
+
+void Session::queue_record(const tls::Record& record, bool own_unit)
+{
+    Bytes wire = codec_.encode(record);
+    if (record.type != tls::ContentType::application_data)
+        handshake_wire_bytes_ += wire.size();
+    if (own_unit || write_units_.empty()) {
+        write_units_.push_back(std::move(wire));
+    } else {
+        append(write_units_.back(), wire);
+    }
+}
+
+void Session::flush_flight_into_unit(ConstBytes flight, Bytes* unit)
+{
+    size_t off = 0;
+    while (off < flight.size()) {
+        size_t take = std::min(tls::kMaxFragment, flight.size() - off);
+        tls::Record rec{tls::ContentType::handshake, kControlContext,
+                        Bytes(flight.begin() + off, flight.begin() + off + take)};
+        Bytes wire = codec_.encode(rec);
+        handshake_wire_bytes_ += wire.size();
+        append(*unit, wire);
+        off += take;
+    }
+}
+
+const ContextDescription* Session::find_context(uint8_t id) const
+{
+    for (const auto& ctx : contexts_) {
+        if (ctx.id == id) return &ctx;
+    }
+    return nullptr;
+}
+
+Permission Session::requested_permission(size_t mbox, uint8_t ctx) const
+{
+    const ContextDescription* desc = find_context(ctx);
+    if (!desc || mbox >= desc->permissions.size()) return Permission::none;
+    return desc->permissions[mbox];
+}
+
+Permission Session::granted_permission(size_t mbox, uint8_t ctx) const
+{
+    Permission requested = requested_permission(mbox, ctx);
+    for (size_t c = 0; c < contexts_.size(); ++c) {
+        if (contexts_[c].id != ctx) continue;
+        if (c < granted_.size() && mbox < granted_[c].size())
+            return min_permission(requested, granted_[c][mbox]);
+    }
+    return requested;
+}
+
+void Session::start()
+{
+    if (!is_client_ || state_ != State::idle)
+        throw std::logic_error("mctls::Session: start() is for idle clients");
+
+    middleboxes_ = cfg_.middleboxes;
+    contexts_ = cfg_.contexts;
+    mbox_state_.resize(middleboxes_.size());
+    for (size_t i = 0; i < middleboxes_.size(); ++i) mbox_state_[i].info = middleboxes_[i];
+
+    client_random_ = cfg_.rng->bytes(tls::kRandomSize);
+    own_secret_ = cfg_.rng->bytes(32);
+    auto kp = crypto::x25519_keypair(*cfg_.rng);
+    dh_private_ = kp.private_key;
+    dh_public_ = kp.public_key;
+
+    tls::ClientHello hello;
+    hello.random = client_random_;
+    hello.cipher_suites = {tls::kCipherSuiteX25519Ed25519Aes128Sha256};
+    MiddleboxListExtension ext{middleboxes_, contexts_};
+    hello.extensions = ext.serialize();
+
+    tls::HandshakeMessage msg = hello.to_message();
+    Bytes wire = msg.serialize();
+    transcript_.set(Transcript::Slot::client_hello, wire);
+    crypto::count_hash(cfg_.ops);
+
+    Bytes unit;
+    flush_flight_into_unit(wire, &unit);
+    write_units_.push_back(std::move(unit));
+    state_ = State::wait_server_flight;
+}
+
+Status Session::feed(ConstBytes wire)
+{
+    if (state_ == State::failed) return err(error_);
+    codec_.feed(wire);
+    while (true) {
+        auto next = codec_.next();
+        if (!next) return fail(next.error().message);
+        if (!next.value().has_value()) return {};
+        if (auto s = handle_record(*next.value()); !s) return s;
+    }
+}
+
+Status Session::handle_record(const tls::Record& record)
+{
+    switch (record.type) {
+    case tls::ContentType::alert:
+        return fail("mctls: peer alert");
+    case tls::ContentType::change_cipher_spec:
+        handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
+        ccs_received_ = true;
+        return {};
+    case tls::ContentType::handshake: {
+        handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
+        Bytes payload = record.payload;
+        if (ccs_received_ && control_recv_) {
+            auto plain =
+                control_recv_->unprotect(record.type, record.context_id, payload);
+            if (!plain) return fail("mctls: " + plain.error().message);
+            crypto::count_dec(cfg_.ops);
+            payload = plain.take();
+        }
+        handshake_reader_.feed(payload);
+        while (true) {
+            auto msg = handshake_reader_.next();
+            if (!msg) return fail(msg.error().message);
+            if (!msg.value().has_value()) return {};
+            if (auto s = handle_handshake(*msg.value()); !s) return s;
+        }
+    }
+    case tls::ContentType::application_data:
+        return handle_app_record(record);
+    }
+    return fail("mctls: unknown record type");
+}
+
+Status Session::handle_handshake(const tls::HandshakeMessage& msg)
+{
+    if (msg.type == tls::HandshakeType::middlebox_hello ||
+        msg.type == tls::HandshakeType::middlebox_key_exchange)
+        return handle_bundle_message(msg);
+    return is_client_ ? client_handle(msg) : server_handle(msg);
+}
+
+Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
+{
+    Bytes wire = msg.serialize();
+    if (msg.type == tls::HandshakeType::middlebox_hello) {
+        auto hello = MiddleboxHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        uint8_t i = hello.value().entity;
+        if (i >= mbox_state_.size()) return fail("mctls: middlebox entity out of range");
+        MiddleboxState& mbox = mbox_state_[i];
+        if (mbox.hello_seen) return fail("mctls: duplicate middlebox hello");
+        mbox.random = hello.value().random;
+        mbox.chain = hello.value().chain;
+        mbox.hello_seen = true;
+        transcript_.add_bundle_part(i, 0, wire);
+        crypto::count_hash(cfg_.ops);
+
+        bool check = cfg_.trust && (is_client_ || cfg_.authenticate_middleboxes);
+        if (check) {
+            auto status =
+                cfg_.trust->verify_chain(mbox.chain, mbox.info.name, cfg_.now);
+            if (!status) return fail("mctls: middlebox auth: " + status.error().message);
+        }
+        return {};
+    }
+
+    auto kx = MiddleboxKeyExchange::parse(msg.body);
+    if (!kx) return fail(kx.error().message);
+    uint8_t i = kx.value().entity;
+    if (i >= mbox_state_.size()) return fail("mctls: middlebox entity out of range");
+    MiddleboxState& mbox = mbox_state_[i];
+    if (!mbox.hello_seen) return fail("mctls: middlebox key exchange before hello");
+
+    bool check = cfg_.trust && (is_client_ || cfg_.authenticate_middleboxes);
+    if (check) {
+        if (mbox.chain.empty() ||
+            !crypto::ed25519_verify(mbox.chain.front().public_key,
+                                    kx.value().signed_payload(), kx.value().signature))
+            return fail("mctls: bad middlebox key exchange signature");
+    }
+
+    if (kx.value().recipient == kEntityClient) {
+        if (mbox.kx_client_seen) return fail("mctls: duplicate middlebox key exchange");
+        mbox.kx_for_client = kx.value().public_key;
+        mbox.kx_client_seen = true;
+        transcript_.add_bundle_part(i, 1, wire);
+    } else if (kx.value().recipient == kEntityServer) {
+        if (mbox.kx_server_seen) return fail("mctls: duplicate middlebox key exchange");
+        mbox.kx_for_server = kx.value().public_key;
+        mbox.kx_server_seen = true;
+        transcript_.add_bundle_part(i, 2, wire);
+    } else {
+        return fail("mctls: bad key exchange recipient");
+    }
+    crypto::count_hash(cfg_.ops);
+    if (check) crypto::count_verify(cfg_.ops);
+
+    // Client: the server flight is complete once SHD and every bundle landed.
+    if (is_client_ && state_ == State::wait_server_flight && shd_seen_) {
+        bool all = std::all_of(mbox_state_.begin(), mbox_state_.end(),
+                               [](const MiddleboxState& m) { return m.complete(); });
+        if (all) return client_send_second_flight();
+    }
+    return {};
+}
+
+Status Session::client_handle(const tls::HandshakeMessage& msg)
+{
+    Bytes wire = msg.serialize();
+    switch (msg.type) {
+    case tls::HandshakeType::server_hello: {
+        if (state_ != State::wait_server_flight) return fail("mctls: unexpected ServerHello");
+        auto hello = tls::ServerHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        if (hello.value().cipher_suite != tls::kCipherSuiteX25519Ed25519Aes128Sha256)
+            return fail("mctls: unsupported cipher suite");
+        server_random_ = hello.value().random;
+        auto mode = ServerModeExtension::parse(hello.value().extensions);
+        if (!mode) return fail("mctls: bad server mode extension");
+        ckd_ = mode.value().client_key_distribution;
+        granted_ = mode.value().granted;
+        transcript_.set(Transcript::Slot::server_hello, wire);
+        crypto::count_hash(cfg_.ops);
+        return {};
+    }
+    case tls::HandshakeType::certificate: {
+        auto certs = tls::CertificateMsg::parse(msg.body);
+        if (!certs) return fail(certs.error().message);
+        transcript_.set(Transcript::Slot::server_certificate, wire);
+        crypto::count_hash(cfg_.ops);
+        if (cfg_.trust) {
+            auto status =
+                cfg_.trust->verify_chain(certs.value().chain, cfg_.server_name, cfg_.now);
+            if (!status) return fail(status.error().message);
+        }
+        server_chain_ = certs.take().chain;
+        return {};
+    }
+    case tls::HandshakeType::server_key_exchange: {
+        auto kx = tls::KeyExchange::parse(msg.type, msg.body);
+        if (!kx) return fail(kx.error().message);
+        if (server_chain_.empty()) return fail("mctls: SKE before certificate");
+        if (!crypto::ed25519_verify(server_chain_.front().public_key,
+                                    kx.value().signed_payload(), kx.value().signature))
+            return fail("mctls: bad SKE signature");
+        crypto::count_verify(cfg_.ops);
+        peer_dh_public_ = kx.value().public_key;
+        transcript_.set(Transcript::Slot::server_key_exchange, wire);
+        crypto::count_hash(cfg_.ops);
+        return {};
+    }
+    case tls::HandshakeType::server_hello_done: {
+        transcript_.set(Transcript::Slot::server_hello_done, wire);
+        crypto::count_hash(cfg_.ops);
+        shd_seen_ = true;
+        bool all = std::all_of(mbox_state_.begin(), mbox_state_.end(),
+                               [](const MiddleboxState& m) { return m.complete(); });
+        if (all) return client_send_second_flight();
+        return {};
+    }
+    case tls::HandshakeType::middlebox_key_material: {
+        auto km = MiddleboxKeyMaterial::parse(msg.body);
+        if (!km) return fail(km.error().message);
+        if (km.value().sender != kEntityServer) return fail("mctls: bad key material sender");
+        if (km.value().entity != kEntityClient) return {};  // destined to a middlebox
+        return unseal_middlebox_material_from_peer(km.value());
+    }
+    case tls::HandshakeType::finished:
+        return verify_peer_finished(msg);
+    default:
+        return fail("mctls: unexpected handshake message at client");
+    }
+}
+
+Status Session::server_handle(const tls::HandshakeMessage& msg)
+{
+    Bytes wire = msg.serialize();
+    switch (msg.type) {
+    case tls::HandshakeType::client_hello: {
+        if (state_ != State::wait_client_hello) return fail("mctls: unexpected ClientHello");
+        auto hello = tls::ClientHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        bool suite_ok = false;
+        for (uint16_t s : hello.value().cipher_suites)
+            suite_ok |= s == tls::kCipherSuiteX25519Ed25519Aes128Sha256;
+        if (!suite_ok) return fail("mctls: no common cipher suite");
+        client_random_ = hello.value().random;
+        auto ext = MiddleboxListExtension::parse(hello.value().extensions);
+        if (!ext) return fail("mctls: bad middlebox list: " + ext.error().message);
+        middleboxes_ = ext.value().middleboxes;
+        contexts_ = ext.value().contexts;
+        mbox_state_.resize(middleboxes_.size());
+        for (size_t i = 0; i < middleboxes_.size(); ++i) mbox_state_[i].info = middleboxes_[i];
+        transcript_.set(Transcript::Slot::client_hello, wire);
+        crypto::count_hash(cfg_.ops);
+
+        ckd_ = cfg_.client_key_distribution;
+        granted_.assign(contexts_.size(), {});
+        for (size_t c = 0; c < contexts_.size(); ++c) {
+            granted_[c].resize(middleboxes_.size(), Permission::none);
+            for (size_t m = 0; m < middleboxes_.size(); ++m) {
+                Permission req = contexts_[c].permissions[m];
+                granted_[c][m] =
+                    (cfg_.policy && !ckd_)
+                        ? cfg_.policy(middleboxes_[m], contexts_[c], req)
+                        : req;
+            }
+        }
+
+        server_random_ = cfg_.rng->bytes(tls::kRandomSize);
+        own_secret_ = cfg_.rng->bytes(32);
+        auto kp = crypto::x25519_keypair(*cfg_.rng);
+        dh_private_ = kp.private_key;
+        dh_public_ = kp.public_key;
+
+        Bytes flight;
+        tls::ServerHello sh;
+        sh.random = server_random_;
+        ServerModeExtension mode{ckd_, granted_};
+        sh.extensions = mode.serialize();
+        Bytes sh_wire = sh.to_message().serialize();
+        transcript_.set(Transcript::Slot::server_hello, sh_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, sh_wire);
+
+        tls::CertificateMsg certs{cfg_.chain};
+        Bytes cert_wire = certs.to_message().serialize();
+        transcript_.set(Transcript::Slot::server_certificate, cert_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, cert_wire);
+
+        tls::KeyExchange ske;
+        ske.msg_type = tls::HandshakeType::server_key_exchange;
+        ske.entity = kEntityServer;
+        ske.public_key = dh_public_;
+        ske.signature = crypto::ed25519_sign(cfg_.private_key, ske.signed_payload());
+        crypto::count_sign(cfg_.ops);
+        Bytes ske_wire = ske.to_message().serialize();
+        transcript_.set(Transcript::Slot::server_key_exchange, ske_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, ske_wire);
+
+        Bytes shd_wire = tls::HandshakeMessage{tls::HandshakeType::server_hello_done, {}}
+                             .serialize();
+        transcript_.set(Transcript::Slot::server_hello_done, shd_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, shd_wire);
+
+        Bytes unit;
+        flush_flight_into_unit(flight, &unit);
+        write_units_.push_back(std::move(unit));
+        state_ = State::wait_client_flight;
+        return {};
+    }
+    case tls::HandshakeType::client_key_exchange: {
+        if (state_ != State::wait_client_flight) return fail("mctls: unexpected CKE");
+        auto kx = tls::ClientKeyExchange::parse(msg.body);
+        if (!kx) return fail(kx.error().message);
+        peer_dh_public_ = kx.value().public_key;
+        transcript_.set(Transcript::Slot::client_key_exchange, wire);
+        crypto::count_hash(cfg_.ops);
+        derive_endpoint_secrets();
+        return {};
+    }
+    case tls::HandshakeType::middlebox_key_material: {
+        auto km = MiddleboxKeyMaterial::parse(msg.body);
+        if (!km) return fail(km.error().message);
+        if (km.value().sender != kEntityClient) return fail("mctls: bad key material sender");
+        transcript_.add_client_key_material(km.value().entity, wire);
+        crypto::count_hash(cfg_.ops);
+        if (km.value().entity != kEntityServer) return {};  // destined to a middlebox
+        if (ckd_) return fail("mctls: unexpected endpoint key material in CKD mode");
+        return unseal_middlebox_material_from_peer(km.value());
+    }
+    case tls::HandshakeType::finished: {
+        if (auto s = verify_peer_finished(msg); !s) return s;
+        return server_send_final_flight();
+    }
+    default:
+        return fail("mctls: unexpected handshake message at server");
+    }
+}
+
+void Session::derive_endpoint_secrets()
+{
+    auto pre = crypto::x25519_shared(dh_private_, peer_dh_public_);
+    if (!pre) throw std::runtime_error("mctls: degenerate DH share");
+    crypto::count_secret(cfg_.ops);
+    s_cs_ = derive_shared_secret(pre.value(), client_random_, server_random_);
+    endpoint_keys_ = derive_endpoint_keys(s_cs_, client_random_, server_random_);
+    crypto::count_keygen(cfg_.ops);  // K_endpoints
+
+    size_t send_dir = is_client_ ? 0 : 1;
+    size_t recv_dir = 1 - send_dir;
+    control_send_ = std::make_unique<tls::CbcHmacProtector>(
+        endpoint_keys_.control_enc[send_dir], endpoint_keys_.record_mac[send_dir]);
+    control_recv_ = std::make_unique<tls::CbcHmacProtector>(
+        endpoint_keys_.control_enc[recv_dir], endpoint_keys_.record_mac[recv_dir]);
+
+    if (ckd_) {
+        for (const auto& ctx : contexts_) {
+            context_keys_[ctx.id] =
+                derive_context_keys_ckd(s_cs_, client_random_, server_random_, ctx.id);
+            crypto::count_keygen(cfg_.ops, 2);  // reader + writer keys
+        }
+    } else {
+        for (const auto& ctx : contexts_) {
+            own_partials_[ctx.id] = derive_partial_keys(
+                own_secret_, is_client_ ? client_random_ : server_random_, ctx.id);
+            crypto::count_keygen(cfg_.ops, 2);  // K^E_readers, K^E_writers
+        }
+    }
+}
+
+Bytes Session::seal_middlebox_material(size_t mbox_index)
+{
+    MiddleboxState& mbox = mbox_state_[mbox_index];
+    std::vector<MiddleboxMaterialEntry> entries;
+    for (const auto& ctx : contexts_) {
+        Permission perm = granted_permission(mbox_index, ctx.id);
+        if (perm == Permission::none) continue;
+        MiddleboxMaterialEntry entry;
+        entry.context_id = ctx.id;
+        entry.permission = perm;
+        if (ckd_) {
+            entry.complete_keys = context_keys_[ctx.id].serialize(perm == Permission::write);
+        } else {
+            const PartialContextKeys& partial = own_partials_[ctx.id];
+            entry.reader_half = partial.reader_half;
+            if (perm == Permission::write) entry.writer_half = partial.writer_half;
+        }
+        entries.push_back(std::move(entry));
+    }
+    Bytes plaintext = serialize_middlebox_material(entries);
+    uint8_t sender = is_client_ ? kEntityClient : kEntityServer;
+    Bytes sealed = authenc_seal(mbox.pairwise,
+                                key_material_ad(sender, static_cast<uint8_t>(mbox_index)),
+                                plaintext, *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    return sealed;
+}
+
+Status Session::unseal_middlebox_material_from_peer(const MiddleboxKeyMaterial& km)
+{
+    auto plain = authenc_open(endpoint_keys_.key_material,
+                              key_material_ad(km.sender, km.entity), km.sealed);
+    if (!plain) return fail("mctls: endpoint key material: " + plain.error().message);
+    crypto::count_dec(cfg_.ops);
+    auto entries = parse_endpoint_material(plain.value());
+    if (!entries) return fail(entries.error().message);
+    for (const auto& e : entries.value()) {
+        if (!find_context(e.context_id)) return fail("mctls: key material for unknown context");
+        peer_partials_[e.context_id] = e.partial;
+    }
+    peer_material_received_ = true;
+
+    // Combine once both halves are known.
+    for (const auto& ctx : contexts_) {
+        auto own = own_partials_.find(ctx.id);
+        auto peer = peer_partials_.find(ctx.id);
+        if (own == own_partials_.end() || peer == peer_partials_.end())
+            return fail("mctls: missing context key halves");
+        const PartialContextKeys& client_half = is_client_ ? own->second : peer->second;
+        const PartialContextKeys& server_half = is_client_ ? peer->second : own->second;
+        context_keys_[ctx.id] =
+            combine_context_keys(client_half, server_half, client_random_, server_random_);
+        crypto::count_keygen(cfg_.ops, 2);  // K_readers, K_writers
+    }
+    return {};
+}
+
+Status Session::client_send_second_flight()
+{
+    // K_C-M with every middlebox.
+    for (auto& mbox : mbox_state_) {
+        auto pre = crypto::x25519_shared(dh_private_, mbox.kx_for_client);
+        if (!pre) return fail("mctls: degenerate middlebox DH share");
+        crypto::count_secret(cfg_.ops);
+        Bytes s_cm = derive_shared_secret(pre.value(), client_random_, mbox.random);
+        mbox.pairwise = derive_pairwise_key(s_cm, client_random_, mbox.random);
+        crypto::count_keygen(cfg_.ops);
+    }
+    derive_endpoint_secrets();
+
+    Bytes flight;
+    tls::ClientKeyExchange cke{dh_public_};
+    Bytes cke_wire = cke.to_message().serialize();
+    transcript_.set(Transcript::Slot::client_key_exchange, cke_wire);
+    crypto::count_hash(cfg_.ops);
+    append(flight, cke_wire);
+
+    for (size_t i = 0; i < mbox_state_.size(); ++i) {
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityClient;
+        km.entity = static_cast<uint8_t>(i);
+        km.sealed = seal_middlebox_material(i);
+        Bytes km_wire = km.to_message().serialize();
+        transcript_.add_client_key_material(km.entity, km_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, km_wire);
+    }
+
+    if (!ckd_) {
+        std::vector<EndpointMaterialEntry> entries;
+        for (const auto& ctx : contexts_)
+            entries.push_back({ctx.id, own_partials_[ctx.id]});
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityClient;
+        km.entity = kEntityServer;
+        km.sealed = authenc_seal(endpoint_keys_.key_material,
+                                 key_material_ad(km.sender, km.entity),
+                                 serialize_endpoint_material(entries), *cfg_.rng);
+        crypto::count_enc(cfg_.ops);
+        Bytes km_wire = km.to_message().serialize();
+        transcript_.add_client_key_material(km.entity, km_wire);
+        crypto::count_hash(cfg_.ops);
+        append(flight, km_wire);
+    }
+
+    Bytes unit;
+    flush_flight_into_unit(flight, &unit);
+
+    // CCS + encrypted Finished.
+    tls::Record ccs{tls::ContentType::change_cipher_spec, kControlContext, Bytes{1}};
+    Bytes ccs_wire = codec_.encode(ccs);
+    handshake_wire_bytes_ += ccs_wire.size();
+    append(unit, ccs_wire);
+    ccs_sent_ = true;
+
+    Bytes verify = finished_verify_data("client finished", false);
+    tls::Finished fin{verify};
+    Bytes fin_wire = fin.to_message().serialize();
+    transcript_.set_client_finished(fin_wire);
+    crypto::count_hash(cfg_.ops);
+    Bytes protected_payload =
+        control_send_->protect(tls::ContentType::handshake, kControlContext, fin_wire,
+                               *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    tls::Record fin_rec{tls::ContentType::handshake, kControlContext, protected_payload};
+    Bytes fin_rec_wire = codec_.encode(fin_rec);
+    handshake_wire_bytes_ += fin_rec_wire.size();
+    append(unit, fin_rec_wire);
+    finished_sent_ = true;
+
+    write_units_.push_back(std::move(unit));
+    state_ = State::wait_server_second;
+    return {};
+}
+
+Status Session::server_send_final_flight()
+{
+    Bytes flight;
+    if (!ckd_) {
+        for (size_t i = 0; i < mbox_state_.size(); ++i) {
+            MiddleboxState& mbox = mbox_state_[i];
+            if (!mbox.complete()) return fail("mctls: incomplete middlebox bundle at server");
+            auto pre = crypto::x25519_shared(dh_private_, mbox.kx_for_server);
+            if (!pre) return fail("mctls: degenerate middlebox DH share");
+            crypto::count_secret(cfg_.ops);
+            Bytes s_sm = derive_shared_secret(pre.value(), server_random_, mbox.random);
+            mbox.pairwise = derive_pairwise_key(s_sm, server_random_, mbox.random);
+            crypto::count_keygen(cfg_.ops);
+
+            MiddleboxKeyMaterial km;
+            km.sender = kEntityServer;
+            km.entity = static_cast<uint8_t>(i);
+            km.sealed = seal_middlebox_material(i);
+            append(flight, km.to_message().serialize());
+        }
+
+        std::vector<EndpointMaterialEntry> entries;
+        for (const auto& ctx : contexts_)
+            entries.push_back({ctx.id, own_partials_[ctx.id]});
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityServer;
+        km.entity = kEntityClient;
+        km.sealed = authenc_seal(endpoint_keys_.key_material,
+                                 key_material_ad(km.sender, km.entity),
+                                 serialize_endpoint_material(entries), *cfg_.rng);
+        crypto::count_enc(cfg_.ops);
+        append(flight, km.to_message().serialize());
+    }
+
+    Bytes unit;
+    flush_flight_into_unit(flight, &unit);
+
+    tls::Record ccs{tls::ContentType::change_cipher_spec, kControlContext, Bytes{1}};
+    Bytes ccs_wire = codec_.encode(ccs);
+    handshake_wire_bytes_ += ccs_wire.size();
+    append(unit, ccs_wire);
+    ccs_sent_ = true;
+
+    Bytes verify = finished_verify_data("server finished", true);
+    tls::Finished fin{verify};
+    Bytes fin_wire = fin.to_message().serialize();
+    crypto::count_hash(cfg_.ops);
+    Bytes protected_payload =
+        control_send_->protect(tls::ContentType::handshake, kControlContext, fin_wire,
+                               *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    tls::Record fin_rec{tls::ContentType::handshake, kControlContext, protected_payload};
+    Bytes fin_rec_wire = codec_.encode(fin_rec);
+    handshake_wire_bytes_ += fin_rec_wire.size();
+    append(unit, fin_rec_wire);
+    finished_sent_ = true;
+
+    write_units_.push_back(std::move(unit));
+    state_ = State::established;
+    return {};
+}
+
+Bytes Session::finished_verify_data(const char* label, bool include_client_finished)
+{
+    Bytes digest = transcript_.hash(include_client_finished);
+    crypto::count_hash(cfg_.ops);
+    return crypto::prf(s_cs_, label, digest, tls::kVerifyDataSize);
+}
+
+Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
+{
+    auto fin = tls::Finished::parse(msg.body);
+    if (!fin) return fail(fin.error().message);
+    if (!ccs_received_) return fail("mctls: Finished before CCS");
+
+    if (is_client_) {
+        if (state_ != State::wait_server_second) return fail("mctls: unexpected Finished");
+        if (!ckd_ && !peer_material_received_)
+            return fail("mctls: Finished before server key material");
+        Bytes expected = finished_verify_data("server finished", true);
+        if (!crypto::ct_equal(expected, fin.value().verify_data))
+            return fail("mctls: server Finished verification failed");
+        state_ = State::established;
+        return {};
+    }
+
+    // Server verifying the client's Finished.
+    if (state_ != State::wait_client_flight) return fail("mctls: unexpected Finished");
+    if (peer_dh_public_.empty()) return fail("mctls: Finished before CKE");
+    if (!ckd_ && !peer_material_received_)
+        return fail("mctls: Finished before client key material");
+    Bytes expected = finished_verify_data("client finished", false);
+    if (!crypto::ct_equal(expected, fin.value().verify_data))
+        return fail("mctls: client Finished verification failed");
+    transcript_.set_client_finished(msg.serialize());
+    crypto::count_hash(cfg_.ops);
+    return {};
+}
+
+Status Session::handle_app_record(const tls::Record& record)
+{
+    if (state_ != State::established) return fail("mctls: early application data");
+    auto keys = context_keys_.find(record.context_id);
+    if (keys == context_keys_.end()) return fail("mctls: record for unknown context");
+
+    Direction dir = is_client_ ? Direction::server_to_client : Direction::client_to_server;
+    auto opened = open_record_endpoint(keys->second, endpoint_keys_, dir, app_recv_seq_,
+                                       record.context_id, record.payload);
+    if (!opened) return fail(opened.error().message);
+    ++app_recv_seq_;
+    app_chunks_.push_back(
+        {record.context_id, std::move(opened.value().payload), opened.value().from_endpoint});
+    return {};
+}
+
+Status Session::send_app_data(uint8_t context_id, ConstBytes data)
+{
+    if (state_ != State::established) return err("mctls: not established");
+    auto keys = context_keys_.find(context_id);
+    if (keys == context_keys_.end()) return err("mctls: unknown context");
+
+    Direction dir = is_client_ ? Direction::client_to_server : Direction::server_to_client;
+    size_t off = 0;
+    do {
+        size_t take = std::min(kAppChunkLimit, data.size() - off);
+        Bytes fragment = seal_record(keys->second, endpoint_keys_, dir, app_send_seq_,
+                                     context_id, data.subspan(off, take), *cfg_.rng);
+        ++app_send_seq_;
+        tls::Record rec{tls::ContentType::application_data, context_id, fragment};
+        Bytes wire = codec_.encode(rec);
+        app_overhead_bytes_ += wire.size() - take;
+        ++app_records_sent_;
+        write_units_.push_back(std::move(wire));
+        off += take;
+    } while (off < data.size());
+    return {};
+}
+
+std::vector<AppChunk> Session::take_app_data()
+{
+    return std::exchange(app_chunks_, {});
+}
+
+std::vector<Bytes> Session::take_write_units()
+{
+    return std::exchange(write_units_, {});
+}
+
+}  // namespace mct::mctls

@@ -1,0 +1,191 @@
+// mcTLS endpoint session (client or server), sans-IO.
+//
+// Implements the full handshake of Figure 1 — middlebox list negotiation,
+// per-hop ephemeral key exchanges, contributory (partial) context keys or
+// client-key-distribution mode — and the three-MAC record protocol of §3.4.
+//
+// Like tls::Session, the state machine consumes raw network bytes with
+// feed() and emits write units (one transport send() each): handshake
+// flights coalesce into one unit; each application record is its own unit.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/ops.h"
+#include "mctls/context_crypto.h"
+#include "mctls/messages.h"
+#include "mctls/transcript.h"
+#include "mctls/types.h"
+#include "pki/trust_store.h"
+#include "tls/record.h"
+#include "tls/session.h"
+#include "util/rng.h"
+
+namespace mct::mctls {
+
+// Server-side permission policy: given a middlebox and the client-requested
+// permission for one context, return the granted permission (possibly
+// lower). Null policy grants whatever was requested.
+using PermissionPolicy =
+    std::function<Permission(const MiddleboxInfo&, const ContextDescription&, Permission)>;
+
+struct SessionConfig {
+    tls::Role role = tls::Role::client;
+    std::string server_name;  // client: expected server certificate subject
+
+    // Client: session composition (middleboxes in path order, client first).
+    std::vector<MiddleboxInfo> middleboxes;
+    std::vector<ContextDescription> contexts;
+
+    // Server identity.
+    std::vector<pki::Certificate> chain;
+    Bytes private_key;
+
+    const pki::TrustStore* trust = nullptr;
+    // R1 is optional for servers (§3.1): verify middlebox certificates?
+    bool authenticate_middleboxes = true;
+
+    // Server: opt into client key distribution mode (§3.6).
+    bool client_key_distribution = false;
+    PermissionPolicy policy;
+
+    Rng* rng = nullptr;
+    crypto::OpCounters* ops = nullptr;
+    uint64_t now = 100;
+};
+
+struct AppChunk {
+    uint8_t context_id = 0;
+    Bytes data;
+    // False when a trusted writer middlebox legally modified the data
+    // (endpoint MAC no longer matches, writer MAC does).
+    bool from_endpoint = true;
+};
+
+class Session {
+public:
+    explicit Session(SessionConfig cfg);
+
+    void start();  // client only
+    Status feed(ConstBytes wire);
+    std::vector<Bytes> take_write_units();
+
+    bool handshake_complete() const { return state_ == State::established; }
+    bool failed() const { return state_ == State::failed; }
+    const std::string& error() const { return error_; }
+
+    Status send_app_data(uint8_t context_id, ConstBytes data);
+    std::vector<AppChunk> take_app_data();
+
+    // Negotiated session composition (valid once the hellos are exchanged).
+    const std::vector<MiddleboxInfo>& middleboxes() const { return middleboxes_; }
+    const std::vector<ContextDescription>& contexts() const { return contexts_; }
+    bool client_key_distribution() const { return ckd_; }
+    // Effective (granted) permission for middlebox `mbox` in context `ctx`.
+    Permission granted_permission(size_t mbox, uint8_t ctx) const;
+
+    uint64_t handshake_wire_bytes() const { return handshake_wire_bytes_; }
+    uint64_t app_overhead_bytes() const { return app_overhead_bytes_; }
+    uint64_t app_records_sent() const { return app_records_sent_; }
+
+private:
+    enum class State {
+        idle,
+        wait_server_flight,   // client
+        wait_server_second,   // client: server CKM + CCS + Finished
+        wait_client_hello,    // server
+        wait_client_flight,   // server: bundles, CKE, CKMs, CCS, Finished
+        established,
+        failed,
+    };
+
+    struct MiddleboxState {
+        MiddleboxInfo info;
+        Bytes random;
+        std::vector<pki::Certificate> chain;
+        Bytes kx_for_client;  // DH+_M1
+        Bytes kx_for_server;  // DH+_M2
+        AuthEncKey pairwise;  // K_C-M or K_S-M (our side)
+        bool hello_seen = false;
+        bool kx_client_seen = false;
+        bool kx_server_seen = false;
+        bool complete() const { return hello_seen && kx_client_seen && kx_server_seen; }
+    };
+
+    Status fail(std::string message);
+    void queue_record(const tls::Record& record, bool own_unit);
+    void append_handshake_to_flight(const tls::HandshakeMessage& msg, Bytes* flight);
+    void flush_flight_into_unit(ConstBytes flight, Bytes* unit);
+
+    Status handle_record(const tls::Record& record);
+    Status handle_handshake(const tls::HandshakeMessage& msg);
+    Status handle_bundle_message(const tls::HandshakeMessage& msg);
+    Status client_handle(const tls::HandshakeMessage& msg);
+    Status server_handle(const tls::HandshakeMessage& msg);
+    Status handle_app_record(const tls::Record& record);
+
+    Status client_send_second_flight();
+    Status server_send_final_flight();
+    Status verify_peer_finished(const tls::HandshakeMessage& msg);
+
+    const ContextDescription* find_context(uint8_t id) const;
+    Permission requested_permission(size_t mbox, uint8_t ctx) const;
+    void derive_endpoint_secrets();  // S_C-S, K_endpoints, control protectors
+    Bytes finished_verify_data(const char* label, bool include_client_finished);
+    Bytes seal_middlebox_material(size_t mbox_index);
+    Status unseal_middlebox_material_from_peer(const MiddleboxKeyMaterial& km);
+
+    SessionConfig cfg_;
+    State state_ = State::idle;
+    std::string error_;
+    bool is_client_ = true;
+
+    tls::RecordCodec codec_{/*with_context_id=*/true};
+    tls::HandshakeReader handshake_reader_;
+    std::vector<Bytes> write_units_;
+    std::vector<AppChunk> app_chunks_;
+
+    // Negotiated composition.
+    std::vector<MiddleboxInfo> middleboxes_;
+    std::vector<ContextDescription> contexts_;  // client-requested permissions
+    std::vector<std::vector<Permission>> granted_;  // [context][middlebox]
+    bool ckd_ = false;
+
+    Transcript transcript_;
+    Bytes client_random_;
+    Bytes server_random_;
+    Bytes own_secret_;       // S_C or S_S (partial-key seed)
+    Bytes dh_private_;
+    Bytes dh_public_;
+    Bytes peer_dh_public_;
+    Bytes s_cs_;             // endpoint master secret
+    EndpointKeys endpoint_keys_;
+    std::vector<MiddleboxState> mbox_state_;
+    std::vector<pki::Certificate> server_chain_;
+    std::map<uint8_t, PartialContextKeys> own_partials_;
+    std::map<uint8_t, PartialContextKeys> peer_partials_;
+    std::map<uint8_t, ContextKeys> context_keys_;
+    bool peer_material_received_ = false;
+
+    std::unique_ptr<tls::CbcHmacProtector> control_send_;
+    std::unique_ptr<tls::CbcHmacProtector> control_recv_;
+    bool ccs_sent_ = false;
+    bool ccs_received_ = false;
+    bool shd_seen_ = false;
+    bool finished_sent_ = false;
+    Bytes pending_client_finished_;  // server: arrived before use
+
+    uint64_t app_send_seq_ = 0;
+    uint64_t app_recv_seq_ = 0;
+
+    uint64_t handshake_wire_bytes_ = 0;
+    uint64_t app_overhead_bytes_ = 0;
+    uint64_t app_records_sent_ = 0;
+};
+
+}  // namespace mct::mctls

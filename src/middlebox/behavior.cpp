@@ -1,0 +1,40 @@
+#include "middlebox/behavior.h"
+
+namespace mct::mbox {
+
+void Behavior::attach(mctls::MiddleboxConfig& cfg)
+{
+    cfg.observe = [this](uint8_t ctx, mctls::Direction dir, ConstBytes payload) {
+        observe(ctx, dir, payload);
+    };
+    cfg.transform = [this](uint8_t ctx, mctls::Direction dir, Bytes payload) {
+        return transform(ctx, dir, std::move(payload));
+    };
+}
+
+std::vector<mctls::Permission> Behavior::permission_row() const
+{
+    std::vector<mctls::Permission> row;
+    for (uint8_t ctx = 1; ctx <= 4; ++ctx) row.push_back(permission_for(ctx));
+    return row;
+}
+
+std::string first_line(ConstBytes header_block)
+{
+    std::string text = bytes_to_str(header_block);
+    size_t eol = text.find("\r\n");
+    return eol == std::string::npos ? text : text.substr(0, eol);
+}
+
+std::string header_value(ConstBytes header_block, const std::string& name)
+{
+    std::string text = bytes_to_str(header_block);
+    std::string needle = "\r\n" + name + ": ";
+    size_t pos = text.find(needle);
+    if (pos == std::string::npos) return {};
+    size_t start = pos + needle.size();
+    size_t end = text.find("\r\n", start);
+    return text.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+}  // namespace mct::mbox

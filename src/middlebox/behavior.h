@@ -1,0 +1,52 @@
+// Application-level middlebox behaviours (Table 1 of the paper), built on
+// the mcTLS observe/transform hooks and the four-context HTTP strategy:
+//
+//                      req hdr   req body   resp hdr   resp body
+//   Cache               read       -          write      write
+//   Compression          -         write       -         write
+//   Load balancer       read        -          -           -
+//   IDS                 read       read       read        read
+//   Parental filter     read        -          -           -
+//   Tracker blocker     write       -         write        -
+//   Packet pacer         -          -          -           -
+//   WAN optimizer       read       write      read        write
+//
+// A Behavior declares the permission it needs per context (least privilege,
+// R5) and reacts to plaintext it is allowed to see. attach() wires it into a
+// mctls::MiddleboxConfig.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "http/strategy.h"
+#include "mctls/middlebox.h"
+#include "mctls/types.h"
+
+namespace mct::mbox {
+
+class Behavior {
+public:
+    virtual ~Behavior() = default;
+
+    virtual const char* name() const = 0;
+    // Permission required for a four-context-strategy context id.
+    virtual mctls::Permission permission_for(uint8_t context_id) const = 0;
+
+    virtual void observe(uint8_t, mctls::Direction, ConstBytes) {}
+    virtual Bytes transform(uint8_t, mctls::Direction, Bytes payload) { return payload; }
+
+    // Install observe/transform into the middlebox session config.
+    void attach(mctls::MiddleboxConfig& cfg);
+
+    // Build the client's permission row for this behavior under the
+    // four-context strategy.
+    std::vector<mctls::Permission> permission_row() const;
+};
+
+// Helpers shared by header-reading behaviors.
+std::string first_line(ConstBytes header_block);
+// Value of a header within a serialized head, or empty string.
+std::string header_value(ConstBytes header_block, const std::string& name);
+
+}  // namespace mct::mbox

@@ -1,0 +1,61 @@
+#include "middlebox/cache.h"
+
+namespace mct::mbox {
+
+mctls::Permission Cache::permission_for(uint8_t ctx) const
+{
+    switch (ctx) {
+    case http::kCtxRequestHeaders:
+        return mctls::Permission::read;
+    case http::kCtxResponseHeaders:
+    case http::kCtxResponseBody:
+        return mctls::Permission::write;
+    default:
+        return mctls::Permission::none;
+    }
+}
+
+void Cache::observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload)
+{
+    if (ctx != http::kCtxRequestHeaders || dir != mctls::Direction::client_to_server) return;
+    // "GET /path HTTP/1.1"
+    std::string line = first_line(payload);
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.rfind(' ');
+    if (sp1 == std::string::npos || sp2 <= sp1) return;
+    current_path_ = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    serving_hit_ = store_.get(current_path_) != nullptr;
+    if (serving_hit_)
+        ++hits_;
+    else
+        ++misses_;
+}
+
+Bytes Cache::transform(uint8_t ctx, mctls::Direction dir, Bytes payload)
+{
+    if (dir != mctls::Direction::server_to_client) return payload;
+    if (ctx == http::kCtxResponseHeaders && serving_hit_) {
+        // Stamp the hit so endpoints (and tests) can see the rewrite.
+        std::string head = bytes_to_str(payload);
+        size_t end = head.rfind("\r\n\r\n");
+        if (end != std::string::npos)
+            head.insert(end + 2, "X-Cache: HIT\r\n");
+        return str_to_bytes(head);
+    }
+    if (ctx == http::kCtxResponseBody) {
+        if (serving_hit_) {
+            const Bytes* cached = store_.get(current_path_);
+            if (cached && cached->size() == payload.size()) return *cached;
+            return payload;
+        }
+        // Miss: remember the body for next time. Bodies can span several
+        // records; accumulate under the current path.
+        Bytes existing;
+        if (const Bytes* prior = store_.get(current_path_)) existing = *prior;
+        append(existing, payload);
+        store_.put(current_path_, std::move(existing));
+    }
+    return payload;
+}
+
+}  // namespace mct::mbox

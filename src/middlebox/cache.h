@@ -1,0 +1,53 @@
+// In-network HTTP cache (Table 1: read request headers, write response).
+//
+// Reads request heads to learn the URL, stores response bodies, and on a
+// repeat request *rewrites* the origin's response body with the cached copy
+// (stamping an X-Cache header). Within core mcTLS a writer may modify
+// records but not suppress them (implicit global sequence numbers — §3.4),
+// so the cache cannot elide the upstream fetch; rewriting demonstrates the
+// permission machinery and lets endpoints detect the legal modification.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "middlebox/behavior.h"
+
+namespace mct::mbox {
+
+class CacheStore {
+public:
+    void put(const std::string& key, Bytes body) { entries_[key] = std::move(body); }
+    const Bytes* get(const std::string& key) const
+    {
+        auto it = entries_.find(key);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+    size_t size() const { return entries_.size(); }
+
+private:
+    std::map<std::string, Bytes> entries_;
+};
+
+class Cache final : public Behavior {
+public:
+    explicit Cache(CacheStore& store) : store_(store) {}
+
+    const char* name() const override { return "cache"; }
+    mctls::Permission permission_for(uint8_t ctx) const override;
+
+    void observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload) override;
+    Bytes transform(uint8_t ctx, mctls::Direction dir, Bytes payload) override;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+private:
+    CacheStore& store_;
+    std::string current_path_;
+    bool serving_hit_ = false;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+}  // namespace mct::mbox

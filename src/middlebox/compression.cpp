@@ -1,0 +1,46 @@
+#include "middlebox/compression.h"
+
+namespace mct::mbox {
+
+namespace {
+
+bool has_magic(ConstBytes payload)
+{
+    return payload.size() >= 4 && payload[0] == kCompressedMagic[0] &&
+           payload[1] == kCompressedMagic[1] && payload[2] == kCompressedMagic[2] &&
+           payload[3] == kCompressedMagic[3];
+}
+
+}  // namespace
+
+Bytes Compressor::transform(uint8_t ctx, mctls::Direction dir, Bytes payload)
+{
+    bool body = ctx == http::kCtxResponseBody || ctx == http::kCtxRequestBody;
+    bool toward_client = dir == mctls::Direction::server_to_client;
+    if (!body || !toward_client || payload.empty() || has_magic(payload)) return payload;
+
+    bytes_in_ += payload.size();
+    Bytes compressed = lzss_compress(payload);
+    if (compressed.size() + 4 >= payload.size()) {
+        // Incompressible: leave it alone.
+        bytes_out_ += payload.size();
+        return payload;
+    }
+    Bytes out(kCompressedMagic, kCompressedMagic + 4);
+    append(out, compressed);
+    bytes_out_ += out.size();
+    return out;
+}
+
+Bytes Decompressor::transform(uint8_t ctx, mctls::Direction dir, Bytes payload)
+{
+    bool body = ctx == http::kCtxResponseBody || ctx == http::kCtxRequestBody;
+    if (!body || dir != mctls::Direction::server_to_client || !has_magic(payload))
+        return payload;
+    auto restored = lzss_decompress(ConstBytes{payload}.subspan(4));
+    if (!restored) return payload;  // corrupt marker collision: pass through
+    ++records_restored_;
+    return restored.take();
+}
+
+}  // namespace mct::mbox

@@ -1,0 +1,58 @@
+// Data-compression proxy pair (§4.2 "Data Compression Proxy"; Table 1:
+// write access to bodies).
+//
+// Deployed as a pair bracketing a slow link (the Flywheel/Chrome-proxy
+// pattern in-network): the compressor near the server LZSS-compresses
+// response-body records, the decompressor near the client restores them.
+// Both are writers for the body contexts; endpoints see the legal
+// modifications via the endpoint MAC. The bytes between the pair shrink,
+// which bench/ablation code measures on the middle link.
+#pragma once
+
+#include "middlebox/behavior.h"
+#include "middlebox/lzss.h"
+
+namespace mct::mbox {
+
+class Compressor final : public Behavior {
+public:
+    const char* name() const override { return "compressor"; }
+    mctls::Permission permission_for(uint8_t ctx) const override
+    {
+        return ctx == http::kCtxResponseBody || ctx == http::kCtxRequestBody
+                   ? mctls::Permission::write
+                   : mctls::Permission::none;
+    }
+
+    Bytes transform(uint8_t ctx, mctls::Direction dir, Bytes payload) override;
+
+    uint64_t bytes_in() const { return bytes_in_; }
+    uint64_t bytes_out() const { return bytes_out_; }
+
+private:
+    uint64_t bytes_in_ = 0;
+    uint64_t bytes_out_ = 0;
+};
+
+class Decompressor final : public Behavior {
+public:
+    const char* name() const override { return "decompressor"; }
+    mctls::Permission permission_for(uint8_t ctx) const override
+    {
+        return ctx == http::kCtxResponseBody || ctx == http::kCtxRequestBody
+                   ? mctls::Permission::write
+                   : mctls::Permission::none;
+    }
+
+    Bytes transform(uint8_t ctx, mctls::Direction dir, Bytes payload) override;
+
+    uint64_t records_restored() const { return records_restored_; }
+
+private:
+    uint64_t records_restored_ = 0;
+};
+
+// Marker prefix distinguishing compressed records from untouched ones.
+constexpr uint8_t kCompressedMagic[4] = {'M', 'C', 'L', 'Z'};
+
+}  // namespace mct::mbox

@@ -1,0 +1,56 @@
+#include "middlebox/inspection.h"
+
+#include <algorithm>
+
+namespace mct::mbox {
+
+void Ids::observe(uint8_t, mctls::Direction, ConstBytes payload)
+{
+    bytes_scanned_ += payload.size();
+    std::string text = bytes_to_str(payload);
+    for (const auto& signature : signatures_) {
+        if (text.find(signature) != std::string::npos) ++alerts_;
+    }
+}
+
+void ParentalFilter::observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload)
+{
+    if (ctx != http::kCtxRequestHeaders || dir != mctls::Direction::client_to_server) return;
+    ++requests_checked_;
+    std::string host = header_value(payload, "Host");
+    std::string line = first_line(payload);
+    for (const auto& blocked : blocked_hosts_) {
+        if (host == blocked || line.find(blocked) != std::string::npos) {
+            blocked_ = true;
+            return;
+        }
+    }
+}
+
+void LoadBalancer::observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload)
+{
+    if (ctx != http::kCtxRequestHeaders || dir != mctls::Direction::client_to_server) return;
+    std::string line = first_line(payload);
+    size_t h = std::hash<std::string>{}(line);
+    decisions_.push_back(n_backends_ == 0 ? 0 : h % n_backends_);
+}
+
+Bytes TrackerBlocker::transform(uint8_t ctx, mctls::Direction, Bytes payload)
+{
+    if (ctx != http::kCtxRequestHeaders && ctx != http::kCtxResponseHeaders) return payload;
+    std::string text = bytes_to_str(payload);
+    for (const auto& name : blocked_headers_) {
+        std::string needle = "\r\n" + name + ": ";
+        size_t pos;
+        while ((pos = text.find(needle)) != std::string::npos) {
+            size_t line_start = pos + 2;
+            size_t line_end = text.find("\r\n", line_start);
+            if (line_end == std::string::npos) break;
+            text.erase(line_start, line_end + 2 - line_start);
+            ++headers_stripped_;
+        }
+    }
+    return str_to_bytes(text);
+}
+
+}  // namespace mct::mbox

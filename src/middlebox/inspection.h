@@ -1,0 +1,107 @@
+// Read-only / header-rewriting middleboxes from Table 1:
+//
+//   Ids            - reads every context, matches attack signatures
+//   ParentalFilter - reads request headers, flags blocked URLs
+//   LoadBalancer   - reads request headers, picks a backend per request
+//   TrackerBlocker - writes headers, strips tracking headers (Cookie etc.)
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "middlebox/behavior.h"
+
+namespace mct::mbox {
+
+class Ids final : public Behavior {
+public:
+    explicit Ids(std::vector<std::string> signatures) : signatures_(std::move(signatures)) {}
+
+    const char* name() const override { return "ids"; }
+    mctls::Permission permission_for(uint8_t) const override
+    {
+        return mctls::Permission::read;  // read-only on everything
+    }
+
+    void observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload) override;
+
+    uint64_t alerts() const { return alerts_; }
+    uint64_t bytes_scanned() const { return bytes_scanned_; }
+
+private:
+    std::vector<std::string> signatures_;
+    uint64_t alerts_ = 0;
+    uint64_t bytes_scanned_ = 0;
+};
+
+class ParentalFilter final : public Behavior {
+public:
+    explicit ParentalFilter(std::set<std::string> blocked_hosts)
+        : blocked_hosts_(std::move(blocked_hosts)) {}
+
+    const char* name() const override { return "parental-filter"; }
+    mctls::Permission permission_for(uint8_t ctx) const override
+    {
+        return ctx == http::kCtxRequestHeaders ? mctls::Permission::read
+                                               : mctls::Permission::none;
+    }
+
+    void observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload) override;
+
+    // The filter drops non-compliant connections (§4.2): the relay wiring
+    // checks this flag and closes the session.
+    bool blocked() const { return blocked_; }
+    uint64_t requests_checked() const { return requests_checked_; }
+
+private:
+    std::set<std::string> blocked_hosts_;
+    bool blocked_ = false;
+    uint64_t requests_checked_ = 0;
+};
+
+class LoadBalancer final : public Behavior {
+public:
+    explicit LoadBalancer(size_t n_backends) : n_backends_(n_backends) {}
+
+    const char* name() const override { return "load-balancer"; }
+    mctls::Permission permission_for(uint8_t ctx) const override
+    {
+        return ctx == http::kCtxRequestHeaders ? mctls::Permission::read
+                                               : mctls::Permission::none;
+    }
+
+    void observe(uint8_t ctx, mctls::Direction dir, ConstBytes payload) override;
+
+    const std::vector<size_t>& decisions() const { return decisions_; }
+
+private:
+    size_t n_backends_;
+    std::vector<size_t> decisions_;
+};
+
+class TrackerBlocker final : public Behavior {
+public:
+    explicit TrackerBlocker(std::vector<std::string> blocked_headers = {"Cookie",
+                                                                        "Set-Cookie",
+                                                                        "X-Tracking-Id"})
+        : blocked_headers_(std::move(blocked_headers)) {}
+
+    const char* name() const override { return "tracker-blocker"; }
+    mctls::Permission permission_for(uint8_t ctx) const override
+    {
+        return ctx == http::kCtxRequestHeaders || ctx == http::kCtxResponseHeaders
+                   ? mctls::Permission::write
+                   : mctls::Permission::none;
+    }
+
+    Bytes transform(uint8_t ctx, mctls::Direction dir, Bytes payload) override;
+
+    uint64_t headers_stripped() const { return headers_stripped_; }
+
+private:
+    std::vector<std::string> blocked_headers_;
+    uint64_t headers_stripped_ = 0;
+};
+
+}  // namespace mct::mbox

@@ -1,0 +1,113 @@
+#include "middlebox/lzss.h"
+
+#include <array>
+
+namespace mct::mbox {
+
+namespace {
+
+constexpr size_t kWindowSize = 4096;   // offset fits 12 bits
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 18;       // length - kMinMatch fits 4 bits
+
+// 3-byte rolling hash heads for match candidates.
+constexpr size_t kHashSize = 1 << 13;
+
+size_t hash3(const uint8_t* p)
+{
+    uint32_t v = static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+                 static_cast<uint32_t>(p[2]) << 16;
+    return (v * 2654435761u) >> 19 & (kHashSize - 1);
+}
+
+}  // namespace
+
+Bytes lzss_compress(ConstBytes input)
+{
+    Bytes out;
+    out.reserve(input.size() / 2 + 16);
+    // Original length prefix (32-bit) for sanity checking on decompress.
+    for (int shift = 24; shift >= 0; shift -= 8)
+        out.push_back(static_cast<uint8_t>(input.size() >> shift));
+
+    std::array<size_t, kHashSize> head;
+    head.fill(SIZE_MAX);
+
+    size_t pos = 0;
+    while (pos < input.size()) {
+        size_t flag_index = out.size();
+        out.push_back(0);
+        uint8_t flag = 0;
+        for (int item = 0; item < 8 && pos < input.size(); ++item) {
+            size_t best_len = 0;
+            size_t best_offset = 0;
+            if (pos + kMinMatch <= input.size()) {
+                size_t h = hash3(input.data() + pos);
+                size_t candidate = head[h];
+                if (candidate != SIZE_MAX && candidate < pos &&
+                    pos - candidate <= kWindowSize) {
+                    size_t limit = std::min(kMaxMatch, input.size() - pos);
+                    size_t len = 0;
+                    while (len < limit && input[candidate + len] == input[pos + len]) ++len;
+                    if (len >= kMinMatch) {
+                        best_len = len;
+                        best_offset = pos - candidate;
+                    }
+                }
+                head[h] = pos;
+            }
+            if (best_len >= kMinMatch) {
+                // Back-reference: 12-bit offset, 4-bit (length - kMinMatch).
+                flag |= static_cast<uint8_t>(1 << item);
+                uint16_t token = static_cast<uint16_t>(
+                    (best_offset - 1) << 4 | (best_len - kMinMatch));
+                out.push_back(static_cast<uint8_t>(token >> 8));
+                out.push_back(static_cast<uint8_t>(token));
+                // Index the skipped positions for future matches.
+                for (size_t i = 1; i < best_len && pos + i + kMinMatch <= input.size(); ++i)
+                    head[hash3(input.data() + pos + i)] = pos + i;
+                pos += best_len;
+            } else {
+                out.push_back(input[pos]);
+                ++pos;
+            }
+        }
+        out[flag_index] = flag;
+    }
+    return out;
+}
+
+Result<Bytes> lzss_decompress(ConstBytes compressed)
+{
+    if (compressed.size() < 4) return err("lzss: truncated header");
+    size_t expected = 0;
+    for (int i = 0; i < 4; ++i) expected = expected << 8 | compressed[i];
+    if (expected > 256 * 1024 * 1024) return err("lzss: implausible length");
+
+    Bytes out;
+    out.reserve(expected);
+    size_t pos = 4;
+    while (out.size() < expected) {
+        if (pos >= compressed.size()) return err("lzss: truncated stream");
+        uint8_t flag = compressed[pos++];
+        for (int item = 0; item < 8 && out.size() < expected; ++item) {
+            if (flag & (1 << item)) {
+                if (pos + 2 > compressed.size()) return err("lzss: truncated token");
+                uint16_t token = static_cast<uint16_t>(compressed[pos] << 8 | compressed[pos + 1]);
+                pos += 2;
+                size_t offset = (token >> 4) + 1;
+                size_t length = (token & 0x0f) + kMinMatch;
+                if (offset > out.size()) return err("lzss: bad back-reference");
+                for (size_t i = 0; i < length; ++i)
+                    out.push_back(out[out.size() - offset]);
+            } else {
+                if (pos >= compressed.size()) return err("lzss: truncated literal");
+                out.push_back(compressed[pos++]);
+            }
+        }
+    }
+    if (out.size() != expected) return err("lzss: length mismatch");
+    return out;
+}
+
+}  // namespace mct::mbox

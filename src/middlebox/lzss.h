@@ -1,0 +1,15 @@
+// LZSS compression (from scratch), used by the compression-proxy and
+// WAN-optimizer middleboxes. Classic sliding-window scheme: a flag byte
+// precedes each group of eight items; items are literals or
+// (offset, length) back-references into a 4 KiB window.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::mbox {
+
+Bytes lzss_compress(ConstBytes input);
+Result<Bytes> lzss_decompress(ConstBytes compressed);
+
+}  // namespace mct::mbox

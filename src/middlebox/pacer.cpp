@@ -1,0 +1,20 @@
+#include "middlebox/pacer.h"
+
+#include <algorithm>
+
+namespace mct::mbox {
+
+net::SimTime TokenBucketPacer::delay_for(net::SimTime now, size_t bytes)
+{
+    double elapsed_sec = static_cast<double>(now - last_update_) / 1e6;
+    last_update_ = now;
+    tokens_ = std::min(static_cast<double>(burst_bytes_),
+                       tokens_ + elapsed_sec * rate_bps_ / 8.0);
+    tokens_ -= static_cast<double>(bytes);
+    if (tokens_ >= 0) return 0;
+    // Wait until the deficit refills.
+    double wait_sec = -tokens_ * 8.0 / rate_bps_;
+    return static_cast<net::SimTime>(wait_sec * 1e6);
+}
+
+}  // namespace mct::mbox

@@ -1,0 +1,43 @@
+// Packet pacer (Table 1: no application-data access at all).
+//
+// Pacing operates on ciphertext timing, not content, so the Behavior
+// requests Permission::none for every context — the least-privilege poster
+// child. The actual pacing lives in TokenBucketPacer, which relay wiring
+// uses to schedule forwarding of opaque records.
+#pragma once
+
+#include <cstdint>
+
+#include "middlebox/behavior.h"
+#include "net/event_loop.h"
+
+namespace mct::mbox {
+
+class PacerBehavior final : public Behavior {
+public:
+    const char* name() const override { return "packet-pacer"; }
+    mctls::Permission permission_for(uint8_t) const override
+    {
+        return mctls::Permission::none;
+    }
+};
+
+// Classic token bucket over simulated time: delay(bytes) returns how long a
+// buffer of that size must wait before forwarding to respect `rate_bps`.
+class TokenBucketPacer {
+public:
+    TokenBucketPacer(double rate_bps, size_t burst_bytes)
+        : rate_bps_(rate_bps), burst_bytes_(burst_bytes), tokens_(static_cast<double>(burst_bytes)) {}
+
+    // Advance the bucket to `now` and compute the forwarding delay for a
+    // message of `bytes`; consumes the tokens.
+    net::SimTime delay_for(net::SimTime now, size_t bytes);
+
+private:
+    double rate_bps_;
+    size_t burst_bytes_;
+    double tokens_;
+    net::SimTime last_update_ = 0;
+};
+
+}  // namespace mct::mbox

@@ -1,0 +1,40 @@
+#include "net/event_loop.h"
+
+#include <stdexcept>
+
+namespace mct::net {
+
+void EventLoop::schedule_at(SimTime when, std::function<void()> fn)
+{
+    if (when < now_) throw std::logic_error("EventLoop: scheduling into the past");
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+size_t EventLoop::run()
+{
+    size_t count = 0;
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        ++count;
+    }
+    return count;
+}
+
+size_t EventLoop::run_until(SimTime deadline)
+{
+    size_t count = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ev.fn();
+        ++count;
+    }
+    now_ = std::max(now_, deadline);
+    return count;
+}
+
+}  // namespace mct::net

@@ -1,0 +1,60 @@
+// Discrete-event simulation loop with a virtual clock.
+//
+// Time is in integer microseconds. Events scheduled for the same instant run
+// in scheduling order (a strictly increasing sequence number breaks ties), so
+// simulations are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mct::net {
+
+using SimTime = uint64_t;  // microseconds
+
+constexpr SimTime operator""_ms(unsigned long long v)
+{
+    return static_cast<SimTime>(v) * 1000;
+}
+
+constexpr SimTime operator""_s(unsigned long long v)
+{
+    return static_cast<SimTime>(v) * 1000000;
+}
+
+class EventLoop {
+public:
+    SimTime now() const { return now_; }
+
+    void schedule_at(SimTime when, std::function<void()> fn);
+    void schedule(SimTime delay, std::function<void()> fn) { schedule_at(now_ + delay, fn); }
+
+    // Run events until the queue drains. Returns the number of events run.
+    size_t run();
+
+    // Run events with time <= deadline; the clock ends at the deadline.
+    size_t run_until(SimTime deadline);
+
+    bool idle() const { return queue_.empty(); }
+    size_t pending() const { return queue_.size(); }
+
+private:
+    struct Event {
+        SimTime when;
+        uint64_t seq;
+        std::function<void()> fn;
+        bool operator>(const Event& rhs) const
+        {
+            if (when != rhs.when) return when > rhs.when;
+            return seq > rhs.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+    SimTime now_ = 0;
+    uint64_t next_seq_ = 0;
+};
+
+}  // namespace mct::net

@@ -1,0 +1,53 @@
+// In-memory duplex byte pipe, the real-time counterpart of SimNet.
+//
+// CPU benchmarks (Figure 5, connections/sec) drive the exact same protocol
+// state machines over PipePair so only crypto cost is measured, with no
+// simulated clock involved.
+#pragma once
+
+#include <deque>
+
+#include "util/bytes.h"
+
+namespace mct::net {
+
+class PipeEnd {
+public:
+    void write(ConstBytes data) { peer_rx_->insert(peer_rx_->end(), data.begin(), data.end()); }
+
+    // Drain everything the peer has written so far.
+    Bytes read_all()
+    {
+        Bytes out(rx_.begin(), rx_.end());
+        rx_.clear();
+        return out;
+    }
+
+    bool has_data() const { return !rx_.empty(); }
+
+private:
+    friend class PipePair;
+    std::deque<uint8_t> rx_;
+    std::deque<uint8_t>* peer_rx_ = nullptr;
+};
+
+class PipePair {
+public:
+    PipePair()
+    {
+        a_.peer_rx_ = &b_.rx_;
+        b_.peer_rx_ = &a_.rx_;
+    }
+
+    PipePair(const PipePair&) = delete;
+    PipePair& operator=(const PipePair&) = delete;
+
+    PipeEnd& a() { return a_; }
+    PipeEnd& b() { return b_; }
+
+private:
+    PipeEnd a_;
+    PipeEnd b_;
+};
+
+}  // namespace mct::net

@@ -1,0 +1,246 @@
+#include "net/sim_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mct::net {
+
+void Link::transmit(size_t wire_bytes, std::function<void()> on_arrival)
+{
+    bytes_carried_ += wire_bytes;
+    SimTime start = std::max(loop_.now(), busy_until_);
+    SimTime serialization = 0;
+    if (cfg_.bandwidth_bps > 0) {
+        serialization =
+            static_cast<SimTime>(std::ceil(static_cast<double>(wire_bytes) * 8e6 /
+                                           cfg_.bandwidth_bps));
+    }
+    busy_until_ = start + serialization;
+    if (cfg_.loss_rate > 0 && rng_ && rng_->unit() < cfg_.loss_rate) {
+        ++packets_dropped_;  // consumed link time, never arrives
+        return;
+    }
+    loop_.schedule_at(busy_until_ + cfg_.latency, std::move(on_arrival));
+}
+
+void Connection::send(ConstBytes data)
+{
+    if (fin_queued_) throw std::logic_error("Connection: send after close");
+    app_bytes_sent_ += data.size();
+    append(window_, data);
+    if (established_) pump();
+}
+
+void Connection::close()
+{
+    if (fin_queued_) return;
+    fin_queued_ = true;
+    if (established_) pump();
+}
+
+void Connection::establish()
+{
+    established_ = true;
+    if (on_connect_) on_connect_();
+    pump();
+}
+
+void Connection::pump()
+{
+    while (true) {
+        size_t unsent = window_.size() - next_offset_;
+        if (unsent == 0) break;
+        if (next_offset_ + kMss > cwnd_ && next_offset_ > 0) break;  // window full
+        if (unsent >= kMss) {
+            send_segment_at(next_offset_, kMss);
+        } else if (!nagle_ || next_offset_ == 0 || fin_queued_) {
+            // Nagle: a sub-MSS residue may only go out when nothing is in
+            // flight (or Nagle is off, or we are flushing for close).
+            send_segment_at(next_offset_, unsent);
+        } else {
+            break;
+        }
+    }
+    if (fin_queued_ && !fin_sent_ && next_offset_ == window_.size()) {
+        fin_sent_ = true;
+        wire_bytes_sent_ += kHeaderBytes;
+        Connection* peer = peer_;
+        uint64_t fin_seq = acked_ + window_.size();
+        tx_link_->transmit(kHeaderBytes, [peer, fin_seq] {
+            peer->on_segment_arrival(fin_seq, {}, /*fin=*/true);
+        });
+        arm_rto();
+    }
+}
+
+void Connection::send_segment_at(size_t offset, size_t payload_len)
+{
+    Bytes payload(window_.begin() + offset, window_.begin() + offset + payload_len);
+    uint64_t seq = acked_ + offset;
+    next_offset_ = std::max(next_offset_, offset + payload_len);
+    wire_bytes_sent_ += payload_len + kHeaderBytes;
+    ++segments_sent_;
+    Connection* peer = peer_;
+    tx_link_->transmit(payload_len + kHeaderBytes,
+                       [peer, seq, payload = std::move(payload)]() mutable {
+                           peer->on_segment_arrival(seq, std::move(payload), /*fin=*/false);
+                       });
+    arm_rto();
+}
+
+void Connection::on_segment_arrival(uint64_t seq, Bytes payload, bool fin)
+{
+    Bytes deliver;
+    if (fin) {
+        if (seq == recv_expected_ && !fin_delivered_) {
+            fin_delivered_ = true;
+            recv_expected_ = seq + 1;  // FIN occupies one sequence slot
+        }
+    } else if (seq == recv_expected_) {
+        recv_expected_ += payload.size();
+        deliver = std::move(payload);
+    } else if (seq < recv_expected_ && seq + payload.size() > recv_expected_) {
+        // Retransmission partially beyond what we already have.
+        size_t skip = static_cast<size_t>(recv_expected_ - seq);
+        deliver.assign(payload.begin() + skip, payload.end());
+        recv_expected_ += deliver.size();
+    }
+    // Pure duplicates and out-of-order gaps (go-back-N) fall through: we
+    // just re-ACK the cumulative position.
+
+    app_bytes_received_ += deliver.size();
+    Connection* self = this;
+    uint64_t cumulative = recv_expected_;
+    wire_bytes_sent_ += kHeaderBytes;
+    tx_link_->transmit(kHeaderBytes,
+                       [self, cumulative] { self->peer_->on_ack_arrival(cumulative); });
+    if (!deliver.empty() && on_data_) on_data_(deliver);
+    if (fin && fin_delivered_ && seq + 1 == recv_expected_ && on_close_) {
+        VoidCallback cb = std::exchange(on_close_, nullptr);  // deliver once
+        cb();
+    }
+}
+
+void Connection::on_ack_arrival(uint64_t cumulative_ack)
+{
+    uint64_t stream_end = acked_ + window_.size();
+    if (cumulative_ack > acked_) {
+        size_t stream_adv =
+            static_cast<size_t>(std::min<uint64_t>(cumulative_ack, stream_end) - acked_);
+        window_.erase(window_.begin(), window_.begin() + stream_adv);
+        next_offset_ = next_offset_ > stream_adv ? next_offset_ - stream_adv : 0;
+        acked_ += stream_adv;
+        if (fin_sent_ && cumulative_ack == acked_ + 1 && window_.empty())
+            fin_acked_ = true;
+        cwnd_ = std::min(cwnd_ + kMss, max_cwnd_);  // slow start
+    }
+    pump();
+}
+
+void Connection::arm_rto()
+{
+    if (!rto_enabled_ || rto_armed_) return;
+    rto_armed_ = true;
+    rto_acked_snapshot_ = acked_;
+    loop_->schedule(rto_, [this] { on_rto(); });
+}
+
+void Connection::on_rto()
+{
+    rto_armed_ = false;
+    bool outstanding = next_offset_ > 0 || (fin_sent_ && !fin_acked_);
+    if (!outstanding) return;
+    if (acked_ == rto_acked_snapshot_) {
+        // No progress since arming: go-back-N from the last cumulative ACK.
+        next_offset_ = 0;
+        if (fin_sent_ && !fin_acked_) fin_sent_ = false;
+        cwnd_ = 10 * kMss;
+        pump();
+    }
+    arm_rto();
+}
+
+void SimNet::add_host(const std::string& name)
+{
+    if (std::find(hosts_.begin(), hosts_.end(), name) != hosts_.end())
+        throw std::logic_error("SimNet: duplicate host " + name);
+    hosts_.push_back(name);
+}
+
+void SimNet::add_link(const std::string& a, const std::string& b, LinkConfig cfg)
+{
+    links_[{a, b}] = std::make_unique<Link>(loop_, cfg, &loss_rng_);
+    links_[{b, a}] = std::make_unique<Link>(loop_, cfg, &loss_rng_);
+}
+
+Link* SimNet::link_between(const std::string& from, const std::string& to)
+{
+    auto it = links_.find({from, to});
+    if (it == links_.end())
+        throw std::logic_error("SimNet: no link between " + from + " and " + to);
+    return it->second.get();
+}
+
+void SimNet::listen(const std::string& host, uint16_t port, AcceptCallback on_accept)
+{
+    listeners_[{host, port}] = std::move(on_accept);
+}
+
+ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, uint16_t port)
+{
+    Link* forward = link_between(from, to);
+    Link* reverse = link_between(to, from);
+
+    auto client = std::make_shared<Connection>();
+    auto server = std::make_shared<Connection>();
+    client->loop_ = &loop_;
+    server->loop_ = &loop_;
+    client->tx_link_ = forward;
+    server->tx_link_ = reverse;
+    client->peer_ = server.get();
+    server->peer_ = client.get();
+    bool lossy = forward->lossy() || reverse->lossy();
+    client->rto_enabled_ = lossy;
+    server->rto_enabled_ = lossy;
+    connections_.push_back(client);
+    connections_.push_back(server);
+
+    auto listener = listeners_.find({to, port});
+    if (listener == listeners_.end())
+        throw std::logic_error("SimNet: nothing listening on " + to);
+    AcceptCallback on_accept = listener->second;
+
+    // SYN -> accept at server; SYN-ACK -> established at client. On lossy
+    // paths the client retries the SYN until the handshake completes.
+    Connection* client_raw = client.get();
+    auto send_syn = std::make_shared<std::function<void()>>();
+    std::weak_ptr<std::function<void()>> weak_syn = send_syn;
+    *send_syn = [this, forward, reverse, server, client_raw, on_accept, weak_syn, lossy] {
+        if (client_raw->established_) return;
+        client_raw->wire_bytes_sent_ += kHeaderBytes;
+        forward->transmit(kHeaderBytes, [reverse, server, on_accept, client_raw] {
+            if (!server->established_) {
+                server->established_ = true;
+                on_accept(server);
+                server->pump();
+            }
+            server->wire_bytes_sent_ += kHeaderBytes;
+            reverse->transmit(kHeaderBytes, [client_raw] {
+                if (!client_raw->established_) client_raw->establish();
+            });
+        });
+        if (lossy) {
+            loop_.schedule(client_raw->rto_, [weak_syn, client_raw] {
+                auto retry = weak_syn.lock();
+                if (retry && !client_raw->established_) (*retry)();
+            });
+        }
+    };
+    (*send_syn)();
+    if (lossy) syn_closures_.push_back(send_syn);  // keep retries alive
+    return client;
+}
+
+}  // namespace mct::net

@@ -1,0 +1,168 @@
+// Simulated network: hosts, duplex links (latency + bandwidth), and a TCP
+// model with the mechanisms the paper's evaluation depends on:
+//
+//  - 3-way connection handshake (connect costs one RTT before data flows)
+//  - MSS segmentation (1460-byte payloads, 40-byte TCP/IP headers)
+//  - Nagle's algorithm (sub-MSS residue is held while data is in flight),
+//    switchable per connection like TCP_NODELAY
+//  - slow-start congestion window (IW 10, +1 MSS per ACK)
+//  - per-link FIFO serialization at the configured bandwidth
+//  - optional per-link Bernoulli loss with go-back-N retransmission (RTO),
+//    cumulative ACKs, and SYN retry — enabled only when a link has a
+//    nonzero loss_rate, so loss-free simulations are byte-for-byte
+//    identical to the plain model
+//
+// Middleboxes are application-level relays exactly as in the paper: each hop
+// is its own TCP connection, so "adding a middlebox" adds both a link and a
+// connection handshake.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace mct::net {
+
+constexpr size_t kMss = 1460;         // TCP payload bytes per segment
+constexpr size_t kHeaderBytes = 40;   // TCP/IP header overhead per packet
+
+struct LinkConfig {
+    SimTime latency = 0;          // one-way propagation delay
+    double bandwidth_bps = 0;     // 0 = infinite (no serialization delay)
+    double loss_rate = 0;         // probability a packet is dropped [0,1)
+};
+
+// One direction of a link: FIFO serialization then fixed latency, with an
+// optional Bernoulli loss process (deterministic via the SimNet's seeded
+// RNG).
+class Link {
+public:
+    Link(EventLoop& loop, LinkConfig cfg, Rng* rng) : loop_(loop), cfg_(cfg), rng_(rng) {}
+
+    void transmit(size_t wire_bytes, std::function<void()> on_arrival);
+
+    uint64_t bytes_carried() const { return bytes_carried_; }
+    uint64_t packets_dropped() const { return packets_dropped_; }
+    bool lossy() const { return cfg_.loss_rate > 0; }
+
+private:
+    EventLoop& loop_;
+    LinkConfig cfg_;
+    Rng* rng_;
+    SimTime busy_until_ = 0;
+    uint64_t bytes_carried_ = 0;
+    uint64_t packets_dropped_ = 0;
+};
+
+class Connection;
+using ConnectionPtr = std::shared_ptr<Connection>;
+using DataCallback = std::function<void(ConstBytes)>;
+using VoidCallback = std::function<void()>;
+using AcceptCallback = std::function<void(ConnectionPtr)>;
+
+class SimNet;
+
+// One endpoint's view of a TCP connection.
+class Connection {
+public:
+    // Queue application data; the TCP model segments and paces it.
+    void send(ConstBytes data);
+    // Half-close after all queued data: peer sees on_close.
+    void close();
+
+    void set_on_connect(VoidCallback cb) { on_connect_ = std::move(cb); }
+    void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
+    void set_on_close(VoidCallback cb) { on_close_ = std::move(cb); }
+    // false disables Nagle (TCP_NODELAY).
+    void set_nagle(bool enabled) { nagle_ = enabled; }
+
+    bool connected() const { return established_; }
+    uint64_t app_bytes_sent() const { return app_bytes_sent_; }
+    uint64_t app_bytes_received() const { return app_bytes_received_; }
+    uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+    uint64_t segments_sent() const { return segments_sent_; }
+
+private:
+    friend class SimNet;
+
+    void pump();
+    void send_segment_at(size_t offset, size_t payload_len);
+    void on_segment_arrival(uint64_t seq, Bytes payload, bool fin);
+    void on_ack_arrival(uint64_t cumulative_ack);
+    void establish();
+    void arm_rto();
+    void on_rto();
+
+    EventLoop* loop_ = nullptr;
+    Link* tx_link_ = nullptr;   // carries our segments toward the peer
+    Connection* peer_ = nullptr;
+
+    // Send side: window_ holds every byte from acked_ onward (unacked +
+    // unsent); next_offset_ indexes the first unsent byte within it.
+    Bytes window_;
+    size_t next_offset_ = 0;
+    uint64_t acked_ = 0;        // cumulative bytes acknowledged by the peer
+    size_t cwnd_ = 10 * kMss;
+    size_t max_cwnd_ = 4 * 1024 * 1024;
+    bool nagle_ = true;
+    bool established_ = false;
+    bool fin_queued_ = false;
+    bool fin_sent_ = false;
+    bool fin_acked_ = false;
+
+    // Receive side: cumulative in-order delivery (go-back-N discards gaps).
+    uint64_t recv_expected_ = 0;
+    bool fin_delivered_ = false;
+
+    // Retransmission (armed only on lossy paths).
+    bool rto_enabled_ = false;
+    SimTime rto_ = 200 * 1000;  // 200 ms
+    bool rto_armed_ = false;
+    uint64_t rto_acked_snapshot_ = 0;
+
+    VoidCallback on_connect_;
+    DataCallback on_data_;
+    VoidCallback on_close_;
+
+    uint64_t app_bytes_sent_ = 0;
+    uint64_t app_bytes_received_ = 0;
+    uint64_t wire_bytes_sent_ = 0;
+    uint64_t segments_sent_ = 0;
+};
+
+class SimNet {
+public:
+    explicit SimNet(EventLoop& loop) : loop_(loop) {}
+
+    void add_host(const std::string& name);
+    // Duplex link with identical properties in both directions.
+    void add_link(const std::string& a, const std::string& b, LinkConfig cfg);
+
+    void listen(const std::string& host, uint16_t port, AcceptCallback on_accept);
+    // Open a connection from `from` to `to`:`port`; hosts must share a link.
+    // The returned connection fires on_connect once the handshake completes.
+    ConnectionPtr connect(const std::string& from, const std::string& to, uint16_t port);
+
+    EventLoop& loop() { return loop_; }
+
+private:
+    Link* link_between(const std::string& from, const std::string& to);
+
+    EventLoop& loop_;
+    TestRng loss_rng_{0x6c6f7373};  // deterministic Bernoulli loss draws
+    std::vector<std::string> hosts_;
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Link>> links_;
+    std::map<std::pair<std::string, uint16_t>, AcceptCallback> listeners_;
+    std::vector<ConnectionPtr> connections_;  // keep-alive for the sim's lifetime
+    std::vector<std::shared_ptr<std::function<void()>>> syn_closures_;
+};
+
+}  // namespace mct::net

@@ -1,0 +1,44 @@
+#include "pki/authority.h"
+
+namespace mct::pki {
+
+Authority::Authority(std::string name, Rng& rng)
+{
+    auto kp = crypto::ed25519_keypair(rng);
+    Certificate cert;
+    cert.subject = name;
+    cert.issuer = name;  // self-signed
+    cert.public_key = kp.public_key;
+    cert.serial = next_serial_++;
+    cert.not_before = 0;
+    cert.not_after = kDefaultExpiry;
+    cert.is_ca = true;
+    cert.signature = crypto::ed25519_sign(kp.private_key, cert.tbs());
+    root_ = Identity{std::move(cert), kp.private_key};
+}
+
+Identity Authority::issue(const std::string& subject, Rng& rng, bool is_ca,
+                          uint64_t not_before, uint64_t not_after)
+{
+    auto kp = crypto::ed25519_keypair(rng);
+    Certificate cert;
+    cert.subject = subject;
+    cert.issuer = root_.certificate.subject;
+    cert.public_key = kp.public_key;
+    cert.serial = next_serial_++;
+    cert.not_before = not_before;
+    cert.not_after = not_after;
+    cert.is_ca = is_ca;
+    cert.signature = crypto::ed25519_sign(root_.private_key, cert.tbs());
+    return Identity{std::move(cert), kp.private_key};
+}
+
+Authority Authority::subordinate(const std::string& name, Rng& rng)
+{
+    Identity id = issue(name, rng, /*is_ca=*/true);
+    Authority sub;
+    sub.root_ = std::move(id);
+    return sub;
+}
+
+}  // namespace mct::pki

@@ -1,0 +1,41 @@
+// Certificate authority: issues the chains used in handshake tests,
+// benchmarks, and examples.
+#pragma once
+
+#include <string>
+
+#include "crypto/ed25519.h"
+#include "pki/certificate.h"
+#include "util/rng.h"
+
+namespace mct::pki {
+
+struct Identity {
+    Certificate certificate;
+    Bytes private_key;  // Ed25519 seed matching certificate.public_key
+};
+
+class Authority {
+public:
+    // Self-signed root CA named `name`.
+    Authority(std::string name, Rng& rng);
+
+    const Certificate& root_certificate() const { return root_.certificate; }
+
+    // Issue an end-entity (or CA, if is_ca) certificate for `subject`.
+    Identity issue(const std::string& subject, Rng& rng, bool is_ca = false,
+                   uint64_t not_before = 0, uint64_t not_after = kDefaultExpiry);
+
+    // Issue a subordinate CA that can itself sign (chain-building tests).
+    Authority subordinate(const std::string& name, Rng& rng);
+
+    static constexpr uint64_t kDefaultExpiry = 10ull * 365 * 24 * 3600;
+
+private:
+    Authority() = default;
+
+    Identity root_;
+    uint64_t next_serial_ = 1;
+};
+
+}  // namespace mct::pki

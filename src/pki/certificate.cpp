@@ -1,0 +1,68 @@
+#include "pki/certificate.h"
+
+#include "crypto/ed25519.h"
+#include "util/serde.h"
+
+namespace mct::pki {
+
+Bytes Certificate::tbs() const
+{
+    Writer w;
+    w.str16(subject);
+    w.str16(issuer);
+    w.vec8(public_key);
+    w.u64(serial);
+    w.u64(not_before);
+    w.u64(not_after);
+    w.u8(is_ca ? 1 : 0);
+    return w.take();
+}
+
+Bytes Certificate::serialize() const
+{
+    Writer w;
+    w.raw(tbs());
+    w.vec8(signature);
+    return w.take();
+}
+
+Result<Certificate> Certificate::parse(ConstBytes wire)
+{
+    Reader r(wire);
+    Certificate cert;
+    auto subject = r.str16();
+    if (!subject) return subject.error();
+    cert.subject = subject.take();
+    auto issuer = r.str16();
+    if (!issuer) return issuer.error();
+    cert.issuer = issuer.take();
+    auto key = r.vec8();
+    if (!key) return key.error();
+    cert.public_key = key.take();
+    auto serial = r.u64();
+    if (!serial) return serial.error();
+    cert.serial = serial.value();
+    auto nb = r.u64();
+    if (!nb) return nb.error();
+    cert.not_before = nb.value();
+    auto na = r.u64();
+    if (!na) return na.error();
+    cert.not_after = na.value();
+    auto ca = r.u8();
+    if (!ca) return ca.error();
+    cert.is_ca = ca.value() != 0;
+    auto sig = r.vec8();
+    if (!sig) return sig.error();
+    cert.signature = sig.take();
+    if (auto s = r.expect_done(); !s) return s.error();
+    if (cert.public_key.size() != crypto::kEd25519PublicKeySize)
+        return err("certificate: bad public key size");
+    return cert;
+}
+
+bool verify_signature(const Certificate& cert, ConstBytes issuer_public_key)
+{
+    return crypto::ed25519_verify(issuer_public_key, cert.tbs(), cert.signature);
+}
+
+}  // namespace mct::pki

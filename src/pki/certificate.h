@@ -1,0 +1,40 @@
+// Minimal certificate format binding a subject name to an Ed25519 key.
+//
+// Plays the role of X.509 in the paper's handshakes: servers and middleboxes
+// present certificate chains; clients (and optionally servers) validate them
+// against a trust store. The format is our own compact TLS-style encoding —
+// the protocol machinery only needs name->key binding, chain signatures, and
+// validity windows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::pki {
+
+struct Certificate {
+    std::string subject;        // e.g. "server.example.com" or "mbox.isp.net"
+    std::string issuer;         // subject of the signing certificate
+    Bytes public_key;           // Ed25519, 32 bytes
+    uint64_t serial = 0;
+    uint64_t not_before = 0;    // validity window, seconds (simulated epoch)
+    uint64_t not_after = 0;
+    bool is_ca = false;
+    Bytes signature;            // Ed25519 over the TBS encoding, by the issuer
+
+    // "To be signed" portion: everything except the signature.
+    Bytes tbs() const;
+
+    Bytes serialize() const;
+    static Result<Certificate> parse(ConstBytes wire);
+
+    bool operator==(const Certificate& rhs) const = default;
+};
+
+// Verify `cert`'s signature under the issuer public key.
+bool verify_signature(const Certificate& cert, ConstBytes issuer_public_key);
+
+}  // namespace mct::pki

@@ -1,0 +1,49 @@
+#include "pki/trust_store.h"
+
+namespace mct::pki {
+
+void TrustStore::add_root(Certificate root)
+{
+    roots_.push_back(std::move(root));
+}
+
+const Certificate* TrustStore::find_root(const std::string& subject) const
+{
+    for (const auto& root : roots_) {
+        if (root.subject == subject) return &root;
+    }
+    return nullptr;
+}
+
+Status TrustStore::verify_chain(const std::vector<Certificate>& chain,
+                                const std::string& expected_subject, uint64_t now) const
+{
+    if (chain.empty()) return err("pki: empty chain");
+    const Certificate& leaf = chain.front();
+    if (!expected_subject.empty() && leaf.subject != expected_subject)
+        return err("pki: subject mismatch: got " + leaf.subject + ", want " + expected_subject);
+
+    for (size_t i = 0; i < chain.size(); ++i) {
+        const Certificate& cert = chain[i];
+        if (now < cert.not_before || now > cert.not_after)
+            return err("pki: certificate outside validity window: " + cert.subject);
+        if (i > 0 && !cert.is_ca)
+            return err("pki: non-CA certificate used as issuer: " + cert.subject);
+
+        if (const Certificate* root = find_root(cert.issuer)) {
+            if (!verify_signature(cert, root->public_key))
+                return err("pki: bad signature by root " + root->subject);
+            return {};  // anchored
+        }
+        if (i + 1 >= chain.size())
+            return err("pki: chain does not reach a trusted root (issuer " + cert.issuer + ")");
+        const Certificate& issuer = chain[i + 1];
+        if (issuer.subject != cert.issuer)
+            return err("pki: chain order broken at " + cert.subject);
+        if (!verify_signature(cert, issuer.public_key))
+            return err("pki: bad signature on " + cert.subject);
+    }
+    return err("pki: unreachable");
+}
+
+}  // namespace mct::pki

@@ -1,0 +1,33 @@
+// Trust store and chain validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pki/certificate.h"
+#include "util/result.h"
+
+namespace mct::pki {
+
+class TrustStore {
+public:
+    void add_root(Certificate root);
+
+    // Validate `chain` (leaf first, roots/intermediates after) at time `now`:
+    //  - the leaf subject must equal `expected_subject` (empty = skip check)
+    //  - every signature must verify against its issuer's key
+    //  - intermediates must have is_ca set
+    //  - the chain must terminate at a trusted root
+    //  - every certificate must be within its validity window
+    Status verify_chain(const std::vector<Certificate>& chain,
+                        const std::string& expected_subject, uint64_t now) const;
+
+    bool empty() const { return roots_.empty(); }
+
+private:
+    const Certificate* find_root(const std::string& subject) const;
+
+    std::vector<Certificate> roots_;
+};
+
+}  // namespace mct::pki

@@ -1,0 +1,191 @@
+#include "tls/messages.h"
+
+namespace mct::tls {
+
+Bytes HandshakeMessage::serialize() const
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(type));
+    w.vec24(body);
+    return w.take();
+}
+
+void HandshakeReader::feed(ConstBytes data)
+{
+    append(buffer_, data);
+}
+
+Result<std::optional<HandshakeMessage>> HandshakeReader::next()
+{
+    if (buffer_.size() < 4) return std::optional<HandshakeMessage>{};
+    uint32_t length = static_cast<uint32_t>(buffer_[1]) << 16 |
+                      static_cast<uint32_t>(buffer_[2]) << 8 | buffer_[3];
+    if (length > 1 << 22) return err("handshake: oversized message");
+    if (buffer_.size() < 4 + length) return std::optional<HandshakeMessage>{};
+    HandshakeMessage msg;
+    msg.type = static_cast<HandshakeType>(buffer_[0]);
+    msg.body.assign(buffer_.begin() + 4, buffer_.begin() + 4 + length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + length);
+    return std::optional<HandshakeMessage>{std::move(msg)};
+}
+
+HandshakeMessage ClientHello::to_message() const
+{
+    Writer w;
+    w.u16(version);
+    w.raw(random);
+    Writer suites;
+    for (uint16_t s : cipher_suites) suites.u16(s);
+    w.vec8(suites.bytes());
+    w.vec16(extensions);
+    return {HandshakeType::client_hello, w.take()};
+}
+
+Result<ClientHello> ClientHello::parse(ConstBytes body)
+{
+    Reader r(body);
+    ClientHello hello;
+    auto version = r.u16();
+    if (!version) return version.error();
+    hello.version = version.value();
+    auto random = r.raw(kRandomSize);
+    if (!random) return random.error();
+    hello.random = random.take();
+    auto suites = r.vec8();
+    if (!suites) return suites.error();
+    if (suites.value().size() % 2 != 0) return err("client_hello: odd suite bytes");
+    Reader sr(suites.value());
+    while (!sr.done()) hello.cipher_suites.push_back(sr.u16().value());
+    auto ext = r.vec16();
+    if (!ext) return ext.error();
+    hello.extensions = ext.take();
+    if (auto s = r.expect_done(); !s) return s.error();
+    return hello;
+}
+
+HandshakeMessage ServerHello::to_message() const
+{
+    Writer w;
+    w.u16(version);
+    w.raw(random);
+    w.u16(cipher_suite);
+    w.vec16(extensions);
+    return {HandshakeType::server_hello, w.take()};
+}
+
+Result<ServerHello> ServerHello::parse(ConstBytes body)
+{
+    Reader r(body);
+    ServerHello hello;
+    auto version = r.u16();
+    if (!version) return version.error();
+    hello.version = version.value();
+    auto random = r.raw(kRandomSize);
+    if (!random) return random.error();
+    hello.random = random.take();
+    auto suite = r.u16();
+    if (!suite) return suite.error();
+    hello.cipher_suite = suite.value();
+    auto ext = r.vec16();
+    if (!ext) return ext.error();
+    hello.extensions = ext.take();
+    if (auto s = r.expect_done(); !s) return s.error();
+    return hello;
+}
+
+HandshakeMessage CertificateMsg::to_message() const
+{
+    Writer inner;
+    for (const auto& cert : chain) inner.vec16(cert.serialize());
+    Writer w;
+    w.vec24(inner.bytes());
+    return {HandshakeType::certificate, w.take()};
+}
+
+Result<CertificateMsg> CertificateMsg::parse(ConstBytes body)
+{
+    Reader r(body);
+    auto list = r.vec24();
+    if (!list) return list.error();
+    if (auto s = r.expect_done(); !s) return s.error();
+    CertificateMsg msg;
+    Reader lr(list.value());
+    while (!lr.done()) {
+        auto wire = lr.vec16();
+        if (!wire) return wire.error();
+        auto cert = pki::Certificate::parse(wire.value());
+        if (!cert) return cert.error();
+        msg.chain.push_back(cert.take());
+    }
+    return msg;
+}
+
+Bytes KeyExchange::signed_payload() const
+{
+    Writer w;
+    w.u8(entity);
+    w.vec8(public_key);
+    return w.take();
+}
+
+HandshakeMessage KeyExchange::to_message() const
+{
+    Writer w;
+    w.u8(entity);
+    w.vec8(public_key);
+    w.vec16(signature);
+    return {msg_type, w.take()};
+}
+
+Result<KeyExchange> KeyExchange::parse(HandshakeType type, ConstBytes body)
+{
+    Reader r(body);
+    KeyExchange kx;
+    kx.msg_type = type;
+    auto entity = r.u8();
+    if (!entity) return entity.error();
+    kx.entity = entity.value();
+    auto pub = r.vec8();
+    if (!pub) return pub.error();
+    kx.public_key = pub.take();
+    auto sig = r.vec16();
+    if (!sig) return sig.error();
+    kx.signature = sig.take();
+    if (auto s = r.expect_done(); !s) return s.error();
+    return kx;
+}
+
+HandshakeMessage ClientKeyExchange::to_message() const
+{
+    Writer w;
+    w.vec8(public_key);
+    return {HandshakeType::client_key_exchange, w.take()};
+}
+
+Result<ClientKeyExchange> ClientKeyExchange::parse(ConstBytes body)
+{
+    Reader r(body);
+    ClientKeyExchange kx;
+    auto pub = r.vec8();
+    if (!pub) return pub.error();
+    kx.public_key = pub.take();
+    if (auto s = r.expect_done(); !s) return s.error();
+    return kx;
+}
+
+HandshakeMessage Finished::to_message() const
+{
+    Writer w;
+    w.raw(verify_data);
+    return {HandshakeType::finished, w.take()};
+}
+
+Result<Finished> Finished::parse(ConstBytes body)
+{
+    if (body.size() != kVerifyDataSize) return err("finished: bad length");
+    Finished fin;
+    fin.verify_data = to_bytes(body);
+    return fin;
+}
+
+}  // namespace mct::tls

@@ -1,0 +1,111 @@
+// TLS handshake message formats (the subset the paper's handshakes use).
+//
+// Framing: type(1) | length(3) | body. The extensions blob in the hello
+// messages is where mcTLS carries its MiddleboxListExtension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pki/certificate.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/serde.h"
+
+namespace mct::tls {
+
+enum class HandshakeType : uint8_t {
+    client_hello = 1,
+    server_hello = 2,
+    certificate = 11,
+    server_key_exchange = 12,
+    server_hello_done = 14,
+    client_key_exchange = 16,
+    finished = 20,
+    // mcTLS additions (values outside the TLS 1.2 assignments).
+    middlebox_hello = 40,
+    middlebox_key_exchange = 41,
+    middlebox_key_material = 42,
+};
+
+constexpr uint16_t kCipherSuiteX25519Ed25519Aes128Sha256 = 0xfe01;
+constexpr size_t kRandomSize = 32;
+constexpr size_t kVerifyDataSize = 12;
+
+struct HandshakeMessage {
+    HandshakeType type;
+    Bytes body;
+
+    Bytes serialize() const;
+};
+
+// Incremental parser for a stream of handshake messages (they can span or
+// share records).
+class HandshakeReader {
+public:
+    void feed(ConstBytes data);
+    Result<std::optional<HandshakeMessage>> next();
+
+private:
+    Bytes buffer_;
+};
+
+struct ClientHello {
+    uint16_t version = 0x0303;
+    Bytes random;                        // 32 bytes
+    std::vector<uint16_t> cipher_suites;
+    Bytes extensions;                    // opaque; mcTLS payload lives here
+
+    HandshakeMessage to_message() const;
+    static Result<ClientHello> parse(ConstBytes body);
+};
+
+struct ServerHello {
+    uint16_t version = 0x0303;
+    Bytes random;
+    uint16_t cipher_suite = kCipherSuiteX25519Ed25519Aes128Sha256;
+    Bytes extensions;
+
+    HandshakeMessage to_message() const;
+    static Result<ServerHello> parse(ConstBytes body);
+};
+
+struct CertificateMsg {
+    std::vector<pki::Certificate> chain;
+
+    HandshakeMessage to_message() const;
+    static Result<CertificateMsg> parse(ConstBytes body);
+};
+
+// Signed ephemeral key; used for ServerKeyExchange and (in mcTLS) the
+// middlebox key exchanges, which carry an entity tag telling the receiver
+// which session member the key belongs to.
+struct KeyExchange {
+    HandshakeType msg_type = HandshakeType::server_key_exchange;
+    uint8_t entity = 0;  // mcTLS: middlebox index; 0xff = server; unused in TLS
+    Bytes public_key;    // X25519
+    Bytes signature;     // Ed25519 over (entity || public_key), empty if unsigned
+
+    HandshakeMessage to_message() const;
+    static Result<KeyExchange> parse(HandshakeType type, ConstBytes body);
+
+    Bytes signed_payload() const;
+};
+
+struct ClientKeyExchange {
+    Bytes public_key;
+
+    HandshakeMessage to_message() const;
+    static Result<ClientKeyExchange> parse(ConstBytes body);
+};
+
+struct Finished {
+    Bytes verify_data;  // 12 bytes
+
+    HandshakeMessage to_message() const;
+    static Result<Finished> parse(ConstBytes body);
+};
+
+}  // namespace mct::tls

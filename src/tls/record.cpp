@@ -1,0 +1,90 @@
+#include "tls/record.h"
+
+#include "crypto/ct.h"
+#include "crypto/hmac.h"
+#include "util/serde.h"
+
+namespace mct::tls {
+
+Bytes RecordCodec::encode(const Record& record) const
+{
+    if (record.payload.size() > kMaxFragment)
+        throw std::length_error("record: fragment too large");
+    Writer w;
+    w.u8(static_cast<uint8_t>(record.type));
+    w.u16(kProtocolVersion);
+    if (with_context_id_) w.u8(record.context_id);
+    w.u16(static_cast<uint16_t>(record.payload.size()));
+    w.raw(record.payload);
+    return w.take();
+}
+
+void RecordCodec::feed(ConstBytes wire)
+{
+    append(buffer_, wire);
+}
+
+Result<std::optional<Record>> RecordCodec::next()
+{
+    const size_t header = header_size();
+    if (buffer_.size() < header) return std::optional<Record>{};
+    Reader r(buffer_);
+    uint8_t type = r.u8().value();
+    uint16_t version = r.u16().value();
+    if (version != kProtocolVersion) return err("record: bad version");
+    uint8_t context_id = with_context_id_ ? r.u8().value() : 0;
+    uint16_t length = r.u16().value();
+    if (length > kMaxFragment + 1024) return err("record: oversized fragment");
+    if (type < 20 || type > 23) return err("record: unknown content type");
+    if (buffer_.size() < header + length) return std::optional<Record>{};
+
+    Record record;
+    record.type = static_cast<ContentType>(type);
+    record.context_id = context_id;
+    record.payload.assign(buffer_.begin() + header, buffer_.begin() + header + length);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + header + length);
+    return std::optional<Record>{std::move(record)};
+}
+
+Bytes CbcHmacProtector::pseudo_header(ContentType type, uint8_t context_id, size_t len) const
+{
+    Writer w;
+    w.u64(seq_);
+    w.u8(static_cast<uint8_t>(type));
+    w.u16(kProtocolVersion);
+    w.u8(context_id);
+    w.u16(static_cast<uint16_t>(len));
+    return w.take();
+}
+
+Bytes CbcHmacProtector::protect(ContentType type, uint8_t context_id, ConstBytes payload,
+                                Rng& rng)
+{
+    crypto::HmacSha256 mac(mac_key_);
+    mac.update(pseudo_header(type, context_id, payload.size()));
+    mac.update(payload);
+    Bytes tag = mac.finish();
+    ++seq_;
+    return crypto::aes128_cbc_encrypt(enc_key_, concat(payload, tag), rng);
+}
+
+Result<Bytes> CbcHmacProtector::unprotect(ContentType type, uint8_t context_id,
+                                          ConstBytes fragment)
+{
+    auto plain = crypto::aes128_cbc_decrypt(enc_key_, fragment);
+    if (!plain) return plain.error();
+    Bytes& data = plain.value();
+    if (data.size() < crypto::HmacSha256::kTagSize) return err("record: short plaintext");
+    size_t payload_len = data.size() - crypto::HmacSha256::kTagSize;
+    ConstBytes payload{data.data(), payload_len};
+    ConstBytes tag{data.data() + payload_len, crypto::HmacSha256::kTagSize};
+
+    crypto::HmacSha256 mac(mac_key_);
+    mac.update(pseudo_header(type, context_id, payload_len));
+    mac.update(payload);
+    if (!crypto::ct_equal(mac.finish(), tag)) return err("record: bad MAC");
+    ++seq_;
+    return to_bytes(payload);
+}
+
+}  // namespace mct::tls

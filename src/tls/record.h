@@ -1,0 +1,79 @@
+// TLS record framing and symmetric record protection.
+//
+// Wire format: type(1) | version(2) | [context_id(1)] | length(2) | fragment.
+// The optional context-id byte is the single-byte extension mcTLS adds to
+// the TLS record header (§3.4 of the paper); the baseline TLS stack runs the
+// same codec without it.
+//
+// Protection is AES-128-CBC with HMAC-SHA256, MAC-then-encrypt with explicit
+// IV, matching the paper's AES128-SHA256 suite. mcTLS layers its three-MAC
+// scheme on top of the same primitives (mctls/context_crypto.h).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace mct::tls {
+
+enum class ContentType : uint8_t {
+    change_cipher_spec = 20,
+    alert = 21,
+    handshake = 22,
+    application_data = 23,
+};
+
+constexpr uint16_t kProtocolVersion = 0x0303;  // TLS 1.2 wire version
+constexpr size_t kMaxFragment = 16384;
+
+struct Record {
+    ContentType type = ContentType::handshake;
+    uint8_t context_id = 0;  // meaningful only when the codec carries contexts
+    Bytes payload;
+};
+
+// Stream-oriented record framing: feed wire bytes, pop complete records.
+class RecordCodec {
+public:
+    explicit RecordCodec(bool with_context_id) : with_context_id_(with_context_id) {}
+
+    Bytes encode(const Record& record) const;
+
+    void feed(ConstBytes wire);
+    // nullopt = need more bytes; error = malformed frame.
+    Result<std::optional<Record>> next();
+
+    size_t buffered() const { return buffer_.size(); }
+    size_t header_size() const { return with_context_id_ ? 6 : 5; }
+
+private:
+    bool with_context_id_;
+    Bytes buffer_;
+};
+
+// One direction of CBC+HMAC record protection with its own sequence number.
+class CbcHmacProtector {
+public:
+    CbcHmacProtector(Bytes enc_key, Bytes mac_key)
+        : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)) {}
+
+    // Returns ciphertext fragment (IV || CBC(payload || MAC)).
+    Bytes protect(ContentType type, uint8_t context_id, ConstBytes payload, Rng& rng);
+    // Inverse; verifies the MAC and advances the sequence number.
+    Result<Bytes> unprotect(ContentType type, uint8_t context_id, ConstBytes fragment);
+
+    uint64_t seq() const { return seq_; }
+
+private:
+    Bytes pseudo_header(ContentType type, uint8_t context_id, size_t len) const;
+
+    Bytes enc_key_;
+    Bytes mac_key_;
+    uint64_t seq_ = 0;
+};
+
+}  // namespace mct::tls

@@ -1,0 +1,373 @@
+#include "tls/session.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/ct.h"
+#include "crypto/ed25519.h"
+#include "crypto/prf.h"
+#include "crypto/sha2.h"
+#include "crypto/x25519.h"
+
+namespace mct::tls {
+
+namespace {
+
+constexpr size_t kKeySize = crypto::Aes128::kKeySize;
+constexpr size_t kMacKeySize = 32;
+
+}  // namespace
+
+Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
+{
+    if (!cfg_.rng) throw std::invalid_argument("tls::Session: rng is required");
+    state_ = cfg_.role == Role::client ? State::idle : State::wait_client_hello;
+}
+
+Status Session::fail(std::string message)
+{
+    state_ = State::failed;
+    error_ = std::move(message);
+    // Fatal alert to the peer, best effort.
+    Record alert{ContentType::alert, 0, Bytes{2 /*fatal*/, 40 /*handshake_failure*/}};
+    queue_record(alert, /*own_unit=*/true);
+    return err(error_);
+}
+
+void Session::queue_record(const Record& record, bool own_unit)
+{
+    Bytes wire = codec_.encode(record);
+    if (record.type != ContentType::application_data) handshake_wire_bytes_ += wire.size();
+    if (own_unit || write_units_.empty()) {
+        write_units_.push_back(std::move(wire));
+    } else {
+        append(write_units_.back(), wire);
+    }
+}
+
+void Session::queue_handshake(const HandshakeMessage& msg, Bytes* flight)
+{
+    Bytes wire = msg.serialize();
+    append(transcript_, wire);
+    crypto::count_hash(cfg_.ops);
+    append(*flight, wire);
+}
+
+void Session::flush_flight(Bytes flight)
+{
+    // A flight may exceed the maximum record size; fragment as TLS does.
+    size_t off = 0;
+    Bytes unit;
+    while (off < flight.size()) {
+        size_t take = std::min(kMaxFragment, flight.size() - off);
+        Record rec{ContentType::handshake, 0,
+                   Bytes(flight.begin() + off, flight.begin() + off + take)};
+        Bytes wire = codec_.encode(rec);
+        handshake_wire_bytes_ += wire.size();
+        append(unit, wire);
+        off += take;
+    }
+    if (!unit.empty()) write_units_.push_back(std::move(unit));
+}
+
+void Session::start()
+{
+    if (cfg_.role != Role::client || state_ != State::idle)
+        throw std::logic_error("tls::Session: start() is for idle clients");
+
+    client_random_ = cfg_.rng->bytes(kRandomSize);
+    auto kp = crypto::x25519_keypair(*cfg_.rng);
+    our_dh_private_ = kp.private_key;
+    our_dh_public_ = kp.public_key;
+
+    ClientHello hello;
+    hello.random = client_random_;
+    hello.cipher_suites = {kCipherSuiteX25519Ed25519Aes128Sha256};
+
+    Bytes flight;
+    queue_handshake(hello.to_message(), &flight);
+    flush_flight(std::move(flight));
+    state_ = State::wait_server_hello;
+}
+
+Status Session::feed(ConstBytes wire)
+{
+    if (state_ == State::failed) return err(error_);
+    codec_.feed(wire);
+    while (true) {
+        auto next = codec_.next();
+        if (!next) return fail(next.error().message);
+        if (!next.value().has_value()) return {};
+        if (auto s = handle_record(*next.value()); !s) return s;
+    }
+}
+
+Status Session::handle_record(const Record& record)
+{
+    switch (record.type) {
+    case ContentType::alert:
+        return fail("tls: peer alert");
+    case ContentType::change_cipher_spec:
+        handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
+        if (ccs_received_) return fail("tls: duplicate CCS");
+        ccs_received_ = true;
+        return {};
+    case ContentType::handshake: {
+        handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
+        Bytes payload = record.payload;
+        if (ccs_received_ && recv_protector_) {
+            auto plain = recv_protector_->unprotect(record.type, 0, payload);
+            if (!plain) return fail("tls: " + plain.error().message);
+            crypto::count_dec(cfg_.ops);
+            payload = plain.take();
+        }
+        handshake_reader_.feed(payload);
+        while (true) {
+            auto msg = handshake_reader_.next();
+            if (!msg) return fail(msg.error().message);
+            if (!msg.value().has_value()) return {};
+            if (auto s = handle_handshake(*msg.value()); !s) return s;
+        }
+    }
+    case ContentType::application_data: {
+        if (state_ != State::established) return fail("tls: early app data");
+        auto plain = recv_protector_->unprotect(record.type, 0, record.payload);
+        if (!plain) return fail("tls: " + plain.error().message);
+        append(app_data_, plain.value());
+        return {};
+    }
+    }
+    return fail("tls: unknown record type");
+}
+
+Status Session::handle_handshake(const HandshakeMessage& msg)
+{
+    switch (state_) {
+    case State::wait_server_hello:
+        return client_handle_server_flight(msg);
+    case State::wait_client_hello:
+        return server_handle_client_hello(msg);
+    case State::wait_client_finish:
+        return server_handle_second_flight(msg);
+    case State::wait_server_finish:
+        return handle_finished(msg);
+    default:
+        return fail("tls: unexpected handshake message");
+    }
+}
+
+Status Session::client_handle_server_flight(const HandshakeMessage& msg)
+{
+    Bytes wire = msg.serialize();
+    append(transcript_, wire);
+    crypto::count_hash(cfg_.ops);
+
+    switch (msg.type) {
+    case HandshakeType::server_hello: {
+        auto hello = ServerHello::parse(msg.body);
+        if (!hello) return fail(hello.error().message);
+        if (hello.value().cipher_suite != kCipherSuiteX25519Ed25519Aes128Sha256)
+            return fail("tls: unsupported cipher suite");
+        server_random_ = hello.value().random;
+        return {};
+    }
+    case HandshakeType::certificate: {
+        auto certs = CertificateMsg::parse(msg.body);
+        if (!certs) return fail(certs.error().message);
+        peer_chain_ = certs.take().chain;
+        if (cfg_.trust) {
+            auto status = cfg_.trust->verify_chain(peer_chain_, cfg_.server_name, cfg_.now);
+            if (!status) return fail(status.error().message);
+        }
+        return {};
+    }
+    case HandshakeType::server_key_exchange: {
+        auto kx = KeyExchange::parse(msg.type, msg.body);
+        if (!kx) return fail(kx.error().message);
+        if (peer_chain_.empty()) return fail("tls: SKE before certificate");
+        if (!crypto::ed25519_verify(peer_chain_.front().public_key,
+                                    kx.value().signed_payload(), kx.value().signature))
+            return fail("tls: bad SKE signature");
+        crypto::count_verify(cfg_.ops);  // entity authenticated (cert + key sig)
+        peer_dh_public_ = kx.value().public_key;
+        return {};
+    }
+    case HandshakeType::server_hello_done: {
+        if (peer_dh_public_.empty()) return fail("tls: hello done before SKE");
+        derive_keys();
+
+        Bytes flight;
+        ClientKeyExchange cke{our_dh_public_};
+        queue_handshake(cke.to_message(), &flight);
+        flush_flight(std::move(flight));
+        send_ccs_and_finished(nullptr);
+        state_ = State::wait_server_finish;
+        return {};
+    }
+    default:
+        return fail("tls: unexpected message in server flight");
+    }
+}
+
+Status Session::server_handle_client_hello(const HandshakeMessage& msg)
+{
+    if (msg.type != HandshakeType::client_hello) return fail("tls: expected ClientHello");
+    Bytes wire = msg.serialize();
+    append(transcript_, wire);
+    crypto::count_hash(cfg_.ops);
+
+    auto hello = ClientHello::parse(msg.body);
+    if (!hello) return fail(hello.error().message);
+    bool suite_ok = false;
+    for (uint16_t s : hello.value().cipher_suites)
+        suite_ok |= s == kCipherSuiteX25519Ed25519Aes128Sha256;
+    if (!suite_ok) return fail("tls: no common cipher suite");
+    client_random_ = hello.value().random;
+
+    server_random_ = cfg_.rng->bytes(kRandomSize);
+    auto kp = crypto::x25519_keypair(*cfg_.rng);
+    our_dh_private_ = kp.private_key;
+    our_dh_public_ = kp.public_key;
+
+    Bytes flight;
+    ServerHello sh;
+    sh.random = server_random_;
+    queue_handshake(sh.to_message(), &flight);
+
+    CertificateMsg certs{cfg_.chain};
+    queue_handshake(certs.to_message(), &flight);
+
+    KeyExchange ske;
+    ske.msg_type = HandshakeType::server_key_exchange;
+    ske.entity = 0xff;
+    ske.public_key = our_dh_public_;
+    ske.signature = crypto::ed25519_sign(cfg_.private_key, ske.signed_payload());
+    crypto::count_sign(cfg_.ops);
+    queue_handshake(ske.to_message(), &flight);
+
+    queue_handshake({HandshakeType::server_hello_done, {}}, &flight);
+    flush_flight(std::move(flight));
+    state_ = State::wait_client_finish;
+    return {};
+}
+
+Status Session::server_handle_second_flight(const HandshakeMessage& msg)
+{
+    if (msg.type == HandshakeType::client_key_exchange) {
+        Bytes wire = msg.serialize();
+        append(transcript_, wire);
+        crypto::count_hash(cfg_.ops);
+        auto kx = ClientKeyExchange::parse(msg.body);
+        if (!kx) return fail(kx.error().message);
+        peer_dh_public_ = kx.value().public_key;
+        derive_keys();
+        return {};
+    }
+    if (msg.type == HandshakeType::finished) return handle_finished(msg);
+    return fail("tls: unexpected message in client flight");
+}
+
+void Session::derive_keys()
+{
+    auto pre = crypto::x25519_shared(our_dh_private_, peer_dh_public_);
+    if (!pre) throw std::runtime_error("tls: degenerate DH share");
+    crypto::count_secret(cfg_.ops);
+
+    Bytes randoms = concat(client_random_, server_random_);
+    master_secret_ = crypto::prf(pre.value(), "master secret", randoms, 48);
+
+    Bytes seed = concat(server_random_, client_random_);
+    Bytes block =
+        crypto::prf(master_secret_, "key expansion", seed, 2 * kMacKeySize + 2 * kKeySize);
+    crypto::count_keygen(cfg_.ops);  // session key block, one logical key gen
+
+    ConstBytes view{block};
+    Bytes client_mac = to_bytes(view.subspan(0, kMacKeySize));
+    Bytes server_mac = to_bytes(view.subspan(kMacKeySize, kMacKeySize));
+    Bytes client_key = to_bytes(view.subspan(2 * kMacKeySize, kKeySize));
+    Bytes server_key = to_bytes(view.subspan(2 * kMacKeySize + kKeySize, kKeySize));
+
+    if (cfg_.role == Role::client) {
+        send_protector_ = std::make_unique<CbcHmacProtector>(client_key, client_mac);
+        recv_protector_ = std::make_unique<CbcHmacProtector>(server_key, server_mac);
+    } else {
+        send_protector_ = std::make_unique<CbcHmacProtector>(server_key, server_mac);
+        recv_protector_ = std::make_unique<CbcHmacProtector>(client_key, client_mac);
+    }
+}
+
+Bytes Session::finished_verify_data(const char* label) const
+{
+    Bytes digest = crypto::Sha256::digest(transcript_);
+    crypto::count_hash(cfg_.ops);
+    return crypto::prf(master_secret_, label, digest, kVerifyDataSize);
+}
+
+void Session::send_ccs_and_finished(Bytes*)
+{
+    queue_record({ContentType::change_cipher_spec, 0, Bytes{1}}, /*own_unit=*/false);
+    ccs_sent_ = true;
+
+    const char* label = cfg_.role == Role::client ? "client finished" : "server finished";
+    Finished fin{finished_verify_data(label)};
+    HandshakeMessage msg = fin.to_message();
+    Bytes wire = msg.serialize();
+    append(transcript_, wire);
+    crypto::count_hash(cfg_.ops);
+
+    Bytes protected_payload =
+        send_protector_->protect(ContentType::handshake, 0, wire, *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    queue_record({ContentType::handshake, 0, protected_payload}, /*own_unit=*/false);
+}
+
+Status Session::handle_finished(const HandshakeMessage& msg)
+{
+    if (msg.type != HandshakeType::finished) return fail("tls: expected Finished");
+    if (!ccs_received_) return fail("tls: Finished before CCS");
+    auto fin = Finished::parse(msg.body);
+    if (!fin) return fail(fin.error().message);
+
+    const char* label = cfg_.role == Role::client ? "server finished" : "client finished";
+    Bytes expected = finished_verify_data(label);
+    if (!crypto::ct_equal(expected, fin.value().verify_data))
+        return fail("tls: Finished verification failed");
+
+    append(transcript_, msg.serialize());
+    crypto::count_hash(cfg_.ops);
+
+    if (cfg_.role == Role::server) send_ccs_and_finished(nullptr);
+    state_ = State::established;
+    return {};
+}
+
+Status Session::send_app_data(ConstBytes data)
+{
+    if (state_ != State::established) return err("tls: not established");
+    size_t off = 0;
+    do {
+        size_t take = std::min(kMaxFragment - 512, data.size() - off);
+        ConstBytes chunk = data.subspan(off, take);
+        Bytes protected_payload =
+            send_protector_->protect(ContentType::application_data, 0, chunk, *cfg_.rng);
+        Record rec{ContentType::application_data, 0, protected_payload};
+        Bytes wire = codec_.encode(rec);
+        app_overhead_bytes_ += wire.size() - chunk.size();
+        ++app_records_sent_;
+        write_units_.push_back(std::move(wire));
+        off += take;
+    } while (off < data.size());
+    return {};
+}
+
+Bytes Session::take_app_data()
+{
+    return std::exchange(app_data_, {});
+}
+
+std::vector<Bytes> Session::take_write_units()
+{
+    return std::exchange(write_units_, {});
+}
+
+}  // namespace mct::tls

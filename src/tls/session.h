@@ -1,0 +1,129 @@
+// TLS 1.2-style session state machine (sans-IO).
+//
+// This is the baseline protocol for the paper's SplitTLS and E2E-TLS
+// comparisons. The session consumes raw network bytes via feed() and emits
+// "write units" — byte blobs the transport should send with one send() call
+// each. Handshake flights coalesce into one unit (as OpenSSL's buffered BIO
+// does); each application-data record is its own unit, which is what makes
+// the paper's Nagle interactions reproducible.
+//
+// 2-RTT handshake, X25519 key exchange signed with Ed25519 certificates,
+// AES-128-CBC + HMAC-SHA256 record protection, Finished verification over
+// the full transcript.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/ops.h"
+#include "pki/trust_store.h"
+#include "tls/messages.h"
+#include "tls/record.h"
+#include "util/rng.h"
+
+namespace mct::tls {
+
+enum class Role { client, server };
+
+struct SessionConfig {
+    Role role = Role::client;
+    // Client: subject name the server certificate must carry.
+    std::string server_name;
+    // Server: certificate chain (leaf first) and matching Ed25519 seed.
+    std::vector<pki::Certificate> chain;
+    Bytes private_key;
+    // Client: trust anchors; nullptr skips verification (like disabling
+    // certificate checks — used only in tests).
+    const pki::TrustStore* trust = nullptr;
+    Rng* rng = nullptr;  // required
+    crypto::OpCounters* ops = nullptr;
+    uint64_t now = 100;  // certificate validity check time
+};
+
+class Session {
+public:
+    explicit Session(SessionConfig cfg);
+
+    // Client: queue the ClientHello flight.
+    void start();
+
+    // Consume network bytes; may queue output and/or application data.
+    Status feed(ConstBytes wire);
+
+    // Wire blobs to transmit, one transport send() each.
+    std::vector<Bytes> take_write_units();
+
+    bool handshake_complete() const { return state_ == State::established; }
+    bool failed() const { return state_ == State::failed; }
+    const std::string& error() const { return error_; }
+
+    // Encrypt one application-data record (one write unit).
+    Status send_app_data(ConstBytes data);
+    // Decrypted application bytes received so far.
+    Bytes take_app_data();
+
+    // Total wire bytes of handshake records in both directions (Figure 8).
+    uint64_t handshake_wire_bytes() const { return handshake_wire_bytes_; }
+    // MAC+padding+header overhead of protected app records sent (§5.2).
+    uint64_t app_overhead_bytes() const { return app_overhead_bytes_; }
+    uint64_t app_records_sent() const { return app_records_sent_; }
+
+    const std::vector<pki::Certificate>& peer_chain() const { return peer_chain_; }
+
+private:
+    enum class State {
+        idle,
+        wait_server_hello,   // client: expects SH..SHD flight
+        wait_client_hello,   // server
+        wait_client_finish,  // server: expects CKE, CCS, Finished
+        wait_server_finish,  // client: expects CCS, Finished
+        established,
+        failed,
+    };
+
+    Status fail(std::string message);
+    void queue_record(const Record& record, bool own_unit);
+    void queue_handshake(const HandshakeMessage& msg, Bytes* flight);
+    void flush_flight(Bytes flight);
+    Status handle_record(const Record& record);
+    Status handle_handshake(const HandshakeMessage& msg);
+
+    Status client_handle_server_flight(const HandshakeMessage& msg);
+    Status server_handle_client_hello(const HandshakeMessage& msg);
+    Status server_handle_second_flight(const HandshakeMessage& msg);
+    Status handle_finished(const HandshakeMessage& msg);
+
+    void derive_keys();
+    Bytes finished_verify_data(const char* label) const;
+    void send_ccs_and_finished(Bytes* flight);
+
+    SessionConfig cfg_;
+    State state_ = State::idle;
+    std::string error_;
+
+    RecordCodec codec_{/*with_context_id=*/false};
+    HandshakeReader handshake_reader_;
+    std::vector<Bytes> write_units_;
+    Bytes app_data_;
+
+    Bytes transcript_;  // concatenated handshake messages
+    Bytes client_random_;
+    Bytes server_random_;
+    Bytes our_dh_private_;
+    Bytes our_dh_public_;
+    Bytes peer_dh_public_;
+    Bytes master_secret_;
+    std::vector<pki::Certificate> peer_chain_;
+
+    std::unique_ptr<CbcHmacProtector> send_protector_;
+    std::unique_ptr<CbcHmacProtector> recv_protector_;
+    bool ccs_sent_ = false;
+    bool ccs_received_ = false;
+
+    uint64_t handshake_wire_bytes_ = 0;
+    uint64_t app_overhead_bytes_ = 0;
+    uint64_t app_records_sent_ = 0;
+};
+
+}  // namespace mct::tls

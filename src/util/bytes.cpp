@@ -1,0 +1,82 @@
+#include "util/bytes.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mct {
+
+Bytes to_bytes(ConstBytes view)
+{
+    return Bytes(view.begin(), view.end());
+}
+
+Bytes str_to_bytes(std::string_view s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string bytes_to_str(ConstBytes b)
+{
+    return std::string(b.begin(), b.end());
+}
+
+std::string to_hex(ConstBytes b)
+{
+    static constexpr char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(b.size() * 2);
+    for (uint8_t byte : b) {
+        out.push_back(digits[byte >> 4]);
+        out.push_back(digits[byte & 0x0f]);
+    }
+    return out;
+}
+
+namespace {
+
+int hex_digit(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+Bytes from_hex(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        throw std::invalid_argument("from_hex: odd-length input");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hex_digit(hex[i]);
+        int lo = hex_digit(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            throw std::invalid_argument("from_hex: non-hex digit");
+        out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+    }
+    return out;
+}
+
+void append(Bytes& dst, ConstBytes src)
+{
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool equal(ConstBytes a, ConstBytes b)
+{
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+Bytes xor_bytes(ConstBytes a, ConstBytes b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("xor_bytes: length mismatch");
+    Bytes out(a.size());
+    for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] ^ b[i];
+    return out;
+}
+
+}  // namespace mct

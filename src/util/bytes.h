@@ -1,0 +1,54 @@
+// Byte-buffer helpers shared by every module.
+//
+// The whole library works on `Bytes` (std::vector<uint8_t>) for owned data
+// and `ConstBytes` (std::span<const uint8_t>) for views. Helpers here cover
+// the conversions and formatting every protocol module needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mct {
+
+using Bytes = std::vector<uint8_t>;
+using ConstBytes = std::span<const uint8_t>;
+using MutableBytes = std::span<uint8_t>;
+
+// Copy a view into an owned buffer.
+Bytes to_bytes(ConstBytes view);
+
+// Interpret the characters of `s` as bytes (no encoding conversion).
+Bytes str_to_bytes(std::string_view s);
+
+// Interpret bytes as characters (no validation).
+std::string bytes_to_str(ConstBytes b);
+
+// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(ConstBytes b);
+
+// Decode hex; throws std::invalid_argument on odd length or non-hex digits.
+Bytes from_hex(std::string_view hex);
+
+// Append `src` to `dst`.
+void append(Bytes& dst, ConstBytes src);
+
+// Concatenate any number of byte views.
+template <typename... Views>
+Bytes concat(const Views&... views)
+{
+    Bytes out;
+    (append(out, ConstBytes{views}), ...);
+    return out;
+}
+
+// Byte-wise equality of two views (not constant time; see crypto/ct.h for
+// the constant-time variant used on secret data).
+bool equal(ConstBytes a, ConstBytes b);
+
+// a XOR b; the views must be the same length.
+Bytes xor_bytes(ConstBytes a, ConstBytes b);
+
+}  // namespace mct

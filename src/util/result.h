@@ -1,0 +1,73 @@
+// Lightweight Result<T> for recoverable protocol errors.
+//
+// Protocol code returns Result<T> for conditions a remote peer can trigger
+// (malformed records, bad MACs, handshake violations); exceptions are
+// reserved for programming errors (contract violations inside this process).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mct {
+
+struct Error {
+    std::string message;
+};
+
+inline Error err(std::string message)
+{
+    return Error{std::move(message)};
+}
+
+template <typename T>
+class Result {
+public:
+    Result(T value) : state_(std::move(value)) {}
+    Result(Error error) : state_(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(state_); }
+    explicit operator bool() const { return ok(); }
+
+    // Access the value; throws std::logic_error if this holds an error.
+    T& value()
+    {
+        if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+        return std::get<T>(state_);
+    }
+    const T& value() const
+    {
+        if (!ok()) throw std::logic_error("Result::value on error: " + error().message);
+        return std::get<T>(state_);
+    }
+    T&& take()
+    {
+        if (!ok()) throw std::logic_error("Result::take on error: " + error().message);
+        return std::move(std::get<T>(state_));
+    }
+
+    const Error& error() const { return std::get<Error>(state_); }
+
+private:
+    std::variant<T, Error> state_;
+};
+
+// Result<void> analogue.
+class Status {
+public:
+    Status() = default;
+    Status(Error error) : error_(std::move(error)), failed_(true) {}
+
+    bool ok() const { return !failed_; }
+    explicit operator bool() const { return ok(); }
+    const Error& error() const { return error_; }
+
+    static Status success() { return Status{}; }
+
+private:
+    Error error_;
+    bool failed_ = false;
+};
+
+}  // namespace mct

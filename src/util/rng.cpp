@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+namespace mct {
+
+uint64_t Rng::below(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = ~uint64_t{0} - ~uint64_t{0} % bound;
+    uint64_t v;
+    do {
+        v = u64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+double Rng::unit()
+{
+    return static_cast<double>(u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t TestRng::next()
+{
+    state_ += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+void TestRng::fill(MutableBytes out)
+{
+    size_t i = 0;
+    while (i < out.size()) {
+        uint64_t v = next();
+        for (int shift = 56; shift >= 0 && i < out.size(); shift -= 8)
+            out[i++] = static_cast<uint8_t>(v >> shift);
+    }
+}
+
+}  // namespace mct

@@ -1,0 +1,81 @@
+#include "workload/page_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mct::workload {
+
+size_t PageTrace::object_count() const
+{
+    size_t count = 0;
+    for (const auto& conn : connections) count += conn.size();
+    return count;
+}
+
+size_t PageTrace::total_bytes() const
+{
+    size_t total = 0;
+    for (const auto& conn : connections) {
+        for (size_t size : conn) total += size;
+    }
+    return total;
+}
+
+namespace {
+
+// Standard normal via Box-Muller on the deterministic Rng.
+double sample_normal(Rng& rng)
+{
+    double u1 = rng.unit();
+    double u2 = rng.unit();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double sample_exponential(Rng& rng, double mean)
+{
+    double u = rng.unit();
+    if (u < 1e-12) u = 1e-12;
+    return -mean * std::log(u);
+}
+
+}  // namespace
+
+size_t sample_object_size(Rng& rng, const CorpusConfig& cfg)
+{
+    double z = sample_normal(rng);
+    double size = std::exp(cfg.log_mu + cfg.log_sigma * z);
+    size = std::clamp(size, 1.0, static_cast<double>(cfg.max_object_bytes));
+    return static_cast<size_t>(size);
+}
+
+PageTrace generate_page(Rng& rng, const CorpusConfig& cfg)
+{
+    size_t n_objects =
+        cfg.min_objects + static_cast<size_t>(sample_exponential(rng, cfg.mean_objects));
+    size_t n_connections =
+        cfg.min_connections +
+        rng.below(cfg.max_connections - cfg.min_connections + 1);
+    n_connections = std::min(n_connections, n_objects);
+
+    PageTrace page;
+    page.connections.resize(n_connections);
+    for (size_t i = 0; i < n_objects; ++i) {
+        size_t conn = rng.below(n_connections);
+        page.connections[conn].push_back(sample_object_size(rng, cfg));
+    }
+    // No empty connections (a connection exists because it fetched something).
+    std::erase_if(page.connections, [](const auto& c) { return c.empty(); });
+    return page;
+}
+
+std::vector<PageTrace> generate_corpus(const CorpusConfig& cfg)
+{
+    TestRng rng(cfg.seed);
+    std::vector<PageTrace> corpus;
+    corpus.reserve(cfg.pages);
+    for (size_t i = 0; i < cfg.pages; ++i) corpus.push_back(generate_page(rng, cfg));
+    return corpus;
+}
+
+}  // namespace mct::workload

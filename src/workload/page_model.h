@@ -1,0 +1,62 @@
+// Synthetic web workload standing in for the paper's Alexa-top-500 capture.
+//
+// The paper replays recorded page loads: per page, a set of objects with
+// sizes and a connection assignment (§5.1 "Page Load Time"). We generate a
+// statistically matching corpus: object sizes are log-normal with parameters
+// fitted to the paper's reported quantiles (10th/50th/99th percentile object
+// sizes of 0.5 kB / 4.9 kB / 185.6 kB), object counts and connection counts
+// follow typical published page-composition figures, and everything is
+// seeded for reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mct::workload {
+
+struct PageTrace {
+    // connections[i] = ordered object sizes fetched on connection i
+    // (objects on one connection are requested sequentially; connections
+    // run in parallel).
+    std::vector<std::vector<size_t>> connections;
+
+    size_t object_count() const;
+    size_t total_bytes() const;
+};
+
+struct CorpusConfig {
+    size_t pages = 100;
+    uint64_t seed = 42;
+    // Log-normal size parameters; defaults fit the paper's quantiles:
+    // exp(mu) = 4.9 kB median, sigma chosen so P99 = 185.6 kB (and the
+    // implied P10 = 0.66 kB ~ matches the paper's 0.5 kB).
+    double log_mu = 8.497;
+    double log_sigma = 1.562;
+    // Page composition: objects per page ~ 8 + Exp(mean 22) (median ~ 30),
+    // connections per page 2..8.
+    double mean_objects = 22.0;
+    size_t min_objects = 8;
+    size_t min_connections = 2;
+    size_t max_connections = 8;
+    size_t max_object_bytes = 4 * 1024 * 1024;  // clamp the tail
+};
+
+// Draw one log-normal object size.
+size_t sample_object_size(Rng& rng, const CorpusConfig& cfg);
+
+PageTrace generate_page(Rng& rng, const CorpusConfig& cfg);
+
+std::vector<PageTrace> generate_corpus(const CorpusConfig& cfg);
+
+// The paper's file-transfer sizes (§5.1 "File Transfer Time"): the 10th,
+// 50th and 99th percentile object sizes plus a large download.
+struct FileSizes {
+    static constexpr size_t p10 = 500;       // 0.5 kB
+    static constexpr size_t p50 = 4900;      // 4.9 kB
+    static constexpr size_t p99 = 185600;    // 185.6 kB
+    static constexpr size_t large = 10240 * 1000;  // 10 MB
+};
+
+}  // namespace mct::workload

@@ -1,0 +1,138 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mct::crypto {
+namespace {
+
+// FIPS 197 Appendix C.1.
+TEST(Aes128, Fips197Vector)
+{
+    Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+    Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+    Aes128 cipher(key);
+    uint8_t ct[16];
+    cipher.encrypt_block(pt.data(), ct);
+    EXPECT_EQ(to_hex({ct, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    uint8_t back[16];
+    cipher.decrypt_block(ct, back);
+    EXPECT_EQ(Bytes(back, back + 16), pt);
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandomBlocks)
+{
+    TestRng rng(11);
+    Bytes key = rng.bytes(16);
+    Aes128 cipher(key);
+    for (int i = 0; i < 50; ++i) {
+        Bytes pt = rng.bytes(16);
+        uint8_t ct[16], back[16];
+        cipher.encrypt_block(pt.data(), ct);
+        cipher.decrypt_block(ct, back);
+        EXPECT_EQ(Bytes(back, back + 16), pt);
+        EXPECT_NE(Bytes(ct, ct + 16), pt);
+    }
+}
+
+TEST(Aes128, RejectsBadKeySize)
+{
+    EXPECT_THROW(Aes128(Bytes(15, 0)), std::invalid_argument);
+    EXPECT_THROW(Aes128(Bytes(32, 0)), std::invalid_argument);
+}
+
+TEST(Cbc, RoundTripVariousLengths)
+{
+    TestRng rng(12);
+    Bytes key = rng.bytes(16);
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+        Bytes pt = rng.bytes(len);
+        Bytes ct = aes128_cbc_encrypt(key, pt, rng);
+        EXPECT_EQ(ct.size() % 16, 0u);
+        EXPECT_GE(ct.size(), len + 16);  // IV + at least one padding byte
+        auto back = aes128_cbc_decrypt(key, ct);
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(back.value(), pt);
+    }
+}
+
+TEST(Cbc, DistinctIvDistinctCiphertext)
+{
+    TestRng rng(13);
+    Bytes key = rng.bytes(16);
+    Bytes pt = str_to_bytes("same plaintext");
+    Bytes c1 = aes128_cbc_encrypt(key, pt, rng);
+    Bytes c2 = aes128_cbc_encrypt(key, pt, rng);
+    EXPECT_NE(c1, c2);
+}
+
+TEST(Cbc, WrongKeyFailsOrGarbles)
+{
+    TestRng rng(14);
+    Bytes key = rng.bytes(16);
+    Bytes other = rng.bytes(16);
+    Bytes pt = str_to_bytes("attack at dawn");
+    Bytes ct = aes128_cbc_encrypt(key, pt, rng);
+    auto back = aes128_cbc_decrypt(other, ct);
+    if (back.ok()) {
+        EXPECT_NE(back.value(), pt);
+    }
+}
+
+TEST(Cbc, TruncatedCiphertextRejected)
+{
+    TestRng rng(15);
+    Bytes key = rng.bytes(16);
+    Bytes ct = aes128_cbc_encrypt(key, str_to_bytes("hello"), rng);
+    EXPECT_FALSE(aes128_cbc_decrypt(key, ConstBytes{ct}.subspan(0, 16)).ok());
+    EXPECT_FALSE(aes128_cbc_decrypt(key, ConstBytes{ct}.subspan(0, 17)).ok());
+    EXPECT_FALSE(aes128_cbc_decrypt(key, {}).ok());
+}
+
+TEST(Cbc, BitFlipGarblesPlaintext)
+{
+    TestRng rng(16);
+    Bytes key = rng.bytes(16);
+    Bytes pt(64, 0x41);
+    Bytes ct = aes128_cbc_encrypt(key, pt, rng);
+    ct[20] ^= 0x01;
+    auto back = aes128_cbc_decrypt(key, ct);
+    if (back.ok()) {
+        EXPECT_NE(back.value(), pt);
+    }
+}
+
+TEST(Ctr, KeystreamIsXorSymmetric)
+{
+    TestRng rng(17);
+    Bytes key = rng.bytes(16);
+    Bytes nonce = rng.bytes(16);
+    Bytes pt = rng.bytes(100);
+    Bytes ct = aes128_ctr(key, nonce, pt);
+    EXPECT_NE(ct, pt);
+    EXPECT_EQ(aes128_ctr(key, nonce, ct), pt);
+}
+
+TEST(Ctr, CounterAdvancesAcrossBlocks)
+{
+    TestRng rng(18);
+    Bytes key = rng.bytes(16);
+    Bytes nonce(16, 0);
+    Bytes zeros(48, 0);
+    Bytes ks = aes128_ctr(key, nonce, zeros);
+    // The three keystream blocks must be pairwise distinct.
+    Bytes b0(ks.begin(), ks.begin() + 16);
+    Bytes b1(ks.begin() + 16, ks.begin() + 32);
+    Bytes b2(ks.begin() + 32, ks.end());
+    EXPECT_NE(b0, b1);
+    EXPECT_NE(b1, b2);
+}
+
+TEST(Ctr, RejectsBadNonce)
+{
+    EXPECT_THROW(aes128_ctr(Bytes(16, 0), Bytes(8, 0), Bytes(16, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mct::crypto

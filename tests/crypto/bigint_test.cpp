@@ -1,0 +1,136 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+namespace mct::crypto {
+namespace {
+
+TEST(BigUint, HexRoundTrip)
+{
+    auto v = BigUint::from_hex("deadbeefcafebabe0123456789");
+    EXPECT_EQ(v.to_hex(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigUint, ZeroProperties)
+{
+    BigUint z;
+    EXPECT_TRUE(z.is_zero());
+    EXPECT_EQ(z.bit_length(), 0u);
+    EXPECT_EQ(z.to_u64(), 0u);
+    EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigUint, AddSub)
+{
+    auto a = BigUint::from_hex("ffffffffffffffffffffffffffffffff");
+    auto one = BigUint(1);
+    auto sum = a + one;
+    EXPECT_EQ(sum.to_hex(), "100000000000000000000000000000000");
+    EXPECT_EQ((sum - one).to_hex(), a.to_hex());
+    EXPECT_THROW(one - a, std::underflow_error);
+}
+
+TEST(BigUint, MulMatchesRepeatedAdd)
+{
+    auto a = BigUint::from_hex("123456789abcdef0");
+    BigUint acc;
+    for (int i = 0; i < 7; ++i) acc = acc + a;
+    EXPECT_EQ((a * BigUint(7)).to_hex(), acc.to_hex());
+}
+
+TEST(BigUint, MulWide)
+{
+    auto a = BigUint::from_hex("ffffffffffffffff");
+    auto sq = a * a;
+    EXPECT_EQ(sq.to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigUint, Shifts)
+{
+    auto a = BigUint::from_hex("1");
+    EXPECT_EQ((a << 100).to_hex(), "10000000000000000000000000");
+    EXPECT_EQ(((a << 100) >> 100).to_hex(), "1");
+    EXPECT_TRUE((a >> 1).is_zero());
+}
+
+TEST(BigUint, DivMod)
+{
+    auto a = BigUint::from_hex("123456789abcdef0123456789abcdef0");
+    auto d = BigUint::from_hex("fedcba987");
+    auto [q, r] = a.divmod(d);
+    EXPECT_EQ((q * d + r).to_hex(), a.to_hex());
+    EXPECT_TRUE(r < d);
+}
+
+TEST(BigUint, DivByZeroThrows)
+{
+    EXPECT_THROW(BigUint(1).divmod(BigUint(0)), std::domain_error);
+}
+
+TEST(BigUint, DivSmallerDividend)
+{
+    auto [q, r] = BigUint(5).divmod(BigUint(7));
+    EXPECT_TRUE(q.is_zero());
+    EXPECT_EQ(r.to_u64(), 5u);
+}
+
+TEST(BigUint, ModIdentity)
+{
+    auto m = BigUint::from_hex("100000000000000000000000000000001");
+    EXPECT_TRUE(m.mod(m).is_zero());
+    EXPECT_EQ((m + BigUint(42)).mod(m).to_u64(), 42u);
+}
+
+TEST(BigUint, LeBytesRoundTrip)
+{
+    Bytes le{0xef, 0xbe, 0xad, 0xde, 0x00};
+    auto v = BigUint::from_le_bytes(le);
+    EXPECT_EQ(v.to_hex(), "deadbeef");
+    EXPECT_EQ(v.to_le_bytes(4), (Bytes{0xef, 0xbe, 0xad, 0xde}));
+    EXPECT_EQ(v.to_le_bytes(6), (Bytes{0xef, 0xbe, 0xad, 0xde, 0x00, 0x00}));
+}
+
+TEST(BigUint, BitAccess)
+{
+    auto v = BigUint::from_hex("5");  // 101b
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_FALSE(v.bit(1));
+    EXPECT_TRUE(v.bit(2));
+    EXPECT_FALSE(v.bit(64));
+    EXPECT_EQ(v.bit_length(), 3u);
+}
+
+TEST(BigUint, IntegerRootExact)
+{
+    auto x = BigUint::from_hex("10");  // 16
+    EXPECT_EQ(BigUint::iroot(x, 2).to_u64(), 4u);
+    EXPECT_EQ(BigUint::iroot(BigUint(27), 3).to_u64(), 3u);
+}
+
+TEST(BigUint, IntegerRootFloor)
+{
+    EXPECT_EQ(BigUint::iroot(BigUint(26), 3).to_u64(), 2u);
+    EXPECT_EQ(BigUint::iroot(BigUint(2), 2).to_u64(), 1u);
+}
+
+TEST(BigUint, IntegerRootLarge)
+{
+    // cbrt(2^192 * 2) = 2^64 * cbrt(2); floor = 0x1428a2f98d728ae2 | top bit
+    // pattern check: r^3 <= x < (r+1)^3.
+    auto x = BigUint(2) << 192;
+    auto r = BigUint::iroot(x, 3);
+    EXPECT_TRUE(BigUint::pow(r, 3) <= x);
+    EXPECT_TRUE(x < BigUint::pow(r + BigUint(1), 3));
+}
+
+TEST(BigUint, MulModAddMod)
+{
+    auto m = BigUint::from_hex("fffffffb");
+    auto a = BigUint::from_hex("123456789");
+    auto b = BigUint::from_hex("abcdef123");
+    EXPECT_EQ(a.mulmod(b, m).to_hex(), (a * b).mod(m).to_hex());
+    EXPECT_EQ(a.addmod(b, m).to_hex(), (a + b).mod(m).to_hex());
+}
+
+}  // namespace
+}  // namespace mct::crypto

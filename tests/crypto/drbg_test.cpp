@@ -1,0 +1,64 @@
+#include "crypto/drbg.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mct::crypto {
+namespace {
+
+TEST(HmacDrbg, DeterministicFromSeed)
+{
+    HmacDrbg a(str_to_bytes("seed material"));
+    HmacDrbg b(str_to_bytes("seed material"));
+    EXPECT_EQ(a.bytes(128), b.bytes(128));
+}
+
+TEST(HmacDrbg, SeedsSeparate)
+{
+    HmacDrbg a(str_to_bytes("seed 1"));
+    HmacDrbg b(str_to_bytes("seed 2"));
+    EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(HmacDrbg, StreamAdvances)
+{
+    HmacDrbg a(str_to_bytes("seed"));
+    Bytes first = a.bytes(32);
+    Bytes second = a.bytes(32);
+    EXPECT_NE(first, second);
+}
+
+TEST(HmacDrbg, ChunkingInvariant)
+{
+    // Generating 64 bytes in one call differs from two 32-byte calls
+    // (HMAC-DRBG reseeds its state after every generate), but each is
+    // individually deterministic.
+    HmacDrbg a(str_to_bytes("seed"));
+    HmacDrbg b(str_to_bytes("seed"));
+    Bytes one_shot = a.bytes(64);
+    Bytes chunk1 = b.bytes(32);
+    Bytes chunk2 = b.bytes(32);
+    Bytes chunked = concat(chunk1, chunk2);
+    EXPECT_EQ(Bytes(one_shot.begin(), one_shot.begin() + 32),
+              Bytes(chunked.begin(), chunked.begin() + 32));
+}
+
+TEST(HmacDrbg, ReseedChangesStream)
+{
+    HmacDrbg a(str_to_bytes("seed"));
+    HmacDrbg b(str_to_bytes("seed"));
+    b.reseed(str_to_bytes("extra entropy"));
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(HmacDrbg, OutputLooksUniform)
+{
+    HmacDrbg rng(str_to_bytes("uniformity"));
+    Bytes buf = rng.bytes(4096);
+    std::set<uint8_t> seen(buf.begin(), buf.end());
+    EXPECT_EQ(seen.size(), 256u);  // all byte values appear in 4 KiB w.h.p.
+}
+
+}  // namespace
+}  // namespace mct::crypto

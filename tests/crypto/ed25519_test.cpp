@@ -1,0 +1,121 @@
+#include "crypto/ed25519.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mct::crypto {
+namespace {
+
+// RFC 8032 §7.1 TEST 1 (empty message).
+TEST(Ed25519, Rfc8032Test1)
+{
+    Bytes seed = from_hex("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+    Bytes expected_pub =
+        from_hex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+    EXPECT_EQ(ed25519_public_from_seed(seed), expected_pub);
+
+    Bytes sig = ed25519_sign(seed, {});
+    EXPECT_EQ(to_hex(sig),
+              "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+              "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+    EXPECT_TRUE(ed25519_verify(expected_pub, {}, sig));
+}
+
+// RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+TEST(Ed25519, Rfc8032Test2)
+{
+    Bytes seed = from_hex("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+    Bytes pub = ed25519_public_from_seed(seed);
+    EXPECT_EQ(to_hex(pub), "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+    Bytes msg{0x72};
+    Bytes sig = ed25519_sign(seed, msg);
+    EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+TEST(Ed25519, SignVerifyRoundTrip)
+{
+    TestRng rng(41);
+    for (int i = 0; i < 5; ++i) {
+        auto kp = ed25519_keypair(rng);
+        Bytes msg = rng.bytes(100 + i * 37);
+        Bytes sig = ed25519_sign(kp.private_key, msg);
+        EXPECT_TRUE(ed25519_verify(kp.public_key, msg, sig));
+    }
+}
+
+TEST(Ed25519, WrongMessageRejected)
+{
+    TestRng rng(42);
+    auto kp = ed25519_keypair(rng);
+    Bytes sig = ed25519_sign(kp.private_key, str_to_bytes("hello"));
+    EXPECT_FALSE(ed25519_verify(kp.public_key, str_to_bytes("hellp"), sig));
+}
+
+TEST(Ed25519, WrongKeyRejected)
+{
+    TestRng rng(43);
+    auto kp1 = ed25519_keypair(rng);
+    auto kp2 = ed25519_keypair(rng);
+    Bytes msg = str_to_bytes("message");
+    Bytes sig = ed25519_sign(kp1.private_key, msg);
+    EXPECT_FALSE(ed25519_verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ed25519, TamperedSignatureRejected)
+{
+    TestRng rng(44);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = str_to_bytes("message");
+    Bytes sig = ed25519_sign(kp.private_key, msg);
+    for (size_t pos : {0u, 31u, 32u, 63u}) {
+        Bytes bad = sig;
+        bad[pos] ^= 0x01;
+        EXPECT_FALSE(ed25519_verify(kp.public_key, msg, bad));
+    }
+}
+
+TEST(Ed25519, SignatureIsDeterministic)
+{
+    TestRng rng(45);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = str_to_bytes("deterministic");
+    EXPECT_EQ(ed25519_sign(kp.private_key, msg), ed25519_sign(kp.private_key, msg));
+}
+
+TEST(Ed25519, RejectsMalformedInputs)
+{
+    TestRng rng(46);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = str_to_bytes("m");
+    Bytes sig = ed25519_sign(kp.private_key, msg);
+    EXPECT_FALSE(ed25519_verify(Bytes(31, 0), msg, sig));          // short key
+    EXPECT_FALSE(ed25519_verify(kp.public_key, msg, Bytes(63, 0)));  // short sig
+    EXPECT_FALSE(ed25519_verify(kp.public_key, msg, Bytes(64, 0xff)));
+}
+
+TEST(Ed25519, HighSRejected)
+{
+    // Add L to s: still a valid equation mod L but must be rejected
+    // (malleability check s < L).
+    TestRng rng(47);
+    auto kp = ed25519_keypair(rng);
+    Bytes msg = str_to_bytes("malleable?");
+    Bytes sig = ed25519_sign(kp.private_key, msg);
+    Bytes bad = sig;
+    // s + L computed bytewise little-endian: L = 2^252 + delta.
+    Bytes delta = from_hex("edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000");
+    // delta above is little-endian of 27742317777372353535851937790883648493.
+    unsigned carry = 0;
+    for (size_t i = 0; i < 31; ++i) {
+        unsigned sum = bad[32 + i] + delta[i] + carry;
+        bad[32 + i] = static_cast<uint8_t>(sum);
+        carry = sum >> 8;
+    }
+    unsigned sum = bad[63] + 0x10 + carry;  // + 2^252 in the top byte
+    bad[63] = static_cast<uint8_t>(sum);
+    EXPECT_FALSE(ed25519_verify(kp.public_key, msg, bad));
+}
+
+}  // namespace
+}  // namespace mct::crypto

@@ -1,0 +1,115 @@
+#include "crypto/sha2.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace mct::crypto {
+namespace {
+
+// FIPS 180-4 / NIST CAVP published vectors.
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(to_hex(Sha256::digest({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(to_hex(Sha256::digest(str_to_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(to_hex(Sha256::digest(
+                  str_to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Bytes input(1000000, 'a');
+    EXPECT_EQ(to_hex(Sha256::digest(input)),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Bytes data = str_to_bytes("the quick brown fox jumps over the lazy dog repeatedly");
+    Sha256 h;
+    // Feed in awkward chunk sizes crossing block boundaries.
+    size_t cuts[] = {1, 3, 13, 31, 63, 64, 65};
+    size_t pos = 0;
+    for (size_t cut : cuts) {
+        if (pos >= data.size()) break;
+        size_t take = std::min(cut, data.size() - pos);
+        h.update(ConstBytes{data}.subspan(pos, take));
+        pos += take;
+    }
+    if (pos < data.size()) h.update(ConstBytes{data}.subspan(pos));
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha256::digest(data));
+}
+
+TEST(Sha256, BlockBoundaryLengths)
+{
+    // Every length around the 64-byte block edge hashes without error and
+    // distinct inputs give distinct digests.
+    Bytes prev;
+    for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+        Bytes input(len, 0x5a);
+        Bytes d = Sha256::digest(input);
+        EXPECT_NE(d, prev);
+        prev = d;
+    }
+}
+
+TEST(Sha512, EmptyString)
+{
+    EXPECT_EQ(to_hex(Sha512::digest({})),
+              "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+              "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc)
+{
+    EXPECT_EQ(to_hex(Sha512::digest(str_to_bytes("abc"))),
+              "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+              "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        to_hex(Sha512::digest(str_to_bytes(
+            "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+            "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))),
+        "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+        "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot)
+{
+    Bytes data(517, 0xa7);
+    Sha512 h;
+    h.update(ConstBytes{data}.subspan(0, 100));
+    h.update(ConstBytes{data}.subspan(100, 300));
+    h.update(ConstBytes{data}.subspan(400));
+    auto d = h.finish();
+    EXPECT_EQ(Bytes(d.begin(), d.end()), Sha512::digest(data));
+}
+
+TEST(Sha512, BlockBoundaryLengths)
+{
+    Bytes prev;
+    for (size_t len : {111u, 112u, 113u, 127u, 128u, 129u, 255u, 256u}) {
+        Bytes input(len, 0x33);
+        Bytes d = Sha512::digest(input);
+        EXPECT_NE(d, prev);
+        prev = d;
+    }
+}
+
+}  // namespace
+}  // namespace mct::crypto

@@ -1,0 +1,83 @@
+#include "crypto/x25519.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mct::crypto {
+namespace {
+
+Bytes base_u()
+{
+    Bytes u(32, 0);
+    u[0] = 9;
+    return u;
+}
+
+// RFC 7748 §5.2 iterated test, 1 iteration: k = u = 9.
+TEST(X25519, Rfc7748Iteration1)
+{
+    Bytes k = base_u();
+    EXPECT_EQ(to_hex(x25519(k, base_u())),
+              "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, DiffieHellmanAgreement)
+{
+    TestRng rng(31);
+    for (int i = 0; i < 5; ++i) {
+        auto alice = x25519_keypair(rng);
+        auto bob = x25519_keypair(rng);
+        auto s1 = x25519_shared(alice.private_key, bob.public_key);
+        auto s2 = x25519_shared(bob.private_key, alice.public_key);
+        ASSERT_TRUE(s1.ok());
+        ASSERT_TRUE(s2.ok());
+        EXPECT_EQ(s1.value(), s2.value());
+    }
+}
+
+TEST(X25519, DistinctPeersDistinctSecrets)
+{
+    TestRng rng(32);
+    auto alice = x25519_keypair(rng);
+    auto bob = x25519_keypair(rng);
+    auto carol = x25519_keypair(rng);
+    auto s_ab = x25519_shared(alice.private_key, bob.public_key).take();
+    auto s_ac = x25519_shared(alice.private_key, carol.public_key).take();
+    EXPECT_NE(s_ab, s_ac);
+}
+
+TEST(X25519, ScalarClampingMakesBitsIrrelevant)
+{
+    // Flipping the bits cleared by clamping must not change the result.
+    TestRng rng(33);
+    Bytes k = rng.bytes(32);
+    Bytes k2 = k;
+    k2[0] ^= 0x07;   // low 3 bits
+    k2[31] ^= 0x80;  // top bit
+    EXPECT_EQ(x25519(k, base_u()), x25519(k2, base_u()));
+}
+
+TEST(X25519, ZeroPointRejected)
+{
+    TestRng rng(34);
+    auto kp = x25519_keypair(rng);
+    Bytes zero(32, 0);
+    EXPECT_FALSE(x25519_shared(kp.private_key, zero).ok());
+}
+
+TEST(X25519, KeypairPublicMatchesScalarMult)
+{
+    TestRng rng(35);
+    auto kp = x25519_keypair(rng);
+    EXPECT_EQ(kp.public_key, x25519(kp.private_key, base_u()));
+}
+
+TEST(X25519, RejectsBadSizes)
+{
+    EXPECT_THROW(x25519(Bytes(31, 0), base_u()), std::invalid_argument);
+    EXPECT_THROW(x25519(base_u(), Bytes(33, 0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mct::crypto

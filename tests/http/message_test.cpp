@@ -1,0 +1,140 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace mct::http {
+namespace {
+
+TEST(HttpRequest, SerializeParseRoundTrip)
+{
+    Request req;
+    req.method = "GET";
+    req.path = "/obj/1234";
+    req.headers = {{"Host", "example.com"}, {"Accept", "*/*"}};
+
+    RequestParser parser;
+    parser.feed(req.serialize());
+    auto out = parser.next();
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out.value().has_value());
+    EXPECT_EQ(out.value()->method, "GET");
+    EXPECT_EQ(out.value()->path, "/obj/1234");
+    EXPECT_EQ(*out.value()->header("Host"), "example.com");
+    EXPECT_TRUE(out.value()->body.empty());
+}
+
+TEST(HttpRequest, BodyWithContentLength)
+{
+    Request req;
+    req.method = "POST";
+    req.path = "/submit";
+    req.body = str_to_bytes("name=value");
+
+    RequestParser parser;
+    parser.feed(req.serialize());
+    auto out = parser.next();
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out.value().has_value());
+    EXPECT_EQ(bytes_to_str(out.value()->body), "name=value");
+}
+
+TEST(HttpRequest, IncrementalFeed)
+{
+    Request req;
+    req.path = "/x";
+    req.headers = {{"Host", "h"}};
+    Bytes wire = req.serialize();
+
+    RequestParser parser;
+    for (size_t i = 0; i < wire.size(); ++i) {
+        parser.feed(ConstBytes{wire}.subspan(i, 1));
+        auto out = parser.next();
+        ASSERT_TRUE(out.ok());
+        if (i + 1 < wire.size()) {
+            EXPECT_FALSE(out.value().has_value());
+        } else {
+            EXPECT_TRUE(out.value().has_value());
+        }
+    }
+}
+
+TEST(HttpRequest, PipelinedRequests)
+{
+    Request a, b;
+    a.path = "/first";
+    b.path = "/second";
+    RequestParser parser;
+    parser.feed(concat(a.serialize(), b.serialize()));
+    auto first = parser.next();
+    ASSERT_TRUE(first.value().has_value());
+    EXPECT_EQ(first.value()->path, "/first");
+    auto second = parser.next();
+    ASSERT_TRUE(second.value().has_value());
+    EXPECT_EQ(second.value()->path, "/second");
+    EXPECT_FALSE(parser.next().value().has_value());
+}
+
+TEST(HttpRequest, MalformedRequestLineRejected)
+{
+    RequestParser parser;
+    parser.feed(str_to_bytes("NONSENSE\r\n\r\n"));
+    EXPECT_FALSE(parser.next().ok());
+}
+
+TEST(HttpRequest, MalformedHeaderRejected)
+{
+    RequestParser parser;
+    parser.feed(str_to_bytes("GET / HTTP/1.1\r\nbad header line\r\n\r\n"));
+    EXPECT_FALSE(parser.next().ok());
+}
+
+TEST(HttpResponse, SerializeParseRoundTrip)
+{
+    Response resp;
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.headers = {{"Content-Type", "text/plain"}};
+    resp.body = str_to_bytes("missing");
+
+    ResponseParser parser;
+    parser.feed(resp.serialize());
+    auto out = parser.next();
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out.value().has_value());
+    EXPECT_EQ(out.value()->status, 404);
+    EXPECT_EQ(out.value()->reason, "Not Found");
+    EXPECT_EQ(bytes_to_str(out.value()->body), "missing");
+}
+
+TEST(HttpResponse, LargeBody)
+{
+    Response resp;
+    resp.body.assign(100000, 'z');
+    ResponseParser parser;
+    Bytes wire = resp.serialize();
+    parser.feed(ConstBytes{wire}.subspan(0, 50000));
+    EXPECT_FALSE(parser.next().value().has_value());
+    parser.feed(ConstBytes{wire}.subspan(50000));
+    auto out = parser.next();
+    ASSERT_TRUE(out.value().has_value());
+    EXPECT_EQ(out.value()->body.size(), 100000u);
+}
+
+TEST(HttpResponse, BadStatusRejected)
+{
+    ResponseParser parser;
+    parser.feed(str_to_bytes("HTTP/1.1 999999 Nope\r\n\r\n"));
+    EXPECT_FALSE(parser.next().ok());
+}
+
+TEST(HttpResponse, ExplicitContentLengthHeaderNotDuplicated)
+{
+    Response resp;
+    resp.headers = {{"Content-Length", "3"}};
+    resp.body = str_to_bytes("abc");
+    std::string head = bytes_to_str(resp.serialize_head());
+    EXPECT_EQ(head.find("Content-Length"), head.rfind("Content-Length"));
+}
+
+}  // namespace
+}  // namespace mct::http

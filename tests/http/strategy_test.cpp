@@ -1,0 +1,127 @@
+#include "http/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace mct::http {
+namespace {
+
+Request sample_request()
+{
+    Request req;
+    req.path = "/page";
+    req.headers = {{"Host", "h"}, {"User-Agent", "ua"}, {"Cookie", "c=1"}};
+    return req;
+}
+
+Response sample_response()
+{
+    Response resp;
+    resp.headers = {{"Content-Type", "text/html"}};
+    resp.body = str_to_bytes("<html>body</html>");
+    return resp;
+}
+
+Bytes reassemble(const std::vector<MessagePart>& parts)
+{
+    Bytes out;
+    for (const auto& p : parts) append(out, p.data);
+    return out;
+}
+
+TEST(Strategy, ContextCounts)
+{
+    EXPECT_EQ(strategy_context_count(ContextStrategy::one_context), 1u);
+    EXPECT_EQ(strategy_context_count(ContextStrategy::four_contexts), 4u);
+    EXPECT_EQ(strategy_context_count(ContextStrategy::context_per_header),
+              kMaxHeaderContexts + 2);
+}
+
+TEST(Strategy, ContextTableShape)
+{
+    auto contexts = strategy_contexts(ContextStrategy::four_contexts, 3,
+                                      mctls::Permission::read);
+    ASSERT_EQ(contexts.size(), 4u);
+    EXPECT_EQ(contexts[0].id, 1);
+    EXPECT_EQ(contexts[0].purpose, "request-headers");
+    EXPECT_EQ(contexts[3].purpose, "response-body");
+    for (const auto& ctx : contexts) {
+        EXPECT_EQ(ctx.permissions.size(), 3u);
+        EXPECT_EQ(ctx.permissions[0], mctls::Permission::read);
+    }
+}
+
+TEST(Strategy, PartsReassembleToFullMessageAllStrategies)
+{
+    for (auto strategy : {ContextStrategy::one_context, ContextStrategy::four_contexts,
+                          ContextStrategy::context_per_header}) {
+        Request req = sample_request();
+        EXPECT_EQ(reassemble(partition_request(strategy, req)), req.serialize())
+            << to_string(strategy);
+        Response resp = sample_response();
+        EXPECT_EQ(reassemble(partition_response(strategy, resp)), resp.serialize())
+            << to_string(strategy);
+    }
+}
+
+TEST(Strategy, FourContextsSeparatesHeadersAndBody)
+{
+    Response resp = sample_response();
+    auto parts = partition_response(ContextStrategy::four_contexts, resp);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0].context_id, kCtxResponseHeaders);
+    EXPECT_EQ(parts[1].context_id, kCtxResponseBody);
+    EXPECT_EQ(parts[1].data, resp.body);
+}
+
+TEST(Strategy, RequestWithoutBodyHasNoBodyPart)
+{
+    auto parts = partition_request(ContextStrategy::four_contexts, sample_request());
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0].context_id, kCtxRequestHeaders);
+}
+
+TEST(Strategy, OneContextUsesSingleContext)
+{
+    auto parts = partition_request(ContextStrategy::one_context, sample_request());
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0].context_id, 1);
+}
+
+TEST(Strategy, ContextPerHeaderUsesDistinctContexts)
+{
+    auto parts = partition_request(ContextStrategy::context_per_header, sample_request());
+    // Request line + 3 headers + blank -> several contexts, all distinct and
+    // in increasing id order (they merge only when the cap is reached).
+    ASSERT_GE(parts.size(), 4u);
+    for (size_t i = 1; i < parts.size(); ++i)
+        EXPECT_GT(parts[i].context_id, parts[i - 1].context_id);
+}
+
+TEST(Strategy, ContextPerHeaderCapsAtMax)
+{
+    Request req;
+    req.path = "/";
+    for (int i = 0; i < 30; ++i)
+        req.headers.emplace_back("X-Header-" + std::to_string(i), "v");
+    auto parts = partition_request(ContextStrategy::context_per_header, req);
+    for (const auto& p : parts) {
+        EXPECT_LE(p.context_id, kMaxHeaderContexts);
+    }
+    EXPECT_EQ(reassemble(parts), req.serialize());
+}
+
+TEST(Strategy, BodyContextsDistinctFromHeaderContexts)
+{
+    Request req = sample_request();
+    req.method = "POST";
+    req.body = str_to_bytes("payload");
+    auto parts = partition_request(ContextStrategy::context_per_header, req);
+    EXPECT_EQ(parts.back().context_id, kCtxPerHeaderRequestBody);
+
+    Response resp = sample_response();
+    auto rparts = partition_response(ContextStrategy::context_per_header, resp);
+    EXPECT_EQ(rparts.back().context_id, kCtxPerHeaderResponseBody);
+}
+
+}  // namespace
+}  // namespace mct::http

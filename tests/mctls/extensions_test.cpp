@@ -1,0 +1,128 @@
+// Tests for the optional protocol extensions: signed records (§3.4 mode (b))
+// and middlebox discovery (§6.1).
+#include <gtest/gtest.h>
+
+#include "crypto/ed25519.h"
+#include "mctls/context_crypto.h"
+#include "mctls/discovery.h"
+#include "util/rng.h"
+
+namespace mct::mctls {
+namespace {
+
+struct SignedFixture : ::testing::Test {
+    TestRng rng{201};
+    Bytes rand_c = rng.bytes(32);
+    Bytes rand_s = rng.bytes(32);
+    EndpointKeys endpoint = derive_endpoint_keys(rng.bytes(48), rand_c, rand_s);
+    ContextKeys ctx = derive_context_keys_ckd(rng.bytes(48), rand_c, rand_s, 1);
+    crypto::Ed25519KeyPair signer = crypto::ed25519_keypair(rng);
+
+    ContextKeys reader_view() const
+    {
+        ContextKeys view = ctx;
+        view.writer_mac[0].clear();
+        view.writer_mac[1].clear();
+        return view;
+    }
+};
+
+TEST_F(SignedFixture, RoundTrip)
+{
+    Bytes payload = str_to_bytes("signed payload");
+    Bytes frag = seal_record_signed(ctx, endpoint, Direction::client_to_server, 0, 1,
+                                    payload, signer.private_key, rng);
+    auto open = open_record_reader_signed(reader_view(), Direction::client_to_server, 0, 1,
+                                          frag, signer.public_key);
+    ASSERT_TRUE(open.ok()) << open.error().message;
+    EXPECT_EQ(open.value().payload, payload);
+}
+
+TEST_F(SignedFixture, ReaderForgeryNowDetectedByReaders)
+{
+    // The scenario plain MACs cannot catch (§3.4): a rogue reader rewrites
+    // the record with a valid reader MAC. In signed mode, other readers
+    // reject it because the rogue cannot produce the sender's signature.
+    Bytes payload = str_to_bytes("original");
+    Bytes frag = seal_record_signed(ctx, endpoint, Direction::client_to_server, 0, 1,
+                                    payload, signer.private_key, rng);
+
+    // Rogue reader: re-seal modified payload with its own (wrong) key.
+    TestRng rogue_rng{202};
+    auto rogue_signer = crypto::ed25519_keypair(rogue_rng);
+    Bytes forged = seal_record_signed(ctx, endpoint, Direction::client_to_server, 0, 1,
+                                      str_to_bytes("forged!!"), rogue_signer.private_key,
+                                      rng);
+    auto open = open_record_reader_signed(reader_view(), Direction::client_to_server, 0, 1,
+                                          forged, signer.public_key);
+    EXPECT_FALSE(open.ok());
+
+    // The original still verifies.
+    EXPECT_TRUE(open_record_reader_signed(reader_view(), Direction::client_to_server, 0, 1,
+                                          frag, signer.public_key)
+                    .ok());
+}
+
+TEST_F(SignedFixture, SequenceStillBound)
+{
+    Bytes frag = seal_record_signed(ctx, endpoint, Direction::client_to_server, 3, 1,
+                                    str_to_bytes("x"), signer.private_key, rng);
+    EXPECT_FALSE(open_record_reader_signed(reader_view(), Direction::client_to_server, 4, 1,
+                                           frag, signer.public_key)
+                     .ok());
+}
+
+TEST_F(SignedFixture, SignatureAddsSixtyFourBytes)
+{
+    Bytes payload(100, 'p');
+    Bytes plain = seal_record(ctx, endpoint, Direction::client_to_server, 0, 1, payload, rng);
+    Bytes with_sig = seal_record_signed(ctx, endpoint, Direction::client_to_server, 0, 1,
+                                        payload, signer.private_key, rng);
+    EXPECT_GE(with_sig.size(), plain.size() + crypto::kEd25519SignatureSize);
+    EXPECT_LE(with_sig.size(), plain.size() + crypto::kEd25519SignatureSize + 16);
+}
+
+TEST(Discovery, MergesAllSourcesInPathOrder)
+{
+    DnsDirectory dns;
+    dns.publish("video.example.com", {{"cdn-optimizer.example.com", "cdn1"}});
+
+    DiscoveryInputs inputs;
+    inputs.network = {"corp-lan", {{"corp-ids.corp.net", "ids-host"}}};
+    inputs.user_configured = {{"compression.google.com", "gproxy"}};
+    inputs.dns = &dns;
+
+    auto list = assemble_middlebox_list(inputs, "video.example.com");
+    ASSERT_EQ(list.size(), 3u);
+    EXPECT_EQ(list[0].name, "corp-ids.corp.net");        // network first (near client)
+    EXPECT_EQ(list[1].name, "compression.google.com");   // then user choice
+    EXPECT_EQ(list[2].name, "cdn-optimizer.example.com");  // provider side
+}
+
+TEST(Discovery, DeduplicatesByName)
+{
+    DiscoveryInputs inputs;
+    inputs.network = {"lan", {{"proxy.isp.net", "a"}}};
+    inputs.user_configured = {{"proxy.isp.net", "b"}};  // same box, user address
+    auto list = assemble_middlebox_list(inputs, "any.example.com");
+    ASSERT_EQ(list.size(), 1u);
+    EXPECT_EQ(list[0].address, "a");  // first occurrence wins
+}
+
+TEST(Discovery, UnknownDomainNoProviderBoxes)
+{
+    DnsDirectory dns;
+    dns.publish("a.com", {{"x", "x"}});
+    DiscoveryInputs inputs;
+    inputs.dns = &dns;
+    EXPECT_TRUE(assemble_middlebox_list(inputs, "b.com").empty());
+}
+
+TEST(Discovery, EmptyInputsEmptyList)
+{
+    DiscoveryInputs inputs;
+    EXPECT_TRUE(assemble_middlebox_list(inputs, "a.com").empty());
+}
+
+}  // namespace
+}  // namespace mct::mctls

@@ -1,0 +1,131 @@
+// §5.4: "clients and servers can easily fall back to regular TLS if an
+// mcTLS connection cannot be negotiated."
+//
+// mcTLS and TLS peers cannot interoperate on one connection (the mcTLS
+// record header adds a context-id byte), so a mixed pairing must fail
+// cleanly and promptly — after which the client simply reconnects with a
+// plain TLS session. These tests pin down both halves of that story.
+#include <gtest/gtest.h>
+
+#include "tests/mctls/harness.h"
+#include "tls/session.h"
+
+namespace mct::mctls {
+namespace {
+
+using test::ChainEnv;
+using test::ctx_row;
+
+TEST(TlsFallback, McTlsClientAgainstTlsServerFailsCleanly)
+{
+    ChainEnv env;
+    env.build(0, {ctx_row(1, "d", 0, Permission::none)});
+
+    tls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {env.server_id.certificate};
+    scfg.private_key = env.server_id.private_key;
+    scfg.rng = &env.rng;
+    tls::Session tls_server(scfg);
+
+    env.client->start();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : env.client->take_write_units()) {
+            progress = true;
+            (void)tls_server.feed(unit);
+        }
+        for (auto& unit : tls_server.take_write_units()) {
+            progress = true;
+            (void)env.client->feed(unit);
+        }
+    }
+    // The mcTLS record header carries an extra context-id byte, so the TLS
+    // server cannot even frame the ClientHello: it rejects the stream (and
+    // alerts), and the negotiation never completes on either side. Neither
+    // state machine crashes or limps into an insecure session.
+    EXPECT_FALSE(env.client->handshake_complete());
+    EXPECT_TRUE(tls_server.failed() || env.client->failed());
+}
+
+TEST(TlsFallback, RetryWithTlsSucceeds)
+{
+    // The fallback itself: after the mcTLS attempt fails, a fresh TLS
+    // session against the same server identity completes.
+    ChainEnv env;
+    env.build(0, {ctx_row(1, "d", 0, Permission::none)});
+
+    tls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {env.server_id.certificate};
+    scfg.private_key = env.server_id.private_key;
+    scfg.rng = &env.rng;
+
+    // Attempt 1: mcTLS (fails, see previous test).
+    {
+        tls::Session tls_server(scfg);
+        env.client->start();
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (auto& unit : env.client->take_write_units()) {
+                progress = true;
+                (void)tls_server.feed(unit);
+            }
+            for (auto& unit : tls_server.take_write_units()) {
+                progress = true;
+                (void)env.client->feed(unit);
+            }
+        }
+        ASSERT_FALSE(env.client->handshake_complete());
+    }
+
+    // Attempt 2: plain TLS.
+    tls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.trust = &env.store;
+    ccfg.rng = &env.rng;
+    tls::Session tls_client(ccfg);
+    tls::Session tls_server(scfg);
+    tls_client.start();
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : tls_client.take_write_units()) {
+            progress = true;
+            (void)tls_server.feed(unit);
+        }
+        for (auto& unit : tls_server.take_write_units()) {
+            progress = true;
+            (void)tls_client.feed(unit);
+        }
+    }
+    EXPECT_TRUE(tls_client.handshake_complete());
+    EXPECT_TRUE(tls_server.handshake_complete());
+}
+
+TEST(TlsFallback, TlsClientAgainstMcTlsServerFailsCleanly)
+{
+    // The reverse direction: a legacy TLS client's hello has no middlebox
+    // list; the mcTLS server rejects it instead of limping along.
+    ChainEnv env;
+    env.build(0, {ctx_row(1, "d", 0, Permission::none)});
+
+    tls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.trust = &env.store;
+    ccfg.rng = &env.rng;
+    tls::Session tls_client(ccfg);
+
+    tls_client.start();
+    for (auto& unit : tls_client.take_write_units()) (void)env.server->feed(unit);
+    // Again the framing differs; the mcTLS server must not complete (it
+    // either errors on the malformed stream or keeps waiting harmlessly).
+    EXPECT_FALSE(env.server->handshake_complete());
+}
+
+}  // namespace
+}  // namespace mct::mctls

@@ -1,0 +1,112 @@
+// Server permission policy (§4.2 online banking, §3.3 mutual consent):
+// partial downgrades, per-middlebox policies, and the CKD caveat.
+#include <gtest/gtest.h>
+
+#include "tests/mctls/harness.h"
+
+namespace mct::mctls {
+namespace {
+
+using test::ChainEnv;
+using test::ctx_row;
+
+TEST(ServerPolicy, WriteDowngradedToRead)
+{
+    ChainEnv env;
+    PermissionPolicy downgrade = [](const MiddleboxInfo&, const ContextDescription&,
+                                    Permission requested) {
+        return requested == Permission::write ? Permission::read : requested;
+    };
+    env.build(1, {ctx_row(1, "content", 1, Permission::write)}, false, downgrade);
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    // The middlebox ends up a reader: it got reader halves from both sides
+    // but a writer half only from the client.
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::read);
+    EXPECT_EQ(env.server->granted_permission(0, 1), Permission::read);
+    EXPECT_EQ(env.client->granted_permission(0, 1), Permission::read);
+
+    // Reads work; data flows; writer modifications are impossible (the box
+    // holds no writer key, so its transform hook never fires).
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("look, don't touch")).ok());
+    env.pump();
+    auto chunks = env.server->take_app_data();
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_TRUE(chunks[0].from_endpoint);
+    EXPECT_EQ(env.mboxes[0]->records_read(), 1u);
+    EXPECT_EQ(env.mboxes[0]->records_rewritten(), 0u);
+}
+
+TEST(ServerPolicy, PerMiddleboxSelectiveDenial)
+{
+    // Two middleboxes request write; the server trusts only the first.
+    ChainEnv env;
+    PermissionPolicy selective = [](const MiddleboxInfo& mbox, const ContextDescription&,
+                                    Permission requested) {
+        return mbox.name.find("mbox0") != std::string::npos ? requested : Permission::none;
+    };
+    env.build(2, {ctx_row(1, "data", 2, Permission::write)}, false, selective);
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::write);
+    EXPECT_EQ(env.mboxes[1]->permission(1), Permission::none);
+
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("selective")).ok());
+    env.pump();
+    EXPECT_EQ(env.server->take_app_data().size(), 1u);
+    EXPECT_EQ(env.mboxes[1]->records_forwarded_blind(), 1u);
+}
+
+TEST(ServerPolicy, PerContextSelectiveDenial)
+{
+    ChainEnv env;
+    PermissionPolicy headers_only = [](const MiddleboxInfo&, const ContextDescription& ctx,
+                                       Permission requested) {
+        return ctx.purpose == "headers" ? requested : Permission::none;
+    };
+    env.build(1, {ctx_row(1, "headers", 1, Permission::read),
+                  ctx_row(2, "body", 1, Permission::read)}, false, headers_only);
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::read);
+    EXPECT_EQ(env.mboxes[0]->permission(2), Permission::none);
+}
+
+TEST(ServerPolicy, CkdModeBypassesPolicyEnforcement)
+{
+    // §3.6: in client-key-distribution mode the server relinquishes control
+    // — the client distributes complete keys, so a deny policy cannot be
+    // enforced structurally. Our implementation therefore ignores the
+    // policy in CKD mode (grants = requested), making the paper's noted
+    // disadvantage explicit.
+    ChainEnv env;
+    bool policy_called = false;
+    PermissionPolicy deny = [&](const MiddleboxInfo&, const ContextDescription&,
+                                Permission) {
+        policy_called = true;
+        return Permission::none;
+    };
+    env.build(1, {ctx_row(1, "data", 1, Permission::read)}, /*ckd=*/true, deny);
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    EXPECT_FALSE(policy_called);
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::read);
+}
+
+TEST(ServerPolicy, GrantsVisibleToClientInServerHello)
+{
+    // R4 visibility: the client learns the granted matrix from the
+    // ServerHello extension even before any data flows.
+    ChainEnv env;
+    PermissionPolicy deny_all = [](const MiddleboxInfo&, const ContextDescription&,
+                                   Permission) { return Permission::none; };
+    env.build(1, {ctx_row(1, "a", 1, Permission::write),
+                  ctx_row(2, "b", 1, Permission::read)}, false, deny_all);
+    env.handshake();
+    ASSERT_TRUE(env.client->handshake_complete());
+    EXPECT_EQ(env.client->granted_permission(0, 1), Permission::none);
+    EXPECT_EQ(env.client->granted_permission(0, 2), Permission::none);
+}
+
+}  // namespace
+}  // namespace mct::mctls

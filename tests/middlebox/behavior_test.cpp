@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "middlebox/cache.h"
+#include "middlebox/compression.h"
+#include "middlebox/inspection.h"
+#include "middlebox/pacer.h"
+#include "middlebox/wan_optimizer.h"
+
+namespace mct::mbox {
+namespace {
+
+using mctls::Direction;
+using mctls::Permission;
+
+Bytes request_head(const std::string& path, const std::string& host = "example.com")
+{
+    http::Request req;
+    req.path = path;
+    req.headers = {{"Host", host}, {"Cookie", "track=1"}};
+    return req.serialize_head();
+}
+
+TEST(PermissionMatrix, MatchesTable1)
+{
+    CacheStore store;
+    Cache cache(store);
+    EXPECT_EQ(cache.permission_for(http::kCtxRequestHeaders), Permission::read);
+    EXPECT_EQ(cache.permission_for(http::kCtxRequestBody), Permission::none);
+    EXPECT_EQ(cache.permission_for(http::kCtxResponseHeaders), Permission::write);
+    EXPECT_EQ(cache.permission_for(http::kCtxResponseBody), Permission::write);
+
+    Compressor comp;
+    EXPECT_EQ(comp.permission_for(http::kCtxRequestHeaders), Permission::none);
+    EXPECT_EQ(comp.permission_for(http::kCtxResponseBody), Permission::write);
+
+    Ids ids({});
+    for (uint8_t ctx = 1; ctx <= 4; ++ctx)
+        EXPECT_EQ(ids.permission_for(ctx), Permission::read);
+
+    ParentalFilter filter({});
+    EXPECT_EQ(filter.permission_for(http::kCtxRequestHeaders), Permission::read);
+    EXPECT_EQ(filter.permission_for(http::kCtxResponseBody), Permission::none);
+
+    LoadBalancer lb(2);
+    EXPECT_EQ(lb.permission_for(http::kCtxRequestHeaders), Permission::read);
+    EXPECT_EQ(lb.permission_for(http::kCtxResponseHeaders), Permission::none);
+
+    TrackerBlocker tb;
+    EXPECT_EQ(tb.permission_for(http::kCtxRequestHeaders), Permission::write);
+    EXPECT_EQ(tb.permission_for(http::kCtxRequestBody), Permission::none);
+
+    PacerBehavior pacer;
+    for (uint8_t ctx = 1; ctx <= 4; ++ctx)
+        EXPECT_EQ(pacer.permission_for(ctx), Permission::none);
+}
+
+TEST(CacheBehavior, MissThenHit)
+{
+    CacheStore store;
+    Cache cache(store);
+    Bytes body = str_to_bytes("response body content");
+
+    // First fetch: miss, body stored.
+    cache.observe(http::kCtxRequestHeaders, Direction::client_to_server,
+                  request_head("/a"));
+    cache.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(store.size(), 1u);
+
+    // Second fetch of the same path: hit; headers stamped.
+    cache.observe(http::kCtxRequestHeaders, Direction::client_to_server,
+                  request_head("/a"));
+    EXPECT_EQ(cache.hits(), 1u);
+    Bytes head = cache.transform(http::kCtxResponseHeaders, Direction::server_to_client,
+                                 str_to_bytes("HTTP/1.1 200 OK\r\nServer: s\r\n\r\n"));
+    EXPECT_NE(bytes_to_str(head).find("X-Cache: HIT"), std::string::npos);
+    Bytes served = cache.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    EXPECT_EQ(served, body);
+}
+
+TEST(CacheBehavior, DistinctPathsDistinctEntries)
+{
+    CacheStore store;
+    Cache cache(store);
+    cache.observe(http::kCtxRequestHeaders, Direction::client_to_server, request_head("/a"));
+    cache.transform(http::kCtxResponseBody, Direction::server_to_client, str_to_bytes("A"));
+    cache.observe(http::kCtxRequestHeaders, Direction::client_to_server, request_head("/b"));
+    cache.transform(http::kCtxResponseBody, Direction::server_to_client, str_to_bytes("B"));
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(CompressionPair, RoundTripThroughBothBoxes)
+{
+    Compressor comp;
+    Decompressor decomp;
+    Bytes body(5000, 'q');  // highly compressible
+    Bytes compressed =
+        comp.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    EXPECT_LT(compressed.size(), body.size());
+    Bytes restored =
+        decomp.transform(http::kCtxResponseBody, Direction::server_to_client, compressed);
+    EXPECT_EQ(restored, body);
+    EXPECT_EQ(decomp.records_restored(), 1u);
+    EXPECT_GT(comp.bytes_in(), comp.bytes_out());
+}
+
+TEST(CompressionPair, IncompressibleLeftAlone)
+{
+    Compressor comp;
+    TestRng rng(5);
+    Bytes body = rng.bytes(1000);
+    Bytes out = comp.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    EXPECT_EQ(out, body);
+}
+
+TEST(CompressionPair, HeadersNotTouched)
+{
+    Compressor comp;
+    Bytes head = str_to_bytes("HTTP/1.1 200 OK\r\n\r\n");
+    EXPECT_EQ(comp.transform(http::kCtxResponseHeaders, Direction::server_to_client, head),
+              head);
+}
+
+TEST(IdsBehavior, SignatureAlerts)
+{
+    Ids ids({"EVIL_PAYLOAD", "cmd.exe"});
+    ids.observe(http::kCtxResponseBody, Direction::server_to_client,
+                str_to_bytes("harmless content"));
+    EXPECT_EQ(ids.alerts(), 0u);
+    ids.observe(http::kCtxResponseBody, Direction::server_to_client,
+                str_to_bytes("xxEVIL_PAYLOADxx"));
+    EXPECT_EQ(ids.alerts(), 1u);
+    ids.observe(http::kCtxRequestBody, Direction::client_to_server,
+                str_to_bytes("run cmd.exe and EVIL_PAYLOAD"));
+    EXPECT_EQ(ids.alerts(), 3u);
+    EXPECT_GT(ids.bytes_scanned(), 0u);
+}
+
+TEST(ParentalFilterBehavior, BlocksByHost)
+{
+    ParentalFilter filter({"bad.example.com"});
+    filter.observe(http::kCtxRequestHeaders, Direction::client_to_server,
+                   request_head("/x", "good.example.com"));
+    EXPECT_FALSE(filter.blocked());
+    filter.observe(http::kCtxRequestHeaders, Direction::client_to_server,
+                   request_head("/x", "bad.example.com"));
+    EXPECT_TRUE(filter.blocked());
+    EXPECT_EQ(filter.requests_checked(), 2u);
+}
+
+TEST(ParentalFilterBehavior, BlocksByUrlSubstring)
+{
+    // Only 5% of IWF blacklist entries are whole domains (§4.2) — URL
+    // matching is the common case.
+    ParentalFilter filter({"/adult-content/"});
+    filter.observe(http::kCtxRequestHeaders, Direction::client_to_server,
+                   request_head("/adult-content/page1"));
+    EXPECT_TRUE(filter.blocked());
+}
+
+TEST(LoadBalancerBehavior, DeterministicDecisions)
+{
+    LoadBalancer lb(4);
+    lb.observe(http::kCtxRequestHeaders, Direction::client_to_server, request_head("/a"));
+    lb.observe(http::kCtxRequestHeaders, Direction::client_to_server, request_head("/a"));
+    lb.observe(http::kCtxRequestHeaders, Direction::client_to_server, request_head("/b"));
+    ASSERT_EQ(lb.decisions().size(), 3u);
+    EXPECT_EQ(lb.decisions()[0], lb.decisions()[1]);
+    for (size_t d : lb.decisions()) EXPECT_LT(d, 4u);
+}
+
+TEST(TrackerBlockerBehavior, StripsCookies)
+{
+    TrackerBlocker tb;
+    Bytes head = request_head("/page");
+    Bytes cleaned = tb.transform(http::kCtxRequestHeaders, Direction::client_to_server, head);
+    std::string text = bytes_to_str(cleaned);
+    EXPECT_EQ(text.find("Cookie"), std::string::npos);
+    EXPECT_NE(text.find("Host"), std::string::npos);
+    EXPECT_EQ(tb.headers_stripped(), 1u);
+    // Still a valid head.
+    EXPECT_NE(text.find("\r\n\r\n"), std::string::npos);
+}
+
+TEST(TrackerBlockerBehavior, BodyUntouched)
+{
+    TrackerBlocker tb;
+    Bytes body = str_to_bytes("Cookie: not-a-header-here");
+    EXPECT_EQ(tb.transform(http::kCtxResponseBody, Direction::server_to_client, body), body);
+}
+
+TEST(WanOptimizerPair, DeduplicatesRepeatedContent)
+{
+    WanOptimizerEncoder enc;
+    WanOptimizerDecoder dec;
+    Bytes body(4 * kDedupChunkSize, 'z');
+
+    // First transfer: all chunks travel raw (first chunk is stored, the
+    // three identical following chunks already dedup against it).
+    Bytes first = enc.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    Bytes restored1 =
+        dec.transform(http::kCtxResponseBody, Direction::server_to_client, first);
+    EXPECT_EQ(restored1, body);
+
+    // Second transfer of identical content: everything dedups.
+    Bytes second = enc.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+    EXPECT_LT(second.size(), body.size() / 4);
+    Bytes restored2 =
+        dec.transform(http::kCtxResponseBody, Direction::server_to_client, second);
+    EXPECT_EQ(restored2, body);
+    EXPECT_GT(enc.bytes_saved(), 0u);
+    EXPECT_GT(dec.chunks_expanded(), 0u);
+}
+
+TEST(WanOptimizerPair, DistinctContentPassesThrough)
+{
+    WanOptimizerEncoder enc;
+    WanOptimizerDecoder dec;
+    TestRng rng(6);
+    for (int i = 0; i < 3; ++i) {
+        Bytes body = rng.bytes(1000);
+        Bytes wire = enc.transform(http::kCtxResponseBody, Direction::server_to_client, body);
+        Bytes restored =
+            dec.transform(http::kCtxResponseBody, Direction::server_to_client, wire);
+        EXPECT_EQ(restored, body);
+    }
+}
+
+TEST(Pacer, TokenBucketDelays)
+{
+    // 1 Mbps, 1 KB burst: the first KB goes immediately, the next must wait.
+    TokenBucketPacer pacer(1e6, 1024);
+    EXPECT_EQ(pacer.delay_for(0, 1024), 0u);
+    net::SimTime delay = pacer.delay_for(0, 1024);
+    EXPECT_GT(delay, 7000u);  // ~8.2 ms to refill 1 KB at 1 Mbps
+    EXPECT_LT(delay, 10000u);
+}
+
+TEST(Pacer, TokensRefillOverTime)
+{
+    TokenBucketPacer pacer(1e6, 1024);
+    EXPECT_EQ(pacer.delay_for(0, 1024), 0u);
+    // After 10 ms the bucket has refilled ~1250 bytes (capped at burst).
+    EXPECT_EQ(pacer.delay_for(10000, 1024), 0u);
+}
+
+}  // namespace
+}  // namespace mct::mbox

@@ -1,0 +1,262 @@
+// End-to-end: Table 1 middleboxes running inside real mcTLS sessions.
+#include <gtest/gtest.h>
+
+#include "middlebox/cache.h"
+#include "middlebox/compression.h"
+#include "middlebox/inspection.h"
+#include "tests/mctls/harness.h"
+
+namespace mct::mbox {
+namespace {
+
+using mctls::test::ChainEnv;
+using mctls::Permission;
+
+// Contexts for the 4-context strategy with per-middlebox permission rows
+// taken from the behaviors themselves.
+std::vector<mctls::ContextDescription> contexts_for(
+    const std::vector<Behavior*>& behaviors)
+{
+    auto contexts = http::strategy_contexts(http::ContextStrategy::four_contexts,
+                                            behaviors.size(), Permission::none);
+    for (size_t c = 0; c < contexts.size(); ++c) {
+        for (size_t m = 0; m < behaviors.size(); ++m)
+            contexts[c].permissions[m] = behaviors[m]->permission_for(contexts[c].id);
+    }
+    return contexts;
+}
+
+void send_request(ChainEnv& env, const http::Request& req)
+{
+    for (auto& part : partition_request(http::ContextStrategy::four_contexts, req)) {
+        ASSERT_TRUE(env.client->send_app_data(part.context_id, part.data).ok());
+    }
+    env.pump();
+}
+
+void send_response(ChainEnv& env, const http::Response& resp)
+{
+    for (auto& part : partition_response(http::ContextStrategy::four_contexts, resp)) {
+        ASSERT_TRUE(env.server->send_app_data(part.context_id, part.data).ok());
+    }
+    env.pump();
+}
+
+Bytes collect(std::vector<mctls::AppChunk> chunks)
+{
+    Bytes out;
+    for (auto& c : chunks) append(out, c.data);
+    return out;
+}
+
+TEST(MiddleboxIntegration, IdsSeesEverythingDetectsAttack)
+{
+    ChainEnv env;
+    Ids ids({"EVIL"});
+    std::vector<Behavior*> behaviors{&ids};
+    auto infos = env.make_middleboxes(1);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto mcfg = env.mbox_config(0);
+    ids.attach(mcfg);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(mcfg));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.path = "/download";
+    req.headers = {{"Host", "server.example.com"}};
+    send_request(env, req);
+
+    http::Response resp;
+    resp.body = str_to_bytes("payload with EVIL inside");
+    send_response(env, resp);
+
+    EXPECT_EQ(ids.alerts(), 1u);
+    EXPECT_GT(ids.bytes_scanned(), 0u);
+    // Content still arrives unmodified.
+    auto at_client = collect(env.client->take_app_data());
+    EXPECT_NE(bytes_to_str(at_client).find("EVIL"), std::string::npos);
+}
+
+TEST(MiddleboxIntegration, TrackerBlockerStripsCookieInFlight)
+{
+    ChainEnv env;
+    TrackerBlocker tb;
+    std::vector<Behavior*> behaviors{&tb};
+    auto infos = env.make_middleboxes(1);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto mcfg = env.mbox_config(0);
+    tb.attach(mcfg);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(mcfg));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.path = "/page";
+    req.headers = {{"Host", "server.example.com"}, {"Cookie", "secret-tracking-id"}};
+    send_request(env, req);
+
+    auto chunks = env.server->take_app_data();
+    ASSERT_FALSE(chunks.empty());
+    std::string seen = bytes_to_str(collect(std::move(chunks)));
+    EXPECT_EQ(seen.find("Cookie"), std::string::npos);
+    EXPECT_NE(seen.find("Host"), std::string::npos);
+    EXPECT_EQ(tb.headers_stripped(), 1u);
+}
+
+TEST(MiddleboxIntegration, CompressionPairTransparentToClient)
+{
+    // mbox0 (near client) = decompressor, mbox1 (near server) = compressor.
+    ChainEnv env;
+    Decompressor decomp;
+    Compressor comp;
+    std::vector<Behavior*> behaviors{&decomp, &comp};
+    auto infos = env.make_middleboxes(2);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto cfg0 = env.mbox_config(0);
+    decomp.attach(cfg0);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(cfg0));
+    auto cfg1 = env.mbox_config(1);
+    comp.attach(cfg1);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(cfg1));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.path = "/text";
+    send_request(env, req);
+    env.server->take_app_data();
+
+    http::Response resp;
+    resp.body = Bytes(8000, 'w');  // very compressible
+    send_response(env, resp);
+
+    auto at_client = env.client->take_app_data();
+    Bytes body_seen;
+    bool modified_flag = false;
+    for (auto& chunk : at_client) {
+        if (chunk.context_id == http::kCtxResponseBody) {
+            append(body_seen, chunk.data);
+            modified_flag |= !chunk.from_endpoint;
+        }
+    }
+    EXPECT_EQ(body_seen, resp.body);  // transparent end-to-end
+    // Because the decompressor restores the exact original bytes, the
+    // endpoint MAC verifies again: the pair is transparent even to the
+    // endpoint-modification check.
+    EXPECT_FALSE(modified_flag);
+    EXPECT_GT(comp.bytes_in(), comp.bytes_out());
+    EXPECT_EQ(decomp.records_restored(), 1u);
+}
+
+TEST(MiddleboxIntegration, CacheServesSecondFetch)
+{
+    ChainEnv env;
+    CacheStore store;
+    Cache cache(store);
+    std::vector<Behavior*> behaviors{&cache};
+    auto infos = env.make_middleboxes(1);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto mcfg = env.mbox_config(0);
+    cache.attach(mcfg);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(mcfg));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.path = "/asset.js";
+    http::Response resp;
+    resp.body = str_to_bytes("console.log('cached');");
+
+    send_request(env, req);
+    env.server->take_app_data();
+    send_response(env, resp);
+    env.client->take_app_data();
+    EXPECT_EQ(cache.misses(), 1u);
+
+    send_request(env, req);
+    env.server->take_app_data();
+    send_response(env, resp);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    auto chunks = env.client->take_app_data();
+    Bytes heads;
+    for (auto& c : chunks) {
+        if (c.context_id == http::kCtxResponseHeaders) append(heads, c.data);
+    }
+    EXPECT_NE(bytes_to_str(heads).find("X-Cache: HIT"), std::string::npos);
+}
+
+TEST(MiddleboxIntegration, PostBodyReassemblesThroughWriterMiddlebox)
+{
+    // Request bodies (four-context ctx 2) flow client->server and must
+    // reassemble into a valid POST at the server while header-writing
+    // middleboxes operate on the head context.
+    ChainEnv env;
+    TrackerBlocker tb;
+    std::vector<Behavior*> behaviors{&tb};
+    auto infos = env.make_middleboxes(1);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto mcfg = env.mbox_config(0);
+    tb.attach(mcfg);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(mcfg));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.method = "POST";
+    req.path = "/upload";
+    req.headers = {{"Host", "server.example.com"}, {"Cookie", "c=1"}};
+    req.body = str_to_bytes("field=value&data=payload");
+    send_request(env, req);
+
+    // Server reassembles the full message from headers + body contexts.
+    auto chunks = env.server->take_app_data();
+    Bytes stream = collect(std::move(chunks));
+    http::RequestParser parser;
+    parser.feed(stream);
+    auto parsed = parser.next();
+    ASSERT_TRUE(parsed.ok());
+    ASSERT_TRUE(parsed.value().has_value());
+    EXPECT_EQ(parsed.value()->method, "POST");
+    EXPECT_EQ(bytes_to_str(parsed.value()->body), "field=value&data=payload");
+    EXPECT_EQ(parsed.value()->header("Cookie"), nullptr);  // stripped in flight
+}
+
+TEST(MiddleboxIntegration, ParentalFilterFlagsBlockedRequest)
+{
+    ChainEnv env;
+    ParentalFilter filter({"blocked.example.com"});
+    std::vector<Behavior*> behaviors{&filter};
+    auto infos = env.make_middleboxes(1);
+    env.client = std::make_unique<mctls::Session>(
+        env.client_config(infos, contexts_for(behaviors)));
+    env.server = std::make_unique<mctls::Session>(env.server_config());
+    auto mcfg = env.mbox_config(0);
+    filter.attach(mcfg);
+    env.mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(mcfg));
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    http::Request req;
+    req.path = "/";
+    req.headers = {{"Host", "blocked.example.com"}};
+    send_request(env, req);
+    EXPECT_TRUE(filter.blocked());
+    // The filter saw only request headers; it could not read a response
+    // body context even if one flowed (permission none).
+    EXPECT_EQ(env.mboxes[0]->permission(http::kCtxResponseBody), Permission::none);
+}
+
+}  // namespace
+}  // namespace mct::mbox

@@ -1,0 +1,96 @@
+#include "middlebox/lzss.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mct::mbox {
+namespace {
+
+TEST(Lzss, RoundTripText)
+{
+    Bytes input = str_to_bytes(
+        "the quick brown fox jumps over the lazy dog; "
+        "the quick brown fox jumps over the lazy dog again and again");
+    Bytes compressed = lzss_compress(input);
+    auto out = lzss_decompress(compressed);
+    ASSERT_TRUE(out.ok()) << out.error().message;
+    EXPECT_EQ(out.value(), input);
+    EXPECT_LT(compressed.size(), input.size());  // repetitive text shrinks
+}
+
+TEST(Lzss, RoundTripEmpty)
+{
+    Bytes compressed = lzss_compress({});
+    auto out = lzss_decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.value().empty());
+}
+
+TEST(Lzss, RoundTripSingleByte)
+{
+    Bytes input{0x42};
+    auto out = lzss_decompress(lzss_compress(input));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), input);
+}
+
+TEST(Lzss, HighlyRepetitiveCompressesWell)
+{
+    Bytes input(10000, 'a');
+    Bytes compressed = lzss_compress(input);
+    EXPECT_LT(compressed.size(), input.size() / 4);
+    auto out = lzss_decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), input);
+}
+
+TEST(Lzss, RandomDataRoundTrips)
+{
+    TestRng rng(77);
+    for (size_t len : {1u, 7u, 100u, 4096u, 20000u}) {
+        Bytes input = rng.bytes(len);
+        auto out = lzss_decompress(lzss_compress(input));
+        ASSERT_TRUE(out.ok()) << len;
+        EXPECT_EQ(out.value(), input) << len;
+    }
+}
+
+TEST(Lzss, StructuredDataRoundTrips)
+{
+    // HTML-like content with long-range repeats crossing the window.
+    Bytes input;
+    for (int i = 0; i < 200; ++i)
+        append(input, str_to_bytes("<div class=\"item\"><span>element " +
+                                   std::to_string(i % 13) + "</span></div>\n"));
+    Bytes compressed = lzss_compress(input);
+    EXPECT_LT(compressed.size(), input.size() / 2);
+    auto out = lzss_decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), input);
+}
+
+TEST(Lzss, TruncatedStreamRejected)
+{
+    Bytes compressed = lzss_compress(Bytes(1000, 'b'));
+    for (size_t cut : {size_t{0}, size_t{3}, size_t{5}, compressed.size() - 1}) {
+        auto out = lzss_decompress(ConstBytes{compressed}.subspan(0, cut));
+        EXPECT_FALSE(out.ok()) << cut;
+    }
+}
+
+TEST(Lzss, ImplausibleLengthRejected)
+{
+    Bytes bogus{0xff, 0xff, 0xff, 0xff, 0x00};
+    EXPECT_FALSE(lzss_decompress(bogus).ok());
+}
+
+TEST(Lzss, BadBackReferenceRejected)
+{
+    // Claim 4 output bytes, then a back-reference with nothing in the window.
+    Bytes bogus{0x00, 0x00, 0x00, 0x04, /*flags*/ 0x01, /*token*/ 0x0f, 0xff};
+    EXPECT_FALSE(lzss_decompress(bogus).ok());
+}
+
+}  // namespace
+}  // namespace mct::mbox

@@ -1,0 +1,74 @@
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mct::net {
+namespace {
+
+TEST(EventLoop, StartsAtZero)
+{
+    EventLoop loop;
+    EXPECT_EQ(loop.now(), 0u);
+    EXPECT_TRUE(loop.idle());
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    loop.schedule(30, [&] { order.push_back(3); });
+    loop.schedule(10, [&] { order.push_back(1); });
+    loop.schedule(20, [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoop, SameTimeFifo)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) loop.schedule(100, [&, i] { order.push_back(i); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, EventsCanScheduleEvents)
+{
+    EventLoop loop;
+    int fired_at = -1;
+    loop.schedule(10, [&] { loop.schedule(15, [&] { fired_at = static_cast<int>(loop.now()); }); });
+    loop.run();
+    EXPECT_EQ(fired_at, 25);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline)
+{
+    EventLoop loop;
+    int count = 0;
+    loop.schedule(10, [&] { ++count; });
+    loop.schedule(20, [&] { ++count; });
+    loop.schedule(30, [&] { ++count; });
+    loop.run_until(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(loop.now(), 20u);
+    EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, SchedulingInThePastThrows)
+{
+    EventLoop loop;
+    loop.schedule(10, [&] { EXPECT_THROW(loop.schedule_at(5, [] {}), std::logic_error); });
+    loop.run();
+}
+
+TEST(EventLoop, LiteralSuffixes)
+{
+    EXPECT_EQ(5_ms, 5000u);
+    EXPECT_EQ(2_s, 2000000u);
+}
+
+}  // namespace
+}  // namespace mct::net

@@ -1,0 +1,41 @@
+#include "net/pipe.h"
+
+#include <gtest/gtest.h>
+
+namespace mct::net {
+namespace {
+
+TEST(Pipe, RoundTrip)
+{
+    PipePair pipe;
+    pipe.a().write(str_to_bytes("hello"));
+    EXPECT_TRUE(pipe.b().has_data());
+    EXPECT_EQ(bytes_to_str(pipe.b().read_all()), "hello");
+    EXPECT_FALSE(pipe.b().has_data());
+}
+
+TEST(Pipe, Bidirectional)
+{
+    PipePair pipe;
+    pipe.a().write(str_to_bytes("ping"));
+    pipe.b().write(str_to_bytes("pong"));
+    EXPECT_EQ(bytes_to_str(pipe.b().read_all()), "ping");
+    EXPECT_EQ(bytes_to_str(pipe.a().read_all()), "pong");
+}
+
+TEST(Pipe, WritesAccumulate)
+{
+    PipePair pipe;
+    pipe.a().write(str_to_bytes("ab"));
+    pipe.a().write(str_to_bytes("cd"));
+    EXPECT_EQ(bytes_to_str(pipe.b().read_all()), "abcd");
+}
+
+TEST(Pipe, ReadAllOnEmptyIsEmpty)
+{
+    PipePair pipe;
+    EXPECT_TRUE(pipe.a().read_all().empty());
+}
+
+}  // namespace
+}  // namespace mct::net

@@ -1,0 +1,287 @@
+#include "net/sim_net.h"
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.h"
+
+namespace mct::net {
+namespace {
+
+struct TwoHosts {
+    EventLoop loop;
+    SimNet net{loop};
+
+    explicit TwoHosts(LinkConfig cfg = {20_ms, 0})
+    {
+        net.add_host("client");
+        net.add_host("server");
+        net.add_link("client", "server", cfg);
+    }
+};
+
+TEST(SimNet, ConnectTakesOneRtt)
+{
+    TwoHosts env;
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    auto conn = env.net.connect("client", "server", 80);
+    SimTime connected_at = 0;
+    conn->set_on_connect([&] { connected_at = env.loop.now(); });
+    env.loop.run();
+    EXPECT_EQ(connected_at, 40_ms);  // SYN + SYN-ACK over 20 ms links
+}
+
+TEST(SimNet, AcceptFiresAtHalfRtt)
+{
+    TwoHosts env;
+    SimTime accepted_at = 0;
+    env.net.listen("server", 80, [&](ConnectionPtr) { accepted_at = env.loop.now(); });
+    auto conn = env.net.connect("client", "server", 80);
+    env.loop.run();
+    EXPECT_EQ(accepted_at, 20_ms);
+}
+
+TEST(SimNet, EchoRoundTrip)
+{
+    TwoHosts env;
+    Bytes received_at_server, received_at_client;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&, server](ConstBytes data) {
+            append(received_at_server, data);
+            server->send(data);  // echo
+        });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(str_to_bytes("hello")); });
+    conn->set_on_data([&](ConstBytes data) { append(received_at_client, data); });
+    env.loop.run();
+    EXPECT_EQ(bytes_to_str(received_at_server), "hello");
+    EXPECT_EQ(bytes_to_str(received_at_client), "hello");
+    // 1 RTT connect + 0.5 RTT request + 0.5 RTT response = 80 ms.
+    EXPECT_EQ(env.loop.now() >= 80_ms, true);
+}
+
+TEST(SimNet, SmallRequestResponseTimingIsTwoRtt)
+{
+    TwoHosts env;
+    SimTime response_at = 0;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([server](ConstBytes) { server->send(str_to_bytes("resp")); });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(str_to_bytes("req")); });
+    conn->set_on_data([&](ConstBytes) { response_at = env.loop.now(); });
+    env.loop.run();
+    EXPECT_EQ(response_at, 80_ms);
+}
+
+TEST(SimNet, NaglePenalizesBackToBackSmallSends)
+{
+    // Two sub-MSS sends issued together: the second waits for the first ACK.
+    TwoHosts env;
+    std::vector<SimTime> arrivals;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes) { arrivals.push_back(env.loop.now()); });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] {
+        conn->send(Bytes(100, 'a'));
+        conn->send(Bytes(100, 'b'));
+    });
+    env.loop.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 60_ms);   // 1 RTT connect + 0.5 RTT data
+    EXPECT_EQ(arrivals[1], 100_ms);  // held until ACK at 80 ms, +0.5 RTT
+}
+
+TEST(SimNet, NagleOffSendsImmediately)
+{
+    TwoHosts env;
+    std::vector<SimTime> arrivals;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes) { arrivals.push_back(env.loop.now()); });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_nagle(false);
+    conn->set_on_connect([&] {
+        conn->send(Bytes(100, 'a'));
+        conn->send(Bytes(100, 'b'));
+    });
+    env.loop.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(arrivals[0], 60_ms);
+    EXPECT_EQ(arrivals[1], 60_ms);  // same instant, no hold
+}
+
+TEST(SimNet, NagleHoldsResidueOfLargeSend)
+{
+    // A send slightly over 1 MSS: the full segment goes out now, the residue
+    // is held until the ACK — the exact mechanism behind Figure 3's staircase.
+    TwoHosts env;
+    std::vector<std::pair<SimTime, size_t>> arrivals;
+    size_t total = 0;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes d) {
+            total += d.size();
+            arrivals.push_back({env.loop.now(), d.size()});
+        });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(Bytes(kMss + 200, 'x')); });
+    env.loop.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    EXPECT_EQ(total, kMss + 200);
+    EXPECT_EQ(arrivals[0].first, 60_ms);
+    EXPECT_EQ(arrivals[0].second, kMss);
+    EXPECT_EQ(arrivals[1].first, 100_ms);  // +1 RTT for the residue
+}
+
+TEST(SimNet, BandwidthSerializationDelay)
+{
+    // 1 Mbps link: a 10000-byte message has ~80 ms of serialization on top
+    // of propagation.
+    TwoHosts env{{20_ms, 1e6}};
+    SimTime done_at = 0;
+    size_t got = 0;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes d) {
+            got += d.size();
+            if (got >= 10000) done_at = env.loop.now();
+        });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(Bytes(10000, 'x')); });
+    env.loop.run();
+    // Serialization of ~10 KB + headers at 1 Mbps is > 80 ms; the connect
+    // handshake costs 40 ms (plus header serialization).
+    EXPECT_GT(done_at, 120_ms);
+    EXPECT_LT(done_at, 200_ms);
+}
+
+TEST(SimNet, LargeTransferRespectsCongestionWindow)
+{
+    // With 10*MSS initial window, a large transfer needs multiple RTT rounds
+    // even on an infinite-bandwidth link.
+    TwoHosts env;
+    size_t got = 0;
+    SimTime done_at = 0;
+    size_t total = 100 * kMss;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes d) {
+            got += d.size();
+            if (got >= total) done_at = env.loop.now();
+        });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(Bytes(total, 'x')); });
+    env.loop.run();
+    EXPECT_EQ(got, total);
+    // Slow start: 10, 20, 40, 80 segments per round -> needs >= 3 data rounds.
+    EXPECT_GE(done_at, 40_ms + 20_ms + 2 * 40_ms);
+}
+
+TEST(SimNet, CloseDeliversAfterData)
+{
+    TwoHosts env;
+    bool closed = false;
+    Bytes data_seen;
+    SimTime closed_at = 0;
+    env.net.listen("server", 80, [&](ConnectionPtr server) {
+        server->set_on_data([&](ConstBytes d) { append(data_seen, d); });
+        server->set_on_close([&] {
+            closed = true;
+            closed_at = env.loop.now();
+        });
+    });
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] {
+        conn->send(str_to_bytes("bye"));
+        conn->close();
+    });
+    env.loop.run();
+    EXPECT_TRUE(closed);
+    EXPECT_EQ(bytes_to_str(data_seen), "bye");
+    EXPECT_GE(closed_at, 60_ms);
+}
+
+TEST(SimNet, SendAfterCloseThrows)
+{
+    TwoHosts env;
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    auto conn = env.net.connect("client", "server", 80);
+    conn->close();
+    EXPECT_THROW(conn->send(str_to_bytes("x")), std::logic_error);
+}
+
+TEST(SimNet, ConnectWithoutListenerThrows)
+{
+    TwoHosts env;
+    EXPECT_THROW(env.net.connect("client", "server", 81), std::logic_error);
+}
+
+TEST(SimNet, ConnectWithoutLinkThrows)
+{
+    EventLoop loop;
+    SimNet net{loop};
+    net.add_host("a");
+    net.add_host("b");
+    net.listen("b", 80, [](ConnectionPtr) {});
+    EXPECT_THROW(net.connect("a", "b", 80), std::logic_error);
+}
+
+TEST(SimNet, DuplicateHostThrows)
+{
+    EventLoop loop;
+    SimNet net{loop};
+    net.add_host("a");
+    EXPECT_THROW(net.add_host("a"), std::logic_error);
+}
+
+TEST(SimNet, StatsCountAppAndWireBytes)
+{
+    TwoHosts env;
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    auto conn = env.net.connect("client", "server", 80);
+    conn->set_on_connect([&] { conn->send(Bytes(500, 'x')); });
+    env.loop.run();
+    EXPECT_EQ(conn->app_bytes_sent(), 500u);
+    // SYN header + one data segment with header.
+    EXPECT_EQ(conn->wire_bytes_sent(), kHeaderBytes + 500 + kHeaderBytes);
+    EXPECT_EQ(conn->segments_sent(), 1u);
+}
+
+TEST(SimNet, ChainOfHostsRelaysSequentially)
+{
+    // client -> mbox -> server, app-level relay: TTFB is 2 RTT end-to-end
+    // with per-hop TCP handshakes (the NoEncrypt baseline of Figure 3).
+    EventLoop loop;
+    SimNet net{loop};
+    for (auto name : {"client", "mbox", "server"}) net.add_host(name);
+    net.add_link("client", "mbox", {20_ms, 0});
+    net.add_link("mbox", "server", {20_ms, 0});
+
+    net.listen("server", 80, [&](ConnectionPtr s) {
+        s->set_on_data([s](ConstBytes) { s->send(str_to_bytes("response")); });
+    });
+    net.listen("mbox", 80, [&](ConnectionPtr downstream) {
+        // Open upstream leg on first data, relay both ways.
+        auto state = std::make_shared<ConnectionPtr>();
+        downstream->set_on_data([&net, downstream, state](ConstBytes req) {
+            Bytes request = to_bytes(req);
+            auto upstream = net.connect("mbox", "server", 80);
+            *state = upstream;
+            upstream->set_on_connect([upstream, request] { upstream->send(request); });
+            upstream->set_on_data([downstream](ConstBytes resp) { downstream->send(resp); });
+        });
+    });
+
+    SimTime response_at = 0;
+    auto conn = net.connect("client", "mbox", 80);
+    conn->set_on_connect([&] { conn->send(str_to_bytes("request")); });
+    conn->set_on_data([&](ConstBytes) { response_at = loop.now(); });
+    loop.run();
+    // hop1 connect 40 + req 20 | hop2 connect 40 + req 20 + resp 20 + resp 20 = 160 ms.
+    EXPECT_EQ(response_at, 160_ms);
+}
+
+}  // namespace
+}  // namespace mct::net

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "pki/authority.h"
+#include "pki/trust_store.h"
+#include "util/rng.h"
+
+namespace mct::pki {
+namespace {
+
+struct PkiFixture : ::testing::Test {
+    TestRng rng{77};
+    Authority ca{"Test Root CA", rng};
+    TrustStore store;
+
+    PkiFixture() { store.add_root(ca.root_certificate()); }
+};
+
+TEST_F(PkiFixture, SerializeParseRoundTrip)
+{
+    Identity id = ca.issue("server.example.com", rng);
+    auto parsed = Certificate::parse(id.certificate.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), id.certificate);
+}
+
+TEST_F(PkiFixture, ParseRejectsTruncated)
+{
+    Identity id = ca.issue("s", rng);
+    Bytes wire = id.certificate.serialize();
+    for (size_t cut : {0u, 1u, 10u}) {
+        EXPECT_FALSE(Certificate::parse(ConstBytes{wire}.subspan(0, cut)).ok());
+    }
+}
+
+TEST_F(PkiFixture, ParseRejectsTrailingGarbage)
+{
+    Identity id = ca.issue("s", rng);
+    Bytes wire = id.certificate.serialize();
+    wire.push_back(0x00);
+    EXPECT_FALSE(Certificate::parse(wire).ok());
+}
+
+TEST_F(PkiFixture, DirectChainValidates)
+{
+    Identity id = ca.issue("server.example.com", rng);
+    EXPECT_TRUE(store.verify_chain({id.certificate}, "server.example.com", 100).ok());
+}
+
+TEST_F(PkiFixture, SubjectMismatchFails)
+{
+    Identity id = ca.issue("server.example.com", rng);
+    auto status = store.verify_chain({id.certificate}, "other.example.com", 100);
+    EXPECT_FALSE(status.ok());
+}
+
+TEST_F(PkiFixture, EmptyExpectedSubjectSkipsNameCheck)
+{
+    Identity id = ca.issue("whatever", rng);
+    EXPECT_TRUE(store.verify_chain({id.certificate}, "", 100).ok());
+}
+
+TEST_F(PkiFixture, UntrustedIssuerFails)
+{
+    TestRng other_rng{78};
+    Authority rogue{"Rogue CA", other_rng};
+    Identity id = rogue.issue("server.example.com", other_rng);
+    EXPECT_FALSE(store.verify_chain({id.certificate}, "server.example.com", 100).ok());
+}
+
+TEST_F(PkiFixture, TamperedCertificateFails)
+{
+    Identity id = ca.issue("server.example.com", rng);
+    Certificate bad = id.certificate;
+    bad.subject = "server.example.com";  // unchanged name...
+    bad.public_key[0] ^= 1;              // ...but substituted key
+    EXPECT_FALSE(store.verify_chain({bad}, "server.example.com", 100).ok());
+}
+
+TEST_F(PkiFixture, IntermediateChainValidates)
+{
+    Authority sub = ca.subordinate("Intermediate CA", rng);
+    Identity leaf = sub.issue("deep.example.com", rng);
+    EXPECT_TRUE(store
+                    .verify_chain({leaf.certificate, sub.root_certificate()},
+                                  "deep.example.com", 100)
+                    .ok());
+}
+
+TEST_F(PkiFixture, NonCaIntermediateRejected)
+{
+    // An end-entity certificate must not act as an issuer.
+    Identity fake_ca = ca.issue("Not A CA", rng, /*is_ca=*/false);
+    Certificate leaf;
+    leaf.subject = "victim.example.com";
+    leaf.issuer = "Not A CA";
+    leaf.public_key = Bytes(32, 1);
+    leaf.not_after = Authority::kDefaultExpiry;
+    leaf.signature = crypto::ed25519_sign(fake_ca.private_key, leaf.tbs());
+    auto status = store.verify_chain({leaf, fake_ca.certificate}, "victim.example.com", 100);
+    EXPECT_FALSE(status.ok());
+}
+
+TEST_F(PkiFixture, ExpiredCertificateRejected)
+{
+    Identity id = ca.issue("server.example.com", rng, false, 0, 50);
+    EXPECT_FALSE(store.verify_chain({id.certificate}, "server.example.com", 100).ok());
+    EXPECT_TRUE(store.verify_chain({id.certificate}, "server.example.com", 25).ok());
+}
+
+TEST_F(PkiFixture, NotYetValidRejected)
+{
+    Identity id = ca.issue("server.example.com", rng, false, 1000, 2000);
+    EXPECT_FALSE(store.verify_chain({id.certificate}, "server.example.com", 100).ok());
+}
+
+TEST_F(PkiFixture, EmptyChainRejected)
+{
+    EXPECT_FALSE(store.verify_chain({}, "x", 0).ok());
+}
+
+TEST_F(PkiFixture, BrokenChainOrderRejected)
+{
+    Authority sub = ca.subordinate("Intermediate CA", rng);
+    Identity leaf = sub.issue("deep.example.com", rng);
+    // Chain missing the intermediate: issuer not in store, next cert absent.
+    EXPECT_FALSE(store.verify_chain({leaf.certificate}, "deep.example.com", 100).ok());
+}
+
+TEST_F(PkiFixture, RootSignatureIsSelfConsistent)
+{
+    EXPECT_TRUE(verify_signature(ca.root_certificate(), ca.root_certificate().public_key));
+}
+
+}  // namespace
+}  // namespace mct::pki

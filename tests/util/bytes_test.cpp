@@ -1,0 +1,67 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace mct {
+namespace {
+
+TEST(Bytes, HexRoundTrip)
+{
+    Bytes data{0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(to_hex(data), "0001abff");
+    EXPECT_EQ(from_hex("0001abff"), data);
+    EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Bytes, HexEmpty)
+{
+    EXPECT_EQ(to_hex({}), "");
+    EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength)
+{
+    EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex)
+{
+    EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StrConversionRoundTrip)
+{
+    std::string s = "hello\x00world";
+    EXPECT_EQ(bytes_to_str(str_to_bytes(s)), s);
+}
+
+TEST(Bytes, Concat)
+{
+    Bytes a{1, 2};
+    Bytes b{3};
+    Bytes c{};
+    EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, Equal)
+{
+    EXPECT_TRUE(equal(Bytes{1, 2}, Bytes{1, 2}));
+    EXPECT_FALSE(equal(Bytes{1, 2}, Bytes{1, 3}));
+    EXPECT_FALSE(equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, Xor)
+{
+    EXPECT_EQ(xor_bytes(Bytes{0xff, 0x0f}, Bytes{0x0f, 0x0f}), (Bytes{0xf0, 0x00}));
+    EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), std::invalid_argument);
+}
+
+TEST(Bytes, Append)
+{
+    Bytes dst{1};
+    append(dst, Bytes{2, 3});
+    EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mct

@@ -1,0 +1,57 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mct {
+namespace {
+
+TEST(TestRng, Deterministic)
+{
+    TestRng a(42), b(42);
+    EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(TestRng, SeedsDiffer)
+{
+    TestRng a(1), b(2);
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(TestRng, FillCoversAllBytes)
+{
+    TestRng rng(7);
+    Bytes buf(1000, 0);
+    rng.fill(buf);
+    std::set<uint8_t> seen(buf.begin(), buf.end());
+    // A 1000-byte random buffer hits far more than 100 distinct values.
+    EXPECT_GT(seen.size(), 100u);
+}
+
+TEST(TestRng, BelowIsInRange)
+{
+    TestRng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(TestRng, BelowOneIsZero)
+{
+    TestRng rng(3);
+    EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(TestRng, UnitInRange)
+{
+    TestRng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+}  // namespace
+}  // namespace mct

@@ -1,0 +1,89 @@
+#include "util/serde.h"
+
+#include <gtest/gtest.h>
+
+namespace mct {
+namespace {
+
+TEST(Serde, IntegersRoundTrip)
+{
+    Writer w;
+    w.u8(0xab);
+    w.u16(0x1234);
+    w.u24(0xabcdef);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.u8().value(), 0xab);
+    EXPECT_EQ(r.u16().value(), 0x1234);
+    EXPECT_EQ(r.u24().value(), 0xabcdefu);
+    EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+    EXPECT_TRUE(r.expect_done().ok());
+}
+
+TEST(Serde, BigEndianLayout)
+{
+    Writer w;
+    w.u16(0x0102);
+    EXPECT_EQ(w.bytes(), (Bytes{0x01, 0x02}));
+}
+
+TEST(Serde, VectorsRoundTrip)
+{
+    Writer w;
+    w.vec8(Bytes{1, 2, 3});
+    w.vec16(Bytes{});
+    w.vec24(Bytes{9});
+    w.str8("hi");
+    w.str16("there");
+
+    Reader r(w.bytes());
+    EXPECT_EQ(r.vec8().value(), (Bytes{1, 2, 3}));
+    EXPECT_TRUE(r.vec16().value().empty());
+    EXPECT_EQ(r.vec24().value(), (Bytes{9}));
+    EXPECT_EQ(r.str8().value(), "hi");
+    EXPECT_EQ(r.str16().value(), "there");
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, TruncatedReadFails)
+{
+    Bytes data{0x00, 0x05, 0x01};  // vec16 claims 5 bytes, only 1 present
+    Reader r(data);
+    auto v = r.vec16();
+    EXPECT_FALSE(v.ok());
+}
+
+TEST(Serde, TruncatedIntFails)
+{
+    Bytes data{0x01};
+    Reader r(data);
+    EXPECT_FALSE(r.u32().ok());
+}
+
+TEST(Serde, TrailingBytesDetected)
+{
+    Bytes data{0x01, 0x02};
+    Reader r(data);
+    EXPECT_EQ(r.u8().value(), 1);
+    EXPECT_FALSE(r.expect_done().ok());
+}
+
+TEST(Serde, Vec8Overflow)
+{
+    Writer w;
+    Bytes big(256, 0);
+    EXPECT_THROW(w.vec8(big), std::length_error);
+}
+
+TEST(Serde, EmptyReader)
+{
+    Reader r(ConstBytes{});
+    EXPECT_TRUE(r.done());
+    EXPECT_FALSE(r.u8().ok());
+}
+
+}  // namespace
+}  // namespace mct

@@ -1,0 +1,86 @@
+#include "workload/page_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mct::workload {
+namespace {
+
+TEST(PageModel, CorpusIsDeterministic)
+{
+    CorpusConfig cfg;
+    cfg.pages = 10;
+    auto a = generate_corpus(cfg);
+    auto b = generate_corpus(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].connections, b[i].connections);
+    }
+}
+
+TEST(PageModel, SeedsDiffer)
+{
+    CorpusConfig a_cfg, b_cfg;
+    a_cfg.pages = b_cfg.pages = 3;
+    b_cfg.seed = 43;
+    auto a = generate_corpus(a_cfg);
+    auto b = generate_corpus(b_cfg);
+    EXPECT_NE(a[0].connections, b[0].connections);
+}
+
+TEST(PageModel, SizeQuantilesMatchPaper)
+{
+    // Large sample: the 10th/50th/99th percentiles must land near the
+    // paper's 0.5 kB / 4.9 kB / 185.6 kB.
+    CorpusConfig cfg;
+    TestRng rng(7);
+    std::vector<size_t> sizes;
+    for (int i = 0; i < 200000; ++i) sizes.push_back(sample_object_size(rng, cfg));
+    std::sort(sizes.begin(), sizes.end());
+    size_t p10 = sizes[sizes.size() / 10];
+    size_t p50 = sizes[sizes.size() / 2];
+    size_t p99 = sizes[sizes.size() * 99 / 100];
+    EXPECT_GT(p10, 300u);
+    EXPECT_LT(p10, 1100u);
+    EXPECT_GT(p50, 4000u);
+    EXPECT_LT(p50, 6000u);
+    EXPECT_GT(p99, 130000u);
+    EXPECT_LT(p99, 260000u);
+}
+
+TEST(PageModel, PageShapeIsReasonable)
+{
+    CorpusConfig cfg;
+    cfg.pages = 200;
+    auto corpus = generate_corpus(cfg);
+    for (const auto& page : corpus) {
+        EXPECT_GE(page.object_count(), cfg.min_objects);
+        EXPECT_GE(page.connections.size(), 1u);
+        EXPECT_LE(page.connections.size(), cfg.max_connections);
+        EXPECT_GT(page.total_bytes(), 0u);
+        for (const auto& conn : page.connections) EXPECT_FALSE(conn.empty());
+    }
+}
+
+TEST(PageModel, SizesClamped)
+{
+    CorpusConfig cfg;
+    cfg.max_object_bytes = 10000;
+    TestRng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LE(sample_object_size(rng, cfg), 10000u);
+        EXPECT_GE(sample_object_size(rng, cfg), 1u);
+    }
+}
+
+TEST(PageModel, TotalsAggregateCorrectly)
+{
+    PageTrace page;
+    page.connections = {{100, 200}, {300}};
+    EXPECT_EQ(page.object_count(), 3u);
+    EXPECT_EQ(page.total_bytes(), 600u);
+}
+
+}  // namespace
+}  // namespace mct::workload
