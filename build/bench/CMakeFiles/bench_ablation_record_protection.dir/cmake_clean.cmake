@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_record_protection.dir/bench_ablation_record_protection.cpp.o"
+  "CMakeFiles/bench_ablation_record_protection.dir/bench_ablation_record_protection.cpp.o.d"
+  "bench_ablation_record_protection"
+  "bench_ablation_record_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_record_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

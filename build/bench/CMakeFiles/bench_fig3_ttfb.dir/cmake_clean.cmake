@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_ttfb.dir/bench_fig3_ttfb.cpp.o"
+  "CMakeFiles/bench_fig3_ttfb.dir/bench_fig3_ttfb.cpp.o.d"
+  "bench_fig3_ttfb"
+  "bench_fig3_ttfb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_ttfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_connections_per_sec.dir/bench_fig5_connections_per_sec.cpp.o"
+  "CMakeFiles/bench_fig5_connections_per_sec.dir/bench_fig5_connections_per_sec.cpp.o.d"
+  "bench_fig5_connections_per_sec"
+  "bench_fig5_connections_per_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_connections_per_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

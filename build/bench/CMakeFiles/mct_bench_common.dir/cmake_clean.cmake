@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_bench_common.dir/chain_bench.cpp.o"
+  "CMakeFiles/mct_bench_common.dir/chain_bench.cpp.o.d"
+  "libmct_bench_common.a"
+  "libmct_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

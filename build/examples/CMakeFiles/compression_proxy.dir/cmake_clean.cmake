@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_proxy.dir/compression_proxy.cpp.o"
+  "CMakeFiles/compression_proxy.dir/compression_proxy.cpp.o.d"
+  "compression_proxy"
+  "compression_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

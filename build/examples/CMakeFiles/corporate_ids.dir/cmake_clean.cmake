@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corporate_ids.dir/corporate_ids.cpp.o"
+  "CMakeFiles/corporate_ids.dir/corporate_ids.cpp.o.d"
+  "corporate_ids"
+  "corporate_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corporate_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_contexts.dir/dynamic_contexts.cpp.o"
+  "CMakeFiles/dynamic_contexts.dir/dynamic_contexts.cpp.o.d"
+  "dynamic_contexts"
+  "dynamic_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http2_streams.dir/http2_streams.cpp.o"
+  "CMakeFiles/http2_streams.dir/http2_streams.cpp.o.d"
+  "http2_streams"
+  "http2_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http2_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for http2_streams.
+# This may be replaced when dependencies are built.

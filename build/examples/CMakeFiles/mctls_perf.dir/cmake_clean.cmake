@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctls_perf.dir/mctls_perf.cpp.o"
+  "CMakeFiles/mctls_perf.dir/mctls_perf.cpp.o.d"
+  "mctls_perf"
+  "mctls_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctls_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_banking.dir/online_banking.cpp.o"
+  "CMakeFiles/online_banking.dir/online_banking.cpp.o.d"
+  "online_banking"
+  "online_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parental_filter.cpp" "examples/CMakeFiles/parental_filter.dir/parental_filter.cpp.o" "gcc" "examples/CMakeFiles/parental_filter.dir/parental_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/mct_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/middlebox/CMakeFiles/mct_middlebox.dir/DependInfo.cmake"
+  "/root/repo/build/src/mctls/CMakeFiles/mct_mctls.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/mct_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/mct_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

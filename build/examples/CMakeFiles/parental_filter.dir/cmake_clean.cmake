@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parental_filter.dir/parental_filter.cpp.o"
+  "CMakeFiles/parental_filter.dir/parental_filter.cpp.o.d"
+  "parental_filter"
+  "parental_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parental_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

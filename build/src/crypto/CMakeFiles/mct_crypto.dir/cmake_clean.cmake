@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_crypto.dir/aes.cpp.o"
+  "CMakeFiles/mct_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/mct_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/ct.cpp.o"
+  "CMakeFiles/mct_crypto.dir/ct.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/mct_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/ed25519.cpp.o"
+  "CMakeFiles/mct_crypto.dir/ed25519.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/fe25519.cpp.o"
+  "CMakeFiles/mct_crypto.dir/fe25519.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/mct_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/ops.cpp.o"
+  "CMakeFiles/mct_crypto.dir/ops.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/prf.cpp.o"
+  "CMakeFiles/mct_crypto.dir/prf.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/sha2.cpp.o"
+  "CMakeFiles/mct_crypto.dir/sha2.cpp.o.d"
+  "CMakeFiles/mct_crypto.dir/x25519.cpp.o"
+  "CMakeFiles/mct_crypto.dir/x25519.cpp.o.d"
+  "libmct_crypto.a"
+  "libmct_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_http.dir/message.cpp.o"
+  "CMakeFiles/mct_http.dir/message.cpp.o.d"
+  "CMakeFiles/mct_http.dir/strategy.cpp.o"
+  "CMakeFiles/mct_http.dir/strategy.cpp.o.d"
+  "CMakeFiles/mct_http.dir/testbed.cpp.o"
+  "CMakeFiles/mct_http.dir/testbed.cpp.o.d"
+  "libmct_http.a"
+  "libmct_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

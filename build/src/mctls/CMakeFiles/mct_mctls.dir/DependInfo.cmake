@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mctls/authenc.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/authenc.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/authenc.cpp.o.d"
+  "/root/repo/src/mctls/context_crypto.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/context_crypto.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/context_crypto.cpp.o.d"
+  "/root/repo/src/mctls/discovery.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/discovery.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/discovery.cpp.o.d"
+  "/root/repo/src/mctls/key_schedule.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/key_schedule.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/mctls/messages.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/messages.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/messages.cpp.o.d"
+  "/root/repo/src/mctls/middlebox.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/middlebox.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/middlebox.cpp.o.d"
+  "/root/repo/src/mctls/session.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/session.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/session.cpp.o.d"
+  "/root/repo/src/mctls/transcript.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/transcript.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/transcript.cpp.o.d"
+  "/root/repo/src/mctls/types.cpp" "src/mctls/CMakeFiles/mct_mctls.dir/types.cpp.o" "gcc" "src/mctls/CMakeFiles/mct_mctls.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tls/CMakeFiles/mct_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/mct_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

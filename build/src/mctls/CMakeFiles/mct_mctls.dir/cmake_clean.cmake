@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_mctls.dir/authenc.cpp.o"
+  "CMakeFiles/mct_mctls.dir/authenc.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/context_crypto.cpp.o"
+  "CMakeFiles/mct_mctls.dir/context_crypto.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/discovery.cpp.o"
+  "CMakeFiles/mct_mctls.dir/discovery.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/key_schedule.cpp.o"
+  "CMakeFiles/mct_mctls.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/messages.cpp.o"
+  "CMakeFiles/mct_mctls.dir/messages.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/middlebox.cpp.o"
+  "CMakeFiles/mct_mctls.dir/middlebox.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/session.cpp.o"
+  "CMakeFiles/mct_mctls.dir/session.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/transcript.cpp.o"
+  "CMakeFiles/mct_mctls.dir/transcript.cpp.o.d"
+  "CMakeFiles/mct_mctls.dir/types.cpp.o"
+  "CMakeFiles/mct_mctls.dir/types.cpp.o.d"
+  "libmct_mctls.a"
+  "libmct_mctls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_mctls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

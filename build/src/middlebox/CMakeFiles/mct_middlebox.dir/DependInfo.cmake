@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middlebox/behavior.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/behavior.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/behavior.cpp.o.d"
+  "/root/repo/src/middlebox/cache.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/cache.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/cache.cpp.o.d"
+  "/root/repo/src/middlebox/compression.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/compression.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/compression.cpp.o.d"
+  "/root/repo/src/middlebox/inspection.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/inspection.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/inspection.cpp.o.d"
+  "/root/repo/src/middlebox/lzss.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/lzss.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/lzss.cpp.o.d"
+  "/root/repo/src/middlebox/pacer.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/pacer.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/pacer.cpp.o.d"
+  "/root/repo/src/middlebox/wan_optimizer.cpp" "src/middlebox/CMakeFiles/mct_middlebox.dir/wan_optimizer.cpp.o" "gcc" "src/middlebox/CMakeFiles/mct_middlebox.dir/wan_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mctls/CMakeFiles/mct_mctls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mct_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mct_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/mct_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/mct_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mct_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

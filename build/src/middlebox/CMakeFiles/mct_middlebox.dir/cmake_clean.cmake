@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_middlebox.dir/behavior.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/behavior.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/cache.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/cache.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/compression.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/compression.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/inspection.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/inspection.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/lzss.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/lzss.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/pacer.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/pacer.cpp.o.d"
+  "CMakeFiles/mct_middlebox.dir/wan_optimizer.cpp.o"
+  "CMakeFiles/mct_middlebox.dir/wan_optimizer.cpp.o.d"
+  "libmct_middlebox.a"
+  "libmct_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_net.dir/event_loop.cpp.o"
+  "CMakeFiles/mct_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/mct_net.dir/sim_net.cpp.o"
+  "CMakeFiles/mct_net.dir/sim_net.cpp.o.d"
+  "libmct_net.a"
+  "libmct_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

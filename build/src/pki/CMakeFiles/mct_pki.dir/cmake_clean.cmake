@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_pki.dir/authority.cpp.o"
+  "CMakeFiles/mct_pki.dir/authority.cpp.o.d"
+  "CMakeFiles/mct_pki.dir/certificate.cpp.o"
+  "CMakeFiles/mct_pki.dir/certificate.cpp.o.d"
+  "CMakeFiles/mct_pki.dir/trust_store.cpp.o"
+  "CMakeFiles/mct_pki.dir/trust_store.cpp.o.d"
+  "libmct_pki.a"
+  "libmct_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_tls.dir/messages.cpp.o"
+  "CMakeFiles/mct_tls.dir/messages.cpp.o.d"
+  "CMakeFiles/mct_tls.dir/record.cpp.o"
+  "CMakeFiles/mct_tls.dir/record.cpp.o.d"
+  "CMakeFiles/mct_tls.dir/session.cpp.o"
+  "CMakeFiles/mct_tls.dir/session.cpp.o.d"
+  "libmct_tls.a"
+  "libmct_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

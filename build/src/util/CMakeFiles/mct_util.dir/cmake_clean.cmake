@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_util.dir/bytes.cpp.o"
+  "CMakeFiles/mct_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mct_util.dir/rng.cpp.o"
+  "CMakeFiles/mct_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mct_util.dir/serde.cpp.o"
+  "CMakeFiles/mct_util.dir/serde.cpp.o.d"
+  "libmct_util.a"
+  "libmct_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mct_workload.dir/page_model.cpp.o"
+  "CMakeFiles/mct_workload.dir/page_model.cpp.o.d"
+  "libmct_workload.a"
+  "libmct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

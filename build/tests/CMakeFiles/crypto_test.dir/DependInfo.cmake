@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/aes_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/aes_test.cpp.o.d"
+  "/root/repo/tests/crypto/bigint_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/bigint_test.cpp.o.d"
+  "/root/repo/tests/crypto/drbg_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/drbg_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/drbg_test.cpp.o.d"
+  "/root/repo/tests/crypto/ed25519_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/ed25519_test.cpp.o.d"
+  "/root/repo/tests/crypto/fe25519_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/fe25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/fe25519_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/prf_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/prf_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/prf_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha2_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/sha2_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/sha2_test.cpp.o.d"
+  "/root/repo/tests/crypto/x25519_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto/x25519_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mctls/attack_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/attack_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/attack_test.cpp.o.d"
+  "/root/repo/tests/mctls/context_crypto_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o.d"
+  "/root/repo/tests/mctls/extensions_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o.d"
+  "/root/repo/tests/mctls/fallback_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o.d"
+  "/root/repo/tests/mctls/key_schedule_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o.d"
+  "/root/repo/tests/mctls/policy_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o.d"
+  "/root/repo/tests/mctls/robustness_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o.d"
+  "/root/repo/tests/mctls/session_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o.d"
+  "/root/repo/tests/mctls/sweep_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mctls/CMakeFiles/mct_mctls.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mct_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/mct_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/mct_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mct_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mct_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mct_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

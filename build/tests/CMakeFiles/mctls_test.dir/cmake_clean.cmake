@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mctls_test.dir/mctls/attack_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/attack_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o.d"
+  "mctls_test"
+  "mctls_test.pdb"
+  "mctls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mctls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox_test.dir/middlebox/behavior_test.cpp.o"
+  "CMakeFiles/middlebox_test.dir/middlebox/behavior_test.cpp.o.d"
+  "CMakeFiles/middlebox_test.dir/middlebox/integration_test.cpp.o"
+  "CMakeFiles/middlebox_test.dir/middlebox/integration_test.cpp.o.d"
+  "CMakeFiles/middlebox_test.dir/middlebox/lzss_test.cpp.o"
+  "CMakeFiles/middlebox_test.dir/middlebox/lzss_test.cpp.o.d"
+  "middlebox_test"
+  "middlebox_test.pdb"
+  "middlebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

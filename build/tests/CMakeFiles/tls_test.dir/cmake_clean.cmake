@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_test.dir/tls/record_test.cpp.o"
+  "CMakeFiles/tls_test.dir/tls/record_test.cpp.o.d"
+  "CMakeFiles/tls_test.dir/tls/session_test.cpp.o"
+  "CMakeFiles/tls_test.dir/tls/session_test.cpp.o.d"
+  "CMakeFiles/tls_test.dir/tls/tls_sweep_test.cpp.o"
+  "CMakeFiles/tls_test.dir/tls/tls_sweep_test.cpp.o.d"
+  "tls_test"
+  "tls_test.pdb"
+  "tls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
