@@ -131,4 +131,5 @@ src/http/CMakeFiles/mct_http.dir/strategy.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/src/util/result.h \
  /usr/include/c++/12/stdexcept /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/mctls/types.h
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/mctls/types.h \
+ /root/repo/src/tls/alert.h

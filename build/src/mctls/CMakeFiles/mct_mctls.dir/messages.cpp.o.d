@@ -133,6 +133,6 @@ src/mctls/CMakeFiles/mct_mctls.dir/messages.cpp.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/util/rng.h \
- /root/repo/src/mctls/types.h /root/repo/src/pki/certificate.h \
- /root/repo/src/tls/messages.h /usr/include/c++/12/optional \
- /root/repo/src/util/serde.h
+ /root/repo/src/mctls/types.h /root/repo/src/tls/alert.h \
+ /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \
+ /usr/include/c++/12/optional /root/repo/src/util/serde.h

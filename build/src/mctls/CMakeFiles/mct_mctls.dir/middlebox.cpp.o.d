@@ -217,8 +217,8 @@ src/mctls/CMakeFiles/mct_mctls.dir/middlebox.cpp.o: \
  /usr/include/c++/12/cstddef /root/repo/src/util/result.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/util/rng.h /root/repo/src/mctls/messages.h \
- /root/repo/src/mctls/types.h /root/repo/src/pki/certificate.h \
- /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
- /root/repo/src/pki/trust_store.h /root/repo/src/tls/record.h \
- /root/repo/src/crypto/aes.h /root/repo/src/crypto/ed25519.h \
- /root/repo/src/crypto/x25519.h
+ /root/repo/src/mctls/types.h /root/repo/src/tls/alert.h \
+ /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \
+ /root/repo/src/util/serde.h /root/repo/src/pki/trust_store.h \
+ /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h \
+ /root/repo/src/crypto/ed25519.h /root/repo/src/crypto/x25519.h

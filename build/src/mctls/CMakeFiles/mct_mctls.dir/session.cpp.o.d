@@ -217,12 +217,12 @@ src/mctls/CMakeFiles/mct_mctls.dir/session.cpp.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/util/rng.h /root/repo/src/mctls/messages.h \
- /root/repo/src/mctls/types.h /root/repo/src/pki/certificate.h \
- /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
- /root/repo/src/mctls/transcript.h /root/repo/src/pki/trust_store.h \
- /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h \
- /root/repo/src/tls/session.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/mctls/types.h /root/repo/src/tls/alert.h \
+ /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \
+ /root/repo/src/util/serde.h /root/repo/src/mctls/transcript.h \
+ /root/repo/src/pki/trust_store.h /root/repo/src/tls/record.h \
+ /root/repo/src/crypto/aes.h /root/repo/src/tls/session.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/crypto/ct.h /root/repo/src/crypto/ed25519.h \

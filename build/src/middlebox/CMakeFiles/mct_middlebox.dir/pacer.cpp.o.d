@@ -206,8 +206,8 @@ src/middlebox/CMakeFiles/mct_middlebox.dir/pacer.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/util/result.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/mctls/types.h \
- /root/repo/src/mctls/middlebox.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/tls/alert.h /root/repo/src/mctls/middlebox.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/alert.cpp" "src/tls/CMakeFiles/mct_tls.dir/alert.cpp.o" "gcc" "src/tls/CMakeFiles/mct_tls.dir/alert.cpp.o.d"
   "/root/repo/src/tls/messages.cpp" "src/tls/CMakeFiles/mct_tls.dir/messages.cpp.o" "gcc" "src/tls/CMakeFiles/mct_tls.dir/messages.cpp.o.d"
   "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/mct_tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/mct_tls.dir/record.cpp.o.d"
   "/root/repo/src/tls/session.cpp" "src/tls/CMakeFiles/mct_tls.dir/session.cpp.o" "gcc" "src/tls/CMakeFiles/mct_tls.dir/session.cpp.o.d"

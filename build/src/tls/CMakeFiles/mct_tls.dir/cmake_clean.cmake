@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/mct_tls.dir/alert.cpp.o"
+  "CMakeFiles/mct_tls.dir/alert.cpp.o.d"
   "CMakeFiles/mct_tls.dir/messages.cpp.o"
   "CMakeFiles/mct_tls.dir/messages.cpp.o.d"
   "CMakeFiles/mct_tls.dir/record.cpp.o"

@@ -223,16 +223,17 @@ tests/CMakeFiles/http_test.dir/http/testbed_test.cpp.o: \
  /root/repo/src/util/result.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/mctls/messages.h \
- /root/repo/src/mctls/types.h /root/repo/src/pki/certificate.h \
- /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
- /root/repo/src/mctls/transcript.h /root/repo/src/pki/trust_store.h \
- /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h \
- /root/repo/src/tls/session.h /root/repo/src/http/message.h \
- /root/repo/src/http/strategy.h /root/repo/src/mctls/middlebox.h \
- /root/repo/src/net/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/sim_net.h \
- /root/repo/src/pki/authority.h /root/repo/src/crypto/ed25519.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/limits \
+ /root/repo/src/mctls/types.h /root/repo/src/tls/alert.h \
+ /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \
+ /root/repo/src/util/serde.h /root/repo/src/mctls/transcript.h \
+ /root/repo/src/pki/trust_store.h /root/repo/src/tls/record.h \
+ /root/repo/src/crypto/aes.h /root/repo/src/tls/session.h \
+ /root/repo/src/http/message.h /root/repo/src/http/strategy.h \
+ /root/repo/src/mctls/middlebox.h /root/repo/src/net/event_loop.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/net/sim_net.h /root/repo/src/pki/authority.h \
+ /root/repo/src/crypto/ed25519.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -12,10 +12,12 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/mctls/context_crypto_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/context_crypto_test.cpp.o.d"
   "/root/repo/tests/mctls/extensions_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o.d"
   "/root/repo/tests/mctls/fallback_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o.d"
+  "/root/repo/tests/mctls/fault_injection_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/fault_injection_test.cpp.o.d"
   "/root/repo/tests/mctls/key_schedule_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o.d"
   "/root/repo/tests/mctls/policy_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o.d"
   "/root/repo/tests/mctls/robustness_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o.d"
   "/root/repo/tests/mctls/session_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o.d"
+  "/root/repo/tests/mctls/shutdown_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/shutdown_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/shutdown_test.cpp.o.d"
   "/root/repo/tests/mctls/sweep_test.cpp" "tests/CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o.d"
   )
 

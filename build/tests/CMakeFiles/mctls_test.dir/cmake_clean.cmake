@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o.d"
   "CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o"
   "CMakeFiles/mctls_test.dir/mctls/fallback_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/fault_injection_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/fault_injection_test.cpp.o.d"
   "CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o"
   "CMakeFiles/mctls_test.dir/mctls/key_schedule_test.cpp.o.d"
   "CMakeFiles/mctls_test.dir/mctls/policy_test.cpp.o"
@@ -15,6 +17,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/mctls_test.dir/mctls/robustness_test.cpp.o.d"
   "CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o"
   "CMakeFiles/mctls_test.dir/mctls/session_test.cpp.o.d"
+  "CMakeFiles/mctls_test.dir/mctls/shutdown_test.cpp.o"
+  "CMakeFiles/mctls_test.dir/mctls/shutdown_test.cpp.o.d"
   "CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o"
   "CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o.d"
   "mctls_test"

@@ -298,4 +298,4 @@ tests/CMakeFiles/mctls_test.dir/mctls/extensions_test.cpp.o: \
  /root/repo/src/mctls/context_crypto.h \
  /root/repo/src/mctls/key_schedule.h /root/repo/src/mctls/authenc.h \
  /root/repo/src/util/result.h /root/repo/src/mctls/discovery.h \
- /root/repo/src/mctls/types.h
+ /root/repo/src/mctls/types.h /root/repo/src/tls/alert.h

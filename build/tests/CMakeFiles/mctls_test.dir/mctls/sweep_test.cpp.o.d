@@ -299,9 +299,9 @@ tests/CMakeFiles/mctls_test.dir/mctls/sweep_test.cpp.o: \
  /root/repo/src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/result.h /root/repo/src/util/rng.h \
  /root/repo/src/mctls/messages.h /root/repo/src/mctls/types.h \
- /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \
- /root/repo/src/util/serde.h /root/repo/src/pki/trust_store.h \
- /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h \
- /root/repo/src/mctls/session.h /root/repo/src/mctls/transcript.h \
- /root/repo/src/tls/session.h /root/repo/src/pki/authority.h \
- /root/repo/src/crypto/ed25519.h
+ /root/repo/src/tls/alert.h /root/repo/src/pki/certificate.h \
+ /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
+ /root/repo/src/pki/trust_store.h /root/repo/src/tls/record.h \
+ /root/repo/src/crypto/aes.h /root/repo/src/mctls/session.h \
+ /root/repo/src/mctls/transcript.h /root/repo/src/tls/session.h \
+ /root/repo/src/pki/authority.h /root/repo/src/crypto/ed25519.h

@@ -297,8 +297,8 @@ tests/CMakeFiles/middlebox_test.dir/middlebox/behavior_test.cpp.o: \
  /root/repo/src/http/strategy.h /root/repo/src/http/message.h \
  /root/repo/src/util/bytes.h /usr/include/c++/12/span \
  /root/repo/src/util/result.h /root/repo/src/mctls/types.h \
- /root/repo/src/mctls/middlebox.h /root/repo/src/crypto/ops.h \
- /root/repo/src/mctls/context_crypto.h \
+ /root/repo/src/tls/alert.h /root/repo/src/mctls/middlebox.h \
+ /root/repo/src/crypto/ops.h /root/repo/src/mctls/context_crypto.h \
  /root/repo/src/mctls/key_schedule.h /root/repo/src/mctls/authenc.h \
  /root/repo/src/util/rng.h /root/repo/src/mctls/messages.h \
  /root/repo/src/pki/certificate.h /root/repo/src/tls/messages.h \

@@ -194,8 +194,9 @@ tests/CMakeFiles/tls_test.dir/tls/session_test.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/crypto/ops.h \
  /root/repo/src/pki/trust_store.h /root/repo/src/pki/certificate.h \
@@ -203,9 +204,8 @@ tests/CMakeFiles/tls_test.dir/tls/session_test.cpp.o: \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/util/result.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/tls/messages.h \
- /usr/include/c++/12/optional /root/repo/src/util/serde.h \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/tls/alert.h \
+ /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
  /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h \
  /root/repo/src/util/rng.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/limits \

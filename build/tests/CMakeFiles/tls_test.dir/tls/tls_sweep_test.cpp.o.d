@@ -298,5 +298,6 @@ tests/CMakeFiles/tls_test.dir/tls/tls_sweep_test.cpp.o: \
  /root/repo/src/util/rng.h /root/repo/src/pki/certificate.h \
  /root/repo/src/util/result.h /root/repo/src/tls/session.h \
  /root/repo/src/crypto/ops.h /root/repo/src/pki/trust_store.h \
- /root/repo/src/tls/messages.h /root/repo/src/util/serde.h \
- /root/repo/src/tls/record.h /root/repo/src/crypto/aes.h
+ /root/repo/src/tls/alert.h /root/repo/src/tls/messages.h \
+ /root/repo/src/util/serde.h /root/repo/src/tls/record.h \
+ /root/repo/src/crypto/aes.h

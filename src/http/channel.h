@@ -36,6 +36,17 @@ public:
     // Ordered application byte stream received so far.
     virtual Bytes take_received() = 0;
 
+    // --- Failure semantics (no-ops for modes without a session) ---
+
+    // Drive the session's handshake deadline (see Session::tick).
+    virtual Status tick(uint64_t) { return {}; }
+    // Graceful shutdown / transport EOF, forwarded to the session.
+    virtual void close() {}
+    virtual void transport_closed() {}
+    virtual bool closed() const { return false; }
+    // Typed failure, or nullptr when the mode has no session.
+    virtual const tls::SessionError* failure() const { return nullptr; }
+
     virtual uint64_t handshake_wire_bytes() const { return 0; }
     virtual uint64_t app_overhead_bytes() const { return 0; }
     virtual uint64_t app_records_sent() const { return 0; }
@@ -75,6 +86,11 @@ public:
     std::string error() const override { return session_.error(); }
     Status send_part(uint8_t, ConstBytes data) override { return session_.send_app_data(data); }
     Bytes take_received() override { return session_.take_app_data(); }
+    Status tick(uint64_t now) override { return session_.tick(now); }
+    void close() override { session_.close(); }
+    void transport_closed() override { session_.transport_closed(); }
+    bool closed() const override { return session_.closed(); }
+    const tls::SessionError* failure() const override { return &session_.failure(); }
     uint64_t handshake_wire_bytes() const override { return session_.handshake_wire_bytes(); }
     uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
@@ -99,6 +115,11 @@ public:
     {
         return session_.send_app_data(context_id, data);
     }
+    Status tick(uint64_t now) override { return session_.tick(now); }
+    void close() override { session_.close(); }
+    void transport_closed() override { session_.transport_closed(); }
+    bool closed() const override { return session_.closed(); }
+    const tls::SessionError* failure() const override { return &session_.failure(); }
     Bytes take_received() override
     {
         Bytes out;

@@ -90,6 +90,12 @@ struct Testbed::Impl {
     std::vector<net::ConnectionPtr> tracked_conns;
     std::vector<SecureChannel*> all_channels;  // owned via anchors
 
+    // Fault state.
+    std::vector<char> mbox_dead;        // by relay index
+    std::vector<char> corrupt_armed;    // one-shot byte flip per relay
+    std::vector<std::vector<net::ConnectionPtr>> relay_conns;  // live legs per relay
+    bool fallback_engaged = false;      // client retries over plain TLS (§5.4)
+
     Impl(TestbedConfig config, net::EventLoop* outer_loop)
         : cfg(std::move(config)),
           loop(outer_loop),
@@ -128,9 +134,117 @@ struct Testbed::Impl {
                 }
             }
         }
+        mbox_dead.assign(cfg.n_middleboxes, 0);
+        corrupt_armed.assign(cfg.n_middleboxes, 0);
+        relay_conns.resize(cfg.n_middleboxes);
         build_topology();
         start_server();
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) start_relay(i);
+        for (const auto& fault : cfg.faults)
+            loop->schedule_at(fault.at, [this, fault] { apply_fault(fault); });
+    }
+
+    // Any configured fault (or recovery beyond abort) arms retransmission on
+    // every link and builds bypass links, so failed paths can heal or be
+    // routed around. Loss-free byte accounting is unchanged when false.
+    bool fault_mode() const
+    {
+        return !cfg.faults.empty() || cfg.recovery != RecoveryPolicy::abort ||
+               cfg.retry.max_attempts > 1;
+    }
+
+    // Chain node i: 0 = client, 1..n = middleboxes, n+1 = server.
+    std::string chain_node(size_t i) const
+    {
+        if (i == 0) return "client";
+        if (i <= cfg.n_middleboxes) return mbox_host(i - 1);
+        return "server";
+    }
+
+    // Routing skips dead middleboxes only under policies whose session
+    // composition excludes them; a plain reconnect keeps aiming at the full
+    // chain (and fails fast until the middlebox restarts).
+    bool route_around_dead() const
+    {
+        return cfg.recovery == RecoveryPolicy::drop_dead_middleboxes || fallback_engaged;
+    }
+
+    std::string next_alive_host(size_t index) const
+    {
+        for (size_t j = index + 1; j < cfg.n_middleboxes; ++j)
+            if (!mbox_dead[j] || !route_around_dead()) return mbox_host(j);
+        return "server";
+    }
+
+    std::string client_first_hop() const
+    {
+        for (size_t j = 0; j < cfg.n_middleboxes; ++j)
+            if (!mbox_dead[j] || !route_around_dead()) return mbox_host(j);
+        return "server";
+    }
+
+    void apply_fault(const FaultEvent& fault)
+    {
+        switch (fault.kind) {
+        case FaultEvent::Kind::kill_middlebox:
+            if (fault.middlebox >= cfg.n_middleboxes) return;
+            mbox_dead[fault.middlebox] = 1;
+            // Crash: both TCP legs drop abruptly; callbacks are cleared so
+            // in-flight segments land in a dead process.
+            for (auto& conn : relay_conns[fault.middlebox]) {
+                conn->set_on_data({});
+                conn->set_on_close({});
+                conn->set_on_connect({});
+                conn->abort();
+            }
+            relay_conns[fault.middlebox].clear();
+            return;
+        case FaultEvent::Kind::restart_middlebox:
+            if (fault.middlebox >= cfg.n_middleboxes) return;
+            mbox_dead[fault.middlebox] = 0;
+            return;
+        case FaultEvent::Kind::link_down:
+        case FaultEvent::Kind::link_up: {
+            size_t hop = fault.hop;
+            if (hop + 1 > cfg.n_middleboxes + 1) return;
+            net.set_link_down(chain_node(hop), chain_node(hop + 1),
+                              fault.kind == FaultEvent::Kind::link_down);
+            return;
+        }
+        case FaultEvent::Kind::corrupt_record:
+            if (fault.middlebox < cfg.n_middleboxes) corrupt_armed[fault.middlebox] = 1;
+            return;
+        }
+    }
+
+    // One-shot byzantine corruption: flip a byte inside the ciphertext of
+    // the next application record the armed relay forwards. The three-MAC
+    // scheme at the receiving endpoint must catch it (bad_record_mac).
+    void maybe_corrupt(size_t index, Bytes& unit)
+    {
+        if (index >= corrupt_armed.size() || !corrupt_armed[index]) return;
+        if (unit.empty() || unit[0] != 23) return;  // wait for application_data
+        unit.back() ^= 0x01;
+        corrupt_armed[index] = 0;
+    }
+
+    // Arm a channel's handshake deadline and schedule the expiry check.
+    void arm_channel_deadline(std::shared_ptr<void> anchor, SecureChannel* channel,
+                              net::ConnectionPtr conn,
+                              std::function<void(const std::string&)> on_expired)
+    {
+        if (cfg.handshake_deadline == 0) return;
+        (void)channel->tick(loop->now());  // arms the deadline
+        loop->schedule(cfg.handshake_deadline + 1,
+                       [this, anchor, channel, conn, on_expired] {
+                           if (channel->ready() || channel->failed()) return;
+                           (void)channel->tick(loop->now());
+                           if (!conn->close_queued())
+                               for (auto& unit : channel->take_outgoing())
+                                   conn->send(unit);  // the timeout alert
+                           if (channel->failed() && on_expired)
+                               on_expired(channel->error());
+                       });
     }
 
     net::LinkConfig hop_link(size_t hop) const
@@ -144,25 +258,68 @@ struct Testbed::Impl {
         net.add_host("client");
         net.add_host("server");
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) net.add_host(mbox_host(i));
+        auto chain_link = [this](size_t hop) {
+            net::LinkConfig lc = hop_link(hop);
+            if (fault_mode()) lc.faultable = true;
+            return lc;
+        };
         if (cfg.n_middleboxes == 0) {
-            net.add_link("client", "server", hop_link(0));
+            net.add_link("client", "server", chain_link(0));
             return;
         }
-        net.add_link("client", mbox_host(0), hop_link(0));
+        net.add_link("client", mbox_host(0), chain_link(0));
         for (size_t i = 0; i + 1 < cfg.n_middleboxes; ++i)
-            net.add_link(mbox_host(i), mbox_host(i + 1), hop_link(i + 1));
+            net.add_link(mbox_host(i), mbox_host(i + 1), chain_link(i + 1));
         net.add_link(mbox_host(cfg.n_middleboxes - 1), "server",
-                     hop_link(cfg.n_middleboxes));
+                     chain_link(cfg.n_middleboxes));
+        if (!fault_mode()) return;
+        // Bypass links between non-adjacent chain nodes so the client can
+        // route around dead middleboxes. Latency = sum of the spanned hops
+        // (the detour re-traces the same physical path).
+        size_t nodes = cfg.n_middleboxes + 2;
+        for (size_t i = 0; i < nodes; ++i) {
+            for (size_t j = i + 2; j < nodes; ++j) {
+                net::LinkConfig lc;
+                for (size_t hop = i; hop < j; ++hop) lc.latency += hop_link(hop).latency;
+                lc.faultable = true;
+                net.add_link(chain_node(i), chain_node(j), lc);
+            }
+        }
     }
 
-    std::string first_hop() const
+    // The mode channels/relays actually run: a TLS-fallback retry downgrades
+    // mcTLS to end-to-end TLS with blind relays (§5.4).
+    Mode effective_mode() const
     {
-        return cfg.n_middleboxes == 0 ? "server" : mbox_host(0);
+        if (fallback_engaged && cfg.mode == Mode::mctls) return Mode::e2e_tls;
+        return cfg.mode;
+    }
+
+    // Session composition for the next client attempt: under the
+    // drop_dead_middleboxes policy, dead relays leave the middlebox list
+    // (and their permission columns leave every context).
+    void alive_composition(std::vector<mctls::MiddleboxInfo>* infos,
+                           std::vector<mctls::ContextDescription>* ctxs) const
+    {
+        *infos = mbox_infos;
+        *ctxs = contexts;
+        if (cfg.recovery != RecoveryPolicy::drop_dead_middleboxes) return;
+        infos->clear();
+        for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+            if (!mbox_dead[i]) infos->push_back(mbox_infos[i]);
+        if (infos->size() == mbox_infos.size()) return;
+        for (auto& ctx : *ctxs) {
+            std::vector<mctls::Permission> kept;
+            for (size_t i = 0; i < ctx.permissions.size(); ++i)
+                if (i >= mbox_dead.size() || !mbox_dead[i])
+                    kept.push_back(ctx.permissions[i]);
+            ctx.permissions = std::move(kept);
+        }
     }
 
     std::unique_ptr<SecureChannel> make_client_channel()
     {
-        switch (cfg.mode) {
+        switch (effective_mode()) {
         case Mode::no_encrypt:
             return std::make_unique<PlainChannel>();
         case Mode::split_tls:
@@ -172,16 +329,17 @@ struct Testbed::Impl {
             tcfg.server_name = "server.example.com";
             tcfg.trust = &store;
             tcfg.rng = &rng;
+            tcfg.handshake_timeout = cfg.handshake_deadline;
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
             mctls::SessionConfig mcfg;
             mcfg.role = tls::Role::client;
             mcfg.server_name = "server.example.com";
-            mcfg.middleboxes = mbox_infos;
-            mcfg.contexts = contexts;
+            alive_composition(&mcfg.middleboxes, &mcfg.contexts);
             mcfg.trust = &store;
             mcfg.rng = &rng;
+            mcfg.handshake_timeout = cfg.handshake_deadline;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -190,7 +348,7 @@ struct Testbed::Impl {
 
     std::unique_ptr<SecureChannel> make_server_channel()
     {
-        switch (cfg.mode) {
+        switch (effective_mode()) {
         case Mode::no_encrypt:
             return std::make_unique<PlainChannel>();
         case Mode::split_tls:
@@ -200,6 +358,7 @@ struct Testbed::Impl {
             tcfg.chain = {server_id.certificate};
             tcfg.private_key = server_id.private_key;
             tcfg.rng = &rng;
+            tcfg.handshake_timeout = cfg.handshake_deadline;
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -210,6 +369,7 @@ struct Testbed::Impl {
             mcfg.trust = &store;
             mcfg.client_key_distribution = cfg.client_key_distribution;
             mcfg.rng = &rng;
+            mcfg.handshake_timeout = cfg.handshake_deadline;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -226,13 +386,15 @@ struct Testbed::Impl {
 
         void flush()
         {
+            if (conn->close_queued()) return;
             for (auto& unit : channel->take_outgoing()) conn->send(unit);
         }
 
         void on_data(ConstBytes data)
         {
             if (!channel->on_bytes(data)) {
-                flush();  // alert
+                flush();  // the fatal alert
+                if (!conn->close_queued()) conn->close();
                 return;
             }
             flush();
@@ -245,6 +407,11 @@ struct Testbed::Impl {
                     (void)channel->send_part(part.context_id, part.data);
                     flush();  // one transport send per part/record
                 }
+            }
+            if (channel->closed()) {
+                // close_notify exchanged: finish the TCP conversation too.
+                flush();
+                if (!conn->close_queued()) conn->close();
             }
         }
     };
@@ -259,6 +426,15 @@ struct Testbed::Impl {
             all_channels.push_back(state->channel.get());
             conn->set_nagle(cfg.nagle);
             conn->set_on_data([state](ConstBytes data) { state->on_data(data); });
+            conn->set_on_close([state] {
+                // EOF without close_notify: typed truncation at the server.
+                state->channel->transport_closed();
+            });
+            arm_channel_deadline(state, state->channel.get(), conn,
+                                 [state](const std::string&) {
+                                     if (!state->conn->close_queued())
+                                         state->conn->close();
+                                 });
             anchors.push_back(state);
             tracked_conns.push_back(conn);
         });
@@ -273,18 +449,25 @@ struct Testbed::Impl {
 
         void down_data(ConstBytes data)
         {
-            if (up_ready)
-                up->send(data);
-            else
+            if (up_ready) {
+                if (!up->close_queued()) up->send(data);
+            } else {
                 append(up_backlog, data);
+            }
         }
         void up_connected()
         {
             up_ready = true;
-            if (!up_backlog.empty()) {
+            if (!up_backlog.empty() && !up->close_queued()) {
                 up->send(up_backlog);
                 up_backlog.clear();
             }
+        }
+        // EOF on one side propagates to the other (half-close relay).
+        void side_closed(bool from_down)
+        {
+            net::ConnectionPtr other = from_down ? up : down;
+            if (other && !other->close_queued()) other->close();
         }
     };
 
@@ -294,12 +477,20 @@ struct Testbed::Impl {
         net::ConnectionPtr down, up;
         bool up_ready = false;
 
+        void flush_down()
+        {
+            if (down->close_queued()) return;
+            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
+        }
+        void flush_up()
+        {
+            if (!up_ready || up->close_queued()) return;
+            for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+        }
         void pump()
         {
-            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
-            if (up_ready) {
-                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
-            }
+            flush_down();
+            flush_up();
             // Decrypted relay in both directions.
             Bytes from_client = down_tls->take_received();
             if (!from_client.empty() && up_tls->ready())
@@ -309,14 +500,12 @@ struct Testbed::Impl {
             Bytes from_server = up_tls->take_received();
             if (!from_server.empty() && down_tls->ready())
                 (void)down_tls->send_part(0, from_server);
-            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
-            if (up_ready) {
-                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
-            }
+            flush_down();
+            flush_up();
             if (up_tls->ready() && !backlog_up.empty()) {
                 (void)up_tls->send_part(0, backlog_up);
                 backlog_up.clear();
-                for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+                flush_up();
             }
         }
 
@@ -324,6 +513,8 @@ struct Testbed::Impl {
     };
 
     struct McTlsRelay {
+        Impl* impl = nullptr;
+        size_t index = 0;
         std::unique_ptr<mctls::MiddleboxSession> session;
         net::ConnectionPtr down, up;
         bool up_ready = false;
@@ -331,42 +522,67 @@ struct Testbed::Impl {
 
         void pump()
         {
-            for (auto& unit : session->take_to_client()) down->send(unit);
+            for (auto& unit : session->take_to_client()) {
+                impl->maybe_corrupt(index, unit);
+                if (!down->close_queued()) down->send(unit);
+            }
             for (auto& unit : session->take_to_server()) {
-                if (up_ready)
-                    up->send(unit);
-                else
+                impl->maybe_corrupt(index, unit);
+                if (up_ready) {
+                    if (!up->close_queued()) up->send(unit);
+                } else {
                     up_backlog.push_back(unit);
+                }
             }
         }
         void up_connected()
         {
             up_ready = true;
-            for (auto& unit : up_backlog) up->send(unit);
+            for (auto& unit : up_backlog)
+                if (!up->close_queued()) up->send(unit);
             up_backlog.clear();
+        }
+        // EOF on one side: tell the session (it originates a fatal
+        // middlebox_failure alert toward the survivor unless close_notify
+        // already flowed), flush that alert, then close the other leg.
+        void side_closed(bool from_down)
+        {
+            session->transport_closed(/*from_client_side=*/from_down);
+            pump();
+            net::ConnectionPtr other = from_down ? up : down;
+            if (other && !other->close_queued()) other->close();
         }
     };
 
     void start_relay(size_t index)
     {
         std::string host = mbox_host(index);
-        std::string next = index + 1 < cfg.n_middleboxes ? mbox_host(index + 1) : "server";
-        net.listen(host, kPort, [this, host, next, index](net::ConnectionPtr down) {
+        net.listen(host, kPort, [this, host, index](net::ConnectionPtr down) {
+            if (mbox_dead[index]) {
+                down->abort();  // a dead process accepts nothing
+                return;
+            }
             down->set_nagle(cfg.nagle);
+            relay_conns[index].push_back(down);
 
             // Proxies open the upstream leg when the first downstream bytes
             // arrive (they need the request / ClientHello first), matching
             // the paper's 2-RTT NoEncrypt / 4-RTT TLS-family baselines.
-            auto connect_upstream = [this, host, next](auto on_connect, auto on_data) {
-                auto up = net.connect(host, next, kPort);
+            // The upstream target is resolved at connect time so recovery
+            // attempts route around middleboxes that died meanwhile.
+            auto connect_upstream = [this, host, index](auto on_connect, auto on_data,
+                                                        auto on_close) {
+                auto up = net.connect(host, next_alive_host(index), kPort);
                 up->set_nagle(cfg.nagle);
                 tracked_conns.push_back(up);
+                relay_conns[index].push_back(up);
                 up->set_on_connect(on_connect);
                 up->set_on_data(on_data);
+                up->set_on_close(on_close);
                 return up;
             };
 
-            switch (cfg.mode) {
+            switch (effective_mode()) {
             case Mode::no_encrypt:
             case Mode::e2e_tls: {
                 auto relay = std::make_shared<BlindRelay>();
@@ -375,10 +591,14 @@ struct Testbed::Impl {
                     if (!relay->up) {
                         relay->up = connect_upstream(
                             [relay] { relay->up_connected(); },
-                            [relay](ConstBytes b) { relay->down->send(b); });
+                            [relay](ConstBytes b) {
+                                if (!relay->down->close_queued()) relay->down->send(b);
+                            },
+                            [relay] { relay->side_closed(/*from_down=*/false); });
                     }
                     relay->down_data(d);
                 });
+                down->set_on_close([relay] { relay->side_closed(/*from_down=*/true); });
                 anchors.push_back(relay);
                 break;
             }
@@ -408,16 +628,26 @@ struct Testbed::Impl {
                             [relay](ConstBytes b) {
                                 (void)relay->up_tls->on_bytes(b);
                                 relay->pump();
+                            },
+                            [relay] {
+                                relay->up_tls->transport_closed();
+                                if (!relay->down->close_queued()) relay->down->close();
                             });
                     }
                     (void)relay->down_tls->on_bytes(d);
                     relay->pump();
+                });
+                down->set_on_close([relay] {
+                    relay->down_tls->transport_closed();
+                    if (relay->up && !relay->up->close_queued()) relay->up->close();
                 });
                 anchors.push_back(relay);
                 break;
             }
             case Mode::mctls: {
                 auto relay = std::make_shared<McTlsRelay>();
+                relay->impl = this;
+                relay->index = index;
                 relay->down = down;
                 mctls::MiddleboxConfig mcfg;
                 mcfg.name = mbox_ids[index].certificate.subject;
@@ -425,6 +655,7 @@ struct Testbed::Impl {
                 mcfg.private_key = mbox_ids[index].private_key;
                 mcfg.trust = &store;
                 mcfg.rng = &rng;
+                mcfg.handshake_timeout = cfg.handshake_deadline;
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
                 down->set_on_data([relay, connect_upstream](ConstBytes d) {
@@ -434,11 +665,13 @@ struct Testbed::Impl {
                             [relay](ConstBytes b) {
                                 (void)relay->session->feed_from_server(b);
                                 relay->pump();
-                            });
+                            },
+                            [relay] { relay->side_closed(/*from_down=*/false); });
                     }
                     (void)relay->session->feed_from_client(d);
                     relay->pump();
                 });
+                down->set_on_close([relay] { relay->side_closed(/*from_down=*/true); });
                 anchors.push_back(relay);
                 break;
             }
@@ -457,10 +690,36 @@ struct Testbed::Impl {
         FetchPtr result;
         std::function<void()> on_done;
         bool request_outstanding = false;
+        bool attempt_done = false;  // this attempt finished (either way)
 
         void flush()
         {
+            if (conn->close_queued()) return;
             for (auto& unit : channel->take_outgoing()) conn->send(unit);
+        }
+
+        void transport_lost()
+        {
+            if (attempt_done) return;
+            channel->transport_closed();
+            attempt_failed(channel->failed() ? channel->error()
+                                             : "testbed: transport closed");
+        }
+
+        // This attempt is over; hand control to the Impl-level retry logic.
+        void attempt_failed(std::string reason)
+        {
+            if (attempt_done) return;
+            attempt_done = true;
+            // Clear on_connect too: a dead middlebox's FIN can outrun its
+            // SYN-ACK, and a late establish must not start() a dead channel.
+            conn->set_on_connect({});
+            conn->set_on_data({});
+            conn->set_on_close({});
+            if (!conn->close_queued()) conn->abort();
+            std::vector<size_t> remaining(pending.begin(), pending.end());
+            impl->attempt_failed(std::move(remaining), result, on_done,
+                                 std::move(reason));
         }
 
         void maybe_send_request()
@@ -480,10 +739,10 @@ struct Testbed::Impl {
 
         void on_data(ConstBytes data)
         {
+            if (attempt_done) return;
             if (!channel->on_bytes(data)) {
-                result->failed = true;
-                flush();
-                finish();
+                flush();  // our fatal alert, if the transport still stands
+                attempt_failed(channel->error());
                 return;
             }
             flush();
@@ -497,8 +756,7 @@ struct Testbed::Impl {
             while (true) {
                 auto resp = parser.next();
                 if (!resp.ok()) {
-                    result->failed = true;
-                    finish();
+                    attempt_failed("testbed: " + resp.error().message);
                     return;
                 }
                 if (!resp.value().has_value()) break;
@@ -516,6 +774,7 @@ struct Testbed::Impl {
         void finish()
         {
             if (result->completed) return;
+            attempt_done = true;
             result->completed = true;
             result->done = impl->loop->now();
             result->app_overhead_bytes = channel->app_overhead_bytes();
@@ -526,15 +785,25 @@ struct Testbed::Impl {
 
     FetchPtr fetch_sequence(std::vector<size_t> sizes, std::function<void()> on_done)
     {
+        auto result = std::make_shared<Fetch>();
+        result->start = loop->now();
+        start_attempt(std::move(sizes), result, std::move(on_done));
+        return result;
+    }
+
+    void start_attempt(std::vector<size_t> sizes, FetchPtr result,
+                       std::function<void()> on_done)
+    {
+        ++result->attempts;
+        if (fallback_engaged && cfg.mode == Mode::mctls) result->fell_back_to_tls = true;
         auto state = std::make_shared<ClientConn>();
         state->impl = this;
-        state->result = std::make_shared<Fetch>();
-        state->result->start = loop->now();
+        state->result = std::move(result);
         state->on_done = std::move(on_done);
         state->pending.assign(sizes.begin(), sizes.end());
         state->channel = make_client_channel();
         all_channels.push_back(state->channel.get());
-        state->conn = net.connect("client", first_hop(), kPort);
+        state->conn = net.connect("client", client_first_hop(), kPort);
         state->conn->set_nagle(cfg.nagle);
         state->conn->set_on_connect([state] {
             state->channel->start();
@@ -542,9 +811,39 @@ struct Testbed::Impl {
             state->maybe_send_request();  // NoEncrypt is ready immediately
         });
         state->conn->set_on_data([state](ConstBytes d) { state->on_data(d); });
+        state->conn->set_on_close([state] { state->transport_lost(); });
+        arm_channel_deadline(state, state->channel.get(), state->conn,
+                             [state](const std::string& reason) {
+                                 state->attempt_failed(reason);
+                             });
         anchors.push_back(state);
         tracked_conns.push_back(state->conn);
-        return state->result;
+    }
+
+    // A client attempt failed: retry with backoff under the configured
+    // recovery policy, or surface the typed failure.
+    void attempt_failed(std::vector<size_t> remaining, FetchPtr result,
+                        std::function<void()> on_done, std::string reason)
+    {
+        result->error = std::move(reason);
+        bool can_retry = cfg.recovery != RecoveryPolicy::abort &&
+                         result->attempts < cfg.retry.max_attempts &&
+                         !remaining.empty();
+        if (!can_retry) {
+            result->failed = true;
+            result->done = loop->now();
+            if (on_done) on_done();
+            return;
+        }
+        if (cfg.recovery == RecoveryPolicy::tls_fallback) fallback_engaged = true;
+        net::SimTime delay = cfg.retry.backoff;
+        for (size_t i = 1; i + 1 < result->attempts; ++i)
+            delay = static_cast<net::SimTime>(static_cast<double>(delay) *
+                                              cfg.retry.backoff_multiplier);
+        loop->schedule(delay, [this, remaining = std::move(remaining), result,
+                               on_done = std::move(on_done)] {
+            start_attempt(remaining, result, on_done);
+        });
     }
 
     Testbed::OverheadTotals overhead_totals() const

@@ -34,6 +34,37 @@ const char* to_string(Mode mode);
 using net::operator""_ms;
 using net::operator""_s;
 
+// Scheduled fault (§5.4 / DESIGN.md "Failure model"). Faults arm the
+// retransmission machinery on every link, so the loss-free byte accounting
+// used by the figure benches only holds when `faults` stays empty.
+struct FaultEvent {
+    enum class Kind {
+        kill_middlebox,     // crash the relay process: abort both its TCP legs
+        restart_middlebox,  // bring it back; new connections accepted again
+        link_down,          // partition one hop (both directions)
+        link_up,
+        corrupt_record,     // flip one byte in the next app record it forwards
+    };
+    Kind kind = Kind::kill_middlebox;
+    net::SimTime at = 0;   // absolute simulation time
+    size_t middlebox = 0;  // kill/restart/corrupt: relay index
+    size_t hop = 0;        // link_down/up: hop index (0 = client-side hop)
+};
+
+// What the client does after a failed attempt (retry.max_attempts permitting).
+enum class RecoveryPolicy {
+    abort,                  // report the typed failure, no retry
+    reconnect,              // retry with the same session composition
+    drop_dead_middleboxes,  // retry with dead middleboxes removed from the list
+    tls_fallback,           // retry over plain TLS, middleboxes blind (§5.4)
+};
+
+struct RetryPolicy {
+    size_t max_attempts = 1;        // 1 = no retry
+    net::SimTime backoff = 200_ms;  // delay before the second attempt
+    double backoff_multiplier = 2.0;
+};
+
 struct TestbedConfig {
     Mode mode = Mode::mctls;
     size_t n_middleboxes = 1;
@@ -54,6 +85,14 @@ struct TestbedConfig {
     // Optional per-hop override (size n_middleboxes + 1, client side first).
     std::vector<net::LinkConfig> per_hop_links;
     uint64_t seed = 1;
+
+    // Failure semantics. handshake_deadline bounds every channel's handshake
+    // (0 = no deadline); faults inject failures at scheduled times; recovery
+    // + retry govern what the client does about them.
+    net::SimTime handshake_deadline = 0;
+    std::vector<FaultEvent> faults;
+    RecoveryPolicy recovery = RecoveryPolicy::abort;
+    RetryPolicy retry;
 };
 
 class Testbed {
@@ -72,6 +111,9 @@ public:
         std::vector<net::SimTime> object_done;  // completion per object
         bool completed = false;
         bool failed = false;
+        size_t attempts = 0;            // connection attempts made
+        bool fell_back_to_tls = false;  // completed over plain TLS (§5.4)
+        std::string error;              // last attempt's failure reason
         uint64_t handshake_wire_bytes = 0;  // client channel view
         uint64_t app_overhead_bytes = 0;    // client channel record overhead
         uint64_t app_bytes_received = 0;

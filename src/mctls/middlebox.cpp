@@ -23,12 +23,90 @@ MiddleboxSession::MiddleboxSession(MiddleboxConfig cfg) : cfg_(std::move(cfg))
 
 Status MiddleboxSession::fail(std::string message)
 {
+    return fail(AlertDescription::handshake_failure, std::move(message));
+}
+
+Status MiddleboxSession::fail(AlertDescription description, std::string message)
+{
+    return fail_with(SessionError::Origin::local, description, std::move(message),
+                     /*emit_alert=*/true);
+}
+
+Status MiddleboxSession::fail_with(SessionError::Origin origin,
+                                   AlertDescription description, std::string message,
+                                   bool emit_alert)
+{
     failed_ = true;
+    torn_down_ = true;
     error_ = std::move(message);
-    tls::Record alert{tls::ContentType::alert, kControlContext, Bytes{2, 40}};
-    to_client_.push_back(client_side_.codec.encode(alert));
-    to_server_.push_back(server_side_.codec.encode(alert));
+    if (!failure_.failed()) failure_ = {origin, description, error_};
+    // A middlebox failure affects both directions: alert both endpoints.
+    if (emit_alert) send_alert_both(tls::fatal_alert(description));
     return err(error_);
+}
+
+void MiddleboxSession::send_alert_both(const tls::Alert& alert)
+{
+    if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
+    alert_sent_ = alert;
+    tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
+    to_client_.push_back(client_side_.codec.encode(rec));
+    to_server_.push_back(server_side_.codec.encode(rec));
+}
+
+Status MiddleboxSession::handle_alert_record(From from, const tls::Record& record)
+{
+    // Endpoint alerts pass through unmodified (we may not change them -- the
+    // endpoints authenticate teardown between themselves); we parse a copy
+    // for our own bookkeeping so the relay can retire the session.
+    forward_record(from, record, /*own_unit=*/true);
+    auto alert = tls::Alert::parse(record.payload);
+    if (!alert) return {};  // unparsable: forwarded anyway, endpoints decide
+    peer_alert_ = alert.value();
+    if (alert.value().is_fatal()) {
+        torn_down_ = true;
+        if (!failure_.failed())
+            failure_ = {SessionError::Origin::peer, alert.value().description,
+                        std::string("mctls mbox: endpoint alert: ") +
+                            to_string(alert.value().description)};
+        return {};
+    }
+    if (alert.value().is_close_notify()) {
+        (from == From::client ? close_from_client_ : close_from_server_) = true;
+        if (close_from_client_ && close_from_server_) torn_down_ = true;
+    }
+    return {};
+}
+
+Status MiddleboxSession::tick(uint64_t now)
+{
+    if (failed_) return err(error_);
+    if (keys_ready_ || torn_down_) return {};
+    if (cfg_.handshake_timeout == 0) return {};
+    if (handshake_deadline_ == 0) {
+        handshake_deadline_ = now + cfg_.handshake_timeout;
+        return {};
+    }
+    if (now < handshake_deadline_) return {};
+    return fail_with(SessionError::Origin::timeout, AlertDescription::handshake_timeout,
+                     "mctls mbox: handshake deadline exceeded", /*emit_alert=*/true);
+}
+
+void MiddleboxSession::transport_closed(bool from_client_side)
+{
+    if (failed_ || torn_down_) return;
+    torn_down_ = true;
+    truncated_ = true;
+    if (!failure_.failed())
+        failure_ = {SessionError::Origin::truncated, AlertDescription::middlebox_failure,
+                    "mctls mbox: transport closed without close_notify"};
+    // Tell the surviving side the path through us is gone.
+    if (alert_sent_ && alert_sent_->is_fatal()) return;
+    tls::Alert alert = tls::fatal_alert(AlertDescription::middlebox_failure);
+    alert_sent_ = alert;
+    tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
+    auto& out = from_client_side ? to_server_ : to_client_;
+    out.push_back(client_side_.codec.encode(rec));
 }
 
 Status MiddleboxSession::feed_from_client(ConstBytes wire)
@@ -48,7 +126,7 @@ Status MiddleboxSession::feed(From from, ConstBytes wire)
     side.codec.feed(wire);
     while (true) {
         auto next = side.codec.next();
-        if (!next) return fail(next.error().message);
+        if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
         if (auto s = handle_record(from, *next.value()); !s) return s;
     }
@@ -77,8 +155,7 @@ Status MiddleboxSession::handle_record(From from, const tls::Record& record)
     Side& side = from == From::client ? client_side_ : server_side_;
     switch (record.type) {
     case tls::ContentType::alert:
-        forward_record(from, record, /*own_unit=*/true);
-        return {};
+        return handle_alert_record(from, record);
     case tls::ContentType::change_cipher_spec:
         side.ccs_seen = true;
         forward_record(from, record, /*own_unit=*/false);
@@ -93,7 +170,7 @@ Status MiddleboxSession::handle_record(From from, const tls::Record& record)
         side.handshake.feed(record.payload);
         while (true) {
             auto msg = side.handshake.next();
-            if (!msg) return fail(msg.error().message);
+            if (!msg) return fail(AlertDescription::decode_error, msg.error().message);
             if (!msg.value().has_value()) return {};
             if (auto s = handle_handshake(from, *msg.value()); !s) return s;
         }
@@ -101,7 +178,7 @@ Status MiddleboxSession::handle_record(From from, const tls::Record& record)
     case tls::ContentType::application_data:
         return handle_app_record(from, record);
     }
-    return fail("mctls mbox: unknown record type");
+    return fail(AlertDescription::decode_error, "mctls mbox: unknown record type");
 }
 
 Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage& msg)
@@ -109,37 +186,43 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
     switch (msg.type) {
     case tls::HandshakeType::client_hello: {
         auto hello = tls::ClientHello::parse(msg.body);
-        if (!hello) return fail(hello.error().message);
+        if (!hello) return fail(AlertDescription::decode_error, hello.error().message);
         client_random_ = hello.value().random;
         auto ext = MiddleboxListExtension::parse(hello.value().extensions);
-        if (!ext) return fail("mctls mbox: bad middlebox list");
+        if (!ext)
+            return fail(AlertDescription::decode_error, "mctls mbox: bad middlebox list");
         middleboxes_ = ext.value().middleboxes;
         contexts_ = ext.value().contexts;
         for (size_t i = 0; i < middleboxes_.size(); ++i) {
             if (middleboxes_[i].name == cfg_.name) entity_index_ = i;
         }
         if (entity_index_ == SIZE_MAX)
-            return fail("mctls mbox: not listed in the session's middlebox list");
+            return fail(AlertDescription::middlebox_failure,
+                        "mctls mbox: not listed in the session's middlebox list");
         forward_handshake(from, msg);
         return {};
     }
     case tls::HandshakeType::server_hello: {
         auto hello = tls::ServerHello::parse(msg.body);
-        if (!hello) return fail(hello.error().message);
+        if (!hello) return fail(AlertDescription::decode_error, hello.error().message);
         server_random_ = hello.value().random;
         auto mode = ServerModeExtension::parse(hello.value().extensions);
-        if (!mode) return fail("mctls mbox: bad server mode extension");
+        if (!mode)
+            return fail(AlertDescription::decode_error,
+                        "mctls mbox: bad server mode extension");
         ckd_ = mode.value().client_key_distribution;
         forward_handshake(from, msg);
         return {};
     }
     case tls::HandshakeType::certificate: {
         auto certs = tls::CertificateMsg::parse(msg.body);
-        if (!certs) return fail(certs.error().message);
+        if (!certs) return fail(AlertDescription::decode_error, certs.error().message);
         server_chain_ = certs.take().chain;
         if (cfg_.trust) {
             auto status = cfg_.trust->verify_chain(server_chain_, "", cfg_.now);
-            if (!status) return fail("mctls mbox: server auth: " + status.error().message);
+            if (!status)
+                return fail(AlertDescription::bad_certificate,
+                            "mctls mbox: server auth: " + status.error().message);
             crypto::count_verify(cfg_.ops);  // n <= 1 in Table 3
         }
         forward_handshake(from, msg);
@@ -147,7 +230,7 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
     }
     case tls::HandshakeType::server_key_exchange: {
         auto kx = tls::KeyExchange::parse(msg.type, msg.body);
-        if (!kx) return fail(kx.error().message);
+        if (!kx) return fail(AlertDescription::decode_error, kx.error().message);
         server_dh_public_ = kx.value().public_key;
         forward_handshake(from, msg);
         return {};
@@ -165,14 +248,14 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
     }
     case tls::HandshakeType::client_key_exchange: {
         auto kx = tls::ClientKeyExchange::parse(msg.body);
-        if (!kx) return fail(kx.error().message);
+        if (!kx) return fail(AlertDescription::decode_error, kx.error().message);
         client_dh_public_ = kx.value().public_key;
         forward_handshake(from, msg);
         return {};
     }
     case tls::HandshakeType::middlebox_key_material: {
         auto km = MiddleboxKeyMaterial::parse(msg.body);
-        if (!km) return fail(km.error().message);
+        if (!km) return fail(AlertDescription::decode_error, km.error().message);
         forward_handshake(from, msg);
         if (km.value().entity == entity_index_) {
             if (auto s = extract_key_material(from, km.value()); !s) return s;
@@ -237,22 +320,31 @@ Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMater
 {
     bool from_client = km.sender == kEntityClient;
     if (from_client != (from == From::client))
-        return fail("mctls mbox: key material sender/direction mismatch");
+        return fail(AlertDescription::illegal_parameter,
+                    "mctls mbox: key material sender/direction mismatch");
 
     // Derive the pairwise AuthEnc key with that endpoint.
     AuthEncKey pairwise;
     if (from_client) {
-        if (client_dh_public_.empty()) return fail("mctls mbox: key material before CKE");
+        if (client_dh_public_.empty())
+            return fail(AlertDescription::unexpected_message,
+                        "mctls mbox: key material before CKE");
         auto pre = crypto::x25519_shared(dh_for_client_private_, client_dh_public_);
-        if (!pre) return fail("mctls mbox: degenerate client DH share");
+        if (!pre)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls mbox: degenerate client DH share");
         crypto::count_secret(cfg_.ops);
         Bytes s_cm = derive_shared_secret(pre.value(), client_random_, own_random_);
         pairwise = derive_pairwise_key(s_cm, client_random_, own_random_);
         crypto::count_keygen(cfg_.ops);
     } else {
-        if (server_dh_public_.empty()) return fail("mctls mbox: key material before SKE");
+        if (server_dh_public_.empty())
+            return fail(AlertDescription::unexpected_message,
+                        "mctls mbox: key material before SKE");
         auto pre = crypto::x25519_shared(dh_for_server_private_, server_dh_public_);
-        if (!pre) return fail("mctls mbox: degenerate server DH share");
+        if (!pre)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls mbox: degenerate server DH share");
         crypto::count_secret(cfg_.ops);
         Bytes s_sm = derive_shared_secret(pre.value(), server_random_, own_random_);
         pairwise = derive_pairwise_key(s_sm, server_random_, own_random_);
@@ -260,10 +352,12 @@ Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMater
     }
 
     auto plain = authenc_open(pairwise, key_material_ad(km.sender, km.entity), km.sealed);
-    if (!plain) return fail("mctls mbox: key material: " + plain.error().message);
+    if (!plain)
+        return fail(AlertDescription::decrypt_error,
+                    "mctls mbox: key material: " + plain.error().message);
     crypto::count_dec(cfg_.ops);
     auto entries = parse_middlebox_material(plain.value());
-    if (!entries) return fail(entries.error().message);
+    if (!entries) return fail(AlertDescription::decode_error, entries.error().message);
     if (from_client) {
         client_material_ = entries.take();
         client_material_seen_ = true;
@@ -327,7 +421,9 @@ Permission MiddleboxSession::permission(uint8_t context_id) const
 
 Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
 {
-    if (!keys_ready_) return fail("mctls mbox: application data before key material");
+    if (!keys_ready_)
+        return fail(AlertDescription::unexpected_message,
+                    "mctls mbox: application data before key material");
     Side& side = from == From::client ? client_side_ : server_side_;
     Direction dir =
         from == From::client ? Direction::client_to_server : Direction::server_to_client;
@@ -345,7 +441,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
     if (perm == Permission::read) {
         auto payload = open_record_reader(keys->second, dir, seq, record.context_id,
                                           record.payload);
-        if (!payload) return fail(payload.error().message);
+        if (!payload) return fail(AlertDescription::bad_record_mac, payload.error().message);
         ++records_read_;
         if (cfg_.observe) cfg_.observe(record.context_id, dir, payload.value());
         forward_record(from, record, /*own_unit=*/true);  // original bytes
@@ -355,7 +451,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
     // Writer.
     auto opened =
         open_record_writer(keys->second, dir, seq, record.context_id, record.payload);
-    if (!opened) return fail(opened.error().message);
+    if (!opened) return fail(AlertDescription::bad_record_mac, opened.error().message);
     Bytes payload = std::move(opened.value().payload);
     Bytes original = payload;
     if (cfg_.observe) cfg_.observe(record.context_id, dir, payload);

@@ -46,6 +46,9 @@ struct MiddleboxConfig {
     Rng* rng = nullptr;
     crypto::OpCounters* ops = nullptr;
     uint64_t now = 100;
+    // Handshake deadline for tick(), in the caller's clock units (armed at
+    // the first tick() call). 0 disables the deadline.
+    uint64_t handshake_timeout = 0;
 
     // Write-access contexts: return the (possibly modified) payload.
     std::function<Bytes(uint8_t context_id, Direction dir, Bytes payload)> transform;
@@ -65,6 +68,27 @@ public:
     bool handshake_complete() const { return keys_ready_; }
     bool failed() const { return failed_; }
     const std::string& error() const { return error_; }
+
+    // --- Failure semantics (see DESIGN.md "Failure model") ---
+
+    // Drive time-based state; fails with a fatal handshake_timeout alert to
+    // both sides once the armed deadline passes mid-handshake.
+    Status tick(uint64_t now);
+    // One of the two transports reported EOF. Originates a fatal
+    // middlebox_failure alert toward the surviving side so the endpoints do
+    // not stall waiting on a dead path.
+    void transport_closed(bool from_client_side);
+
+    // True once the session through this middlebox is finished: an endpoint
+    // fatal alert passed through, close_notify flowed both ways, or a
+    // transport died. Distinct from failed(), which means *we* detected the
+    // problem (bad MAC, malformed message, deadline).
+    bool torn_down() const { return torn_down_; }
+    bool truncated() const { return truncated_; }
+    const SessionError& failure() const { return failure_; }
+    const std::optional<tls::Alert>& alert_sent() const { return alert_sent_; }
+    // Last alert observed from either endpoint (forwarded through us).
+    const std::optional<tls::Alert>& peer_alert() const { return peer_alert_; }
 
     // Effective permission (both halves received) for a context.
     Permission permission(uint8_t context_id) const;
@@ -86,6 +110,11 @@ private:
     enum class From { client, server };
 
     Status fail(std::string message);
+    Status fail(AlertDescription description, std::string message);
+    Status fail_with(SessionError::Origin origin, AlertDescription description,
+                     std::string message, bool emit_alert);
+    void send_alert_both(const tls::Alert& alert);
+    Status handle_alert_record(From from, const tls::Record& record);
     Status feed(From from, ConstBytes wire);
     Status handle_record(From from, const tls::Record& record);
     Status handle_handshake(From from, const tls::HandshakeMessage& msg);
@@ -99,6 +128,14 @@ private:
     MiddleboxConfig cfg_;
     bool failed_ = false;
     std::string error_;
+    SessionError failure_;
+    std::optional<tls::Alert> alert_sent_;
+    std::optional<tls::Alert> peer_alert_;
+    bool torn_down_ = false;
+    bool truncated_ = false;
+    bool close_from_client_ = false;
+    bool close_from_server_ = false;
+    uint64_t handshake_deadline_ = 0;  // 0 = not armed
 
     Side client_side_;  // connection toward the client
     Side server_side_;

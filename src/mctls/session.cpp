@@ -49,12 +49,88 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
 
 Status Session::fail(std::string message)
 {
+    return fail(AlertDescription::handshake_failure, std::move(message));
+}
+
+Status Session::fail(AlertDescription description, std::string message)
+{
+    return fail_with(SessionError::Origin::local, description, std::move(message),
+                     /*emit_alert=*/true);
+}
+
+Status Session::fail_with(SessionError::Origin origin, AlertDescription description,
+                          std::string message, bool emit_alert)
+{
     state_ = State::failed;
     error_ = std::move(message);
-    tls::Record alert{tls::ContentType::alert, kControlContext,
-                      Bytes{2 /*fatal*/, 40 /*handshake_failure*/}};
-    write_units_.push_back(codec_.encode(alert));
+    if (!failure_.failed()) failure_ = {origin, description, error_};
+    // Fatal alert to the peer, best effort (never in response to the peer's
+    // own fatal alert, which would just echo noise at a dead session).
+    if (emit_alert) send_alert(tls::fatal_alert(description));
     return err(error_);
+}
+
+void Session::send_alert(const tls::Alert& alert)
+{
+    if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
+    alert_sent_ = alert;
+    tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
+    write_units_.push_back(codec_.encode(rec));
+}
+
+Status Session::handle_alert(const tls::Alert& alert)
+{
+    peer_alert_ = alert;
+    if (alert.is_close_notify()) {
+        peer_close_received_ = true;
+        if (state_ == State::closed) return {};
+        if (state_ != State::established)
+            return fail_with(SessionError::Origin::peer, AlertDescription::close_notify,
+                             "mctls: close_notify during handshake", /*emit_alert=*/false);
+        if (!close_sent_) {
+            close_sent_ = true;
+            send_alert(tls::close_notify_alert());
+        }
+        state_ = State::closed;
+        return {};
+    }
+    if (!alert.is_fatal()) return {};  // unknown warnings are ignorable
+    return fail_with(SessionError::Origin::peer, alert.description,
+                     std::string("mctls: peer alert: ") + to_string(alert.description),
+                     /*emit_alert=*/false);
+}
+
+Status Session::tick(uint64_t now)
+{
+    if (state_ == State::failed) return err(error_);
+    if (state_ == State::established || state_ == State::closed) return {};
+    if (cfg_.handshake_timeout == 0) return {};
+    if (handshake_deadline_ == 0) {
+        handshake_deadline_ = now + cfg_.handshake_timeout;
+        return {};
+    }
+    if (now < handshake_deadline_) return {};
+    return fail_with(SessionError::Origin::timeout, AlertDescription::handshake_timeout,
+                     "mctls: handshake deadline exceeded", /*emit_alert=*/true);
+}
+
+void Session::close()
+{
+    if (state_ == State::failed || close_sent_) return;
+    close_sent_ = true;
+    send_alert(tls::close_notify_alert());
+    // Mid-handshake close abandons the session; an established session keeps
+    // receiving until the peer's close_notify arrives.
+    if (state_ != State::established || peer_close_received_) state_ = State::closed;
+}
+
+void Session::transport_closed()
+{
+    if (state_ == State::failed || state_ == State::closed) return;
+    truncated_ = true;
+    (void)fail_with(SessionError::Origin::truncated, AlertDescription::close_notify,
+                    "mctls: transport closed without close_notify (truncated)",
+                    /*emit_alert=*/false);
 }
 
 void Session::queue_record(const tls::Record& record, bool own_unit)
@@ -148,7 +224,7 @@ Status Session::feed(ConstBytes wire)
     codec_.feed(wire);
     while (true) {
         auto next = codec_.next();
-        if (!next) return fail(next.error().message);
+        if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
         if (auto s = handle_record(*next.value()); !s) return s;
     }
@@ -156,9 +232,17 @@ Status Session::feed(ConstBytes wire)
 
 Status Session::handle_record(const tls::Record& record)
 {
+    if (record.type == tls::ContentType::alert) {
+        auto alert = tls::Alert::parse(record.payload);
+        if (!alert) return fail(AlertDescription::decode_error, "mctls: malformed alert");
+        return handle_alert(alert.value());
+    }
+    if (state_ == State::closed)
+        return fail(AlertDescription::unexpected_message,
+                    "mctls: record after close_notify");
     switch (record.type) {
     case tls::ContentType::alert:
-        return fail("mctls: peer alert");
+        return {};  // handled above
     case tls::ContentType::change_cipher_spec:
         handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
         ccs_received_ = true;
@@ -169,14 +253,16 @@ Status Session::handle_record(const tls::Record& record)
         if (ccs_received_ && control_recv_) {
             auto plain =
                 control_recv_->unprotect(record.type, record.context_id, payload);
-            if (!plain) return fail("mctls: " + plain.error().message);
+            if (!plain)
+                return fail(AlertDescription::bad_record_mac,
+                            "mctls: " + plain.error().message);
             crypto::count_dec(cfg_.ops);
             payload = plain.take();
         }
         handshake_reader_.feed(payload);
         while (true) {
             auto msg = handshake_reader_.next();
-            if (!msg) return fail(msg.error().message);
+            if (!msg) return fail(AlertDescription::decode_error, msg.error().message);
             if (!msg.value().has_value()) return {};
             if (auto s = handle_handshake(*msg.value()); !s) return s;
         }
@@ -184,7 +270,7 @@ Status Session::handle_record(const tls::Record& record)
     case tls::ContentType::application_data:
         return handle_app_record(record);
     }
-    return fail("mctls: unknown record type");
+    return fail(AlertDescription::decode_error, "mctls: unknown record type");
 }
 
 Status Session::handle_handshake(const tls::HandshakeMessage& msg)
@@ -202,9 +288,13 @@ Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
         auto hello = MiddleboxHello::parse(msg.body);
         if (!hello) return fail(hello.error().message);
         uint8_t i = hello.value().entity;
-        if (i >= mbox_state_.size()) return fail("mctls: middlebox entity out of range");
+        if (i >= mbox_state_.size())
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: middlebox entity out of range");
         MiddleboxState& mbox = mbox_state_[i];
-        if (mbox.hello_seen) return fail("mctls: duplicate middlebox hello");
+        if (mbox.hello_seen)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: duplicate middlebox hello");
         mbox.random = hello.value().random;
         mbox.chain = hello.value().chain;
         mbox.hello_seen = true;
@@ -215,7 +305,9 @@ Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
         if (check) {
             auto status =
                 cfg_.trust->verify_chain(mbox.chain, mbox.info.name, cfg_.now);
-            if (!status) return fail("mctls: middlebox auth: " + status.error().message);
+            if (!status)
+                return fail(AlertDescription::bad_certificate,
+                            "mctls: middlebox auth: " + status.error().message);
         }
         return {};
     }
@@ -223,30 +315,39 @@ Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
     auto kx = MiddleboxKeyExchange::parse(msg.body);
     if (!kx) return fail(kx.error().message);
     uint8_t i = kx.value().entity;
-    if (i >= mbox_state_.size()) return fail("mctls: middlebox entity out of range");
+    if (i >= mbox_state_.size())
+        return fail(AlertDescription::illegal_parameter,
+                    "mctls: middlebox entity out of range");
     MiddleboxState& mbox = mbox_state_[i];
-    if (!mbox.hello_seen) return fail("mctls: middlebox key exchange before hello");
+    if (!mbox.hello_seen)
+        return fail(AlertDescription::unexpected_message,
+                    "mctls: middlebox key exchange before hello");
 
     bool check = cfg_.trust && (is_client_ || cfg_.authenticate_middleboxes);
     if (check) {
         if (mbox.chain.empty() ||
             !crypto::ed25519_verify(mbox.chain.front().public_key,
                                     kx.value().signed_payload(), kx.value().signature))
-            return fail("mctls: bad middlebox key exchange signature");
+            return fail(AlertDescription::decrypt_error,
+                        "mctls: bad middlebox key exchange signature");
     }
 
     if (kx.value().recipient == kEntityClient) {
-        if (mbox.kx_client_seen) return fail("mctls: duplicate middlebox key exchange");
+        if (mbox.kx_client_seen)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: duplicate middlebox key exchange");
         mbox.kx_for_client = kx.value().public_key;
         mbox.kx_client_seen = true;
         transcript_.add_bundle_part(i, 1, wire);
     } else if (kx.value().recipient == kEntityServer) {
-        if (mbox.kx_server_seen) return fail("mctls: duplicate middlebox key exchange");
+        if (mbox.kx_server_seen)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: duplicate middlebox key exchange");
         mbox.kx_for_server = kx.value().public_key;
         mbox.kx_server_seen = true;
         transcript_.add_bundle_part(i, 2, wire);
     } else {
-        return fail("mctls: bad key exchange recipient");
+        return fail(AlertDescription::illegal_parameter, "mctls: bad key exchange recipient");
     }
     crypto::count_hash(cfg_.ops);
     if (check) crypto::count_verify(cfg_.ops);
@@ -265,14 +366,16 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
     Bytes wire = msg.serialize();
     switch (msg.type) {
     case tls::HandshakeType::server_hello: {
-        if (state_ != State::wait_server_flight) return fail("mctls: unexpected ServerHello");
+        if (state_ != State::wait_server_flight)
+            return fail(AlertDescription::unexpected_message, "mctls: unexpected ServerHello");
         auto hello = tls::ServerHello::parse(msg.body);
         if (!hello) return fail(hello.error().message);
         if (hello.value().cipher_suite != tls::kCipherSuiteX25519Ed25519Aes128Sha256)
-            return fail("mctls: unsupported cipher suite");
+            return fail(AlertDescription::handshake_failure, "mctls: unsupported cipher suite");
         server_random_ = hello.value().random;
         auto mode = ServerModeExtension::parse(hello.value().extensions);
-        if (!mode) return fail("mctls: bad server mode extension");
+        if (!mode)
+            return fail(AlertDescription::decode_error, "mctls: bad server mode extension");
         ckd_ = mode.value().client_key_distribution;
         granted_ = mode.value().granted;
         transcript_.set(Transcript::Slot::server_hello, wire);
@@ -295,10 +398,11 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
     case tls::HandshakeType::server_key_exchange: {
         auto kx = tls::KeyExchange::parse(msg.type, msg.body);
         if (!kx) return fail(kx.error().message);
-        if (server_chain_.empty()) return fail("mctls: SKE before certificate");
+        if (server_chain_.empty())
+            return fail(AlertDescription::unexpected_message, "mctls: SKE before certificate");
         if (!crypto::ed25519_verify(server_chain_.front().public_key,
                                     kx.value().signed_payload(), kx.value().signature))
-            return fail("mctls: bad SKE signature");
+            return fail(AlertDescription::decrypt_error, "mctls: bad SKE signature");
         crypto::count_verify(cfg_.ops);
         peer_dh_public_ = kx.value().public_key;
         transcript_.set(Transcript::Slot::server_key_exchange, wire);
@@ -317,14 +421,16 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
     case tls::HandshakeType::middlebox_key_material: {
         auto km = MiddleboxKeyMaterial::parse(msg.body);
         if (!km) return fail(km.error().message);
-        if (km.value().sender != kEntityServer) return fail("mctls: bad key material sender");
+        if (km.value().sender != kEntityServer)
+            return fail(AlertDescription::illegal_parameter, "mctls: bad key material sender");
         if (km.value().entity != kEntityClient) return {};  // destined to a middlebox
         return unseal_middlebox_material_from_peer(km.value());
     }
     case tls::HandshakeType::finished:
         return verify_peer_finished(msg);
     default:
-        return fail("mctls: unexpected handshake message at client");
+        return fail(AlertDescription::unexpected_message,
+                    "mctls: unexpected handshake message at client");
     }
 }
 
@@ -333,16 +439,20 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
     Bytes wire = msg.serialize();
     switch (msg.type) {
     case tls::HandshakeType::client_hello: {
-        if (state_ != State::wait_client_hello) return fail("mctls: unexpected ClientHello");
+        if (state_ != State::wait_client_hello)
+            return fail(AlertDescription::unexpected_message, "mctls: unexpected ClientHello");
         auto hello = tls::ClientHello::parse(msg.body);
         if (!hello) return fail(hello.error().message);
         bool suite_ok = false;
         for (uint16_t s : hello.value().cipher_suites)
             suite_ok |= s == tls::kCipherSuiteX25519Ed25519Aes128Sha256;
-        if (!suite_ok) return fail("mctls: no common cipher suite");
+        if (!suite_ok)
+            return fail(AlertDescription::handshake_failure, "mctls: no common cipher suite");
         client_random_ = hello.value().random;
         auto ext = MiddleboxListExtension::parse(hello.value().extensions);
-        if (!ext) return fail("mctls: bad middlebox list: " + ext.error().message);
+        if (!ext)
+            return fail(AlertDescription::decode_error,
+                        "mctls: bad middlebox list: " + ext.error().message);
         middleboxes_ = ext.value().middleboxes;
         contexts_ = ext.value().contexts;
         mbox_state_.resize(middleboxes_.size());
@@ -409,7 +519,8 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         return {};
     }
     case tls::HandshakeType::client_key_exchange: {
-        if (state_ != State::wait_client_flight) return fail("mctls: unexpected CKE");
+        if (state_ != State::wait_client_flight)
+            return fail(AlertDescription::unexpected_message, "mctls: unexpected CKE");
         auto kx = tls::ClientKeyExchange::parse(msg.body);
         if (!kx) return fail(kx.error().message);
         peer_dh_public_ = kx.value().public_key;
@@ -421,11 +532,14 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
     case tls::HandshakeType::middlebox_key_material: {
         auto km = MiddleboxKeyMaterial::parse(msg.body);
         if (!km) return fail(km.error().message);
-        if (km.value().sender != kEntityClient) return fail("mctls: bad key material sender");
+        if (km.value().sender != kEntityClient)
+            return fail(AlertDescription::illegal_parameter, "mctls: bad key material sender");
         transcript_.add_client_key_material(km.value().entity, wire);
         crypto::count_hash(cfg_.ops);
         if (km.value().entity != kEntityServer) return {};  // destined to a middlebox
-        if (ckd_) return fail("mctls: unexpected endpoint key material in CKD mode");
+        if (ckd_)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: unexpected endpoint key material in CKD mode");
         return unseal_middlebox_material_from_peer(km.value());
     }
     case tls::HandshakeType::finished: {
@@ -433,7 +547,8 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         return server_send_final_flight();
     }
     default:
-        return fail("mctls: unexpected handshake message at server");
+        return fail(AlertDescription::unexpected_message,
+                    "mctls: unexpected handshake message at server");
     }
 }
 
@@ -500,12 +615,16 @@ Status Session::unseal_middlebox_material_from_peer(const MiddleboxKeyMaterial& 
 {
     auto plain = authenc_open(endpoint_keys_.key_material,
                               key_material_ad(km.sender, km.entity), km.sealed);
-    if (!plain) return fail("mctls: endpoint key material: " + plain.error().message);
+    if (!plain)
+        return fail(AlertDescription::decrypt_error,
+                    "mctls: endpoint key material: " + plain.error().message);
     crypto::count_dec(cfg_.ops);
     auto entries = parse_endpoint_material(plain.value());
     if (!entries) return fail(entries.error().message);
     for (const auto& e : entries.value()) {
-        if (!find_context(e.context_id)) return fail("mctls: key material for unknown context");
+        if (!find_context(e.context_id))
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: key material for unknown context");
         peer_partials_[e.context_id] = e.partial;
     }
     peer_material_received_ = true;
@@ -515,7 +634,7 @@ Status Session::unseal_middlebox_material_from_peer(const MiddleboxKeyMaterial& 
         auto own = own_partials_.find(ctx.id);
         auto peer = peer_partials_.find(ctx.id);
         if (own == own_partials_.end() || peer == peer_partials_.end())
-            return fail("mctls: missing context key halves");
+            return fail(AlertDescription::handshake_failure, "mctls: missing context key halves");
         const PartialContextKeys& client_half = is_client_ ? own->second : peer->second;
         const PartialContextKeys& server_half = is_client_ ? peer->second : own->second;
         context_keys_[ctx.id] =
@@ -530,7 +649,9 @@ Status Session::client_send_second_flight()
     // K_C-M with every middlebox.
     for (auto& mbox : mbox_state_) {
         auto pre = crypto::x25519_shared(dh_private_, mbox.kx_for_client);
-        if (!pre) return fail("mctls: degenerate middlebox DH share");
+        if (!pre)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: degenerate middlebox DH share");
         crypto::count_secret(cfg_.ops);
         Bytes s_cm = derive_shared_secret(pre.value(), client_random_, mbox.random);
         mbox.pairwise = derive_pairwise_key(s_cm, client_random_, mbox.random);
@@ -609,9 +730,13 @@ Status Session::server_send_final_flight()
     if (!ckd_) {
         for (size_t i = 0; i < mbox_state_.size(); ++i) {
             MiddleboxState& mbox = mbox_state_[i];
-            if (!mbox.complete()) return fail("mctls: incomplete middlebox bundle at server");
+            if (!mbox.complete())
+                return fail(AlertDescription::handshake_failure,
+                            "mctls: incomplete middlebox bundle at server");
             auto pre = crypto::x25519_shared(dh_private_, mbox.kx_for_server);
-            if (!pre) return fail("mctls: degenerate middlebox DH share");
+            if (!pre)
+                return fail(AlertDescription::illegal_parameter,
+                            "mctls: degenerate middlebox DH share");
             crypto::count_secret(cfg_.ops);
             Bytes s_sm = derive_shared_secret(pre.value(), server_random_, mbox.random);
             mbox.pairwise = derive_pairwise_key(s_sm, server_random_, mbox.random);
@@ -676,27 +801,35 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
 {
     auto fin = tls::Finished::parse(msg.body);
     if (!fin) return fail(fin.error().message);
-    if (!ccs_received_) return fail("mctls: Finished before CCS");
+    if (!ccs_received_)
+        return fail(AlertDescription::unexpected_message, "mctls: Finished before CCS");
 
     if (is_client_) {
-        if (state_ != State::wait_server_second) return fail("mctls: unexpected Finished");
+        if (state_ != State::wait_server_second)
+            return fail(AlertDescription::unexpected_message, "mctls: unexpected Finished");
         if (!ckd_ && !peer_material_received_)
-            return fail("mctls: Finished before server key material");
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: Finished before server key material");
         Bytes expected = finished_verify_data("server finished", true);
         if (!crypto::ct_equal(expected, fin.value().verify_data))
-            return fail("mctls: server Finished verification failed");
+            return fail(AlertDescription::decrypt_error,
+                        "mctls: server Finished verification failed");
         state_ = State::established;
         return {};
     }
 
     // Server verifying the client's Finished.
-    if (state_ != State::wait_client_flight) return fail("mctls: unexpected Finished");
-    if (peer_dh_public_.empty()) return fail("mctls: Finished before CKE");
+    if (state_ != State::wait_client_flight)
+        return fail(AlertDescription::unexpected_message, "mctls: unexpected Finished");
+    if (peer_dh_public_.empty())
+        return fail(AlertDescription::unexpected_message, "mctls: Finished before CKE");
     if (!ckd_ && !peer_material_received_)
-        return fail("mctls: Finished before client key material");
+        return fail(AlertDescription::unexpected_message,
+                    "mctls: Finished before client key material");
     Bytes expected = finished_verify_data("client finished", false);
     if (!crypto::ct_equal(expected, fin.value().verify_data))
-        return fail("mctls: client Finished verification failed");
+        return fail(AlertDescription::decrypt_error,
+                    "mctls: client Finished verification failed");
     transcript_.set_client_finished(msg.serialize());
     crypto::count_hash(cfg_.ops);
     return {};
@@ -704,14 +837,17 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
 
 Status Session::handle_app_record(const tls::Record& record)
 {
-    if (state_ != State::established) return fail("mctls: early application data");
+    if (state_ != State::established)
+        return fail(AlertDescription::unexpected_message, "mctls: early application data");
     auto keys = context_keys_.find(record.context_id);
-    if (keys == context_keys_.end()) return fail("mctls: record for unknown context");
+    if (keys == context_keys_.end())
+        return fail(AlertDescription::illegal_parameter,
+                    "mctls: record for unknown context");
 
     Direction dir = is_client_ ? Direction::server_to_client : Direction::client_to_server;
     auto opened = open_record_endpoint(keys->second, endpoint_keys_, dir, app_recv_seq_,
                                        record.context_id, record.payload);
-    if (!opened) return fail(opened.error().message);
+    if (!opened) return fail(AlertDescription::bad_record_mac, opened.error().message);
     ++app_recv_seq_;
     app_chunks_.push_back(
         {record.context_id, std::move(opened.value().payload), opened.value().from_endpoint});
@@ -721,6 +857,7 @@ Status Session::handle_app_record(const tls::Record& record)
 Status Session::send_app_data(uint8_t context_id, ConstBytes data)
 {
     if (state_ != State::established) return err("mctls: not established");
+    if (close_sent_) return err("mctls: send after close");
     auto keys = context_keys_.find(context_id);
     if (keys == context_keys_.end()) return err("mctls: unknown context");
 

@@ -57,6 +57,9 @@ struct SessionConfig {
     Rng* rng = nullptr;
     crypto::OpCounters* ops = nullptr;
     uint64_t now = 100;
+    // Handshake deadline for tick(), in the caller's clock units (armed at
+    // the first tick() call). 0 disables the deadline.
+    uint64_t handshake_timeout = 0;
 };
 
 struct AppChunk {
@@ -78,6 +81,28 @@ public:
     bool handshake_complete() const { return state_ == State::established; }
     bool failed() const { return state_ == State::failed; }
     const std::string& error() const { return error_; }
+
+    // --- Failure semantics (see DESIGN.md "Failure model") ---
+
+    // Drive time-based state. Arms the handshake deadline on the first call;
+    // once `now` passes it with the handshake still incomplete, the session
+    // fails with a fatal handshake_timeout alert instead of stalling.
+    Status tick(uint64_t now);
+
+    // Graceful shutdown: send close_notify (once) on the control context.
+    void close();
+    // The transport reported EOF. Without a prior close_notify from the peer
+    // this flags the stream as truncated (truncation-attack detection).
+    void transport_closed();
+
+    bool closed() const { return state_ == State::closed; }
+    bool close_sent() const { return close_sent_; }
+    bool truncated() const { return truncated_; }
+    // Typed reason the session stopped (origin none while healthy).
+    const SessionError& failure() const { return failure_; }
+    // Last alert we emitted / the peer's alert, if any.
+    const std::optional<tls::Alert>& alert_sent() const { return alert_sent_; }
+    const std::optional<tls::Alert>& peer_alert() const { return peer_alert_; }
 
     Status send_app_data(uint8_t context_id, ConstBytes data);
     std::vector<AppChunk> take_app_data();
@@ -101,6 +126,7 @@ private:
         wait_client_hello,    // server
         wait_client_flight,   // server: bundles, CKE, CKMs, CCS, Finished
         established,
+        closed,  // close_notify exchanged in both directions
         failed,
     };
 
@@ -118,6 +144,11 @@ private:
     };
 
     Status fail(std::string message);
+    Status fail(AlertDescription description, std::string message);
+    Status fail_with(SessionError::Origin origin, AlertDescription description,
+                     std::string message, bool emit_alert);
+    void send_alert(const tls::Alert& alert);
+    Status handle_alert(const tls::Alert& alert);
     void queue_record(const tls::Record& record, bool own_unit);
     void append_handshake_to_flight(const tls::HandshakeMessage& msg, Bytes* flight);
     void flush_flight_into_unit(ConstBytes flight, Bytes* unit);
@@ -143,6 +174,13 @@ private:
     SessionConfig cfg_;
     State state_ = State::idle;
     std::string error_;
+    SessionError failure_;
+    std::optional<tls::Alert> alert_sent_;
+    std::optional<tls::Alert> peer_alert_;
+    bool close_sent_ = false;
+    bool peer_close_received_ = false;
+    bool truncated_ = false;
+    uint64_t handshake_deadline_ = 0;  // 0 = not armed
     bool is_client_ = true;
 
     tls::RecordCodec codec_{/*with_context_id=*/true};

@@ -6,10 +6,21 @@
 #include <string>
 #include <vector>
 
+#include "tls/alert.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
 namespace mct::mctls {
+
+// Typed session failure reporting. mcTLS shares the TLS alert taxonomy
+// (tls/alert.h) plus two extensions — handshake_timeout and
+// middlebox_failure — so that every fail() path in mctls::Session and
+// MiddleboxSession records which AlertDescription was sent or received and
+// callers can branch on the cause (retry, fall back to TLS, abort) instead
+// of string-matching the error message.
+using AlertDescription = tls::AlertDescription;
+using AlertLevel = tls::AlertLevel;
+using SessionError = tls::SessionError;
 
 // Access a middlebox holds for one encryption context (§3.4): writers get
 // K_readers + K_writers, readers K_readers only, none neither.

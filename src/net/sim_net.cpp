@@ -9,6 +9,10 @@ namespace mct::net {
 
 void Link::transmit(size_t wire_bytes, std::function<void()> on_arrival)
 {
+    if (down_) {
+        ++packets_dropped_;
+        return;
+    }
     bytes_carried_ += wire_bytes;
     SimTime start = std::max(loop_.now(), busy_until_);
     SimTime serialization = 0;
@@ -36,6 +40,14 @@ void Connection::send(ConstBytes data)
 void Connection::close()
 {
     if (fin_queued_) return;
+    fin_queued_ = true;
+    if (established_) pump();
+}
+
+void Connection::abort()
+{
+    if (fin_queued_) return;
+    window_.resize(next_offset_);  // discard bytes never handed to the wire
     fin_queued_ = true;
     if (established_) pump();
 }
@@ -153,11 +165,22 @@ void Connection::on_rto()
     bool outstanding = next_offset_ > 0 || (fin_sent_ && !fin_acked_);
     if (!outstanding) return;
     if (acked_ == rto_acked_snapshot_) {
+        if (++rto_failures_ >= kMaxRtoFailures) {
+            // Reset: the peer is unreachable. Surface EOF so the
+            // application fails typed instead of retrying forever.
+            if (on_close_) {
+                VoidCallback cb = std::exchange(on_close_, nullptr);
+                cb();
+            }
+            return;
+        }
         // No progress since arming: go-back-N from the last cumulative ACK.
         next_offset_ = 0;
         if (fin_sent_ && !fin_acked_) fin_sent_ = false;
         cwnd_ = 10 * kMss;
         pump();
+    } else {
+        rto_failures_ = 0;
     }
     arm_rto();
 }
@@ -188,6 +211,12 @@ void SimNet::listen(const std::string& host, uint16_t port, AcceptCallback on_ac
     listeners_[{host, port}] = std::move(on_accept);
 }
 
+void SimNet::set_link_down(const std::string& a, const std::string& b, bool down)
+{
+    link_between(a, b)->set_down(down);
+    link_between(b, a)->set_down(down);
+}
+
 ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, uint16_t port)
 {
     Link* forward = link_between(from, to);
@@ -216,9 +245,20 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
     // paths the client retries the SYN until the handshake completes.
     Connection* client_raw = client.get();
     auto send_syn = std::make_shared<std::function<void()>>();
+    auto syn_attempts = std::make_shared<int>(0);
     std::weak_ptr<std::function<void()>> weak_syn = send_syn;
-    *send_syn = [this, forward, reverse, server, client_raw, on_accept, weak_syn, lossy] {
+    *send_syn = [this, forward, reverse, server, client_raw, on_accept, weak_syn, lossy,
+                 syn_attempts] {
         if (client_raw->established_) return;
+        if (++*syn_attempts > 8) {
+            // Connection timed out (e.g. the far host is partitioned away):
+            // report EOF instead of retrying the SYN forever.
+            if (client_raw->on_close_) {
+                VoidCallback cb = std::exchange(client_raw->on_close_, nullptr);
+                cb();
+            }
+            return;
+        }
         client_raw->wire_bytes_sent_ += kHeaderBytes;
         forward->transmit(kHeaderBytes, [reverse, server, on_accept, client_raw] {
             if (!server->established_) {

@@ -38,6 +38,10 @@ struct LinkConfig {
     SimTime latency = 0;          // one-way propagation delay
     double bandwidth_bps = 0;     // 0 = infinite (no serialization delay)
     double loss_rate = 0;         // probability a packet is dropped [0,1)
+    // Fault injection: connections over a faultable link arm retransmission
+    // (RTO + SYN retry) even when loss-free, so a link flap heals once the
+    // link is back up instead of deadlocking the transfer.
+    bool faultable = false;
 };
 
 // One direction of a link: FIFO serialization then fixed latency, with an
@@ -49,15 +53,20 @@ public:
 
     void transmit(size_t wire_bytes, std::function<void()> on_arrival);
 
+    // Partition: a down link drops every packet until brought back up.
+    void set_down(bool down) { down_ = down; }
+    bool down() const { return down_; }
+
     uint64_t bytes_carried() const { return bytes_carried_; }
     uint64_t packets_dropped() const { return packets_dropped_; }
-    bool lossy() const { return cfg_.loss_rate > 0; }
+    bool lossy() const { return cfg_.loss_rate > 0 || cfg_.faultable; }
 
 private:
     EventLoop& loop_;
     LinkConfig cfg_;
     Rng* rng_;
     SimTime busy_until_ = 0;
+    bool down_ = false;
     uint64_t bytes_carried_ = 0;
     uint64_t packets_dropped_ = 0;
 };
@@ -77,6 +86,9 @@ public:
     void send(ConstBytes data);
     // Half-close after all queued data: peer sees on_close.
     void close();
+    // Crash-style close: unsent queued data is discarded (a dead process
+    // flushes nothing), then the peer sees on_close.
+    void abort();
 
     void set_on_connect(VoidCallback cb) { on_connect_ = std::move(cb); }
     void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
@@ -85,6 +97,8 @@ public:
     void set_nagle(bool enabled) { nagle_ = enabled; }
 
     bool connected() const { return established_; }
+    // True once close()/abort() queued the FIN: further send() throws.
+    bool close_queued() const { return fin_queued_; }
     uint64_t app_bytes_sent() const { return app_bytes_sent_; }
     uint64_t app_bytes_received() const { return app_bytes_received_; }
     uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
@@ -122,11 +136,16 @@ private:
     uint64_t recv_expected_ = 0;
     bool fin_delivered_ = false;
 
-    // Retransmission (armed only on lossy paths).
+    // Retransmission (armed only on lossy/faultable paths). A connection
+    // that makes no progress across kMaxRtoFailures consecutive RTOs gives
+    // up and reports on_close, like a kernel resetting after max retries —
+    // this bounds simulations where a partition never heals.
+    static constexpr int kMaxRtoFailures = 20;
     bool rto_enabled_ = false;
     SimTime rto_ = 200 * 1000;  // 200 ms
     bool rto_armed_ = false;
     uint64_t rto_acked_snapshot_ = 0;
+    int rto_failures_ = 0;
 
     VoidCallback on_connect_;
     DataCallback on_data_;
@@ -142,11 +161,25 @@ class SimNet {
 public:
     explicit SimNet(EventLoop& loop) : loop_(loop) {}
 
+    // Connection callbacks routinely capture shared_ptrs to relay/endpoint
+    // state that itself holds ConnectionPtrs; clearing them here breaks
+    // those reference cycles so a dead simulation actually frees its graph.
+    ~SimNet()
+    {
+        for (auto& conn : connections_) {
+            conn->set_on_connect({});
+            conn->set_on_data({});
+            conn->set_on_close({});
+        }
+    }
+
     void add_host(const std::string& name);
     // Duplex link with identical properties in both directions.
     void add_link(const std::string& a, const std::string& b, LinkConfig cfg);
 
     void listen(const std::string& host, uint16_t port, AcceptCallback on_accept);
+    // Take the duplex link between a and b down (or back up).
+    void set_link_down(const std::string& a, const std::string& b, bool down);
     // Open a connection from `from` to `to`:`port`; hosts must share a link.
     // The returned connection fires on_connect once the handshake completes.
     ConnectionPtr connect(const std::string& from, const std::string& to, uint16_t port);

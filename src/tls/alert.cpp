@@ -1,0 +1,84 @@
+#include "tls/alert.h"
+
+namespace mct::tls {
+
+const char* to_string(AlertLevel level)
+{
+    switch (level) {
+    case AlertLevel::warning:
+        return "warning";
+    case AlertLevel::fatal:
+        return "fatal";
+    }
+    return "?";
+}
+
+const char* to_string(AlertDescription description)
+{
+    switch (description) {
+    case AlertDescription::close_notify:
+        return "close_notify";
+    case AlertDescription::unexpected_message:
+        return "unexpected_message";
+    case AlertDescription::bad_record_mac:
+        return "bad_record_mac";
+    case AlertDescription::record_overflow:
+        return "record_overflow";
+    case AlertDescription::handshake_failure:
+        return "handshake_failure";
+    case AlertDescription::bad_certificate:
+        return "bad_certificate";
+    case AlertDescription::illegal_parameter:
+        return "illegal_parameter";
+    case AlertDescription::decode_error:
+        return "decode_error";
+    case AlertDescription::decrypt_error:
+        return "decrypt_error";
+    case AlertDescription::protocol_version:
+        return "protocol_version";
+    case AlertDescription::internal_error:
+        return "internal_error";
+    case AlertDescription::handshake_timeout:
+        return "handshake_timeout";
+    case AlertDescription::middlebox_failure:
+        return "middlebox_failure";
+    }
+    return "unknown_alert";
+}
+
+const char* to_string(SessionError::Origin origin)
+{
+    switch (origin) {
+    case SessionError::Origin::none:
+        return "none";
+    case SessionError::Origin::local:
+        return "local";
+    case SessionError::Origin::peer:
+        return "peer";
+    case SessionError::Origin::timeout:
+        return "timeout";
+    case SessionError::Origin::truncated:
+        return "truncated";
+    }
+    return "?";
+}
+
+Bytes Alert::serialize() const
+{
+    return Bytes{static_cast<uint8_t>(level), static_cast<uint8_t>(description)};
+}
+
+Result<Alert> Alert::parse(ConstBytes wire)
+{
+    if (wire.size() != 2) return err("alert: payload must be 2 bytes");
+    uint8_t level = wire[0];
+    if (level != static_cast<uint8_t>(AlertLevel::warning) &&
+        level != static_cast<uint8_t>(AlertLevel::fatal))
+        return err("alert: bad level");
+    Alert alert;
+    alert.level = static_cast<AlertLevel>(level);
+    alert.description = static_cast<AlertDescription>(wire[1]);
+    return alert;
+}
+
+}  // namespace mct::tls

@@ -1,0 +1,99 @@
+// TLS alert protocol (RFC 5246 §7.2 subset) shared by the baseline TLS
+// stack and mcTLS.
+//
+// Alerts are the failure-signaling half of the record layer: every fail()
+// path emits a fatal alert before the session goes dead, close_notify
+// implements graceful shutdown (and its absence flags truncation attacks),
+// and middleboxes both forward endpoint alerts and originate their own.
+//
+// Simplification: alerts are always sent as plaintext records (never under
+// record protection). This keeps them parseable by every hop — including a
+// legacy TLS peer during a failed mcTLS negotiation (§5.4 fallback) — at the
+// cost of an attacker being able to forge teardown, which TLS 1.2 tolerates
+// for close_notify-less truncation anyway. See DESIGN.md "Failure model".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::tls {
+
+enum class AlertLevel : uint8_t {
+    warning = 1,
+    fatal = 2,
+};
+
+enum class AlertDescription : uint8_t {
+    close_notify = 0,
+    unexpected_message = 10,
+    bad_record_mac = 20,
+    record_overflow = 22,
+    handshake_failure = 40,
+    bad_certificate = 42,
+    illegal_parameter = 47,
+    decode_error = 50,
+    decrypt_error = 51,
+    protocol_version = 70,
+    internal_error = 80,
+    // mcTLS failure-model extensions (outside the RFC 5246 registry):
+    handshake_timeout = 110,  // tick() deadline expired before Finished
+    middlebox_failure = 111,  // a middlebox tore the session down (its own
+                              // fault or a dead adjacent hop)
+};
+
+const char* to_string(AlertLevel level);
+const char* to_string(AlertDescription description);
+
+// Wire payload of a ContentType::alert record: level(1) | description(1).
+struct Alert {
+    AlertLevel level = AlertLevel::fatal;
+    AlertDescription description = AlertDescription::handshake_failure;
+
+    bool is_fatal() const { return level == AlertLevel::fatal; }
+    bool is_close_notify() const
+    {
+        return description == AlertDescription::close_notify;
+    }
+
+    Bytes serialize() const;
+    static Result<Alert> parse(ConstBytes wire);
+
+    bool operator==(const Alert&) const = default;
+};
+
+inline Alert fatal_alert(AlertDescription description)
+{
+    return Alert{AlertLevel::fatal, description};
+}
+
+inline Alert close_notify_alert()
+{
+    return Alert{AlertLevel::warning, AlertDescription::close_notify};
+}
+
+// Typed report of why a session stopped — richer than the error string, so
+// callers (testbed retry policies, middleboxes, tests) can branch on the
+// cause instead of string-matching.
+struct SessionError {
+    enum class Origin {
+        none,       // healthy
+        local,      // we detected the fault and alerted the peer
+        peer,       // a fatal alert arrived from the peer or a middlebox
+        timeout,    // tick() handshake deadline expired (alert was sent)
+        truncated,  // transport closed without close_notify
+    };
+
+    Origin origin = Origin::none;
+    // The description sent (local/timeout) or received (peer).
+    AlertDescription alert = AlertDescription::close_notify;
+    std::string message;
+
+    bool failed() const { return origin != Origin::none; }
+};
+
+const char* to_string(SessionError::Origin origin);
+
+}  // namespace mct::tls

@@ -26,14 +26,35 @@ void RecordCodec::feed(ConstBytes wire)
 
 Result<std::optional<Record>> RecordCodec::next()
 {
-    const size_t header = header_size();
+    size_t header = header_size();
     if (buffer_.size() < header) return std::optional<Record>{};
-    Reader r(buffer_);
-    uint8_t type = r.u8().value();
-    uint16_t version = r.u16().value();
+    uint8_t type = buffer_[0];
+    uint16_t version = static_cast<uint16_t>((buffer_[1] << 8) | buffer_[2]);
     if (version != kProtocolVersion) return err("record: bad version");
-    uint8_t context_id = with_context_id_ ? r.u8().value() : 0;
-    uint16_t length = r.u16().value();
+    uint8_t context_id = with_context_id_ ? buffer_[3] : 0;
+    size_t len_off = with_context_id_ ? 4 : 3;
+    uint16_t length =
+        static_cast<uint16_t>((buffer_[len_off] << 8) | buffer_[len_off + 1]);
+
+    // Alerts are always plaintext level(1)|description(1) payloads, and they
+    // are the one record a peer running the OTHER header format must still
+    // be able to deliver: a failed TLS<->mcTLS pairing (§5.4 fallback) tears
+    // down promptly only if the fatal alert crosses the framing gap. If the
+    // natural parse doesn't yield a 2-byte alert, retry with the alternate
+    // header size before rejecting the stream.
+    if (static_cast<ContentType>(type) == ContentType::alert && length != 2) {
+        size_t alt_header = with_context_id_ ? 5 : 6;
+        size_t alt_len_off = with_context_id_ ? 3 : 4;
+        if (buffer_.size() < alt_header) return std::optional<Record>{};
+        uint16_t alt_length = static_cast<uint16_t>((buffer_[alt_len_off] << 8) |
+                                                    buffer_[alt_len_off + 1]);
+        if (alt_length == 2) {
+            header = alt_header;
+            length = alt_length;
+            context_id = with_context_id_ ? 0 : buffer_[3];
+        }
+    }
+
     if (length > kMaxFragment + 1024) return err("record: oversized fragment");
     if (type < 20 || type > 23) return err("record: unknown content type");
     if (buffer_.size() < header + length) return std::optional<Record>{};

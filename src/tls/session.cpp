@@ -26,12 +26,87 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
 
 Status Session::fail(std::string message)
 {
+    return fail(AlertDescription::handshake_failure, std::move(message));
+}
+
+Status Session::fail(AlertDescription description, std::string message)
+{
+    return fail_with(SessionError::Origin::local, description, std::move(message),
+                     /*emit_alert=*/true);
+}
+
+Status Session::fail_with(SessionError::Origin origin, AlertDescription description,
+                          std::string message, bool emit_alert)
+{
     state_ = State::failed;
     error_ = std::move(message);
-    // Fatal alert to the peer, best effort.
-    Record alert{ContentType::alert, 0, Bytes{2 /*fatal*/, 40 /*handshake_failure*/}};
-    queue_record(alert, /*own_unit=*/true);
+    if (!failure_.failed()) failure_ = {origin, description, error_};
+    // Fatal alert to the peer, best effort (never in response to the peer's
+    // own fatal alert, which would just echo noise at a dead session).
+    if (emit_alert) send_alert(fatal_alert(description));
     return err(error_);
+}
+
+void Session::send_alert(const Alert& alert)
+{
+    if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
+    alert_sent_ = alert;
+    queue_record({ContentType::alert, 0, alert.serialize()}, /*own_unit=*/true);
+}
+
+Status Session::handle_alert(const Alert& alert)
+{
+    peer_alert_ = alert;
+    if (alert.is_close_notify()) {
+        peer_close_received_ = true;
+        if (state_ == State::closed) return {};
+        if (state_ != State::established)
+            return fail_with(SessionError::Origin::peer, AlertDescription::close_notify,
+                             "tls: close_notify during handshake", /*emit_alert=*/false);
+        if (!close_sent_) {
+            close_sent_ = true;
+            send_alert(close_notify_alert());
+        }
+        state_ = State::closed;
+        return {};
+    }
+    if (!alert.is_fatal()) return {};  // unknown warnings are ignorable
+    return fail_with(SessionError::Origin::peer, alert.description,
+                     std::string("tls: peer alert: ") + to_string(alert.description),
+                     /*emit_alert=*/false);
+}
+
+Status Session::tick(uint64_t now)
+{
+    if (state_ == State::failed) return err(error_);
+    if (state_ == State::established || state_ == State::closed) return {};
+    if (cfg_.handshake_timeout == 0) return {};
+    if (handshake_deadline_ == 0) {
+        handshake_deadline_ = now + cfg_.handshake_timeout;
+        return {};
+    }
+    if (now < handshake_deadline_) return {};
+    return fail_with(SessionError::Origin::timeout, AlertDescription::handshake_timeout,
+                     "tls: handshake deadline exceeded", /*emit_alert=*/true);
+}
+
+void Session::close()
+{
+    if (state_ == State::failed || close_sent_) return;
+    close_sent_ = true;
+    send_alert(close_notify_alert());
+    // Mid-handshake close abandons the session; an established session keeps
+    // receiving until the peer's close_notify arrives.
+    if (state_ != State::established || peer_close_received_) state_ = State::closed;
+}
+
+void Session::transport_closed()
+{
+    if (state_ == State::failed || state_ == State::closed) return;
+    truncated_ = true;
+    (void)fail_with(SessionError::Origin::truncated, AlertDescription::close_notify,
+                    "tls: transport closed without close_notify (truncated)",
+                    /*emit_alert=*/false);
 }
 
 void Session::queue_record(const Record& record, bool own_unit)
@@ -96,7 +171,7 @@ Status Session::feed(ConstBytes wire)
     codec_.feed(wire);
     while (true) {
         auto next = codec_.next();
-        if (!next) return fail(next.error().message);
+        if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
         if (auto s = handle_record(*next.value()); !s) return s;
     }
@@ -104,12 +179,20 @@ Status Session::feed(ConstBytes wire)
 
 Status Session::handle_record(const Record& record)
 {
+    if (record.type == ContentType::alert) {
+        auto alert = Alert::parse(record.payload);
+        if (!alert) return fail(AlertDescription::decode_error, "tls: malformed alert");
+        return handle_alert(alert.value());
+    }
+    if (state_ == State::closed)
+        return fail(AlertDescription::unexpected_message, "tls: record after close_notify");
     switch (record.type) {
     case ContentType::alert:
-        return fail("tls: peer alert");
+        return {};  // handled above
     case ContentType::change_cipher_spec:
         handshake_wire_bytes_ += record.payload.size() + codec_.header_size();
-        if (ccs_received_) return fail("tls: duplicate CCS");
+        if (ccs_received_)
+            return fail(AlertDescription::unexpected_message, "tls: duplicate CCS");
         ccs_received_ = true;
         return {};
     case ContentType::handshake: {
@@ -117,27 +200,31 @@ Status Session::handle_record(const Record& record)
         Bytes payload = record.payload;
         if (ccs_received_ && recv_protector_) {
             auto plain = recv_protector_->unprotect(record.type, 0, payload);
-            if (!plain) return fail("tls: " + plain.error().message);
+            if (!plain)
+                return fail(AlertDescription::bad_record_mac,
+                            "tls: " + plain.error().message);
             crypto::count_dec(cfg_.ops);
             payload = plain.take();
         }
         handshake_reader_.feed(payload);
         while (true) {
             auto msg = handshake_reader_.next();
-            if (!msg) return fail(msg.error().message);
+            if (!msg) return fail(AlertDescription::decode_error, msg.error().message);
             if (!msg.value().has_value()) return {};
             if (auto s = handle_handshake(*msg.value()); !s) return s;
         }
     }
     case ContentType::application_data: {
-        if (state_ != State::established) return fail("tls: early app data");
+        if (state_ != State::established)
+            return fail(AlertDescription::unexpected_message, "tls: early app data");
         auto plain = recv_protector_->unprotect(record.type, 0, record.payload);
-        if (!plain) return fail("tls: " + plain.error().message);
+        if (!plain)
+            return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
         append(app_data_, plain.value());
         return {};
     }
     }
-    return fail("tls: unknown record type");
+    return fail(AlertDescription::decode_error, "tls: unknown record type");
 }
 
 Status Session::handle_handshake(const HandshakeMessage& msg)
@@ -152,7 +239,7 @@ Status Session::handle_handshake(const HandshakeMessage& msg)
     case State::wait_server_finish:
         return handle_finished(msg);
     default:
-        return fail("tls: unexpected handshake message");
+        return fail(AlertDescription::unexpected_message, "tls: unexpected handshake message");
     }
 }
 
@@ -165,35 +252,37 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
     switch (msg.type) {
     case HandshakeType::server_hello: {
         auto hello = ServerHello::parse(msg.body);
-        if (!hello) return fail(hello.error().message);
+        if (!hello) return fail(AlertDescription::decode_error, hello.error().message);
         if (hello.value().cipher_suite != kCipherSuiteX25519Ed25519Aes128Sha256)
-            return fail("tls: unsupported cipher suite");
+            return fail(AlertDescription::handshake_failure, "tls: unsupported cipher suite");
         server_random_ = hello.value().random;
         return {};
     }
     case HandshakeType::certificate: {
         auto certs = CertificateMsg::parse(msg.body);
-        if (!certs) return fail(certs.error().message);
+        if (!certs) return fail(AlertDescription::decode_error, certs.error().message);
         peer_chain_ = certs.take().chain;
         if (cfg_.trust) {
             auto status = cfg_.trust->verify_chain(peer_chain_, cfg_.server_name, cfg_.now);
-            if (!status) return fail(status.error().message);
+            if (!status) return fail(AlertDescription::bad_certificate, status.error().message);
         }
         return {};
     }
     case HandshakeType::server_key_exchange: {
         auto kx = KeyExchange::parse(msg.type, msg.body);
-        if (!kx) return fail(kx.error().message);
-        if (peer_chain_.empty()) return fail("tls: SKE before certificate");
+        if (!kx) return fail(AlertDescription::decode_error, kx.error().message);
+        if (peer_chain_.empty())
+            return fail(AlertDescription::unexpected_message, "tls: SKE before certificate");
         if (!crypto::ed25519_verify(peer_chain_.front().public_key,
                                     kx.value().signed_payload(), kx.value().signature))
-            return fail("tls: bad SKE signature");
+            return fail(AlertDescription::decrypt_error, "tls: bad SKE signature");
         crypto::count_verify(cfg_.ops);  // entity authenticated (cert + key sig)
         peer_dh_public_ = kx.value().public_key;
         return {};
     }
     case HandshakeType::server_hello_done: {
-        if (peer_dh_public_.empty()) return fail("tls: hello done before SKE");
+        if (peer_dh_public_.empty())
+            return fail(AlertDescription::unexpected_message, "tls: hello done before SKE");
         derive_keys();
 
         Bytes flight;
@@ -205,23 +294,24 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
         return {};
     }
     default:
-        return fail("tls: unexpected message in server flight");
+        return fail(AlertDescription::unexpected_message, "tls: unexpected message in server flight");
     }
 }
 
 Status Session::server_handle_client_hello(const HandshakeMessage& msg)
 {
-    if (msg.type != HandshakeType::client_hello) return fail("tls: expected ClientHello");
+    if (msg.type != HandshakeType::client_hello)
+        return fail(AlertDescription::unexpected_message, "tls: expected ClientHello");
     Bytes wire = msg.serialize();
     append(transcript_, wire);
     crypto::count_hash(cfg_.ops);
 
     auto hello = ClientHello::parse(msg.body);
-    if (!hello) return fail(hello.error().message);
+    if (!hello) return fail(AlertDescription::decode_error, hello.error().message);
     bool suite_ok = false;
     for (uint16_t s : hello.value().cipher_suites)
         suite_ok |= s == kCipherSuiteX25519Ed25519Aes128Sha256;
-    if (!suite_ok) return fail("tls: no common cipher suite");
+    if (!suite_ok) return fail(AlertDescription::handshake_failure, "tls: no common cipher suite");
     client_random_ = hello.value().random;
 
     server_random_ = cfg_.rng->bytes(kRandomSize);
@@ -258,13 +348,13 @@ Status Session::server_handle_second_flight(const HandshakeMessage& msg)
         append(transcript_, wire);
         crypto::count_hash(cfg_.ops);
         auto kx = ClientKeyExchange::parse(msg.body);
-        if (!kx) return fail(kx.error().message);
+        if (!kx) return fail(AlertDescription::decode_error, kx.error().message);
         peer_dh_public_ = kx.value().public_key;
         derive_keys();
         return {};
     }
     if (msg.type == HandshakeType::finished) return handle_finished(msg);
-    return fail("tls: unexpected message in client flight");
+    return fail(AlertDescription::unexpected_message, "tls: unexpected message in client flight");
 }
 
 void Session::derive_keys()
@@ -323,15 +413,16 @@ void Session::send_ccs_and_finished(Bytes*)
 
 Status Session::handle_finished(const HandshakeMessage& msg)
 {
-    if (msg.type != HandshakeType::finished) return fail("tls: expected Finished");
-    if (!ccs_received_) return fail("tls: Finished before CCS");
+    if (msg.type != HandshakeType::finished)
+        return fail(AlertDescription::unexpected_message, "tls: expected Finished");
+    if (!ccs_received_) return fail(AlertDescription::unexpected_message, "tls: Finished before CCS");
     auto fin = Finished::parse(msg.body);
-    if (!fin) return fail(fin.error().message);
+    if (!fin) return fail(AlertDescription::decode_error, fin.error().message);
 
     const char* label = cfg_.role == Role::client ? "server finished" : "client finished";
     Bytes expected = finished_verify_data(label);
     if (!crypto::ct_equal(expected, fin.value().verify_data))
-        return fail("tls: Finished verification failed");
+        return fail(AlertDescription::decrypt_error, "tls: Finished verification failed");
 
     append(transcript_, msg.serialize());
     crypto::count_hash(cfg_.ops);
@@ -344,6 +435,7 @@ Status Session::handle_finished(const HandshakeMessage& msg)
 Status Session::send_app_data(ConstBytes data)
 {
     if (state_ != State::established) return err("tls: not established");
+    if (close_sent_) return err("tls: send after close");
     size_t off = 0;
     do {
         size_t take = std::min(kMaxFragment - 512, data.size() - off);

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "crypto/ops.h"
 #include "pki/trust_store.h"
+#include "tls/alert.h"
 #include "tls/messages.h"
 #include "tls/record.h"
 #include "util/rng.h"
@@ -39,6 +41,9 @@ struct SessionConfig {
     Rng* rng = nullptr;  // required
     crypto::OpCounters* ops = nullptr;
     uint64_t now = 100;  // certificate validity check time
+    // Handshake deadline for tick(), in the caller's clock units (the
+    // deadline arms at the first tick() call). 0 disables the deadline.
+    uint64_t handshake_timeout = 0;
 };
 
 class Session {
@@ -57,6 +62,29 @@ public:
     bool handshake_complete() const { return state_ == State::established; }
     bool failed() const { return state_ == State::failed; }
     const std::string& error() const { return error_; }
+
+    // --- Failure semantics (see DESIGN.md "Failure model") ---
+
+    // Drive time-based state. Arms the handshake deadline on the first call;
+    // once `now` passes it with the handshake still incomplete, the session
+    // fails with a fatal handshake_timeout alert instead of stalling.
+    Status tick(uint64_t now);
+
+    // Graceful shutdown: send close_notify (once). The session may keep
+    // receiving until the peer's close_notify arrives; sending is rejected.
+    void close();
+    // The transport reported EOF. Without a prior close_notify from the peer
+    // this flags the stream as truncated (truncation-attack detection).
+    void transport_closed();
+
+    bool closed() const { return state_ == State::closed; }
+    bool close_sent() const { return close_sent_; }
+    bool truncated() const { return truncated_; }
+    // Typed reason the session stopped (origin none while healthy).
+    const SessionError& failure() const { return failure_; }
+    // Last alert we emitted / the peer's alert, if any.
+    const std::optional<Alert>& alert_sent() const { return alert_sent_; }
+    const std::optional<Alert>& peer_alert() const { return peer_alert_; }
 
     // Encrypt one application-data record (one write unit).
     Status send_app_data(ConstBytes data);
@@ -79,10 +107,16 @@ private:
         wait_client_finish,  // server: expects CKE, CCS, Finished
         wait_server_finish,  // client: expects CCS, Finished
         established,
+        closed,  // close_notify exchanged in both directions
         failed,
     };
 
     Status fail(std::string message);
+    Status fail(AlertDescription description, std::string message);
+    Status fail_with(SessionError::Origin origin, AlertDescription description,
+                     std::string message, bool emit_alert);
+    void send_alert(const Alert& alert);
+    Status handle_alert(const Alert& alert);
     void queue_record(const Record& record, bool own_unit);
     void queue_handshake(const HandshakeMessage& msg, Bytes* flight);
     void flush_flight(Bytes flight);
@@ -101,6 +135,13 @@ private:
     SessionConfig cfg_;
     State state_ = State::idle;
     std::string error_;
+    SessionError failure_;
+    std::optional<Alert> alert_sent_;
+    std::optional<Alert> peer_alert_;
+    bool close_sent_ = false;
+    bool peer_close_received_ = false;
+    bool truncated_ = false;
+    uint64_t handshake_deadline_ = 0;  // 0 = not armed
 
     RecordCodec codec_{/*with_context_id=*/false};
     HandshakeReader handshake_reader_;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "tests/mctls/harness.h"
+#include "tls/alert.h"
 #include "tls/session.h"
 
 namespace mct::mctls {
@@ -42,11 +43,22 @@ TEST(TlsFallback, McTlsClientAgainstTlsServerFailsCleanly)
         }
     }
     // The mcTLS record header carries an extra context-id byte, so the TLS
-    // server cannot even frame the ClientHello: it rejects the stream (and
-    // alerts), and the negotiation never completes on either side. Neither
-    // state machine crashes or limps into an insecure session.
+    // server cannot even frame the ClientHello: it rejects the stream with a
+    // fatal decode_error alert. The alert codec's tolerant framing lets the
+    // mcTLS client parse that 5-byte alert record despite the header
+    // mismatch, so the client surfaces a typed peer-origin failure instead
+    // of a silent stall.
     EXPECT_FALSE(env.client->handshake_complete());
-    EXPECT_TRUE(tls_server.failed() || env.client->failed());
+    ASSERT_TRUE(tls_server.failed());
+    ASSERT_TRUE(tls_server.alert_sent().has_value());
+    EXPECT_EQ(tls_server.alert_sent()->level, tls::AlertLevel::fatal);
+    EXPECT_EQ(tls_server.alert_sent()->description, tls::AlertDescription::decode_error);
+
+    ASSERT_TRUE(env.client->failed());
+    ASSERT_TRUE(env.client->peer_alert().has_value());
+    EXPECT_EQ(env.client->peer_alert()->description, tls::AlertDescription::decode_error);
+    EXPECT_EQ(env.client->failure().origin, tls::SessionError::Origin::peer);
+    EXPECT_EQ(env.client->failure().alert, tls::AlertDescription::decode_error);
 }
 
 TEST(TlsFallback, RetryWithTlsSucceeds)
@@ -120,11 +132,34 @@ TEST(TlsFallback, TlsClientAgainstMcTlsServerFailsCleanly)
     ccfg.rng = &env.rng;
     tls::Session tls_client(ccfg);
 
+    // The 5-byte TLS ClientHello misframes under the 6-byte mcTLS header
+    // into an incomplete record, so the server waits rather than erroring.
+    // The handshake deadline is what converts that stall into a typed,
+    // alerted failure.
+    mctls::SessionConfig scfg = env.server_config();
+    scfg.handshake_timeout = 1000;
+    env.server = std::make_unique<Session>(scfg);
+
     tls_client.start();
     for (auto& unit : tls_client.take_write_units()) (void)env.server->feed(unit);
-    // Again the framing differs; the mcTLS server must not complete (it
-    // either errors on the malformed stream or keeps waiting harmlessly).
     EXPECT_FALSE(env.server->handshake_complete());
+    (void)env.server->tick(0);  // arms the deadline
+    EXPECT_FALSE(env.server->failed());
+    (void)env.server->tick(1001);
+
+    ASSERT_TRUE(env.server->failed());
+    EXPECT_EQ(env.server->failure().origin, tls::SessionError::Origin::timeout);
+    ASSERT_TRUE(env.server->alert_sent().has_value());
+    EXPECT_EQ(env.server->alert_sent()->level, tls::AlertLevel::fatal);
+    EXPECT_EQ(env.server->alert_sent()->description, tls::AlertDescription::handshake_timeout);
+
+    // The timeout alert crosses the framing gap back to the TLS client,
+    // which surfaces it as a typed peer-origin failure.
+    for (auto& unit : env.server->take_write_units()) (void)tls_client.feed(unit);
+    ASSERT_TRUE(tls_client.failed());
+    ASSERT_TRUE(tls_client.peer_alert().has_value());
+    EXPECT_EQ(tls_client.peer_alert()->description, tls::AlertDescription::handshake_timeout);
+    EXPECT_EQ(tls_client.failure().origin, tls::SessionError::Origin::peer);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // write units until quiescent. Shared by the mcTLS session tests.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,10 +91,21 @@ struct ChainEnv {
     // Deliver pending bytes along the chain until everything is quiet.
     // Returns false if any party entered a failed state (callers assert on
     // the specific party they expect to fail).
+    // A correct chain settles in a handful of rounds; hitting the cap means
+    // units are bouncing forever (livelock) and the test should fail loudly
+    // instead of hanging the suite.
+    static constexpr int kMaxPumpRounds = 10000;
+
     void pump()
     {
         bool progress = true;
+        int rounds = 0;
         while (progress) {
+            if (++rounds > kMaxPumpRounds) {
+                ADD_FAILURE() << "ChainEnv::pump: no quiescence after "
+                              << kMaxPumpRounds << " rounds (livelock)";
+                return;
+            }
             progress = false;
             // client -> first hop
             for (auto& unit : client->take_write_units()) {
