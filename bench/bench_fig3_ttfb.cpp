@@ -10,7 +10,10 @@
 // linearly with middlebox count for all protocols (each middlebox adds a
 // link).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "http/testbed.h"
 
 using namespace mct;
@@ -37,26 +40,48 @@ double ttfb_ms(Mode mode, size_t contexts, size_t mboxes, bool nagle)
 
 int main()
 {
+    bench::BenchReport report("fig3_ttfb");
+    auto record_row = [&report](const std::string& x, size_t contexts, size_t mboxes) {
+        struct Col {
+            const char* series;
+            Mode mode;
+            bool nagle;
+        };
+        for (Col col : {Col{"mcTLS", Mode::mctls, true},
+                        Col{"SplitTLS", Mode::split_tls, true},
+                        Col{"E2E-TLS", Mode::e2e_tls, true},
+                        Col{"NoEncrypt", Mode::no_encrypt, true},
+                        Col{"mcTLS-noNagle", Mode::mctls, false}}) {
+            double ms = ttfb_ms(col.mode, contexts, mboxes, col.nagle);
+            report.point(col.series, x, ms);
+            std::printf("%-10.0f ", ms);
+        }
+        std::printf("\n");
+    };
+
+    std::vector<size_t> context_sweep = {1, 2, 4, 6, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+    std::vector<size_t> mbox_sweep = {0, 1, 2, 4, 6, 8, 10, 12, 14, 16};
+    if (bench::smoke_mode()) {
+        context_sweep = {1};
+        mbox_sweep = {1};
+    }
+
     std::printf("=== Figure 3 (left): TTFB (ms) vs #contexts "
                 "(1 middlebox, 20 ms links, 10 Mbps) ===\n\n");
-    std::printf("%-9s %-9s %-10s %-9s %-10s %-14s\n", "contexts", "mcTLS", "SplitTLS",
+    std::printf("%-9s %-10s %-10s %-10s %-10s %-10s\n", "contexts", "mcTLS", "SplitTLS",
                 "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
-    for (size_t k : {1u, 2u, 4u, 6u, 8u, 9u, 10u, 11u, 12u, 13u, 14u, 15u, 16u}) {
-        std::printf("%-9zu %-9.0f %-10.0f %-9.0f %-10.0f %-14.0f\n", k,
-                    ttfb_ms(Mode::mctls, k, 1, true), ttfb_ms(Mode::split_tls, k, 1, true),
-                    ttfb_ms(Mode::e2e_tls, k, 1, true), ttfb_ms(Mode::no_encrypt, k, 1, true),
-                    ttfb_ms(Mode::mctls, k, 1, false));
+    for (size_t k : context_sweep) {
+        std::printf("%-9zu ", k);
+        record_row("contexts:" + std::to_string(k), k, 1);
     }
 
     std::printf("\n=== Figure 3 (right): TTFB (ms) vs #middleboxes "
                 "(1 context; each middlebox adds a 20 ms link) ===\n\n");
-    std::printf("%-12s %-9s %-10s %-9s %-10s %-14s\n", "middleboxes", "mcTLS", "SplitTLS",
+    std::printf("%-9s %-10s %-10s %-10s %-10s %-10s\n", "middleboxes", "mcTLS", "SplitTLS",
                 "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
-    for (size_t n : {0u, 1u, 2u, 4u, 6u, 8u, 10u, 12u, 14u, 16u}) {
-        std::printf("%-12zu %-9.0f %-10.0f %-9.0f %-10.0f %-14.0f\n", n,
-                    ttfb_ms(Mode::mctls, 1, n, true), ttfb_ms(Mode::split_tls, 1, n, true),
-                    ttfb_ms(Mode::e2e_tls, 1, n, true), ttfb_ms(Mode::no_encrypt, 1, n, true),
-                    ttfb_ms(Mode::mctls, 1, n, false));
+    for (size_t n : mbox_sweep) {
+        std::printf("%-9zu ", n);
+        record_row("middleboxes:" + std::to_string(n), 1, n);
     }
     std::printf("\nReference: path RTT with 1 middlebox is 80 ms -> NoEncrypt 2 RTT = 160,\n"
                 "TLS-family ~3.5-4 RTT; watch mcTLS/Nagle staircase around 9-14 contexts.\n");

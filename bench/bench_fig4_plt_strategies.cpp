@@ -15,8 +15,9 @@ using namespace mct::bench;
 
 int main()
 {
+    BenchReport report("fig4_plt_strategies");
     workload::CorpusConfig corpus_cfg;
-    corpus_cfg.pages = 40;
+    corpus_cfg.pages = smoke_mode() ? 2 : 40;
     auto corpus = workload::generate_corpus(corpus_cfg);
 
     std::printf("=== Figure 4: PLT CDF for mcTLS context strategies "
@@ -36,6 +37,7 @@ int main()
             std::snprintf(label, sizeof(label), "%s%s", http::to_string(strategy),
                           nagle ? "" : " (Nagle off)");
             print_cdf_row(label, times);
+            report_cdf_row(report, label, times);
         }
     }
     std::printf("\nExpected: all six rows within a similar band (the paper found the\n"

@@ -7,7 +7,10 @@
 // handles 45%-75% *more* than SplitTLS (one handshake role vs two) and
 // E2E-TLS middleboxes dwarf both (no crypto at all).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "chain_bench.h"
 #include "util/rng.h"
 
@@ -16,7 +19,10 @@ using namespace mct::bench;
 
 namespace {
 
-constexpr int kHandshakes = 40;
+int handshakes_per_point()
+{
+    return smoke_mode() ? 1 : 40;
+}
 
 struct Cps {
     double server = 0;
@@ -28,15 +34,16 @@ Cps measure(RunFn&& run)
 {
     PartySeconds seconds;
     TestRng rng(7);
-    for (int i = 0; i < kHandshakes; ++i) {
+    int handshakes = handshakes_per_point();
+    for (int i = 0; i < handshakes; ++i) {
         if (!run(rng, &seconds)) {
             std::fprintf(stderr, "handshake failed\n");
             return {};
         }
     }
     Cps cps;
-    cps.server = seconds.server > 0 ? kHandshakes / seconds.server : 0;
-    cps.middlebox = seconds.middlebox > 0 ? kHandshakes / seconds.middlebox : 0;
+    cps.server = seconds.server > 0 ? handshakes / seconds.server : 0;
+    cps.middlebox = seconds.middlebox > 0 ? handshakes / seconds.middlebox : 0;
     return cps;
 }
 
@@ -45,12 +52,15 @@ Cps measure(RunFn&& run)
 int main()
 {
     BenchPki pki;
+    BenchReport report("fig5_connections_per_sec");
     std::printf("=== Figure 5: connections per second vs #contexts ===\n\n");
     std::printf("%-9s %-12s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s\n", "contexts",
                 "srv:mcTLS", "srv:mc(2mb)", "srv:mc(4mb)", "srv:Split", "srv:E2E",
                 "mbx:mcTLS", "mbx:Split", "mbx:E2E");
 
-    for (size_t k : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    std::vector<size_t> sweep = {1, 2, 4, 8, 12, 16};
+    if (smoke_mode()) sweep = {1};
+    for (size_t k : sweep) {
         Cps mc1 = measure([&](Rng& rng, PartySeconds* s) {
             return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
         });
@@ -69,11 +79,21 @@ int main()
         std::printf("%-9zu %-12.0f %-12.0f %-12.0f %-12.0f %-12.0f | %-12.0f %-12.0f %-12s\n",
                     k, mc1.server, mc2.server, mc4.server, split.server, e2e.server,
                     mc1.middlebox, split.middlebox, "inf");
+        std::string x = "contexts:" + std::to_string(k);
+        report.point("server:mcTLS", x, mc1.server);
+        report.point("server:mcTLS-2mb", x, mc2.server);
+        report.point("server:mcTLS-4mb", x, mc4.server);
+        report.point("server:SplitTLS", x, split.server);
+        report.point("server:E2E-TLS", x, e2e.server);
+        report.point("middlebox:mcTLS", x, mc1.middlebox);
+        report.point("middlebox:SplitTLS", x, split.middlebox);
     }
 
     std::printf("\nDerived ratios (paper: server 23%%-35%% below SplitTLS; middlebox\n"
                 "45%%-75%% above SplitTLS):\n");
-    for (size_t k : {1u, 8u, 16u}) {
+    std::vector<size_t> ratio_sweep = {1, 8, 16};
+    if (smoke_mode()) ratio_sweep = {1};
+    for (size_t k : ratio_sweep) {
         Cps mc = measure([&](Rng& rng, PartySeconds* s) {
             return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
         });
@@ -88,7 +108,9 @@ int main()
     }
 
     std::printf("\nmcTLS CKD mode recovers server throughput (paper §3.6):\n");
-    for (size_t k : {4u, 16u}) {
+    std::vector<size_t> ckd_sweep = {4, 16};
+    if (smoke_mode()) ckd_sweep = {4};
+    for (size_t k : ckd_sweep) {
         Cps def = measure([&](Rng& rng, PartySeconds* s) {
             return run_mctls_handshake(pki, {1, k, false}, rng, s, nullptr);
         });

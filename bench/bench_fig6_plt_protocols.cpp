@@ -16,8 +16,9 @@ using namespace mct::bench;
 
 int main()
 {
+    BenchReport report("fig6_plt_protocols");
     workload::CorpusConfig corpus_cfg;
-    corpus_cfg.pages = 40;
+    corpus_cfg.pages = smoke_mode() ? 2 : 40;
     auto corpus = workload::generate_corpus(corpus_cfg);
 
     std::printf("=== Figure 6: PLT CDF by protocol "
@@ -41,6 +42,7 @@ int main()
         cfg.link = {20_ms, 10e6};
         auto times = load_corpus(cfg, corpus);
         print_cdf_row(row.label, times);
+        report_cdf_row(report, row.label, times);
     }
     std::printf("\nExpected: SplitTLS ~ E2E-TLS ~ NoEncrypt; mcTLS(Nagle on) shifted\n"
                 "right; mcTLS(Nagle off) back in line with the others.\n");

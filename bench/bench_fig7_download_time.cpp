@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "http/testbed.h"
 #include "workload/page_model.h"
 
@@ -68,16 +69,29 @@ int main()
         {"WAN-3G / 185.6kB", FileSizes::p99, {}, cell_hops},
     };
 
+    mct::bench::BenchReport report("fig7_download_time");
+    if (mct::bench::smoke_mode()) scenarios.resize(1);
+
     std::printf("=== Figure 7: download time (ms), 1 middlebox ===\n\n");
     std::printf("%-22s %-10s %-10s %-10s %-10s %-14s\n", "scenario", "mcTLS", "SplitTLS",
                 "E2E-TLS", "NoEncrypt", "mcTLS(noNagle)");
     for (const auto& scenario : scenarios) {
-        std::printf("%-22s %-10.0f %-10.0f %-10.0f %-10.0f %-14.0f\n",
-                    scenario.label.c_str(), download_ms(Mode::mctls, scenario, true),
-                    download_ms(Mode::split_tls, scenario, true),
-                    download_ms(Mode::e2e_tls, scenario, true),
-                    download_ms(Mode::no_encrypt, scenario, true),
-                    download_ms(Mode::mctls, scenario, false));
+        struct Col {
+            const char* series;
+            Mode mode;
+            bool nagle;
+        };
+        std::printf("%-22s ", scenario.label.c_str());
+        for (Col col : {Col{"mcTLS", Mode::mctls, true},
+                        Col{"SplitTLS", Mode::split_tls, true},
+                        Col{"E2E-TLS", Mode::e2e_tls, true},
+                        Col{"NoEncrypt", Mode::no_encrypt, true},
+                        Col{"mcTLS-noNagle", Mode::mctls, false}}) {
+            double ms = download_ms(col.mode, scenario, col.nagle);
+            report.point(col.series, scenario.label, ms);
+            std::printf("%-10.0f ", ms);
+        }
+        std::printf("\n");
     }
     return 0;
 }

@@ -5,7 +5,10 @@
 // ~1.6 kB for (Split)TLS; grows with contexts (key material) and
 // middleboxes (certificates + bundles + key material).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_json.h"
 #include "chain_bench.h"
 #include "util/rng.h"
 
@@ -16,6 +19,7 @@ int main()
 {
     BenchPki pki;
     TestRng rng(99);
+    BenchReport report("fig8_handshake_size");
     std::printf("=== Figure 8: handshake size at the client (bytes) ===\n\n");
     std::printf("%-22s %-10s %-12s\n", "configuration", "mcTLS", "(Split/E2E)TLS");
 
@@ -24,7 +28,9 @@ int main()
         size_t contexts;
         size_t mboxes;
     };
-    for (Config cfg : {Config{1, 0}, Config{4, 0}, Config{8, 0}, Config{4, 1}, Config{4, 2}}) {
+    std::vector<Config> configs = {{1, 0}, {4, 0}, {8, 0}, {4, 1}, {4, 2}};
+    if (smoke_mode()) configs = {{1, 0}, {4, 1}};
+    for (Config cfg : configs) {
         uint64_t mctls_bytes = mctls_handshake_bytes(pki, {cfg.mboxes, cfg.contexts}, rng);
         char label[64];
         std::snprintf(label, sizeof(label), "ctxts:%zu mbox:%zu", cfg.contexts, cfg.mboxes);
@@ -34,17 +40,31 @@ int main()
         std::printf("%-22s %-10lu %-12lu\n", label,
                     static_cast<unsigned long>(mctls_bytes),
                     static_cast<unsigned long>(tls_bytes));
+        report.point("mcTLS", label, static_cast<double>(mctls_bytes));
+        report.point("TLS", label, static_cast<double>(tls_bytes));
     }
 
+    std::vector<size_t> context_sweep = {1, 4, 8, 12, 16};
+    std::vector<size_t> mbox_sweep = {0, 1, 2, 4, 8};
+    if (smoke_mode()) {
+        context_sweep = {1};
+        mbox_sweep = {1};
+    }
     std::printf("\nScaling detail, mcTLS handshake bytes:\n");
     std::printf("  contexts (1 middlebox): ");
-    for (size_t k : {1u, 4u, 8u, 12u, 16u})
-        std::printf("K=%zu:%lu  ", k,
-                    static_cast<unsigned long>(mctls_handshake_bytes(pki, {1, k}, rng)));
+    for (size_t k : context_sweep) {
+        uint64_t bytes = mctls_handshake_bytes(pki, {1, k}, rng);
+        report.point("mcTLS-context-sweep", "K=" + std::to_string(k),
+                     static_cast<double>(bytes));
+        std::printf("K=%zu:%lu  ", k, static_cast<unsigned long>(bytes));
+    }
     std::printf("\n  middleboxes (4 contexts): ");
-    for (size_t n : {0u, 1u, 2u, 4u, 8u})
-        std::printf("N=%zu:%lu  ", n,
-                    static_cast<unsigned long>(mctls_handshake_bytes(pki, {n, 4}, rng)));
+    for (size_t n : mbox_sweep) {
+        uint64_t bytes = mctls_handshake_bytes(pki, {n, 4}, rng);
+        report.point("mcTLS-mbox-sweep", "N=" + std::to_string(n),
+                     static_cast<double>(bytes));
+        std::printf("N=%zu:%lu  ", n, static_cast<unsigned long>(bytes));
+    }
     std::printf("\n");
     return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_json.h"
 #include "http/testbed.h"
 #include "workload/page_model.h"
 
@@ -53,6 +54,18 @@ inline void print_cdf_row(const char* label, const std::vector<double>& sorted)
                 label, percentile(sorted, 10), percentile(sorted, 25),
                 percentile(sorted, 50), percentile(sorted, 75), percentile(sorted, 90),
                 sorted.size());
+}
+
+// Record the same summary percentiles as data points (series = row label,
+// x = percentile name) so the CDF figures round-trip through BENCH_*.json.
+inline void report_cdf_row(BenchReport& report, const char* label,
+                           const std::vector<double>& sorted)
+{
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+        char x[8];
+        std::snprintf(x, sizeof(x), "p%.0f", p);
+        report.point(label, x, percentile(sorted, p));
+    }
 }
 
 }  // namespace mct::bench

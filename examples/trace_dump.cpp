@@ -1,0 +1,214 @@
+// trace_dump: pretty-print a wire-visible mcTLS event trace.
+//
+// Two modes:
+//
+//   trace_dump <trace.jsonl>   parse a JSONL trace captured with
+//                              obs::JsonlFileSink and print it as a table
+//
+//   trace_dump                 run a small in-memory mcTLS session (client,
+//                              one read/write middlebox, server), capture its
+//                              trace, write trace_demo.jsonl, and dump it
+//
+// Columns: seq (global causal order), ts (µs on the sim clock; 0 when no
+// clock was attached), actor, event type, context id, and the two
+// type-dependent payload fields a/b (byte counts, MAC counts, fault kinds).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/drbg.h"
+#include "mctls/middlebox.h"
+#include "mctls/session.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "pki/authority.h"
+
+using namespace mct;
+
+namespace {
+
+void print_header()
+{
+    std::printf("%6s %10s %-12s %-22s %4s %10s %6s\n", "seq", "ts(us)", "actor", "type",
+                "ctx", "a", "b");
+}
+
+void print_row(uint64_t seq, uint64_t ts, const std::string& actor, const std::string& type,
+               uint64_t ctx, uint64_t a, uint64_t b)
+{
+    std::printf("%6llu %10llu %-12s %-22s %4llu %10llu %6llu\n",
+                static_cast<unsigned long long>(seq), static_cast<unsigned long long>(ts),
+                actor.c_str(), type.c_str(), static_cast<unsigned long long>(ctx),
+                static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+}
+
+// Mode 1: dump an existing JSONL capture.
+int dump_file(const char* path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "trace_dump: cannot open %s\n", path);
+        return 1;
+    }
+    print_header();
+    std::string line;
+    size_t lineno = 0, shown = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        auto doc = obs::json_parse(line);
+        if (!doc.ok()) {
+            std::fprintf(stderr, "trace_dump: %s:%zu: %s\n", path, lineno,
+                         doc.error().message.c_str());
+            return 1;
+        }
+        const obs::JsonValue& v = doc.value();
+        auto num = [&](const char* key) -> uint64_t {
+            const obs::JsonValue* f = v.get(key);
+            return f ? static_cast<uint64_t>(f->num) : 0;
+        };
+        auto str = [&](const char* key) -> std::string {
+            const obs::JsonValue* f = v.get(key);
+            return f ? f->str : std::string("?");
+        };
+        print_row(num("seq"), num("ts"), str("actor"), str("type"), num("ctx"), num("a"),
+                  num("b"));
+        ++shown;
+    }
+    std::printf("-- %zu events\n", shown);
+    return 0;
+}
+
+// Mode 2: generate a demo trace from an in-memory session (same chain as
+// examples/quickstart, with a tracer attached to all three parties).
+void pump(mctls::Session& client, mctls::MiddleboxSession& mbox, mctls::Session& server)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto& unit : client.take_write_units()) {
+            progress = true;
+            (void)mbox.feed_from_client(unit);
+        }
+        for (auto& unit : mbox.take_to_server()) {
+            progress = true;
+            (void)server.feed(unit);
+        }
+        for (auto& unit : server.take_write_units()) {
+            progress = true;
+            (void)mbox.feed_from_server(unit);
+        }
+        for (auto& unit : mbox.take_to_client()) {
+            progress = true;
+            (void)client.feed(unit);
+        }
+    }
+}
+
+int run_demo()
+{
+    crypto::HmacDrbg rng(str_to_bytes("trace-dump-seed"));
+    pki::Authority ca("Example Root CA", rng);
+    pki::TrustStore trust;
+    trust.add_root(ca.root_certificate());
+    pki::Identity server_id = ca.issue("server.example.com", rng);
+    pki::Identity mbox_id = ca.issue("proxy.isp.net", rng);
+
+    obs::Tracer tracer;
+    obs::RingBufferSink ring(4096);
+    obs::JsonlFileSink file("trace_demo.jsonl");
+    tracer.add_sink(&ring);
+    if (file.ok()) tracer.add_sink(&file);
+
+    mctls::ContextDescription headers;
+    headers.id = 1;
+    headers.purpose = "headers";
+    headers.permissions = {mctls::Permission::read};
+    mctls::ContextDescription body;
+    body.id = 2;
+    body.purpose = "body";
+    body.permissions = {mctls::Permission::write};
+
+    mctls::SessionConfig client_cfg;
+    client_cfg.role = tls::Role::client;
+    client_cfg.server_name = "server.example.com";
+    client_cfg.middleboxes = {{"proxy.isp.net", "proxy"}};
+    client_cfg.contexts = {headers, body};
+    client_cfg.trust = &trust;
+    client_cfg.rng = &rng;
+    client_cfg.tracer = &tracer;
+    client_cfg.trace_actor = "client";
+
+    mctls::SessionConfig server_cfg;
+    server_cfg.role = tls::Role::server;
+    server_cfg.chain = {server_id.certificate};
+    server_cfg.private_key = server_id.private_key;
+    server_cfg.trust = &trust;
+    server_cfg.rng = &rng;
+    server_cfg.tracer = &tracer;
+    server_cfg.trace_actor = "server";
+
+    mctls::MiddleboxConfig mbox_cfg;
+    mbox_cfg.name = "proxy.isp.net";
+    mbox_cfg.chain = {mbox_id.certificate};
+    mbox_cfg.private_key = mbox_id.private_key;
+    mbox_cfg.trust = &trust;
+    mbox_cfg.rng = &rng;
+    mbox_cfg.tracer = &tracer;
+    mbox_cfg.trace_actor = "proxy";
+    mbox_cfg.transform = [](uint8_t ctx, mctls::Direction, Bytes payload) {
+        if (ctx != 2) return payload;
+        std::string text = bytes_to_str(payload) + " [rewritten]";
+        return str_to_bytes(text);
+    };
+
+    mctls::Session client(client_cfg);
+    mctls::Session server(server_cfg);
+    mctls::MiddleboxSession mbox(mbox_cfg);
+
+    client.start();
+    pump(client, mbox, server);
+    if (!client.handshake_complete() || !server.handshake_complete()) {
+        std::fprintf(stderr, "trace_dump: demo handshake failed: %s / %s\n",
+                     client.error().c_str(), server.error().c_str());
+        return 1;
+    }
+    (void)client.send_app_data(1, str_to_bytes("GET /article HTTP/1.1"));
+    (void)client.send_app_data(2, str_to_bytes("please summarize"));
+    pump(client, mbox, server);
+    (void)server.take_app_data();
+    (void)server.send_app_data(2, str_to_bytes("the article, summarized"));
+    pump(client, mbox, server);
+    (void)client.take_app_data();
+    tracer.flush();
+
+    auto events = ring.ordered();
+    if (events.empty()) {
+        std::printf("No trace events captured.\n"
+                    "This tree was configured with -DMCT_OBS=OFF; rebuild with the\n"
+                    "default -DMCT_OBS=ON to enable trace emission.\n");
+        return 0;
+    }
+    print_header();
+    for (const auto& e : events)
+        print_row(e.seq, e.ts, tracer.actor_name(e.actor), obs::to_string(e.type), e.ctx, e.a,
+                  e.b);
+    std::printf("-- %zu events (also written to trace_demo.jsonl; re-run as\n"
+                "   `trace_dump trace_demo.jsonl` to dump from the file)\n",
+                events.size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc > 2) {
+        std::fprintf(stderr, "usage: %s [trace.jsonl]\n", argv[0]);
+        return 2;
+    }
+    if (argc == 2) return dump_file(argv[1]);
+    return run_demo();
+}

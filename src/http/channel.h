@@ -50,6 +50,10 @@ public:
     virtual uint64_t handshake_wire_bytes() const { return 0; }
     virtual uint64_t app_overhead_bytes() const { return 0; }
     virtual uint64_t app_records_sent() const { return 0; }
+
+    // Telemetry snapshot of the underlying session (empty default for modes
+    // without one, e.g. NoEncrypt).
+    virtual obs::SessionStats session_stats() const { return {}; }
 };
 
 class PlainChannel final : public SecureChannel {
@@ -94,6 +98,7 @@ public:
     uint64_t handshake_wire_bytes() const override { return session_.handshake_wire_bytes(); }
     uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
+    obs::SessionStats session_stats() const override { return session_.session_stats(); }
 
     tls::Session& session() { return session_; }
 
@@ -132,6 +137,7 @@ public:
     uint64_t handshake_wire_bytes() const override { return session_.handshake_wire_bytes(); }
     uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
+    obs::SessionStats session_stats() const override { return session_.session_stats(); }
 
     uint64_t writer_modified_chunks() const { return writer_modified_chunks_; }
     mctls::Session& session() { return session_; }

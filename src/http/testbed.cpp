@@ -88,7 +88,16 @@ struct Testbed::Impl {
     // Keep per-connection state alive.
     std::vector<std::shared_ptr<void>> anchors;
     std::vector<net::ConnectionPtr> tracked_conns;
-    std::vector<SecureChannel*> all_channels;  // owned via anchors
+    // Channels/relay sessions owned via anchors, labeled with their trace
+    // actor name so publish_session_stats can key the metrics registry.
+    std::vector<std::pair<std::string, SecureChannel*>> all_channels;
+    std::vector<std::pair<std::string, SecureChannel*>> split_channels;
+    std::vector<std::pair<std::string, mctls::MiddleboxSession*>> relay_sessions;
+    std::map<std::string, size_t> label_counts;
+
+    // Telemetry (null/0 when cfg.obs is unset).
+    obs::Tracer* tracer = nullptr;
+    uint16_t actor_testbed = 0;
 
     // Fault state.
     std::vector<char> mbox_dead;        // by relay index
@@ -137,6 +146,14 @@ struct Testbed::Impl {
         mbox_dead.assign(cfg.n_middleboxes, 0);
         corrupt_armed.assign(cfg.n_middleboxes, 0);
         relay_conns.resize(cfg.n_middleboxes);
+        if (cfg.obs) {
+            tracer = &cfg.obs->tracer;
+            actor_testbed = tracer->intern("testbed");
+            // Trace timestamps come from the sim loop: monotonic, causal.
+            net::EventLoop* clock_loop = loop;
+            tracer->set_clock([clock_loop] { return clock_loop->now(); });
+            net.set_tracer(tracer);
+        }
         build_topology();
         start_server();
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) start_relay(i);
@@ -183,8 +200,23 @@ struct Testbed::Impl {
         return "server";
     }
 
+    // First use of a base label returns it verbatim; later uses get "#n"
+    // suffixes so repeated attempts/accepts keep distinct metric prefixes.
+    std::string unique_label(const std::string& base)
+    {
+        size_t n = ++label_counts[base];
+        if (n == 1) return base;
+        return base + "#" + std::to_string(n);
+    }
+
     void apply_fault(const FaultEvent& fault)
     {
+        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::fault_injected,
+                      0, static_cast<uint64_t>(fault.kind),
+                      fault.kind == FaultEvent::Kind::link_down ||
+                              fault.kind == FaultEvent::Kind::link_up
+                          ? fault.hop
+                          : fault.middlebox);
         switch (fault.kind) {
         case FaultEvent::Kind::kill_middlebox:
             if (fault.middlebox >= cfg.n_middleboxes) return;
@@ -330,6 +362,8 @@ struct Testbed::Impl {
             tcfg.trust = &store;
             tcfg.rng = &rng;
             tcfg.handshake_timeout = cfg.handshake_deadline;
+            tcfg.tracer = tracer;
+            tcfg.trace_actor = "client";
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -340,6 +374,8 @@ struct Testbed::Impl {
             mcfg.trust = &store;
             mcfg.rng = &rng;
             mcfg.handshake_timeout = cfg.handshake_deadline;
+            mcfg.tracer = tracer;
+            mcfg.trace_actor = "client";
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -359,6 +395,8 @@ struct Testbed::Impl {
             tcfg.private_key = server_id.private_key;
             tcfg.rng = &rng;
             tcfg.handshake_timeout = cfg.handshake_deadline;
+            tcfg.tracer = tracer;
+            tcfg.trace_actor = "server";
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -370,6 +408,8 @@ struct Testbed::Impl {
             mcfg.client_key_distribution = cfg.client_key_distribution;
             mcfg.rng = &rng;
             mcfg.handshake_timeout = cfg.handshake_deadline;
+            mcfg.tracer = tracer;
+            mcfg.trace_actor = "server";
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -423,7 +463,7 @@ struct Testbed::Impl {
             state->impl = this;
             state->conn = conn;
             state->channel = make_server_channel();
-            all_channels.push_back(state->channel.get());
+            all_channels.emplace_back(unique_label("server"), state->channel.get());
             conn->set_nagle(cfg.nagle);
             conn->set_on_data([state](ConstBytes data) { state->on_data(data); });
             conn->set_on_close([state] {
@@ -610,13 +650,23 @@ struct Testbed::Impl {
                 down_cfg.chain = {impersonation_ids[index].certificate};
                 down_cfg.private_key = impersonation_ids[index].private_key;
                 down_cfg.rng = &rng;
+                down_cfg.tracer = tracer;
+                down_cfg.trace_actor = host + "-down";
                 relay->down_tls = std::make_unique<TlsChannel>(std::move(down_cfg));
                 tls::SessionConfig up_cfg;
                 up_cfg.role = tls::Role::client;
                 up_cfg.server_name = "server.example.com";
                 up_cfg.trust = &store;
                 up_cfg.rng = &rng;
+                up_cfg.tracer = tracer;
+                up_cfg.trace_actor = host + "-up";
                 relay->up_tls = std::make_unique<TlsChannel>(std::move(up_cfg));
+                // Stats only: keep these out of all_channels so §5.2 overhead
+                // accounting stays endpoint-to-endpoint as before.
+                split_channels.emplace_back(unique_label(host + "-down"),
+                                            relay->down_tls.get());
+                split_channels.emplace_back(unique_label(host + "-up"),
+                                            relay->up_tls.get());
                 down->set_on_data([relay, connect_upstream](ConstBytes d) {
                     if (!relay->up) {
                         relay->up = connect_upstream(
@@ -656,8 +706,11 @@ struct Testbed::Impl {
                 mcfg.trust = &store;
                 mcfg.rng = &rng;
                 mcfg.handshake_timeout = cfg.handshake_deadline;
+                mcfg.tracer = tracer;
+                mcfg.trace_actor = host;
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
+                relay_sessions.emplace_back(unique_label(host), relay->session.get());
                 down->set_on_data([relay, connect_upstream](ConstBytes d) {
                     if (!relay->up) {
                         relay->up = connect_upstream(
@@ -779,6 +832,9 @@ struct Testbed::Impl {
             result->done = impl->loop->now();
             result->app_overhead_bytes = channel->app_overhead_bytes();
             result->wire_bytes_client_link = conn->wire_bytes_sent();
+            obs::trace_at(impl->tracer, impl->loop->now(), impl->actor_testbed,
+                          obs::EventType::fetch_complete, 0,
+                          result->app_bytes_received, result->attempts);
             if (on_done) on_done();
         }
     };
@@ -795,6 +851,8 @@ struct Testbed::Impl {
                        std::function<void()> on_done)
     {
         ++result->attempts;
+        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::attempt_start,
+                      0, result->attempts, sizes.size());
         if (fallback_engaged && cfg.mode == Mode::mctls) result->fell_back_to_tls = true;
         auto state = std::make_shared<ClientConn>();
         state->impl = this;
@@ -802,7 +860,7 @@ struct Testbed::Impl {
         state->on_done = std::move(on_done);
         state->pending.assign(sizes.begin(), sizes.end());
         state->channel = make_client_channel();
-        all_channels.push_back(state->channel.get());
+        all_channels.emplace_back(unique_label("client"), state->channel.get());
         state->conn = net.connect("client", client_first_hop(), kPort);
         state->conn->set_nagle(cfg.nagle);
         state->conn->set_on_connect([state] {
@@ -826,6 +884,8 @@ struct Testbed::Impl {
                         std::function<void()> on_done, std::string reason)
     {
         result->error = std::move(reason);
+        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::attempt_failed,
+                      0, result->attempts);
         bool can_retry = cfg.recovery != RecoveryPolicy::abort &&
                          result->attempts < cfg.retry.max_attempts &&
                          !remaining.empty();
@@ -835,7 +895,11 @@ struct Testbed::Impl {
             if (on_done) on_done();
             return;
         }
-        if (cfg.recovery == RecoveryPolicy::tls_fallback) fallback_engaged = true;
+        if (cfg.recovery == RecoveryPolicy::tls_fallback && !fallback_engaged) {
+            fallback_engaged = true;
+            obs::trace_at(tracer, loop->now(), actor_testbed,
+                          obs::EventType::tls_fallback, 0, result->attempts);
+        }
         net::SimTime delay = cfg.retry.backoff;
         for (size_t i = 1; i + 1 < result->attempts; ++i)
             delay = static_cast<net::SimTime>(static_cast<double>(delay) *
@@ -849,7 +913,7 @@ struct Testbed::Impl {
     Testbed::OverheadTotals overhead_totals() const
     {
         Testbed::OverheadTotals totals;
-        for (const SecureChannel* channel : all_channels) {
+        for (const auto& [label, channel] : all_channels) {
             totals.overhead_bytes += channel->app_overhead_bytes();
             totals.records += channel->app_records_sent();
         }
@@ -862,6 +926,19 @@ struct Testbed::Impl {
         for (const auto& conn : tracked_conns)
             total += conn->app_bytes_sent();
         return total;
+    }
+
+    void publish_stats()
+    {
+        if (!cfg.obs) return;
+        for (const auto& [label, channel] : all_channels)
+            cfg.obs->publish(label, channel->session_stats());
+        for (const auto& [label, channel] : split_channels)
+            cfg.obs->publish(label, channel->session_stats());
+        for (const auto& [label, session] : relay_sessions)
+            cfg.obs->publish(label, session->session_stats());
+        cfg.obs->metrics.counter("loop.events_run")->set(loop->events_run());
+        cfg.obs->metrics.counter("loop.events_scheduled")->set(loop->events_scheduled());
     }
 };
 
@@ -892,6 +969,11 @@ void Testbed::set_middlebox_customizer(
 Testbed::OverheadTotals Testbed::record_overhead_totals() const
 {
     return impl_->overhead_totals();
+}
+
+void Testbed::publish_session_stats()
+{
+    impl_->publish_stats();
 }
 
 }  // namespace mct::http

@@ -18,6 +18,7 @@
 #include "mctls/middlebox.h"
 #include "net/event_loop.h"
 #include "net/sim_net.h"
+#include "obs/obs.h"
 #include "pki/authority.h"
 
 namespace mct::http {
@@ -93,6 +94,13 @@ struct TestbedConfig {
     std::vector<FaultEvent> faults;
     RecoveryPolicy recovery = RecoveryPolicy::abort;
     RetryPolicy retry;
+
+    // Telemetry hub. When set, every session created by the testbed emits
+    // trace events under a stable actor name ("client", "server", "mboxN"),
+    // the tracer's clock is bound to the sim loop, SimNet fault events are
+    // captured, and publish_session_stats() folds per-session snapshots into
+    // the hub's metrics registry. Borrowed; must outlive the testbed.
+    obs::Hub* obs = nullptr;
 };
 
 class Testbed {
@@ -143,6 +151,10 @@ public:
     // relay index before its session is created. Call before any fetch.
     void set_middlebox_customizer(
         std::function<void(size_t, mctls::MiddleboxConfig&)> customize);
+
+    // Snapshot every session created so far into cfg.obs's metrics registry
+    // (counters named "<actor>.<stat>"). No-op without a configured hub.
+    void publish_session_stats();
 
 private:
     struct Impl;

@@ -19,6 +19,10 @@ Bytes key_material_ad(uint8_t sender, uint8_t entity)
 MiddleboxSession::MiddleboxSession(MiddleboxConfig cfg) : cfg_(std::move(cfg))
 {
     if (!cfg_.rng) throw std::invalid_argument("MiddleboxSession: rng is required");
+    actor_name_ = cfg_.trace_actor.empty()
+                      ? (cfg_.name.empty() ? "mbox" : cfg_.name)
+                      : cfg_.trace_actor;
+    if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
 }
 
 Status MiddleboxSession::fail(std::string message)
@@ -36,10 +40,14 @@ Status MiddleboxSession::fail_with(SessionError::Origin origin,
                                    AlertDescription description, std::string message,
                                    bool emit_alert)
 {
+    bool in_handshake = !keys_ready_;
     failed_ = true;
     torn_down_ = true;
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
+    if (in_handshake)
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+                   static_cast<uint64_t>(description));
     // A middlebox failure affects both directions: alert both endpoints.
     if (emit_alert) send_alert_both(tls::fatal_alert(description));
     return err(error_);
@@ -49,6 +57,9 @@ void MiddleboxSession::send_alert_both(const tls::Alert& alert)
 {
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
     alert_sent_ = alert;
+    ++alerts_sent_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+               static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     to_client_.push_back(client_side_.codec.encode(rec));
     to_server_.push_back(server_side_.codec.encode(rec));
@@ -63,6 +74,9 @@ Status MiddleboxSession::handle_alert_record(From from, const tls::Record& recor
     auto alert = tls::Alert::parse(record.payload);
     if (!alert) return {};  // unparsable: forwarded anyway, endpoints decide
     peer_alert_ = alert.value();
+    ++alerts_received_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, kControlContext,
+               static_cast<uint64_t>(alert.value().description));
     if (alert.value().is_fatal()) {
         torn_down_ = true;
         if (!failure_.failed())
@@ -104,6 +118,9 @@ void MiddleboxSession::transport_closed(bool from_client_side)
     if (alert_sent_ && alert_sent_->is_fatal()) return;
     tls::Alert alert = tls::fatal_alert(AlertDescription::middlebox_failure);
     alert_sent_ = alert;
+    ++alerts_sent_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+               static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     auto& out = from_client_side ? to_server_ : to_client_;
     out.push_back(client_side_.codec.encode(rec));
@@ -199,6 +216,8 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
         if (entity_index_ == SIZE_MAX)
             return fail(AlertDescription::middlebox_failure,
                         "mctls mbox: not listed in the session's middlebox list");
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello,
+                   static_cast<uint16_t>(entity_index_), msg.body.size());
         forward_handshake(from, msg);
         return {};
     }
@@ -304,6 +323,8 @@ void MiddleboxSession::inject_bundle()
     Bytes bundle = concat(hello.to_message().serialize(),
                           kx_client.to_message().serialize(),
                           kx_server.to_message().serialize());
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_mbox_hello,
+               static_cast<uint16_t>(entity_index_), bundle.size());
     tls::Record rec{tls::ContentType::handshake, kControlContext, bundle};
     // Toward the client: part of the flight currently being relayed.
     Bytes wire = client_side_.codec.encode(rec);
@@ -382,6 +403,10 @@ void MiddleboxSession::try_finalize_keys()
             permissions_[e.context_id] = e.permission;
         }
         keys_ready_ = true;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+                   context_keys_.size(), 1);
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+                   context_keys_.size());
         return;
     }
     if (!client_material_seen_ || !server_material_seen_) return;
@@ -411,6 +436,10 @@ void MiddleboxSession::try_finalize_keys()
         }
     }
     keys_ready_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+               context_keys_.size(), 0);
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+               context_keys_.size());
 }
 
 Permission MiddleboxSession::permission(uint8_t context_id) const
@@ -434,6 +463,11 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
 
     if (perm == Permission::none || keys == context_keys_.end()) {
         ++records_forwarded_blind_;
+        CtxCounters& cc = ctx_counters_[record.context_id];
+        cc.bytes_in += record.payload.size();  // opaque: only wire size visible
+        ++cc.records_in;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_forward_blind,
+                   record.context_id, record.payload.size());
         forward_record(from, record, /*own_unit=*/true);
         return {};
     }
@@ -441,8 +475,19 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
     if (perm == Permission::read) {
         auto payload = open_record_reader(keys->second, dir, seq, record.context_id,
                                           record.payload);
-        if (!payload) return fail(AlertDescription::bad_record_mac, payload.error().message);
+        if (!payload) {
+            ++mac_failures_;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+                       record.context_id, record.payload.size());
+            return fail(AlertDescription::bad_record_mac, payload.error().message);
+        }
         ++records_read_;
+        ++macs_verified_;  // reader MAC
+        CtxCounters& cc = ctx_counters_[record.context_id];
+        cc.bytes_in += payload.value().size();
+        ++cc.records_in;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_read, record.context_id,
+                   payload.value().size(), 1);
         if (cfg_.observe) cfg_.observe(record.context_id, dir, payload.value());
         forward_record(from, record, /*own_unit=*/true);  // original bytes
         return {};
@@ -451,23 +496,64 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
     // Writer.
     auto opened =
         open_record_writer(keys->second, dir, seq, record.context_id, record.payload);
-    if (!opened) return fail(AlertDescription::bad_record_mac, opened.error().message);
+    if (!opened) {
+        ++mac_failures_;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+                   record.context_id, record.payload.size());
+        return fail(AlertDescription::bad_record_mac, opened.error().message);
+    }
+    ++macs_verified_;  // writer MAC
     Bytes payload = std::move(opened.value().payload);
     Bytes original = payload;
+    CtxCounters& cc = ctx_counters_[record.context_id];
+    cc.bytes_in += payload.size();
+    ++cc.records_in;
     if (cfg_.observe) cfg_.observe(record.context_id, dir, payload);
     if (cfg_.transform) payload = cfg_.transform(record.context_id, dir, std::move(payload));
     bool modified = payload != original;
     if (!modified) {
         // Unmodified: forward the original record, MACs untouched.
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_write_pass,
+                   record.context_id, payload.size(), 1);
         forward_record(from, record, /*own_unit=*/true);
         return {};
     }
     ++records_rewritten_;
+    macs_generated_ += 2;  // regenerated writer + reader MACs
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rewrite, record.context_id,
+               payload.size(), 2);
     Bytes fragment = reseal_record_writer(keys->second, dir, seq, record.context_id, payload,
                                           opened.value().endpoint_mac, *cfg_.rng);
     forward_record(from, {tls::ContentType::application_data, record.context_id, fragment},
                    /*own_unit=*/true);
     return {};
+}
+
+obs::SessionStats MiddleboxSession::session_stats() const
+{
+    obs::SessionStats s;
+    s.actor = actor_name_;
+    s.established = keys_ready_;
+    if (failure_.failed()) s.failure = failure_.message;
+    s.app_records_received =
+        records_forwarded_blind_ + records_read_ + records_rewritten_;
+    s.macs_generated = macs_generated_;
+    s.macs_verified = macs_verified_;
+    s.mac_failures = mac_failures_;
+    s.alerts_sent = alerts_sent_;
+    s.alerts_received = alerts_received_;
+    for (const auto& ctx : contexts_) {
+        obs::ContextStats cs;
+        cs.name = ctx.purpose.empty() ? "ctx" + std::to_string(ctx.id) : ctx.purpose;
+        cs.id = ctx.id;
+        auto it = ctx_counters_.find(ctx.id);
+        if (it != ctx_counters_.end()) {
+            cs.bytes_in = it->second.bytes_in;
+            cs.records_in = it->second.records_in;
+        }
+        s.contexts.push_back(std::move(cs));
+    }
+    return s;
 }
 
 }  // namespace mct::mctls

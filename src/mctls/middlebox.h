@@ -31,6 +31,7 @@
 #include "mctls/context_crypto.h"
 #include "mctls/messages.h"
 #include "mctls/types.h"
+#include "obs/obs.h"
 #include "pki/trust_store.h"
 #include "tls/record.h"
 #include "util/rng.h"
@@ -45,6 +46,10 @@ struct MiddleboxConfig {
     const pki::TrustStore* trust = nullptr;
     Rng* rng = nullptr;
     crypto::OpCounters* ops = nullptr;
+    // Optional telemetry (see src/obs/): events are emitted under
+    // `trace_actor` (defaults to the middlebox name).
+    obs::Tracer* tracer = nullptr;
+    std::string trace_actor;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -98,6 +103,11 @@ public:
     uint64_t records_forwarded_blind() const { return records_forwarded_blind_; }
     uint64_t records_read() const { return records_read_; }
     uint64_t records_rewritten() const { return records_rewritten_; }
+
+    // Telemetry snapshot. A middlebox verifies exactly 1 MAC per record it
+    // opens (reader MAC with read access, writer MAC with write access) and
+    // regenerates 2 (writer + reader) when it rewrites a record.
+    obs::SessionStats session_stats() const;
 
 private:
     struct Side {
@@ -169,6 +179,20 @@ private:
     uint64_t records_forwarded_blind_ = 0;
     uint64_t records_read_ = 0;
     uint64_t records_rewritten_ = 0;
+
+    // Telemetry (see session_stats()).
+    struct CtxCounters {
+        uint64_t bytes_in = 0;   // payload bytes seen (plaintext when readable)
+        uint64_t records_in = 0;
+    };
+    uint16_t trace_actor_ = 0;
+    std::string actor_name_;
+    std::map<uint8_t, CtxCounters> ctx_counters_;
+    uint64_t macs_generated_ = 0;
+    uint64_t macs_verified_ = 0;
+    uint64_t mac_failures_ = 0;
+    uint64_t alerts_sent_ = 0;
+    uint64_t alerts_received_ = 0;
 };
 
 }  // namespace mct::mctls

@@ -32,6 +32,10 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
 {
     if (!cfg_.rng) throw std::invalid_argument("mctls::Session: rng is required");
     is_client_ = cfg_.role == tls::Role::client;
+    actor_name_ = cfg_.trace_actor.empty()
+                      ? (is_client_ ? "mctls-client" : "mctls-server")
+                      : cfg_.trace_actor;
+    if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
     if (is_client_) {
         if (cfg_.contexts.empty())
             throw std::invalid_argument("mctls::Session: client needs at least one context");
@@ -61,9 +65,13 @@ Status Session::fail(AlertDescription description, std::string message)
 Status Session::fail_with(SessionError::Origin origin, AlertDescription description,
                           std::string message, bool emit_alert)
 {
+    bool in_handshake = state_ != State::established && state_ != State::closed;
     state_ = State::failed;
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
+    if (in_handshake)
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+                   static_cast<uint64_t>(description));
     // Fatal alert to the peer, best effort (never in response to the peer's
     // own fatal alert, which would just echo noise at a dead session).
     if (emit_alert) send_alert(tls::fatal_alert(description));
@@ -74,6 +82,9 @@ void Session::send_alert(const tls::Alert& alert)
 {
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
     alert_sent_ = alert;
+    ++alerts_sent_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+               static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     write_units_.push_back(codec_.encode(rec));
 }
@@ -81,6 +92,9 @@ void Session::send_alert(const tls::Alert& alert)
 Status Session::handle_alert(const tls::Alert& alert)
 {
     peer_alert_ = alert;
+    ++alerts_received_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, kControlContext,
+               static_cast<uint64_t>(alert.description));
     if (alert.is_close_notify()) {
         peer_close_received_ = true;
         if (state_ == State::closed) return {};
@@ -118,6 +132,7 @@ void Session::close()
 {
     if (state_ == State::failed || close_sent_) return;
     close_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::session_close);
     send_alert(tls::close_notify_alert());
     // Mid-handshake close abandons the session; an established session keeps
     // receiving until the peer's close_notify arrives.
@@ -216,6 +231,8 @@ void Session::start()
     flush_flight_into_unit(wire, &unit);
     write_units_.push_back(std::move(unit));
     state_ = State::wait_server_flight;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_start, 0,
+               handshake_wire_bytes_);
 }
 
 Status Session::feed(ConstBytes wire)
@@ -300,6 +317,8 @@ Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
         mbox.hello_seen = true;
         transcript_.add_bundle_part(i, 0, wire);
         crypto::count_hash(cfg_.ops);
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_mbox_hello, i,
+                   wire.size());
 
         bool check = cfg_.trust && (is_client_ || cfg_.authenticate_middleboxes);
         if (check) {
@@ -413,6 +432,8 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
         transcript_.set(Transcript::Slot::server_hello_done, wire);
         crypto::count_hash(cfg_.ops);
         shd_seen_ = true;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+                   handshake_wire_bytes_);
         bool all = std::all_of(mbox_state_.begin(), mbox_state_.end(),
                                [](const MiddleboxState& m) { return m.complete(); });
         if (all) return client_send_second_flight();
@@ -448,6 +469,8 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
             suite_ok |= s == tls::kCipherSuiteX25519Ed25519Aes128Sha256;
         if (!suite_ok)
             return fail(AlertDescription::handshake_failure, "mctls: no common cipher suite");
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello, 0,
+                   msg.body.size());
         client_random_ = hello.value().random;
         auto ext = MiddleboxListExtension::parse(hello.value().extensions);
         if (!ext)
@@ -516,6 +539,8 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         flush_flight_into_unit(flight, &unit);
         write_units_.push_back(std::move(unit));
         state_ = State::wait_client_flight;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+                   handshake_wire_bytes_);
         return {};
     }
     case tls::HandshakeType::client_key_exchange: {
@@ -581,6 +606,8 @@ void Session::derive_endpoint_secrets()
             crypto::count_keygen(cfg_.ops, 2);  // K^E_readers, K^E_writers
         }
     }
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+               contexts_.size(), ckd_ ? 1 : 0);
 }
 
 Bytes Session::seal_middlebox_material(size_t mbox_index)
@@ -718,6 +745,7 @@ Status Session::client_send_second_flight()
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::wait_server_second;
@@ -784,9 +812,12 @@ Status Session::server_send_final_flight()
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::established;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+               handshake_wire_bytes_);
     return {};
 }
 
@@ -814,7 +845,10 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
         if (!crypto::ct_equal(expected, fin.value().verify_data))
             return fail(AlertDescription::decrypt_error,
                         "mctls: server Finished verification failed");
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
         state_ = State::established;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+                   handshake_wire_bytes_);
         return {};
     }
 
@@ -830,6 +864,7 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
     if (!crypto::ct_equal(expected, fin.value().verify_data))
         return fail(AlertDescription::decrypt_error,
                     "mctls: client Finished verification failed");
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
     transcript_.set_client_finished(msg.serialize());
     crypto::count_hash(cfg_.ops);
     return {};
@@ -847,8 +882,22 @@ Status Session::handle_app_record(const tls::Record& record)
     Direction dir = is_client_ ? Direction::server_to_client : Direction::client_to_server;
     auto opened = open_record_endpoint(keys->second, endpoint_keys_, dir, app_recv_seq_,
                                        record.context_id, record.payload);
-    if (!opened) return fail(AlertDescription::bad_record_mac, opened.error().message);
+    if (!opened) {
+        ++mac_failures_;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+                   record.context_id, record.payload.size());
+        return fail(AlertDescription::bad_record_mac, opened.error().message);
+    }
     ++app_recv_seq_;
+    // Receiving endpoint checks 2 of the record's 3 MACs: the writer MAC
+    // (authenticity) and the endpoint MAC (modification detection).
+    macs_verified_ += 2;
+    ++app_records_received_;
+    CtxCounters& cc = ctx_counters_[record.context_id];
+    cc.bytes_in += opened.value().payload.size();
+    ++cc.records_in;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, record.context_id,
+               opened.value().payload.size(), 2);
     app_chunks_.push_back(
         {record.context_id, std::move(opened.value().payload), opened.value().from_endpoint});
     return {};
@@ -872,10 +921,50 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
         Bytes wire = codec_.encode(rec);
         app_overhead_bytes_ += wire.size() - take;
         ++app_records_sent_;
+        // seal_record computes all three MACs (endpoints, writers, readers).
+        macs_generated_ += 3;
+        CtxCounters& cc = ctx_counters_[context_id];
+        cc.bytes_out += take;
+        ++cc.records_out;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_seal, context_id,
+                   take, 3);
         write_units_.push_back(std::move(wire));
         off += take;
     } while (off < data.size());
     return {};
+}
+
+obs::SessionStats Session::session_stats() const
+{
+    obs::SessionStats s;
+    s.actor = actor_name_;
+    s.established = state_ == State::established || state_ == State::closed;
+    if (failure_.failed()) s.failure = failure_.message;
+    s.handshake_wire_bytes = handshake_wire_bytes_;
+    s.app_overhead_bytes = app_overhead_bytes_;
+    s.app_records_sent = app_records_sent_;
+    s.app_records_received = app_records_received_;
+    s.macs_generated = macs_generated_;
+    s.macs_verified = macs_verified_;
+    s.mac_failures = mac_failures_;
+    s.alerts_sent = alerts_sent_;
+    s.alerts_received = alerts_received_;
+    // Report every negotiated context, including idle ones, so callers see
+    // the full permission matrix shape in a single snapshot.
+    for (const auto& ctx : contexts_) {
+        obs::ContextStats cs;
+        cs.name = ctx.purpose.empty() ? "ctx" + std::to_string(ctx.id) : ctx.purpose;
+        cs.id = ctx.id;
+        auto it = ctx_counters_.find(ctx.id);
+        if (it != ctx_counters_.end()) {
+            cs.bytes_out = it->second.bytes_out;
+            cs.bytes_in = it->second.bytes_in;
+            cs.records_out = it->second.records_out;
+            cs.records_in = it->second.records_in;
+        }
+        s.contexts.push_back(std::move(cs));
+    }
+    return s;
 }
 
 std::vector<AppChunk> Session::take_app_data()

@@ -18,6 +18,7 @@
 
 #include "crypto/ops.h"
 #include "mctls/context_crypto.h"
+#include "obs/obs.h"
 #include "mctls/messages.h"
 #include "mctls/transcript.h"
 #include "mctls/types.h"
@@ -56,6 +57,10 @@ struct SessionConfig {
 
     Rng* rng = nullptr;
     crypto::OpCounters* ops = nullptr;
+    // Optional telemetry (see src/obs/): events are emitted under
+    // `trace_actor` (defaults to "mctls-client"/"mctls-server").
+    obs::Tracer* tracer = nullptr;
+    std::string trace_actor;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -117,6 +122,12 @@ public:
     uint64_t handshake_wire_bytes() const { return handshake_wire_bytes_; }
     uint64_t app_overhead_bytes() const { return app_overhead_bytes_; }
     uint64_t app_records_sent() const { return app_records_sent_; }
+
+    // Telemetry snapshot: per-context byte/record counters plus MAC totals
+    // under the endpoint–writer–reader scheme (3 MACs generated per sealed
+    // record; 2 verified per record opened at an endpoint). Counters are
+    // plain integers maintained unconditionally.
+    obs::SessionStats session_stats() const;
 
 private:
     enum class State {
@@ -224,6 +235,23 @@ private:
     uint64_t handshake_wire_bytes_ = 0;
     uint64_t app_overhead_bytes_ = 0;
     uint64_t app_records_sent_ = 0;
+
+    // Telemetry (see session_stats()).
+    struct CtxCounters {
+        uint64_t bytes_out = 0;
+        uint64_t bytes_in = 0;
+        uint64_t records_out = 0;
+        uint64_t records_in = 0;
+    };
+    uint16_t trace_actor_ = 0;
+    std::string actor_name_;
+    std::map<uint8_t, CtxCounters> ctx_counters_;
+    uint64_t app_records_received_ = 0;
+    uint64_t macs_generated_ = 0;
+    uint64_t macs_verified_ = 0;
+    uint64_t mac_failures_ = 0;
+    uint64_t alerts_sent_ = 0;
+    uint64_t alerts_received_ = 0;
 };
 
 }  // namespace mct::mctls

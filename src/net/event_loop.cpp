@@ -7,6 +7,7 @@ namespace mct::net {
 void EventLoop::schedule_at(SimTime when, std::function<void()> fn)
 {
     if (when < now_) throw std::logic_error("EventLoop: scheduling into the past");
+    ++events_scheduled_;
     queue_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
@@ -19,6 +20,7 @@ size_t EventLoop::run()
         now_ = ev.when;
         ev.fn();
         ++count;
+        ++events_run_;
     }
     return count;
 }
@@ -32,6 +34,7 @@ size_t EventLoop::run_until(SimTime deadline)
         now_ = ev.when;
         ev.fn();
         ++count;
+        ++events_run_;
     }
     now_ = std::max(now_, deadline);
     return count;

@@ -40,6 +40,11 @@ public:
     bool idle() const { return queue_.empty(); }
     size_t pending() const { return queue_.size(); }
 
+    // Lifetime totals, cheap enough to keep unconditionally: how many events
+    // ever ran and how many were ever scheduled (telemetry surface).
+    uint64_t events_run() const { return events_run_; }
+    uint64_t events_scheduled() const { return events_scheduled_; }
+
 private:
     struct Event {
         SimTime when;
@@ -55,6 +60,8 @@ private:
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     SimTime now_ = 0;
     uint64_t next_seq_ = 0;
+    uint64_t events_run_ = 0;
+    uint64_t events_scheduled_ = 0;
 };
 
 }  // namespace mct::net

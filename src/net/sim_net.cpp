@@ -47,6 +47,8 @@ void Connection::close()
 void Connection::abort()
 {
     if (fin_queued_) return;
+    obs::trace_at(tracer_, loop_->now(), trace_actor_, obs::EventType::net_conn_abort, 0,
+                  window_.size() - next_offset_);
     window_.resize(next_offset_);  // discard bytes never handed to the wire
     fin_queued_ = true;
     if (established_) pump();
@@ -55,6 +57,7 @@ void Connection::abort()
 void Connection::establish()
 {
     established_ = true;
+    obs::trace_at(tracer_, loop_->now(), trace_actor_, obs::EventType::net_conn_established);
     if (on_connect_) on_connect_();
     pump();
 }
@@ -168,6 +171,9 @@ void Connection::on_rto()
         if (++rto_failures_ >= kMaxRtoFailures) {
             // Reset: the peer is unreachable. Surface EOF so the
             // application fails typed instead of retrying forever.
+            obs::trace_at(tracer_, loop_->now(), trace_actor_,
+                          obs::EventType::net_rto_giveup, 0,
+                          static_cast<uint64_t>(rto_failures_));
             if (on_close_) {
                 VoidCallback cb = std::exchange(on_close_, nullptr);
                 cb();
@@ -211,10 +217,27 @@ void SimNet::listen(const std::string& host, uint16_t port, AcceptCallback on_ac
     listeners_[{host, port}] = std::move(on_accept);
 }
 
+void SimNet::set_tracer(obs::Tracer* tracer)
+{
+    tracer_ = tracer;
+    if (tracer_) trace_actor_ = tracer_->intern("net");
+    for (auto& conn : connections_) {
+        conn->tracer_ = tracer_;
+        conn->trace_actor_ = trace_actor_;
+    }
+}
+
 void SimNet::set_link_down(const std::string& a, const std::string& b, bool down)
 {
     link_between(a, b)->set_down(down);
     link_between(b, a)->set_down(down);
+    // Fault events carry the monotonic sim clock so a recovery trace is
+    // orderable against session/handshake events.
+    if (tracer_) {
+        uint16_t actor = tracer_->intern("link:" + a + "-" + b);
+        obs::trace_at(tracer_, loop_.now(), actor,
+                      down ? obs::EventType::net_link_down : obs::EventType::net_link_up);
+    }
 }
 
 ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, uint16_t port)
@@ -233,6 +256,10 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
     bool lossy = forward->lossy() || reverse->lossy();
     client->rto_enabled_ = lossy;
     server->rto_enabled_ = lossy;
+    client->tracer_ = tracer_;
+    client->trace_actor_ = trace_actor_;
+    server->tracer_ = tracer_;
+    server->trace_actor_ = trace_actor_;
     connections_.push_back(client);
     connections_.push_back(server);
 
@@ -250,9 +277,16 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
     *send_syn = [this, forward, reverse, server, client_raw, on_accept, weak_syn, lossy,
                  syn_attempts] {
         if (client_raw->established_) return;
+        if (*syn_attempts > 0)
+            obs::trace_at(client_raw->tracer_, loop_.now(), client_raw->trace_actor_,
+                          obs::EventType::net_syn_retry, 0,
+                          static_cast<uint64_t>(*syn_attempts));
         if (++*syn_attempts > 8) {
             // Connection timed out (e.g. the far host is partitioned away):
             // report EOF instead of retrying the SYN forever.
+            obs::trace_at(client_raw->tracer_, loop_.now(), client_raw->trace_actor_,
+                          obs::EventType::net_rto_giveup, 0,
+                          static_cast<uint64_t>(*syn_attempts));
             if (client_raw->on_close_) {
                 VoidCallback cb = std::exchange(client_raw->on_close_, nullptr);
                 cb();

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -151,6 +152,12 @@ private:
     DataCallback on_data_;
     VoidCallback on_close_;
 
+    // Telemetry: fault/lifecycle events are stamped with the loop clock
+    // (loop_->now()) so recovery traces are orderable on the sim timeline —
+    // never a wall clock.
+    obs::Tracer* tracer_ = nullptr;
+    uint16_t trace_actor_ = 0;
+
     uint64_t app_bytes_sent_ = 0;
     uint64_t app_bytes_received_ = 0;
     uint64_t wire_bytes_sent_ = 0;
@@ -184,6 +191,10 @@ public:
     // The returned connection fires on_connect once the handshake completes.
     ConnectionPtr connect(const std::string& from, const std::string& to, uint16_t port);
 
+    // Attach a tracer: link up/down, connection lifecycle, and loss-recovery
+    // events are emitted with monotonic sim-time timestamps (loop_.now()).
+    void set_tracer(obs::Tracer* tracer);
+
     EventLoop& loop() { return loop_; }
 
 private:
@@ -196,6 +207,8 @@ private:
     std::map<std::pair<std::string, uint16_t>, AcceptCallback> listeners_;
     std::vector<ConnectionPtr> connections_;  // keep-alive for the sim's lifetime
     std::vector<std::shared_ptr<std::function<void()>>> syn_closures_;
+    obs::Tracer* tracer_ = nullptr;
+    uint16_t trace_actor_ = 0;
 };
 
 }  // namespace mct::net

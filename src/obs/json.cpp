@@ -1,0 +1,243 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mct::obs {
+
+void JsonWriter::value(double v)
+{
+    comma();
+    if (!std::isfinite(v)) {
+        out_->append("null");  // JSON has no Inf/NaN
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_->append(buf);
+}
+
+void JsonWriter::write_string(std::string_view s)
+{
+    out_->push_back('"');
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out_->append("\\\"");
+            break;
+        case '\\':
+            out_->append("\\\\");
+            break;
+        case '\n':
+            out_->append("\\n");
+            break;
+        case '\t':
+            out_->append("\\t");
+            break;
+        case '\r':
+            out_->append("\\r");
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out_->append(buf);
+            } else {
+                out_->push_back(c);
+            }
+        }
+    }
+    out_->push_back('"');
+}
+
+namespace {
+
+struct Parser {
+    std::string_view text;
+    size_t pos = 0;
+
+    void skip_ws()
+    {
+        while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool eof() { return pos >= text.size(); }
+    char peek() { return text[pos]; }
+
+    Result<JsonValue> parse_value()
+    {
+        skip_ws();
+        if (eof()) return err("json: unexpected end of input");
+        char c = peek();
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return parse_string_value();
+        if (c == 't' || c == 'f') return parse_bool();
+        if (c == 'n') return parse_null();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
+        return err("json: unexpected character");
+    }
+
+    Result<JsonValue> parse_object()
+    {
+        ++pos;  // '{'
+        JsonValue v;
+        v.kind = JsonValue::Kind::object;
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skip_ws();
+            if (eof() || peek() != '"') return err("json: expected object key");
+            auto key = parse_raw_string();
+            if (!key) return err(key.error().message);
+            skip_ws();
+            if (eof() || peek() != ':') return err("json: expected ':'");
+            ++pos;
+            auto val = parse_value();
+            if (!val) return val;
+            v.fields[key.take()] = val.take();
+            skip_ws();
+            if (eof()) return err("json: unterminated object");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return v;
+            }
+            return err("json: expected ',' or '}'");
+        }
+    }
+
+    Result<JsonValue> parse_array()
+    {
+        ++pos;  // '['
+        JsonValue v;
+        v.kind = JsonValue::Kind::array;
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            auto val = parse_value();
+            if (!val) return val;
+            v.items.push_back(val.take());
+            skip_ws();
+            if (eof()) return err("json: unterminated array");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return v;
+            }
+            return err("json: expected ',' or ']'");
+        }
+    }
+
+    Result<std::string> parse_raw_string()
+    {
+        ++pos;  // opening quote
+        std::string out;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"') return out;
+            if (c == '\\') {
+                if (pos >= text.size()) break;
+                char e = text[pos++];
+                switch (e) {
+                case 'n':
+                    out.push_back('\n');
+                    break;
+                case 't':
+                    out.push_back('\t');
+                    break;
+                case 'r':
+                    out.push_back('\r');
+                    break;
+                case 'u':
+                    // Pass the 4 hex digits through untranslated; trace/bench
+                    // output only ever escapes control characters.
+                    out.append("\\u");
+                    break;
+                default:
+                    out.push_back(e);
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        return err("json: unterminated string");
+    }
+
+    Result<JsonValue> parse_string_value()
+    {
+        auto s = parse_raw_string();
+        if (!s) return err(s.error().message);
+        JsonValue v;
+        v.kind = JsonValue::Kind::string;
+        v.str = s.take();
+        return v;
+    }
+
+    Result<JsonValue> parse_bool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::boolean;
+        if (text.substr(pos, 4) == "true") {
+            v.b = true;
+            pos += 4;
+            return v;
+        }
+        if (text.substr(pos, 5) == "false") {
+            v.b = false;
+            pos += 5;
+            return v;
+        }
+        return err("json: bad literal");
+    }
+
+    Result<JsonValue> parse_null()
+    {
+        if (text.substr(pos, 4) != "null") return err("json: bad literal");
+        pos += 4;
+        return JsonValue{};
+    }
+
+    Result<JsonValue> parse_number()
+    {
+        size_t start = pos;
+        if (peek() == '-') ++pos;
+        while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                          peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                          peek() == '+' || peek() == '-'))
+            ++pos;
+        JsonValue v;
+        v.kind = JsonValue::Kind::number;
+        v.num = std::strtod(std::string(text.substr(start, pos - start)).c_str(), nullptr);
+        return v;
+    }
+};
+
+}  // namespace
+
+Result<JsonValue> json_parse(std::string_view text)
+{
+    Parser p{text};
+    auto v = p.parse_value();
+    if (!v) return v;
+    p.skip_ws();
+    if (!p.eof()) return err("json: trailing garbage");
+    return v;
+}
+
+}  // namespace mct::obs

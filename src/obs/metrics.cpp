@@ -1,0 +1,114 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace mct::obs {
+
+size_t Histogram::bucket_index(uint64_t v)
+{
+    if (v == 0) return 0;
+    int octave = std::bit_width(v) - 1;  // floor(log2(v))
+    if (octave >= kOctaves) return kBucketCount - 1;
+    uint64_t base = uint64_t{1} << octave;
+    uint64_t sub = ((v - base) * kSubBuckets) >> octave;
+    return 1 + static_cast<size_t>(octave) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::bucket_lower_bound(size_t idx)
+{
+    if (idx == 0) return 0;
+    if (idx >= kBucketCount - 1) return uint64_t{1} << kOctaves;
+    size_t i = idx - 1;
+    size_t octave = i / kSubBuckets;
+    size_t sub = i % kSubBuckets;
+    uint64_t base = uint64_t{1} << octave;
+    return base + (base * sub) / kSubBuckets;
+}
+
+void Histogram::record(uint64_t v)
+{
+    buckets_[bucket_index(v)]++;
+    sum_ += v;
+    if (count_ == 0 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+    count_++;
+}
+
+uint64_t Histogram::quantile(double q) const
+{
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    auto rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+    if (rank == 0) rank = 1;
+    uint64_t cum = 0;
+    for (size_t i = 0; i < kBucketCount; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            uint64_t est = bucket_lower_bound(i);
+            if (est < min_) est = min_;
+            if (est > max_) est = max_;
+            return est;
+        }
+    }
+    return max_;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name)
+{
+    auto it = counters_.find(std::string(name));
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+    return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name)
+{
+    auto it = histograms_.find(std::string(name));
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+    return it->second.get();
+}
+
+void MetricsRegistry::to_json(std::string* out) const
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : counters_) {
+        w.key(name);
+        w.value(c->value());
+    }
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : histograms_) {
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(h->count());
+        w.key("sum");
+        w.value(h->sum());
+        w.key("min");
+        w.value(h->min());
+        w.key("max");
+        w.value(h->max());
+        w.key("mean");
+        w.value(h->mean());
+        w.key("p50");
+        w.value(h->quantile(0.50));
+        w.key("p90");
+        w.value(h->quantile(0.90));
+        w.key("p99");
+        w.value(h->quantile(0.99));
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+}
+
+}  // namespace mct::obs

@@ -1,0 +1,81 @@
+// Named counters and log-linear histograms for session/bench telemetry.
+//
+// The registry owns its instruments and hands out stable pointers, so hot
+// paths do one lookup up front and then touch a plain uint64 per event — no
+// allocation, no hashing per record. Histograms use log-linear buckets
+// (kSubBuckets linear sub-buckets per power of two), the standard shape for
+// latency/size distributions: relative error is bounded by 1/kSubBuckets
+// while the whole distribution fits in a fixed array.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mct::obs {
+
+class Counter {
+public:
+    void add(uint64_t n = 1) { value_ += n; }
+    void set(uint64_t v) { value_ = v; }
+    uint64_t value() const { return value_; }
+
+private:
+    uint64_t value_ = 0;
+};
+
+class Histogram {
+public:
+    // Bucket layout: [0] holds exact zeros, then kOctaves * kSubBuckets
+    // log-linear buckets covering [1, 2^kOctaves), then one overflow bucket.
+    static constexpr int kSubBuckets = 4;
+    static constexpr int kOctaves = 40;
+    static constexpr int kBucketCount = 1 + kOctaves * kSubBuckets + 1;
+
+    void record(uint64_t v);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+    // Quantile estimate from bucket lower bounds, clamped to the observed
+    // [min, max] so single-sample and extreme quantiles are exact. q is
+    // clamped to [0, 1]; an empty histogram reports 0.
+    uint64_t quantile(double q) const;
+
+    uint64_t bucket_count_at(size_t idx) const { return buckets_[idx]; }
+    static size_t bucket_index(uint64_t v);
+    static uint64_t bucket_lower_bound(size_t idx);
+
+private:
+    uint64_t buckets_[kBucketCount] = {};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+// Get-or-create registry of named instruments. Pointers remain valid for the
+// registry's lifetime. Not thread-safe (the simulator is single-threaded).
+class MetricsRegistry {
+public:
+    Counter* counter(std::string_view name);
+    Histogram* histogram(std::string_view name);
+
+    const std::map<std::string, std::unique_ptr<Counter>>& counters() const { return counters_; }
+    const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const { return histograms_; }
+
+    // One JSON object: {"counters":{name:value,...},
+    //                   "histograms":{name:{count,sum,min,max,mean,p50,p90,p99},...}}
+    void to_json(std::string* out) const;
+
+private:
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mct::obs

@@ -1,0 +1,80 @@
+#include "obs/obs.h"
+
+#include "obs/json.h"
+
+namespace mct::obs {
+
+void SessionStats::to_json(std::string* out) const
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("actor");
+    w.value(actor);
+    w.key("established");
+    w.value(established);
+    w.key("failure");
+    w.value(failure);
+    w.key("handshake_wire_bytes");
+    w.value(handshake_wire_bytes);
+    w.key("app_overhead_bytes");
+    w.value(app_overhead_bytes);
+    w.key("app_records_sent");
+    w.value(app_records_sent);
+    w.key("app_records_received");
+    w.value(app_records_received);
+    w.key("macs_generated");
+    w.value(macs_generated);
+    w.key("macs_verified");
+    w.value(macs_verified);
+    w.key("mac_failures");
+    w.value(mac_failures);
+    w.key("alerts_sent");
+    w.value(alerts_sent);
+    w.key("alerts_received");
+    w.value(alerts_received);
+    w.key("contexts");
+    w.begin_array();
+    for (const auto& c : contexts) {
+        w.begin_object();
+        w.key("name");
+        w.value(c.name);
+        w.key("id");
+        w.value(static_cast<uint64_t>(c.id));
+        w.key("bytes_out");
+        w.value(c.bytes_out);
+        w.key("bytes_in");
+        w.value(c.bytes_in);
+        w.key("records_out");
+        w.value(c.records_out);
+        w.key("records_in");
+        w.value(c.records_in);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+void Hub::publish(const std::string& prefix, const SessionStats& s)
+{
+    auto set = [&](const std::string& name, uint64_t v) {
+        metrics.counter(prefix + "." + name)->set(v);
+    };
+    set("established", s.established ? 1 : 0);
+    set("handshake_wire_bytes", s.handshake_wire_bytes);
+    set("app_overhead_bytes", s.app_overhead_bytes);
+    set("app_records_sent", s.app_records_sent);
+    set("app_records_received", s.app_records_received);
+    set("macs_generated", s.macs_generated);
+    set("macs_verified", s.macs_verified);
+    set("mac_failures", s.mac_failures);
+    set("alerts_sent", s.alerts_sent);
+    set("alerts_received", s.alerts_received);
+    for (const auto& c : s.contexts) {
+        set("ctx." + c.name + ".bytes_out", c.bytes_out);
+        set("ctx." + c.name + ".bytes_in", c.bytes_in);
+        set("ctx." + c.name + ".records_out", c.records_out);
+        set("ctx." + c.name + ".records_in", c.records_in);
+    }
+}
+
+}  // namespace mct::obs

@@ -1,0 +1,70 @@
+// Top-level observability surface: the Hub bundles one MetricsRegistry and
+// one Tracer per simulation/testbed run, and SessionStats is the uniform
+// snapshot every secure session (tls::Session, mctls::Session,
+// mctls::MiddleboxSession, the HTTP channels) can produce on demand.
+//
+// Sessions do NOT write the registry on their hot paths — they bump plain
+// local uint64 members (the same idiom as the pre-existing
+// handshake_wire_bytes_ counters) and assemble a SessionStats snapshot when
+// asked. Hub::publish() folds a snapshot into the registry under a name
+// prefix, which is how benches and the testbed aggregate across sessions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mct::obs {
+
+// Per-encryption-context byte/record accounting (mcTLS contexts; baseline
+// TLS sessions report a single pseudo-context).
+struct ContextStats {
+    std::string name;
+    uint16_t id = 0;
+    uint64_t bytes_out = 0;    // plaintext payload bytes sealed
+    uint64_t bytes_in = 0;     // plaintext payload bytes opened
+    uint64_t records_out = 0;
+    uint64_t records_in = 0;
+};
+
+struct SessionStats {
+    std::string actor;
+    bool established = false;
+    std::string failure;  // empty when healthy
+
+    uint64_t handshake_wire_bytes = 0;
+    uint64_t app_overhead_bytes = 0;
+    uint64_t app_records_sent = 0;
+    uint64_t app_records_received = 0;
+
+    // MAC accounting for the endpoint–writer–reader scheme: an endpoint
+    // generates 3 MACs per sealed record; a receiving endpoint verifies 2
+    // (writer MAC + endpoint MAC check); a middlebox verifies 1 per record
+    // it opens. Baseline TLS counts its single per-record MAC here.
+    uint64_t macs_generated = 0;
+    uint64_t macs_verified = 0;
+    uint64_t mac_failures = 0;
+
+    uint64_t alerts_sent = 0;
+    uint64_t alerts_received = 0;
+
+    std::vector<ContextStats> contexts;
+
+    void to_json(std::string* out) const;
+};
+
+struct Hub {
+    MetricsRegistry metrics;
+    Tracer tracer;
+
+    // Fold a snapshot into the registry as counters named
+    // "<prefix>.handshake_wire_bytes", "<prefix>.ctx.<name>.bytes_out", etc.
+    // Counters are set (not added): re-publishing the same session updates
+    // in place.
+    void publish(const std::string& prefix, const SessionStats& s);
+};
+
+}  // namespace mct::obs

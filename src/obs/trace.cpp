@@ -1,0 +1,96 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace mct::obs {
+
+const char* to_string(EventType t)
+{
+    switch (t) {
+    case EventType::hs_start: return "hs_start";
+    case EventType::hs_client_hello: return "hs_client_hello";
+    case EventType::hs_server_flight: return "hs_server_flight";
+    case EventType::hs_mbox_hello: return "hs_mbox_hello";
+    case EventType::hs_key_distribution: return "hs_key_distribution";
+    case EventType::hs_finished_sent: return "hs_finished_sent";
+    case EventType::hs_finished_verified: return "hs_finished_verified";
+    case EventType::hs_complete: return "hs_complete";
+    case EventType::hs_failed: return "hs_failed";
+    case EventType::record_seal: return "record_seal";
+    case EventType::record_open: return "record_open";
+    case EventType::mac_verify_fail: return "mac_verify_fail";
+    case EventType::mbox_forward_blind: return "mbox_forward_blind";
+    case EventType::mbox_read: return "mbox_read";
+    case EventType::mbox_write_pass: return "mbox_write_pass";
+    case EventType::mbox_rewrite: return "mbox_rewrite";
+    case EventType::alert_sent: return "alert_sent";
+    case EventType::alert_received: return "alert_received";
+    case EventType::session_close: return "session_close";
+    case EventType::net_link_down: return "net_link_down";
+    case EventType::net_link_up: return "net_link_up";
+    case EventType::net_conn_established: return "net_conn_established";
+    case EventType::net_conn_abort: return "net_conn_abort";
+    case EventType::net_conn_closed: return "net_conn_closed";
+    case EventType::net_rto_giveup: return "net_rto_giveup";
+    case EventType::net_syn_retry: return "net_syn_retry";
+    case EventType::fault_injected: return "fault_injected";
+    case EventType::attempt_start: return "attempt_start";
+    case EventType::attempt_failed: return "attempt_failed";
+    case EventType::fetch_complete: return "fetch_complete";
+    case EventType::tls_fallback: return "tls_fallback";
+    }
+    return "unknown";
+}
+
+std::vector<TraceEvent> RingBufferSink::ordered() const
+{
+    std::vector<TraceEvent> out;
+    uint64_t start = next_ > capacity_ ? next_ - capacity_ : 0;
+    out.reserve(next_ - start);
+    for (uint64_t i = start; i < next_; ++i) out.push_back(buffer_[i % capacity_]);
+    return out;
+}
+
+void event_to_json(const TraceEvent& e, const Tracer& tracer, std::string* out)
+{
+    JsonWriter w(out);
+    w.begin_object();
+    w.key("seq");
+    w.value(e.seq);
+    w.key("ts");
+    w.value(e.ts);
+    w.key("actor");
+    w.value(tracer.actor_name(e.actor));
+    w.key("type");
+    w.value(to_string(e.type));
+    w.key("ctx");
+    w.value(static_cast<uint64_t>(e.ctx));
+    w.key("a");
+    w.value(e.a);
+    w.key("b");
+    w.value(e.b);
+    w.end_object();
+}
+
+void JsonlFileSink::on_event(const TraceEvent& e, const Tracer& tracer)
+{
+    std::string line;
+    event_to_json(e, tracer, &line);
+    line.push_back('\n');
+    out_ << line;
+}
+
+uint16_t Tracer::intern(std::string_view name)
+{
+    for (size_t i = 0; i < actors_.size(); ++i)
+        if (actors_[i] == name) return static_cast<uint16_t>(i);
+    actors_.emplace_back(name);
+    return static_cast<uint16_t>(actors_.size() - 1);
+}
+
+const std::string& Tracer::actor_name(uint16_t id) const
+{
+    return id < actors_.size() ? actors_[id] : actors_[0];
+}
+
+}  // namespace mct::obs

@@ -22,6 +22,10 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
 {
     if (!cfg_.rng) throw std::invalid_argument("tls::Session: rng is required");
     state_ = cfg_.role == Role::client ? State::idle : State::wait_client_hello;
+    actor_name_ = cfg_.trace_actor.empty()
+                      ? (cfg_.role == Role::client ? "tls-client" : "tls-server")
+                      : cfg_.trace_actor;
+    if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
 }
 
 Status Session::fail(std::string message)
@@ -38,9 +42,13 @@ Status Session::fail(AlertDescription description, std::string message)
 Status Session::fail_with(SessionError::Origin origin, AlertDescription description,
                           std::string message, bool emit_alert)
 {
+    bool in_handshake = state_ != State::established && state_ != State::closed;
     state_ = State::failed;
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
+    if (in_handshake)
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+                   static_cast<uint64_t>(description));
     // Fatal alert to the peer, best effort (never in response to the peer's
     // own fatal alert, which would just echo noise at a dead session).
     if (emit_alert) send_alert(fatal_alert(description));
@@ -51,12 +59,18 @@ void Session::send_alert(const Alert& alert)
 {
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
     alert_sent_ = alert;
+    ++alerts_sent_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, 0,
+               static_cast<uint64_t>(alert.description));
     queue_record({ContentType::alert, 0, alert.serialize()}, /*own_unit=*/true);
 }
 
 Status Session::handle_alert(const Alert& alert)
 {
     peer_alert_ = alert;
+    ++alerts_received_;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, 0,
+               static_cast<uint64_t>(alert.description));
     if (alert.is_close_notify()) {
         peer_close_received_ = true;
         if (state_ == State::closed) return {};
@@ -94,6 +108,7 @@ void Session::close()
 {
     if (state_ == State::failed || close_sent_) return;
     close_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::session_close);
     send_alert(close_notify_alert());
     // Mid-handshake close abandons the session; an established session keeps
     // receiving until the peer's close_notify arrives.
@@ -163,6 +178,7 @@ void Session::start()
     queue_handshake(hello.to_message(), &flight);
     flush_flight(std::move(flight));
     state_ = State::wait_server_hello;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_start, 0, handshake_wire_bytes_);
 }
 
 Status Session::feed(ConstBytes wire)
@@ -218,8 +234,17 @@ Status Session::handle_record(const Record& record)
         if (state_ != State::established)
             return fail(AlertDescription::unexpected_message, "tls: early app data");
         auto plain = recv_protector_->unprotect(record.type, 0, record.payload);
-        if (!plain)
+        if (!plain) {
+            ++mac_failures_;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail, 0,
+                       record.payload.size());
             return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
+        }
+        ++macs_verified_;
+        ++app_records_received_;
+        app_bytes_received_ += plain.value().size();
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, 0,
+                   plain.value().size(), 1);
         append(app_data_, plain.value());
         return {};
     }
@@ -283,6 +308,8 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
     case HandshakeType::server_hello_done: {
         if (peer_dh_public_.empty())
             return fail(AlertDescription::unexpected_message, "tls: hello done before SKE");
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+                   handshake_wire_bytes_);
         derive_keys();
 
         Bytes flight;
@@ -302,6 +329,8 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
 {
     if (msg.type != HandshakeType::client_hello)
         return fail(AlertDescription::unexpected_message, "tls: expected ClientHello");
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello, 0,
+               msg.body.size());
     Bytes wire = msg.serialize();
     append(transcript_, wire);
     crypto::count_hash(cfg_.ops);
@@ -384,6 +413,7 @@ void Session::derive_keys()
         send_protector_ = std::make_unique<CbcHmacProtector>(server_key, server_mac);
         recv_protector_ = std::make_unique<CbcHmacProtector>(client_key, client_mac);
     }
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0, 1);
 }
 
 Bytes Session::finished_verify_data(const char* label) const
@@ -409,6 +439,7 @@ void Session::send_ccs_and_finished(Bytes*)
         send_protector_->protect(ContentType::handshake, 0, wire, *cfg_.rng);
     crypto::count_enc(cfg_.ops);
     queue_record({ContentType::handshake, 0, protected_payload}, /*own_unit=*/false);
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
 }
 
 Status Session::handle_finished(const HandshakeMessage& msg)
@@ -426,9 +457,12 @@ Status Session::handle_finished(const HandshakeMessage& msg)
 
     append(transcript_, msg.serialize());
     crypto::count_hash(cfg_.ops);
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
 
     if (cfg_.role == Role::server) send_ccs_and_finished(nullptr);
     state_ = State::established;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+               handshake_wire_bytes_);
     return {};
 }
 
@@ -446,10 +480,39 @@ Status Session::send_app_data(ConstBytes data)
         Bytes wire = codec_.encode(rec);
         app_overhead_bytes_ += wire.size() - chunk.size();
         ++app_records_sent_;
+        ++macs_generated_;
+        app_bytes_sent_ += chunk.size();
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_seal, 0, chunk.size(), 1);
         write_units_.push_back(std::move(wire));
         off += take;
     } while (off < data.size());
     return {};
+}
+
+obs::SessionStats Session::session_stats() const
+{
+    obs::SessionStats s;
+    s.actor = actor_name_;
+    s.established = state_ == State::established || state_ == State::closed;
+    if (failure_.failed()) s.failure = failure_.message;
+    s.handshake_wire_bytes = handshake_wire_bytes_;
+    s.app_overhead_bytes = app_overhead_bytes_;
+    s.app_records_sent = app_records_sent_;
+    s.app_records_received = app_records_received_;
+    s.macs_generated = macs_generated_;
+    s.macs_verified = macs_verified_;
+    s.mac_failures = mac_failures_;
+    s.alerts_sent = alerts_sent_;
+    s.alerts_received = alerts_received_;
+    obs::ContextStats app;
+    app.name = "app";
+    app.id = 0;
+    app.bytes_out = app_bytes_sent_;
+    app.bytes_in = app_bytes_received_;
+    app.records_out = app_records_sent_;
+    app.records_in = app_records_received_;
+    s.contexts.push_back(std::move(app));
+    return s;
 }
 
 Bytes Session::take_app_data()

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "crypto/ops.h"
+#include "obs/obs.h"
 #include "pki/trust_store.h"
 #include "tls/alert.h"
 #include "tls/messages.h"
@@ -40,6 +41,10 @@ struct SessionConfig {
     const pki::TrustStore* trust = nullptr;
     Rng* rng = nullptr;  // required
     crypto::OpCounters* ops = nullptr;
+    // Optional telemetry (see src/obs/): events are emitted under
+    // `trace_actor` (defaults to "tls-client"/"tls-server").
+    obs::Tracer* tracer = nullptr;
+    std::string trace_actor;
     uint64_t now = 100;  // certificate validity check time
     // Handshake deadline for tick(), in the caller's clock units (the
     // deadline arms at the first tick() call). 0 disables the deadline.
@@ -96,6 +101,11 @@ public:
     // MAC+padding+header overhead of protected app records sent (§5.2).
     uint64_t app_overhead_bytes() const { return app_overhead_bytes_; }
     uint64_t app_records_sent() const { return app_records_sent_; }
+
+    // Telemetry snapshot (counters are maintained unconditionally; they are
+    // plain integers on paths that already do crypto work). Baseline TLS
+    // reports its single record stream as one pseudo-context named "app".
+    obs::SessionStats session_stats() const;
 
     const std::vector<pki::Certificate>& peer_chain() const { return peer_chain_; }
 
@@ -165,6 +175,18 @@ private:
     uint64_t handshake_wire_bytes_ = 0;
     uint64_t app_overhead_bytes_ = 0;
     uint64_t app_records_sent_ = 0;
+
+    // Telemetry (see session_stats()).
+    uint16_t trace_actor_ = 0;
+    std::string actor_name_;
+    uint64_t app_records_received_ = 0;
+    uint64_t app_bytes_sent_ = 0;
+    uint64_t app_bytes_received_ = 0;
+    uint64_t macs_generated_ = 0;
+    uint64_t macs_verified_ = 0;
+    uint64_t mac_failures_ = 0;
+    uint64_t alerts_sent_ = 0;
+    uint64_t alerts_received_ = 0;
 };
 
 }  // namespace mct::tls

@@ -1,0 +1,148 @@
+// Metrics registry and log-linear histogram behaviour, including the three
+// quantile edge cases the telemetry consumers rely on: empty, single-sample,
+// and overflow-bucket.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace mct::obs {
+namespace {
+
+TEST(Counter, AddAndSet)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Histogram, EmptyReportsZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, SingleSampleQuantilesAreExact)
+{
+    Histogram h;
+    h.record(37);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), 37u);
+    EXPECT_EQ(h.min(), 37u);
+    EXPECT_EQ(h.max(), 37u);
+    // Clamping to [min, max] collapses every quantile onto the sample.
+    EXPECT_EQ(h.quantile(0.0), 37u);
+    EXPECT_EQ(h.quantile(0.5), 37u);
+    EXPECT_EQ(h.quantile(0.99), 37u);
+    EXPECT_EQ(h.quantile(1.0), 37u);
+}
+
+TEST(Histogram, ZeroValuesLandInZeroBucket)
+{
+    Histogram h;
+    h.record(0);
+    h.record(0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(Histogram::bucket_index(0), 0u);
+}
+
+TEST(Histogram, OverflowBucketClampsToObservedMax)
+{
+    Histogram h;
+    uint64_t huge = uint64_t(1) << 41;  // beyond the 2^40 octave range
+    h.record(huge);
+    EXPECT_EQ(Histogram::bucket_index(huge), size_t(Histogram::kBucketCount - 1));
+    EXPECT_EQ(h.max(), huge);
+    // The overflow bucket's lower bound (2^40) is below the sample; the
+    // [min, max] clamp pulls the estimate up to the exact observed value.
+    EXPECT_EQ(h.quantile(0.5), huge);
+    EXPECT_EQ(h.quantile(1.0), huge);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 1000u);
+    // Log-linear buckets with 4 sub-buckets: estimates sit at bucket lower
+    // bounds, at most 25% below the true quantile.
+    uint64_t p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 375u);
+    EXPECT_LE(p50, 500u);
+    uint64_t p99 = h.quantile(0.99);
+    EXPECT_GE(p99, 742u);
+    EXPECT_LE(p99, 990u);
+    EXPECT_EQ(h.quantile(0.0), 1u);
+    EXPECT_LE(h.quantile(1.0), 1000u);
+}
+
+TEST(Histogram, BucketBoundsAreConsistent)
+{
+    // Values below 2^2 share bucket bounds (sub-buckets collapse when the
+    // octave base is smaller than kSubBuckets), so start at 4.
+    for (uint64_t v : {4u, 7u, 64u, 100u, 1459u, 1460u, 1u << 20}) {
+        size_t idx = Histogram::bucket_index(v);
+        EXPECT_LE(Histogram::bucket_lower_bound(idx), v) << "v=" << v;
+        if (idx + 1 < size_t(Histogram::kBucketCount) - 1) {
+            EXPECT_GT(Histogram::bucket_lower_bound(idx + 1), v) << "v=" << v;
+        }
+    }
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers)
+{
+    MetricsRegistry reg;
+    Counter* c1 = reg.counter("records");
+    Counter* c2 = reg.counter("records");
+    EXPECT_EQ(c1, c2);
+    c1->add(3);
+    EXPECT_EQ(reg.counter("records")->value(), 3u);
+    Histogram* h1 = reg.histogram("latency");
+    Histogram* h2 = reg.histogram("latency");
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(reg.counters().size(), 1u);
+    EXPECT_EQ(reg.histograms().size(), 1u);
+}
+
+TEST(MetricsRegistry, ToJsonRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("client.macs_generated")->set(9);
+    reg.histogram("ttfb")->record(120);
+    reg.histogram("ttfb")->record(240);
+    std::string out;
+    reg.to_json(&out);
+    auto doc = json_parse(out);
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    const JsonValue* counters = doc.value().get("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue* macs = counters->get("client.macs_generated");
+    ASSERT_NE(macs, nullptr);
+    EXPECT_DOUBLE_EQ(macs->num, 9.0);
+    const JsonValue* hists = doc.value().get("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue* ttfb = hists->get("ttfb");
+    ASSERT_NE(ttfb, nullptr);
+    ASSERT_NE(ttfb->get("count"), nullptr);
+    EXPECT_DOUBLE_EQ(ttfb->get("count")->num, 2.0);
+    ASSERT_NE(ttfb->get("p50"), nullptr);
+    ASSERT_NE(ttfb->get("mean"), nullptr);
+    EXPECT_DOUBLE_EQ(ttfb->get("mean")->num, 180.0);
+}
+
+}  // namespace
+}  // namespace mct::obs

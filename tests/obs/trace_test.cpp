@@ -1,0 +1,138 @@
+// Tracer, sinks, and JSON serialization. These tests drive the Tracer API
+// directly (not the compiled-out trace() helpers), so they hold under both
+// MCT_OBS=ON and OFF.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace mct::obs {
+namespace {
+
+TEST(Tracer, InternIsStableAndZeroIsReserved)
+{
+    Tracer t;
+    EXPECT_EQ(t.actor_name(0), "?");
+    uint16_t client = t.intern("client");
+    uint16_t server = t.intern("server");
+    EXPECT_NE(client, 0);
+    EXPECT_NE(client, server);
+    EXPECT_EQ(t.intern("client"), client);
+    EXPECT_EQ(t.actor_name(client), "client");
+    // Out-of-range ids degrade to the reserved name, never UB.
+    EXPECT_EQ(t.actor_name(9999), "?");
+}
+
+TEST(Tracer, EmitAssignsMonotonicSeqAndClockTimestamps)
+{
+    Tracer t;
+    RingBufferSink ring(16);
+    t.add_sink(&ring);
+    uint64_t fake_now = 100;
+    t.set_clock([&fake_now] { return fake_now; });
+    uint16_t actor = t.intern("client");
+    t.emit(actor, EventType::hs_start);
+    fake_now = 250;
+    t.emit(actor, EventType::hs_complete, 0, 1234);
+    t.emit_at(999, actor, EventType::session_close);
+
+    auto events = ring.ordered();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[2].seq, 2u);
+    EXPECT_EQ(events[0].ts, 100u);
+    EXPECT_EQ(events[1].ts, 250u);
+    EXPECT_EQ(events[1].a, 1234u);
+    EXPECT_EQ(events[2].ts, 999u);
+    EXPECT_EQ(t.events_emitted(), 3u);
+}
+
+TEST(RingBufferSink, KeepsMostRecentAndCountsDrops)
+{
+    Tracer t;
+    RingBufferSink ring(4);
+    t.add_sink(&ring);
+    uint16_t actor = t.intern("net");
+    for (int i = 0; i < 6; ++i)
+        t.emit(actor, EventType::record_seal, 1, static_cast<uint64_t>(i));
+    EXPECT_EQ(ring.total_seen(), 6u);
+    EXPECT_EQ(ring.dropped(), 2u);
+    auto events = ring.ordered();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].seq, i + 2);  // oldest two were overwritten
+        if (i > 0) {
+            EXPECT_GT(events[i].seq, events[i - 1].seq);
+        }
+    }
+}
+
+TEST(TraceEventJson, RoundTripsThroughParser)
+{
+    Tracer t;
+    uint16_t actor = t.intern("mbox0");
+    TraceEvent e{7, 123456, actor, EventType::mbox_rewrite, 2, 1460, 2};
+    std::string line;
+    event_to_json(e, t, &line);
+    auto doc = json_parse(line);
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    EXPECT_DOUBLE_EQ(doc.value().get("seq")->num, 7.0);
+    EXPECT_DOUBLE_EQ(doc.value().get("ts")->num, 123456.0);
+    EXPECT_EQ(doc.value().get("actor")->str, "mbox0");
+    EXPECT_EQ(doc.value().get("type")->str, "mbox_rewrite");
+    EXPECT_DOUBLE_EQ(doc.value().get("ctx")->num, 2.0);
+    EXPECT_DOUBLE_EQ(doc.value().get("a")->num, 1460.0);
+    EXPECT_DOUBLE_EQ(doc.value().get("b")->num, 2.0);
+}
+
+TEST(JsonlFileSink, OneParsableObjectPerLine)
+{
+    std::string path = ::testing::TempDir() + "mct_trace_test.jsonl";
+    {
+        Tracer t;
+        JsonlFileSink file(path);
+        ASSERT_TRUE(file.ok());
+        t.add_sink(&file);
+        uint16_t actor = t.intern("client");
+        t.emit(actor, EventType::hs_start);
+        t.emit(actor, EventType::record_seal, 1, 512, 3);
+        t.emit(actor, EventType::session_close);
+        t.flush();
+    }
+    std::ifstream in(path);
+    std::string line;
+    size_t lines = 0;
+    uint64_t last_seq = 0;
+    while (std::getline(in, line)) {
+        auto doc = json_parse(line);
+        ASSERT_TRUE(doc.ok()) << "line " << lines << ": " << doc.error().message;
+        uint64_t seq = static_cast<uint64_t>(doc.value().get("seq")->num);
+        if (lines > 0) {
+            EXPECT_GT(seq, last_seq);
+        }
+        last_seq = seq;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 3u);
+    std::remove(path.c_str());
+}
+
+TEST(EventType, NamesAreUniqueAndNonEmpty)
+{
+    // to_string must cover every enumerator (trace consumers key on names).
+    for (int i = 0; i <= static_cast<int>(EventType::tls_fallback); ++i) {
+        const char* name = to_string(static_cast<EventType>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+        EXPECT_STRNE(name, "?") << "enumerator " << i << " missing from to_string";
+    }
+}
+
+}  // namespace
+}  // namespace mct::obs
