@@ -47,6 +47,31 @@ Cps measure(RunFn&& run)
     return cps;
 }
 
+// Like measure(), but runs one untimed priming handshake to warm the caches
+// in `state`, then times only the abbreviated handshakes that follow.
+template <typename RunFn>
+Cps measure_resumed(size_t n_middleboxes, RunFn&& run)
+{
+    ResumeState state(n_middleboxes);
+    PartySeconds seconds;
+    TestRng rng(7);
+    if (!run(rng, state, nullptr)) {
+        std::fprintf(stderr, "priming handshake failed\n");
+        return {};
+    }
+    int handshakes = handshakes_per_point();
+    for (int i = 0; i < handshakes; ++i) {
+        if (!run(rng, state, &seconds)) {
+            std::fprintf(stderr, "resumed handshake failed\n");
+            return {};
+        }
+    }
+    Cps cps;
+    cps.server = seconds.server > 0 ? handshakes / seconds.server : 0;
+    cps.middlebox = seconds.middlebox > 0 ? handshakes / seconds.middlebox : 0;
+    return cps;
+}
+
 }  // namespace
 
 int main()
@@ -54,9 +79,10 @@ int main()
     BenchPki pki;
     BenchReport report("fig5_connections_per_sec");
     std::printf("=== Figure 5: connections per second vs #contexts ===\n\n");
-    std::printf("%-9s %-12s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s\n", "contexts",
-                "srv:mcTLS", "srv:mc(2mb)", "srv:mc(4mb)", "srv:Split", "srv:E2E",
-                "mbx:mcTLS", "mbx:Split", "mbx:E2E");
+    std::printf("%-9s %-12s %-12s %-12s %-12s %-12s | %-12s %-12s %-12s | %-12s %-12s\n",
+                "contexts", "srv:mcTLS", "srv:mc(2mb)", "srv:mc(4mb)", "srv:Split",
+                "srv:E2E", "mbx:mcTLS", "mbx:Split", "mbx:E2E", "srv:mc-res",
+                "srv:E2E-res");
 
     std::vector<size_t> sweep = {1, 2, 4, 8, 12, 16};
     if (smoke_mode()) sweep = {1};
@@ -76,9 +102,18 @@ int main()
         Cps e2e = measure([&](Rng& rng, PartySeconds* s) {
             return run_e2e_tls_handshake(pki, {1, k, false}, rng, s, nullptr);
         });
-        std::printf("%-9zu %-12.0f %-12.0f %-12.0f %-12.0f %-12.0f | %-12.0f %-12.0f %-12s\n",
+        // Resumed series: warm caches, abbreviated flow (no public-key ops),
+        // same worst-case contexts/permissions as the full-handshake series.
+        Cps mc1r = measure_resumed(1, [&](Rng& rng, ResumeState& st, PartySeconds* s) {
+            return run_mctls_resumed_handshake(pki, {1, k, false}, rng, st, s);
+        });
+        Cps e2er = measure_resumed(0, [&](Rng& rng, ResumeState& st, PartySeconds* s) {
+            return run_tls_resumed_handshake(pki, rng, st, s);
+        });
+        std::printf("%-9zu %-12.0f %-12.0f %-12.0f %-12.0f %-12.0f | %-12.0f %-12.0f %-12s"
+                    " | %-12.0f %-12.0f\n",
                     k, mc1.server, mc2.server, mc4.server, split.server, e2e.server,
-                    mc1.middlebox, split.middlebox, "inf");
+                    mc1.middlebox, split.middlebox, "inf", mc1r.server, e2er.server);
         std::string x = "contexts:" + std::to_string(k);
         report.point("server:mcTLS", x, mc1.server);
         report.point("server:mcTLS-2mb", x, mc2.server);
@@ -87,6 +122,9 @@ int main()
         report.point("server:E2E-TLS", x, e2e.server);
         report.point("middlebox:mcTLS", x, mc1.middlebox);
         report.point("middlebox:SplitTLS", x, split.middlebox);
+        report.point("server:mcTLS-resumed", x, mc1r.server);
+        report.point("server:E2E-TLS-resumed", x, e2er.server);
+        report.point("middlebox:mcTLS-resumed", x, mc1r.middlebox);
     }
 
     std::printf("\nDerived ratios (paper: server 23%%-35%% below SplitTLS; middlebox\n"

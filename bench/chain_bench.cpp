@@ -18,53 +18,13 @@ std::vector<mctls::ContextDescription> make_contexts(size_t n_contexts, size_t n
     return contexts;
 }
 
-}  // namespace
-
-bool run_mctls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
-                         PartySeconds* seconds, PartyOps* ops)
+// Drive one mcTLS handshake across the chain, charging each party's CPU to
+// its bucket. Shared by the full and resumed entry points.
+bool pump_mctls_chain(mctls::Session& client, mctls::Session& server,
+                      std::vector<std::unique_ptr<mctls::MiddleboxSession>>& mboxes,
+                      Stopwatch& watch, double* client_bucket, double* server_bucket,
+                      double* mbox_bucket)
 {
-    mctls::SessionConfig ccfg;
-    ccfg.role = tls::Role::client;
-    ccfg.server_name = "server.example.com";
-    ccfg.contexts = make_contexts(cfg.n_contexts, cfg.n_middleboxes);
-    for (size_t i = 0; i < cfg.n_middleboxes; ++i)
-        ccfg.middleboxes.push_back(
-            {pki.mbox_ids[i].certificate.subject, "mbox" + std::to_string(i)});
-    ccfg.trust = &pki.store;
-    ccfg.rng = &rng;
-    if (ops) ccfg.ops = &ops->client;
-
-    mctls::SessionConfig scfg;
-    scfg.role = tls::Role::server;
-    scfg.chain = {pki.server_id.certificate};
-    scfg.private_key = pki.server_id.private_key;
-    scfg.trust = &pki.store;
-    scfg.client_key_distribution = cfg.client_key_distribution;
-    // Paper §3.1: servers typically skip middlebox authentication to save
-    // CPU; Table 3 and Figure 5 assume that default.
-    scfg.authenticate_middleboxes = false;
-    scfg.rng = &rng;
-    if (ops) scfg.ops = &ops->server;
-
-    mctls::Session client(std::move(ccfg));
-    mctls::Session server(std::move(scfg));
-    std::vector<std::unique_ptr<mctls::MiddleboxSession>> mboxes;
-    for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
-        mctls::MiddleboxConfig mcfg;
-        mcfg.name = pki.mbox_ids[i].certificate.subject;
-        mcfg.chain = {pki.mbox_ids[i].certificate};
-        mcfg.private_key = pki.mbox_ids[i].private_key;
-        mcfg.rng = &rng;
-        if (ops && i == 0) mcfg.ops = &ops->middlebox;
-        mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(std::move(mcfg)));
-    }
-
-    Stopwatch watch;
-    double sink = 0;
-    double* client_bucket = seconds ? &seconds->client : &sink;
-    double* server_bucket = seconds ? &seconds->server : &sink;
-    double* mbox_bucket = seconds ? &seconds->middlebox : &sink;
-
     watch.run(client_bucket, [&] { client.start(); });
 
     bool progress = true;
@@ -115,6 +75,114 @@ bool run_mctls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
     bool ok = client.handshake_complete() && server.handshake_complete();
     for (auto& mbox : mboxes) ok = ok && mbox->handshake_complete();
     return ok;
+}
+
+}  // namespace
+
+bool run_mctls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
+                         PartySeconds* seconds, PartyOps* ops)
+{
+    mctls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.contexts = make_contexts(cfg.n_contexts, cfg.n_middleboxes);
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+        ccfg.middleboxes.push_back(
+            {pki.mbox_ids[i].certificate.subject, "mbox" + std::to_string(i)});
+    ccfg.trust = &pki.store;
+    ccfg.rng = &rng;
+    if (ops) ccfg.ops = &ops->client;
+
+    mctls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {pki.server_id.certificate};
+    scfg.private_key = pki.server_id.private_key;
+    scfg.trust = &pki.store;
+    scfg.client_key_distribution = cfg.client_key_distribution;
+    // Paper §3.1: servers typically skip middlebox authentication to save
+    // CPU; Table 3 and Figure 5 assume that default.
+    scfg.authenticate_middleboxes = false;
+    scfg.rng = &rng;
+    if (ops) scfg.ops = &ops->server;
+
+    mctls::Session client(std::move(ccfg));
+    mctls::Session server(std::move(scfg));
+    std::vector<std::unique_ptr<mctls::MiddleboxSession>> mboxes;
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+        mctls::MiddleboxConfig mcfg;
+        mcfg.name = pki.mbox_ids[i].certificate.subject;
+        mcfg.chain = {pki.mbox_ids[i].certificate};
+        mcfg.private_key = pki.mbox_ids[i].private_key;
+        mcfg.rng = &rng;
+        if (ops && i == 0) mcfg.ops = &ops->middlebox;
+        mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(std::move(mcfg)));
+    }
+
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+    double* mbox_bucket = seconds ? &seconds->middlebox : &sink;
+
+    return pump_mctls_chain(client, server, mboxes, watch, client_bucket,
+                            server_bucket, mbox_bucket);
+}
+
+bool run_mctls_resumed_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
+                                 ResumeState& state, PartySeconds* seconds)
+{
+    if (state.mbox_caches.size() < cfg.n_middleboxes)
+        state.mbox_caches.resize(cfg.n_middleboxes);
+    bool warm = state.mctls_ticket.valid();
+
+    mctls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.contexts = make_contexts(cfg.n_contexts, cfg.n_middleboxes);
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+        ccfg.middleboxes.push_back(
+            {pki.mbox_ids[i].certificate.subject, "mbox" + std::to_string(i)});
+    ccfg.trust = &pki.store;
+    ccfg.rng = &rng;
+    if (warm) ccfg.ticket = &state.mctls_ticket;
+
+    mctls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {pki.server_id.certificate};
+    scfg.private_key = pki.server_id.private_key;
+    scfg.trust = &pki.store;
+    scfg.client_key_distribution = cfg.client_key_distribution;
+    scfg.authenticate_middleboxes = false;
+    scfg.rng = &rng;
+    scfg.session_cache = &state.mctls_cache;
+
+    mctls::Session client(std::move(ccfg));
+    mctls::Session server(std::move(scfg));
+    std::vector<std::unique_ptr<mctls::MiddleboxSession>> mboxes;
+    for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+        mctls::MiddleboxConfig mcfg;
+        mcfg.name = pki.mbox_ids[i].certificate.subject;
+        mcfg.chain = {pki.mbox_ids[i].certificate};
+        mcfg.private_key = pki.mbox_ids[i].private_key;
+        mcfg.rng = &rng;
+        mcfg.session_cache = &state.mbox_caches[i];
+        mboxes.push_back(std::make_unique<mctls::MiddleboxSession>(std::move(mcfg)));
+    }
+
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+    double* mbox_bucket = seconds ? &seconds->middlebox : &sink;
+
+    if (!pump_mctls_chain(client, server, mboxes, watch, client_bucket,
+                          server_bucket, mbox_bucket))
+        return false;
+    // A warm state must actually take the abbreviated path; silently timing
+    // full handshakes would corrupt the resumed series.
+    if (warm && !client.resumed()) return false;
+    state.mctls_ticket = client.ticket();
+    return true;
 }
 
 namespace {
@@ -210,6 +278,29 @@ bool run_e2e_tls_handshake(BenchPki& pki, const ChainConfig&, Rng& rng,
     tls::Session client(tls_client_config(pki, rng, ops ? &ops->client : nullptr));
     tls::Session server(tls_server_config(pki.server_id, rng, ops ? &ops->server : nullptr));
     return pump_tls_pair(client, server, watch, client_bucket, server_bucket);
+}
+
+bool run_tls_resumed_handshake(BenchPki& pki, Rng& rng, ResumeState& state,
+                               PartySeconds* seconds)
+{
+    Stopwatch watch;
+    double sink = 0;
+    double* client_bucket = seconds ? &seconds->client : &sink;
+    double* server_bucket = seconds ? &seconds->server : &sink;
+
+    bool warm = state.tls_ticket.valid();
+    tls::SessionConfig ccfg = tls_client_config(pki, rng, nullptr);
+    if (warm) ccfg.ticket = &state.tls_ticket;
+    tls::SessionConfig scfg = tls_server_config(pki.server_id, rng, nullptr);
+    scfg.session_cache = &state.tls_cache;
+
+    tls::Session client(std::move(ccfg));
+    tls::Session server(std::move(scfg));
+    if (!pump_tls_pair(client, server, watch, client_bucket, server_bucket))
+        return false;
+    if (warm && !client.resumed()) return false;
+    state.tls_ticket = client.ticket();
+    return true;
 }
 
 uint64_t mctls_handshake_bytes(BenchPki& pki, const ChainConfig& cfg, Rng& rng)

@@ -16,8 +16,10 @@
 #include "crypto/drbg.h"
 #include "crypto/ops.h"
 #include "mctls/middlebox.h"
+#include "mctls/resumption.h"
 #include "mctls/session.h"
 #include "pki/authority.h"
+#include "tls/resumption.h"
 #include "tls/session.h"
 
 namespace mct::bench {
@@ -84,6 +86,30 @@ bool run_split_tls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
 // One end-to-end TLS handshake; middleboxes only shuttle bytes.
 bool run_e2e_tls_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
                            PartySeconds* seconds, PartyOps* ops);
+
+// Caches plus the client-side tickets that carry over between handshakes,
+// so a benchmark can prime once (full handshake) and then time abbreviated
+// handshakes against warm caches (the Figure 5 "resumed" series).
+struct ResumeState {
+    tls::TlsSessionCache tls_cache;
+    tls::TlsTicket tls_ticket;
+    mctls::ServerSessionCache mctls_cache;
+    std::vector<mctls::MiddleboxSessionCache> mbox_caches;
+    mctls::ResumptionTicket mctls_ticket;
+
+    explicit ResumeState(size_t n_middleboxes = 0) : mbox_caches(n_middleboxes) {}
+};
+
+// One mcTLS handshake wired to `state`: full on a cold state (the priming
+// run), abbreviated once `state` holds the ticket from a previous call.
+// Returns false on failure, including a warm state that fails to resume.
+bool run_mctls_resumed_handshake(BenchPki& pki, const ChainConfig& cfg, Rng& rng,
+                                 ResumeState& state, PartySeconds* seconds);
+
+// TLS analogue: abbreviated client/server handshake against the cached
+// master secret (no middlebox role).
+bool run_tls_resumed_handshake(BenchPki& pki, Rng& rng, ResumeState& state,
+                               PartySeconds* seconds);
 
 // Handshake wire bytes seen at the client for one mcTLS / TLS handshake
 // (Figure 8).

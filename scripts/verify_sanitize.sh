@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan+UBSan (MCT_SANITIZE=ON).
+# The fault-injection and session-continuity tests exercise teardown and
+# rekey orderings where lifetime bugs hide; see DESIGN.md "Session
+# continuity" and "Failure model".
+#
+# Usage: scripts/verify_sanitize.sh [ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --preset asan -j "$(nproc)" "$@"

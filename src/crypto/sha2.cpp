@@ -134,6 +134,7 @@ void Sha256::compress(const uint8_t* block)
 
 void Sha256::update(ConstBytes data)
 {
+    if (data.empty()) return;  // empty spans may carry a null data()
     total_bytes_ += data.size();
     size_t offset = 0;
     if (buffered_ > 0) {
@@ -231,6 +232,7 @@ void Sha512::compress(const uint8_t* block)
 
 void Sha512::update(ConstBytes data)
 {
+    if (data.empty()) return;  // empty spans may carry a null data()
     total_bytes_ += data.size();
     size_t offset = 0;
     if (buffered_ > 0) {

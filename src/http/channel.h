@@ -54,6 +54,9 @@ public:
     // Telemetry snapshot of the underlying session (empty default for modes
     // without one, e.g. NoEncrypt).
     virtual obs::SessionStats session_stats() const { return {}; }
+
+    // Session continuity: did the handshake complete via resumption?
+    virtual bool resumed() const { return false; }
 };
 
 class PlainChannel final : public SecureChannel {
@@ -99,6 +102,7 @@ public:
     uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
     obs::SessionStats session_stats() const override { return session_.session_stats(); }
+    bool resumed() const override { return session_.resumed(); }
 
     tls::Session& session() { return session_; }
 
@@ -138,6 +142,7 @@ public:
     uint64_t app_overhead_bytes() const override { return session_.app_overhead_bytes(); }
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
     obs::SessionStats session_stats() const override { return session_.session_stats(); }
+    bool resumed() const override { return session_.resumed(); }
 
     uint64_t writer_modified_chunks() const { return writer_modified_chunks_; }
     mctls::Session& session() { return session_; }

@@ -105,6 +105,16 @@ struct Testbed::Impl {
     std::vector<std::vector<net::ConnectionPtr>> relay_conns;  // live legs per relay
     bool fallback_engaged = false;      // client retries over plain TLS (§5.4)
 
+    // Session-continuity stores (resume/excise policies). The server caches
+    // live in the Impl so they survive across connections and attempts; the
+    // client keeps its last tickets to offer abbreviated handshakes.
+    tls::TlsSessionCache tls_cache;
+    mctls::ServerSessionCache mctls_cache;
+    std::vector<mctls::MiddleboxSessionCache> mbox_caches;
+    tls::TlsTicket client_tls_ticket;
+    mctls::ResumptionTicket client_mctls_ticket;
+    std::vector<char> excised_traced;   // mbox_excised emitted once per relay
+
     Impl(TestbedConfig config, net::EventLoop* outer_loop)
         : cfg(std::move(config)),
           loop(outer_loop),
@@ -146,6 +156,8 @@ struct Testbed::Impl {
         mbox_dead.assign(cfg.n_middleboxes, 0);
         corrupt_armed.assign(cfg.n_middleboxes, 0);
         relay_conns.resize(cfg.n_middleboxes);
+        mbox_caches.resize(cfg.n_middleboxes);
+        excised_traced.assign(cfg.n_middleboxes, 0);
         if (cfg.obs) {
             tracer = &cfg.obs->tracer;
             actor_testbed = tracer->intern("testbed");
@@ -178,12 +190,21 @@ struct Testbed::Impl {
         return "server";
     }
 
+    // Session-continuity policies keep caches and tickets alive between
+    // attempts so the retry can run the abbreviated handshake.
+    bool continuity() const
+    {
+        return cfg.recovery == RecoveryPolicy::resume ||
+               cfg.recovery == RecoveryPolicy::excise;
+    }
+
     // Routing skips dead middleboxes only under policies whose session
-    // composition excludes them; a plain reconnect keeps aiming at the full
-    // chain (and fails fast until the middlebox restarts).
+    // composition excludes them; a plain reconnect (or resume) keeps aiming
+    // at the full chain (and fails fast until the middlebox restarts).
     bool route_around_dead() const
     {
-        return cfg.recovery == RecoveryPolicy::drop_dead_middleboxes || fallback_engaged;
+        return cfg.recovery == RecoveryPolicy::drop_dead_middleboxes ||
+               cfg.recovery == RecoveryPolicy::excise || fallback_engaged;
     }
 
     std::string next_alive_host(size_t index) const
@@ -328,14 +349,18 @@ struct Testbed::Impl {
     }
 
     // Session composition for the next client attempt: under the
-    // drop_dead_middleboxes policy, dead relays leave the middlebox list
-    // (and their permission columns leave every context).
+    // drop_dead_middleboxes and excise policies, dead relays leave the
+    // middlebox list (and their permission columns leave every context).
+    // Under excise the reduced list rides the abbreviated handshake, which
+    // is what actually rekeys the contexts the dead middlebox could read.
     void alive_composition(std::vector<mctls::MiddleboxInfo>* infos,
                            std::vector<mctls::ContextDescription>* ctxs) const
     {
         *infos = mbox_infos;
         *ctxs = contexts;
-        if (cfg.recovery != RecoveryPolicy::drop_dead_middleboxes) return;
+        if (cfg.recovery != RecoveryPolicy::drop_dead_middleboxes &&
+            cfg.recovery != RecoveryPolicy::excise)
+            return;
         infos->clear();
         for (size_t i = 0; i < cfg.n_middleboxes; ++i)
             if (!mbox_dead[i]) infos->push_back(mbox_infos[i]);
@@ -364,6 +389,8 @@ struct Testbed::Impl {
             tcfg.handshake_timeout = cfg.handshake_deadline;
             tcfg.tracer = tracer;
             tcfg.trace_actor = "client";
+            if (continuity() && client_tls_ticket.valid())
+                tcfg.ticket = &client_tls_ticket;
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -376,6 +403,8 @@ struct Testbed::Impl {
             mcfg.handshake_timeout = cfg.handshake_deadline;
             mcfg.tracer = tracer;
             mcfg.trace_actor = "client";
+            if (continuity() && client_mctls_ticket.valid())
+                mcfg.ticket = &client_mctls_ticket;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -397,6 +426,7 @@ struct Testbed::Impl {
             tcfg.handshake_timeout = cfg.handshake_deadline;
             tcfg.tracer = tracer;
             tcfg.trace_actor = "server";
+            if (continuity()) tcfg.session_cache = &tls_cache;
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -410,10 +440,26 @@ struct Testbed::Impl {
             mcfg.handshake_timeout = cfg.handshake_deadline;
             mcfg.tracer = tracer;
             mcfg.trace_actor = "server";
+            if (continuity()) mcfg.session_cache = &mctls_cache;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
         return nullptr;
+    }
+
+    // Harvest the client channel's resumption state (if its handshake got
+    // far enough to mint a ticket) so the next attempt can offer an
+    // abbreviated handshake. A failed handshake keeps the previous ticket.
+    void capture_ticket(SecureChannel* channel)
+    {
+        if (!continuity() || !channel) return;
+        if (auto* t = dynamic_cast<TlsChannel*>(channel)) {
+            tls::TlsTicket ticket = t->session().ticket();
+            if (ticket.valid()) client_tls_ticket = std::move(ticket);
+        } else if (auto* m = dynamic_cast<McTlsChannel*>(channel)) {
+            mctls::ResumptionTicket ticket = m->session().ticket();
+            if (ticket.valid()) client_mctls_ticket = std::move(ticket);
+        }
     }
 
     // ---- Server ----
@@ -708,6 +754,7 @@ struct Testbed::Impl {
                 mcfg.handshake_timeout = cfg.handshake_deadline;
                 mcfg.tracer = tracer;
                 mcfg.trace_actor = host;
+                if (continuity()) mcfg.session_cache = &mbox_caches[index];
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
                 relay_sessions.emplace_back(unique_label(host), relay->session.get());
@@ -770,6 +817,7 @@ struct Testbed::Impl {
             conn->set_on_data({});
             conn->set_on_close({});
             if (!conn->close_queued()) conn->abort();
+            impl->capture_ticket(channel.get());
             std::vector<size_t> remaining(pending.begin(), pending.end());
             impl->attempt_failed(std::move(remaining), result, on_done,
                                  std::move(reason));
@@ -830,8 +878,10 @@ struct Testbed::Impl {
             attempt_done = true;
             result->completed = true;
             result->done = impl->loop->now();
+            result->resumed = channel->resumed();
             result->app_overhead_bytes = channel->app_overhead_bytes();
             result->wire_bytes_client_link = conn->wire_bytes_sent();
+            impl->capture_ticket(channel.get());
             obs::trace_at(impl->tracer, impl->loop->now(), impl->actor_testbed,
                           obs::EventType::fetch_complete, 0,
                           result->app_bytes_received, result->attempts);
@@ -900,10 +950,32 @@ struct Testbed::Impl {
             obs::trace_at(tracer, loop->now(), actor_testbed,
                           obs::EventType::tls_fallback, 0, result->attempts);
         }
+        if (cfg.recovery == RecoveryPolicy::excise) {
+            for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
+                if (!mbox_dead[i] || excised_traced[i]) continue;
+                excised_traced[i] = 1;
+                obs::trace_at(tracer, loop->now(), actor_testbed,
+                              obs::EventType::mbox_excised, 0, i);
+            }
+        }
         net::SimTime delay = cfg.retry.backoff;
         for (size_t i = 1; i + 1 < result->attempts; ++i)
             delay = static_cast<net::SimTime>(static_cast<double>(delay) *
                                               cfg.retry.backoff_multiplier);
+        if (cfg.retry.jitter > 0.0) {
+            // Uniform factor in [1 - jitter, 1 + jitter], drawn from the
+            // testbed DRBG so runs stay reproducible per seed.
+            Bytes draw = rng.bytes(4);
+            double frac = ((static_cast<double>(draw[0]) * 16777216.0) +
+                           (static_cast<double>(draw[1]) * 65536.0) +
+                           (static_cast<double>(draw[2]) * 256.0) +
+                           static_cast<double>(draw[3])) /
+                          4294967296.0;
+            double factor = 1.0 - cfg.retry.jitter + 2.0 * cfg.retry.jitter * frac;
+            delay = static_cast<net::SimTime>(static_cast<double>(delay) * factor);
+        }
+        if (cfg.retry.max_backoff != 0 && delay > cfg.retry.max_backoff)
+            delay = cfg.retry.max_backoff;
         loop->schedule(delay, [this, remaining = std::move(remaining), result,
                                on_done = std::move(on_done)] {
             start_attempt(remaining, result, on_done);

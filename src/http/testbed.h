@@ -58,12 +58,19 @@ enum class RecoveryPolicy {
     reconnect,              // retry with the same session composition
     drop_dead_middleboxes,  // retry with dead middleboxes removed from the list
     tls_fallback,           // retry over plain TLS, middleboxes blind (§5.4)
+    resume,                 // retry via abbreviated handshake, same composition
+    excise,                 // abbreviated handshake with dead middleboxes
+                            // spliced out; their contexts get fresh keys
 };
 
 struct RetryPolicy {
     size_t max_attempts = 1;        // 1 = no retry
     net::SimTime backoff = 200_ms;  // delay before the second attempt
     double backoff_multiplier = 2.0;
+    // Random spread applied to each delay: a factor drawn uniformly from
+    // [1 - jitter, 1 + jitter]. 0 keeps the deterministic schedule.
+    double jitter = 0.0;
+    net::SimTime max_backoff = 0;   // cap on any single delay; 0 = uncapped
 };
 
 struct TestbedConfig {
@@ -121,6 +128,7 @@ public:
         bool failed = false;
         size_t attempts = 0;            // connection attempts made
         bool fell_back_to_tls = false;  // completed over plain TLS (§5.4)
+        bool resumed = false;           // completed via abbreviated handshake
         std::string error;              // last attempt's failure reason
         uint64_t handshake_wire_bytes = 0;  // client channel view
         uint64_t app_overhead_bytes = 0;    // client channel record overhead

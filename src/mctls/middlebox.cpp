@@ -192,6 +192,8 @@ Status MiddleboxSession::handle_record(From from, const tls::Record& record)
             if (auto s = handle_handshake(from, *msg.value()); !s) return s;
         }
     }
+    case tls::ContentType::rekey:
+        return handle_rekey_record(from, record);
     case tls::ContentType::application_data:
         return handle_app_record(from, record);
     }
@@ -218,6 +220,15 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
                         "mctls mbox: not listed in the session's middlebox list");
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello,
                    static_cast<uint16_t>(entity_index_), msg.body.size());
+        // A resumption offer we have cached pairwise keys for: if the server
+        // echoes the id we can rejoin without fresh DH exchanges.
+        if (!hello.value().session_id.empty() && cfg_.session_cache) {
+            const MiddleboxTicket* t = cfg_.session_cache->find(hello.value().session_id);
+            if (t && t->valid()) {
+                resume_candidate_ = true;
+                resume_ticket_ = *t;
+            }
+        }
         forward_handshake(from, msg);
         return {};
     }
@@ -225,11 +236,22 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
         auto hello = tls::ServerHello::parse(msg.body);
         if (!hello) return fail(AlertDescription::decode_error, hello.error().message);
         server_random_ = hello.value().random;
+        session_id_ = hello.value().session_id;
         auto mode = ServerModeExtension::parse(hello.value().extensions);
         if (!mode)
             return fail(AlertDescription::decode_error,
                         "mctls mbox: bad server mode extension");
         ckd_ = mode.value().client_key_distribution;
+        if (resume_candidate_ && !session_id_.empty() &&
+            session_id_ == resume_ticket_.session_id) {
+            // The echo accepts the abbreviated handshake: rejoin from the
+            // cached pairwise keys; fresh key halves arrive sealed under them.
+            resumed_ = true;
+            pairwise_client_ = resume_ticket_.pairwise_client;
+            pairwise_server_ = resume_ticket_.pairwise_server;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rejoin,
+                       static_cast<uint16_t>(entity_index_), middleboxes_.size());
+        }
         forward_handshake(from, msg);
         return {};
     }
@@ -344,9 +366,15 @@ Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMater
         return fail(AlertDescription::illegal_parameter,
                     "mctls mbox: key material sender/direction mismatch");
 
-    // Derive the pairwise AuthEnc key with that endpoint.
+    // Pairwise AuthEnc key with that endpoint: cached in a resumed session,
+    // derived from the bundle DH exchanges otherwise.
     AuthEncKey pairwise;
-    if (from_client) {
+    if (resumed_) {
+        pairwise = from_client ? pairwise_client_ : pairwise_server_;
+        if (pairwise.enc_key.empty())
+            return fail(AlertDescription::handshake_failure,
+                        "mctls mbox: no cached pairwise key for resumption");
+    } else if (from_client) {
         if (client_dh_public_.empty())
             return fail(AlertDescription::unexpected_message,
                         "mctls mbox: key material before CKE");
@@ -358,6 +386,7 @@ Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMater
         Bytes s_cm = derive_shared_secret(pre.value(), client_random_, own_random_);
         pairwise = derive_pairwise_key(s_cm, client_random_, own_random_);
         crypto::count_keygen(cfg_.ops);
+        pairwise_client_ = pairwise;
     } else {
         if (server_dh_public_.empty())
             return fail(AlertDescription::unexpected_message,
@@ -370,6 +399,7 @@ Status MiddleboxSession::extract_key_material(From from, const MiddleboxKeyMater
         Bytes s_sm = derive_shared_secret(pre.value(), server_random_, own_random_);
         pairwise = derive_pairwise_key(s_sm, server_random_, own_random_);
         crypto::count_keygen(cfg_.ops);
+        pairwise_server_ = pairwise;
     }
 
     auto plain = authenc_open(pairwise, key_material_ad(km.sender, km.entity), km.sealed);
@@ -407,6 +437,7 @@ void MiddleboxSession::try_finalize_keys()
                    context_keys_.size(), 1);
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
                    context_keys_.size());
+        if (cfg_.session_cache) cfg_.session_cache->put(ticket());
         return;
     }
     if (!client_material_seen_ || !server_material_seen_) return;
@@ -440,6 +471,160 @@ void MiddleboxSession::try_finalize_keys()
                context_keys_.size(), 0);
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
                context_keys_.size());
+    if (cfg_.session_cache) cfg_.session_cache->put(ticket());
+}
+
+MiddleboxTicket MiddleboxSession::ticket() const
+{
+    MiddleboxTicket t;
+    if (!keys_ready_) return t;
+    t.session_id = session_id_;
+    t.pairwise_client = pairwise_client_;
+    t.pairwise_server = pairwise_server_;
+    return t;
+}
+
+// ---- In-band rekeying ----------------------------------------------------
+//
+// The rekey records are plaintext markers as well as key transport: the
+// server's response switches the server->client keys, the client's commit
+// switches client->server. With in-order delivery on each hop, every record
+// after a marker (in that direction) is sealed under the new epoch's keys,
+// so we flip each direction exactly when the marker passes through us. A
+// record carrying no entry for us means we are being revoked: the pending
+// permission set stays empty and we degrade to blind forwarding.
+
+Status MiddleboxSession::handle_rekey_record(From from, const tls::Record& record)
+{
+    // Always forward first, unmodified: downstream parties key off the same
+    // marker, and revoked middleboxes must still relay it.
+    forward_record(from, record, /*own_unit=*/true);
+    if (!keys_ready_) return {};  // endpoints will reject a pre-handshake rekey
+    auto parsed = RekeyRecord::parse(record.payload);
+    if (!parsed) return fail(AlertDescription::decode_error, parsed.error().message);
+    const RekeyRecord& rk = parsed.value();
+
+    if (rk.phase == RekeyPhase::init && from == From::client) {
+        rekey_pending_ = true;
+        pending_epoch_ = rk.epoch;
+        dir_switched_[0] = dir_switched_[1] = false;
+        pending_keys_.clear();
+        pending_permissions_.clear();
+        pending_client_material_.clear();
+        pending_server_material_.clear();
+        pending_client_seen_ = pending_server_seen_ = false;
+        pending_revoked_ = true;
+        for (const auto& e : rk.entries) {
+            if (e.entity != entity_index_) continue;
+            pending_revoked_ = false;
+            auto plain = authenc_open(
+                pairwise_client_,
+                rekey_ad(kEntityClient, static_cast<uint8_t>(entity_index_), rk.epoch),
+                e.sealed);
+            if (!plain)
+                return fail(AlertDescription::decrypt_error,
+                            "mctls mbox: rekey material: " + plain.error().message);
+            crypto::count_dec(cfg_.ops);
+            auto entries = parse_middlebox_material(plain.value());
+            if (!entries)
+                return fail(AlertDescription::decode_error, entries.error().message);
+            pending_client_material_ = entries.take();
+            pending_client_seen_ = true;
+        }
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init,
+                   static_cast<uint16_t>(entity_index_), rk.epoch,
+                   pending_revoked_ ? 1 : 0);
+        if (pending_revoked_)
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_excised,
+                       static_cast<uint16_t>(entity_index_), rk.epoch);
+        return {};
+    }
+
+    if (rk.phase == RekeyPhase::resp && from == From::server && rekey_pending_ &&
+        rk.epoch == pending_epoch_) {
+        if (!pending_revoked_) {
+            for (const auto& e : rk.entries) {
+                if (e.entity != entity_index_) continue;
+                auto plain = authenc_open(
+                    pairwise_server_,
+                    rekey_ad(kEntityServer, static_cast<uint8_t>(entity_index_), rk.epoch),
+                    e.sealed);
+                if (!plain)
+                    return fail(AlertDescription::decrypt_error,
+                                "mctls mbox: rekey material: " + plain.error().message);
+                crypto::count_dec(cfg_.ops);
+                auto entries = parse_middlebox_material(plain.value());
+                if (!entries)
+                    return fail(AlertDescription::decode_error, entries.error().message);
+                pending_server_material_ = entries.take();
+                pending_server_seen_ = true;
+            }
+            if (pending_client_seen_ && pending_server_seen_) compute_pending_keys();
+        }
+        switch_direction_keys(Direction::server_to_client);
+        return {};
+    }
+
+    if (rk.phase == RekeyPhase::commit && from == From::client && rekey_pending_ &&
+        rk.epoch == pending_epoch_) {
+        switch_direction_keys(Direction::client_to_server);
+        finish_rekey_if_switched();
+        return {};
+    }
+    return {};  // stale/out-of-order phases: forwarded above, nothing to track
+}
+
+// Same contributory combine as try_finalize_keys, into the pending maps.
+void MiddleboxSession::compute_pending_keys()
+{
+    for (const auto& ce : pending_client_material_) {
+        for (const auto& se : pending_server_material_) {
+            if (se.context_id != ce.context_id) continue;
+            if (ce.reader_half.empty() || se.reader_half.empty()) continue;
+            PartialContextKeys client_half{ce.reader_half, ce.writer_half};
+            PartialContextKeys server_half{se.reader_half, se.writer_half};
+            bool writer = !ce.writer_half.empty() && !se.writer_half.empty();
+            if (client_half.writer_half.empty()) client_half.writer_half = Bytes(32, 0);
+            if (server_half.writer_half.empty()) server_half.writer_half = Bytes(32, 0);
+            ContextKeys keys = combine_context_keys(client_half, server_half,
+                                                    client_random_, server_random_);
+            if (!writer) {
+                keys.writer_mac[0].clear();
+                keys.writer_mac[1].clear();
+            }
+            crypto::count_keygen(cfg_.ops, writer ? 2 : 1);
+            pending_keys_[ce.context_id] = std::move(keys);
+            pending_permissions_[ce.context_id] =
+                writer ? Permission::write : Permission::read;
+        }
+    }
+}
+
+void MiddleboxSession::switch_direction_keys(Direction dir)
+{
+    size_t d = static_cast<size_t>(dir);
+    for (auto& [id, pending] : pending_keys_) {
+        ContextKeys& current = context_keys_[id];
+        current.reader_enc[d] = pending.reader_enc[d];
+        current.reader_mac[d] = pending.reader_mac[d];
+        current.writer_mac[d] = pending.writer_mac[d];
+    }
+    dir_switched_[d] = true;
+}
+
+void MiddleboxSession::finish_rekey_if_switched()
+{
+    if (!rekey_pending_ || !dir_switched_[0] || !dir_switched_[1]) return;
+    permissions_ = pending_permissions_;
+    epoch_ = pending_epoch_;
+    rekey_pending_ = false;
+    pending_keys_.clear();
+    pending_permissions_.clear();
+    pending_client_material_.clear();
+    pending_server_material_.clear();
+    pending_client_seen_ = pending_server_seen_ = false;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_complete,
+               static_cast<uint16_t>(entity_index_), epoch_);
 }
 
 Permission MiddleboxSession::permission(uint8_t context_id) const
@@ -459,6 +644,13 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
     uint64_t seq = side.app_seq++;
 
     Permission perm = permission(record.context_id);
+    // Mid-rekey, a direction that already switched runs under the pending
+    // epoch's permissions: a revoked (or downgraded) middlebox must forward
+    // blind rather than fail on keys it was not given.
+    if (rekey_pending_ && dir_switched_[static_cast<size_t>(dir)]) {
+        auto it = pending_permissions_.find(record.context_id);
+        perm = it == pending_permissions_.end() ? Permission::none : it->second;
+    }
     auto keys = context_keys_.find(record.context_id);
 
     if (perm == Permission::none || keys == context_keys_.end()) {

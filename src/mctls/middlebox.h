@@ -30,6 +30,7 @@
 #include "crypto/ops.h"
 #include "mctls/context_crypto.h"
 #include "mctls/messages.h"
+#include "mctls/resumption.h"
 #include "mctls/types.h"
 #include "obs/obs.h"
 #include "pki/trust_store.h"
@@ -59,6 +60,10 @@ struct MiddleboxConfig {
     std::function<Bytes(uint8_t context_id, Direction dir, Bytes payload)> transform;
     // Read-access contexts: observe the plaintext.
     std::function<void(uint8_t context_id, Direction dir, ConstBytes payload)> observe;
+
+    // Session continuity: pairwise-key store for rejoining resumed sessions
+    // (see DESIGN.md "Session continuity"). nullptr disables rejoin.
+    MiddleboxSessionCache* session_cache = nullptr;
 };
 
 class MiddleboxSession {
@@ -100,6 +105,17 @@ public:
     size_t entity_index() const { return entity_index_; }
     const std::vector<ContextDescription>& contexts() const { return contexts_; }
 
+    // --- Session continuity (see DESIGN.md "Session continuity") ---
+
+    // True when this relay rejoined a resumed session from cached pairwise
+    // keys instead of running its own DH exchanges.
+    bool resumed() const { return resumed_; }
+    // Current key epoch (bumped by completed in-band rekeys we tracked).
+    uint32_t epoch() const { return epoch_; }
+    // What to cache for a later rejoin; valid() only once keys are ready and
+    // the server assigned a session id.
+    MiddleboxTicket ticket() const;
+
     uint64_t records_forwarded_blind() const { return records_forwarded_blind_; }
     uint64_t records_read() const { return records_read_; }
     uint64_t records_rewritten() const { return records_rewritten_; }
@@ -134,6 +150,10 @@ private:
     void inject_bundle();
     Status extract_key_material(From from, const MiddleboxKeyMaterial& km);
     void try_finalize_keys();
+    Status handle_rekey_record(From from, const tls::Record& record);
+    void compute_pending_keys();
+    void switch_direction_keys(Direction dir);
+    void finish_rekey_if_switched();
 
     MiddleboxConfig cfg_;
     bool failed_ = false;
@@ -175,6 +195,28 @@ private:
 
     std::map<uint8_t, ContextKeys> context_keys_;
     std::map<uint8_t, Permission> permissions_;
+
+    // --- Session continuity state ---
+    Bytes session_id_;            // from the ServerHello (empty = none)
+    bool resume_candidate_ = false;
+    MiddleboxTicket resume_ticket_;
+    bool resumed_ = false;
+    AuthEncKey pairwise_client_;  // K_C-M (cached or derived)
+    AuthEncKey pairwise_server_;  // K_S-M
+
+    // In-band rekey: pending material/keys for the next epoch, switched in
+    // per direction as the resp/commit markers pass through.
+    uint32_t epoch_ = 0;
+    bool rekey_pending_ = false;
+    uint32_t pending_epoch_ = 0;
+    bool pending_revoked_ = false;
+    std::vector<MiddleboxMaterialEntry> pending_client_material_;
+    std::vector<MiddleboxMaterialEntry> pending_server_material_;
+    bool pending_client_seen_ = false;
+    bool pending_server_seen_ = false;
+    std::map<uint8_t, ContextKeys> pending_keys_;
+    std::map<uint8_t, Permission> pending_permissions_;
+    bool dir_switched_[2] = {false, false};  // indexed by Direction
 
     uint64_t records_forwarded_blind_ = 0;
     uint64_t records_read_ = 0;

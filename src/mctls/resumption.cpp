@@ -1,0 +1,104 @@
+#include "mctls/resumption.h"
+
+#include "util/serde.h"
+
+namespace mct::mctls {
+
+namespace {
+
+std::string key_of(ConstBytes id)
+{
+    return std::string(reinterpret_cast<const char*>(id.data()), id.size());
+}
+
+}  // namespace
+
+void ServerSessionCache::put(ResumptionTicket ticket)
+{
+    if (!ticket.valid()) return;
+    std::string key = key_of(ticket.session_id);
+    if (entries_.find(key) == entries_.end()) order_.push_back(key);
+    entries_[key] = std::move(ticket);
+    while (order_.size() > capacity_) {
+        entries_.erase(order_.front());
+        order_.erase(order_.begin());
+    }
+}
+
+const ResumptionTicket* ServerSessionCache::find(ConstBytes session_id) const
+{
+    auto it = entries_.find(key_of(session_id));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ServerSessionCache::erase(ConstBytes session_id)
+{
+    entries_.erase(key_of(session_id));
+}
+
+void MiddleboxSessionCache::put(MiddleboxTicket ticket)
+{
+    if (!ticket.valid()) return;
+    std::string key = key_of(ticket.session_id);
+    if (entries_.find(key) == entries_.end()) order_.push_back(key);
+    entries_[key] = std::move(ticket);
+    while (order_.size() > capacity_) {
+        entries_.erase(order_.front());
+        order_.erase(order_.begin());
+    }
+}
+
+const MiddleboxTicket* MiddleboxSessionCache::find(ConstBytes session_id) const
+{
+    auto it = entries_.find(key_of(session_id));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+Bytes RekeyRecord::serialize() const
+{
+    Writer w;
+    w.u8(static_cast<uint8_t>(phase));
+    w.u32(epoch);
+    w.u16(static_cast<uint16_t>(entries.size()));
+    for (const auto& e : entries) {
+        w.u8(e.entity);
+        w.vec16(e.sealed);
+    }
+    return w.take();
+}
+
+Result<RekeyRecord> RekeyRecord::parse(ConstBytes body)
+{
+    Reader r(body);
+    RekeyRecord rec;
+    auto phase = r.u8();
+    if (!phase) return phase.error();
+    if (phase.value() < 1 || phase.value() > 3) return err("rekey: bad phase");
+    rec.phase = static_cast<RekeyPhase>(phase.value());
+    auto epoch = r.u32();
+    if (!epoch) return epoch.error();
+    rec.epoch = epoch.value();
+    auto count = r.u16();
+    if (!count) return count.error();
+    for (uint16_t i = 0; i < count.value(); ++i) {
+        RekeyEntry e;
+        auto entity = r.u8();
+        if (!entity) return entity.error();
+        e.entity = entity.value();
+        auto sealed = r.vec16();
+        if (!sealed) return sealed.error();
+        e.sealed = sealed.take();
+        rec.entries.push_back(std::move(e));
+    }
+    if (auto s = r.expect_done(); !s) return s.error();
+    return rec;
+}
+
+Bytes rekey_ad(uint8_t sender, uint8_t entity, uint32_t epoch)
+{
+    return Bytes{sender, entity, static_cast<uint8_t>(epoch >> 24),
+                 static_cast<uint8_t>(epoch >> 16), static_cast<uint8_t>(epoch >> 8),
+                 static_cast<uint8_t>(epoch)};
+}
+
+}  // namespace mct::mctls

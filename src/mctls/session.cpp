@@ -7,6 +7,7 @@
 #include "crypto/ct.h"
 #include "crypto/ed25519.h"
 #include "crypto/prf.h"
+#include "crypto/sha2.h"
 #include "crypto/x25519.h"
 
 namespace mct::mctls {
@@ -81,6 +82,12 @@ Status Session::fail_with(SessionError::Origin origin, AlertDescription descript
 void Session::send_alert(const tls::Alert& alert)
 {
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
+    if (alert.is_close_notify()) {
+        // At most one close_notify on the wire, even when a local close()
+        // races the peer's incoming fatal alert or close.
+        if (close_notify_emitted_) return;
+        close_notify_emitted_ = true;
+    }
     alert_sent_ = alert;
     ++alerts_sent_;
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
@@ -222,9 +229,29 @@ void Session::start()
     MiddleboxListExtension ext{middleboxes_, contexts_};
     hello.extensions = ext.serialize();
 
+    // Offer an abbreviated handshake when the ticket covers this session's
+    // composition. A shorter middlebox list than the ticket's is an excision;
+    // middleboxes or contexts the ticket never saw force a full handshake.
+    if (cfg_.ticket && cfg_.ticket->valid()) {
+        bool covered = true;
+        for (const auto& m : middleboxes_)
+            covered &= cfg_.ticket->find_middlebox(m.name) >= 0;
+        for (const auto& ctx : contexts_) {
+            bool found = false;
+            for (const auto& tc : cfg_.ticket->contexts) found |= tc.id == ctx.id;
+            covered &= found;
+        }
+        if (covered) {
+            hello.session_id = cfg_.ticket->session_id;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_offer, 0,
+                       hello.session_id.size());
+        }
+    }
+
     tls::HandshakeMessage msg = hello.to_message();
     Bytes wire = msg.serialize();
     transcript_.set(Transcript::Slot::client_hello, wire);
+    if (!hello.session_id.empty()) resumed_transcript_ = wire;
     crypto::count_hash(cfg_.ops);
 
     Bytes unit;
@@ -284,6 +311,8 @@ Status Session::handle_record(const tls::Record& record)
             if (auto s = handle_handshake(*msg.value()); !s) return s;
         }
     }
+    case tls::ContentType::rekey:
+        return handle_rekey_record(record);
     case tls::ContentType::application_data:
         return handle_app_record(record);
     }
@@ -392,6 +421,7 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
         if (hello.value().cipher_suite != tls::kCipherSuiteX25519Ed25519Aes128Sha256)
             return fail(AlertDescription::handshake_failure, "mctls: unsupported cipher suite");
         server_random_ = hello.value().random;
+        session_id_ = hello.value().session_id;
         auto mode = ServerModeExtension::parse(hello.value().extensions);
         if (!mode)
             return fail(AlertDescription::decode_error, "mctls: bad server mode extension");
@@ -399,6 +429,9 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
         granted_ = mode.value().granted;
         transcript_.set(Transcript::Slot::server_hello, wire);
         crypto::count_hash(cfg_.ops);
+        if (cfg_.ticket && cfg_.ticket->valid() && !session_id_.empty() &&
+            session_id_ == cfg_.ticket->session_id)
+            return client_accept_resumption(wire);
         return {};
     }
     case tls::HandshakeType::certificate: {
@@ -483,6 +516,15 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         transcript_.set(Transcript::Slot::client_hello, wire);
         crypto::count_hash(cfg_.ops);
 
+        server_random_ = cfg_.rng->bytes(tls::kRandomSize);
+        own_secret_ = cfg_.rng->bytes(32);
+
+        if (server_try_resumption(hello.value()))
+            return server_send_resumed_flight(wire);
+        if (!hello.value().session_id.empty())
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject, 0,
+                       hello.value().session_id.size());
+
         ckd_ = cfg_.client_key_distribution;
         granted_.assign(contexts_.size(), {});
         for (size_t c = 0; c < contexts_.size(); ++c) {
@@ -496,8 +538,6 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
             }
         }
 
-        server_random_ = cfg_.rng->bytes(tls::kRandomSize);
-        own_secret_ = cfg_.rng->bytes(32);
         auto kp = crypto::x25519_keypair(*cfg_.rng);
         dh_private_ = kp.private_key;
         dh_public_ = kp.public_key;
@@ -505,6 +545,12 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         Bytes flight;
         tls::ServerHello sh;
         sh.random = server_random_;
+        if (cfg_.session_cache) {
+            // The id this session will be cached under once established;
+            // clients and middleboxes snapshot it for later resumption.
+            session_id_ = cfg_.rng->bytes(tls::kSessionIdSize);
+            sh.session_id = session_id_;
+        }
         ServerModeExtension mode{ckd_, granted_};
         sh.extensions = mode.serialize();
         Bytes sh_wire = sh.to_message().serialize();
@@ -569,6 +615,7 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
     }
     case tls::HandshakeType::finished: {
         if (auto s = verify_peer_finished(msg); !s) return s;
+        if (resumed_) return {};  // abbreviated flight already sent
         return server_send_final_flight();
     }
     default:
@@ -583,6 +630,13 @@ void Session::derive_endpoint_secrets()
     if (!pre) throw std::runtime_error("mctls: degenerate DH share");
     crypto::count_secret(cfg_.ops);
     s_cs_ = derive_shared_secret(pre.value(), client_random_, server_random_);
+    derive_endpoint_secrets_from_scs();
+}
+
+// The key schedule below S_C-S: everything the abbreviated handshake re-runs
+// with fresh randoms and a fresh partial-key seed, but no DH exchange.
+void Session::derive_endpoint_secrets_from_scs()
+{
     endpoint_keys_ = derive_endpoint_keys(s_cs_, client_random_, server_random_);
     crypto::count_keygen(cfg_.ops);  // K_endpoints
 
@@ -816,8 +870,10 @@ Status Session::server_send_final_flight()
 
     write_units_.push_back(std::move(unit));
     state_ = State::established;
+    handshake_ever_complete_ = true;
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
                handshake_wire_bytes_);
+    if (cfg_.session_cache && !session_id_.empty()) cfg_.session_cache->put(ticket());
     return {};
 }
 
@@ -841,12 +897,19 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
         if (!ckd_ && !peer_material_received_)
             return fail(AlertDescription::unexpected_message,
                         "mctls: Finished before server key material");
-        Bytes expected = finished_verify_data("server finished", true);
+        Bytes expected = resumed_ ? resumed_finished_verify_data("server finished")
+                                  : finished_verify_data("server finished", true);
         if (!crypto::ct_equal(expected, fin.value().verify_data))
             return fail(AlertDescription::decrypt_error,
                         "mctls: server Finished verification failed");
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
+        if (resumed_) {
+            append(resumed_transcript_, msg.serialize());
+            crypto::count_hash(cfg_.ops);
+            return client_send_resumed_flight();
+        }
         state_ = State::established;
+        handshake_ever_complete_ = true;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
                    handshake_wire_bytes_);
         return {};
@@ -855,16 +918,27 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
     // Server verifying the client's Finished.
     if (state_ != State::wait_client_flight)
         return fail(AlertDescription::unexpected_message, "mctls: unexpected Finished");
-    if (peer_dh_public_.empty())
+    if (!resumed_ && peer_dh_public_.empty())
         return fail(AlertDescription::unexpected_message, "mctls: Finished before CKE");
     if (!ckd_ && !peer_material_received_)
         return fail(AlertDescription::unexpected_message,
                     "mctls: Finished before client key material");
-    Bytes expected = finished_verify_data("client finished", false);
+    Bytes expected = resumed_ ? resumed_finished_verify_data("client finished")
+                              : finished_verify_data("client finished", false);
     if (!crypto::ct_equal(expected, fin.value().verify_data))
         return fail(AlertDescription::decrypt_error,
                     "mctls: client Finished verification failed");
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
+    if (resumed_) {
+        state_ = State::established;
+        handshake_ever_complete_ = true;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+                   handshake_wire_bytes_);
+        // Refresh the cache entry: after an excision this narrows the stored
+        // composition to the surviving middleboxes.
+        if (cfg_.session_cache && !session_id_.empty()) cfg_.session_cache->put(ticket());
+        return {};
+    }
     transcript_.set_client_finished(msg.serialize());
     crypto::count_hash(cfg_.ops);
     return {};
@@ -934,12 +1008,500 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
     return {};
 }
 
+// ---- Session continuity: resumption --------------------------------------
+
+ResumptionTicket Session::ticket() const
+{
+    ResumptionTicket t;
+    // A completed handshake mints a ticket for good: a later transport loss
+    // or middlebox failure is exactly the situation resumption recovers
+    // from, and does not taint the negotiated key material.
+    if (!handshake_ever_complete_) return t;
+    t.session_id = session_id_;
+    t.s_cs = s_cs_;
+    t.ckd = ckd_;
+    t.middleboxes = middleboxes_;
+    t.contexts = contexts_;
+    t.granted = granted_;
+    for (const auto& m : mbox_state_) t.pairwise.push_back(m.pairwise);
+    return t;
+}
+
+bool Session::server_try_resumption(const tls::ClientHello& hello)
+{
+    if (!cfg_.session_cache || hello.session_id.empty()) return false;
+    const ResumptionTicket* t = cfg_.session_cache->find(hello.session_id);
+    if (!t || !t->valid()) return false;
+    if (t->ckd != cfg_.client_key_distribution) return false;
+    if (t->pairwise.size() != t->middleboxes.size()) return false;
+    // The requested composition must be a subset of the cached one: every
+    // middlebox (by name) and every context id must appear in the ticket.
+    // A shorter middlebox list is an excision of the missing boxes.
+    for (const auto& m : middleboxes_)
+        if (t->find_middlebox(m.name) < 0) return false;
+    for (const auto& ctx : contexts_) {
+        bool found = false;
+        for (const auto& tc : t->contexts) found |= tc.id == ctx.id;
+        if (!found) return false;
+    }
+
+    resumed_ = true;
+    session_id_ = hello.session_id;
+    s_cs_ = t->s_cs;
+    ckd_ = t->ckd;
+    // Grants are capped at what the original session granted — resumption
+    // cannot widen a middlebox's access, only narrow it.
+    granted_.assign(contexts_.size(), {});
+    for (size_t c = 0; c < contexts_.size(); ++c) {
+        granted_[c].resize(middleboxes_.size(), Permission::none);
+        for (size_t m = 0; m < middleboxes_.size(); ++m) {
+            int tm = t->find_middlebox(middleboxes_[m].name);
+            Permission original = Permission::none;
+            for (size_t tc = 0; tc < t->contexts.size(); ++tc) {
+                if (t->contexts[tc].id != contexts_[c].id) continue;
+                if (tm >= 0 && tc < t->granted.size() &&
+                    static_cast<size_t>(tm) < t->granted[tc].size())
+                    original = t->granted[tc][tm];
+            }
+            granted_[c][m] = min_permission(contexts_[c].permissions[m], original);
+        }
+    }
+    for (size_t i = 0; i < middleboxes_.size(); ++i) {
+        int tm = t->find_middlebox(middleboxes_[i].name);
+        mbox_state_[i].pairwise = t->pairwise[static_cast<size_t>(tm)];
+    }
+    return true;
+}
+
+Status Session::server_send_resumed_flight(ConstBytes client_hello_wire)
+{
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept, 0,
+               middleboxes_.size());
+    resumed_transcript_.assign(client_hello_wire.begin(), client_hello_wire.end());
+    derive_endpoint_secrets_from_scs();
+
+    Bytes flight;
+    tls::ServerHello sh;
+    sh.random = server_random_;
+    sh.session_id = session_id_;  // the echo that accepts resumption
+    ServerModeExtension mode{ckd_, granted_};
+    sh.extensions = mode.serialize();
+    Bytes sh_wire = sh.to_message().serialize();
+    crypto::count_hash(cfg_.ops);
+    append(resumed_transcript_, sh_wire);
+    append(flight, sh_wire);
+
+    if (!ckd_) {
+        // Fresh server halves for every surviving middlebox, sealed under the
+        // cached pairwise keys, plus the endpoint half for the client.
+        for (size_t i = 0; i < mbox_state_.size(); ++i) {
+            MiddleboxKeyMaterial km;
+            km.sender = kEntityServer;
+            km.entity = static_cast<uint8_t>(i);
+            km.sealed = seal_middlebox_material(i);
+            append(flight, km.to_message().serialize());
+        }
+        std::vector<EndpointMaterialEntry> entries;
+        for (const auto& ctx : contexts_)
+            entries.push_back({ctx.id, own_partials_[ctx.id]});
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityServer;
+        km.entity = kEntityClient;
+        km.sealed = authenc_seal(endpoint_keys_.key_material,
+                                 key_material_ad(km.sender, km.entity),
+                                 serialize_endpoint_material(entries), *cfg_.rng);
+        crypto::count_enc(cfg_.ops);
+        append(flight, km.to_message().serialize());
+    }
+
+    Bytes unit;
+    flush_flight_into_unit(flight, &unit);
+
+    tls::Record ccs{tls::ContentType::change_cipher_spec, kControlContext, Bytes{1}};
+    Bytes ccs_wire = codec_.encode(ccs);
+    handshake_wire_bytes_ += ccs_wire.size();
+    append(unit, ccs_wire);
+    ccs_sent_ = true;
+
+    Bytes verify = resumed_finished_verify_data("server finished");
+    tls::Finished fin{verify};
+    Bytes fin_wire = fin.to_message().serialize();
+    crypto::count_hash(cfg_.ops);
+    append(resumed_transcript_, fin_wire);
+    Bytes protected_payload =
+        control_send_->protect(tls::ContentType::handshake, kControlContext, fin_wire,
+                               *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    tls::Record fin_rec{tls::ContentType::handshake, kControlContext, protected_payload};
+    Bytes fin_rec_wire = codec_.encode(fin_rec);
+    handshake_wire_bytes_ += fin_rec_wire.size();
+    append(unit, fin_rec_wire);
+    finished_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+
+    write_units_.push_back(std::move(unit));
+    state_ = State::wait_client_flight;
+    return {};
+}
+
+Status Session::client_accept_resumption(ConstBytes server_hello_wire)
+{
+    resumed_ = true;
+    s_cs_ = cfg_.ticket->s_cs;
+    for (size_t i = 0; i < middleboxes_.size(); ++i) {
+        int idx = cfg_.ticket->find_middlebox(middleboxes_[i].name);
+        if (idx < 0 || static_cast<size_t>(idx) >= cfg_.ticket->pairwise.size())
+            return fail(AlertDescription::handshake_failure,
+                        "mctls: resumed middlebox missing from ticket");
+        mbox_state_[i].pairwise = cfg_.ticket->pairwise[static_cast<size_t>(idx)];
+    }
+    append(resumed_transcript_, server_hello_wire);
+    derive_endpoint_secrets_from_scs();
+    state_ = State::wait_server_second;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept, 0,
+               middleboxes_.size());
+    return {};
+}
+
+Status Session::client_send_resumed_flight()
+{
+    Bytes flight;
+    for (size_t i = 0; i < mbox_state_.size(); ++i) {
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityClient;
+        km.entity = static_cast<uint8_t>(i);
+        km.sealed = seal_middlebox_material(i);
+        crypto::count_hash(cfg_.ops);
+        append(flight, km.to_message().serialize());
+    }
+    if (!ckd_) {
+        std::vector<EndpointMaterialEntry> entries;
+        for (const auto& ctx : contexts_)
+            entries.push_back({ctx.id, own_partials_[ctx.id]});
+        MiddleboxKeyMaterial km;
+        km.sender = kEntityClient;
+        km.entity = kEntityServer;
+        km.sealed = authenc_seal(endpoint_keys_.key_material,
+                                 key_material_ad(km.sender, km.entity),
+                                 serialize_endpoint_material(entries), *cfg_.rng);
+        crypto::count_enc(cfg_.ops);
+        append(flight, km.to_message().serialize());
+    }
+
+    Bytes unit;
+    flush_flight_into_unit(flight, &unit);
+
+    tls::Record ccs{tls::ContentType::change_cipher_spec, kControlContext, Bytes{1}};
+    Bytes ccs_wire = codec_.encode(ccs);
+    handshake_wire_bytes_ += ccs_wire.size();
+    append(unit, ccs_wire);
+    ccs_sent_ = true;
+
+    Bytes verify = resumed_finished_verify_data("client finished");
+    tls::Finished fin{verify};
+    Bytes fin_wire = fin.to_message().serialize();
+    crypto::count_hash(cfg_.ops);
+    Bytes protected_payload =
+        control_send_->protect(tls::ContentType::handshake, kControlContext, fin_wire,
+                               *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    tls::Record fin_rec{tls::ContentType::handshake, kControlContext, protected_payload};
+    Bytes fin_rec_wire = codec_.encode(fin_rec);
+    handshake_wire_bytes_ += fin_rec_wire.size();
+    append(unit, fin_rec_wire);
+    finished_sent_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+
+    write_units_.push_back(std::move(unit));
+    state_ = State::established;
+    handshake_ever_complete_ = true;
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+               handshake_wire_bytes_);
+    return {};
+}
+
+// Resumed Finished messages authenticate a flat concatenated transcript
+// (ClientHello || ServerHello for the server's, plus the server Finished for
+// the client's). The slot-based Transcript cannot express the abbreviated
+// flow's flipped ordering, and the flat form pins exactly the messages both
+// sides have seen at each Finished.
+Bytes Session::resumed_finished_verify_data(const char* label)
+{
+    crypto::Sha256 h;
+    h.update(resumed_transcript_);
+    auto digest = h.finish();
+    crypto::count_hash(cfg_.ops);
+    return crypto::prf(s_cs_, label, Bytes(digest.begin(), digest.end()),
+                       tls::kVerifyDataSize);
+}
+
+// ---- Session continuity: in-band rekeying --------------------------------
+
+Bytes Session::context_key_fingerprint(uint8_t context_id) const
+{
+    auto it = context_keys_.find(context_id);
+    if (it == context_keys_.end()) return {};
+    crypto::Sha256 h;
+    h.update(it->second.serialize(/*writer=*/true));
+    auto digest = h.finish();
+    return Bytes(digest.begin(), digest.end());
+}
+
+Status Session::initiate_rekey(const std::vector<std::string>& revoke)
+{
+    if (!is_client_) return err("mctls: only the client initiates a rekey");
+    if (state_ != State::established) return err("mctls: rekey before established");
+    if (close_sent_) return err("mctls: rekey after close");
+    if (ckd_)
+        return err("mctls: rekey requires contributory key mode");
+    if (rekey_in_progress_) return err("mctls: rekey already in progress");
+
+    rekey_in_progress_ = true;
+    pending_epoch_ = epoch_ + 1;
+    rekey_revoked_ = revoke;
+    dir_switched_[0] = dir_switched_[1] = false;
+    rekey_own_partials_.clear();
+    pending_context_keys_.clear();
+
+    Bytes secret = cfg_.rng->bytes(32);
+    for (const auto& ctx : contexts_) {
+        rekey_own_partials_[ctx.id] = derive_partial_keys(secret, client_random_, ctx.id);
+        crypto::count_keygen(cfg_.ops, 2);
+    }
+
+    auto revoked = [&](const std::string& name) {
+        return std::find(rekey_revoked_.begin(), rekey_revoked_.end(), name) !=
+               rekey_revoked_.end();
+    };
+    RekeyRecord rec;
+    rec.phase = RekeyPhase::init;
+    rec.epoch = pending_epoch_;
+    for (size_t i = 0; i < mbox_state_.size(); ++i) {
+        if (revoked(middleboxes_[i].name)) continue;
+        rec.entries.push_back(
+            {static_cast<uint8_t>(i), seal_rekey_middlebox_material(i)});
+    }
+    std::vector<EndpointMaterialEntry> entries;
+    for (const auto& ctx : contexts_)
+        entries.push_back({ctx.id, rekey_own_partials_[ctx.id]});
+    RekeyEntry endpoint;
+    endpoint.entity = kEntityServer;
+    endpoint.sealed = authenc_seal(endpoint_keys_.key_material,
+                                   rekey_ad(kEntityClient, kEntityServer, pending_epoch_),
+                                   serialize_endpoint_material(entries), *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    rec.entries.push_back(std::move(endpoint));
+
+    queue_rekey_record(rec);
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init, 0, pending_epoch_,
+               rekey_revoked_.size());
+    return {};
+}
+
+Bytes Session::seal_rekey_middlebox_material(size_t mbox_index)
+{
+    std::vector<MiddleboxMaterialEntry> entries;
+    for (const auto& ctx : contexts_) {
+        Permission perm = granted_permission(mbox_index, ctx.id);
+        if (perm == Permission::none) continue;
+        MiddleboxMaterialEntry entry;
+        entry.context_id = ctx.id;
+        entry.permission = perm;
+        const PartialContextKeys& partial = rekey_own_partials_[ctx.id];
+        entry.reader_half = partial.reader_half;
+        if (perm == Permission::write) entry.writer_half = partial.writer_half;
+        entries.push_back(std::move(entry));
+    }
+    uint8_t sender = is_client_ ? kEntityClient : kEntityServer;
+    Bytes sealed = authenc_seal(
+        mbox_state_[mbox_index].pairwise,
+        rekey_ad(sender, static_cast<uint8_t>(mbox_index), pending_epoch_),
+        serialize_middlebox_material(entries), *cfg_.rng);
+    crypto::count_enc(cfg_.ops);
+    return sealed;
+}
+
+void Session::queue_rekey_record(const RekeyRecord& rec)
+{
+    tls::Record record{tls::ContentType::rekey, kControlContext, rec.serialize()};
+    Bytes wire = codec_.encode(record);
+    // Rekeys happen during the application phase; their cost is session
+    // overhead, not handshake bytes (which tests use to detect re-handshakes).
+    app_overhead_bytes_ += wire.size();
+    write_units_.push_back(std::move(wire));
+}
+
+void Session::switch_direction_keys(Direction dir)
+{
+    size_t d = static_cast<size_t>(dir);
+    for (auto& [id, pending] : pending_context_keys_) {
+        ContextKeys& current = context_keys_[id];
+        current.reader_enc[d] = pending.reader_enc[d];
+        current.reader_mac[d] = pending.reader_mac[d];
+        current.writer_mac[d] = pending.writer_mac[d];
+    }
+    dir_switched_[d] = true;
+}
+
+void Session::finish_rekey_if_switched()
+{
+    if (!rekey_in_progress_ || !dir_switched_[0] || !dir_switched_[1]) return;
+    epoch_ = pending_epoch_;
+    ++rekeys_completed_;
+    rekey_in_progress_ = false;
+    rekey_own_partials_.clear();
+    pending_context_keys_.clear();
+    rekey_revoked_.clear();
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_complete, 0, epoch_);
+}
+
+Status Session::handle_rekey_record(const tls::Record& record)
+{
+    if (state_ != State::established)
+        return fail(AlertDescription::unexpected_message, "mctls: early rekey record");
+    auto parsed = RekeyRecord::parse(record.payload);
+    if (!parsed) return fail(AlertDescription::decode_error, parsed.error().message);
+    const RekeyRecord& rk = parsed.value();
+
+    if (is_client_) {
+        // Only the server's response is legal here: it carries the fresh
+        // server halves and doubles as the s->c key-switch marker.
+        if (rk.phase != RekeyPhase::resp || !rekey_in_progress_ ||
+            rk.epoch != pending_epoch_)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: unexpected rekey record");
+        const RekeyEntry* own = nullptr;
+        for (const auto& e : rk.entries)
+            if (e.entity == kEntityClient) own = &e;
+        if (!own)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: rekey response without endpoint entry");
+        auto plain = authenc_open(endpoint_keys_.key_material,
+                                  rekey_ad(kEntityServer, kEntityClient, rk.epoch),
+                                  own->sealed);
+        if (!plain)
+            return fail(AlertDescription::decrypt_error,
+                        "mctls: rekey material: " + plain.error().message);
+        crypto::count_dec(cfg_.ops);
+        auto entries = parse_endpoint_material(plain.value());
+        if (!entries) return fail(entries.error().message);
+        std::map<uint8_t, PartialContextKeys> server_halves;
+        for (const auto& e : entries.value()) server_halves[e.context_id] = e.partial;
+        for (const auto& ctx : contexts_) {
+            auto own_it = rekey_own_partials_.find(ctx.id);
+            auto peer_it = server_halves.find(ctx.id);
+            if (own_it == rekey_own_partials_.end() || peer_it == server_halves.end())
+                return fail(AlertDescription::handshake_failure,
+                            "mctls: missing rekey halves");
+            pending_context_keys_[ctx.id] = combine_context_keys(
+                own_it->second, peer_it->second, client_random_, server_random_);
+            crypto::count_keygen(cfg_.ops, 2);
+        }
+        switch_direction_keys(Direction::server_to_client);
+        RekeyRecord commit;
+        commit.phase = RekeyPhase::commit;
+        commit.epoch = rk.epoch;
+        queue_rekey_record(commit);
+        switch_direction_keys(Direction::client_to_server);
+        finish_rekey_if_switched();
+        return {};
+    }
+
+    // Server.
+    if (rk.phase == RekeyPhase::init) {
+        if (rekey_in_progress_)
+            return fail(AlertDescription::unexpected_message, "mctls: overlapping rekey");
+        if (ckd_)
+            return fail(AlertDescription::unexpected_message, "mctls: rekey in CKD mode");
+        if (rk.epoch != epoch_ + 1)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: rekey epoch out of sequence");
+        rekey_in_progress_ = true;
+        pending_epoch_ = rk.epoch;
+        dir_switched_[0] = dir_switched_[1] = false;
+        pending_context_keys_.clear();
+        rekey_own_partials_.clear();
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init, 0, rk.epoch);
+
+        const RekeyEntry* own = nullptr;
+        for (const auto& e : rk.entries)
+            if (e.entity == kEntityServer) own = &e;
+        if (!own)
+            return fail(AlertDescription::illegal_parameter,
+                        "mctls: rekey init without endpoint entry");
+        auto plain = authenc_open(endpoint_keys_.key_material,
+                                  rekey_ad(kEntityClient, kEntityServer, rk.epoch),
+                                  own->sealed);
+        if (!plain)
+            return fail(AlertDescription::decrypt_error,
+                        "mctls: rekey material: " + plain.error().message);
+        crypto::count_dec(cfg_.ops);
+        auto entries = parse_endpoint_material(plain.value());
+        if (!entries) return fail(entries.error().message);
+        std::map<uint8_t, PartialContextKeys> client_halves;
+        for (const auto& e : entries.value()) client_halves[e.context_id] = e.partial;
+
+        Bytes secret = cfg_.rng->bytes(32);
+        for (const auto& ctx : contexts_) {
+            rekey_own_partials_[ctx.id] =
+                derive_partial_keys(secret, server_random_, ctx.id);
+            crypto::count_keygen(cfg_.ops, 2);
+        }
+        for (const auto& ctx : contexts_) {
+            auto c = client_halves.find(ctx.id);
+            if (c == client_halves.end())
+                return fail(AlertDescription::handshake_failure,
+                            "mctls: missing rekey halves");
+            pending_context_keys_[ctx.id] = combine_context_keys(
+                c->second, rekey_own_partials_[ctx.id], client_random_, server_random_);
+            crypto::count_keygen(cfg_.ops, 2);
+        }
+
+        // Mirror the client's recipient list: a middlebox with no entry in
+        // the init is being revoked and gets nothing from us either.
+        RekeyRecord resp;
+        resp.phase = RekeyPhase::resp;
+        resp.epoch = rk.epoch;
+        for (const auto& e : rk.entries) {
+            if (e.entity >= mbox_state_.size()) continue;  // the endpoint entry
+            resp.entries.push_back({e.entity, seal_rekey_middlebox_material(e.entity)});
+        }
+        std::vector<EndpointMaterialEntry> out;
+        for (const auto& ctx : contexts_)
+            out.push_back({ctx.id, rekey_own_partials_[ctx.id]});
+        RekeyEntry endpoint;
+        endpoint.entity = kEntityClient;
+        endpoint.sealed =
+            authenc_seal(endpoint_keys_.key_material,
+                         rekey_ad(kEntityServer, kEntityClient, rk.epoch),
+                         serialize_endpoint_material(out), *cfg_.rng);
+        crypto::count_enc(cfg_.ops);
+        resp.entries.push_back(std::move(endpoint));
+        queue_rekey_record(resp);
+        // The response doubles as our own send-direction switch marker.
+        switch_direction_keys(Direction::server_to_client);
+        return {};
+    }
+    if (rk.phase == RekeyPhase::commit) {
+        if (!rekey_in_progress_ || rk.epoch != pending_epoch_)
+            return fail(AlertDescription::unexpected_message,
+                        "mctls: unexpected rekey commit");
+        switch_direction_keys(Direction::client_to_server);
+        finish_rekey_if_switched();
+        return {};
+    }
+    return fail(AlertDescription::unexpected_message, "mctls: unexpected rekey record");
+}
+
 obs::SessionStats Session::session_stats() const
 {
     obs::SessionStats s;
     s.actor = actor_name_;
     s.established = state_ == State::established || state_ == State::closed;
     if (failure_.failed()) s.failure = failure_.message;
+    s.resumed = resumed_;
+    s.epoch = epoch_;
+    s.rekeys = rekeys_completed_;
     s.handshake_wire_bytes = handshake_wire_bytes_;
     s.app_overhead_bytes = app_overhead_bytes_;
     s.app_records_sent = app_records_sent_;

@@ -20,6 +20,7 @@
 #include "mctls/context_crypto.h"
 #include "obs/obs.h"
 #include "mctls/messages.h"
+#include "mctls/resumption.h"
 #include "mctls/transcript.h"
 #include "mctls/types.h"
 #include "pki/trust_store.h"
@@ -65,6 +66,15 @@ struct SessionConfig {
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
     uint64_t handshake_timeout = 0;
+
+    // --- Session continuity (see DESIGN.md "Session continuity") ---
+    // Client: offer this ticket's session id for an abbreviated handshake.
+    // The offer is made only when every configured middlebox appears in the
+    // ticket (a reduced list = excision); a server cache miss falls back to
+    // the full handshake transparently. Borrowed; must outlive start().
+    const ResumptionTicket* ticket = nullptr;
+    // Server: ticket store for resumption. nullptr disables resumption.
+    ServerSessionCache* session_cache = nullptr;
 };
 
 struct AppChunk {
@@ -111,6 +121,25 @@ public:
 
     Status send_app_data(uint8_t context_id, ConstBytes data);
     std::vector<AppChunk> take_app_data();
+
+    // --- Session continuity (see DESIGN.md "Session continuity") ---
+
+    // True once an abbreviated (resumed) handshake completed.
+    bool resumed() const { return resumed_; }
+    // Ticket for reconnecting later; valid() only after the handshake.
+    ResumptionTicket ticket() const;
+    // Current key epoch (0 until the first completed rekey) and the number
+    // of completed in-band rekeys.
+    uint32_t epoch() const { return epoch_; }
+    uint64_t rekeys_completed() const { return rekeys_completed_; }
+    // Digest of the context's current key material — lets tests prove a
+    // rekey/excision actually rotated the keys. Empty for unknown contexts.
+    Bytes context_key_fingerprint(uint8_t context_id) const;
+    // Client only, established sessions, contributory-key mode: bump the key
+    // epoch over the live connection. Middleboxes named in `revoke` (and any
+    // middlebox the session no longer trusts) receive no fresh key material
+    // and degrade to blind forwarding once the epoch switches.
+    Status initiate_rekey(const std::vector<std::string>& revoke = {});
 
     // Negotiated session composition (valid once the hellos are exchanged).
     const std::vector<MiddleboxInfo>& middleboxes() const { return middleboxes_; }
@@ -174,6 +203,19 @@ private:
     Status client_send_second_flight();
     Status server_send_final_flight();
     Status verify_peer_finished(const tls::HandshakeMessage& msg);
+
+    // Session continuity.
+    bool server_try_resumption(const tls::ClientHello& hello);
+    Status server_send_resumed_flight(ConstBytes client_hello_wire);
+    Status client_accept_resumption(ConstBytes server_hello_wire);
+    Status client_send_resumed_flight();
+    void derive_endpoint_secrets_from_scs();  // key schedule minus the DH step
+    Bytes resumed_finished_verify_data(const char* label);
+    Status handle_rekey_record(const tls::Record& record);
+    Bytes seal_rekey_middlebox_material(size_t mbox_index);
+    void queue_rekey_record(const RekeyRecord& rec);
+    void switch_direction_keys(Direction dir);
+    void finish_rekey_if_switched();
 
     const ContextDescription* find_context(uint8_t id) const;
     Permission requested_permission(size_t mbox, uint8_t ctx) const;
@@ -252,6 +294,22 @@ private:
     uint64_t mac_failures_ = 0;
     uint64_t alerts_sent_ = 0;
     uint64_t alerts_received_ = 0;
+
+    // --- Session continuity state ---
+    Bytes session_id_;           // assigned (server) or echoed (client)
+    bool resumed_ = false;
+    bool handshake_ever_complete_ = false;
+    Bytes resumed_transcript_;   // plain concat: CH || SH || server Finished
+    bool close_notify_emitted_ = false;
+
+    uint32_t epoch_ = 0;
+    uint64_t rekeys_completed_ = 0;
+    bool rekey_in_progress_ = false;
+    uint32_t pending_epoch_ = 0;
+    std::map<uint8_t, PartialContextKeys> rekey_own_partials_;
+    std::map<uint8_t, ContextKeys> pending_context_keys_;
+    bool dir_switched_[2] = {false, false};  // indexed by Direction
+    std::vector<std::string> rekey_revoked_;  // client: names to starve
 };
 
 }  // namespace mct::mctls

@@ -14,6 +14,12 @@ void SessionStats::to_json(std::string* out) const
     w.value(established);
     w.key("failure");
     w.value(failure);
+    w.key("resumed");
+    w.value(resumed);
+    w.key("epoch");
+    w.value(static_cast<uint64_t>(epoch));
+    w.key("rekeys");
+    w.value(rekeys);
     w.key("handshake_wire_bytes");
     w.value(handshake_wire_bytes);
     w.key("app_overhead_bytes");
@@ -60,6 +66,9 @@ void Hub::publish(const std::string& prefix, const SessionStats& s)
         metrics.counter(prefix + "." + name)->set(v);
     };
     set("established", s.established ? 1 : 0);
+    set("resumed", s.resumed ? 1 : 0);
+    set("epoch", s.epoch);
+    set("rekeys", s.rekeys);
     set("handshake_wire_bytes", s.handshake_wire_bytes);
     set("app_overhead_bytes", s.app_overhead_bytes);
     set("app_records_sent", s.app_records_sent);

@@ -35,6 +35,12 @@ struct SessionStats {
     bool established = false;
     std::string failure;  // empty when healthy
 
+    // Session continuity: abbreviated-handshake establishment, current key
+    // epoch, and the number of completed in-band rekeys.
+    bool resumed = false;
+    uint32_t epoch = 0;
+    uint64_t rekeys = 0;
+
     uint64_t handshake_wire_bytes = 0;
     uint64_t app_overhead_bytes = 0;
     uint64_t app_records_sent = 0;

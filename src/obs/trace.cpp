@@ -16,6 +16,13 @@ const char* to_string(EventType t)
     case EventType::hs_finished_verified: return "hs_finished_verified";
     case EventType::hs_complete: return "hs_complete";
     case EventType::hs_failed: return "hs_failed";
+    case EventType::hs_resume_offer: return "hs_resume_offer";
+    case EventType::hs_resume_accept: return "hs_resume_accept";
+    case EventType::hs_resume_reject: return "hs_resume_reject";
+    case EventType::rekey_init: return "rekey_init";
+    case EventType::rekey_complete: return "rekey_complete";
+    case EventType::mbox_rejoin: return "mbox_rejoin";
+    case EventType::mbox_excised: return "mbox_excised";
     case EventType::record_seal: return "record_seal";
     case EventType::record_open: return "record_open";
     case EventType::mac_verify_fail: return "mac_verify_fail";

@@ -39,6 +39,15 @@ enum class EventType : uint8_t {
     hs_complete,  // session established (a = handshake wire bytes)
     hs_failed,    // handshake or session failure
 
+    // Session continuity (resumption / rekeying / excision).
+    hs_resume_offer,   // abbreviated handshake offered (a = session id bytes)
+    hs_resume_accept,  // offer accepted: abbreviated flow runs
+    hs_resume_reject,  // cache miss: full handshake fallback
+    rekey_init,        // epoch bump initiated (a = new epoch)
+    rekey_complete,    // both directions switched (a = epoch)
+    mbox_rejoin,       // middlebox rejoined from cached session state
+    mbox_excised,      // middlebox spliced out of the session (a = entity)
+
     // Record layer (ctx = encryption context id, a = payload bytes,
     // b = MACs generated/verified for this record).
     record_seal,

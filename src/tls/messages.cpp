@@ -34,6 +34,7 @@ HandshakeMessage ClientHello::to_message() const
     Writer w;
     w.u16(version);
     w.raw(random);
+    w.vec8(session_id);
     Writer suites;
     for (uint16_t s : cipher_suites) suites.u16(s);
     w.vec8(suites.bytes());
@@ -51,6 +52,9 @@ Result<ClientHello> ClientHello::parse(ConstBytes body)
     auto random = r.raw(kRandomSize);
     if (!random) return random.error();
     hello.random = random.take();
+    auto sid = r.vec8();
+    if (!sid) return sid.error();
+    hello.session_id = sid.take();
     auto suites = r.vec8();
     if (!suites) return suites.error();
     if (suites.value().size() % 2 != 0) return err("client_hello: odd suite bytes");
@@ -68,6 +72,7 @@ HandshakeMessage ServerHello::to_message() const
     Writer w;
     w.u16(version);
     w.raw(random);
+    w.vec8(session_id);
     w.u16(cipher_suite);
     w.vec16(extensions);
     return {HandshakeType::server_hello, w.take()};
@@ -83,6 +88,9 @@ Result<ServerHello> ServerHello::parse(ConstBytes body)
     auto random = r.raw(kRandomSize);
     if (!random) return random.error();
     hello.random = random.take();
+    auto sid = r.vec8();
+    if (!sid) return sid.error();
+    hello.session_id = sid.take();
     auto suite = r.u16();
     if (!suite) return suite.error();
     hello.cipher_suite = suite.value();

@@ -55,6 +55,7 @@ private:
 struct ClientHello {
     uint16_t version = 0x0303;
     Bytes random;                        // 32 bytes
+    Bytes session_id;                    // empty, or a cached id offered for resumption
     std::vector<uint16_t> cipher_suites;
     Bytes extensions;                    // opaque; mcTLS payload lives here
 
@@ -65,6 +66,9 @@ struct ClientHello {
 struct ServerHello {
     uint16_t version = 0x0303;
     Bytes random;
+    // Echoes the ClientHello id to accept resumption; any other value (the
+    // id the server will cache this session under) means full handshake.
+    Bytes session_id;
     uint16_t cipher_suite = kCipherSuiteX25519Ed25519Aes128Sha256;
     Bytes extensions;
 

@@ -56,7 +56,7 @@ Result<std::optional<Record>> RecordCodec::next()
     }
 
     if (length > kMaxFragment + 1024) return err("record: oversized fragment");
-    if (type < 20 || type > 23) return err("record: unknown content type");
+    if (type < 20 || type > 24) return err("record: unknown content type");
     if (buffer_.size() < header + length) return std::optional<Record>{};
 
     Record record;

@@ -25,6 +25,10 @@ enum class ContentType : uint8_t {
     alert = 21,
     handshake = 22,
     application_data = 23,
+    // mcTLS addition: in-band context rekeying (epoch bump). Carried in
+    // plaintext so middleboxes can follow the epoch switch — same
+    // simplification as the plaintext alerts (see tls/alert.h).
+    rekey = 24,
 };
 
 constexpr uint16_t kProtocolVersion = 0x0303;  // TLS 1.2 wire version

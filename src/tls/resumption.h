@@ -1,0 +1,72 @@
+// TLS session resumption state (the abbreviated-handshake side of the
+// session-continuity layer; DESIGN.md "Session continuity").
+//
+// A client that completed a full handshake walks away with a TlsTicket:
+// the server-assigned session id plus the master secret. Offering the id in
+// a later ClientHello lets the server skip the key exchange and run the
+// abbreviated 1-RTT flow — both sides re-expand a fresh key block from the
+// cached master secret and the new randoms. The server keeps the
+// corresponding entries in a TlsSessionCache; a miss (expired, evicted, or
+// unknown id) falls back to the full handshake transparently.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/bytes.h"
+
+namespace mct::tls {
+
+constexpr size_t kSessionIdSize = 16;
+
+struct TlsTicket {
+    Bytes session_id;     // kSessionIdSize bytes
+    Bytes master_secret;  // 48 bytes
+
+    bool valid() const { return !session_id.empty() && !master_secret.empty(); }
+};
+
+// Server-side store, keyed by session id. Plain map with FIFO eviction —
+// the simulated testbed never holds more than a handful of sessions, so
+// no LRU machinery.
+class TlsSessionCache {
+public:
+    explicit TlsSessionCache(size_t capacity = 256) : capacity_(capacity) {}
+
+    void put(const TlsTicket& ticket)
+    {
+        if (!ticket.valid()) return;
+        std::string key = key_of(ticket.session_id);
+        if (entries_.find(key) == entries_.end()) order_.push_back(key);
+        entries_[key] = ticket;
+        while (order_.size() > capacity_) {
+            entries_.erase(order_.front());
+            order_.erase(order_.begin());
+        }
+    }
+
+    const TlsTicket* find(ConstBytes session_id) const
+    {
+        auto it = entries_.find(key_of(session_id));
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    void erase(ConstBytes session_id)
+    {
+        entries_.erase(key_of(session_id));
+    }
+
+    size_t size() const { return entries_.size(); }
+
+private:
+    static std::string key_of(ConstBytes id)
+    {
+        return std::string(reinterpret_cast<const char*>(id.data()), id.size());
+    }
+
+    size_t capacity_;
+    std::unordered_map<std::string, TlsTicket> entries_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace mct::tls

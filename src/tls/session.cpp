@@ -58,6 +58,13 @@ Status Session::fail_with(SessionError::Origin origin, AlertDescription descript
 void Session::send_alert(const Alert& alert)
 {
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
+    if (alert.is_close_notify()) {
+        // Idempotent shutdown: close() racing an incoming close_notify (or
+        // repeated close() calls) must not put a second close_notify on the
+        // wire. Deduped here at the emission layer so every caller is safe.
+        if (close_notify_emitted_) return;
+        close_notify_emitted_ = true;
+    }
     alert_sent_ = alert;
     ++alerts_sent_;
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, 0,
@@ -173,6 +180,11 @@ void Session::start()
     ClientHello hello;
     hello.random = client_random_;
     hello.cipher_suites = {kCipherSuiteX25519Ed25519Aes128Sha256};
+    if (cfg_.ticket && cfg_.ticket->valid()) {
+        hello.session_id = cfg_.ticket->session_id;
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_offer, 0,
+                   hello.session_id.size());
+    }
 
     Bytes flight;
     queue_handshake(hello.to_message(), &flight);
@@ -230,6 +242,9 @@ Status Session::handle_record(const Record& record)
             if (auto s = handle_handshake(*msg.value()); !s) return s;
         }
     }
+    case ContentType::rekey:
+        // In-band rekeying is an mcTLS extension; baseline TLS rejects it.
+        return fail(AlertDescription::unexpected_message, "tls: unexpected rekey record");
     case ContentType::application_data: {
         if (state_ != State::established)
             return fail(AlertDescription::unexpected_message, "tls: early app data");
@@ -281,6 +296,18 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
         if (hello.value().cipher_suite != kCipherSuiteX25519Ed25519Aes128Sha256)
             return fail(AlertDescription::handshake_failure, "tls: unsupported cipher suite");
         server_random_ = hello.value().random;
+        session_id_ = hello.value().session_id;
+        if (cfg_.ticket && cfg_.ticket->valid() &&
+            session_id_ == cfg_.ticket->session_id) {
+            // Server echoed our offer: abbreviated handshake. Re-expand a
+            // fresh key block from the cached master secret; the server's
+            // CCS + Finished come next, no certificate or key exchange.
+            resumed_ = true;
+            master_secret_ = cfg_.ticket->master_secret;
+            derive_key_block();
+            state_ = State::wait_server_finish;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept);
+        }
         return {};
     }
     case HandshakeType::certificate: {
@@ -344,6 +371,32 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
     client_random_ = hello.value().random;
 
     server_random_ = cfg_.rng->bytes(kRandomSize);
+
+    // Resumption offer: on a cache hit run the abbreviated flow — echo the
+    // id, re-expand keys from the cached master secret, and answer with
+    // CCS + Finished directly (1 RTT, no certificate / key exchange).
+    const Bytes& offered = hello.value().session_id;
+    if (!offered.empty() && cfg_.session_cache) {
+        if (const TlsTicket* cached = cfg_.session_cache->find(offered)) {
+            resumed_ = true;
+            session_id_ = offered;
+            master_secret_ = cached->master_secret;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept);
+
+            Bytes flight;
+            ServerHello sh;
+            sh.random = server_random_;
+            sh.session_id = session_id_;
+            queue_handshake(sh.to_message(), &flight);
+            flush_flight(std::move(flight));
+            derive_key_block();
+            send_ccs_and_finished(nullptr);
+            state_ = State::wait_client_finish;
+            return {};
+        }
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject);
+    }
+
     auto kp = crypto::x25519_keypair(*cfg_.rng);
     our_dh_private_ = kp.private_key;
     our_dh_public_ = kp.public_key;
@@ -351,6 +404,12 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
     Bytes flight;
     ServerHello sh;
     sh.random = server_random_;
+    // Fresh id the completed session will be cached under (resumption miss
+    // or first contact); clients treat a non-echoed id as "full handshake".
+    if (cfg_.session_cache) {
+        session_id_ = cfg_.rng->bytes(kSessionIdSize);
+        sh.session_id = session_id_;
+    }
     queue_handshake(sh.to_message(), &flight);
 
     CertificateMsg certs{cfg_.chain};
@@ -373,6 +432,9 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
 Status Session::server_handle_second_flight(const HandshakeMessage& msg)
 {
     if (msg.type == HandshakeType::client_key_exchange) {
+        if (resumed_)
+            return fail(AlertDescription::unexpected_message,
+                        "tls: key exchange in abbreviated handshake");
         Bytes wire = msg.serialize();
         append(transcript_, wire);
         crypto::count_hash(cfg_.ops);
@@ -394,7 +456,13 @@ void Session::derive_keys()
 
     Bytes randoms = concat(client_random_, server_random_);
     master_secret_ = crypto::prf(pre.value(), "master secret", randoms, 48);
+    derive_key_block();
+}
 
+// Key-block expansion from an existing master secret — the part of the key
+// schedule the abbreviated handshake re-runs with fresh randoms (no DH).
+void Session::derive_key_block()
+{
     Bytes seed = concat(server_random_, client_random_);
     Bytes block =
         crypto::prf(master_secret_, "key expansion", seed, 2 * kMacKeySize + 2 * kKeySize);
@@ -459,8 +527,13 @@ Status Session::handle_finished(const HandshakeMessage& msg)
     crypto::count_hash(cfg_.ops);
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
 
-    if (cfg_.role == Role::server) send_ccs_and_finished(nullptr);
+    // Full handshake: the server answers the client's Finished. Abbreviated:
+    // the order flips — the server spoke first, the client answers here.
+    bool respond = resumed_ ? cfg_.role == Role::client : cfg_.role == Role::server;
+    if (respond) send_ccs_and_finished(nullptr);
     state_ = State::established;
+    if (cfg_.role == Role::server && cfg_.session_cache && !session_id_.empty())
+        cfg_.session_cache->put({session_id_, master_secret_});
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
                handshake_wire_bytes_);
     return {};
@@ -495,6 +568,7 @@ obs::SessionStats Session::session_stats() const
     s.actor = actor_name_;
     s.established = state_ == State::established || state_ == State::closed;
     if (failure_.failed()) s.failure = failure_.message;
+    s.resumed = resumed_;
     s.handshake_wire_bytes = handshake_wire_bytes_;
     s.app_overhead_bytes = app_overhead_bytes_;
     s.app_records_sent = app_records_sent_;

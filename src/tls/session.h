@@ -23,6 +23,7 @@
 #include "tls/alert.h"
 #include "tls/messages.h"
 #include "tls/record.h"
+#include "tls/resumption.h"
 #include "util/rng.h"
 
 namespace mct::tls {
@@ -49,6 +50,13 @@ struct SessionConfig {
     // Handshake deadline for tick(), in the caller's clock units (the
     // deadline arms at the first tick() call). 0 disables the deadline.
     uint64_t handshake_timeout = 0;
+    // Client: offer this ticket's session id for an abbreviated handshake.
+    // A server cache miss falls back to the full handshake transparently.
+    // Borrowed; must outlive start().
+    const TlsTicket* ticket = nullptr;
+    // Server: session store for resumption. nullptr disables resumption
+    // (offers are rejected, full handshake always). Borrowed.
+    TlsSessionCache* session_cache = nullptr;
 };
 
 class Session {
@@ -67,6 +75,13 @@ public:
     bool handshake_complete() const { return state_ == State::established; }
     bool failed() const { return state_ == State::failed; }
     const std::string& error() const { return error_; }
+
+    // --- Session continuity (see DESIGN.md "Session continuity") ---
+
+    // True once an abbreviated (resumed) handshake completed.
+    bool resumed() const { return resumed_; }
+    // Ticket for reconnecting later; valid() only after the handshake.
+    TlsTicket ticket() const { return {session_id_, master_secret_}; }
 
     // --- Failure semantics (see DESIGN.md "Failure model") ---
 
@@ -139,6 +154,7 @@ private:
     Status handle_finished(const HandshakeMessage& msg);
 
     void derive_keys();
+    void derive_key_block();
     Bytes finished_verify_data(const char* label) const;
     void send_ccs_and_finished(Bytes* flight);
 
@@ -149,6 +165,7 @@ private:
     std::optional<Alert> alert_sent_;
     std::optional<Alert> peer_alert_;
     bool close_sent_ = false;
+    bool close_notify_emitted_ = false;  // emission-layer dedup (idempotent shutdown)
     bool peer_close_received_ = false;
     bool truncated_ = false;
     uint64_t handshake_deadline_ = 0;  // 0 = not armed
@@ -166,6 +183,12 @@ private:
     Bytes peer_dh_public_;
     Bytes master_secret_;
     std::vector<pki::Certificate> peer_chain_;
+
+    // Resumption (DESIGN.md "Session continuity"): the id this session is
+    // cached under — server-assigned on the full handshake, client-offered
+    // on the abbreviated one.
+    Bytes session_id_;
+    bool resumed_ = false;
 
     std::unique_ptr<CbcHmacProtector> send_protector_;
     std::unique_ptr<CbcHmacProtector> recv_protector_;

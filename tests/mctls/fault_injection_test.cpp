@@ -6,6 +6,7 @@
 // hang.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "http/testbed.h"
@@ -189,6 +190,134 @@ TEST(FaultInjection, ByzantineCorruptionDetectedByMacAndAlerted)
     EXPECT_FALSE(fetch->completed);
     EXPECT_TRUE(fetch->failed);
     EXPECT_NE(fetch->error.find("bad_record_mac"), std::string::npos) << fetch->error;
+}
+
+TEST(FaultInjection, ResumePolicyRecoversViaAbbreviatedHandshake)
+{
+    Baseline base = measure_baseline(1, kStream);
+    ASSERT_LT(base.handshake_done, base.done);
+    net::SimTime kill_at = (base.handshake_done + base.done) / 2;
+
+    obs::Hub hub;
+#if defined(MCT_OBS_ENABLED)
+    obs::RingBufferSink ring(1 << 16);
+    hub.tracer.add_sink(&ring);
+#endif
+    TestbedConfig cfg;
+    cfg.n_middleboxes = 1;
+    cfg.handshake_deadline = 5_s;
+    // Kill mid-transfer — after the full handshake minted tickets — and
+    // restart before the retry budget runs out.
+    cfg.faults = {{FaultEvent::Kind::kill_middlebox, kill_at, 0, 0},
+                  {FaultEvent::Kind::restart_middlebox, kill_at + 500_ms, 0, 0}};
+    cfg.recovery = RecoveryPolicy::resume;
+    cfg.retry = {/*max_attempts=*/5, /*backoff=*/300_ms, /*multiplier=*/2.0};
+    cfg.obs = &hub;
+    Testbed tb(cfg);
+    auto fetch = tb.fetch_sequence(kStream);
+    tb.run();
+
+    // The retry completed over an abbreviated handshake through the
+    // restarted middlebox, which rejoined from its cached pairwise keys.
+    EXPECT_TRUE(fetch->completed) << fetch->error;
+    EXPECT_GE(fetch->attempts, 2u);
+    EXPECT_TRUE(fetch->resumed);
+    EXPECT_FALSE(fetch->fell_back_to_tls);
+
+    // Handshake counters: the resumed attempt must NOT have re-run the full
+    // 2-RTT exchange — its flight is a fraction of the first attempt's.
+    // (Attempt 1 ran full; the completing attempt is "client#<attempts>".)
+    tb.publish_session_stats();
+    std::string last = "client#" + std::to_string(fetch->attempts);
+    uint64_t full = hub.metrics.counter("client.handshake_wire_bytes")->value();
+    uint64_t resumed = hub.metrics.counter(last + ".handshake_wire_bytes")->value();
+    EXPECT_EQ(hub.metrics.counter(last + ".resumed")->value(), 1u);
+    ASSERT_GT(full, 0u);
+    ASSERT_GT(resumed, 0u);
+    EXPECT_LT(resumed, full);
+#if defined(MCT_OBS_ENABLED)
+    bool saw_accept = false, saw_rejoin = false;
+    for (const auto& e : ring.ordered()) {
+        if (e.type == obs::EventType::hs_resume_accept) saw_accept = true;
+        if (e.type == obs::EventType::mbox_rejoin) saw_rejoin = true;
+    }
+    EXPECT_TRUE(saw_accept);
+    EXPECT_TRUE(saw_rejoin);
+#endif
+}
+
+TEST(FaultInjection, ExcisePolicySplicesOutDeadMiddlebox)
+{
+    Baseline base = measure_baseline(2, kStream);
+    ASSERT_LT(base.handshake_done, base.done);
+
+    obs::Hub hub;
+#if defined(MCT_OBS_ENABLED)
+    obs::RingBufferSink ring(1 << 16);
+    hub.tracer.add_sink(&ring);
+#endif
+    TestbedConfig cfg;
+    cfg.n_middleboxes = 2;
+    cfg.handshake_deadline = 5_s;
+    // mbox0 dies mid-transfer and never comes back.
+    cfg.faults = {{FaultEvent::Kind::kill_middlebox,
+                   (base.handshake_done + base.done) / 2, 0, 0}};
+    cfg.recovery = RecoveryPolicy::excise;
+    cfg.retry = {/*max_attempts=*/4, /*backoff=*/200_ms, /*multiplier=*/2.0};
+    cfg.obs = &hub;
+    Testbed tb(cfg);
+    auto fetch = tb.fetch_sequence(kStream);
+    tb.run();
+
+    // The retry resumed with the dead middlebox spliced out of the session
+    // composition; both endpoints contributed fresh context-key halves the
+    // dead middlebox never saw, so its old keys are useless going forward
+    // (key rotation itself is asserted by the session-level excision test).
+    EXPECT_TRUE(fetch->completed) << fetch->error;
+    EXPECT_GE(fetch->attempts, 2u);
+    EXPECT_TRUE(fetch->resumed);
+    EXPECT_FALSE(fetch->fell_back_to_tls);
+
+    tb.publish_session_stats();
+    std::string last = "client#" + std::to_string(fetch->attempts);
+    EXPECT_EQ(hub.metrics.counter(last + ".resumed")->value(), 1u);
+    uint64_t full = hub.metrics.counter("client.handshake_wire_bytes")->value();
+    uint64_t resumed = hub.metrics.counter(last + ".handshake_wire_bytes")->value();
+    ASSERT_GT(resumed, 0u);
+    EXPECT_LT(resumed, full);
+#if defined(MCT_OBS_ENABLED)
+    bool saw_excised = false;
+    for (const auto& e : ring.ordered())
+        if (e.type == obs::EventType::mbox_excised) saw_excised = true;
+    EXPECT_TRUE(saw_excised);
+#endif
+}
+
+TEST(FaultInjection, RetryBackoffJitterAndCapStillRecover)
+{
+    Baseline base = measure_baseline(1, kSmall);
+    net::SimTime kill_at = base.handshake_done / 2;
+
+    TestbedConfig cfg;
+    cfg.n_middleboxes = 1;
+    cfg.handshake_deadline = 5_s;
+    cfg.faults = {{FaultEvent::Kind::kill_middlebox, kill_at, 0, 0},
+                  {FaultEvent::Kind::restart_middlebox, kill_at + 900_ms, 0, 0}};
+    cfg.recovery = RecoveryPolicy::reconnect;
+    cfg.retry = {/*max_attempts=*/8, /*backoff=*/300_ms, /*multiplier=*/4.0};
+    cfg.retry.jitter = 0.5;        // each delay scaled by U[0.5, 1.5]
+    cfg.retry.max_backoff = 350_ms;  // exponential growth clamped
+    Testbed tb(cfg);
+    auto fetch = tb.fetch(2000);
+    tb.run();
+
+    EXPECT_TRUE(fetch->completed) << fetch->error;
+    EXPECT_GE(fetch->attempts, 2u);
+    // With the cap at 350ms (plus at most 50% jitter), the retries keep
+    // probing densely enough to catch the restart quickly; uncapped 4x
+    // growth would have slept past it. 8 capped+jittered delays fit well
+    // under 5 simulated seconds.
+    EXPECT_LE(fetch->done, fetch->start + 5_s);
 }
 
 TEST(FaultInjection, NoFaultConfigKeepsAccountingIdentical)

@@ -1,0 +1,294 @@
+// Session continuity (DESIGN.md "Session continuity"): abbreviated mcTLS
+// handshakes from cached tickets, middlebox rejoin, clean fallback on a
+// server cache miss, in-band rekeying with data in flight, middlebox
+// revocation, and live excision of a dead middlebox.
+#include "mctls/resumption.h"
+
+#include <gtest/gtest.h>
+
+#include "mctls/session.h"
+#include "tests/mctls/harness.h"
+
+namespace mct::mctls {
+namespace {
+
+using test::ChainEnv;
+using test::ctx_row;
+
+// ChainEnv plus the continuity stores: a server-side ticket cache, one
+// pairwise-key cache per middlebox, and the client's last ticket.
+struct ResumeEnv : ChainEnv {
+    ServerSessionCache server_cache;
+    std::vector<MiddleboxSessionCache> mbox_caches;
+    ResumptionTicket client_ticket;
+    std::vector<MiddleboxInfo> infos;
+    std::vector<ContextDescription> ctxs;
+    bool ckd = false;
+
+    void full_handshake(size_t n, std::vector<ContextDescription> contexts,
+                        bool use_ckd = false)
+    {
+        ctxs = contexts;
+        ckd = use_ckd;
+        infos = make_middleboxes(n);
+        mbox_caches.resize(n);
+        client = std::make_unique<Session>(client_config(infos, std::move(contexts)));
+        auto scfg = server_config();
+        scfg.client_key_distribution = ckd;
+        scfg.session_cache = &server_cache;
+        server = std::make_unique<Session>(scfg);
+        for (size_t i = 0; i < n; ++i) {
+            auto mcfg = mbox_config(i);
+            mcfg.session_cache = &mbox_caches[i];
+            mboxes.push_back(std::make_unique<MiddleboxSession>(std::move(mcfg)));
+        }
+        handshake();
+    }
+
+    // Tear the chain down and reconnect, keeping only the middleboxes at
+    // `keep` (indices into the original list). keep == all -> plain resume;
+    // a subset -> excision of the absent middleboxes.
+    void resume(const std::vector<size_t>& keep)
+    {
+        client_ticket = client->ticket();
+        ASSERT_TRUE(client_ticket.valid());
+        std::vector<MiddleboxInfo> rinfos;
+        for (size_t idx : keep) rinfos.push_back(infos[idx]);
+        std::vector<ContextDescription> rctxs = ctxs;
+        for (auto& ctx : rctxs) {
+            std::vector<Permission> kept;
+            for (size_t idx : keep)
+                if (idx < ctx.permissions.size()) kept.push_back(ctx.permissions[idx]);
+            ctx.permissions = std::move(kept);
+        }
+        auto ccfg = client_config(rinfos, std::move(rctxs));
+        ccfg.ticket = &client_ticket;
+        client = std::make_unique<Session>(ccfg);
+        auto scfg = server_config();
+        scfg.client_key_distribution = ckd;
+        scfg.session_cache = &server_cache;
+        server = std::make_unique<Session>(scfg);
+        mboxes.clear();
+        for (size_t idx : keep) {
+            auto mcfg = mbox_config(idx);
+            mcfg.session_cache = &mbox_caches[idx];
+            mboxes.push_back(std::make_unique<MiddleboxSession>(std::move(mcfg)));
+        }
+        handshake();
+    }
+};
+
+Bytes drain(Session& session)
+{
+    Bytes out;
+    for (auto& chunk : session.take_app_data()) append(out, chunk.data);
+    return out;
+}
+
+TEST(Resumption, AbbreviatedHandshakeThroughMiddlebox)
+{
+    ResumeEnv env;
+    env.full_handshake(1, {ctx_row(1, "data", 1, Permission::read)});
+    ASSERT_TRUE(env.all_complete());
+    ASSERT_FALSE(env.client->resumed());
+    uint64_t full_bytes = env.client->handshake_wire_bytes();
+    Bytes fp_before = env.client->context_key_fingerprint(1);
+    ASSERT_FALSE(fp_before.empty());
+
+    env.resume({0});
+    ASSERT_TRUE(env.all_complete())
+        << env.client->error() << " / " << env.server->error();
+    EXPECT_TRUE(env.client->resumed());
+    EXPECT_TRUE(env.server->resumed());
+    EXPECT_TRUE(env.mboxes[0]->resumed());
+    // No certificates, no DH: the abbreviated handshake is much smaller.
+    EXPECT_LT(env.client->handshake_wire_bytes(), full_bytes);
+
+    // Both endpoints contributed FRESH halves: the context keys rotated,
+    // and both ends agree on the new material.
+    Bytes fp_after = env.client->context_key_fingerprint(1);
+    EXPECT_NE(fp_after, fp_before);
+    EXPECT_EQ(fp_after, env.server->context_key_fingerprint(1));
+
+    // Data flows, and the rejoined middlebox can still read it.
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("GET /")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "GET /");
+    EXPECT_EQ(env.mboxes[0]->records_read(), 1u);
+    ASSERT_TRUE(env.server->send_app_data(1, str_to_bytes("200 OK")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.client)), "200 OK");
+}
+
+TEST(Resumption, CacheMissFallsBackToFullHandshake)
+{
+    ResumeEnv env;
+    env.full_handshake(1, {ctx_row(1, "data", 1, Permission::read)});
+    ASSERT_TRUE(env.all_complete());
+
+    // Server lost the session state: the offer must be rejected and the
+    // connection completed via a clean full handshake.
+    env.server_cache.erase(env.client->ticket().session_id);
+    env.resume({0});
+    ASSERT_TRUE(env.all_complete())
+        << env.client->error() << " / " << env.server->error();
+    EXPECT_FALSE(env.client->resumed());
+    EXPECT_FALSE(env.server->resumed());
+    EXPECT_FALSE(env.mboxes[0]->resumed());
+
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("ping")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "ping");
+    // The fallback minted a replacement ticket under a fresh id.
+    EXPECT_NE(env.client->ticket().session_id, env.client_ticket.session_id);
+}
+
+TEST(Resumption, CkdSessionsResumeToo)
+{
+    ResumeEnv env;
+    env.full_handshake(1, {ctx_row(1, "data", 1, Permission::read)},
+                       /*use_ckd=*/true);
+    ASSERT_TRUE(env.all_complete());
+    Bytes fp_before = env.client->context_key_fingerprint(1);
+
+    env.resume({0});
+    ASSERT_TRUE(env.all_complete())
+        << env.client->error() << " / " << env.server->error() << " / mbox: "
+        << env.mboxes[0]->error();
+    EXPECT_TRUE(env.client->resumed());
+    EXPECT_TRUE(env.server->resumed());
+    EXPECT_TRUE(env.mboxes[0]->resumed());
+    EXPECT_NE(env.client->context_key_fingerprint(1), fp_before);
+
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("hi")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "hi");
+    EXPECT_EQ(env.mboxes[0]->records_read(), 1u);
+}
+
+TEST(Resumption, ExcisionRemovesWriteMiddleboxAndRotatesKeys)
+{
+    ResumeEnv env;
+    env.full_handshake(2, {ctx_row(1, "data", 2, Permission::write)});
+    ASSERT_TRUE(env.all_complete());
+    Bytes fp_before = env.client->context_key_fingerprint(1);
+
+    // mbox0 (write access over context 1) died; splice it out by resuming
+    // with the reduced list. The context it could read gets fresh keys.
+    env.resume({1});
+    ASSERT_TRUE(env.all_complete())
+        << env.client->error() << " / " << env.server->error();
+    EXPECT_TRUE(env.client->resumed());
+    EXPECT_TRUE(env.server->resumed());
+    ASSERT_EQ(env.mboxes.size(), 1u);
+    EXPECT_TRUE(env.mboxes[0]->resumed());
+    EXPECT_EQ(env.client->middleboxes().size(), 1u);
+
+    // The fresh halves were never sealed toward mbox0: its old context keys
+    // cannot decrypt post-excision records.
+    Bytes fp_after = env.client->context_key_fingerprint(1);
+    EXPECT_NE(fp_after, fp_before);
+    EXPECT_EQ(fp_after, env.server->context_key_fingerprint(1));
+
+    // The survivor keeps its write grant; the endpoint MAC invariants hold
+    // (the endpoints still accept the records the survivor re-MACs).
+    EXPECT_EQ(env.client->granted_permission(0, 1), Permission::write);
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::write);
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("POST /")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "POST /");
+
+    // The server's cache entry narrowed to the surviving composition, so a
+    // later resumption cannot silently re-admit the excised middlebox.
+    const ResumptionTicket* cached =
+        env.server_cache.find(env.client->ticket().session_id);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->middleboxes.size(), 1u);
+}
+
+TEST(Rekey, RekeyWithAppDataInFlight)
+{
+    ChainEnv env;
+    env.build(1, {ctx_row(1, "data", 1, Permission::read)});
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    Bytes fp_before = env.client->context_key_fingerprint(1);
+
+    // Data queued on both directions BEFORE the rekey records flow: the
+    // per-direction switch points must leave all of it decryptable.
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("before ")).ok());
+    ASSERT_TRUE(env.client->initiate_rekey().ok());
+    ASSERT_TRUE(env.server->send_app_data(1, str_to_bytes("reply ")).ok());
+    env.pump();
+
+    EXPECT_EQ(env.client->epoch(), 1u);
+    EXPECT_EQ(env.server->epoch(), 1u);
+    EXPECT_EQ(env.mboxes[0]->epoch(), 1u);
+    EXPECT_EQ(env.client->rekeys_completed(), 1u);
+
+    // Keys rotated and both ends agree.
+    Bytes fp_after = env.client->context_key_fingerprint(1);
+    EXPECT_NE(fp_after, fp_before);
+    EXPECT_EQ(fp_after, env.server->context_key_fingerprint(1));
+
+    // Post-rekey data flows in both directions, still readable in flight.
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("after")).ok());
+    ASSERT_TRUE(env.server->send_app_data(1, str_to_bytes("done")).ok());
+    env.pump();
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "before after");
+    EXPECT_EQ(bytes_to_str(drain(*env.client)), "reply done");
+    EXPECT_EQ(env.mboxes[0]->records_read(), 4u);
+
+    // Hygiene rekeys can repeat.
+    ASSERT_TRUE(env.client->initiate_rekey().ok());
+    env.pump();
+    EXPECT_EQ(env.client->epoch(), 2u);
+    EXPECT_EQ(env.server->epoch(), 2u);
+    EXPECT_EQ(env.mboxes[0]->epoch(), 2u);
+}
+
+TEST(Rekey, RevocationDegradesMiddleboxToBlindForwarding)
+{
+    ChainEnv env;
+    env.build(1, {ctx_row(1, "data", 1, Permission::read)});
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("visible")).ok());
+    env.pump();
+    EXPECT_EQ(env.mboxes[0]->records_read(), 1u);
+    drain(*env.server);
+
+    // Revoke the middlebox: it receives no fresh key material, so once the
+    // epoch switches it can only forward, blind.
+    ASSERT_TRUE(env.client->initiate_rekey({env.client->middleboxes()[0].name}).ok());
+    env.pump();
+    EXPECT_EQ(env.client->epoch(), 1u);
+    EXPECT_EQ(env.server->epoch(), 1u);
+    EXPECT_EQ(env.mboxes[0]->permission(1), Permission::none);
+
+    uint64_t blind_before = env.mboxes[0]->records_forwarded_blind();
+    ASSERT_TRUE(env.client->send_app_data(1, str_to_bytes("secret")).ok());
+    ASSERT_TRUE(env.server->send_app_data(1, str_to_bytes("hidden")).ok());
+    env.pump();
+    // End-to-end delivery still works; the revoked middlebox saw only
+    // ciphertext it can no longer open.
+    EXPECT_EQ(bytes_to_str(drain(*env.server)), "secret");
+    EXPECT_EQ(bytes_to_str(drain(*env.client)), "hidden");
+    EXPECT_EQ(env.mboxes[0]->records_read(), 1u);
+    EXPECT_GT(env.mboxes[0]->records_forwarded_blind(), blind_before);
+}
+
+TEST(Rekey, CkdSessionsRejectInBandRekey)
+{
+    ChainEnv env;
+    env.build(1, {ctx_row(1, "data", 1, Permission::read)}, /*ckd=*/true);
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+    // Contributory rekeying needs both endpoints' halves; CKD sessions must
+    // resume instead.
+    EXPECT_FALSE(env.client->initiate_rekey().ok());
+}
+
+}  // namespace
+}  // namespace mct::mctls
