@@ -1,7 +1,12 @@
-// Crypto primitive micro-benchmarks (google-benchmark): sanity-checks the
-// substrate the protocol benches stand on.
-#include <benchmark/benchmark.h>
+// Crypto primitive micro-benchmarks: sanity-checks the substrate the
+// protocol benches stand on. Manual timing loop (bench_timing.h) with the
+// same shape as the committed pre-change baseline; emits
+// BENCH_crypto_micro.json when MCT_BENCH_JSON_DIR is set so
+// scripts/bench_baseline.sh can diff runs.
+#include <string>
 
+#include "bench_json.h"
+#include "bench_timing.h"
 #include "crypto/aes.h"
 #include "crypto/drbg.h"
 #include "crypto/ed25519.h"
@@ -12,95 +17,69 @@
 #include "util/rng.h"
 
 using namespace mct;
-using namespace mct::crypto;
 
-namespace {
-
-void BM_Sha256(benchmark::State& state)
+int main()
 {
+    bench::BenchReport report("crypto_micro");
     TestRng rng(1);
-    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) benchmark::DoNotOptimize(Sha256::digest(data));
-    state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Sha256)->Arg(64)->Arg(1460)->Arg(16384);
 
-void BM_Sha512(benchmark::State& state)
-{
-    TestRng rng(2);
-    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) benchmark::DoNotOptimize(Sha512::digest(data));
-    state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Sha512)->Arg(1460);
+    std::vector<size_t> sizes{1460, 16384};
+    if (bench::smoke_mode()) sizes = {1460};
+    for (size_t size : sizes) {
+        Bytes data = rng.bytes(size);
+        Bytes key16 = rng.bytes(16), key32 = rng.bytes(32);
+        std::string x = std::to_string(size) + "B";
+        double mb = static_cast<double>(size) / 1e6;
+        report.point("sha256_MBps", x,
+                     mb * bench::ops_per_sec([&] { crypto::Sha256::digest(data); }));
+        report.point("hmac_sha256_MBps", x,
+                     mb * bench::ops_per_sec([&] { crypto::HmacSha256::mac(key32, data); }));
+        report.point("aes128_cbc_encrypt_MBps", x,
+                     mb * bench::ops_per_sec([&] { crypto::aes128_cbc_encrypt(key16, data, rng); }));
+        Bytes ct = crypto::aes128_cbc_encrypt(key16, data, rng);
+        report.point("aes128_cbc_decrypt_MBps", x, mb * bench::ops_per_sec([&] {
+            auto r = crypto::aes128_cbc_decrypt(key16, ct);
+            (void)r;
+        }));
+        // Fast-path variants: cached key schedule, append-into reused buffers.
+        crypto::Aes128 cipher(key16);
+        Bytes out;
+        report.point("aes128_cbc_encrypt_into_MBps", x, mb * bench::ops_per_sec([&] {
+            out.clear();
+            crypto::aes128_cbc_encrypt_into(cipher, data, rng, out);
+        }));
+        Bytes plain;
+        report.point("aes128_cbc_decrypt_into_MBps", x, mb * bench::ops_per_sec([&] {
+            plain.clear();
+            auto r = crypto::aes128_cbc_decrypt_into(cipher, ct, plain);
+            (void)r;
+        }));
+    }
 
-void BM_HmacSha256(benchmark::State& state)
-{
-    TestRng rng(3);
-    Bytes key = rng.bytes(32);
-    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) benchmark::DoNotOptimize(HmacSha256::mac(key, data));
-    state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_HmacSha256)->Arg(1460)->Arg(16384);
-
-void BM_Aes128CbcEncrypt(benchmark::State& state)
-{
-    TestRng rng(4);
-    Bytes key = rng.bytes(16);
-    Bytes data = rng.bytes(static_cast<size_t>(state.range(0)));
-    for (auto _ : state) benchmark::DoNotOptimize(aes128_cbc_encrypt(key, data, rng));
-    state.SetBytesProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Aes128CbcEncrypt)->Arg(1460)->Arg(16384);
-
-void BM_TlsPrf(benchmark::State& state)
-{
-    TestRng rng(5);
-    Bytes secret = rng.bytes(48);
-    Bytes seed = rng.bytes(64);
-    for (auto _ : state) benchmark::DoNotOptimize(prf(secret, "key expansion", seed, 128));
-}
-BENCHMARK(BM_TlsPrf);
-
-void BM_X25519SharedSecret(benchmark::State& state)
-{
-    TestRng rng(6);
-    auto alice = x25519_keypair(rng);
-    auto bob = x25519_keypair(rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(x25519_shared(alice.private_key, bob.public_key));
-}
-BENCHMARK(BM_X25519SharedSecret);
-
-void BM_Ed25519Sign(benchmark::State& state)
-{
-    TestRng rng(7);
-    auto kp = ed25519_keypair(rng);
+    {
+        Bytes secret = rng.bytes(48);
+        Bytes seed = rng.bytes(64);
+        report.point("tls_prf_ops", "op", bench::ops_per_sec([&] {
+            auto r = crypto::prf(secret, "key expansion", seed, 128);
+            (void)r;
+        }));
+    }
+    auto alice = crypto::x25519_keypair(rng);
+    auto bob = crypto::x25519_keypair(rng);
+    report.point("x25519_shared_ops", "op", bench::ops_per_sec([&] {
+        auto r = crypto::x25519_shared(alice.private_key, bob.public_key);
+        (void)r;
+    }));
+    auto kp = crypto::ed25519_keypair(rng);
     Bytes msg = rng.bytes(256);
-    for (auto _ : state) benchmark::DoNotOptimize(ed25519_sign(kp.private_key, msg));
+    report.point("ed25519_sign_ops", "op",
+                 bench::ops_per_sec([&] { crypto::ed25519_sign(kp.private_key, msg); }));
+    Bytes sig = crypto::ed25519_sign(kp.private_key, msg);
+    report.point("ed25519_verify_ops", "op", bench::ops_per_sec([&] {
+        crypto::ed25519_verify(kp.public_key, msg, sig);
+    }));
+    crypto::HmacDrbg drbg(str_to_bytes("bench"));
+    report.point("hmac_drbg_1k_ops", "op",
+                 bench::ops_per_sec([&] { drbg.bytes(1024); }));
+    return 0;
 }
-BENCHMARK(BM_Ed25519Sign);
-
-void BM_Ed25519Verify(benchmark::State& state)
-{
-    TestRng rng(8);
-    auto kp = ed25519_keypair(rng);
-    Bytes msg = rng.bytes(256);
-    Bytes sig = ed25519_sign(kp.private_key, msg);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(ed25519_verify(kp.public_key, msg, sig));
-}
-BENCHMARK(BM_Ed25519Verify);
-
-void BM_HmacDrbg(benchmark::State& state)
-{
-    HmacDrbg drbg(str_to_bytes("bench"));
-    for (auto _ : state) benchmark::DoNotOptimize(drbg.bytes(1024));
-    state.SetBytesProcessed(state.iterations() * 1024);
-}
-BENCHMARK(BM_HmacDrbg);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Run the record-pipeline benches, write their BENCH_*.json into a baseline
+# directory, and diff throughput against a previous baseline.
+#
+# Usage:
+#   scripts/bench_baseline.sh [out_dir] [ref_dir]
+#
+#   out_dir  where to write the fresh BENCH_*.json (default
+#            bench/baselines/current)
+#   ref_dir  baseline to diff against (default bench/baselines/pre, the
+#            committed pre-fast-path capture)
+#
+# Environment:
+#   MCT_BENCH_REGRESSION_PCT  fail if any shared ops/sec series drops more
+#                             than this percentage below the reference
+#                             (default 10; set to 100 to only report)
+#   MCT_BENCH_SMOKE=1         propagated to the benches: millisecond runs,
+#                             useful to validate the pipeline, meaningless
+#                             as a performance baseline
+#
+# Exit status: 1 on missing/invalid JSON or on a regression beyond the
+# threshold; 0 otherwise. The per-series comparison table always prints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build=build
+out_dir=${1:-bench/baselines/current}
+ref_dir=${2:-bench/baselines/pre}
+threshold=${MCT_BENCH_REGRESSION_PCT:-10}
+
+benches=(bench_ablation_record_protection bench_crypto_micro bench_fig7_download_time)
+
+if [[ ! -x "$build/bench/${benches[0]}" ]]; then
+    echo "building benches..."
+    cmake -B "$build" -S . >/dev/null
+    cmake --build "$build" -j "$(nproc)" --target "${benches[@]}" >/dev/null
+fi
+
+mkdir -p "$out_dir"
+for b in "${benches[@]}"; do
+    echo "running $b..."
+    MCT_BENCH_JSON_DIR="$out_dir" "$build/bench/$b" >/dev/null
+done
+
+python3 - "$out_dir" "$ref_dir" "$threshold" <<'EOF'
+import json, os, sys
+
+out_dir, ref_dir, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def load(d):
+    points = {}
+    for name in sorted(os.listdir(d)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        with open(os.path.join(d, name)) as f:
+            doc = json.load(f)
+        for key in ("bench", "points", "metrics"):
+            if key not in doc:
+                sys.exit(f"{name}: missing '{key}' (schema drift)")
+        for p in doc["points"]:
+            points[(doc["bench"], p["series"], p["x"])] = p["value"]
+    if not points:
+        sys.exit(f"{d}: no BENCH_*.json found")
+    return points
+
+fresh = load(out_dir)
+if not os.path.isdir(ref_dir):
+    print(f"no reference baseline at {ref_dir}; wrote {len(fresh)} points to {out_dir}")
+    sys.exit(0)
+ref = load(ref_dir)
+
+shared = sorted(set(fresh) & set(ref))
+regressions = []
+print(f"\n{'bench/series/x':58} {'ref':>12} {'now':>12} {'delta':>8}")
+for key in shared:
+    r, n = ref[key], fresh[key]
+    delta = (n - r) / r * 100 if r else 0.0
+    label = "/".join(key)
+    print(f"{label:58} {r:12.1f} {n:12.1f} {delta:+7.1f}%")
+    if delta < -threshold:
+        regressions.append((label, delta))
+only = len(fresh) - len(shared)
+if only:
+    print(f"({only} new series not in the reference baseline)")
+if regressions:
+    print(f"\nREGRESSION beyond {threshold:.0f}%:")
+    for label, delta in regressions:
+        print(f"  {label}: {delta:+.1f}%")
+    sys.exit(1)
+print(f"\nOK: no series regressed more than {threshold:.0f}% vs {ref_dir}")
+EOF

@@ -156,45 +156,138 @@ void Aes128::decrypt_block(const uint8_t in[16], uint8_t out[16]) const
     std::memcpy(out, s, 16);
 }
 
+CbcEncryptStream::CbcEncryptStream(const Aes128& cipher, Rng& rng, Bytes& out)
+    : cipher_(cipher), out_(out)
+{
+    size_t iv_off = out_.size();
+    out_.resize(iv_off + Aes128::kBlockSize);
+    rng.fill(MutableBytes{out_.data() + iv_off, Aes128::kBlockSize});
+    std::memcpy(chain_, out_.data() + iv_off, Aes128::kBlockSize);
+}
+
+void CbcEncryptStream::emit_block(const uint8_t block[Aes128::kBlockSize])
+{
+    uint8_t xored[Aes128::kBlockSize];
+    for (size_t i = 0; i < Aes128::kBlockSize; ++i) xored[i] = block[i] ^ chain_[i];
+    size_t off = out_.size();
+    out_.resize(off + Aes128::kBlockSize);
+    cipher_.encrypt_block(xored, out_.data() + off);
+    std::memcpy(chain_, out_.data() + off, Aes128::kBlockSize);
+}
+
+void CbcEncryptStream::update(ConstBytes data)
+{
+    constexpr size_t B = Aes128::kBlockSize;
+    if (data.empty()) return;  // empty spans may carry a null data()
+    size_t offset = 0;
+    if (pending_len_ > 0) {
+        size_t take = std::min(B - pending_len_, data.size());
+        std::memcpy(pending_ + pending_len_, data.data(), take);
+        pending_len_ += take;
+        offset = take;
+        if (pending_len_ == B) {
+            emit_block(pending_);
+            pending_len_ = 0;
+        }
+    }
+    // Bulk path: one resize for all whole blocks, chaining through the
+    // output buffer directly instead of round-tripping chain_ per block.
+    size_t nblocks = (data.size() - offset) / B;
+    if (nblocks > 0) {
+        size_t off = out_.size();
+        out_.resize(off + nblocks * B);
+        uint8_t* dst = out_.data() + off;
+        const uint8_t* prev = dst - B;  // previous ciphertext block (or IV)
+        uint8_t xored[B];
+        for (size_t b = 0; b < nblocks; ++b) {
+            const uint8_t* src = data.data() + offset + b * B;
+            for (size_t i = 0; i < B; ++i) xored[i] = src[i] ^ prev[i];
+            cipher_.encrypt_block(xored, dst);
+            prev = dst;
+            dst += B;
+        }
+        std::memcpy(chain_, prev, B);
+        offset += nblocks * B;
+    }
+    if (offset < data.size()) {
+        std::memcpy(pending_, data.data() + offset, data.size() - offset);
+        pending_len_ = data.size() - offset;
+    }
+}
+
+void CbcEncryptStream::finish()
+{
+    uint8_t pad = static_cast<uint8_t>(Aes128::kBlockSize - pending_len_);
+    std::memset(pending_ + pending_len_, pad, pad);
+    emit_block(pending_);
+    pending_len_ = 0;
+}
+
+void aes128_cbc_encrypt_into(const Aes128& cipher, ConstBytes plaintext, Rng& rng, Bytes& out)
+{
+    out.reserve(out.size() + cbc_ciphertext_size(plaintext.size()));
+    CbcEncryptStream stream(cipher, rng, out);
+    stream.update(plaintext);
+    stream.finish();
+}
+
 Bytes aes128_cbc_encrypt(ConstBytes key, ConstBytes plaintext, Rng& rng)
 {
     Aes128 cipher(key);
-    size_t pad = Aes128::kBlockSize - plaintext.size() % Aes128::kBlockSize;
-    Bytes padded = to_bytes(plaintext);
-    padded.insert(padded.end(), pad, static_cast<uint8_t>(pad));
-
-    Bytes out = rng.bytes(Aes128::kBlockSize);  // explicit IV
-    out.resize(Aes128::kBlockSize + padded.size());
-    const uint8_t* prev = out.data();  // IV
-    for (size_t off = 0; off < padded.size(); off += Aes128::kBlockSize) {
-        uint8_t block[16];
-        for (int i = 0; i < 16; ++i) block[i] = padded[off + i] ^ prev[i];
-        cipher.encrypt_block(block, out.data() + Aes128::kBlockSize + off);
-        prev = out.data() + Aes128::kBlockSize + off;
-    }
+    Bytes out;
+    aes128_cbc_encrypt_into(cipher, plaintext, rng, out);
     return out;
+}
+
+bool aes128_cbc_decrypt_raw_into(const Aes128& cipher, ConstBytes iv_and_ciphertext, Bytes& out)
+{
+    constexpr size_t B = Aes128::kBlockSize;
+    if (iv_and_ciphertext.size() < 2 * B || iv_and_ciphertext.size() % B != 0) return false;
+    size_t base = out.size();
+    out.resize(base + iv_and_ciphertext.size() - B);
+    const uint8_t* prev = iv_and_ciphertext.data();
+    uint8_t* dst = out.data() + base;
+    for (size_t off = B; off < iv_and_ciphertext.size(); off += B) {
+        uint8_t block[16];
+        cipher.decrypt_block(iv_and_ciphertext.data() + off, block);
+        for (size_t i = 0; i < B; ++i) dst[off - B + i] = block[i] ^ prev[i];
+        prev = iv_and_ciphertext.data() + off;
+    }
+    return true;
+}
+
+size_t pkcs7_padding(ConstBytes padded)
+{
+    if (padded.empty()) return 0;
+    uint8_t pad = padded.back();
+    if (pad == 0 || pad > Aes128::kBlockSize || pad > padded.size()) return 0;
+    for (size_t i = padded.size() - pad; i < padded.size(); ++i) {
+        if (padded[i] != pad) return 0;
+    }
+    return pad;
+}
+
+Result<size_t> aes128_cbc_decrypt_into(const Aes128& cipher, ConstBytes iv_and_ciphertext,
+                                       Bytes& out)
+{
+    size_t base = out.size();
+    if (!aes128_cbc_decrypt_raw_into(cipher, iv_and_ciphertext, out))
+        return err("cbc: bad ciphertext length");
+    size_t pad = pkcs7_padding(ConstBytes{out.data() + base, out.size() - base});
+    if (pad == 0) {
+        out.resize(base);
+        return err("cbc: bad padding");
+    }
+    out.resize(out.size() - pad);
+    return out.size() - base;
 }
 
 Result<Bytes> aes128_cbc_decrypt(ConstBytes key, ConstBytes iv_and_ciphertext)
 {
-    constexpr size_t B = Aes128::kBlockSize;
-    if (iv_and_ciphertext.size() < 2 * B || iv_and_ciphertext.size() % B != 0)
-        return err("cbc: bad ciphertext length");
     Aes128 cipher(key);
-    const uint8_t* prev = iv_and_ciphertext.data();
-    Bytes out(iv_and_ciphertext.size() - B);
-    for (size_t off = B; off < iv_and_ciphertext.size(); off += B) {
-        uint8_t block[16];
-        cipher.decrypt_block(iv_and_ciphertext.data() + off, block);
-        for (size_t i = 0; i < B; ++i) out[off - B + i] = block[i] ^ prev[i];
-        prev = iv_and_ciphertext.data() + off;
-    }
-    uint8_t pad = out.back();
-    if (pad == 0 || pad > B || pad > out.size()) return err("cbc: bad padding");
-    for (size_t i = out.size() - pad; i < out.size(); ++i) {
-        if (out[i] != pad) return err("cbc: bad padding");
-    }
-    out.resize(out.size() - pad);
+    Bytes out;
+    auto n = aes128_cbc_decrypt_into(cipher, iv_and_ciphertext, out);
+    if (!n) return n.error();
     return out;
 }
 

@@ -34,6 +34,55 @@ private:
 Bytes aes128_cbc_encrypt(ConstBytes key, ConstBytes plaintext, Rng& rng);
 Result<Bytes> aes128_cbc_decrypt(ConstBytes key, ConstBytes iv_and_ciphertext);
 
+// Exact IV+ciphertext size CBC produces for `plaintext_len` plaintext bytes.
+constexpr size_t cbc_ciphertext_size(size_t plaintext_len)
+{
+    return Aes128::kBlockSize +
+           (plaintext_len / Aes128::kBlockSize + 1) * Aes128::kBlockSize;
+}
+
+// Streaming CBC encryption: appends IV and ciphertext to `out` as data
+// arrives, so callers can encrypt multiple spans (payload || MACs) without
+// concatenating them first. Wire-identical to aes128_cbc_encrypt over the
+// concatenation of all update() spans. finish() must be called exactly once;
+// it appends the final PKCS#7-padded block. The stream owns the tail of
+// `out` while alive: the caller must not append to (or shrink) `out`
+// between construction and finish(), as the CBC chain reads the previous
+// ciphertext block straight out of the buffer.
+class CbcEncryptStream {
+public:
+    CbcEncryptStream(const Aes128& cipher, Rng& rng, Bytes& out);
+    void update(ConstBytes data);
+    void finish();
+
+private:
+    void emit_block(const uint8_t block[Aes128::kBlockSize]);
+
+    const Aes128& cipher_;
+    Bytes& out_;
+    uint8_t chain_[Aes128::kBlockSize];    // previous ciphertext block (or IV)
+    uint8_t pending_[Aes128::kBlockSize];  // partial plaintext block
+    size_t pending_len_ = 0;
+};
+
+// Append-to-buffer variants for the record fast path; they reuse a cached
+// key schedule and an existing output buffer so steady-state callers do no
+// per-record heap allocation.
+void aes128_cbc_encrypt_into(const Aes128& cipher, ConstBytes plaintext, Rng& rng, Bytes& out);
+
+// Appends the decrypted, still-padded plaintext to `out`; returns false if
+// the input is not IV plus a positive multiple of the block size. Padding is
+// NOT validated here — callers that need a padding oracle defense validate
+// with pkcs7_padding() and run their MAC regardless.
+bool aes128_cbc_decrypt_raw_into(const Aes128& cipher, ConstBytes iv_and_ciphertext, Bytes& out);
+
+// PKCS#7 pad length of a raw-decrypted buffer; 0 means invalid padding.
+size_t pkcs7_padding(ConstBytes padded);
+
+// Appends the unpadded plaintext to `out` and returns its length.
+Result<size_t> aes128_cbc_decrypt_into(const Aes128& cipher, ConstBytes iv_and_ciphertext,
+                                       Bytes& out);
+
 // CTR keystream mode; nonce is 16 bytes used as the initial counter block.
 Bytes aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data);
 

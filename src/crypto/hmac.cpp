@@ -1,23 +1,21 @@
 #include "crypto/hmac.h"
 
+#include <cstring>
+
 namespace mct::crypto {
-
-namespace {
-
-Bytes normalize_key(ConstBytes key, size_t block_size, Bytes (*hash)(ConstBytes))
-{
-    Bytes k = key.size() > block_size ? hash(key) : to_bytes(key);
-    k.resize(block_size, 0);
-    return k;
-}
-
-}  // namespace
 
 HmacSha256::HmacSha256(ConstBytes key)
 {
-    Bytes k = normalize_key(key, Sha256::kBlockSize, &Sha256::digest);
-    Bytes ipad_key(k.size());
-    opad_key_.resize(k.size());
+    std::array<uint8_t, Sha256::kBlockSize> k{};
+    if (key.size() > Sha256::kBlockSize) {
+        Sha256 h;
+        h.update(key);
+        auto digest = h.finish();
+        std::memcpy(k.data(), digest.data(), digest.size());
+    } else if (!key.empty()) {  // empty spans may carry a null data()
+        std::memcpy(k.data(), key.data(), key.size());
+    }
+    std::array<uint8_t, Sha256::kBlockSize> ipad_key;
     for (size_t i = 0; i < k.size(); ++i) {
         ipad_key[i] = k[i] ^ 0x36;
         opad_key_[i] = k[i] ^ 0x5c;
@@ -30,13 +28,18 @@ void HmacSha256::update(ConstBytes data)
     inner_.update(data);
 }
 
-Bytes HmacSha256::finish()
+std::array<uint8_t, HmacSha256::kTagSize> HmacSha256::finish_tag()
 {
     auto inner_digest = inner_.finish();
     Sha256 outer;
     outer.update(opad_key_);
     outer.update(inner_digest);
-    auto d = outer.finish();
+    return outer.finish();
+}
+
+Bytes HmacSha256::finish()
+{
+    auto d = finish_tag();
     return Bytes(d.begin(), d.end());
 }
 
@@ -49,8 +52,16 @@ Bytes HmacSha256::mac(ConstBytes key, ConstBytes data)
 
 Bytes hmac_sha512(ConstBytes key, ConstBytes data)
 {
-    Bytes k = normalize_key(key, Sha512::kBlockSize, &Sha512::digest);
-    Bytes ipad_key(k.size()), opad_key(k.size());
+    std::array<uint8_t, Sha512::kBlockSize> k{};
+    if (key.size() > Sha512::kBlockSize) {
+        Sha512 h;
+        h.update(key);
+        auto digest = h.finish();
+        std::memcpy(k.data(), digest.data(), digest.size());
+    } else if (!key.empty()) {
+        std::memcpy(k.data(), key.data(), key.size());
+    }
+    std::array<uint8_t, Sha512::kBlockSize> ipad_key, opad_key;
     for (size_t i = 0; i < k.size(); ++i) {
         ipad_key[i] = k[i] ^ 0x36;
         opad_key[i] = k[i] ^ 0x5c;

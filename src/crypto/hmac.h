@@ -1,6 +1,8 @@
 // HMAC (RFC 2104) over SHA-256 and SHA-512.
 #pragma once
 
+#include <array>
+
 #include "crypto/sha2.h"
 #include "util/bytes.h"
 
@@ -13,13 +15,19 @@ public:
     explicit HmacSha256(ConstBytes key);
 
     void update(ConstBytes data);
+
+    // Allocation-free tag for the record fast path.
+    std::array<uint8_t, kTagSize> finish_tag();
     Bytes finish();
 
     static Bytes mac(ConstBytes key, ConstBytes data);
 
 private:
     Sha256 inner_;
-    Bytes opad_key_;  // key XOR opad, kept for the outer hash
+    // Key XOR opad, kept on the stack for the outer hash so constructing
+    // and finishing an HMAC never touches the heap (the record path runs
+    // three of these per record).
+    std::array<uint8_t, Sha256::kBlockSize> opad_key_;
 };
 
 Bytes hmac_sha512(ConstBytes key, ConstBytes data);

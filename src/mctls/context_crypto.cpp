@@ -1,6 +1,5 @@
 #include "mctls/context_crypto.h"
 
-#include "crypto/aes.h"
 #include "crypto/ct.h"
 #include "crypto/ed25519.h"
 #include "crypto/hmac.h"
@@ -16,35 +15,63 @@ size_t dir_index(Direction dir)
     return static_cast<size_t>(dir);
 }
 
-Bytes compute_mac(ConstBytes key, uint64_t seq, uint8_t context_id, ConstBytes payload)
+// seq(8) | type(1) | version(2) | context_id(1) | length(2), big-endian —
+// identical bytes to the Writer-built prefix of record_mac_input().
+void mac_pseudo_header(crypto::HmacSha256& mac, uint64_t seq, uint8_t context_id, size_t len)
 {
-    crypto::HmacSha256 mac(key);
-    mac.update(record_mac_input(seq, context_id, payload));
-    return mac.finish();
+    uint8_t h[14];
+    for (int i = 0; i < 8; ++i) h[i] = static_cast<uint8_t>(seq >> (56 - 8 * i));
+    h[8] = static_cast<uint8_t>(tls::ContentType::application_data);
+    h[9] = static_cast<uint8_t>(tls::kProtocolVersion >> 8);
+    h[10] = static_cast<uint8_t>(tls::kProtocolVersion);
+    h[11] = context_id;
+    h[12] = static_cast<uint8_t>(len >> 8);
+    h[13] = static_cast<uint8_t>(len);
+    mac.update(h);
 }
 
-struct DecryptedRecord {
-    Bytes payload;
-    Bytes endpoint_mac;
-    Bytes writer_mac;
-    Bytes reader_mac;
+std::array<uint8_t, kMacSize> compute_mac_tag(ConstBytes key, uint64_t seq, uint8_t context_id,
+                                              ConstBytes payload)
+{
+    crypto::HmacSha256 mac(key);
+    mac_pseudo_header(mac, seq, context_id, payload.size());
+    mac.update(payload);
+    return mac.finish_tag();
+}
+
+Bytes compute_mac(ConstBytes key, uint64_t seq, uint8_t context_id, ConstBytes payload)
+{
+    auto tag = compute_mac_tag(key, seq, context_id, payload);
+    return Bytes(tag.begin(), tag.end());
+}
+
+struct SplitView {
+    ConstBytes payload;
+    ConstBytes endpoint_mac;
+    ConstBytes writer_mac;
+    ConstBytes reader_mac;
 };
 
-Result<DecryptedRecord> decrypt_and_split(const ContextKeys& ctx, Direction dir,
-                                          ConstBytes fragment)
+// Decrypt into the scratch and return borrowed slices of it.
+Result<SplitView> decrypt_and_split(const ContextKeys& ctx, Direction dir, ConstBytes fragment,
+                                    RecordScratch& scratch)
 {
     if (!ctx.can_read()) return err("mctls: no read access to context");
-    auto plain = crypto::aes128_cbc_decrypt(ctx.reader_enc[dir_index(dir)], fragment);
-    if (!plain) return plain.error();
-    Bytes& data = plain.value();
-    if (data.size() < 3 * kMacSize) return err("mctls: record too short");
-    size_t payload_len = data.size() - 3 * kMacSize;
-    DecryptedRecord rec;
-    rec.payload.assign(data.begin(), data.begin() + payload_len);
-    rec.endpoint_mac.assign(data.begin() + payload_len, data.begin() + payload_len + kMacSize);
-    rec.writer_mac.assign(data.begin() + payload_len + kMacSize,
-                          data.begin() + payload_len + 2 * kMacSize);
-    rec.reader_mac.assign(data.begin() + payload_len + 2 * kMacSize, data.end());
+    crypto::Aes128 cipher(ctx.reader_enc[dir_index(dir)]);
+    scratch.plain.clear();
+    ++scratch.records;
+    size_t capacity_before = scratch.plain.capacity();
+    auto n = crypto::aes128_cbc_decrypt_into(cipher, fragment, scratch.plain);
+    if (scratch.plain.capacity() != capacity_before) ++scratch.heap_allocations;
+    if (!n) return n.error();
+    if (n.value() < 3 * kMacSize) return err("mctls: record too short");
+    size_t payload_len = n.value() - 3 * kMacSize;
+    const uint8_t* base = scratch.plain.data();
+    SplitView rec;
+    rec.payload = ConstBytes{base, payload_len};
+    rec.endpoint_mac = ConstBytes{base + payload_len, kMacSize};
+    rec.writer_mac = ConstBytes{base + payload_len + kMacSize, kMacSize};
+    rec.reader_mac = ConstBytes{base + payload_len + 2 * kMacSize, kMacSize};
     return rec;
 }
 
@@ -62,74 +89,142 @@ Bytes record_mac_input(uint64_t seq, uint8_t context_id, ConstBytes payload)
     return w.take();
 }
 
+void seal_record_into(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
+                      uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng,
+                      Bytes& out)
+{
+    size_t d = dir_index(dir);
+    auto endpoint_mac = compute_mac_tag(endpoint.record_mac[d], seq, context_id, payload);
+    auto writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
+    auto reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    crypto::Aes128 cipher(ctx.reader_enc[d]);
+    out.reserve(out.size() + sealed_record_size(payload.size()));
+    crypto::CbcEncryptStream enc(cipher, rng, out);
+    enc.update(payload);
+    enc.update(endpoint_mac);
+    enc.update(writer_mac);
+    enc.update(reader_mac);
+    enc.finish();
+}
+
 Bytes seal_record(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
                   uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng)
 {
+    Bytes out;
+    seal_record_into(ctx, endpoint, dir, seq, context_id, payload, rng, out);
+    return out;
+}
+
+Result<EndpointOpenView> open_record_endpoint(const ContextKeys& ctx,
+                                              const EndpointKeys& endpoint, Direction dir,
+                                              uint64_t seq, uint8_t context_id,
+                                              ConstBytes fragment, RecordScratch& scratch)
+{
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
+    if (!rec) return rec.error();
     size_t d = dir_index(dir);
-    Bytes endpoint_mac = compute_mac(endpoint.record_mac[d], seq, context_id, payload);
-    Bytes writer_mac = compute_mac(ctx.writer_mac[d], seq, context_id, payload);
-    Bytes reader_mac = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
-    return crypto::aes128_cbc_encrypt(ctx.reader_enc[d],
-                                      concat(payload, endpoint_mac, writer_mac, reader_mac),
-                                      rng);
+    auto expected_writer = compute_mac_tag(ctx.writer_mac[d], seq, context_id,
+                                           rec.value().payload);
+    if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
+        return err("mctls: illegal modification (writer MAC mismatch)");
+    auto expected_endpoint =
+        compute_mac_tag(endpoint.record_mac[d], seq, context_id, rec.value().payload);
+    EndpointOpenView out;
+    out.payload = rec.value().payload;
+    out.from_endpoint = crypto::ct_equal(expected_endpoint, rec.value().endpoint_mac);
+    return out;
 }
 
 Result<EndpointOpen> open_record_endpoint(const ContextKeys& ctx, const EndpointKeys& endpoint,
                                           Direction dir, uint64_t seq, uint8_t context_id,
                                           ConstBytes fragment)
 {
-    auto rec = decrypt_and_split(ctx, dir, fragment);
+    RecordScratch scratch;
+    auto view = open_record_endpoint(ctx, endpoint, dir, seq, context_id, fragment, scratch);
+    if (!view) return view.error();
+    EndpointOpen out;
+    out.payload = to_bytes(view.value().payload);
+    out.from_endpoint = view.value().from_endpoint;
+    return out;
+}
+
+Result<WriterOpenView> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                          uint8_t context_id, ConstBytes fragment,
+                                          RecordScratch& scratch)
+{
+    if (!ctx.can_write()) return err("mctls: no write access to context");
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
     if (!rec) return rec.error();
     size_t d = dir_index(dir);
-    Bytes expected_writer = compute_mac(ctx.writer_mac[d], seq, context_id, rec.value().payload);
+    auto expected_writer = compute_mac_tag(ctx.writer_mac[d], seq, context_id,
+                                           rec.value().payload);
     if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
         return err("mctls: illegal modification (writer MAC mismatch)");
-    Bytes expected_endpoint =
-        compute_mac(endpoint.record_mac[d], seq, context_id, rec.value().payload);
-    EndpointOpen out;
-    out.payload = std::move(rec.value().payload);
-    out.from_endpoint = crypto::ct_equal(expected_endpoint, rec.value().endpoint_mac);
+    WriterOpenView out;
+    out.payload = rec.value().payload;
+    out.endpoint_mac = rec.value().endpoint_mac;
     return out;
 }
 
 Result<WriterOpen> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                       uint8_t context_id, ConstBytes fragment)
 {
-    if (!ctx.can_write()) return err("mctls: no write access to context");
-    auto rec = decrypt_and_split(ctx, dir, fragment);
-    if (!rec) return rec.error();
-    size_t d = dir_index(dir);
-    Bytes expected_writer = compute_mac(ctx.writer_mac[d], seq, context_id, rec.value().payload);
-    if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
-        return err("mctls: illegal modification (writer MAC mismatch)");
+    RecordScratch scratch;
+    auto view = open_record_writer(ctx, dir, seq, context_id, fragment, scratch);
+    if (!view) return view.error();
     WriterOpen out;
-    out.payload = std::move(rec.value().payload);
-    out.endpoint_mac = std::move(rec.value().endpoint_mac);
+    out.payload = to_bytes(view.value().payload);
+    out.endpoint_mac = to_bytes(view.value().endpoint_mac);
     return out;
+}
+
+void reseal_record_writer_into(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                               uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
+                               Rng& rng, Bytes& out)
+{
+    size_t d = dir_index(dir);
+    auto writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
+    auto reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    crypto::Aes128 cipher(ctx.reader_enc[d]);
+    out.reserve(out.size() + sealed_record_size(payload.size()));
+    crypto::CbcEncryptStream enc(cipher, rng, out);
+    enc.update(payload);
+    enc.update(endpoint_mac);
+    enc.update(writer_mac);
+    enc.update(reader_mac);
+    enc.finish();
 }
 
 Bytes reseal_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                            uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
                            Rng& rng)
 {
+    Bytes out;
+    reseal_record_writer_into(ctx, dir, seq, context_id, payload, endpoint_mac, rng, out);
+    return out;
+}
+
+Result<ConstBytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                      uint8_t context_id, ConstBytes fragment,
+                                      RecordScratch& scratch)
+{
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
+    if (!rec) return rec.error();
     size_t d = dir_index(dir);
-    Bytes writer_mac = compute_mac(ctx.writer_mac[d], seq, context_id, payload);
-    Bytes reader_mac = compute_mac(ctx.reader_mac[d], seq, context_id, payload);
-    return crypto::aes128_cbc_encrypt(
-        ctx.reader_enc[d], concat(payload, to_bytes(endpoint_mac), writer_mac, reader_mac),
-        rng);
+    auto expected_reader = compute_mac_tag(ctx.reader_mac[d], seq, context_id,
+                                           rec.value().payload);
+    if (!crypto::ct_equal(expected_reader, rec.value().reader_mac))
+        return err("mctls: third-party modification (reader MAC mismatch)");
+    return rec.value().payload;
 }
 
 Result<Bytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                  uint8_t context_id, ConstBytes fragment)
 {
-    auto rec = decrypt_and_split(ctx, dir, fragment);
-    if (!rec) return rec.error();
-    size_t d = dir_index(dir);
-    Bytes expected_reader = compute_mac(ctx.reader_mac[d], seq, context_id, rec.value().payload);
-    if (!crypto::ct_equal(expected_reader, rec.value().reader_mac))
-        return err("mctls: third-party modification (reader MAC mismatch)");
-    return std::move(rec.value().payload);
+    RecordScratch scratch;
+    auto view = open_record_reader(ctx, dir, seq, context_id, fragment, scratch);
+    if (!view) return view.error();
+    return to_bytes(view.value());
 }
 
 Bytes seal_record_signed(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,

@@ -19,10 +19,17 @@
 //   - Receiving endpoints verify MAC_writers (no illegal modification) and
 //     report whether MAC_endpoints still matches (was the data modified by
 //     a legal writer?).
+//
+// Fast path: the *_into seal variants append straight into a caller-owned
+// wire buffer, and the scratch-based open variants decrypt into a reusable
+// RecordScratch and return borrowed views, so the steady-state triple-MAC
+// pipeline performs zero per-record heap allocations. The owning forms are
+// wrappers kept for control paths and tests.
 #pragma once
 
 #include <cstdint>
 
+#include "crypto/aes.h"
 #include "mctls/key_schedule.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -32,12 +39,32 @@ namespace mct::mctls {
 
 constexpr size_t kMacSize = 32;
 
+// Exact fragment size seal_record produces for `payload_len` payload bytes.
+constexpr size_t sealed_record_size(size_t payload_len)
+{
+    return crypto::cbc_ciphertext_size(payload_len + 3 * kMacSize);
+}
+
+// Caller-owned decrypt scratch threaded through the open fast path. One
+// scratch per session/direction; `plain` keeps its high-water capacity so
+// repeated opens stop allocating. The counters feed the
+// records-per-allocation metric surfaced by the benches and tests.
+struct RecordScratch {
+    Bytes plain;
+    uint64_t records = 0;           // scratch-based opens served
+    uint64_t heap_allocations = 0;  // times `plain` had to grow
+};
+
 // MAC pseudo-header shared by all three MACs.
 Bytes record_mac_input(uint64_t seq, uint8_t context_id, ConstBytes payload);
 
 // Endpoint-side seal: all three MACs fresh.
 Bytes seal_record(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
                   uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng);
+// Appends the sealed fragment to `out` (exactly sealed_record_size bytes).
+void seal_record_into(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
+                      uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng,
+                      Bytes& out);
 
 struct EndpointOpen {
     Bytes payload;
@@ -46,11 +73,27 @@ struct EndpointOpen {
     bool from_endpoint = true;
 };
 
+// Borrowed-view results of the scratch-based opens; views point into the
+// scratch and stay valid until its next use.
+struct EndpointOpenView {
+    ConstBytes payload;
+    bool from_endpoint = true;
+};
+
+struct WriterOpenView {
+    ConstBytes payload;
+    ConstBytes endpoint_mac;  // forwarded verbatim on reseal
+};
+
 // Receiving-endpoint open: decrypt, require a valid writer MAC, report
 // endpoint-MAC status.
 Result<EndpointOpen> open_record_endpoint(const ContextKeys& ctx, const EndpointKeys& endpoint,
                                           Direction dir, uint64_t seq, uint8_t context_id,
                                           ConstBytes fragment);
+Result<EndpointOpenView> open_record_endpoint(const ContextKeys& ctx,
+                                              const EndpointKeys& endpoint, Direction dir,
+                                              uint64_t seq, uint8_t context_id,
+                                              ConstBytes fragment, RecordScratch& scratch);
 
 struct WriterOpen {
     Bytes payload;
@@ -60,17 +103,26 @@ struct WriterOpen {
 // Writer-side open: decrypt and require a valid writer MAC.
 Result<WriterOpen> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                       uint8_t context_id, ConstBytes fragment);
+Result<WriterOpenView> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                          uint8_t context_id, ConstBytes fragment,
+                                          RecordScratch& scratch);
 
 // Writer-side reseal with a (possibly modified) payload; regenerates writer
 // and reader MACs and forwards `endpoint_mac` untouched.
 Bytes reseal_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                            uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
                            Rng& rng);
+void reseal_record_writer_into(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                               uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
+                               Rng& rng, Bytes& out);
 
 // Reader-side open: decrypt and require a valid reader MAC. The caller
 // forwards the original fragment bytes.
 Result<Bytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                  uint8_t context_id, ConstBytes fragment);
+Result<ConstBytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
+                                      uint8_t context_id, ConstBytes fragment,
+                                      RecordScratch& scratch);
 
 // ---- Optional mode (b) of §3.4: signed records -------------------------
 //

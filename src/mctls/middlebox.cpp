@@ -65,13 +65,20 @@ void MiddleboxSession::send_alert_both(const tls::Alert& alert)
     to_server_.push_back(server_side_.codec.encode(rec));
 }
 
-Status MiddleboxSession::handle_alert_record(From from, const tls::Record& record)
+Status MiddleboxSession::handle_alert_record(From from, const tls::RecordView& view)
 {
     // Endpoint alerts pass through unmodified (we may not change them -- the
     // endpoints authenticate teardown between themselves); we parse a copy
-    // for our own bookkeeping so the relay can retire the session.
-    forward_record(from, record, /*own_unit=*/true);
-    auto alert = tls::Alert::parse(record.payload);
+    // for our own bookkeeping so the relay can retire the session. An alert
+    // recovered via the cross-framing retry is the one record whose received
+    // bytes do NOT match our framing, so it alone is re-encoded.
+    if (view.native_framing) {
+        forward_wire(from, view.wire, /*own_unit=*/true);
+    } else {
+        forward_record(from, {tls::ContentType::alert, view.context_id, to_bytes(view.payload)},
+                       /*own_unit=*/true);
+    }
+    auto alert = tls::Alert::parse(view.payload);
     if (!alert) return {};  // unparsable: forwarded anyway, endpoints decide
     peer_alert_ = alert.value();
     ++alerts_received_;
@@ -142,7 +149,7 @@ Status MiddleboxSession::feed(From from, ConstBytes wire)
     Side& side = from == From::client ? client_side_ : server_side_;
     side.codec.feed(wire);
     while (true) {
-        auto next = side.codec.next();
+        auto next = side.codec.next_view();
         if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
         if (auto s = handle_record(from, *next.value()); !s) return s;
@@ -153,9 +160,18 @@ void MiddleboxSession::forward_record(From from, const tls::Record& record, bool
 {
     auto& out = from == From::client ? to_server_ : to_client_;
     // Output codec framing is identical on both sides.
-    Bytes wire = client_side_.codec.encode(record);
     if (own_unit || out.empty()) {
-        out.push_back(std::move(wire));
+        out.push_back(client_side_.codec.encode(record));
+    } else {
+        client_side_.codec.encode_into(record, out.back());
+    }
+}
+
+void MiddleboxSession::forward_wire(From from, ConstBytes wire, bool own_unit)
+{
+    auto& out = from == From::client ? to_server_ : to_client_;
+    if (own_unit || out.empty()) {
+        out.push_back(to_bytes(wire));
     } else {
         append(out.back(), wire);
     }
@@ -167,24 +183,24 @@ void MiddleboxSession::forward_handshake(From from, const tls::HandshakeMessage&
                    /*own_unit=*/false);
 }
 
-Status MiddleboxSession::handle_record(From from, const tls::Record& record)
+Status MiddleboxSession::handle_record(From from, const tls::RecordView& view)
 {
     Side& side = from == From::client ? client_side_ : server_side_;
-    switch (record.type) {
+    switch (view.type) {
     case tls::ContentType::alert:
-        return handle_alert_record(from, record);
+        return handle_alert_record(from, view);
     case tls::ContentType::change_cipher_spec:
         side.ccs_seen = true;
-        forward_record(from, record, /*own_unit=*/false);
+        forward_wire(from, view.wire, /*own_unit=*/false);
         return {};
     case tls::ContentType::handshake: {
         if (side.ccs_seen) {
             // Encrypted Finished (or later control data): endpoint-only,
             // forwarded opaquely.
-            forward_record(from, record, /*own_unit=*/false);
+            forward_wire(from, view.wire, /*own_unit=*/false);
             return {};
         }
-        side.handshake.feed(record.payload);
+        side.handshake.feed(view.payload);
         while (true) {
             auto msg = side.handshake.next();
             if (!msg) return fail(AlertDescription::decode_error, msg.error().message);
@@ -193,9 +209,9 @@ Status MiddleboxSession::handle_record(From from, const tls::Record& record)
         }
     }
     case tls::ContentType::rekey:
-        return handle_rekey_record(from, record);
+        return handle_rekey_record(from, view);
     case tls::ContentType::application_data:
-        return handle_app_record(from, record);
+        return handle_app_record(from, view);
     }
     return fail(AlertDescription::decode_error, "mctls mbox: unknown record type");
 }
@@ -494,13 +510,15 @@ MiddleboxTicket MiddleboxSession::ticket() const
 // record carrying no entry for us means we are being revoked: the pending
 // permission set stays empty and we degrade to blind forwarding.
 
-Status MiddleboxSession::handle_rekey_record(From from, const tls::Record& record)
+Status MiddleboxSession::handle_rekey_record(From from, const tls::RecordView& view)
 {
     // Always forward first, unmodified: downstream parties key off the same
-    // marker, and revoked middleboxes must still relay it.
-    forward_record(from, record, /*own_unit=*/true);
+    // marker, and revoked middleboxes must still relay it. Rekey records are
+    // never alt-framed (only alerts cross the framing gap), so the original
+    // wire bytes are reused as-is.
+    forward_wire(from, view.wire, /*own_unit=*/true);
     if (!keys_ready_) return {};  // endpoints will reject a pre-handshake rekey
-    auto parsed = RekeyRecord::parse(record.payload);
+    auto parsed = RekeyRecord::parse(view.payload);
     if (!parsed) return fail(AlertDescription::decode_error, parsed.error().message);
     const RekeyRecord& rk = parsed.value();
 
@@ -633,7 +651,7 @@ Permission MiddleboxSession::permission(uint8_t context_id) const
     return it == permissions_.end() ? Permission::none : it->second;
 }
 
-Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
+Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& view)
 {
     if (!keys_ready_)
         return fail(AlertDescription::unexpected_message,
@@ -643,81 +661,89 @@ Status MiddleboxSession::handle_app_record(From from, const tls::Record& record)
         from == From::client ? Direction::client_to_server : Direction::server_to_client;
     uint64_t seq = side.app_seq++;
 
-    Permission perm = permission(record.context_id);
+    Permission perm = permission(view.context_id);
     // Mid-rekey, a direction that already switched runs under the pending
     // epoch's permissions: a revoked (or downgraded) middlebox must forward
     // blind rather than fail on keys it was not given.
     if (rekey_pending_ && dir_switched_[static_cast<size_t>(dir)]) {
-        auto it = pending_permissions_.find(record.context_id);
+        auto it = pending_permissions_.find(view.context_id);
         perm = it == pending_permissions_.end() ? Permission::none : it->second;
     }
-    auto keys = context_keys_.find(record.context_id);
+    auto keys = context_keys_.find(view.context_id);
 
     if (perm == Permission::none || keys == context_keys_.end()) {
         ++records_forwarded_blind_;
-        CtxCounters& cc = ctx_counters_[record.context_id];
-        cc.bytes_in += record.payload.size();  // opaque: only wire size visible
+        CtxCounters& cc = ctx_counters_[view.context_id];
+        cc.bytes_in += view.payload.size();  // opaque: only wire size visible
         ++cc.records_in;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_forward_blind,
-                   record.context_id, record.payload.size());
-        forward_record(from, record, /*own_unit=*/true);
+                   view.context_id, view.payload.size());
+        forward_wire(from, view.wire, /*own_unit=*/true);
         return {};
     }
 
     if (perm == Permission::read) {
-        auto payload = open_record_reader(keys->second, dir, seq, record.context_id,
-                                          record.payload);
+        auto payload = open_record_reader(keys->second, dir, seq, view.context_id,
+                                          view.payload, open_scratch_);
         if (!payload) {
             ++mac_failures_;
             obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
-                       record.context_id, record.payload.size());
+                       view.context_id, view.payload.size());
             return fail(AlertDescription::bad_record_mac, payload.error().message);
         }
         ++records_read_;
         ++macs_verified_;  // reader MAC
-        CtxCounters& cc = ctx_counters_[record.context_id];
+        CtxCounters& cc = ctx_counters_[view.context_id];
         cc.bytes_in += payload.value().size();
         ++cc.records_in;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_read, record.context_id,
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_read, view.context_id,
                    payload.value().size(), 1);
-        if (cfg_.observe) cfg_.observe(record.context_id, dir, payload.value());
-        forward_record(from, record, /*own_unit=*/true);  // original bytes
+        if (cfg_.observe) cfg_.observe(view.context_id, dir, payload.value());
+        forward_wire(from, view.wire, /*own_unit=*/true);  // original bytes
         return {};
     }
 
     // Writer.
-    auto opened =
-        open_record_writer(keys->second, dir, seq, record.context_id, record.payload);
+    auto opened = open_record_writer(keys->second, dir, seq, view.context_id, view.payload,
+                                     open_scratch_);
     if (!opened) {
         ++mac_failures_;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
-                   record.context_id, record.payload.size());
+                   view.context_id, view.payload.size());
         return fail(AlertDescription::bad_record_mac, opened.error().message);
     }
     ++macs_verified_;  // writer MAC
-    Bytes payload = std::move(opened.value().payload);
-    Bytes original = payload;
-    CtxCounters& cc = ctx_counters_[record.context_id];
+    // The transform needs an owned copy; the scratch keeps the original for
+    // the modified-or-not comparison (no second copy).
+    Bytes payload = to_bytes(opened.value().payload);
+    CtxCounters& cc = ctx_counters_[view.context_id];
     cc.bytes_in += payload.size();
     ++cc.records_in;
-    if (cfg_.observe) cfg_.observe(record.context_id, dir, payload);
-    if (cfg_.transform) payload = cfg_.transform(record.context_id, dir, std::move(payload));
-    bool modified = payload != original;
+    if (cfg_.observe) cfg_.observe(view.context_id, dir, payload);
+    if (cfg_.transform) payload = cfg_.transform(view.context_id, dir, std::move(payload));
+    bool modified = !equal(payload, opened.value().payload);
     if (!modified) {
         // Unmodified: forward the original record, MACs untouched.
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_write_pass,
-                   record.context_id, payload.size(), 1);
-        forward_record(from, record, /*own_unit=*/true);
+                   view.context_id, payload.size(), 1);
+        forward_wire(from, view.wire, /*own_unit=*/true);
         return {};
     }
     ++records_rewritten_;
     macs_generated_ += 2;  // regenerated writer + reader MACs
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rewrite, record.context_id,
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rewrite, view.context_id,
                payload.size(), 2);
-    Bytes fragment = reseal_record_writer(keys->second, dir, seq, record.context_id, payload,
-                                          opened.value().endpoint_mac, *cfg_.rng);
-    forward_record(from, {tls::ContentType::application_data, record.context_id, fragment},
-                   /*own_unit=*/true);
+    // Reseal straight into the outgoing wire unit: header first, fragment
+    // appended in place (endpoint MAC still borrowed from the scratch).
+    size_t body = sealed_record_size(payload.size());
+    Bytes wire;
+    wire.reserve(client_side_.codec.header_size() + body);
+    client_side_.codec.encode_header_into(tls::ContentType::application_data, view.context_id,
+                                          body, wire);
+    reseal_record_writer_into(keys->second, dir, seq, view.context_id, payload,
+                              opened.value().endpoint_mac, *cfg_.rng, wire);
+    auto& out = from == From::client ? to_server_ : to_client_;
+    out.push_back(std::move(wire));
     return {};
 }
 

@@ -120,6 +120,10 @@ public:
     uint64_t records_read() const { return records_read_; }
     uint64_t records_rewritten() const { return records_rewritten_; }
 
+    // Decrypt-scratch stats for the records-per-allocation metric: in steady
+    // state `records` keeps growing while `heap_allocations` stays flat.
+    const RecordScratch& open_scratch() const { return open_scratch_; }
+
     // Telemetry snapshot. A middlebox verifies exactly 1 MAC per record it
     // opens (reader MAC with read access, writer MAC with write access) and
     // regenerates 2 (writer + reader) when it rewrites a record.
@@ -140,17 +144,20 @@ private:
     Status fail_with(SessionError::Origin origin, AlertDescription description,
                      std::string message, bool emit_alert);
     void send_alert_both(const tls::Alert& alert);
-    Status handle_alert_record(From from, const tls::Record& record);
+    Status handle_alert_record(From from, const tls::RecordView& view);
     Status feed(From from, ConstBytes wire);
-    Status handle_record(From from, const tls::Record& record);
+    Status handle_record(From from, const tls::RecordView& view);
     Status handle_handshake(From from, const tls::HandshakeMessage& msg);
-    Status handle_app_record(From from, const tls::Record& record);
+    Status handle_app_record(From from, const tls::RecordView& view);
     void forward_handshake(From from, const tls::HandshakeMessage& msg);
     void forward_record(From from, const tls::Record& record, bool own_unit);
+    // Fast-path forward: splice the original wire bytes onward without
+    // re-serializing (framing is identical on both sides).
+    void forward_wire(From from, ConstBytes wire, bool own_unit);
     void inject_bundle();
     Status extract_key_material(From from, const MiddleboxKeyMaterial& km);
     void try_finalize_keys();
-    Status handle_rekey_record(From from, const tls::Record& record);
+    Status handle_rekey_record(From from, const tls::RecordView& view);
     void compute_pending_keys();
     void switch_direction_keys(Direction dir);
     void finish_rekey_if_switched();
@@ -169,6 +176,7 @@ private:
 
     Side client_side_;  // connection toward the client
     Side server_side_;
+    RecordScratch open_scratch_;  // reusable decrypt buffer for app records
     std::vector<Bytes> to_client_;
     std::vector<Bytes> to_server_;
 

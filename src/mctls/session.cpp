@@ -267,11 +267,24 @@ Status Session::feed(ConstBytes wire)
     if (state_ == State::failed) return err(error_);
     codec_.feed(wire);
     while (true) {
-        auto next = codec_.next();
+        auto next = codec_.next_view();
         if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
-        if (auto s = handle_record(*next.value()); !s) return s;
+        if (auto s = handle_record_view(*next.value()); !s) return s;
     }
+}
+
+Status Session::handle_record_view(const tls::RecordView& view)
+{
+    // Established app data is the hot path: open straight from the codec
+    // buffer, no owning Record in between.
+    if (view.type == tls::ContentType::application_data && state_ == State::established)
+        return handle_app_record(view.context_id, view.payload);
+    tls::Record record;
+    record.type = view.type;
+    record.context_id = view.context_id;
+    record.payload = to_bytes(view.payload);
+    return handle_record(record);
 }
 
 Status Session::handle_record(const tls::Record& record)
@@ -314,7 +327,7 @@ Status Session::handle_record(const tls::Record& record)
     case tls::ContentType::rekey:
         return handle_rekey_record(record);
     case tls::ContentType::application_data:
-        return handle_app_record(record);
+        return handle_app_record(record.context_id, record.payload);
     }
     return fail(AlertDescription::decode_error, "mctls: unknown record type");
 }
@@ -944,22 +957,22 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
     return {};
 }
 
-Status Session::handle_app_record(const tls::Record& record)
+Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
 {
     if (state_ != State::established)
         return fail(AlertDescription::unexpected_message, "mctls: early application data");
-    auto keys = context_keys_.find(record.context_id);
+    auto keys = context_keys_.find(context_id);
     if (keys == context_keys_.end())
         return fail(AlertDescription::illegal_parameter,
                     "mctls: record for unknown context");
 
     Direction dir = is_client_ ? Direction::server_to_client : Direction::client_to_server;
     auto opened = open_record_endpoint(keys->second, endpoint_keys_, dir, app_recv_seq_,
-                                       record.context_id, record.payload);
+                                       context_id, payload, open_scratch_);
     if (!opened) {
         ++mac_failures_;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
-                   record.context_id, record.payload.size());
+                   context_id, payload.size());
         return fail(AlertDescription::bad_record_mac, opened.error().message);
     }
     ++app_recv_seq_;
@@ -967,13 +980,13 @@ Status Session::handle_app_record(const tls::Record& record)
     // (authenticity) and the endpoint MAC (modification detection).
     macs_verified_ += 2;
     ++app_records_received_;
-    CtxCounters& cc = ctx_counters_[record.context_id];
+    CtxCounters& cc = ctx_counters_[context_id];
     cc.bytes_in += opened.value().payload.size();
     ++cc.records_in;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, record.context_id,
+    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, context_id,
                opened.value().payload.size(), 2);
     app_chunks_.push_back(
-        {record.context_id, std::move(opened.value().payload), opened.value().from_endpoint});
+        {context_id, to_bytes(opened.value().payload), opened.value().from_endpoint});
     return {};
 }
 
@@ -988,11 +1001,15 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
     size_t off = 0;
     do {
         size_t take = std::min(kAppChunkLimit, data.size() - off);
-        Bytes fragment = seal_record(keys->second, endpoint_keys_, dir, app_send_seq_,
-                                     context_id, data.subspan(off, take), *cfg_.rng);
+        // Build the wire unit in place: header, then seal straight into the
+        // same buffer (one allocation, no intermediate fragment copy).
+        size_t body = sealed_record_size(take);
+        Bytes wire;
+        wire.reserve(codec_.header_size() + body);
+        codec_.encode_header_into(tls::ContentType::application_data, context_id, body, wire);
+        seal_record_into(keys->second, endpoint_keys_, dir, app_send_seq_, context_id,
+                         data.subspan(off, take), *cfg_.rng, wire);
         ++app_send_seq_;
-        tls::Record rec{tls::ContentType::application_data, context_id, fragment};
-        Bytes wire = codec_.encode(rec);
         app_overhead_bytes_ += wire.size() - take;
         ++app_records_sent_;
         // seal_record computes all three MACs (endpoints, writers, readers).

@@ -152,6 +152,10 @@ public:
     uint64_t app_overhead_bytes() const { return app_overhead_bytes_; }
     uint64_t app_records_sent() const { return app_records_sent_; }
 
+    // Decrypt-scratch stats for the records-per-allocation metric: in steady
+    // state `records` keeps growing while `heap_allocations` stays flat.
+    const RecordScratch& open_scratch() const { return open_scratch_; }
+
     // Telemetry snapshot: per-context byte/record counters plus MAC totals
     // under the endpoint–writer–reader scheme (3 MACs generated per sealed
     // record; 2 verified per record opened at an endpoint). Counters are
@@ -198,7 +202,8 @@ private:
     Status handle_bundle_message(const tls::HandshakeMessage& msg);
     Status client_handle(const tls::HandshakeMessage& msg);
     Status server_handle(const tls::HandshakeMessage& msg);
-    Status handle_app_record(const tls::Record& record);
+    Status handle_record_view(const tls::RecordView& view);
+    Status handle_app_record(uint8_t context_id, ConstBytes payload);
 
     Status client_send_second_flight();
     Status server_send_final_flight();
@@ -237,6 +242,7 @@ private:
     bool is_client_ = true;
 
     tls::RecordCodec codec_{/*with_context_id=*/true};
+    RecordScratch open_scratch_;  // reusable decrypt buffer for app records
     tls::HandshakeReader handshake_reader_;
     std::vector<Bytes> write_units_;
     std::vector<AppChunk> app_chunks_;

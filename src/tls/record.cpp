@@ -1,40 +1,87 @@
 #include "tls/record.h"
 
+#include <stdexcept>
+
 #include "crypto/ct.h"
-#include "crypto/hmac.h"
-#include "util/serde.h"
 
 namespace mct::tls {
 
+namespace {
+
+// Compact the codec buffer only once the dead prefix is both sizable and at
+// least as large as the live suffix; every consumed byte is then moved at
+// most once more, keeping next() amortized O(1).
+constexpr size_t kCompactThreshold = 4096;
+
+}  // namespace
+
 Bytes RecordCodec::encode(const Record& record) const
 {
-    if (record.payload.size() > kMaxFragment)
-        throw std::length_error("record: fragment too large");
-    Writer w;
-    w.u8(static_cast<uint8_t>(record.type));
-    w.u16(kProtocolVersion);
-    if (with_context_id_) w.u8(record.context_id);
-    w.u16(static_cast<uint16_t>(record.payload.size()));
-    w.raw(record.payload);
-    return w.take();
+    Bytes out;
+    out.reserve(header_size() + record.payload.size());
+    encode_into(record, out);
+    return out;
+}
+
+void RecordCodec::encode_into(const Record& record, Bytes& out) const
+{
+    encode_header_into(record.type, record.context_id, record.payload.size(), out);
+    append(out, record.payload);
+}
+
+void RecordCodec::encode_header_into(ContentType type, uint8_t context_id, size_t body_len,
+                                     Bytes& out) const
+{
+    if (body_len > kMaxWireFragment) throw std::length_error("record: fragment too large");
+    out.push_back(static_cast<uint8_t>(type));
+    out.push_back(static_cast<uint8_t>(kProtocolVersion >> 8));
+    out.push_back(static_cast<uint8_t>(kProtocolVersion));
+    if (with_context_id_) out.push_back(context_id);
+    out.push_back(static_cast<uint8_t>(body_len >> 8));
+    out.push_back(static_cast<uint8_t>(body_len));
 }
 
 void RecordCodec::feed(ConstBytes wire)
 {
+    if (read_pos_ == buffer_.size()) {
+        buffer_.clear();
+        read_pos_ = 0;
+    } else if (read_pos_ >= kCompactThreshold && read_pos_ >= buffer_.size() - read_pos_) {
+        buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(read_pos_));
+        read_pos_ = 0;
+    }
     append(buffer_, wire);
 }
 
 Result<std::optional<Record>> RecordCodec::next()
 {
+    auto view = next_view();
+    if (!view) return view.error();
+    if (!view.value()) return std::optional<Record>{};
+    Record record;
+    record.type = view.value()->type;
+    record.context_id = view.value()->context_id;
+    record.payload = to_bytes(view.value()->payload);
+    return std::optional<Record>{std::move(record)};
+}
+
+Result<std::optional<RecordView>> RecordCodec::next_view()
+{
+    const uint8_t* base = buffer_.data() + read_pos_;
+    size_t avail = buffered();
     size_t header = header_size();
-    if (buffer_.size() < header) return std::optional<Record>{};
-    uint8_t type = buffer_[0];
-    uint16_t version = static_cast<uint16_t>((buffer_[1] << 8) | buffer_[2]);
+    if (avail < header) return std::optional<RecordView>{};
+    uint8_t type = base[0];
+    // Validate the content type before the alert cross-framing retry below:
+    // the retry must only ever reinterpret genuine alerts, never resync a
+    // stream that is already garbage.
+    if (type < 20 || type > 24) return err("record: unknown content type");
+    uint16_t version = static_cast<uint16_t>((base[1] << 8) | base[2]);
     if (version != kProtocolVersion) return err("record: bad version");
-    uint8_t context_id = with_context_id_ ? buffer_[3] : 0;
+    uint8_t context_id = with_context_id_ ? base[3] : 0;
     size_t len_off = with_context_id_ ? 4 : 3;
-    uint16_t length =
-        static_cast<uint16_t>((buffer_[len_off] << 8) | buffer_[len_off + 1]);
+    uint16_t length = static_cast<uint16_t>((base[len_off] << 8) | base[len_off + 1]);
+    bool native = true;
 
     // Alerts are always plaintext level(1)|description(1) payloads, and they
     // are the one record a peer running the OTHER header format must still
@@ -45,67 +92,113 @@ Result<std::optional<Record>> RecordCodec::next()
     if (static_cast<ContentType>(type) == ContentType::alert && length != 2) {
         size_t alt_header = with_context_id_ ? 5 : 6;
         size_t alt_len_off = with_context_id_ ? 3 : 4;
-        if (buffer_.size() < alt_header) return std::optional<Record>{};
-        uint16_t alt_length = static_cast<uint16_t>((buffer_[alt_len_off] << 8) |
-                                                    buffer_[alt_len_off + 1]);
+        if (avail < alt_header) return std::optional<RecordView>{};
+        uint16_t alt_length =
+            static_cast<uint16_t>((base[alt_len_off] << 8) | base[alt_len_off + 1]);
         if (alt_length == 2) {
             header = alt_header;
             length = alt_length;
-            context_id = with_context_id_ ? 0 : buffer_[3];
+            context_id = with_context_id_ ? 0 : base[3];
+            native = false;
         }
     }
 
-    if (length > kMaxFragment + 1024) return err("record: oversized fragment");
-    if (type < 20 || type > 24) return err("record: unknown content type");
-    if (buffer_.size() < header + length) return std::optional<Record>{};
+    if (length > kMaxWireFragment) return err("record: oversized fragment");
+    if (avail < header + length) return std::optional<RecordView>{};
 
-    Record record;
-    record.type = static_cast<ContentType>(type);
-    record.context_id = context_id;
-    record.payload.assign(buffer_.begin() + header, buffer_.begin() + header + length);
-    buffer_.erase(buffer_.begin(), buffer_.begin() + header + length);
-    return std::optional<Record>{std::move(record)};
+    RecordView view;
+    view.type = static_cast<ContentType>(type);
+    view.context_id = context_id;
+    view.payload = ConstBytes{base + header, length};
+    view.wire = ConstBytes{base, header + length};
+    view.native_framing = native;
+    read_pos_ += header + length;
+    return std::optional<RecordView>{view};
 }
 
-Bytes CbcHmacProtector::pseudo_header(ContentType type, uint8_t context_id, size_t len) const
+CbcHmacProtector::CbcHmacProtector(Bytes enc_key, Bytes mac_key)
+    : cipher_(enc_key), mac_key_(std::move(mac_key))
 {
-    Writer w;
-    w.u64(seq_);
-    w.u8(static_cast<uint8_t>(type));
-    w.u16(kProtocolVersion);
-    w.u8(context_id);
-    w.u16(static_cast<uint16_t>(len));
-    return w.take();
+}
+
+void CbcHmacProtector::mac_pseudo_header(crypto::HmacSha256& mac, ContentType type,
+                                         uint8_t context_id, size_t len) const
+{
+    // seq(8) | type(1) | version(2) | context_id(1) | length(2), big-endian —
+    // identical bytes to the Writer-built header the MAC always covered.
+    uint8_t h[14];
+    for (int i = 0; i < 8; ++i) h[i] = static_cast<uint8_t>(seq_ >> (56 - 8 * i));
+    h[8] = static_cast<uint8_t>(type);
+    h[9] = static_cast<uint8_t>(kProtocolVersion >> 8);
+    h[10] = static_cast<uint8_t>(kProtocolVersion);
+    h[11] = context_id;
+    h[12] = static_cast<uint8_t>(len >> 8);
+    h[13] = static_cast<uint8_t>(len);
+    mac.update(h);
 }
 
 Bytes CbcHmacProtector::protect(ContentType type, uint8_t context_id, ConstBytes payload,
                                 Rng& rng)
 {
+    Bytes out;
+    protect_into(type, context_id, payload, rng, out);
+    return out;
+}
+
+void CbcHmacProtector::protect_into(ContentType type, uint8_t context_id, ConstBytes payload,
+                                    Rng& rng, Bytes& out)
+{
     crypto::HmacSha256 mac(mac_key_);
-    mac.update(pseudo_header(type, context_id, payload.size()));
+    mac_pseudo_header(mac, type, context_id, payload.size());
     mac.update(payload);
-    Bytes tag = mac.finish();
+    auto tag = mac.finish_tag();
     ++seq_;
-    return crypto::aes128_cbc_encrypt(enc_key_, concat(payload, tag), rng);
+    out.reserve(out.size() + protected_size(payload.size()));
+    crypto::CbcEncryptStream enc(cipher_, rng, out);
+    enc.update(payload);
+    enc.update(tag);
+    enc.finish();
 }
 
 Result<Bytes> CbcHmacProtector::unprotect(ContentType type, uint8_t context_id,
                                           ConstBytes fragment)
 {
-    auto plain = crypto::aes128_cbc_decrypt(enc_key_, fragment);
-    if (!plain) return plain.error();
-    Bytes& data = plain.value();
-    if (data.size() < crypto::HmacSha256::kTagSize) return err("record: short plaintext");
-    size_t payload_len = data.size() - crypto::HmacSha256::kTagSize;
-    ConstBytes payload{data.data(), payload_len};
-    ConstBytes tag{data.data() + payload_len, crypto::HmacSha256::kTagSize};
+    Bytes plain;
+    auto n = unprotect_into(type, context_id, fragment, plain);
+    if (!n) return n.error();
+    return plain;
+}
+
+Result<size_t> CbcHmacProtector::unprotect_into(ContentType type, uint8_t context_id,
+                                                ConstBytes fragment, Bytes& plain)
+{
+    size_t base = plain.size();
+    if (!crypto::aes128_cbc_decrypt_raw_into(cipher_, fragment, plain))
+        return err("record: bad ciphertext length");
+    ConstBytes padded{plain.data() + base, plain.size() - base};
+
+    // Uniform bad_record_mac: a padding failure still runs the full MAC
+    // check (over the no-padding interpretation) so invalid padding and a
+    // bad MAC cost the same work and surface the same error, leaving no
+    // padding oracle in the error channel.
+    size_t pad = crypto::pkcs7_padding(padded);
+    size_t content_len = padded.size() - pad;
+    bool length_ok = content_len >= crypto::HmacSha256::kTagSize;
+    size_t payload_len = length_ok ? content_len - crypto::HmacSha256::kTagSize : 0;
 
     crypto::HmacSha256 mac(mac_key_);
-    mac.update(pseudo_header(type, context_id, payload_len));
-    mac.update(payload);
-    if (!crypto::ct_equal(mac.finish(), tag)) return err("record: bad MAC");
+    mac_pseudo_header(mac, type, context_id, payload_len);
+    mac.update(padded.subspan(0, payload_len));
+    auto tag = mac.finish_tag();
+    bool mac_ok = length_ok &&
+                  crypto::ct_equal(tag, padded.subspan(payload_len, crypto::HmacSha256::kTagSize));
+    if (pad == 0 || !mac_ok) {
+        plain.resize(base);
+        return err("record: bad_record_mac");
+    }
     ++seq_;
-    return to_bytes(payload);
+    plain.resize(base + payload_len);
+    return payload_len;
 }
 
 }  // namespace mct::tls

@@ -8,12 +8,18 @@
 // Protection is AES-128-CBC with HMAC-SHA256, MAC-then-encrypt with explicit
 // IV, matching the paper's AES128-SHA256 suite. mcTLS layers its three-MAC
 // scheme on top of the same primitives (mctls/context_crypto.h).
+//
+// The codec and protector expose a zero-copy fast path (next_view,
+// protect_into/unprotect_into) used by the data plane; the owning
+// encode/next/protect/unprotect forms are thin wrappers kept for control
+// paths and tests. See DESIGN.md "Record fast path".
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
 #include "crypto/aes.h"
+#include "crypto/hmac.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -34,48 +40,105 @@ enum class ContentType : uint8_t {
 constexpr uint16_t kProtocolVersion = 0x0303;  // TLS 1.2 wire version
 constexpr size_t kMaxFragment = 16384;
 
+// One shared ciphertext-expansion bound, enforced symmetrically by encode()
+// and next(): a protected fragment exceeds its plaintext by at most the
+// explicit IV, a full block of CBC padding, the mcTLS MAC stack (endpoint +
+// writers + readers), and the mode-(b) Ed25519 signature.
+constexpr size_t kMaxRecordExpansion = crypto::Aes128::kBlockSize /* IV */ +
+                                       crypto::Aes128::kBlockSize /* padding */ +
+                                       3 * crypto::HmacSha256::kTagSize /* MACs */ +
+                                       64 /* Ed25519 signature */;
+constexpr size_t kMaxWireFragment = kMaxFragment + kMaxRecordExpansion;
+
 struct Record {
     ContentType type = ContentType::handshake;
     uint8_t context_id = 0;  // meaningful only when the codec carries contexts
     Bytes payload;
 };
 
+// Borrowed view of a parsed record. `payload` and `wire` point into the
+// codec's buffer and stay valid only until the next call on the codec.
+// `wire` is the full frame (header + fragment) exactly as received, so a
+// forwarder can splice it onward without re-serializing — but only when
+// `native_framing` is true; an alert recovered via the cross-framing retry
+// must be re-encoded into the local framing.
+struct RecordView {
+    ContentType type = ContentType::handshake;
+    uint8_t context_id = 0;
+    ConstBytes payload;
+    ConstBytes wire;
+    bool native_framing = true;
+};
+
 // Stream-oriented record framing: feed wire bytes, pop complete records.
+//
+// Consumed bytes are tracked with a read offset instead of erasing the
+// buffer front, so next() is amortized O(1); the buffer compacts on feed()
+// only when the dead prefix dominates the live bytes.
 class RecordCodec {
 public:
     explicit RecordCodec(bool with_context_id) : with_context_id_(with_context_id) {}
 
     Bytes encode(const Record& record) const;
+    // Appends the encoded frame to `out` (no intermediate buffer).
+    void encode_into(const Record& record, Bytes& out) const;
+    // Appends just the header; the caller then appends `body_len` fragment
+    // bytes (e.g. by sealing straight into `out`).
+    void encode_header_into(ContentType type, uint8_t context_id, size_t body_len,
+                            Bytes& out) const;
 
     void feed(ConstBytes wire);
     // nullopt = need more bytes; error = malformed frame.
     Result<std::optional<Record>> next();
+    // Zero-copy variant; the returned views are valid until the next call
+    // on this codec.
+    Result<std::optional<RecordView>> next_view();
 
-    size_t buffered() const { return buffer_.size(); }
+    size_t buffered() const { return buffer_.size() - read_pos_; }
     size_t header_size() const { return with_context_id_ ? 6 : 5; }
 
 private:
     bool with_context_id_;
     Bytes buffer_;
+    size_t read_pos_ = 0;
 };
 
 // One direction of CBC+HMAC record protection with its own sequence number.
+// The AES key schedule is expanded once at construction; protect_into /
+// unprotect_into append to caller-owned buffers so the steady-state record
+// path does no per-record heap allocation.
 class CbcHmacProtector {
 public:
-    CbcHmacProtector(Bytes enc_key, Bytes mac_key)
-        : enc_key_(std::move(enc_key)), mac_key_(std::move(mac_key)) {}
+    CbcHmacProtector(Bytes enc_key, Bytes mac_key);
+
+    // Exact fragment size protect() produces for `payload_len` bytes.
+    static constexpr size_t protected_size(size_t payload_len)
+    {
+        return crypto::cbc_ciphertext_size(payload_len + crypto::HmacSha256::kTagSize);
+    }
 
     // Returns ciphertext fragment (IV || CBC(payload || MAC)).
     Bytes protect(ContentType type, uint8_t context_id, ConstBytes payload, Rng& rng);
+    // Appends the ciphertext fragment to `out`.
+    void protect_into(ContentType type, uint8_t context_id, ConstBytes payload, Rng& rng,
+                      Bytes& out);
+
     // Inverse; verifies the MAC and advances the sequence number.
     Result<Bytes> unprotect(ContentType type, uint8_t context_id, ConstBytes fragment);
+    // Appends the plaintext payload to `plain` and returns its length. CBC
+    // padding and MAC failures are indistinguishable: the MAC check runs
+    // even when padding is invalid and both surface as "record:
+    // bad_record_mac" (padding-oracle hardening).
+    Result<size_t> unprotect_into(ContentType type, uint8_t context_id, ConstBytes fragment,
+                                  Bytes& plain);
 
     uint64_t seq() const { return seq_; }
 
 private:
-    Bytes pseudo_header(ContentType type, uint8_t context_id, size_t len) const;
+    void mac_pseudo_header(crypto::HmacSha256& mac, ContentType type, uint8_t context_id,
+                           size_t len) const;
 
-    Bytes enc_key_;
+    crypto::Aes128 cipher_;
     Bytes mac_key_;
     uint64_t seq_ = 0;
 };

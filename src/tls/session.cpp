@@ -198,11 +198,38 @@ Status Session::feed(ConstBytes wire)
     if (state_ == State::failed) return err(error_);
     codec_.feed(wire);
     while (true) {
-        auto next = codec_.next();
+        auto next = codec_.next_view();
         if (!next) return fail(AlertDescription::decode_error, next.error().message);
         if (!next.value().has_value()) return {};
-        if (auto s = handle_record(*next.value()); !s) return s;
+        if (auto s = handle_record_view(*next.value()); !s) return s;
     }
+}
+
+Status Session::handle_record_view(const RecordView& view)
+{
+    // Established app data is the hot path: decrypt straight from the codec
+    // buffer into the receive scratch, no owning Record in between.
+    if (view.type == ContentType::application_data && state_ == State::established) {
+        recv_scratch_.clear();
+        auto plain = recv_protector_->unprotect_into(view.type, 0, view.payload, recv_scratch_);
+        if (!plain) {
+            ++mac_failures_;
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail, 0,
+                       view.payload.size());
+            return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
+        }
+        ++macs_verified_;
+        ++app_records_received_;
+        app_bytes_received_ += plain.value();
+        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, 0, plain.value(), 1);
+        append(app_data_, ConstBytes{recv_scratch_.data(), plain.value()});
+        return {};
+    }
+    Record record;
+    record.type = view.type;
+    record.context_id = view.context_id;
+    record.payload = to_bytes(view.payload);
+    return handle_record(record);
 }
 
 Status Session::handle_record(const Record& record)
@@ -547,10 +574,13 @@ Status Session::send_app_data(ConstBytes data)
     do {
         size_t take = std::min(kMaxFragment - 512, data.size() - off);
         ConstBytes chunk = data.subspan(off, take);
-        Bytes protected_payload =
-            send_protector_->protect(ContentType::application_data, 0, chunk, *cfg_.rng);
-        Record rec{ContentType::application_data, 0, protected_payload};
-        Bytes wire = codec_.encode(rec);
+        // Build the wire unit in place: header, then seal straight into the
+        // same buffer (one allocation, no intermediate fragment copy).
+        size_t body = CbcHmacProtector::protected_size(chunk.size());
+        Bytes wire;
+        wire.reserve(codec_.header_size() + body);
+        codec_.encode_header_into(ContentType::application_data, 0, body, wire);
+        send_protector_->protect_into(ContentType::application_data, 0, chunk, *cfg_.rng, wire);
         app_overhead_bytes_ += wire.size() - chunk.size();
         ++app_records_sent_;
         ++macs_generated_;

@@ -145,6 +145,7 @@ private:
     void queue_record(const Record& record, bool own_unit);
     void queue_handshake(const HandshakeMessage& msg, Bytes* flight);
     void flush_flight(Bytes flight);
+    Status handle_record_view(const RecordView& view);
     Status handle_record(const Record& record);
     Status handle_handshake(const HandshakeMessage& msg);
 
@@ -174,6 +175,7 @@ private:
     HandshakeReader handshake_reader_;
     std::vector<Bytes> write_units_;
     Bytes app_data_;
+    Bytes recv_scratch_;  // reusable decrypt buffer for the app-data fast path
 
     Bytes transcript_;  // concatenated handshake messages
     Bytes client_random_;

@@ -1,0 +1,31 @@
+#include "util/buffer_pool.h"
+
+namespace mct {
+
+Bytes BufferPool::acquire(size_t capacity_hint)
+{
+    ++stats_.acquires;
+    if (free_.empty()) {
+        ++stats_.heap_allocations;
+        Bytes buf;
+        buf.reserve(capacity_hint);
+        return buf;
+    }
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    ++stats_.reuses;
+    if (buf.capacity() < capacity_hint) {
+        ++stats_.heap_allocations;
+        buf.reserve(capacity_hint);
+    }
+    return buf;
+}
+
+void BufferPool::release(Bytes buf)
+{
+    ++stats_.releases;
+    buf.clear();
+    free_.push_back(std::move(buf));
+}
+
+}  // namespace mct

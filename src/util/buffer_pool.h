@@ -1,0 +1,65 @@
+// Reusable byte-buffer pool for the record-layer fast path.
+//
+// The data plane acquires scratch/output buffers from a pool instead of
+// allocating per record: a released buffer keeps its capacity, so in steady
+// state every acquire is served from the free list without touching the
+// heap. Stats make that property testable — the record benches and the
+// context_crypto tests assert that records processed grows while
+// heap_allocations stays flat (the records-per-allocation counter).
+//
+// Ownership rule: a buffer acquired from a pool is plain `Bytes` — callers
+// that hand it off permanently (e.g. a wire unit moved to the transport)
+// simply never release it; only round-tripping buffers return via
+// release(). The pool never frees capacity until it is destroyed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mct {
+
+class BufferPool {
+public:
+    struct Stats {
+        uint64_t acquires = 0;
+        uint64_t reuses = 0;            // served from the free list
+        uint64_t heap_allocations = 0;  // fresh buffer, or capacity growth
+        uint64_t releases = 0;
+    };
+
+    // An empty buffer (size() == 0) with capacity >= capacity_hint.
+    Bytes acquire(size_t capacity_hint = 0);
+
+    // Hand a buffer back for reuse; its capacity is retained.
+    void release(Bytes buf);
+
+    const Stats& stats() const { return stats_; }
+    size_t idle() const { return free_.size(); }
+
+private:
+    std::vector<Bytes> free_;
+    Stats stats_;
+};
+
+// RAII lease: acquires on construction, releases on destruction. The
+// buffer is reachable as `*lease` / `lease->`.
+class PooledBuffer {
+public:
+    explicit PooledBuffer(BufferPool& pool, size_t capacity_hint = 0)
+        : pool_(pool), buf_(pool.acquire(capacity_hint)) {}
+    ~PooledBuffer() { pool_.release(std::move(buf_)); }
+
+    PooledBuffer(const PooledBuffer&) = delete;
+    PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+    Bytes& operator*() { return buf_; }
+    Bytes* operator->() { return &buf_; }
+
+private:
+    BufferPool& pool_;
+    Bytes buf_;
+};
+
+}  // namespace mct

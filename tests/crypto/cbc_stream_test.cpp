@@ -1,0 +1,152 @@
+// CbcEncryptStream and the raw-decrypt / padding helpers behind the record
+// fast path, plus empty-input edge cases (exercised under MCT_SANITIZE to
+// catch zero-length memcpy/span UB).
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "util/rng.h"
+
+namespace mct::crypto {
+namespace {
+
+TEST(CbcEncryptStream, MatchesOneShotEncryptAcrossSplits)
+{
+    TestRng keyrng(70);
+    Bytes key = keyrng.bytes(16);
+    Aes128 cipher(key);
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u, 1460u}) {
+        Bytes pt = TestRng(len + 3).bytes(len);
+        TestRng iv_a(5), iv_b(5), iv_c(5);
+        Bytes oneshot = aes128_cbc_encrypt(key, pt, iv_a);
+        EXPECT_EQ(oneshot.size(), cbc_ciphertext_size(len)) << "len=" << len;
+
+        Bytes streamed;
+        {
+            CbcEncryptStream enc(cipher, iv_b, streamed);
+            enc.update(pt);
+            enc.finish();
+        }
+        EXPECT_EQ(streamed, oneshot) << "len=" << len;
+
+        // Split into uneven updates, including empty ones.
+        Bytes split;
+        {
+            CbcEncryptStream enc(cipher, iv_c, split);
+            size_t cut = len / 3;
+            enc.update(ConstBytes{pt}.subspan(0, cut));
+            enc.update({});
+            enc.update(ConstBytes{pt}.subspan(cut));
+            enc.finish();
+        }
+        EXPECT_EQ(split, oneshot) << "len=" << len;
+    }
+}
+
+TEST(CbcEncryptStream, AppendsAfterExistingContent)
+{
+    TestRng rng(71);
+    Bytes key = rng.bytes(16);
+    Aes128 cipher(key);
+    Bytes out = str_to_bytes("header");
+    TestRng iv(9);
+    CbcEncryptStream enc(cipher, iv, out);
+    enc.update(str_to_bytes("body"));
+    enc.finish();
+    EXPECT_EQ(to_bytes(ConstBytes(out).subspan(0, 6)), str_to_bytes("header"));
+    TestRng iv2(9);
+    EXPECT_EQ(to_bytes(ConstBytes(out).subspan(6)), aes128_cbc_encrypt(key, str_to_bytes("body"), iv2));
+}
+
+TEST(CbcDecrypt, RawIntoRoundTripAndLengthCheck)
+{
+    TestRng rng(72);
+    Bytes key = rng.bytes(16);
+    Aes128 cipher(key);
+    Bytes pt = rng.bytes(50);
+    Bytes ct = aes128_cbc_encrypt(key, pt, rng);
+
+    Bytes raw;
+    ASSERT_TRUE(aes128_cbc_decrypt_raw_into(cipher, ct, raw));
+    size_t pad = pkcs7_padding(raw);
+    ASSERT_GT(pad, 0u);
+    EXPECT_EQ(to_bytes(ConstBytes(raw).subspan(0, raw.size() - pad)), pt);
+
+    Bytes keep = str_to_bytes("x");
+    EXPECT_FALSE(aes128_cbc_decrypt_raw_into(cipher, ConstBytes(ct).subspan(1), keep));
+    EXPECT_FALSE(aes128_cbc_decrypt_raw_into(cipher, ConstBytes(ct).subspan(0, 16), keep));
+    EXPECT_EQ(keep, str_to_bytes("x"));  // untouched on length failure
+}
+
+TEST(CbcDecrypt, Pkcs7PaddingValidation)
+{
+    Bytes block(16, 16);
+    EXPECT_EQ(pkcs7_padding(block), 16u);
+    Bytes one(16, 0xaa);
+    one.back() = 1;
+    EXPECT_EQ(pkcs7_padding(one), 1u);
+    Bytes zero(16, 0xaa);
+    zero.back() = 0;
+    EXPECT_EQ(pkcs7_padding(zero), 0u);  // 0 is never valid
+    Bytes overlong(16, 0xaa);
+    overlong.back() = 17;
+    EXPECT_EQ(pkcs7_padding(overlong), 0u);
+    Bytes mismatched(16, 0xaa);
+    mismatched[14] = 3;
+    mismatched[15] = 2;
+    EXPECT_EQ(pkcs7_padding(mismatched), 0u);
+    EXPECT_EQ(pkcs7_padding({}), 0u);  // empty input is invalid, not UB
+}
+
+TEST(CbcDecrypt, DecryptIntoMatchesOwningDecrypt)
+{
+    TestRng rng(73);
+    Bytes key = rng.bytes(16);
+    Aes128 cipher(key);
+    for (size_t len : {0u, 16u, 33u}) {
+        Bytes pt = TestRng(len + 9).bytes(len);
+        Bytes ct = aes128_cbc_encrypt(key, pt, rng);
+        auto owning = aes128_cbc_decrypt(key, ct);
+        ASSERT_TRUE(owning.ok());
+        EXPECT_EQ(owning.value(), pt);
+        Bytes out;
+        auto n = aes128_cbc_decrypt_into(cipher, ct, out);
+        ASSERT_TRUE(n.ok());
+        EXPECT_EQ(out, pt);
+        EXPECT_EQ(n.value(), pt.size());
+    }
+}
+
+TEST(EmptyInputs, EncryptDecryptEmptyPayload)
+{
+    TestRng rng(74);
+    Bytes key = rng.bytes(16);
+    Bytes ct = aes128_cbc_encrypt(key, {}, rng);
+    EXPECT_EQ(ct.size(), 32u);  // IV + one padding block
+    auto back = aes128_cbc_decrypt(key, ct);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back.value().empty());
+}
+
+TEST(EmptyInputs, HmacStreamingWithEmptyUpdates)
+{
+    Bytes key = str_to_bytes("key");
+    HmacSha256 h(key);
+    h.update({});
+    h.update(str_to_bytes("data"));
+    h.update({});
+    EXPECT_EQ(h.finish(), HmacSha256::mac(key, str_to_bytes("data")));
+
+    // finish_tag returns the identical 32 bytes as finish.
+    HmacSha256 h2(key);
+    h2.update(str_to_bytes("data"));
+    auto tag = h2.finish_tag();
+    EXPECT_EQ(Bytes(tag.begin(), tag.end()), HmacSha256::mac(key, str_to_bytes("data")));
+
+    // Empty key normalizes on the stack without reading a null span.
+    EXPECT_EQ(HmacSha256::mac({}, {}).size(), 32u);
+    EXPECT_EQ(hmac_sha512({}, {}).size(), 64u);
+}
+
+}  // namespace
+}  // namespace mct::crypto

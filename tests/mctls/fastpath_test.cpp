@@ -1,0 +1,64 @@
+// End-to-end pin of the record fast path's steady-state property: once a
+// session (or middlebox) has seen its largest record, further app records
+// are decrypted into the reused scratch without touching the heap. The
+// scratch counters feed the records-per-allocation metric the benches
+// report; this test makes the property a CI invariant, not a bench artifact.
+#include <gtest/gtest.h>
+
+#include "tests/mctls/harness.h"
+
+namespace mct::mctls {
+namespace {
+
+using test::ChainEnv;
+
+TEST(RecordFastPath, SteadyStateOpensDoNotAllocate)
+{
+    ChainEnv env;
+    ContextDescription ctx;
+    ctx.id = 1;
+    ctx.purpose = "body";
+    ctx.permissions = {Permission::read, Permission::write};
+    env.build(2, {ctx});
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    // Warm-up: one record at the largest payload this test will send, both
+    // directions, so every scratch reaches its high-water capacity.
+    Bytes big(4000, 0x42);
+    ASSERT_TRUE(env.client->send_app_data(1, big).ok());
+    env.pump();
+    ASSERT_TRUE(env.server->send_app_data(1, big).ok());
+    env.pump();
+    env.server->take_app_data();
+    env.client->take_app_data();
+
+    uint64_t server_allocs = env.server->open_scratch().heap_allocations;
+    uint64_t client_allocs = env.client->open_scratch().heap_allocations;
+    uint64_t read_allocs = env.mboxes[0]->open_scratch().heap_allocations;
+    uint64_t write_allocs = env.mboxes[1]->open_scratch().heap_allocations;
+    uint64_t server_records = env.server->open_scratch().records;
+    uint64_t read_records = env.mboxes[0]->open_scratch().records;
+    uint64_t write_records = env.mboxes[1]->open_scratch().records;
+
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(env.client->send_app_data(1, Bytes(1460, uint8_t(i))).ok());
+        ASSERT_TRUE(env.server->send_app_data(1, Bytes(512, uint8_t(i))).ok());
+        env.pump();
+    }
+    EXPECT_EQ(env.server->take_app_data().size(), 50u);
+    EXPECT_EQ(env.client->take_app_data().size(), 50u);
+
+    // Every hop opened every record...
+    EXPECT_EQ(env.server->open_scratch().records, server_records + 50);
+    EXPECT_EQ(env.mboxes[0]->open_scratch().records, read_records + 100);
+    EXPECT_EQ(env.mboxes[1]->open_scratch().records, write_records + 100);
+    // ...and no hop allocated for any of them.
+    EXPECT_EQ(env.server->open_scratch().heap_allocations, server_allocs);
+    EXPECT_EQ(env.client->open_scratch().heap_allocations, client_allocs);
+    EXPECT_EQ(env.mboxes[0]->open_scratch().heap_allocations, read_allocs);
+    EXPECT_EQ(env.mboxes[1]->open_scratch().heap_allocations, write_allocs);
+}
+
+}  // namespace
+}  // namespace mct::mctls

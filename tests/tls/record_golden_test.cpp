@@ -1,0 +1,100 @@
+// Golden wire-byte pins for the record layer. The hex strings were captured
+// from the implementation BEFORE the zero-copy fast path landed; these tests
+// guarantee the refactor (offset codec, streaming CBC, *_into APIs) kept the
+// wire format byte-identical.
+#include "tls/record.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace mct::tls {
+namespace {
+
+TEST(RecordGolden, CodecFraming)
+{
+    RecordCodec plain(false), ctx(true);
+    EXPECT_EQ(to_hex(plain.encode({ContentType::handshake, 0, str_to_bytes("hello")})),
+              "160303000568656c6c6f");
+    EXPECT_EQ(to_hex(plain.encode({ContentType::application_data, 0, Bytes{0xde, 0xad, 0xbe, 0xef}})),
+              "1703030004deadbeef");
+    EXPECT_EQ(to_hex(ctx.encode({ContentType::application_data, 3, str_to_bytes("ctx!")})),
+              "17030303000463747821");
+    EXPECT_EQ(to_hex(ctx.encode({ContentType::alert, 0, Bytes{2, 40}})), "1503030000020228");
+    EXPECT_EQ(to_hex(ctx.encode({ContentType::rekey, 0, {}})), "180303000000");
+}
+
+TEST(RecordGolden, EncodeIntoMatchesEncode)
+{
+    RecordCodec ctx(true);
+    Record rec{ContentType::application_data, 3, str_to_bytes("ctx!")};
+    Bytes out = str_to_bytes("prefix");  // must append, not overwrite
+    ctx.encode_into(rec, out);
+    EXPECT_EQ(out, concat(str_to_bytes("prefix"), ctx.encode(rec)));
+
+    Bytes hdr;
+    ctx.encode_header_into(ContentType::application_data, 3, 4, hdr);
+    append(hdr, rec.payload);
+    EXPECT_EQ(hdr, ctx.encode(rec));
+}
+
+TEST(RecordGolden, ProtectorWireBytes)
+{
+    TestRng keyrng(7);
+    Bytes enc_key = keyrng.bytes(16), mac_key = keyrng.bytes(32);
+    CbcHmacProtector prot(enc_key, mac_key);
+    TestRng ivrng(99);
+    EXPECT_EQ(to_hex(prot.protect(ContentType::application_data, 0,
+                                  str_to_bytes("attack at dawn"), ivrng)),
+              "42f3a9364c476be3081ab918879d69a47c7ff7c68041751566cc6b01ea115072"
+              "c038d62d112b5217a924c8e68ced465d5530695a32e9920ff56ae1cb5a66faa3");
+    EXPECT_EQ(to_hex(prot.protect(ContentType::handshake, 2, Bytes(33, 0xab), ivrng)),
+              "d5b2d034f041d2fb1a319a9cb9672cd7148f70a57c21f39ea92df4070841ae75"
+              "9fe3390cf21a9b6e29d6d4a1914b4f32faefc37eb9fb70e5ea77f5d586900b4e"
+              "576386a415ded56d1fbde43f9cbd6bc248d0f444edeccc61cb9ce4fee87b0ad5");
+    EXPECT_EQ(to_hex(prot.protect(ContentType::application_data, 1, {}, ivrng)),
+              "2b88fba386c0f8f43c12faf53d0fe67333b875b2e1a14c395e744a0169085f16"
+              "cfec457c92640bc279fc775930a363255d88ef34ba097a84eadf83ae87fe0ba6");
+}
+
+TEST(RecordGolden, ProtectIntoMatchesProtect)
+{
+    TestRng keyrng(7);
+    Bytes enc_key = keyrng.bytes(16), mac_key = keyrng.bytes(32);
+    CbcHmacProtector owning(enc_key, mac_key);
+    CbcHmacProtector into(enc_key, mac_key);
+    TestRng rng_a(99), rng_b(99);
+    for (size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1460u}) {
+        Bytes payload = TestRng(len + 1).bytes(len);
+        Bytes expect = owning.protect(ContentType::application_data, 1, payload, rng_a);
+        Bytes got = str_to_bytes("hdr");
+        into.protect_into(ContentType::application_data, 1, payload, rng_b, got);
+        EXPECT_EQ(got, concat(str_to_bytes("hdr"), expect)) << "len=" << len;
+        EXPECT_EQ(expect.size(), CbcHmacProtector::protected_size(len)) << "len=" << len;
+    }
+}
+
+TEST(RecordGolden, UnprotectIntoMatchesUnprotect)
+{
+    TestRng keyrng(7);
+    Bytes enc_key = keyrng.bytes(16), mac_key = keyrng.bytes(32);
+    CbcHmacProtector sender(enc_key, mac_key);
+    CbcHmacProtector recv_owning(enc_key, mac_key);
+    CbcHmacProtector recv_into(enc_key, mac_key);
+    TestRng ivrng(99);
+    Bytes plain;
+    for (size_t len : {0u, 1u, 16u, 100u, 1460u}) {
+        Bytes payload = TestRng(len + 7).bytes(len);
+        Bytes frag = sender.protect(ContentType::application_data, 0, payload, ivrng);
+        auto owned = recv_owning.unprotect(ContentType::application_data, 0, frag);
+        ASSERT_TRUE(owned.ok());
+        EXPECT_EQ(owned.value(), payload);
+        plain.clear();
+        auto n = recv_into.unprotect_into(ContentType::application_data, 0, frag, plain);
+        ASSERT_TRUE(n.ok());
+        EXPECT_EQ(to_bytes(ConstBytes(plain).subspan(0, n.value())), payload);
+    }
+}
+
+}  // namespace
+}  // namespace mct::tls

@@ -88,8 +88,11 @@ TEST(RecordCodec, UnknownContentTypeRejected)
 
 TEST(RecordCodec, OversizedRecordRejected)
 {
+    // The bound is the shared ciphertext-expansion limit: a protected
+    // fragment may exceed kMaxFragment by at most kMaxRecordExpansion.
     RecordCodec codec(false);
-    EXPECT_THROW(codec.encode({ContentType::handshake, 0, Bytes(kMaxFragment + 1, 0)}),
+    EXPECT_NO_THROW(codec.encode({ContentType::handshake, 0, Bytes(kMaxWireFragment, 0)}));
+    EXPECT_THROW(codec.encode({ContentType::handshake, 0, Bytes(kMaxWireFragment + 1, 0)}),
                  std::length_error);
 }
 

@@ -1,0 +1,76 @@
+#include "util/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace mct {
+namespace {
+
+TEST(BufferPool, AcquireGivesEmptyBufferWithCapacity)
+{
+    BufferPool pool;
+    Bytes buf = pool.acquire(1024);
+    EXPECT_EQ(buf.size(), 0u);
+    EXPECT_GE(buf.capacity(), 1024u);
+    EXPECT_EQ(pool.stats().acquires, 1u);
+    EXPECT_EQ(pool.stats().heap_allocations, 1u);
+    EXPECT_EQ(pool.stats().reuses, 0u);
+}
+
+TEST(BufferPool, ReleasedBufferIsReusedWithoutAllocation)
+{
+    BufferPool pool;
+    Bytes buf = pool.acquire(512);
+    buf.resize(300, 0xab);
+    const uint8_t* data = buf.data();
+    pool.release(std::move(buf));
+    EXPECT_EQ(pool.idle(), 1u);
+
+    Bytes again = pool.acquire(256);  // fits in retained capacity
+    EXPECT_EQ(again.size(), 0u);
+    EXPECT_EQ(again.data(), data);  // same storage came back
+    EXPECT_EQ(pool.stats().acquires, 2u);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.stats().heap_allocations, 1u);
+    EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPool, GrowthCountsAsHeapAllocation)
+{
+    BufferPool pool;
+    pool.release(pool.acquire(16));
+    Bytes big = pool.acquire(1 << 16);  // forces capacity growth of reused buffer
+    EXPECT_GE(big.capacity(), size_t{1} << 16);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    EXPECT_EQ(pool.stats().heap_allocations, 2u);
+}
+
+TEST(BufferPool, SteadyStateIsAllocationFree)
+{
+    BufferPool pool;
+    pool.release(pool.acquire(2048));
+    uint64_t baseline = pool.stats().heap_allocations;
+    for (int i = 0; i < 100; ++i) {
+        Bytes buf = pool.acquire(1500);
+        buf.resize(1500, uint8_t(i));
+        pool.release(std::move(buf));
+    }
+    EXPECT_EQ(pool.stats().heap_allocations, baseline);
+    EXPECT_EQ(pool.stats().reuses, 100u);
+    EXPECT_EQ(pool.stats().releases, 101u);
+}
+
+TEST(BufferPool, PooledBufferLeaseReleasesOnScopeExit)
+{
+    BufferPool pool;
+    {
+        PooledBuffer lease(pool, 64);
+        lease->push_back(1);
+        EXPECT_EQ((*lease).size(), 1u);
+        EXPECT_EQ(pool.idle(), 0u);
+    }
+    EXPECT_EQ(pool.idle(), 1u);
+    EXPECT_EQ(pool.stats().releases, 1u);
+}
+
+}  // namespace
+}  // namespace mct
