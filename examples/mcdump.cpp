@@ -1,0 +1,315 @@
+// mcdump: offline inspector for MCCAP wire captures (docs/PROTOCOL.md
+// "Capture file format").
+//
+//   mcdump <capture.mccap> [--keylog <file>] [--audit] [--metrics] [--json]
+//
+//     Reassemble every TCP flow in the capture, group hops into sessions,
+//     and dump the record structure. With --keylog, payloads are decrypted
+//     and all three mcTLS MACs are independently verified per record.
+//     --audit prints the least-privilege access report as JSON; --metrics
+//     prints dissection counters in Prometheus text exposition format;
+//     --json emits records as JSON lines instead of the table.
+//
+//   mcdump --demo
+//
+//     Run a client -> read-mbox -> write-mbox -> server chain over the
+//     simulated network, write mcdump_demo.mccap + mcdump_demo.keylog, then
+//     dissect them back — a self-contained tour of the capture pipeline.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "http/testbed.h"
+#include "inspect/audit.h"
+#include "inspect/dissect.h"
+#include "inspect/keyring.h"
+#include "net/capture.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "tls/keylog.h"
+
+using namespace mct;
+
+namespace {
+
+const char* type_name(tls::ContentType t)
+{
+    switch (t) {
+    case tls::ContentType::change_cipher_spec: return "ccs";
+    case tls::ContentType::alert: return "alert";
+    case tls::ContentType::handshake: return "handshake";
+    case tls::ContentType::application_data: return "appdata";
+    case tls::ContentType::rekey: return "rekey";
+    }
+    return "?";
+}
+
+char mac_char(inspect::MacStatus s)
+{
+    switch (s) {
+    case inspect::MacStatus::not_checked: return '-';
+    case inspect::MacStatus::ok: return 'v';
+    case inspect::MacStatus::mismatch: return 'X';
+    }
+    return '?';
+}
+
+std::string preview(ConstBytes payload, size_t limit = 28)
+{
+    std::string out;
+    for (size_t i = 0; i < payload.size() && i < limit; ++i) {
+        char c = static_cast<char>(payload[i]);
+        out.push_back(c >= 0x20 && c < 0x7f ? c : '.');
+    }
+    if (payload.size() > limit) out += "...";
+    return out;
+}
+
+void dump_record_table(const inspect::SessionDissection& session)
+{
+    for (size_t h = 0; h < session.hops.size(); ++h) {
+        const auto& hop = session.hops[h];
+        std::printf("  hop %zu: %s <-> %s (flow %u)%s%s\n", h, hop.initiator.c_str(),
+                    hop.responder.c_str(), hop.flow_id, hop.error.empty() ? "" : "  ERROR: ",
+                    hop.error.c_str());
+        std::printf("    %3s %10s %-9s %3s %5s %5s %6s %-4s %s\n", "dir", "ts(us)", "type",
+                    "ctx", "epoch", "seq", "len", "EWR", "note/payload");
+        for (const auto& rec : hop.records) {
+            char macs[5] = {mac_char(rec.endpoint_mac), mac_char(rec.writer_mac),
+                            mac_char(rec.reader_mac), 0, 0};
+            std::string info = rec.note;
+            if (rec.is_app && rec.decrypted)
+                info = (info.empty() ? "" : info + " ") + "\"" + preview(rec.payload) + "\"";
+            else if (rec.is_app && !rec.keys_found)
+                info = "<no keys>";
+            else if (rec.is_app)
+                info = "<decrypt failed>";
+            std::printf("    %3s %10llu %-9s %3u %5u %5llu %6u %-4s %s\n",
+                        rec.dir == 0 ? "->" : "<-",
+                        static_cast<unsigned long long>(rec.ts), type_name(rec.type),
+                        rec.context_id, rec.epoch,
+                        static_cast<unsigned long long>(rec.app_seq), rec.wire_len, macs,
+                        info.c_str());
+        }
+    }
+}
+
+void dump_record_json(const inspect::SessionDissection& session)
+{
+    for (size_t h = 0; h < session.hops.size(); ++h) {
+        for (const auto& rec : session.hops[h].records) {
+            std::string line;
+            obs::JsonWriter w(&line);
+            w.begin_object();
+            w.key("hop");
+            w.value(static_cast<uint64_t>(h));
+            w.key("dir");
+            w.value(static_cast<uint64_t>(rec.dir));
+            w.key("ts");
+            w.value(rec.ts);
+            w.key("type");
+            w.value(type_name(rec.type));
+            w.key("ctx");
+            w.value(static_cast<uint64_t>(rec.context_id));
+            w.key("epoch");
+            w.value(static_cast<uint64_t>(rec.epoch));
+            if (rec.is_app) {
+                w.key("app_seq");
+                w.value(rec.app_seq);
+                w.key("decrypted");
+                w.value(rec.decrypted);
+                w.key("endpoint_mac");
+                w.value(inspect::to_string(rec.endpoint_mac));
+                w.key("writer_mac");
+                w.value(inspect::to_string(rec.writer_mac));
+                w.key("reader_mac");
+                w.value(inspect::to_string(rec.reader_mac));
+                if (rec.decrypted) {
+                    w.key("payload");
+                    w.value(preview(rec.payload, 64));
+                }
+            }
+            if (!rec.note.empty()) {
+                w.key("note");
+                w.value(rec.note);
+            }
+            w.end_object();
+            std::printf("%s\n", line.c_str());
+        }
+    }
+}
+
+void dump_session_summary(size_t index, const inspect::SessionDissection& session)
+{
+    std::printf("session %zu: %s%s%s, client_random=%s\n", index,
+                session.is_mctls ? "mcTLS" : "TLS", session.resumed ? " (resumed)" : "",
+                session.ckd ? " (client-key-distribution)" : "",
+                session.client_random.empty()
+                    ? "?"
+                    : to_hex(ConstBytes(session.client_random).subspan(0, 8)).c_str());
+    if (!session.error.empty()) std::printf("  note: %s\n", session.error.c_str());
+    auto names = session.entities();
+    std::printf("  chain:");
+    for (const auto& n : names) std::printf(" %s", n.c_str());
+    std::printf("\n");
+    if (session.is_mctls) {
+        for (size_t c = 0; c < session.contexts.size(); ++c) {
+            const auto& ctx = session.contexts[c];
+            std::printf("  context %u (%s):", ctx.id, ctx.purpose.c_str());
+            for (size_t m = 0; m < session.middleboxes.size(); ++m)
+                std::printf(" %s=%s", session.middleboxes[m].name.c_str(),
+                            mctls::to_string(session.effective_permission(c, m)));
+            std::printf("\n");
+        }
+        if (session.rekeys_observed)
+            std::printf("  rekeys observed: %u\n", session.rekeys_observed);
+    }
+    std::printf("  keys: %s\n", session.keys_available ? "available (keylog matched)"
+                                                       : "none (framing-only dissection)");
+}
+
+void dump_metrics(const std::vector<inspect::SessionDissection>& sessions)
+{
+    obs::MetricsRegistry metrics;
+    auto* n_sessions = metrics.counter("mcdump.sessions");
+    auto* n_records = metrics.counter("mcdump.records");
+    auto* n_app = metrics.counter("mcdump.app_records");
+    auto* n_decrypted = metrics.counter("mcdump.app_records_decrypted");
+    auto* n_anomalies = metrics.counter("mcdump.audit_anomalies");
+    auto* sizes = metrics.histogram("mcdump.record_wire_bytes");
+    for (const auto& session : sessions) {
+        n_sessions->add(1);
+        for (const auto& hop : session.hops) {
+            for (const auto& rec : hop.records) {
+                n_records->add(1);
+                sizes->record(rec.wire_len);
+                if (!rec.is_app) continue;
+                n_app->add(1);
+                if (rec.decrypted) n_decrypted->add(1);
+            }
+        }
+        n_anomalies->add(inspect::build_audit(session).anomalies.size());
+    }
+    std::string text;
+    metrics.to_prometheus(&text);
+    std::printf("%s", text.c_str());
+}
+
+int inspect_capture(const std::string& capture_path, const std::string& keylog_path,
+                    bool audit, bool metrics, bool json)
+{
+    auto capture = net::capture_read_file(capture_path);
+    if (!capture.ok()) {
+        std::fprintf(stderr, "mcdump: %s\n", capture.error().message.c_str());
+        return 1;
+    }
+    inspect::KeyRing ring;
+    if (!keylog_path.empty()) {
+        auto parsed = inspect::read_keylog_file(keylog_path);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "mcdump: %s\n", parsed.error().message.c_str());
+            return 1;
+        }
+        ring = parsed.take();
+    }
+    auto sessions = inspect::dissect_capture(capture.value(),
+                                             keylog_path.empty() ? nullptr : &ring);
+    if (sessions.empty()) {
+        std::printf("mcdump: no flows in capture\n");
+        return 0;
+    }
+    if (metrics) {
+        dump_metrics(sessions);
+        return 0;
+    }
+    for (size_t i = 0; i < sessions.size(); ++i) {
+        if (audit) {
+            std::string out;
+            inspect::build_audit(sessions[i]).to_json(&out);
+            std::printf("%s\n", out.c_str());
+        } else if (json) {
+            dump_record_json(sessions[i]);
+        } else {
+            dump_session_summary(i, sessions[i]);
+            dump_record_table(sessions[i]);
+        }
+    }
+    return 0;
+}
+
+int run_demo()
+{
+    const char* capture_path = "mcdump_demo.mccap";
+    const char* keylog_path = "mcdump_demo.keylog";
+    {
+        net::CaptureFileWriter capture(capture_path);
+        tls::KeyLogFile keylog(keylog_path);
+        if (!capture.ok() || !keylog.ok()) {
+            std::fprintf(stderr, "mcdump: cannot write demo files\n");
+            return 1;
+        }
+        http::TestbedConfig cfg;
+        cfg.mode = http::Mode::mctls;
+        cfg.n_middleboxes = 2;
+        cfg.contexts_override = 2;
+        // Least privilege: mbox0 reads context 1 only; mbox1 may rewrite
+        // context 2 (it never does here — the audit shows reseals, not
+        // modifications).
+        cfg.permission_rows = {
+            {mctls::Permission::read, mctls::Permission::none},
+            {mctls::Permission::read, mctls::Permission::write},
+        };
+        cfg.capture = &capture;
+        cfg.keylog = &keylog;
+        http::Testbed testbed(cfg);
+        auto fetch = testbed.fetch(2000);
+        testbed.run();
+        capture.flush();
+        if (!fetch->completed) {
+            std::fprintf(stderr, "mcdump: demo fetch failed: %s\n", fetch->error.c_str());
+            return 1;
+        }
+    }
+    std::printf("wrote %s and %s; dissecting:\n\n", capture_path, keylog_path);
+    int rc = inspect_capture(capture_path, keylog_path, false, false, false);
+    std::printf("\n(re-run as `mcdump %s --keylog %s --audit` for the JSON access audit)\n",
+                capture_path, keylog_path);
+    return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::string capture_path, keylog_path;
+    bool audit = false, metrics = false, json = false, demo = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--demo") {
+            demo = true;
+        } else if (arg == "--audit") {
+            audit = true;
+        } else if (arg == "--metrics") {
+            metrics = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--keylog" && i + 1 < argc) {
+            keylog_path = argv[++i];
+        } else if (!arg.empty() && arg[0] != '-' && capture_path.empty()) {
+            capture_path = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s <capture.mccap> [--keylog <file>] [--audit] "
+                         "[--metrics] [--json]\n       %s --demo\n",
+                         argv[0], argv[0]);
+            return 2;
+        }
+    }
+    if (demo) return run_demo();
+    if (capture_path.empty()) {
+        std::fprintf(stderr, "mcdump: no capture file given (try --demo)\n");
+        return 2;
+    }
+    return inspect_capture(capture_path, keylog_path, audit, metrics, json);
+}

@@ -2,8 +2,11 @@
 //
 // Two modes:
 //
-//   trace_dump <trace.jsonl>   parse a JSONL trace captured with
-//                              obs::JsonlFileSink and print it as a table
+//   trace_dump <trace.jsonl> [--session <actor>] [--ctx <id>]
+//                              parse a JSONL trace captured with
+//                              obs::JsonlFileSink and print it as a table,
+//                              optionally filtered to one actor and/or one
+//                              context id
 //
 //   trace_dump                 run a small in-memory mcTLS session (client,
 //                              one read/write middlebox, server), capture its
@@ -13,6 +16,7 @@
 // clock was attached), actor, event type, context id, and the two
 // type-dependent payload fields a/b (byte counts, MAC counts, fault kinds).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -44,8 +48,9 @@ void print_row(uint64_t seq, uint64_t ts, const std::string& actor, const std::s
                 static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
 }
 
-// Mode 1: dump an existing JSONL capture.
-int dump_file(const char* path)
+// Mode 1: dump an existing JSONL capture, optionally filtered by actor
+// ("--session client") and/or context id ("--ctx 2").
+int dump_file(const char* path, const std::string& session_filter, int ctx_filter)
 {
     std::ifstream in(path);
     if (!in) {
@@ -54,7 +59,7 @@ int dump_file(const char* path)
     }
     print_header();
     std::string line;
-    size_t lineno = 0, shown = 0;
+    size_t lineno = 0, shown = 0, total = 0;
     while (std::getline(in, line)) {
         ++lineno;
         if (line.empty()) continue;
@@ -73,11 +78,17 @@ int dump_file(const char* path)
             const obs::JsonValue* f = v.get(key);
             return f ? f->str : std::string("?");
         };
+        ++total;
+        if (!session_filter.empty() && str("actor") != session_filter) continue;
+        if (ctx_filter >= 0 && num("ctx") != static_cast<uint64_t>(ctx_filter)) continue;
         print_row(num("seq"), num("ts"), str("actor"), str("type"), num("ctx"), num("a"),
                   num("b"));
         ++shown;
     }
-    std::printf("-- %zu events\n", shown);
+    if (shown == total)
+        std::printf("-- %zu events\n", shown);
+    else
+        std::printf("-- %zu of %zu events (filtered)\n", shown, total);
     return 0;
 }
 
@@ -198,6 +209,10 @@ int run_demo()
     std::printf("-- %zu events (also written to trace_demo.jsonl; re-run as\n"
                 "   `trace_dump trace_demo.jsonl` to dump from the file)\n",
                 events.size());
+    if (ring.dropped() > 0)
+        std::printf("WARNING: ring buffer dropped %llu events (oldest first); "
+                    "the table above is truncated\n",
+                    static_cast<unsigned long long>(ring.dropped()));
     return 0;
 }
 
@@ -205,10 +220,27 @@ int run_demo()
 
 int main(int argc, char** argv)
 {
-    if (argc > 2) {
-        std::fprintf(stderr, "usage: %s [trace.jsonl]\n", argv[0]);
+    const char* path = nullptr;
+    std::string session_filter;
+    int ctx_filter = -1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--session" && i + 1 < argc) {
+            session_filter = argv[++i];
+        } else if (arg == "--ctx" && i + 1 < argc) {
+            ctx_filter = std::atoi(argv[++i]);
+        } else if (!arg.empty() && arg[0] != '-' && !path) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr, "usage: %s [trace.jsonl] [--session <actor>] [--ctx <id>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (path) return dump_file(path, session_filter, ctx_filter);
+    if (!session_filter.empty() || ctx_filter >= 0) {
+        std::fprintf(stderr, "trace_dump: filters need a trace file\n");
         return 2;
     }
-    if (argc == 2) return dump_file(argv[1]);
     return run_demo();
 }

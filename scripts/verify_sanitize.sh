@@ -2,7 +2,9 @@
 # Build and run the full test suite under ASan+UBSan (MCT_SANITIZE=ON).
 # The fault-injection and session-continuity tests exercise teardown and
 # rekey orderings where lifetime bugs hide; see DESIGN.md "Session
-# continuity" and "Failure model".
+# continuity" and "Failure model". The full ctest run includes the
+# end-to-end capture -> dissect -> audit round trip
+# (tests/inspect/e2e_capture_test.cpp; DESIGN.md "Wire inspection & audit").
 #
 # Usage: scripts/verify_sanitize.sh [ctest args...]
 set -euo pipefail

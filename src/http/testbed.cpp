@@ -166,6 +166,7 @@ struct Testbed::Impl {
             tracer->set_clock([clock_loop] { return clock_loop->now(); });
             net.set_tracer(tracer);
         }
+        if (cfg.capture) net.set_capture(cfg.capture);
         build_topology();
         start_server();
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) start_relay(i);
@@ -389,6 +390,7 @@ struct Testbed::Impl {
             tcfg.handshake_timeout = cfg.handshake_deadline;
             tcfg.tracer = tracer;
             tcfg.trace_actor = "client";
+            tcfg.keylog = cfg.keylog;
             if (continuity() && client_tls_ticket.valid())
                 tcfg.ticket = &client_tls_ticket;
             return std::make_unique<TlsChannel>(std::move(tcfg));
@@ -403,6 +405,7 @@ struct Testbed::Impl {
             mcfg.handshake_timeout = cfg.handshake_deadline;
             mcfg.tracer = tracer;
             mcfg.trace_actor = "client";
+            mcfg.keylog = cfg.keylog;
             if (continuity() && client_mctls_ticket.valid())
                 mcfg.ticket = &client_mctls_ticket;
             return std::make_unique<McTlsChannel>(std::move(mcfg));

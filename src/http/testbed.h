@@ -20,6 +20,7 @@
 #include "net/sim_net.h"
 #include "obs/obs.h"
 #include "pki/authority.h"
+#include "tls/keylog.h"
 
 namespace mct::http {
 
@@ -108,6 +109,14 @@ struct TestbedConfig {
     // captured, and publish_session_stats() folds per-session snapshots into
     // the hub's metrics registry. Borrowed; must outlive the testbed.
     obs::Hub* obs = nullptr;
+
+    // Wire inspection (DESIGN.md "Wire inspection & audit"). `capture`
+    // records every TCP segment the sim transmits (attached before any
+    // connection opens); `keylog` receives SSLKEYLOGFILE-style lines from
+    // the client session so captures can be dissected offline. Both
+    // borrowed; must outlive the testbed. Null = off, zero overhead.
+    net::CaptureSink* capture = nullptr;
+    tls::KeyLog* keylog = nullptr;
 };
 
 class Testbed {

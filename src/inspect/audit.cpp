@@ -1,0 +1,230 @@
+#include "inspect/audit.h"
+
+#include <algorithm>
+#include <map>
+
+#include "obs/json.h"
+
+namespace mct::inspect {
+
+namespace {
+
+using mctls::Permission;
+
+// Middlebox indices (0-based) that have already handled a record observed
+// at hop `hop` travelling in `dir`. Hop h connects entity h and h+1; for
+// c->s the boxes before hop h are 0..h-1, for s->c they are h..M-1.
+bool write_granted_upstream(const SessionDissection& s, size_t hop, uint8_t dir,
+                            size_t ctx_index)
+{
+    size_t n_mbox = s.middleboxes.size();
+    size_t begin = dir == 0 ? 0 : hop;
+    size_t end = dir == 0 ? hop : n_mbox;
+    for (size_t m = begin; m < end; ++m)
+        if (s.effective_permission(ctx_index, m) == Permission::write) return true;
+    return false;
+}
+
+}  // namespace
+
+const AuditCell* AuditReport::cell(size_t entity, uint8_t context_id) const
+{
+    if (entity >= matrix.size()) return nullptr;
+    for (size_t c = 0; c < context_ids.size(); ++c)
+        if (context_ids[c] == context_id) return &matrix[entity][c];
+    return nullptr;
+}
+
+AuditReport build_audit(const SessionDissection& session)
+{
+    AuditReport report;
+    report.is_mctls = session.is_mctls;
+    report.keys_available = session.keys_available;
+    report.resumed = session.resumed;
+    report.ckd = session.ckd;
+    report.rekeys_observed = session.rekeys_observed;
+    report.entities = session.entities();
+
+    std::map<uint8_t, size_t> ctx_index;
+    if (session.is_mctls) {
+        for (const auto& ctx : session.contexts) {
+            ctx_index[ctx.id] = report.context_ids.size();
+            report.context_ids.push_back(ctx.id);
+            report.context_purposes.push_back(ctx.purpose);
+        }
+    } else {
+        // Plain TLS is the one-context degenerate case: both endpoints
+        // write, every middlebox (there are none in-protocol) sees nothing.
+        ctx_index[0] = 0;
+        report.context_ids.push_back(0);
+        report.context_purposes.push_back("tls-stream");
+    }
+
+    size_t n_entities = report.entities.size();
+    size_t n_ctx = report.context_ids.size();
+    report.matrix.assign(n_entities, std::vector<AuditCell>(n_ctx));
+    for (size_t c = 0; c < n_ctx; ++c) {
+        report.matrix.front()[c].permission = Permission::write;  // client
+        report.matrix.back()[c].permission = Permission::write;   // server
+        for (size_t m = 0; m + 2 < n_entities; ++m)
+            report.matrix[m + 1][c].permission = session.effective_permission(c, m);
+    }
+
+    // Index application records by (dir, app_seq) per hop for cross-hop
+    // comparison. Framing errors can leave holes; diffs need both sides.
+    size_t n_hops = session.hops.size();
+    std::map<std::pair<uint8_t, uint64_t>, std::vector<const DissectedRecord*>> app;
+    for (size_t h = 0; h < n_hops; ++h) {
+        for (const auto& rec : session.hops[h].records) {
+            if (!rec.is_app) continue;
+            auto& row = app[{rec.dir, rec.app_seq}];
+            row.resize(n_hops, nullptr);
+            row[h] = &rec;
+        }
+    }
+
+    for (const auto& [key, row] : app) {
+        uint8_t dir = key.first;
+        for (size_t h = 0; h < n_hops; ++h) {
+            const DissectedRecord* rec = row[h];
+            if (!rec) continue;
+            auto ci = ctx_index.find(session.is_mctls ? rec->context_id : uint8_t{0});
+            size_t c = ci == ctx_index.end() ? SIZE_MAX : ci->second;
+
+            // Cross-hop diff: a change between hop h and h+1 is the work of
+            // the middlebox between them (entity h+1), whichever direction
+            // the record travels.
+            if (h + 1 < n_hops && row[h + 1] && c != SIZE_MAX) {
+                const DissectedRecord* next = row[h + 1];
+                if (rec->fragment != next->fragment)
+                    ++report.matrix[h + 1][c].records_resealed;
+                if (rec->decrypted && next->decrypted && rec->payload != next->payload)
+                    ++report.matrix[h + 1][c].records_modified;
+            }
+
+            // MAC anomalies.
+            auto flag = [&](const char* kind, std::string detail) {
+                report.anomalies.push_back(
+                    {h, dir, rec->app_seq, rec->context_id, kind, std::move(detail)});
+            };
+            if (rec->keys_found && !rec->decrypted)
+                flag("decrypt_failure", "record did not decrypt under the reader key");
+            if (rec->reader_mac == MacStatus::mismatch)
+                flag("reader_mac_mismatch", "reader MAC does not verify");
+            if (rec->writer_mac == MacStatus::mismatch)
+                flag("writer_mac_mismatch", "writer MAC does not verify");
+            if (rec->endpoint_mac == MacStatus::mismatch && c != SIZE_MAX &&
+                !write_granted_upstream(session, h, dir, c))
+                flag("endpoint_mac_unexplained",
+                     "endpoint MAC fails but no upstream middlebox holds write access");
+        }
+    }
+
+    // Volume counters: one per (direction, sequence) application record. A
+    // record is decrypted/verified only if it checks out on EVERY hop it was
+    // observed crossing — a single bad hop disqualifies the whole record.
+    for (const auto& [key, row] : app) {
+        uint8_t dir = key.first;
+        ++report.app_records;
+        bool all_decrypted = true, all_verified = true;
+        for (size_t h = 0; h < n_hops; ++h) {
+            const DissectedRecord* rec = row[h];
+            if (!rec) continue;
+            if (!rec->decrypted) all_decrypted = false;
+            auto ci = ctx_index.find(session.is_mctls ? rec->context_id : uint8_t{0});
+            bool endpoint_ok =
+                rec->endpoint_mac != MacStatus::mismatch ||
+                (ci != ctx_index.end() &&
+                 write_granted_upstream(session, h, dir, ci->second));
+            if (!rec->decrypted || rec->reader_mac == MacStatus::mismatch ||
+                rec->writer_mac == MacStatus::mismatch || !endpoint_ok)
+                all_verified = false;
+        }
+        if (all_decrypted) ++report.app_records_decrypted;
+        if (all_verified) ++report.app_records_verified;
+    }
+    return report;
+}
+
+void AuditReport::to_json(std::string* out) const
+{
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("protocol");
+    w.value(is_mctls ? "mctls" : "tls");
+    w.key("keys_available");
+    w.value(keys_available);
+    w.key("resumed");
+    w.value(resumed);
+    w.key("ckd");
+    w.value(ckd);
+    w.key("rekeys_observed");
+    w.value(static_cast<uint64_t>(rekeys_observed));
+    w.key("app_records");
+    w.value(app_records);
+    w.key("app_records_decrypted");
+    w.value(app_records_decrypted);
+    w.key("app_records_verified");
+    w.value(app_records_verified);
+
+    w.key("contexts");
+    w.begin_array();
+    for (size_t c = 0; c < context_ids.size(); ++c) {
+        w.begin_object();
+        w.key("id");
+        w.value(static_cast<uint64_t>(context_ids[c]));
+        w.key("purpose");
+        w.value(context_purposes[c]);
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("matrix");
+    w.begin_array();
+    for (size_t e = 0; e < entities.size(); ++e) {
+        w.begin_object();
+        w.key("entity");
+        w.value(entities[e]);
+        w.key("access");
+        w.begin_array();
+        for (size_t c = 0; c < context_ids.size(); ++c) {
+            const AuditCell& cell = matrix[e][c];
+            w.begin_object();
+            w.key("context");
+            w.value(static_cast<uint64_t>(context_ids[c]));
+            w.key("permission");
+            w.value(mctls::to_string(cell.permission));
+            w.key("records_resealed");
+            w.value(cell.records_resealed);
+            w.key("records_modified");
+            w.value(cell.records_modified);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("anomalies");
+    w.begin_array();
+    for (const auto& a : anomalies) {
+        w.begin_object();
+        w.key("hop");
+        w.value(static_cast<uint64_t>(a.hop));
+        w.key("dir");
+        w.value(static_cast<uint64_t>(a.dir));
+        w.key("app_seq");
+        w.value(a.app_seq);
+        w.key("context");
+        w.value(static_cast<uint64_t>(a.context_id));
+        w.key("kind");
+        w.value(a.kind);
+        w.key("detail");
+        w.value(a.detail);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+}  // namespace mct::inspect

@@ -1,0 +1,109 @@
+// Offline wire dissector: replay a net::Capture through the record layer
+// and — given keylog material — decrypt payloads and independently verify
+// the mcTLS triple-MAC stack on every application record.
+//
+// The dissector is a separate implementation of the receive path on
+// purpose: it re-derives MAC inputs from first principles (seq counting,
+// epoch tracking across in-band rekeys, per-direction key switch points)
+// instead of reusing session state, so it can cross-check what the live
+// stack accepted. It trusts nothing but the capture bytes and the keylog.
+//
+// Structure: flows are grouped into hop chains by joining each flow's
+// initiator to the previous flow's responder (a session over N middleboxes
+// is N+1 flows: client->m1->...->server). Each hop's two TCP streams are
+// reassembled (dedup of retransmissions included) and walked record by
+// record. Epoch bookkeeping mirrors the three-phase rekey: the s->c stream
+// switches keys after the `resp` record, the c->s stream after `commit`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inspect/keyring.h"
+#include "mctls/types.h"
+#include "net/capture.h"
+#include "tls/record.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::inspect {
+
+enum class MacStatus : uint8_t {
+    not_checked = 0,  // no key material for this MAC
+    ok = 1,
+    mismatch = 2,
+};
+
+const char* to_string(MacStatus s);
+
+struct DissectedRecord {
+    uint8_t dir = 0;  // 0 = toward server, 1 = toward client
+    tls::ContentType type = tls::ContentType::handshake;
+    uint8_t context_id = 0;
+    uint64_t ts = 0;             // sim time the record's first byte was transmitted
+    uint64_t stream_offset = 0;  // byte offset of this frame in its TCP stream
+    uint32_t wire_len = 0;       // full frame length (header + fragment)
+
+    // Application-record fields (meaningful when type == application_data).
+    bool is_app = false;
+    uint64_t app_seq = 0;  // implicit mcTLS sequence number, per direction
+    uint32_t epoch = 0;    // key epoch the record was checked under
+    bool keys_found = false;
+    bool decrypted = false;
+    Bytes payload;   // decrypted payload (app + control records)
+    Bytes fragment;  // wire fragment (ciphertext) — audit diffs these per hop
+    MacStatus endpoint_mac = MacStatus::not_checked;
+    MacStatus writer_mac = MacStatus::not_checked;
+    MacStatus reader_mac = MacStatus::not_checked;
+
+    std::string note;  // handshake message names, alert text, rekey phase
+};
+
+// One TCP hop of the chain, fully dissected in both directions (records
+// interleaved per direction in stream order; use `dir` to split).
+struct HopDissection {
+    uint32_t flow_id = 0;
+    std::string initiator;
+    std::string responder;
+    std::vector<DissectedRecord> records;
+    std::string error;  // first framing/parse error; empty when clean
+};
+
+// One end-to-end session: the chain of hops plus what the hello exchange
+// disclosed (composition, requested and granted permissions).
+struct SessionDissection {
+    bool is_mctls = false;
+    bool keys_available = false;  // keylog material matched this session
+    Bytes client_random;
+    Bytes server_random;
+    Bytes session_id;
+    bool resumed = false;
+    bool ckd = false;  // server chose client-key-distribution mode
+    std::vector<mctls::MiddleboxInfo> middleboxes;
+    std::vector<mctls::ContextDescription> contexts;  // requested permissions
+    // granted[c][m] from the ServerModeExtension; empty when TLS or unparsed.
+    std::vector<std::vector<mctls::Permission>> granted;
+    uint32_t rekeys_observed = 0;
+    std::vector<HopDissection> hops;
+    std::string error;  // session-level parse problem; dissection continues
+
+    // Entity names along the chain: "client", middlebox names, "server".
+    std::vector<std::string> entities() const;
+    // min(requested, granted) for middlebox m in context index c.
+    mctls::Permission effective_permission(size_t ctx_index, size_t mbox_index) const;
+};
+
+// Reassemble one direction of a flow into its TCP byte stream, deduping
+// retransmitted frames cumulatively (go-back-N receivers see exactly this).
+// `fin_seen` (optional) reports whether a FIN frame closed the stream.
+Bytes reassemble_flow(const net::Capture& capture, uint32_t flow_id, uint8_t dir,
+                      bool* fin_seen = nullptr);
+
+// Dissect a whole capture: group flows into chains, dissect every hop.
+// `keys` may be null (framing-only dissection). Sessions appear in flow-id
+// order of their first hop.
+std::vector<SessionDissection> dissect_capture(const net::Capture& capture,
+                                               const KeyRing* keys);
+
+}  // namespace mct::inspect

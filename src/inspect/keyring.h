@@ -1,0 +1,64 @@
+// Keylog material for offline dissection (docs/PROTOCOL.md "Keylog
+// format").
+//
+// A KeyRing holds the secrets exported through tls::KeyLog, indexed by the
+// session's client random — the one value that is both on the wire (in the
+// ClientHello) and in every keylog line, so a capture and a keylog can be
+// joined without any other channel. Three line kinds are understood:
+//
+//   CLIENT_RANDOM <cr> <master_secret>                       (TLS 1.2 style)
+//   MCTLS_ENDPOINT <cr> <mac_c2s> <mac_s2c> <ctl_c2s> <ctl_s2c>
+//   MCTLS_CONTEXT <cr> <epoch> <ctx> <renc_c2s> <renc_s2c>
+//                 <rmac_c2s> <rmac_s2c> <wmac_c2s> <wmac_s2c>
+//
+// Unknown labels are skipped (forward compatibility); "-" marks an absent
+// key (e.g. writer keys a read-only exporter never held).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "mctls/key_schedule.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mct::inspect {
+
+class KeyRing {
+public:
+    // Lookups by the wire client random. nullptr when the keylog had no
+    // matching line (dissection then degrades to framing-only).
+    const Bytes* master_secret(ConstBytes client_random) const;
+    const mctls::EndpointKeys* endpoint_keys(ConstBytes client_random) const;
+    const mctls::ContextKeys* context_keys(ConstBytes client_random, uint32_t epoch,
+                                           uint8_t context_id) const;
+
+    // Highest context epoch seen for a session (0 when none).
+    uint32_t max_epoch(ConstBytes client_random) const;
+
+    bool empty() const
+    {
+        return master_.empty() && endpoint_.empty() && context_.empty();
+    }
+    size_t sessions() const;
+
+    // Parse one keylog line into the ring. Blank lines and '#' comments are
+    // accepted and ignored; malformed known-label lines are errors.
+    Status add_line(std::string_view line);
+
+private:
+    using ContextKey = std::pair<uint32_t, uint8_t>;  // (epoch, context id)
+
+    std::map<std::string, Bytes> master_;
+    std::map<std::string, mctls::EndpointKeys> endpoint_;
+    std::map<std::string, std::map<ContextKey, mctls::ContextKeys>> context_;
+};
+
+// Parse a whole keylog (one line per entry). Fails on the first malformed
+// known-label line; unknown labels are skipped.
+Result<KeyRing> parse_keylog(std::string_view text);
+Result<KeyRing> read_keylog_file(const std::string& path);
+
+}  // namespace mct::inspect

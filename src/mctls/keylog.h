@@ -1,0 +1,38 @@
+// mcTLS keylog lines (docs/PROTOCOL.md "Keylog format").
+//
+// Two line kinds on top of the tls::KeyLog sink:
+//
+//   MCTLS_ENDPOINT <client_random> <mac_c2s> <mac_s2c> <ctl_c2s> <ctl_s2c>
+//
+// carries the K_endpoints expansion — per-direction record-MAC keys and
+// control-context encryption keys. Endpoint keys never rotate, so the line
+// has no epoch field.
+//
+//   MCTLS_CONTEXT <client_random> <epoch> <ctx> <renc_c2s> <renc_s2c>
+//                 <rmac_c2s> <rmac_s2c> <wmac_c2s> <wmac_s2c>
+//
+// carries one context's keys for one epoch (epoch 0 = the handshake keys;
+// each completed in-band rekey emits a fresh set under the next epoch, so a
+// capture spanning rekeys stays fully decryptable). A party without writer
+// keys writes "-" in the wmac fields.
+//
+// `client_random` is the session identifier tying lines to a capture — the
+// same join key Wireshark uses for CLIENT_RANDOM. All emitters are null-safe
+// and sit on handshake/rekey paths only.
+#pragma once
+
+#include <cstdint>
+
+#include "mctls/key_schedule.h"
+#include "tls/keylog.h"
+#include "util/bytes.h"
+
+namespace mct::mctls {
+
+void keylog_endpoint_keys(tls::KeyLog* log, ConstBytes client_random,
+                          const EndpointKeys& keys);
+
+void keylog_context_keys(tls::KeyLog* log, ConstBytes client_random, uint32_t epoch,
+                         uint8_t context_id, const ContextKeys& keys);
+
+}  // namespace mct::mctls

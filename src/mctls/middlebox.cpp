@@ -760,6 +760,7 @@ obs::SessionStats MiddleboxSession::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     for (const auto& ctx : contexts_) {
         obs::ContextStats cs;
         cs.name = ctx.purpose.empty() ? "ctx" + std::to_string(ctx.id) : ctx.purpose;

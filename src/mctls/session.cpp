@@ -9,6 +9,7 @@
 #include "crypto/prf.h"
 #include "crypto/sha2.h"
 #include "crypto/x25519.h"
+#include "mctls/keylog.h"
 
 namespace mct::mctls {
 
@@ -675,6 +676,18 @@ void Session::derive_endpoint_secrets_from_scs()
     }
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
                contexts_.size(), ckd_ ? 1 : 0);
+
+    keylog_endpoint_keys(cfg_.keylog, client_random_, endpoint_keys_);
+    // CKD context keys are final here; contributory keys are logged once
+    // both halves combine (unseal_middlebox_material_from_peer).
+    if (ckd_) keylog_contexts(/*epoch=*/0, context_keys_);
+}
+
+void Session::keylog_contexts(uint32_t epoch, const std::map<uint8_t, ContextKeys>& keys) const
+{
+    if (!cfg_.keylog) return;
+    for (const auto& [id, ctx_keys] : keys)
+        keylog_context_keys(cfg_.keylog, client_random_, epoch, id, ctx_keys);
 }
 
 Bytes Session::seal_middlebox_material(size_t mbox_index)
@@ -735,6 +748,7 @@ Status Session::unseal_middlebox_material_from_peer(const MiddleboxKeyMaterial& 
             combine_context_keys(client_half, server_half, client_random_, server_random_);
         crypto::count_keygen(cfg_.ops, 2);  // K_readers, K_writers
     }
+    keylog_contexts(/*epoch=*/0, context_keys_);
     return {};
 }
 
@@ -1414,6 +1428,7 @@ Status Session::handle_rekey_record(const tls::Record& record)
                 own_it->second, peer_it->second, client_random_, server_random_);
             crypto::count_keygen(cfg_.ops, 2);
         }
+        keylog_contexts(rk.epoch, pending_context_keys_);
         switch_direction_keys(Direction::server_to_client);
         RekeyRecord commit;
         commit.phase = RekeyPhase::commit;
@@ -1473,6 +1488,7 @@ Status Session::handle_rekey_record(const tls::Record& record)
                 c->second, rekey_own_partials_[ctx.id], client_random_, server_random_);
             crypto::count_keygen(cfg_.ops, 2);
         }
+        keylog_contexts(rk.epoch, pending_context_keys_);
 
         // Mirror the client's recipient list: a middlebox with no entry in
         // the init is being revoked and gets nothing from us either.
@@ -1528,6 +1544,7 @@ obs::SessionStats Session::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     // Report every negotiated context, including idle ones, so callers see
     // the full permission matrix shape in a single snapshot.
     for (const auto& ctx : contexts_) {

@@ -75,6 +75,11 @@ struct SessionConfig {
     const ResumptionTicket* ticket = nullptr;
     // Server: ticket store for resumption. nullptr disables resumption.
     ServerSessionCache* session_cache = nullptr;
+    // Opt-in key export for offline dissection (MCTLS_ENDPOINT /
+    // MCTLS_CONTEXT lines; see docs/PROTOCOL.md "Keylog format"). Emission
+    // happens on handshake and rekey paths only, never per record.
+    // Borrowed; nullptr disables.
+    tls::KeyLog* keylog = nullptr;
 };
 
 struct AppChunk {
@@ -224,6 +229,9 @@ private:
 
     const ContextDescription* find_context(uint8_t id) const;
     Permission requested_permission(size_t mbox, uint8_t ctx) const;
+    // Emit one MCTLS_CONTEXT keylog line per context in `keys` (no-op when
+    // the keylog is disabled).
+    void keylog_contexts(uint32_t epoch, const std::map<uint8_t, ContextKeys>& keys) const;
     void derive_endpoint_secrets();  // S_C-S, K_endpoints, control protectors
     Bytes finished_verify_data(const char* label, bool include_client_finished);
     Bytes seal_middlebox_material(size_t mbox_index);

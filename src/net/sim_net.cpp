@@ -83,6 +83,7 @@ void Connection::pump()
         wire_bytes_sent_ += kHeaderBytes;
         Connection* peer = peer_;
         uint64_t fin_seq = acked_ + window_.size();
+        capture_frame(CaptureFrameKind::fin, fin_seq, {});
         tx_link_->transmit(kHeaderBytes, [peer, fin_seq] {
             peer->on_segment_arrival(fin_seq, {}, /*fin=*/true);
         });
@@ -94,6 +95,7 @@ void Connection::send_segment_at(size_t offset, size_t payload_len)
 {
     Bytes payload(window_.begin() + offset, window_.begin() + offset + payload_len);
     uint64_t seq = acked_ + offset;
+    capture_frame(CaptureFrameKind::data, seq, payload);
     next_offset_ = std::max(next_offset_, offset + payload_len);
     wire_bytes_sent_ += payload_len + kHeaderBytes;
     ++segments_sent_;
@@ -260,6 +262,21 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
     client->trace_actor_ = trace_actor_;
     server->tracer_ = tracer_;
     server->trace_actor_ = trace_actor_;
+    if (capture_) {
+        CaptureFlow flow;
+        flow.id = next_flow_id_++;
+        flow.initiator = from;
+        flow.responder = to;
+        flow.port = port;
+        flow.opened_at = loop_.now();
+        capture_->on_flow(flow);
+        client->capture_ = capture_;
+        client->capture_flow_ = flow.id;
+        client->capture_dir_ = 0;
+        server->capture_ = capture_;
+        server->capture_flow_ = flow.id;
+        server->capture_dir_ = 1;
+    }
     connections_.push_back(client);
     connections_.push_back(server);
 
@@ -294,6 +311,7 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
             return;
         }
         client_raw->wire_bytes_sent_ += kHeaderBytes;
+        client_raw->capture_frame(CaptureFrameKind::syn, 0, {});
         forward->transmit(kHeaderBytes, [reverse, server, on_accept, client_raw] {
             if (!server->established_) {
                 server->established_ = true;

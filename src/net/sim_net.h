@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "net/capture.h"
 #include "net/event_loop.h"
 #include "obs/trace.h"
 #include "util/bytes.h"
@@ -158,6 +159,26 @@ private:
     obs::Tracer* tracer_ = nullptr;
     uint16_t trace_actor_ = 0;
 
+    // Wire capture (see net/capture.h): segments are recorded at transmit
+    // time under the flow id assigned at connect(). Null when capture is
+    // off — the same zero-overhead idiom as the tracer.
+    CaptureSink* capture_ = nullptr;
+    uint32_t capture_flow_ = 0;
+    uint8_t capture_dir_ = 0;
+
+    void capture_frame(CaptureFrameKind kind, uint64_t seq, ConstBytes payload) const
+    {
+        if (!capture_) return;
+        CaptureFrame frame;
+        frame.ts = loop_->now();
+        frame.flow = capture_flow_;
+        frame.dir = capture_dir_;
+        frame.kind = kind;
+        frame.seq = seq;
+        frame.payload.assign(payload.begin(), payload.end());
+        capture_->on_frame(frame);
+    }
+
     uint64_t app_bytes_sent_ = 0;
     uint64_t app_bytes_received_ = 0;
     uint64_t wire_bytes_sent_ = 0;
@@ -195,6 +216,12 @@ public:
     // events are emitted with monotonic sim-time timestamps (loop_.now()).
     void set_tracer(obs::Tracer* tracer);
 
+    // Attach a capture sink (see net/capture.h): every connection opened
+    // AFTER this call gets a flow definition and per-segment frames.
+    // Existing connections are unaffected — attach before connect(). Null
+    // detaches (future connections only).
+    void set_capture(CaptureSink* sink) { capture_ = sink; }
+
     EventLoop& loop() { return loop_; }
 
 private:
@@ -209,6 +236,8 @@ private:
     std::vector<std::shared_ptr<std::function<void()>>> syn_closures_;
     obs::Tracer* tracer_ = nullptr;
     uint16_t trace_actor_ = 0;
+    CaptureSink* capture_ = nullptr;
+    uint32_t next_flow_id_ = 1;
 };
 
 }  // namespace mct::net

@@ -73,6 +73,50 @@ Histogram* MetricsRegistry::histogram(std::string_view name)
     return it->second.get();
 }
 
+namespace {
+
+std::string prometheus_name(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!name.empty() && name[0] >= '0' && name[0] <= '9') out.push_back('_');
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::to_prometheus(std::string* out) const
+{
+    for (const auto& [name, c] : counters_) {
+        std::string n = prometheus_name(name);
+        out->append("# TYPE " + n + " counter\n");
+        out->append(n + " " + std::to_string(c->value()) + "\n");
+    }
+    for (const auto& [name, h] : histograms_) {
+        std::string n = prometheus_name(name);
+        out->append("# TYPE " + n + " histogram\n");
+        // Cumulative buckets: values land in [lower_bound(i),
+        // lower_bound(i+1)), so the inclusive upper bound of bucket i is
+        // lower_bound(i+1) - 1 for our integer samples.
+        uint64_t cum = 0;
+        for (size_t i = 0; i + 1 < static_cast<size_t>(Histogram::kBucketCount); ++i) {
+            if (h->bucket_count_at(i) == 0) continue;
+            cum += h->bucket_count_at(i);
+            uint64_t le = Histogram::bucket_lower_bound(i + 1) - 1;
+            out->append(n + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+                        std::to_string(cum) + "\n");
+        }
+        out->append(n + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n");
+        out->append(n + "_sum " + std::to_string(h->sum()) + "\n");
+        out->append(n + "_count " + std::to_string(h->count()) + "\n");
+    }
+}
+
 void MetricsRegistry::to_json(std::string* out) const
 {
     JsonWriter w(out);

@@ -73,6 +73,14 @@ public:
     //                   "histograms":{name:{count,sum,min,max,mean,p50,p90,p99},...}}
     void to_json(std::string* out) const;
 
+    // Prometheus text exposition format (version 0.0.4). Metric names are
+    // sanitized (every character outside [a-zA-Z0-9_:] becomes '_', a
+    // leading digit gains a '_' prefix). Counters export as `counter`;
+    // histograms as cumulative `_bucket{le="..."}` series (only buckets
+    // that change the cumulative count, plus `+Inf`) with `_sum` and
+    // `_count`.
+    void to_prometheus(std::string* out) const;
+
 private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -38,6 +38,8 @@ void SessionStats::to_json(std::string* out) const
     w.value(alerts_sent);
     w.key("alerts_received");
     w.value(alerts_received);
+    w.key("trace_events_dropped");
+    w.value(trace_events_dropped);
     w.key("contexts");
     w.begin_array();
     for (const auto& c : contexts) {
@@ -78,6 +80,7 @@ void Hub::publish(const std::string& prefix, const SessionStats& s)
     set("mac_failures", s.mac_failures);
     set("alerts_sent", s.alerts_sent);
     set("alerts_received", s.alerts_received);
+    set("trace_events_dropped", s.trace_events_dropped);
     for (const auto& c : s.contexts) {
         set("ctx." + c.name + ".bytes_out", c.bytes_out);
         set("ctx." + c.name + ".bytes_in", c.bytes_in);

@@ -57,6 +57,11 @@ struct SessionStats {
     uint64_t alerts_sent = 0;
     uint64_t alerts_received = 0;
 
+    // Trace events the session's tracer sinks failed to retain (ring-buffer
+    // overwrites); nonzero means the captured trace is missing its oldest
+    // events and consumers should warn instead of silently truncating.
+    uint64_t trace_events_dropped = 0;
+
     std::vector<ContextStats> contexts;
 
     void to_json(std::string* out) const;

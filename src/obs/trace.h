@@ -101,6 +101,10 @@ public:
     virtual ~TraceSink() = default;
     virtual void on_event(const TraceEvent& e, const Tracer& tracer) = 0;
     virtual void flush() {}
+    // Events this sink could not retain (e.g. ring-buffer overwrites).
+    // Surfaced through Tracer::events_dropped() into SessionStats so a
+    // truncated trace is visible instead of silently missing its prefix.
+    virtual uint64_t dropped() const { return 0; }
 };
 
 // Fixed-capacity ring: keeps the most recent `capacity` events with no
@@ -119,7 +123,7 @@ public:
     }
 
     uint64_t total_seen() const { return next_; }
-    uint64_t dropped() const { return next_ > capacity_ ? next_ - capacity_ : 0; }
+    uint64_t dropped() const override { return next_ > capacity_ ? next_ - capacity_ : 0; }
 
     // Events in emission order (oldest retained first).
     std::vector<TraceEvent> ordered() const;
@@ -179,6 +183,15 @@ public:
     }
 
     uint64_t events_emitted() const { return next_seq_; }
+
+    // Sum of events dropped across attached sinks (a full ring buffer keeps
+    // only the newest events; this counts the overwritten ones).
+    uint64_t events_dropped() const
+    {
+        uint64_t total = 0;
+        for (auto* s : sinks_) total += s->dropped();
+        return total;
+    }
 
 private:
     std::vector<TraceSink*> sinks_;

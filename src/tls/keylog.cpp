@@ -1,0 +1,21 @@
+#include "tls/keylog.h"
+
+namespace mct::tls {
+
+std::string KeyLogMemory::text() const
+{
+    std::string out;
+    for (const auto& l : lines_) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+void keylog_tls_master_secret(KeyLog* log, ConstBytes client_random, ConstBytes master_secret)
+{
+    if (!log) return;
+    log->line("CLIENT_RANDOM " + to_hex(client_random) + " " + to_hex(master_secret));
+}
+
+}  // namespace mct::tls

@@ -1,0 +1,68 @@
+// SSLKEYLOGFILE-style key export (opt-in; line formats are specified in
+// docs/PROTOCOL.md "Keylog format").
+//
+// A KeyLog sink receives one text line per derived secret. Sessions hold a
+// borrowed `KeyLog*` that defaults to nullptr, and every emission helper is
+// null-safe, so the disabled path costs a single pointer test on handshake
+// and rekey paths only — the record fast path never sees the keylog.
+//
+// Baseline TLS emits the OpenSSL-compatible line
+//
+//   CLIENT_RANDOM <client_random> <master_secret>
+//
+// from which an offline dissector re-runs the TLS 1.2 key-expansion PRF.
+// mcTLS lines (MCTLS_ENDPOINT / MCTLS_CONTEXT) are built in
+// mctls/keylog.h on top of the same sink interface.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mct::tls {
+
+class KeyLog {
+public:
+    virtual ~KeyLog() = default;
+    // One complete keylog line, without the trailing newline.
+    virtual void line(std::string_view text) = 0;
+};
+
+// Appends lines to a file, flushing per line so a capture of a crashed run
+// still decrypts as far as the session got.
+class KeyLogFile : public KeyLog {
+public:
+    explicit KeyLogFile(const std::string& path) : out_(path, std::ios::trunc) {}
+
+    bool ok() const { return out_.good(); }
+    void line(std::string_view text) override
+    {
+        out_ << text << '\n';
+        out_.flush();
+    }
+
+private:
+    std::ofstream out_;
+};
+
+// In-memory sink for tests and for handing a keylog straight to the
+// dissector without touching the filesystem.
+class KeyLogMemory : public KeyLog {
+public:
+    void line(std::string_view text) override { lines_.emplace_back(text); }
+
+    const std::vector<std::string>& lines() const { return lines_; }
+    // All lines joined with '\n' — the same text a KeyLogFile would hold.
+    std::string text() const;
+
+private:
+    std::vector<std::string> lines_;
+};
+
+// Emit the TLS 1.2 master-secret line; no-op when `log` is null.
+void keylog_tls_master_secret(KeyLog* log, ConstBytes client_random, ConstBytes master_secret);
+
+}  // namespace mct::tls

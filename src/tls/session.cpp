@@ -8,6 +8,7 @@
 #include "crypto/prf.h"
 #include "crypto/sha2.h"
 #include "crypto/x25519.h"
+#include "tls/keylog.h"
 
 namespace mct::tls {
 
@@ -490,6 +491,10 @@ void Session::derive_keys()
 // schedule the abbreviated handshake re-runs with fresh randoms (no DH).
 void Session::derive_key_block()
 {
+    // Covers the full handshake and both resumed paths (all of them come
+    // through here), for either role.
+    keylog_tls_master_secret(cfg_.keylog, client_random_, master_secret_);
+
     Bytes seed = concat(server_random_, client_random_);
     Bytes block =
         crypto::prf(master_secret_, "key expansion", seed, 2 * kMacKeySize + 2 * kKeySize);
@@ -608,6 +613,7 @@ obs::SessionStats Session::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     obs::ContextStats app;
     app.name = "app";
     app.id = 0;

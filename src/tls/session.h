@@ -28,6 +28,8 @@
 
 namespace mct::tls {
 
+class KeyLog;
+
 enum class Role { client, server };
 
 struct SessionConfig {
@@ -57,6 +59,9 @@ struct SessionConfig {
     // Server: session store for resumption. nullptr disables resumption
     // (offers are rejected, full handshake always). Borrowed.
     TlsSessionCache* session_cache = nullptr;
+    // Opt-in key export for offline dissection (CLIENT_RANDOM lines; see
+    // docs/PROTOCOL.md "Keylog format"). Borrowed; nullptr disables.
+    KeyLog* keylog = nullptr;
 };
 
 class Session {

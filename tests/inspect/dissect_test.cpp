@@ -1,0 +1,277 @@
+// Keylog parsing, TCP stream reassembly, and baseline-TLS dissection: the
+// parts of the offline inspector that don't need a full mcTLS chain. The
+// end-to-end capture -> dissect -> audit path is in e2e_capture_test.cpp.
+#include "inspect/dissect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/drbg.h"
+#include "inspect/keyring.h"
+#include "net/sim_net.h"
+#include "pki/authority.h"
+#include "tls/keylog.h"
+#include "tls/session.h"
+
+namespace mct::inspect {
+namespace {
+
+using net::operator""_ms;
+
+// n-byte key rendered as hex, distinguishable by the fill byte.
+std::string hex_key(size_t n, const char* fill = "ab")
+{
+    std::string out;
+    for (size_t i = 0; i < n; ++i) out += fill;
+    return out;
+}
+
+const std::string kCr = hex_key(32, "11");
+
+TEST(KeyRing, ParsesClientRandomLine)
+{
+    KeyRing ring;
+    ASSERT_TRUE(ring.add_line("CLIENT_RANDOM " + kCr + " " + hex_key(48, "22")).ok());
+    EXPECT_EQ(ring.sessions(), 1u);
+    const Bytes* ms = ring.master_secret(from_hex(kCr));
+    ASSERT_NE(ms, nullptr);
+    EXPECT_EQ(ms->size(), 48u);
+    EXPECT_EQ(ring.master_secret(from_hex(hex_key(32, "99"))), nullptr);
+}
+
+TEST(KeyRing, ParsesEndpointAndContextLines)
+{
+    KeyRing ring;
+    ASSERT_TRUE(ring.add_line("MCTLS_ENDPOINT " + kCr + " " + hex_key(32, "a1") + " " +
+                              hex_key(32, "a2") + " " + hex_key(16, "a3") + " " +
+                              hex_key(16, "a4"))
+                    .ok());
+    // Writer keys absent ("-"): a read-only exporter never held them.
+    ASSERT_TRUE(ring.add_line("MCTLS_CONTEXT " + kCr + " 0 2 " + hex_key(16, "b1") + " " +
+                              hex_key(16, "b2") + " " + hex_key(32, "b3") + " " +
+                              hex_key(32, "b4") + " - -")
+                    .ok());
+    ASSERT_TRUE(ring.add_line("MCTLS_CONTEXT " + kCr + " 3 2 " + hex_key(16, "c1") + " " +
+                              hex_key(16, "c2") + " " + hex_key(32, "c3") + " " +
+                              hex_key(32, "c4") + " " + hex_key(32, "c5") + " " +
+                              hex_key(32, "c6"))
+                    .ok());
+    Bytes cr = from_hex(kCr);
+    const auto* ep = ring.endpoint_keys(cr);
+    ASSERT_NE(ep, nullptr);
+    EXPECT_EQ(ep->record_mac[0], from_hex(hex_key(32, "a1")));
+    EXPECT_EQ(ep->control_enc[1], from_hex(hex_key(16, "a4")));
+    const auto* ctx0 = ring.context_keys(cr, 0, 2);
+    ASSERT_NE(ctx0, nullptr);
+    EXPECT_EQ(ctx0->reader_enc[0], from_hex(hex_key(16, "b1")));
+    EXPECT_TRUE(ctx0->writer_mac[0].empty());
+    EXPECT_TRUE(ctx0->writer_mac[1].empty());
+    const auto* ctx3 = ring.context_keys(cr, 3, 2);
+    ASSERT_NE(ctx3, nullptr);
+    EXPECT_EQ(ctx3->writer_mac[1], from_hex(hex_key(32, "c6")));
+    EXPECT_EQ(ring.context_keys(cr, 1, 2), nullptr);  // epoch never logged
+    EXPECT_EQ(ring.context_keys(cr, 0, 7), nullptr);  // context never logged
+    EXPECT_EQ(ring.max_epoch(cr), 3u);
+    EXPECT_EQ(ring.sessions(), 1u);
+}
+
+TEST(KeyRing, SkipsCommentsBlanksAndUnknownLabels)
+{
+    auto ring = parse_keylog("# a comment\n"
+                             "\n"
+                             "SERVER_HANDSHAKE_TRAFFIC_SECRET future stuff here\n"
+                             "CLIENT_RANDOM " +
+                             kCr + " " + hex_key(48, "22") + "\r\n");
+    ASSERT_TRUE(ring.ok()) << ring.error().message;
+    EXPECT_EQ(ring.value().sessions(), 1u);
+    EXPECT_NE(ring.value().master_secret(from_hex(kCr)), nullptr);
+}
+
+TEST(KeyRing, MalformedLineReportsLineNumber)
+{
+    auto ring = parse_keylog("# fine\n"
+                             "CLIENT_RANDOM " +
+                             kCr + " " + hex_key(48, "22") +
+                             "\n"
+                             "CLIENT_RANDOM not-hex also-not-hex\n");
+    ASSERT_FALSE(ring.ok());
+    EXPECT_NE(ring.error().message.find("(line 3)"), std::string::npos);
+    EXPECT_FALSE(parse_keylog("MCTLS_ENDPOINT " + kCr + " deadbeef\n").ok());
+    EXPECT_FALSE(parse_keylog("MCTLS_CONTEXT " + kCr + " x 1 - - - - - -\n").ok());
+    EXPECT_FALSE(parse_keylog("MCTLS_CONTEXT " + kCr + " 0 999 - - - - - -\n").ok());
+}
+
+net::CaptureFrame data_frame(uint32_t flow, uint8_t dir, uint64_t seq, const char* text,
+                             uint64_t ts = 0)
+{
+    net::CaptureFrame f;
+    f.ts = ts;
+    f.flow = flow;
+    f.dir = dir;
+    f.kind = net::CaptureFrameKind::data;
+    f.seq = seq;
+    f.payload = str_to_bytes(text);
+    return f;
+}
+
+TEST(Reassembly, DedupsRetransmissionsCumulatively)
+{
+    net::Capture cap;
+    net::CaptureFlow flow;
+    flow.id = 1;
+    flow.initiator = "a";
+    flow.responder = "b";
+    cap.flows.push_back(flow);
+    cap.frames.push_back(data_frame(1, 0, 0, "abcde", 10));
+    cap.frames.push_back(data_frame(1, 0, 0, "abcde", 20));   // full retransmit
+    cap.frames.push_back(data_frame(1, 0, 3, "defgh", 30));   // partial overlap
+    cap.frames.push_back(data_frame(1, 0, 100, "zz", 40));    // gap: go-back-N drops it
+    cap.frames.push_back(data_frame(1, 1, 0, "other dir", 5));
+    net::CaptureFrame fin;
+    fin.flow = 1;
+    fin.dir = 0;
+    fin.kind = net::CaptureFrameKind::fin;
+    fin.seq = 8;
+    cap.frames.push_back(fin);
+
+    bool fin_seen = false;
+    Bytes stream = reassemble_flow(cap, 1, 0, &fin_seen);
+    EXPECT_EQ(bytes_to_str(stream), "abcdefgh");
+    EXPECT_TRUE(fin_seen);
+
+    bool fin_other = true;
+    EXPECT_EQ(bytes_to_str(reassemble_flow(cap, 1, 1, &fin_other)), "other dir");
+    EXPECT_FALSE(fin_other);
+    EXPECT_TRUE(reassemble_flow(cap, 77, 0).empty());
+}
+
+// Baseline TLS over the simulated network: the dissector recognizes the
+// stack, joins the CLIENT_RANDOM keylog line, re-runs the TLS 1.2 key
+// expansion, and decrypts the application data.
+struct TlsCaptureRun {
+    net::Capture capture;
+    std::string keylog_text;
+    std::string server_got;
+    std::string client_got;
+};
+
+TlsCaptureRun run_tls_session()
+{
+    TlsCaptureRun out;
+    crypto::HmacDrbg rng(str_to_bytes("dissect-test-seed"));
+    pki::Authority ca("Dissect Root CA", rng);
+    pki::TrustStore trust;
+    trust.add_root(ca.root_certificate());
+    pki::Identity server_id = ca.issue("server.example.com", rng);
+
+    net::EventLoop loop;
+    net::SimNet net(loop);
+    net.add_host("client");
+    net.add_host("server");
+    net.add_link("client", "server", {5_ms, 0});
+    net::CaptureCollector sink;
+    net.set_capture(&sink);
+
+    tls::KeyLogMemory keylog;
+    tls::SessionConfig ccfg;
+    ccfg.role = tls::Role::client;
+    ccfg.server_name = "server.example.com";
+    ccfg.trust = &trust;
+    ccfg.rng = &rng;
+    ccfg.keylog = &keylog;
+    tls::SessionConfig scfg;
+    scfg.role = tls::Role::server;
+    scfg.chain = {server_id.certificate};
+    scfg.private_key = server_id.private_key;
+    scfg.rng = &rng;
+    tls::Session client(ccfg);
+    tls::Session server(scfg);
+
+    net::ConnectionPtr server_conn;
+    net.listen("server", 443, [&](net::ConnectionPtr c) {
+        server_conn = c;
+        c->set_on_data([&, c](ConstBytes b) {
+            (void)server.feed(b);
+            for (auto& u : server.take_write_units()) c->send(u);
+        });
+    });
+    auto conn = net.connect("client", "server", 443);
+    conn->set_on_data([&](ConstBytes b) {
+        (void)client.feed(b);
+        for (auto& u : client.take_write_units()) conn->send(u);
+    });
+    client.start();
+    for (auto& u : client.take_write_units()) conn->send(u);
+    loop.run();
+    if (!client.handshake_complete() || !server.handshake_complete()) return out;
+
+    (void)client.send_app_data(str_to_bytes("GET / HTTP/1.1"));
+    for (auto& u : client.take_write_units()) conn->send(u);
+    loop.run();
+    out.server_got = bytes_to_str(server.take_app_data());
+    (void)server.send_app_data(str_to_bytes("200 OK"));
+    for (auto& u : server.take_write_units()) server_conn->send(u);
+    loop.run();
+    out.client_got = bytes_to_str(client.take_app_data());
+
+    out.capture = sink.capture;
+    out.keylog_text = keylog.text();
+    return out;
+}
+
+TEST(TlsDissection, KeylogDecryptsApplicationData)
+{
+    TlsCaptureRun run = run_tls_session();
+    ASSERT_EQ(run.server_got, "GET / HTTP/1.1");
+    ASSERT_EQ(run.client_got, "200 OK");
+    ASSERT_NE(run.keylog_text.find("CLIENT_RANDOM"), std::string::npos);
+
+    auto ring = parse_keylog(run.keylog_text);
+    ASSERT_TRUE(ring.ok()) << ring.error().message;
+    auto sessions = dissect_capture(run.capture, &ring.value());
+    ASSERT_EQ(sessions.size(), 1u);
+    const SessionDissection& s = sessions[0];
+    EXPECT_FALSE(s.is_mctls);
+    EXPECT_TRUE(s.keys_available);
+    EXPECT_EQ(s.client_random.size(), 32u);
+    ASSERT_EQ(s.hops.size(), 1u);
+    EXPECT_TRUE(s.hops[0].error.empty()) << s.hops[0].error;
+
+    std::string c2s, s2c;
+    size_t app_records = 0;
+    for (const auto& rec : s.hops[0].records) {
+        if (!rec.is_app) continue;
+        ++app_records;
+        EXPECT_TRUE(rec.keys_found);
+        EXPECT_TRUE(rec.decrypted);
+        EXPECT_EQ(rec.endpoint_mac, MacStatus::ok);
+        (rec.dir == 0 ? c2s : s2c) += bytes_to_str(rec.payload);
+    }
+    EXPECT_EQ(app_records, 2u);
+    EXPECT_EQ(c2s, "GET / HTTP/1.1");
+    EXPECT_EQ(s2c, "200 OK");
+}
+
+TEST(TlsDissection, WithoutKeysFramingOnly)
+{
+    TlsCaptureRun run = run_tls_session();
+    ASSERT_EQ(run.client_got, "200 OK");
+    auto sessions = dissect_capture(run.capture, nullptr);
+    ASSERT_EQ(sessions.size(), 1u);
+    const SessionDissection& s = sessions[0];
+    EXPECT_FALSE(s.is_mctls);
+    EXPECT_FALSE(s.keys_available);
+    bool saw_hello = false;
+    for (const auto& rec : s.hops[0].records) {
+        if (rec.note.find("ClientHello") != std::string::npos) saw_hello = true;
+        if (!rec.is_app) continue;
+        EXPECT_FALSE(rec.keys_found);
+        EXPECT_FALSE(rec.decrypted);
+        EXPECT_EQ(rec.endpoint_mac, MacStatus::not_checked);
+    }
+    EXPECT_TRUE(saw_hello);
+}
+
+}  // namespace
+}  // namespace mct::inspect

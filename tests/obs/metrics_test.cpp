@@ -144,5 +144,49 @@ TEST(MetricsRegistry, ToJsonRoundTrips)
     EXPECT_DOUBLE_EQ(ttfb->get("mean")->num, 180.0);
 }
 
+TEST(MetricsRegistry, PrometheusTextExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("client.macs_generated")->set(9);
+    Histogram* h = reg.histogram("ttfb.us");
+    h->record(0);
+    h->record(100);
+    h->record(100);
+    std::string text;
+    reg.to_prometheus(&text);
+    // Counters: dots sanitized to underscores, TYPE line precedes the sample.
+    EXPECT_NE(text.find("# TYPE client_macs_generated counter\n"), std::string::npos);
+    EXPECT_NE(text.find("client_macs_generated 9\n"), std::string::npos);
+    // Histograms: cumulative buckets, +Inf equals the total count, _sum/_count.
+    EXPECT_NE(text.find("# TYPE ttfb_us histogram\n"), std::string::npos);
+    EXPECT_NE(text.find("ttfb_us_bucket{le=\"0\"} 1\n"), std::string::npos);
+    // 100 lands in the [64+2*16, 64+3*16) sub-bucket, inclusive upper 111.
+    EXPECT_NE(text.find("ttfb_us_bucket{le=\"111\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("ttfb_us_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("ttfb_us_sum 200\n"), std::string::npos);
+    EXPECT_NE(text.find("ttfb_us_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusNameSanitization)
+{
+    MetricsRegistry reg;
+    reg.counter("2xx responses/total")->set(1);
+    std::string text;
+    reg.to_prometheus(&text);
+    // Leading digit gets a prefix underscore; spaces and slashes collapse to _.
+    EXPECT_NE(text.find("_2xx_responses_total 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEmptyHistogramStillWellFormed)
+{
+    MetricsRegistry reg;
+    reg.histogram("idle");
+    std::string text;
+    reg.to_prometheus(&text);
+    EXPECT_NE(text.find("idle_bucket{le=\"+Inf\"} 0\n"), std::string::npos);
+    EXPECT_NE(text.find("idle_sum 0\n"), std::string::npos);
+    EXPECT_NE(text.find("idle_count 0\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mct::obs
