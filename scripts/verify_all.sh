@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one shot: the plain release build + full ctest
+# (the gate every PR must keep green), then the ASan+UBSan configuration
+# via scripts/verify_sanitize.sh. Extra arguments are forwarded to both
+# ctest invocations (e.g. `scripts/verify_all.sh -R StatePlane`).
+#
+# The sanitizer pass is not optional garnish: the state-plane eviction,
+# sweep, and crash-restart teardown paths (DESIGN.md "State plane",
+# "Failure model") move node ownership under shard locks, and lifetime
+# bugs there only surface under ASan.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== [1/2] tier-1: release build + ctest ==="
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
+
+echo "=== [2/2] sanitizers: ASan+UBSan build + ctest ==="
+scripts/verify_sanitize.sh "$@"
+
+echo "=== verify_all: OK ==="

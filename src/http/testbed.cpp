@@ -1,6 +1,7 @@
 #include "http/testbed.h"
 
 #include <cstdlib>
+#include <map>
 #include <string>
 
 namespace mct::http {
@@ -105,15 +106,18 @@ struct Testbed::Impl {
     std::vector<std::vector<net::ConnectionPtr>> relay_conns;  // live legs per relay
     bool fallback_engaged = false;      // client retries over plain TLS (§5.4)
 
-    // Session-continuity stores (resume/excise policies). The server caches
-    // live in the Impl so they survive across connections and attempts; the
-    // client keeps its last tickets to offer abbreviated handshakes.
-    tls::TlsSessionCache tls_cache;
-    mctls::ServerSessionCache mctls_cache;
-    std::vector<mctls::MiddleboxSessionCache> mbox_caches;
+    // Session-continuity state plane (resume/excise policies). The server
+    // caches live here so they survive across connections and attempts; the
+    // client keeps its last tickets to offer abbreviated handshakes. The
+    // plane's maintenance tasks tick off the sim loop between fetches.
+    mctls::StatePlane state;
     tls::TlsTicket client_tls_ticket;
     mctls::ResumptionTicket client_mctls_ticket;
     std::vector<char> excised_traced;   // mbox_excised emitted once per relay
+    size_t outstanding_fetches = 0;
+    uint64_t maintenance_epoch = 0;     // newest pump event wins; stale ones no-op
+    bool maintenance_pending = false;
+    net::SimTime maintenance_at = 0;
 
     Impl(TestbedConfig config, net::EventLoop* outer_loop)
         : cfg(std::move(config)),
@@ -121,7 +125,8 @@ struct Testbed::Impl {
           net(*outer_loop),
           rng(str_to_bytes("testbed-seed-" + std::to_string(cfg.seed))),
           ca("Sim Root CA", rng),
-          server_id(ca.issue("server.example.com", rng))
+          server_id(ca.issue("server.example.com", rng)),
+          state(cfg.state_plane, cfg.n_middleboxes)
     {
         store.add_root(ca.root_certificate());
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) {
@@ -156,7 +161,6 @@ struct Testbed::Impl {
         mbox_dead.assign(cfg.n_middleboxes, 0);
         corrupt_armed.assign(cfg.n_middleboxes, 0);
         relay_conns.resize(cfg.n_middleboxes);
-        mbox_caches.resize(cfg.n_middleboxes);
         excised_traced.assign(cfg.n_middleboxes, 0);
         if (cfg.obs) {
             tracer = &cfg.obs->tracer;
@@ -167,11 +171,20 @@ struct Testbed::Impl {
             net.set_tracer(tracer);
         }
         if (cfg.capture) net.set_capture(cfg.capture);
+        wire_state_plane();
         build_topology();
         start_server();
         for (size_t i = 0; i < cfg.n_middleboxes; ++i) start_relay(i);
-        for (const auto& fault : cfg.faults)
-            loop->schedule_at(fault.at, [this, fault] { apply_fault(fault); });
+        // Same-tick faults fire in declaration order: one loop event per
+        // distinct timestamp applies its whole group in sequence, so a
+        // kill+restart pair at the same instant behaves identically however
+        // the loop breaks timestamp ties.
+        std::map<net::SimTime, std::vector<FaultEvent>> fault_groups;
+        for (const auto& fault : cfg.faults) fault_groups[fault.at].push_back(fault);
+        for (auto& [at, group] : fault_groups)
+            loop->schedule_at(at, [this, group = std::move(group)] {
+                for (const auto& fault : group) apply_fault(fault);
+            });
     }
 
     // Any configured fault (or recovery beyond abort) arms retransmission on
@@ -231,6 +244,97 @@ struct Testbed::Impl {
         return base + "#" + std::to_string(n);
     }
 
+    // ---- State plane ----
+
+    // Degradation decisions become trace events (routine hit/miss traffic
+    // stays in CacheStats — tracing it would swamp the ring buffer under
+    // churn). ctx carries the cache id: 0 = TLS sessions, 1 = mcTLS server
+    // tickets, 2+n = middlebox n's pairwise keys.
+    void trace_cache_event(uint16_t cache_id, util::CacheEvent e, uint64_t detail)
+    {
+        obs::EventType type;
+        switch (e) {
+        case util::CacheEvent::expired:
+            type = obs::EventType::cache_expired;
+            break;
+        case util::CacheEvent::evicted:
+            type = obs::EventType::cache_evicted;
+            break;
+        case util::CacheEvent::declined:
+            type = obs::EventType::cache_declined;
+            break;
+        case util::CacheEvent::shed:
+            type = obs::EventType::cache_shed;
+            break;
+        default:
+            return;
+        }
+        obs::trace_at(tracer, loop->now(), actor_testbed, type, cache_id, detail);
+    }
+
+    void wire_state_plane()
+    {
+        net::EventLoop* clock_loop = loop;
+        state.set_clock([clock_loop] { return clock_loop->now(); });
+        if (tracer) {
+            state.tls_cache().set_observer([this](util::CacheEvent e, uint64_t d) {
+                trace_cache_event(0, e, d);
+            });
+            state.server_cache().set_observer([this](util::CacheEvent e, uint64_t d) {
+                trace_cache_event(1, e, d);
+            });
+            for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+                state.middlebox_cache(i).set_observer(
+                    [this, i](util::CacheEvent e, uint64_t d) {
+                        trace_cache_event(static_cast<uint16_t>(2 + i), e, d);
+                    });
+        }
+        state.on_sweep = [this](size_t reclaimed, uint64_t now) {
+            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_sweep, 0,
+                          reclaimed);
+        };
+        state.on_rekey_due = [this](uint64_t now) {
+            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_rekey_due);
+            rekey_active_client();
+        };
+        state.on_excise_due = [this](size_t index, uint64_t now) {
+            // The grace expired with the relay still down: drop its rejoin
+            // state so a zombie restart cannot resume old sessions. Live
+            // traffic already routes around it (or the excise retry path
+            // splices it out of the composition).
+            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_excise_due,
+                          0, index);
+            state.excise_middlebox(index);
+        };
+    }
+
+    // The pump keeps maintenance deadlines firing while fetches are in
+    // flight, and stops rescheduling the moment none are — EventLoop::run()
+    // drains its queue, so a perpetual timer would never let run() return.
+    void schedule_maintenance()
+    {
+        if (outstanding_fetches == 0) return;
+        uint64_t due = state.next_deadline();
+        if (due == util::TickScheduler::kIdle) return;
+        net::SimTime at = due > loop->now() ? due : loop->now();
+        if (maintenance_pending && at >= maintenance_at) return;
+        maintenance_pending = true;
+        maintenance_at = at;
+        uint64_t epoch = ++maintenance_epoch;
+        loop->schedule_at(at, [this, epoch] {
+            if (epoch != maintenance_epoch) return;  // superseded
+            maintenance_pending = false;
+            if (outstanding_fetches == 0) return;
+            state.tick(loop->now());
+            schedule_maintenance();
+        });
+    }
+
+    void fetch_finished()
+    {
+        if (outstanding_fetches > 0) --outstanding_fetches;
+    }
+
     void apply_fault(const FaultEvent& fault)
     {
         obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::fault_injected,
@@ -252,10 +356,15 @@ struct Testbed::Impl {
                 conn->abort();
             }
             relay_conns[fault.middlebox].clear();
+            // Start the excision grace timer (no-op unless configured) and
+            // make sure the pump is armed to fire it.
+            state.middlebox_down(fault.middlebox, loop->now());
+            schedule_maintenance();
             return;
         case FaultEvent::Kind::restart_middlebox:
             if (fault.middlebox >= cfg.n_middleboxes) return;
             mbox_dead[fault.middlebox] = 0;
+            state.middlebox_up(fault.middlebox);
             return;
         case FaultEvent::Kind::link_down:
         case FaultEvent::Kind::link_up: {
@@ -429,7 +538,7 @@ struct Testbed::Impl {
             tcfg.handshake_timeout = cfg.handshake_deadline;
             tcfg.tracer = tracer;
             tcfg.trace_actor = "server";
-            if (continuity()) tcfg.session_cache = &tls_cache;
+            if (continuity()) tcfg.session_cache = &state.tls_cache();
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
         case Mode::mctls: {
@@ -443,7 +552,7 @@ struct Testbed::Impl {
             mcfg.handshake_timeout = cfg.handshake_deadline;
             mcfg.tracer = tracer;
             mcfg.trace_actor = "server";
-            if (continuity()) mcfg.session_cache = &mctls_cache;
+            if (continuity()) mcfg.session_cache = &state.server_cache();
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
         }
@@ -757,7 +866,7 @@ struct Testbed::Impl {
                 mcfg.handshake_timeout = cfg.handshake_deadline;
                 mcfg.tracer = tracer;
                 mcfg.trace_actor = host;
-                if (continuity()) mcfg.session_cache = &mbox_caches[index];
+                if (continuity()) mcfg.session_cache = &state.middlebox_cache(index);
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
                 relay_sessions.emplace_back(unique_label(host), relay->session.get());
@@ -888,14 +997,36 @@ struct Testbed::Impl {
             obs::trace_at(impl->tracer, impl->loop->now(), impl->actor_testbed,
                           obs::EventType::fetch_complete, 0,
                           result->app_bytes_received, result->attempts);
+            impl->fetch_finished();
             if (on_done) on_done();
         }
     };
+
+    // Most recent client attempt; anchored for the testbed's lifetime, so
+    // the weak_ptr only protects against pre-first-fetch deadlines.
+    std::weak_ptr<ClientConn> active_client;
+
+    // Epoch-age deadline fired: bump the live client session's key epoch in
+    // place via the three-phase in-band rekey. Only meaningful for an
+    // established contributory-mode mcTLS channel; anything else skips this
+    // deadline (the next one fires regardless).
+    void rekey_active_client()
+    {
+        if (cfg.mode != Mode::mctls || cfg.client_key_distribution) return;
+        auto client = active_client.lock();
+        if (!client || client->attempt_done) return;
+        auto* m = dynamic_cast<McTlsChannel*>(client->channel.get());
+        if (!m || !m->ready()) return;
+        if (!m->session().initiate_rekey()) return;
+        client->flush();
+    }
 
     FetchPtr fetch_sequence(std::vector<size_t> sizes, std::function<void()> on_done)
     {
         auto result = std::make_shared<Fetch>();
         result->start = loop->now();
+        ++outstanding_fetches;
+        schedule_maintenance();
         start_attempt(std::move(sizes), result, std::move(on_done));
         return result;
     }
@@ -927,6 +1058,7 @@ struct Testbed::Impl {
                              [state](const std::string& reason) {
                                  state->attempt_failed(reason);
                              });
+        active_client = state;
         anchors.push_back(state);
         tracked_conns.push_back(state->conn);
     }
@@ -945,6 +1077,7 @@ struct Testbed::Impl {
         if (!can_retry) {
             result->failed = true;
             result->done = loop->now();
+            fetch_finished();
             if (on_done) on_done();
             return;
         }
@@ -1014,6 +1147,16 @@ struct Testbed::Impl {
             cfg.obs->publish(label, session->session_stats());
         cfg.obs->metrics.counter("loop.events_run")->set(loop->events_run());
         cfg.obs->metrics.counter("loop.events_scheduled")->set(loop->events_scheduled());
+        auto snap = state.snapshot();
+        cfg.obs->publish_cache("cache.tls", snap.tls);
+        cfg.obs->publish_cache("cache.mctls", snap.server);
+        cfg.obs->publish_cache("cache.mbox", snap.middlebox);
+        cfg.obs->metrics.counter("state.sweeps")->set(snap.sweeps);
+        cfg.obs->metrics.counter("state.swept_entries")->set(snap.swept_entries);
+        cfg.obs->metrics.counter("state.rekeys_signalled")->set(snap.rekeys_signalled);
+        cfg.obs->metrics.counter("state.excisions_signalled")
+            ->set(snap.excisions_signalled);
+        cfg.obs->metrics.counter("state.excisions_applied")->set(snap.excisions_applied);
     }
 };
 
@@ -1049,6 +1192,11 @@ Testbed::OverheadTotals Testbed::record_overhead_totals() const
 void Testbed::publish_session_stats()
 {
     impl_->publish_stats();
+}
+
+mctls::StatePlane& Testbed::state_plane()
+{
+    return impl_->state;
 }
 
 }  // namespace mct::http

@@ -16,6 +16,7 @@
 #include "http/message.h"
 #include "http/strategy.h"
 #include "mctls/middlebox.h"
+#include "mctls/state_plane.h"
 #include "net/event_loop.h"
 #include "net/sim_net.h"
 #include "obs/obs.h"
@@ -97,11 +98,19 @@ struct TestbedConfig {
 
     // Failure semantics. handshake_deadline bounds every channel's handshake
     // (0 = no deadline); faults inject failures at scheduled times; recovery
-    // + retry govern what the client does about them.
+    // + retry govern what the client does about them. Faults scheduled for
+    // the same instant fire in declaration order.
     net::SimTime handshake_deadline = 0;
     std::vector<FaultEvent> faults;
     RecoveryPolicy recovery = RecoveryPolicy::abort;
     RetryPolicy retry;
+
+    // State plane: bounds for the server-side session caches and the
+    // periodic maintenance driven off the sim loop (expiry sweeps, epoch
+    // rekey deadlines, dead-middlebox excision grace). The defaults bound
+    // each cache at 256 entries with no TTL and no background tasks —
+    // behaviour identical to the pre-state-plane testbed.
+    mctls::StatePlaneConfig state_plane;
 
     // Telemetry hub. When set, every session created by the testbed emits
     // trace events under a stable actor name ("client", "server", "mboxN"),
@@ -170,8 +179,15 @@ public:
         std::function<void(size_t, mctls::MiddleboxConfig&)> customize);
 
     // Snapshot every session created so far into cfg.obs's metrics registry
-    // (counters named "<actor>.<stat>"). No-op without a configured hub.
+    // (counters named "<actor>.<stat>"), plus the state plane's cache
+    // counters ("cache.tls.hits", "state.sweeps", ...). No-op without a
+    // configured hub.
     void publish_session_stats();
+
+    // The session-state plane backing this testbed's caches and background
+    // maintenance (sweeps/rekey/excision deadlines tick off the sim loop
+    // while fetches are outstanding).
+    mctls::StatePlane& state_plane();
 
 private:
     struct Impl;

@@ -238,11 +238,13 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
                    static_cast<uint16_t>(entity_index_), msg.body.size());
         // A resumption offer we have cached pairwise keys for: if the server
         // echoes the id we can rejoin without fresh DH exchanges.
+        offered_session_id_ = hello.value().session_id;
         if (!hello.value().session_id.empty() && cfg_.session_cache) {
             const MiddleboxTicket* t = cfg_.session_cache->find(hello.value().session_id);
             if (t && t->valid()) {
                 resume_candidate_ = true;
-                resume_ticket_ = *t;
+                resume_ticket_ = *t;  // copy now: the cache may evict the
+                                      // entry before the ServerHello echo
             }
         }
         forward_handshake(from, msg);
@@ -266,6 +268,18 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
             pairwise_client_ = resume_ticket_.pairwise_client;
             pairwise_server_ = resume_ticket_.pairwise_server;
             obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rejoin,
+                       static_cast<uint16_t>(entity_index_), middleboxes_.size());
+        } else if (!session_id_.empty() && session_id_ == offered_session_id_ &&
+                   !resume_candidate_) {
+            // The endpoints agreed to resume but our ticket is gone (evicted,
+            // expired, or a cold restart). The abbreviated handshake runs no
+            // DH exchanges, so the pairwise keys cannot be rebuilt and the
+            // fresh halves sealed to us will stay opaque. Degrade to a
+            // keyless relay — every record forwards blind — rather than fail
+            // a session we were never entitled to break.
+            rejoin_missed_ = true;
+            keys_ready_ = true;  // established, with no contexts readable
+            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject,
                        static_cast<uint16_t>(entity_index_), middleboxes_.size());
         }
         forward_handshake(from, msg);
@@ -314,7 +328,9 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
         auto km = MiddleboxKeyMaterial::parse(msg.body);
         if (!km) return fail(AlertDescription::decode_error, km.error().message);
         forward_handshake(from, msg);
-        if (km.value().entity == entity_index_) {
+        // A missed rejoin cannot unseal its own material (no pairwise keys
+        // survive); leave it sealed and stay a blind relay.
+        if (km.value().entity == entity_index_ && !rejoin_missed_) {
             if (auto s = extract_key_material(from, km.value()); !s) return s;
         }
         return {};
@@ -493,7 +509,9 @@ void MiddleboxSession::try_finalize_keys()
 MiddleboxTicket MiddleboxSession::ticket() const
 {
     MiddleboxTicket t;
-    if (!keys_ready_) return t;
+    // A keyless relay has nothing worth caching: a ticket with empty
+    // pairwise keys would only poison a later rejoin attempt.
+    if (!keys_ready_ || rejoin_missed_) return t;
     t.session_id = session_id_;
     t.pairwise_client = pairwise_client_;
     t.pairwise_server = pairwise_server_;
@@ -518,6 +536,9 @@ Status MiddleboxSession::handle_rekey_record(From from, const tls::RecordView& v
     // wire bytes are reused as-is.
     forward_wire(from, view.wire, /*own_unit=*/true);
     if (!keys_ready_) return {};  // endpoints will reject a pre-handshake rekey
+    // A keyless relay has no pairwise keys to unseal rekey entries with,
+    // even when the endpoints (believing it rejoined) addressed it one.
+    if (rejoin_missed_) return {};
     auto parsed = RekeyRecord::parse(view.payload);
     if (!parsed) return fail(AlertDescription::decode_error, parsed.error().message);
     const RekeyRecord& rk = parsed.value();

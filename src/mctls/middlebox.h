@@ -110,6 +110,10 @@ public:
     // True when this relay rejoined a resumed session from cached pairwise
     // keys instead of running its own DH exchanges.
     bool resumed() const { return resumed_; }
+    // True when the endpoints resumed but this relay's ticket was gone
+    // (evicted, expired, or a cold restart): it relays the session keyless,
+    // forwarding every record blind, instead of failing the connection.
+    bool rejoin_missed() const { return rejoin_missed_; }
     // Current key epoch (bumped by completed in-band rekeys we tracked).
     uint32_t epoch() const { return epoch_; }
     // What to cache for a later rejoin; valid() only once keys are ready and
@@ -206,9 +210,11 @@ private:
 
     // --- Session continuity state ---
     Bytes session_id_;            // from the ServerHello (empty = none)
+    Bytes offered_session_id_;    // from the ClientHello (empty = none)
     bool resume_candidate_ = false;
     MiddleboxTicket resume_ticket_;
     bool resumed_ = false;
+    bool rejoin_missed_ = false;  // endpoints resumed; our ticket is gone
     AuthEncKey pairwise_client_;  // K_C-M (cached or derived)
     AuthEncKey pairwise_server_;  // K_S-M
 

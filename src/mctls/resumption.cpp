@@ -4,54 +4,14 @@
 
 namespace mct::mctls {
 
-namespace {
-
-std::string key_of(ConstBytes id)
+size_t ResumptionTicket::memory_footprint() const
 {
-    return std::string(reinterpret_cast<const char*>(id.data()), id.size());
-}
-
-}  // namespace
-
-void ServerSessionCache::put(ResumptionTicket ticket)
-{
-    if (!ticket.valid()) return;
-    std::string key = key_of(ticket.session_id);
-    if (entries_.find(key) == entries_.end()) order_.push_back(key);
-    entries_[key] = std::move(ticket);
-    while (order_.size() > capacity_) {
-        entries_.erase(order_.front());
-        order_.erase(order_.begin());
-    }
-}
-
-const ResumptionTicket* ServerSessionCache::find(ConstBytes session_id) const
-{
-    auto it = entries_.find(key_of(session_id));
-    return it == entries_.end() ? nullptr : &it->second;
-}
-
-void ServerSessionCache::erase(ConstBytes session_id)
-{
-    entries_.erase(key_of(session_id));
-}
-
-void MiddleboxSessionCache::put(MiddleboxTicket ticket)
-{
-    if (!ticket.valid()) return;
-    std::string key = key_of(ticket.session_id);
-    if (entries_.find(key) == entries_.end()) order_.push_back(key);
-    entries_[key] = std::move(ticket);
-    while (order_.size() > capacity_) {
-        entries_.erase(order_.front());
-        order_.erase(order_.begin());
-    }
-}
-
-const MiddleboxTicket* MiddleboxSessionCache::find(ConstBytes session_id) const
-{
-    auto it = entries_.find(key_of(session_id));
-    return it == entries_.end() ? nullptr : &it->second;
+    size_t n = session_id.size() + s_cs.size();
+    for (const auto& m : middleboxes) n += m.name.size() + m.address.size();
+    for (const auto& c : contexts) n += c.purpose.size() + c.permissions.size();
+    for (const auto& g : granted) n += g.size();
+    for (const auto& k : pairwise) n += k.enc_key.size() + k.mac_key.size();
+    return n;
 }
 
 Bytes RekeyRecord::serialize() const

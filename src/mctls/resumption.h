@@ -32,7 +32,6 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mctls/authenc.h"
@@ -40,6 +39,7 @@
 #include "tls/resumption.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/shard_cache.h"
 
 namespace mct::mctls {
 
@@ -56,6 +56,10 @@ struct ResumptionTicket {
     std::vector<AuthEncKey> pairwise;               // per middlebox, this side's key
 
     bool valid() const { return !session_id.empty() && !s_cs.empty(); }
+    // Deep payload size for the cache's byte accounting: every heap block
+    // this ticket keeps alive (secrets, per-middlebox keys, permission
+    // tables), excluding the key which the cache charges separately.
+    size_t memory_footprint() const;
     // Index into `middleboxes`/`pairwise` for a middlebox name; -1 if absent.
     int find_middlebox(const std::string& name) const
     {
@@ -65,21 +69,14 @@ struct ResumptionTicket {
     }
 };
 
-// Server-side ticket store, keyed by session id (FIFO eviction; the
-// simulated testbed never holds more than a handful of sessions).
-class ServerSessionCache {
+// Server-side ticket store, keyed by session id: a bounded sharded LRU with
+// TTL enforced at lookup (util::ShardedCache). A miss — evicted, expired,
+// declined at insert — only means the peer re-runs the full handshake, so
+// the cache degrades under pressure instead of failing sessions.
+class ServerSessionCache : public util::ShardedCache<ResumptionTicket> {
 public:
-    explicit ServerSessionCache(size_t capacity = 256) : capacity_(capacity) {}
-
-    void put(ResumptionTicket ticket);
-    const ResumptionTicket* find(ConstBytes session_id) const;
-    void erase(ConstBytes session_id);
-    size_t size() const { return entries_.size(); }
-
-private:
-    size_t capacity_;
-    std::unordered_map<std::string, ResumptionTicket> entries_;
-    std::vector<std::string> order_;
+    using util::ShardedCache<ResumptionTicket>::ShardedCache;
+    ServerSessionCache() : util::ShardedCache<ResumptionTicket>(size_t{256}) {}
 };
 
 // What a middlebox must remember to rejoin a session: its two pairwise
@@ -91,20 +88,18 @@ struct MiddleboxTicket {
     AuthEncKey pairwise_server;  // K_S-M
 
     bool valid() const { return !session_id.empty(); }
+    size_t memory_footprint() const
+    {
+        return session_id.size() + pairwise_client.enc_key.size() +
+               pairwise_client.mac_key.size() + pairwise_server.enc_key.size() +
+               pairwise_server.mac_key.size();
+    }
 };
 
-class MiddleboxSessionCache {
+class MiddleboxSessionCache : public util::ShardedCache<MiddleboxTicket> {
 public:
-    explicit MiddleboxSessionCache(size_t capacity = 256) : capacity_(capacity) {}
-
-    void put(MiddleboxTicket ticket);
-    const MiddleboxTicket* find(ConstBytes session_id) const;
-    size_t size() const { return entries_.size(); }
-
-private:
-    size_t capacity_;
-    std::unordered_map<std::string, MiddleboxTicket> entries_;
-    std::vector<std::string> order_;
+    using util::ShardedCache<MiddleboxTicket>::ShardedCache;
+    MiddleboxSessionCache() : util::ShardedCache<MiddleboxTicket>(size_t{256}) {}
 };
 
 // ---- In-band rekey wire format ----------------------------------------

@@ -89,4 +89,22 @@ void Hub::publish(const std::string& prefix, const SessionStats& s)
     }
 }
 
+void Hub::publish_cache(const std::string& prefix, const util::CacheStats& s)
+{
+    auto set = [&](const std::string& name, uint64_t v) {
+        metrics.counter(prefix + "." + name)->set(v);
+    };
+    set("hits", s.hits);
+    set("misses", s.misses);
+    set("expirations", s.expirations);
+    set("insertions", s.insertions);
+    set("replacements", s.replacements);
+    set("evictions", s.evictions);
+    set("declines", s.declines);
+    set("shed", s.shed);
+    set("swept", s.swept);
+    set("entries", s.entries);
+    set("bytes", s.bytes);
+}
+
 }  // namespace mct::obs

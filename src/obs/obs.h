@@ -16,6 +16,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/shard_cache.h"
 
 namespace mct::obs {
 
@@ -76,6 +77,11 @@ struct Hub {
     // Counters are set (not added): re-publishing the same session updates
     // in place.
     void publish(const std::string& prefix, const SessionStats& s);
+
+    // Fold a cache snapshot into the registry ("<prefix>.hits",
+    // "<prefix>.evictions", ...). Same set-in-place semantics; the PR 5
+    // Prometheus endpoint exports these like any other counter.
+    void publish_cache(const std::string& prefix, const util::CacheStats& s);
 };
 
 }  // namespace mct::obs

@@ -45,6 +45,13 @@ const char* to_string(EventType t)
     case EventType::attempt_failed: return "attempt_failed";
     case EventType::fetch_complete: return "fetch_complete";
     case EventType::tls_fallback: return "tls_fallback";
+    case EventType::cache_expired: return "cache_expired";
+    case EventType::cache_evicted: return "cache_evicted";
+    case EventType::cache_declined: return "cache_declined";
+    case EventType::cache_shed: return "cache_shed";
+    case EventType::state_sweep: return "state_sweep";
+    case EventType::state_rekey_due: return "state_rekey_due";
+    case EventType::state_excise_due: return "state_excise_due";
     }
     return "unknown";
 }

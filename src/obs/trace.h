@@ -80,6 +80,17 @@ enum class EventType : uint8_t {
     attempt_failed,  // a = attempt number
     fetch_complete,  // a = body bytes
     tls_fallback,
+
+    // State plane (appended: JSONL consumers key on these names, and the
+    // ordinals above must stay stable). ctx = cache id (testbed: 0 = TLS
+    // session cache, 1 = mcTLS server cache, 2+n = middlebox n's cache).
+    cache_expired,   // stale entry purged at lookup or by sweep (a = bytes)
+    cache_evicted,   // LRU entry dropped to make room (a = bytes freed)
+    cache_declined,  // insert refused under the decline policy (a = bytes)
+    cache_shed,      // batch of coldest entries dropped (a = bytes freed)
+    state_sweep,     // background expiry sweep ran (a = entries reclaimed)
+    state_rekey_due, // epoch rekey deadline fired (a = deadline ordinal)
+    state_excise_due,// dead middlebox passed its grace (a = relay index)
 };
 
 const char* to_string(EventType t);

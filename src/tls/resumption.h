@@ -1,5 +1,5 @@
 // TLS session resumption state (the abbreviated-handshake side of the
-// session-continuity layer; DESIGN.md "Session continuity").
+// session-continuity layer; DESIGN.md "Session continuity", "State plane").
 //
 // A client that completed a full handshake walks away with a TlsTicket:
 // the server-assigned session id plus the master secret. Offering the id in
@@ -7,13 +7,15 @@
 // abbreviated 1-RTT flow — both sides re-expand a fresh key block from the
 // cached master secret and the new randoms. The server keeps the
 // corresponding entries in a TlsSessionCache; a miss (expired, evicted, or
-// unknown id) falls back to the full handshake transparently.
+// unknown id) falls back to the full handshake transparently — which is
+// exactly why the cache can bound itself aggressively: declining or
+// evicting state only costs a round trip, never correctness.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "util/bytes.h"
+#include "util/shard_cache.h"
 
 namespace mct::tls {
 
@@ -24,49 +26,23 @@ struct TlsTicket {
     Bytes master_secret;  // 48 bytes
 
     bool valid() const { return !session_id.empty() && !master_secret.empty(); }
+
+    // Deep payload size for the cache's byte accounting (the key is
+    // charged separately by the cache).
+    size_t memory_footprint() const
+    {
+        return session_id.size() + master_secret.size();
+    }
 };
 
-// Server-side store, keyed by session id. Plain map with FIFO eviction —
-// the simulated testbed never holds more than a handful of sessions, so
-// no LRU machinery.
-class TlsSessionCache {
+// Server-side store, keyed by session id: a bounded sharded LRU with TTL
+// enforced at lookup (util::ShardedCache). The historical single-argument
+// constructor keeps old call sites working; pass a full CacheConfig to set
+// a memory budget, ttl, or degradation policy.
+class TlsSessionCache : public util::ShardedCache<TlsTicket> {
 public:
-    explicit TlsSessionCache(size_t capacity = 256) : capacity_(capacity) {}
-
-    void put(const TlsTicket& ticket)
-    {
-        if (!ticket.valid()) return;
-        std::string key = key_of(ticket.session_id);
-        if (entries_.find(key) == entries_.end()) order_.push_back(key);
-        entries_[key] = ticket;
-        while (order_.size() > capacity_) {
-            entries_.erase(order_.front());
-            order_.erase(order_.begin());
-        }
-    }
-
-    const TlsTicket* find(ConstBytes session_id) const
-    {
-        auto it = entries_.find(key_of(session_id));
-        return it == entries_.end() ? nullptr : &it->second;
-    }
-
-    void erase(ConstBytes session_id)
-    {
-        entries_.erase(key_of(session_id));
-    }
-
-    size_t size() const { return entries_.size(); }
-
-private:
-    static std::string key_of(ConstBytes id)
-    {
-        return std::string(reinterpret_cast<const char*>(id.data()), id.size());
-    }
-
-    size_t capacity_;
-    std::unordered_map<std::string, TlsTicket> entries_;
-    std::vector<std::string> order_;
+    using util::ShardedCache<TlsTicket>::ShardedCache;
+    TlsSessionCache() : util::ShardedCache<TlsTicket>(size_t{256}) {}
 };
 
 }  // namespace mct::tls

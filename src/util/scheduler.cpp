@@ -1,0 +1,84 @@
+#include "util/scheduler.h"
+
+namespace mct::util {
+
+uint64_t TickScheduler::every(uint64_t interval, uint64_t first_at, Task task)
+{
+    if (interval == 0) interval = 1;
+    entries_.push_back({next_id_, first_at, interval, std::move(task), true});
+    return next_id_++;
+}
+
+uint64_t TickScheduler::at(uint64_t when, Task task)
+{
+    entries_.push_back({next_id_, when, 0, std::move(task), true});
+    return next_id_++;
+}
+
+bool TickScheduler::cancel(uint64_t id)
+{
+    for (Entry& e : entries_) {
+        if (e.id != id || !e.active) continue;
+        e.active = false;
+        return true;
+    }
+    return false;
+}
+
+size_t TickScheduler::tick(uint64_t now)
+{
+    size_t ran = 0;
+    while (true) {
+        // Pick the due entry with the smallest (deadline, id). Linear scan:
+        // the task list is a handful of maintenance jobs, not a work queue.
+        Entry* next = nullptr;
+        for (Entry& e : entries_) {
+            if (!e.active || e.due > now) continue;
+            if (!next || e.due < next->due || (e.due == next->due && e.id < next->id))
+                next = &e;
+        }
+        if (!next) break;
+        uint64_t id = next->id;
+        if (next->interval == 0) {
+            next->active = false;
+        } else {
+            uint64_t due = next->due + next->interval;
+            while (due <= now) {  // realign, counting skipped firings
+                due += next->interval;
+                ++firings_missed_;
+            }
+            next->due = due;
+        }
+        Task task = next->task;  // the callback may register/cancel tasks
+        ++tasks_run_;
+        ++ran;
+        task(now);
+        // `next` may dangle after the callback (vector growth); re-derive
+        // nothing — the loop re-scans from scratch.
+        (void)id;
+    }
+    // Compact cancelled one-shots so long-lived schedulers don't grow.
+    size_t live = 0;
+    for (Entry& e : entries_)
+        if (e.active) entries_[live++] = std::move(e);
+    entries_.resize(live);
+    return ran;
+}
+
+uint64_t TickScheduler::next_deadline() const
+{
+    uint64_t best = kIdle;
+    for (const Entry& e : entries_)
+        if (e.active && e.due < best) best = e.due;
+    return best;
+}
+
+size_t TickScheduler::pending() const
+{
+    size_t n = 0;
+    for (const Entry& e : entries_)
+        if (e.active) ++n;
+    return n;
+}
+
+}  // namespace mct::util

@@ -1,0 +1,65 @@
+// Deterministic tick-driven task scheduler for background maintenance
+// (DESIGN.md "State plane").
+//
+// Continuity upkeep — ticket expiry sweeps, epoch-rekey deadlines, dead-
+// middlebox excision — must keep running while sessions churn, but the
+// protocol layers are sans-IO and must stay free of event-loop
+// dependencies. TickScheduler is the seam: pure state plus a tick(now)
+// entry point. The owner (the HTTP testbed, a future epoll runtime) calls
+// tick() from whatever loop it runs; the scheduler itself never blocks,
+// sleeps, or reads a wall clock.
+//
+// Determinism contract: tasks whose deadlines have passed run ordered by
+// (deadline, registration id), so two tasks due at the same instant always
+// run in the order they were registered — simulation runs are reproducible
+// across platforms. A periodic task that missed several periods (the owner
+// ticked late) runs ONCE and realigns to the next future multiple; missed
+// firings are counted, not replayed, so a stalled loop cannot build up a
+// catch-up storm.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mct::util {
+
+class TickScheduler {
+public:
+    using Task = std::function<void(uint64_t now)>;
+
+    // Periodic task, first due at `first_at`, then every `interval`.
+    // interval must be nonzero. Returns a task id for cancel().
+    uint64_t every(uint64_t interval, uint64_t first_at, Task task);
+    // One-shot task due at `when`.
+    uint64_t at(uint64_t when, Task task);
+    bool cancel(uint64_t id);
+
+    // Run every task due at or before `now`; returns how many ran.
+    size_t tick(uint64_t now);
+
+    // Earliest pending deadline, or kIdle when nothing is scheduled.
+    static constexpr uint64_t kIdle = ~0ull;
+    uint64_t next_deadline() const;
+
+    size_t pending() const;
+    uint64_t tasks_run() const { return tasks_run_; }
+    // Periodic firings skipped because the owner ticked late.
+    uint64_t firings_missed() const { return firings_missed_; }
+
+private:
+    struct Entry {
+        uint64_t id = 0;
+        uint64_t due = 0;
+        uint64_t interval = 0;  // 0 = one-shot
+        Task task;
+        bool active = true;
+    };
+
+    std::vector<Entry> entries_;
+    uint64_t next_id_ = 1;
+    uint64_t tasks_run_ = 0;
+    uint64_t firings_missed_ = 0;
+};
+
+}  // namespace mct::util

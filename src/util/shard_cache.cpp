@@ -1,0 +1,18 @@
+#include "util/shard_cache.h"
+
+namespace mct::util {
+
+const char* to_string(DegradationPolicy p)
+{
+    switch (p) {
+    case DegradationPolicy::evict_coldest:
+        return "evict_coldest";
+    case DegradationPolicy::decline:
+        return "decline";
+    case DegradationPolicy::shed:
+        return "shed";
+    }
+    return "?";
+}
+
+}  // namespace mct::util

@@ -1,0 +1,442 @@
+// Sharded, bounded session-state cache (DESIGN.md "State plane").
+//
+// The template behind TlsSessionCache / ServerSessionCache /
+// MiddleboxSessionCache: a fixed array of shards, each an LRU list over an
+// open-addressed key map, striped with one mutex per shard so lookups and
+// inserts on different shards never contend. Three bounds apply at once:
+//
+//   capacity       total live entries across all shards
+//   memory_budget  byte-accurate accounting: each entry is charged its deep
+//                  payload size (V::memory_footprint()) plus key bytes plus
+//                  a fixed per-node bookkeeping constant
+//   ttl            entries expire `ttl` clock units after insertion; staleness
+//                  is enforced at lookup (a stale hit is purged and reported
+//                  as a miss) and reclaimed incrementally by sweep_expired()
+//
+// When a put() would exceed a bound, the configured DegradationPolicy
+// decides (the "degradation ladder"):
+//
+//   evict_coldest  drop the LRU entry of the target shard until the new
+//                  entry fits (classic bounded cache; the default)
+//   decline        refuse the insert. The caller treats this exactly like a
+//                  cache miss later on — the peer falls back to a full
+//                  handshake — so overload degrades service, never breaks it
+//   shed           drop a batch of the target shard's coldest entries to
+//                  create headroom, amortizing eviction cost under churn
+//
+// Every decision is counted in CacheStats and optionally surfaced through a
+// per-cache observer hook so callers can trace decisions into obs without
+// this header depending on the obs library.
+//
+// The value type V must provide:
+//   Bytes session_id            the key (raw bytes)
+//   bool valid() const          invalid values are never stored
+//   size_t memory_footprint()   deep payload size in bytes, excluding the key
+//
+// find() returns a borrowed pointer that stays valid until the next
+// mutating call on the cache (single-threaded protocol code relies on this;
+// it copies what it needs before mutating). Concurrent callers use
+// lookup(), which copies the value out under the shard lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace mct::util {
+
+enum class DegradationPolicy : uint8_t {
+    evict_coldest,  // make room by dropping the shard's LRU entry
+    decline,        // refuse the insert; peer falls back to a full handshake
+    shed,           // drop a batch of coldest entries, then insert
+};
+
+const char* to_string(DegradationPolicy p);
+
+// What put() did. `declined` is the overload signal: the entry was NOT
+// stored and a later lookup will miss (callers fall back to the full
+// handshake instead of erroring).
+enum class PutOutcome : uint8_t { inserted, replaced, declined };
+
+// Decision/traffic events a cache can report through its observer hook.
+// `detail` is event-specific: bytes freed for evict/shed/expire, entry bytes
+// for insert/decline.
+enum class CacheEvent : uint8_t { hit, miss, expired, inserted, replaced, evicted, declined, shed };
+
+struct CacheConfig {
+    size_t capacity = 256;       // total entries; 0 = cache admits nothing
+    uint64_t memory_budget = 0;  // total bytes; 0 = unbounded
+    size_t shards = 8;           // rounded up to a power of two, min 1
+    uint64_t ttl = 0;            // clock units after insert; 0 = no expiry
+    DegradationPolicy policy = DegradationPolicy::evict_coldest;
+    size_t shed_batch = 32;      // coldest entries dropped per shed decision
+};
+
+struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;        // includes expirations discovered at lookup
+    uint64_t expirations = 0;   // stale entries purged at lookup
+    uint64_t insertions = 0;
+    uint64_t replacements = 0;  // duplicate-key puts (memory re-accounted)
+    uint64_t evictions = 0;     // evict_coldest decisions
+    uint64_t declines = 0;      // puts refused under the decline policy
+    uint64_t shed = 0;          // entries dropped by shed decisions
+    uint64_t swept = 0;         // stale entries reclaimed by sweep_expired()
+    size_t entries = 0;         // live entries right now
+    uint64_t bytes = 0;         // accounted bytes right now
+};
+
+template <class V>
+class ShardedCache {
+public:
+    // Fixed bookkeeping charge per entry: the LRU node's own fields plus the
+    // two list pointers and the hash-map slot that anchor it. The payload
+    // and key are charged exactly; this constant covers the containers.
+    // Public so capacity planners (benches, deployment sizing) can derive a
+    // byte budget from a known per-entry payload.
+    static constexpr uint64_t kNodeOverhead = 96;
+
+    ShardedCache() : ShardedCache(CacheConfig{}) {}
+    explicit ShardedCache(size_t capacity) : ShardedCache(CacheConfig{capacity}) {}
+    explicit ShardedCache(CacheConfig cfg) : cfg_(cfg)
+    {
+        size_t n = 1;
+        while (n < cfg_.shards && n < kMaxShards) n <<= 1;
+        shards_.reserve(n);
+        for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+        mask_ = n - 1;
+        if (cfg_.shed_batch == 0) cfg_.shed_batch = 1;
+    }
+
+    // Movable so containers of caches can grow during single-threaded setup;
+    // moving a cache that other threads are touching is a data race, and a
+    // moved-from cache may only be destroyed or assigned to.
+    ShardedCache(ShardedCache&& other) noexcept
+        : cfg_(other.cfg_),
+          shards_(std::move(other.shards_)),
+          mask_(other.mask_),
+          sweep_cursor_(other.sweep_cursor_),
+          entries_(other.entries_.load(std::memory_order_relaxed)),
+          bytes_(other.bytes_.load(std::memory_order_relaxed)),
+          clock_(std::move(other.clock_)),
+          observer_(std::move(other.observer_))
+    {
+    }
+
+    ShardedCache& operator=(ShardedCache&& other) noexcept
+    {
+        if (this != &other) {
+            cfg_ = other.cfg_;
+            shards_ = std::move(other.shards_);
+            mask_ = other.mask_;
+            sweep_cursor_ = other.sweep_cursor_;
+            entries_.store(other.entries_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+            bytes_.store(other.bytes_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+            clock_ = std::move(other.clock_);
+            observer_ = std::move(other.observer_);
+        }
+        return *this;
+    }
+
+    // Monotonic clock consulted by put()/find() for TTL stamping and
+    // enforcement. Unset = time frozen at 0 (entries never expire).
+    void set_clock(std::function<uint64_t()> clock) { clock_ = std::move(clock); }
+
+    // Decision hook (eviction, decline, shed, ...). Called under the shard
+    // lock: must be cheap and must not reenter the cache.
+    void set_observer(std::function<void(CacheEvent, uint64_t)> observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    PutOutcome put(V value) { return put_at(std::move(value), now()); }
+
+    PutOutcome put_at(V value, uint64_t at)
+    {
+        if (!value.valid()) return PutOutcome::declined;
+        std::string key = key_of(value.session_id);
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+
+        bool replacing = false;
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            // Duplicate session id: drop the old node first so its bytes are
+            // never double-counted and the room check sees the true load.
+            unlink(shard, it->second);
+            replacing = true;
+        }
+
+        uint64_t entry_bytes = kNodeOverhead + key.size() + value.memory_footprint();
+        if (!make_room(shard, entry_bytes)) {
+            shard.stats.declines++;
+            notify(CacheEvent::declined, entry_bytes);
+            return PutOutcome::declined;
+        }
+
+        shard.lru.push_front(Node{std::move(key), std::move(value),
+                                  at, cfg_.ttl ? at + cfg_.ttl : 0, entry_bytes});
+        shard.index[shard.lru.front().key] = shard.lru.begin();
+        shard.bytes += entry_bytes;
+        entries_.fetch_add(1, std::memory_order_relaxed);
+        bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+        if (replacing) {
+            shard.stats.replacements++;
+            notify(CacheEvent::replaced, entry_bytes);
+            return PutOutcome::replaced;
+        }
+        shard.stats.insertions++;
+        notify(CacheEvent::inserted, entry_bytes);
+        return PutOutcome::inserted;
+    }
+
+    const V* find(ConstBytes session_id) { return find_at(session_id, now()); }
+
+    // TTL is enforced here: a hit past its deadline is purged and reported
+    // as a miss, so stale tickets are never served.
+    const V* find_at(ConstBytes session_id, uint64_t at)
+    {
+        std::string key = key_of(session_id);
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(key);
+        if (it == shard.index.end()) {
+            shard.stats.misses++;
+            notify(CacheEvent::miss, 0);
+            return nullptr;
+        }
+        if (expired(*it->second, at)) {
+            uint64_t freed = it->second->bytes;
+            unlink(shard, it->second);
+            shard.stats.expirations++;
+            shard.stats.misses++;
+            notify(CacheEvent::expired, freed);
+            return nullptr;
+        }
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // touch
+        shard.stats.hits++;
+        notify(CacheEvent::hit, it->second->bytes);
+        return &it->second->value;
+    }
+
+    // Thread-safe variant: copies the value out under the shard lock.
+    bool lookup(ConstBytes session_id, uint64_t at, V* out)
+    {
+        std::string key = key_of(session_id);
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(key);
+        if (it == shard.index.end()) {
+            shard.stats.misses++;
+            return false;
+        }
+        if (expired(*it->second, at)) {
+            shard.stats.expirations++;
+            shard.stats.misses++;
+            unlink(shard, it->second);
+            return false;
+        }
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        shard.stats.hits++;
+        if (out) *out = it->second->value;
+        return true;
+    }
+
+    void erase(ConstBytes session_id)
+    {
+        std::string key = key_of(session_id);
+        Shard& shard = shard_of(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) unlink(shard, it->second);
+    }
+
+    void clear()
+    {
+        for (auto& sp : shards_) {
+            Shard& shard = *sp;
+            std::lock_guard<std::mutex> lock(shard.mu);
+            entries_.fetch_sub(shard.lru.size(), std::memory_order_relaxed);
+            bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+            shard.lru.clear();
+            shard.index.clear();
+            shard.bytes = 0;
+        }
+    }
+
+    // Incremental expiry reclaim for the background sweep task: scans up to
+    // `max_scan` entries starting from a persistent shard cursor, removing
+    // every stale one. Returns the number reclaimed. Bounded work per call,
+    // so a scheduler tick never stalls the data plane.
+    size_t sweep_expired(uint64_t at, size_t max_scan = SIZE_MAX)
+    {
+        if (cfg_.ttl == 0) return 0;
+        size_t removed = 0;
+        size_t scanned = 0;
+        for (size_t i = 0; i < shards_.size() && scanned < max_scan; ++i) {
+            Shard& shard = *shards_[(sweep_cursor_ + i) & mask_];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            for (auto it = shard.lru.begin();
+                 it != shard.lru.end() && scanned < max_scan; ++scanned) {
+                auto cur = it++;
+                if (!expired(*cur, at)) continue;
+                uint64_t freed = cur->bytes;
+                shard.index.erase(cur->key);
+                shard.bytes -= freed;
+                entries_.fetch_sub(1, std::memory_order_relaxed);
+                bytes_.fetch_sub(freed, std::memory_order_relaxed);
+                shard.lru.erase(cur);
+                shard.stats.swept++;
+                notify(CacheEvent::expired, freed);
+                ++removed;
+            }
+        }
+        sweep_cursor_ = (sweep_cursor_ + 1) & mask_;
+        return removed;
+    }
+
+    size_t size() const { return entries_.load(std::memory_order_relaxed); }
+    uint64_t memory_bytes() const { return bytes_.load(std::memory_order_relaxed); }
+    size_t shard_count() const { return shards_.size(); }
+    const CacheConfig& config() const { return cfg_; }
+
+    CacheStats stats() const
+    {
+        CacheStats total;
+        for (const auto& sp : shards_) {
+            const Shard& shard = *sp;
+            std::lock_guard<std::mutex> lock(shard.mu);
+            total.hits += shard.stats.hits;
+            total.misses += shard.stats.misses;
+            total.expirations += shard.stats.expirations;
+            total.insertions += shard.stats.insertions;
+            total.replacements += shard.stats.replacements;
+            total.evictions += shard.stats.evictions;
+            total.declines += shard.stats.declines;
+            total.shed += shard.stats.shed;
+            total.swept += shard.stats.swept;
+        }
+        total.entries = size();
+        total.bytes = memory_bytes();
+        return total;
+    }
+
+private:
+    static constexpr size_t kMaxShards = 4096;
+
+    struct Node {
+        std::string key;
+        V value;
+        uint64_t inserted_at = 0;
+        uint64_t expires_at = 0;  // 0 = never
+        uint64_t bytes = 0;
+    };
+
+    struct Shard {
+        mutable std::mutex mu;
+        std::list<Node> lru;  // front = most recently used
+        std::unordered_map<std::string, typename std::list<Node>::iterator> index;
+        uint64_t bytes = 0;
+        CacheStats stats;  // entries/bytes fields unused per shard
+    };
+
+    static std::string key_of(ConstBytes id)
+    {
+        return std::string(reinterpret_cast<const char*>(id.data()), id.size());
+    }
+
+    // FNV-1a: cheap, stable across platforms (session ids are uniform random
+    // anyway; the hash only spreads them over shards).
+    static uint64_t hash_key(const std::string& key)
+    {
+        uint64_t h = 1469598103934665603ull;
+        for (unsigned char c : key) {
+            h ^= c;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+
+    Shard& shard_of(const std::string& key) { return *shards_[hash_key(key) & mask_]; }
+
+    uint64_t now() const { return clock_ ? clock_() : 0; }
+
+    static bool expired(const Node& node, uint64_t at)
+    {
+        return node.expires_at != 0 && at >= node.expires_at;
+    }
+
+    void notify(CacheEvent e, uint64_t detail)
+    {
+        if (observer_) observer_(e, detail);
+    }
+
+    // Caller holds shard.mu and an iterator into shard.lru.
+    void unlink(Shard& shard, typename std::list<Node>::iterator it)
+    {
+        shard.bytes -= it->bytes;
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard.index.erase(it->key);
+        shard.lru.erase(it);
+    }
+
+    bool over_limit(uint64_t incoming_bytes) const
+    {
+        if (cfg_.capacity == 0) return true;
+        if (entries_.load(std::memory_order_relaxed) + 1 > cfg_.capacity) return true;
+        return cfg_.memory_budget != 0 &&
+               bytes_.load(std::memory_order_relaxed) + incoming_bytes > cfg_.memory_budget;
+    }
+
+    // Apply the degradation ladder until `incoming_bytes` fits. Returns
+    // false when the insert must be declined (policy says so, or this shard
+    // has nothing left to give back while the global bound is still hit).
+    bool make_room(Shard& shard, uint64_t incoming_bytes)
+    {
+        while (over_limit(incoming_bytes)) {
+            if (cfg_.policy == DegradationPolicy::decline || cfg_.capacity == 0)
+                return false;
+            if (shard.lru.empty()) return false;  // the mass lives elsewhere
+            if (cfg_.policy == DegradationPolicy::evict_coldest) {
+                uint64_t freed = shard.lru.back().bytes;
+                unlink(shard, std::prev(shard.lru.end()));
+                shard.stats.evictions++;
+                notify(CacheEvent::evicted, freed);
+                continue;
+            }
+            // shed: drop a batch of the coldest entries in one decision.
+            uint64_t freed = 0;
+            size_t dropped = 0;
+            while (dropped < cfg_.shed_batch && !shard.lru.empty()) {
+                freed += shard.lru.back().bytes;
+                unlink(shard, std::prev(shard.lru.end()));
+                ++dropped;
+            }
+            shard.stats.shed += dropped;
+            notify(CacheEvent::shed, freed);
+        }
+        return true;
+    }
+
+    CacheConfig cfg_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    size_t mask_ = 0;
+    size_t sweep_cursor_ = 0;
+    std::atomic<size_t> entries_{0};
+    std::atomic<uint64_t> bytes_{0};
+    std::function<uint64_t()> clock_;
+    std::function<void(CacheEvent, uint64_t)> observer_;
+};
+
+}  // namespace mct::util

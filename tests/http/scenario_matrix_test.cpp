@@ -1,0 +1,167 @@
+// Deployment-scenario fault matrix (DESIGN.md "State plane"): every named
+// deployment runs clean and under each fault plan, and must finish every
+// time — clean runs complete directly, fault runs complete through the
+// scenario's recovery policy (resume or excise) or through transport
+// healing. The matrix is the end-to-end check on the state plane: tickets
+// minted into bounded caches, maintenance ticking off the sim loop, faults
+// injected deterministically, abbreviated handshakes carrying the recovery.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "http/scenarios.h"
+
+namespace mct::http {
+namespace {
+
+std::string cell(const ScenarioResult& r)
+{
+    return std::string(to_string(r.spec.scenario)) + "/" + to_string(r.plan);
+}
+
+TEST(ScenarioMatrix, CleanRunsCompleteDirectly)
+{
+    for (Scenario s : all_scenarios()) {
+        ScenarioResult r = run_scenario(s, FaultPlan::clean);
+        SCOPED_TRACE(cell(r));
+        ASSERT_TRUE(r.fetch);
+        EXPECT_TRUE(r.fetch->completed) << r.fetch->error;
+        EXPECT_FALSE(r.fetch->failed);
+        EXPECT_EQ(r.fetch->attempts, 1u);
+        EXPECT_FALSE(r.fetch->fell_back_to_tls);
+        ASSERT_LT(r.baseline.handshake_done, r.baseline.done);
+    }
+}
+
+TEST(ScenarioMatrix, KillRestartRecoversViaAbbreviatedHandshake)
+{
+    for (Scenario s : all_scenarios()) {
+        ScenarioResult r = run_scenario(s, FaultPlan::kill_restart);
+        SCOPED_TRACE(cell(r));
+        ASSERT_TRUE(r.fetch);
+        // The crash lands mid-transfer, after the full handshake minted
+        // tickets; the retry rides the state plane's caches.
+        EXPECT_TRUE(r.fetch->completed) << r.fetch->error;
+        EXPECT_GE(r.fetch->attempts, 2u);
+        EXPECT_TRUE(r.fetch->resumed);
+        EXPECT_FALSE(r.fetch->fell_back_to_tls);
+    }
+}
+
+TEST(ScenarioMatrix, LinkFlapHealsAtTransport)
+{
+    for (Scenario s : all_scenarios()) {
+        ScenarioResult r = run_scenario(s, FaultPlan::flap);
+        SCOPED_TRACE(cell(r));
+        ASSERT_TRUE(r.fetch);
+        // A transient partition is absorbed by retransmission: the session
+        // survives and the transfer just finishes late.
+        EXPECT_TRUE(r.fetch->completed) << r.fetch->error;
+        EXPECT_FALSE(r.fetch->failed);
+        EXPECT_EQ(r.fetch->attempts, 1u);
+        EXPECT_GT(r.fetch->done, r.baseline.done);
+    }
+}
+
+TEST(ScenarioMatrix, CorruptRecordTriggersTypedRetry)
+{
+    for (Scenario s : all_scenarios()) {
+        ScenarioResult r = run_scenario(s, FaultPlan::corrupt);
+        SCOPED_TRACE(cell(r));
+        ASSERT_TRUE(r.fetch);
+        // The byte flip fails a MAC at an endpoint (fatal bad_record_mac);
+        // the corrupt trigger is one-shot, so the resumed retry completes.
+        EXPECT_TRUE(r.fetch->completed) << r.fetch->error;
+        EXPECT_GE(r.fetch->attempts, 2u);
+        EXPECT_TRUE(r.fetch->resumed);
+    }
+}
+
+// Scenario-specific behaviors the matrix runs should surface.
+
+TEST(ScenarioMatrix, CdnFanInLaterClientsResume)
+{
+    // The measured CDN fetch follows two warmup clients through the same
+    // edge, so even the clean run arrives with a ticket to offer.
+    ScenarioResult r = run_scenario(Scenario::cdn_edge_fanin, FaultPlan::clean);
+    ASSERT_TRUE(r.fetch->completed) << r.fetch->error;
+    EXPECT_TRUE(r.fetch->resumed);
+    // Fan-in populated the caches: the server and edge stored tickets and
+    // served at least one abbreviated-handshake lookup from them.
+    EXPECT_GE(r.state.server.insertions, 1u);
+    EXPECT_GE(r.state.server.hits, 1u);
+    EXPECT_GE(r.state.middlebox.insertions, 1u);
+}
+
+TEST(ScenarioMatrix, IdsChainExcisesDeadRelayAfterGrace)
+{
+    // mbox0 (the IDS) dies mid-transfer and restarts only after the 200 ms
+    // excision grace expired: the state plane must have signalled and
+    // applied the excision, dropping the relay's pairwise-key cache.
+    ScenarioResult r =
+        run_scenario(Scenario::ids_compression_chain, FaultPlan::kill_restart);
+    ASSERT_TRUE(r.fetch->completed) << r.fetch->error;
+    EXPECT_TRUE(r.fetch->resumed);
+    EXPECT_GE(r.state.excisions_signalled, 1u);
+    EXPECT_GE(r.state.excisions_applied, 1u);
+}
+
+TEST(ScenarioMatrix, IndustrialStreamRekeysMidTransfer)
+{
+    // The tiny-record stream outlives the 200 ms rekey interval several
+    // times over; the state plane's deadline must have fired and the
+    // in-band rekey must not disturb the transfer.
+    ScenarioResult r =
+        run_scenario(Scenario::industrial_tiny_records, FaultPlan::clean);
+    ASSERT_TRUE(r.fetch->completed) << r.fetch->error;
+    EXPECT_GE(r.state.rekeys_signalled, 1u);
+}
+
+TEST(ScenarioMatrix, MaintenanceSweepsRunDuringTransfers)
+{
+    // Every scenario configures a 500 ms sweep interval; any transfer that
+    // outlives it must have ticked the scheduler from the sim loop.
+    ScenarioResult r = run_scenario(Scenario::corporate_proxy, FaultPlan::kill_restart);
+    ASSERT_TRUE(r.fetch->completed) << r.fetch->error;
+    EXPECT_GE(r.state.sweeps, 1u);
+}
+
+TEST(ScenarioMatrix, SameTickFaultsApplyInDeclarationOrder)
+{
+    // Two opposing faults at the same instant: declaration order decides.
+    // kill-then-restart at time T leaves the relay alive; the transfer
+    // completes first try (new connections are accepted again, and the
+    // in-flight legs were torn down and retried at the transport layer or
+    // recovered by policy — either way the run is deterministic).
+    ScenarioSpec spec = scenario_spec(Scenario::corporate_proxy);
+    TestbedConfig clean_cfg = scenario_config(spec, FaultPlan::clean);
+    Testbed clean_tb(clean_cfg);
+    auto base = clean_tb.fetch_sequence(spec.object_sizes);
+    clean_tb.run();
+    ASSERT_TRUE(base->completed);
+
+    // Before the handshake even starts: relay killed and revived in the
+    // same tick must behave as "alive" for every connection that follows.
+    TestbedConfig cfg = scenario_config(spec, FaultPlan::clean);
+    cfg.faults = {{FaultEvent::Kind::kill_middlebox, 1, 0, 0},
+                  {FaultEvent::Kind::restart_middlebox, 1, 0, 0}};
+    Testbed tb(cfg);
+    auto fetch = tb.fetch_sequence(spec.object_sizes);
+    tb.run();
+    EXPECT_TRUE(fetch->completed) << fetch->error;
+
+    // The reverse order at the same instant leaves the relay dead: the
+    // first attempt must fail and recovery must kick in.
+    TestbedConfig cfg2 = scenario_config(spec, FaultPlan::clean);
+    cfg2.faults = {{FaultEvent::Kind::restart_middlebox, 1, 0, 0},
+                   {FaultEvent::Kind::kill_middlebox, 1, 0, 0},
+                   {FaultEvent::Kind::restart_middlebox, 300_ms, 0, 0}};
+    Testbed tb2(cfg2);
+    auto fetch2 = tb2.fetch_sequence(spec.object_sizes);
+    tb2.run();
+    EXPECT_TRUE(fetch2->completed) << fetch2->error;
+    EXPECT_GE(fetch2->attempts, 2u);
+}
+
+}  // namespace
+}  // namespace mct::http

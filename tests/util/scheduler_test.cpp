@@ -1,0 +1,133 @@
+// TickScheduler determinism contract (DESIGN.md "State plane"): due tasks
+// run ordered by (deadline, registration id), periodic tasks realign after
+// a stalled owner instead of replaying missed firings, and next_deadline()
+// lets the owner sleep exactly as long as the work allows.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/scheduler.h"
+
+namespace mct::util {
+namespace {
+
+TEST(TickScheduler, OneShotRunsOnceAtItsDeadline)
+{
+    TickScheduler sched;
+    std::vector<uint64_t> fired;
+    sched.at(10, [&](uint64_t now) { fired.push_back(now); });
+
+    EXPECT_EQ(sched.tick(9), 0u);
+    EXPECT_EQ(sched.next_deadline(), 10u);
+    EXPECT_EQ(sched.tick(10), 1u);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], 10u);
+
+    // Consumed: never fires again, nothing pending.
+    EXPECT_EQ(sched.tick(100), 0u);
+    EXPECT_EQ(sched.pending(), 0u);
+    EXPECT_EQ(sched.next_deadline(), TickScheduler::kIdle);
+}
+
+TEST(TickScheduler, SameDeadlineRunsInRegistrationOrder)
+{
+    TickScheduler sched;
+    std::string order;
+    sched.at(5, [&](uint64_t) { order += 'a'; });
+    sched.at(5, [&](uint64_t) { order += 'b'; });
+    sched.at(3, [&](uint64_t) { order += 'c'; });
+    sched.at(5, [&](uint64_t) { order += 'd'; });
+
+    EXPECT_EQ(sched.tick(5), 4u);
+    EXPECT_EQ(order, "cabd");
+}
+
+TEST(TickScheduler, PeriodicFiresEveryInterval)
+{
+    TickScheduler sched;
+    std::vector<uint64_t> fired;
+    sched.every(10, /*first_at=*/10, [&](uint64_t now) { fired.push_back(now); });
+
+    for (uint64_t t = 0; t <= 40; ++t) sched.tick(t);
+    EXPECT_EQ(fired, (std::vector<uint64_t>{10, 20, 30, 40}));
+    EXPECT_EQ(sched.next_deadline(), 50u);
+    EXPECT_EQ(sched.firings_missed(), 0u);
+}
+
+TEST(TickScheduler, LateOwnerRealignsInsteadOfReplaying)
+{
+    TickScheduler sched;
+    size_t runs = 0;
+    sched.every(10, /*first_at=*/10, [&](uint64_t) { ++runs; });
+
+    // The owner stalls across 5 periods: the task runs ONCE, the skipped
+    // firings are counted, and the next deadline is the next future multiple.
+    EXPECT_EQ(sched.tick(57), 1u);
+    EXPECT_EQ(runs, 1u);
+    EXPECT_EQ(sched.firings_missed(), 4u);
+    EXPECT_EQ(sched.next_deadline(), 60u);
+
+    EXPECT_EQ(sched.tick(60), 1u);
+    EXPECT_EQ(runs, 2u);
+    EXPECT_EQ(sched.firings_missed(), 4u);
+}
+
+TEST(TickScheduler, CancelStopsBothKinds)
+{
+    TickScheduler sched;
+    size_t runs = 0;
+    uint64_t periodic = sched.every(5, 5, [&](uint64_t) { ++runs; });
+    uint64_t oneshot = sched.at(7, [&](uint64_t) { ++runs; });
+
+    EXPECT_TRUE(sched.cancel(oneshot));
+    EXPECT_EQ(sched.tick(7), 1u);  // only the periodic (due at 5) ran
+    EXPECT_EQ(runs, 1u);
+
+    EXPECT_TRUE(sched.cancel(periodic));
+    EXPECT_FALSE(sched.cancel(periodic));  // already gone
+    EXPECT_EQ(sched.tick(100), 0u);
+    EXPECT_EQ(runs, 1u);
+    EXPECT_EQ(sched.next_deadline(), TickScheduler::kIdle);
+}
+
+TEST(TickScheduler, TasksRegisteredDuringTickWaitForTheirDeadline)
+{
+    TickScheduler sched;
+    std::string order;
+    sched.at(10, [&](uint64_t) {
+        order += 'a';
+        // Due in the past relative to this tick: runs within the same tick
+        // (it is due at-or-before now), after already-due tasks.
+        sched.at(10, [&](uint64_t) { order += 'b'; });
+        // Due in the future: waits for a later tick.
+        sched.at(20, [&](uint64_t) { order += 'c'; });
+    });
+
+    sched.tick(10);
+    EXPECT_EQ(order, "ab");
+    EXPECT_EQ(sched.next_deadline(), 20u);
+    sched.tick(20);
+    EXPECT_EQ(order, "abc");
+}
+
+TEST(TickScheduler, InterleavedDeadlinesRunInTimeOrder)
+{
+    TickScheduler sched;
+    std::vector<std::pair<char, uint64_t>> log;
+    sched.every(7, 7, [&](uint64_t now) { log.push_back({'p', now}); });
+    sched.at(9, [&](uint64_t now) { log.push_back({'o', now}); });
+
+    // One tick far in the future still runs everything due, time-ordered:
+    // periodic at 7, one-shot at 9, periodic realigned (missed 14 counted).
+    sched.tick(15);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].first, 'p');
+    EXPECT_EQ(log[1].first, 'o');
+    EXPECT_EQ(sched.tasks_run(), 2u);
+    EXPECT_EQ(sched.firings_missed(), 1u);
+    EXPECT_EQ(sched.next_deadline(), 21u);
+}
+
+}  // namespace
+}  // namespace mct::util
