@@ -12,6 +12,10 @@
 //                              one read/write middlebox, server), capture its
 //                              trace, write trace_demo.jsonl, and dump it
 //
+// Either mode accepts --perfetto <out.json>: the events (and, in demo mode,
+// the latency-attribution spans) are additionally written as Chrome trace
+// JSON loadable in ui.perfetto.dev / chrome://tracing.
+//
 // Columns: seq (global causal order), ts (µs on the sim clock; 0 when no
 // clock was attached), actor, event type, context id, and the two
 // type-dependent payload fields a/b (byte counts, MAC counts, fault kinds).
@@ -26,6 +30,8 @@
 #include "mctls/middlebox.h"
 #include "mctls/session.h"
 #include "obs/json.h"
+#include "obs/perfetto.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "pki/authority.h"
 
@@ -48,9 +54,36 @@ void print_row(uint64_t seq, uint64_t ts, const std::string& actor, const std::s
                 static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
 }
 
+// Reverse of obs::to_string(EventType) for JSONL ingestion. Unknown names
+// (from a newer writer) map to hs_start; the table already showed the text.
+bool event_type_from_string(const std::string& name, obs::EventType* out)
+{
+    for (int t = 0; t <= static_cast<int>(obs::EventType::state_excise_due); ++t) {
+        if (name == obs::to_string(static_cast<obs::EventType>(t))) {
+            *out = static_cast<obs::EventType>(t);
+            return true;
+        }
+    }
+    return false;
+}
+
+int write_perfetto(const char* out_path, const obs::ChromeTraceInput& in, size_t n)
+{
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+        std::fprintf(stderr, "trace_dump: cannot write %s\n", out_path);
+        return 1;
+    }
+    out << obs::to_chrome_trace(in);
+    std::printf("-- wrote %zu trace entries to %s (open in ui.perfetto.dev)\n", n,
+                out_path);
+    return 0;
+}
+
 // Mode 1: dump an existing JSONL capture, optionally filtered by actor
 // ("--session client") and/or context id ("--ctx 2").
-int dump_file(const char* path, const std::string& session_filter, int ctx_filter)
+int dump_file(const char* path, const std::string& session_filter, int ctx_filter,
+              const char* perfetto_path)
 {
     std::ifstream in(path);
     if (!in) {
@@ -58,6 +91,10 @@ int dump_file(const char* path, const std::string& session_filter, int ctx_filte
         return 1;
     }
     print_header();
+    // --perfetto: re-intern actors into a local tracer so the converter can
+    // name them, and keep the parsed events for serialization.
+    obs::Tracer actors;
+    std::vector<obs::TraceEvent> parsed;
     std::string line;
     size_t lineno = 0, shown = 0, total = 0;
     while (std::getline(in, line)) {
@@ -79,6 +116,16 @@ int dump_file(const char* path, const std::string& session_filter, int ctx_filte
             return f ? f->str : std::string("?");
         };
         ++total;
+        if (perfetto_path) {
+            obs::TraceEvent e;
+            e.seq = num("seq");
+            e.ts = num("ts");
+            e.actor = actors.intern(str("actor"));
+            e.ctx = static_cast<uint16_t>(num("ctx"));
+            e.a = num("a");
+            e.b = num("b");
+            if (event_type_from_string(str("type"), &e.type)) parsed.push_back(e);
+        }
         if (!session_filter.empty() && str("actor") != session_filter) continue;
         if (ctx_filter >= 0 && num("ctx") != static_cast<uint64_t>(ctx_filter)) continue;
         print_row(num("seq"), num("ts"), str("actor"), str("type"), num("ctx"), num("a"),
@@ -89,6 +136,12 @@ int dump_file(const char* path, const std::string& session_filter, int ctx_filte
         std::printf("-- %zu events\n", shown);
     else
         std::printf("-- %zu of %zu events (filtered)\n", shown, total);
+    if (perfetto_path) {
+        obs::ChromeTraceInput in_doc;
+        in_doc.events = &parsed;
+        in_doc.event_actors = &actors;
+        return write_perfetto(perfetto_path, in_doc, parsed.size());
+    }
     return 0;
 }
 
@@ -118,7 +171,7 @@ void pump(mctls::Session& client, mctls::MiddleboxSession& mbox, mctls::Session&
     }
 }
 
-int run_demo()
+int run_demo(const char* perfetto_path)
 {
     crypto::HmacDrbg rng(str_to_bytes("trace-dump-seed"));
     pki::Authority ca("Example Root CA", rng);
@@ -132,6 +185,9 @@ int run_demo()
     obs::JsonlFileSink file("trace_demo.jsonl");
     tracer.add_sink(&ring);
     if (file.ok()) tracer.add_sink(&file);
+    // Latency attribution for --perfetto. No sim clock here, so span
+    // timestamps stay 0 and the interesting payload is cpu_ns per stage.
+    obs::SpanCollector spans(4096);
 
     mctls::ContextDescription headers;
     headers.id = 1;
@@ -151,6 +207,7 @@ int run_demo()
     client_cfg.rng = &rng;
     client_cfg.tracer = &tracer;
     client_cfg.trace_actor = "client";
+    if (perfetto_path) client_cfg.spans = &spans;
 
     mctls::SessionConfig server_cfg;
     server_cfg.role = tls::Role::server;
@@ -160,6 +217,7 @@ int run_demo()
     server_cfg.rng = &rng;
     server_cfg.tracer = &tracer;
     server_cfg.trace_actor = "server";
+    if (perfetto_path) server_cfg.spans = &spans;
 
     mctls::MiddleboxConfig mbox_cfg;
     mbox_cfg.name = "proxy.isp.net";
@@ -169,6 +227,7 @@ int run_demo()
     mbox_cfg.rng = &rng;
     mbox_cfg.tracer = &tracer;
     mbox_cfg.trace_actor = "proxy";
+    if (perfetto_path) mbox_cfg.spans = &spans;
     mbox_cfg.transform = [](uint8_t ctx, mctls::Direction, Bytes payload) {
         if (ctx != 2) return payload;
         std::string text = bytes_to_str(payload) + " [rewritten]";
@@ -209,10 +268,21 @@ int run_demo()
     std::printf("-- %zu events (also written to trace_demo.jsonl; re-run as\n"
                 "   `trace_dump trace_demo.jsonl` to dump from the file)\n",
                 events.size());
+    // Diagnostics go to stderr so piped/redirected table output stays clean.
     if (ring.dropped() > 0)
-        std::printf("WARNING: ring buffer dropped %llu events (oldest first); "
-                    "the table above is truncated\n",
-                    static_cast<unsigned long long>(ring.dropped()));
+        std::fprintf(stderr,
+                     "WARNING: ring buffer dropped %llu events (oldest first); "
+                     "the table above is truncated\n",
+                     static_cast<unsigned long long>(ring.dropped()));
+    if (perfetto_path) {
+        std::vector<obs::SpanRecord> span_rows = spans.ordered();
+        obs::ChromeTraceInput in_doc;
+        in_doc.spans = &span_rows;
+        in_doc.span_actors = &spans;
+        in_doc.events = &events;
+        in_doc.event_actors = &tracer;
+        return write_perfetto(perfetto_path, in_doc, span_rows.size() + events.size());
+    }
     return 0;
 }
 
@@ -221,6 +291,7 @@ int run_demo()
 int main(int argc, char** argv)
 {
     const char* path = nullptr;
+    const char* perfetto_path = nullptr;
     std::string session_filter;
     int ctx_filter = -1;
     for (int i = 1; i < argc; ++i) {
@@ -229,18 +300,22 @@ int main(int argc, char** argv)
             session_filter = argv[++i];
         } else if (arg == "--ctx" && i + 1 < argc) {
             ctx_filter = std::atoi(argv[++i]);
+        } else if (arg == "--perfetto" && i + 1 < argc) {
+            perfetto_path = argv[++i];
         } else if (!arg.empty() && arg[0] != '-' && !path) {
             path = argv[i];
         } else {
-            std::fprintf(stderr, "usage: %s [trace.jsonl] [--session <actor>] [--ctx <id>]\n",
+            std::fprintf(stderr,
+                         "usage: %s [trace.jsonl] [--session <actor>] [--ctx <id>] "
+                         "[--perfetto <out.json>]\n",
                          argv[0]);
             return 2;
         }
     }
-    if (path) return dump_file(path, session_filter, ctx_filter);
+    if (path) return dump_file(path, session_filter, ctx_filter, perfetto_path);
     if (!session_filter.empty() || ctx_filter >= 0) {
         std::fprintf(stderr, "trace_dump: filters need a trace file\n");
         return 2;
     }
-    return run_demo();
+    return run_demo(perfetto_path);
 }

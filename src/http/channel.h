@@ -57,6 +57,16 @@ public:
 
     // Session continuity: did the handshake complete via resumption?
     virtual bool resumed() const { return false; }
+
+    // --- Latency attribution (no-ops for modes without spans) ---
+
+    // Span contexts aligned with the units returned by the most recent
+    // take_outgoing(); the driver pairs each valid context with its unit's
+    // Connection::send_traced call.
+    virtual std::vector<obs::SpanContext> take_outgoing_spans() { return {}; }
+    // Incoming transport contexts (Connection::take_rx_spans), pushed in
+    // order BEFORE the bytes they annotate are fed to on_bytes.
+    virtual void queue_rx_span(obs::SpanContext) {}
 };
 
 class PlainChannel final : public SecureChannel {
@@ -103,6 +113,11 @@ public:
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
     obs::SessionStats session_stats() const override { return session_.session_stats(); }
     bool resumed() const override { return session_.resumed(); }
+    std::vector<obs::SpanContext> take_outgoing_spans() override
+    {
+        return session_.take_unit_spans();
+    }
+    void queue_rx_span(obs::SpanContext ctx) override { session_.queue_rx_span(ctx); }
 
     tls::Session& session() { return session_; }
 
@@ -143,6 +158,11 @@ public:
     uint64_t app_records_sent() const override { return session_.app_records_sent(); }
     obs::SessionStats session_stats() const override { return session_.session_stats(); }
     bool resumed() const override { return session_.resumed(); }
+    std::vector<obs::SpanContext> take_outgoing_spans() override
+    {
+        return session_.take_unit_spans();
+    }
+    void queue_rx_span(obs::SpanContext ctx) override { session_.queue_rx_span(ctx); }
 
     uint64_t writer_modified_chunks() const { return writer_modified_chunks_; }
     mctls::Session& session() { return session_; }

@@ -67,6 +67,29 @@ size_t parse_object_size(const std::string& path)
     return static_cast<size_t>(std::strtoull(path.c_str() + slash + 1, nullptr, 10));
 }
 
+// Send a channel's pending write units, pairing each with its span context
+// (aligned by index; see SecureChannel::take_outgoing_spans) so SimNet can
+// attribute queueing and transmission to the record that caused them.
+void flush_channel(SecureChannel* channel, const net::ConnectionPtr& conn)
+{
+    if (conn->close_queued()) return;
+    std::vector<Bytes> units = channel->take_outgoing();
+    std::vector<obs::SpanContext> ctxs = channel->take_outgoing_spans();
+    for (size_t i = 0; i < units.size(); ++i) {
+        if (i < ctxs.size() && ctxs[i].valid())
+            conn->send_traced(units[i], ctxs[i]);
+        else
+            conn->send(units[i]);
+    }
+}
+
+// Hand delivered transport span contexts to the channel before the bytes
+// they annotate are fed (contexts precede bytes; see Connection docs).
+void drain_rx_spans(const net::ConnectionPtr& conn, SecureChannel* channel)
+{
+    for (const auto& ctx : conn->take_rx_spans()) channel->queue_rx_span(ctx);
+}
+
 }  // namespace
 
 struct Testbed::Impl {
@@ -171,6 +194,13 @@ struct Testbed::Impl {
             net.set_tracer(tracer);
         }
         if (cfg.capture) net.set_capture(cfg.capture);
+        if (cfg.spans) {
+            // Span timestamps share the trace clock: sim time, so transport
+            // spans telescope exactly into end-to-end record latency.
+            net::EventLoop* clock_loop = loop;
+            cfg.spans->set_clock([clock_loop] { return clock_loop->now(); });
+            net.set_spans(cfg.spans);
+        }
         wire_state_plane();
         build_topology();
         start_server();
@@ -500,6 +530,7 @@ struct Testbed::Impl {
             tcfg.tracer = tracer;
             tcfg.trace_actor = "client";
             tcfg.keylog = cfg.keylog;
+            tcfg.spans = cfg.spans;
             if (continuity() && client_tls_ticket.valid())
                 tcfg.ticket = &client_tls_ticket;
             return std::make_unique<TlsChannel>(std::move(tcfg));
@@ -515,6 +546,7 @@ struct Testbed::Impl {
             mcfg.tracer = tracer;
             mcfg.trace_actor = "client";
             mcfg.keylog = cfg.keylog;
+            mcfg.spans = cfg.spans;
             if (continuity() && client_mctls_ticket.valid())
                 mcfg.ticket = &client_mctls_ticket;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
@@ -538,6 +570,7 @@ struct Testbed::Impl {
             tcfg.handshake_timeout = cfg.handshake_deadline;
             tcfg.tracer = tracer;
             tcfg.trace_actor = "server";
+            tcfg.spans = cfg.spans;
             if (continuity()) tcfg.session_cache = &state.tls_cache();
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
@@ -552,6 +585,7 @@ struct Testbed::Impl {
             mcfg.handshake_timeout = cfg.handshake_deadline;
             mcfg.tracer = tracer;
             mcfg.trace_actor = "server";
+            mcfg.spans = cfg.spans;
             if (continuity()) mcfg.session_cache = &state.server_cache();
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
@@ -582,14 +616,11 @@ struct Testbed::Impl {
         net::ConnectionPtr conn;
         Impl* impl;
 
-        void flush()
-        {
-            if (conn->close_queued()) return;
-            for (auto& unit : channel->take_outgoing()) conn->send(unit);
-        }
+        void flush() { flush_channel(channel.get(), conn); }
 
         void on_data(ConstBytes data)
         {
+            drain_rx_spans(conn, channel.get());
             if (!channel->on_bytes(data)) {
                 flush();  // the fatal alert
                 if (!conn->close_queued()) conn->close();
@@ -675,15 +706,10 @@ struct Testbed::Impl {
         net::ConnectionPtr down, up;
         bool up_ready = false;
 
-        void flush_down()
-        {
-            if (down->close_queued()) return;
-            for (auto& unit : down_tls->take_outgoing()) down->send(unit);
-        }
+        void flush_down() { flush_channel(down_tls.get(), down); }
         void flush_up()
         {
-            if (!up_ready || up->close_queued()) return;
-            for (auto& unit : up_tls->take_outgoing()) up->send(unit);
+            if (up_ready) flush_channel(up_tls.get(), up);
         }
         void pump()
         {
@@ -717,28 +743,48 @@ struct Testbed::Impl {
         net::ConnectionPtr down, up;
         bool up_ready = false;
         std::vector<Bytes> up_backlog;
+        std::vector<obs::SpanContext> up_backlog_spans;
+
+        static void send_unit(const net::ConnectionPtr& conn, const Bytes& unit,
+                              const obs::SpanContext& ctx)
+        {
+            if (conn->close_queued()) return;
+            if (ctx.valid())
+                conn->send_traced(unit, ctx);
+            else
+                conn->send(unit);
+        }
 
         void pump()
         {
-            for (auto& unit : session->take_to_client()) {
-                impl->maybe_corrupt(index, unit);
-                if (!down->close_queued()) down->send(unit);
+            std::vector<Bytes> to_client = session->take_to_client();
+            std::vector<obs::SpanContext> client_ctxs = session->take_to_client_spans();
+            for (size_t i = 0; i < to_client.size(); ++i) {
+                impl->maybe_corrupt(index, to_client[i]);
+                send_unit(down, to_client[i],
+                          i < client_ctxs.size() ? client_ctxs[i] : obs::SpanContext{});
             }
-            for (auto& unit : session->take_to_server()) {
-                impl->maybe_corrupt(index, unit);
+            std::vector<Bytes> to_server = session->take_to_server();
+            std::vector<obs::SpanContext> server_ctxs = session->take_to_server_spans();
+            for (size_t i = 0; i < to_server.size(); ++i) {
+                impl->maybe_corrupt(index, to_server[i]);
+                obs::SpanContext ctx =
+                    i < server_ctxs.size() ? server_ctxs[i] : obs::SpanContext{};
                 if (up_ready) {
-                    if (!up->close_queued()) up->send(unit);
+                    send_unit(up, to_server[i], ctx);
                 } else {
-                    up_backlog.push_back(unit);
+                    up_backlog.push_back(std::move(to_server[i]));
+                    up_backlog_spans.push_back(ctx);
                 }
             }
         }
         void up_connected()
         {
             up_ready = true;
-            for (auto& unit : up_backlog)
-                if (!up->close_queued()) up->send(unit);
+            for (size_t i = 0; i < up_backlog.size(); ++i)
+                send_unit(up, up_backlog[i], up_backlog_spans[i]);
             up_backlog.clear();
+            up_backlog_spans.clear();
         }
         // EOF on one side: tell the session (it originates a fatal
         // middlebox_failure alert toward the survivor unless close_notify
@@ -810,6 +856,7 @@ struct Testbed::Impl {
                 down_cfg.rng = &rng;
                 down_cfg.tracer = tracer;
                 down_cfg.trace_actor = host + "-down";
+                down_cfg.spans = cfg.spans;
                 relay->down_tls = std::make_unique<TlsChannel>(std::move(down_cfg));
                 tls::SessionConfig up_cfg;
                 up_cfg.role = tls::Role::client;
@@ -818,6 +865,7 @@ struct Testbed::Impl {
                 up_cfg.rng = &rng;
                 up_cfg.tracer = tracer;
                 up_cfg.trace_actor = host + "-up";
+                up_cfg.spans = cfg.spans;
                 relay->up_tls = std::make_unique<TlsChannel>(std::move(up_cfg));
                 // Stats only: keep these out of all_channels so §5.2 overhead
                 // accounting stays endpoint-to-endpoint as before.
@@ -834,6 +882,7 @@ struct Testbed::Impl {
                                 relay->pump();
                             },
                             [relay](ConstBytes b) {
+                                drain_rx_spans(relay->up, relay->up_tls.get());
                                 (void)relay->up_tls->on_bytes(b);
                                 relay->pump();
                             },
@@ -842,6 +891,7 @@ struct Testbed::Impl {
                                 if (!relay->down->close_queued()) relay->down->close();
                             });
                     }
+                    drain_rx_spans(relay->down, relay->down_tls.get());
                     (void)relay->down_tls->on_bytes(d);
                     relay->pump();
                 });
@@ -866,6 +916,7 @@ struct Testbed::Impl {
                 mcfg.handshake_timeout = cfg.handshake_deadline;
                 mcfg.tracer = tracer;
                 mcfg.trace_actor = host;
+                mcfg.spans = cfg.spans;
                 if (continuity()) mcfg.session_cache = &state.middlebox_cache(index);
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
@@ -875,11 +926,15 @@ struct Testbed::Impl {
                         relay->up = connect_upstream(
                             [relay] { relay->up_connected(); },
                             [relay](ConstBytes b) {
+                                for (const auto& ctx : relay->up->take_rx_spans())
+                                    relay->session->queue_rx_span(false, ctx);
                                 (void)relay->session->feed_from_server(b);
                                 relay->pump();
                             },
                             [relay] { relay->side_closed(/*from_down=*/false); });
                     }
+                    for (const auto& ctx : relay->down->take_rx_spans())
+                        relay->session->queue_rx_span(true, ctx);
                     (void)relay->session->feed_from_client(d);
                     relay->pump();
                 });
@@ -904,11 +959,7 @@ struct Testbed::Impl {
         bool request_outstanding = false;
         bool attempt_done = false;  // this attempt finished (either way)
 
-        void flush()
-        {
-            if (conn->close_queued()) return;
-            for (auto& unit : channel->take_outgoing()) conn->send(unit);
-        }
+        void flush() { flush_channel(channel.get(), conn); }
 
         void transport_lost()
         {
@@ -953,6 +1004,7 @@ struct Testbed::Impl {
         void on_data(ConstBytes data)
         {
             if (attempt_done) return;
+            drain_rx_spans(conn, channel.get());
             if (!channel->on_bytes(data)) {
                 flush();  // our fatal alert, if the transport still stands
                 attempt_failed(channel->error());
@@ -1157,6 +1209,7 @@ struct Testbed::Impl {
         cfg.obs->metrics.counter("state.excisions_signalled")
             ->set(snap.excisions_signalled);
         cfg.obs->metrics.counter("state.excisions_applied")->set(snap.excisions_applied);
+        if (cfg.spans) cfg.obs->publish_spans(*cfg.spans);
     }
 };
 

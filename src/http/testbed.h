@@ -126,6 +126,15 @@ struct TestbedConfig {
     // borrowed; must outlive the testbed. Null = off, zero overhead.
     net::CaptureSink* capture = nullptr;
     tls::KeyLog* keylog = nullptr;
+
+    // Latency attribution (DESIGN.md "Latency attribution"). When set, every
+    // session/middlebox/connection the testbed creates emits causal spans:
+    // per-record stage times (encode, MAC, encrypt, reseal, decrypt/verify)
+    // plus per-hop queue-wait and transmit spans, all chained under one trace
+    // per application record. The collector's clock is bound to the sim loop;
+    // publish_session_stats() folds stage histograms into cfg.obs. Borrowed;
+    // must outlive the testbed. Null = off, zero overhead on the data path.
+    obs::SpanCollector* spans = nullptr;
 };
 
 class Testbed {

@@ -1,5 +1,8 @@
 #include "mctls/context_crypto.h"
 
+#include <array>
+#include <chrono>
+
 #include "crypto/ct.h"
 #include "crypto/ed25519.h"
 #include "crypto/hmac.h"
@@ -9,6 +12,30 @@
 namespace mct::mctls {
 
 namespace {
+
+// Accumulates steady-clock nanoseconds into *slot for its scope; a null slot
+// reads no clock at all, keeping the untimed fast path untouched.
+class StageTimer {
+public:
+    explicit StageTimer(uint64_t* slot) : slot_(slot)
+    {
+        if (slot_) start_ = std::chrono::steady_clock::now();
+    }
+    ~StageTimer()
+    {
+        if (slot_)
+            *slot_ += static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                                std::chrono::steady_clock::now() - start_)
+                                                .count());
+    }
+
+private:
+    uint64_t* slot_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+inline uint64_t* mac_slot(StageNanos* t) { return t ? &t->mac_ns : nullptr; }
+inline uint64_t* cipher_slot(StageNanos* t) { return t ? &t->cipher_ns : nullptr; }
 
 size_t dir_index(Direction dir)
 {
@@ -54,14 +81,17 @@ struct SplitView {
 
 // Decrypt into the scratch and return borrowed slices of it.
 Result<SplitView> decrypt_and_split(const ContextKeys& ctx, Direction dir, ConstBytes fragment,
-                                    RecordScratch& scratch)
+                                    RecordScratch& scratch, StageNanos* timing = nullptr)
 {
     if (!ctx.can_read()) return err("mctls: no read access to context");
     crypto::Aes128 cipher(ctx.reader_enc[dir_index(dir)]);
     scratch.plain.clear();
     ++scratch.records;
     size_t capacity_before = scratch.plain.capacity();
-    auto n = crypto::aes128_cbc_decrypt_into(cipher, fragment, scratch.plain);
+    Result<size_t> n = [&] {
+        StageTimer t(cipher_slot(timing));
+        return crypto::aes128_cbc_decrypt_into(cipher, fragment, scratch.plain);
+    }();
     if (scratch.plain.capacity() != capacity_before) ++scratch.heap_allocations;
     if (!n) return n.error();
     if (n.value() < 3 * kMacSize) return err("mctls: record too short");
@@ -91,12 +121,18 @@ Bytes record_mac_input(uint64_t seq, uint8_t context_id, ConstBytes payload)
 
 void seal_record_into(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
                       uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng,
-                      Bytes& out)
+                      Bytes& out, StageNanos* timing)
 {
     size_t d = dir_index(dir);
-    auto endpoint_mac = compute_mac_tag(endpoint.record_mac[d], seq, context_id, payload);
-    auto writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
-    auto reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    std::array<uint8_t, kMacSize> endpoint_mac, writer_mac, reader_mac;
+    {
+        StageTimer t(mac_slot(timing));
+        endpoint_mac = compute_mac_tag(endpoint.record_mac[d], seq, context_id, payload);
+        writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
+        reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    }
+    if (timing) timing->macs += 3;
+    StageTimer t(cipher_slot(timing));
     crypto::Aes128 cipher(ctx.reader_enc[d]);
     out.reserve(out.size() + sealed_record_size(payload.size()));
     crypto::CbcEncryptStream enc(cipher, rng, out);
@@ -118,11 +154,14 @@ Bytes seal_record(const ContextKeys& ctx, const EndpointKeys& endpoint, Directio
 Result<EndpointOpenView> open_record_endpoint(const ContextKeys& ctx,
                                               const EndpointKeys& endpoint, Direction dir,
                                               uint64_t seq, uint8_t context_id,
-                                              ConstBytes fragment, RecordScratch& scratch)
+                                              ConstBytes fragment, RecordScratch& scratch,
+                                              StageNanos* timing)
 {
-    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch, timing);
     if (!rec) return rec.error();
     size_t d = dir_index(dir);
+    StageTimer t(mac_slot(timing));
+    if (timing) timing->macs += 2;
     auto expected_writer = compute_mac_tag(ctx.writer_mac[d], seq, context_id,
                                            rec.value().payload);
     if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
@@ -150,12 +189,14 @@ Result<EndpointOpen> open_record_endpoint(const ContextKeys& ctx, const Endpoint
 
 Result<WriterOpenView> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                           uint8_t context_id, ConstBytes fragment,
-                                          RecordScratch& scratch)
+                                          RecordScratch& scratch, StageNanos* timing)
 {
     if (!ctx.can_write()) return err("mctls: no write access to context");
-    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch, timing);
     if (!rec) return rec.error();
     size_t d = dir_index(dir);
+    StageTimer t(mac_slot(timing));
+    if (timing) timing->macs += 1;
     auto expected_writer = compute_mac_tag(ctx.writer_mac[d], seq, context_id,
                                            rec.value().payload);
     if (!crypto::ct_equal(expected_writer, rec.value().writer_mac))
@@ -180,11 +221,17 @@ Result<WriterOpen> open_record_writer(const ContextKeys& ctx, Direction dir, uin
 
 void reseal_record_writer_into(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
-                               Rng& rng, Bytes& out)
+                               Rng& rng, Bytes& out, StageNanos* timing)
 {
     size_t d = dir_index(dir);
-    auto writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
-    auto reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    std::array<uint8_t, kMacSize> writer_mac, reader_mac;
+    {
+        StageTimer t(mac_slot(timing));
+        writer_mac = compute_mac_tag(ctx.writer_mac[d], seq, context_id, payload);
+        reader_mac = compute_mac_tag(ctx.reader_mac[d], seq, context_id, payload);
+    }
+    if (timing) timing->macs += 2;
+    StageTimer t(cipher_slot(timing));
     crypto::Aes128 cipher(ctx.reader_enc[d]);
     out.reserve(out.size() + sealed_record_size(payload.size()));
     crypto::CbcEncryptStream enc(cipher, rng, out);
@@ -206,11 +253,13 @@ Bytes reseal_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
 
 Result<ConstBytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                       uint8_t context_id, ConstBytes fragment,
-                                      RecordScratch& scratch)
+                                      RecordScratch& scratch, StageNanos* timing)
 {
-    auto rec = decrypt_and_split(ctx, dir, fragment, scratch);
+    auto rec = decrypt_and_split(ctx, dir, fragment, scratch, timing);
     if (!rec) return rec.error();
     size_t d = dir_index(dir);
+    StageTimer t(mac_slot(timing));
+    if (timing) timing->macs += 1;
     auto expected_reader = compute_mac_tag(ctx.reader_mac[d], seq, context_id,
                                            rec.value().payload);
     if (!crypto::ct_equal(expected_reader, rec.value().reader_mac))

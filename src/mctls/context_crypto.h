@@ -58,13 +58,23 @@ struct RecordScratch {
 // MAC pseudo-header shared by all three MACs.
 Bytes record_mac_input(uint64_t seq, uint8_t context_id, ConstBytes payload);
 
+// Optional per-stage CPU cost breakdown for the latency attribution plane
+// (obs spans): steady-clock nanoseconds spent in MAC computation/verification
+// and in the CBC cipher, plus the number of MAC operations. Timed only when
+// a caller passes a non-null pointer — the default path reads no clock.
+struct StageNanos {
+    uint64_t mac_ns = 0;
+    uint64_t cipher_ns = 0;
+    uint64_t macs = 0;
+};
+
 // Endpoint-side seal: all three MACs fresh.
 Bytes seal_record(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
                   uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng);
 // Appends the sealed fragment to `out` (exactly sealed_record_size bytes).
 void seal_record_into(const ContextKeys& ctx, const EndpointKeys& endpoint, Direction dir,
                       uint64_t seq, uint8_t context_id, ConstBytes payload, Rng& rng,
-                      Bytes& out);
+                      Bytes& out, StageNanos* timing = nullptr);
 
 struct EndpointOpen {
     Bytes payload;
@@ -93,7 +103,8 @@ Result<EndpointOpen> open_record_endpoint(const ContextKeys& ctx, const Endpoint
 Result<EndpointOpenView> open_record_endpoint(const ContextKeys& ctx,
                                               const EndpointKeys& endpoint, Direction dir,
                                               uint64_t seq, uint8_t context_id,
-                                              ConstBytes fragment, RecordScratch& scratch);
+                                              ConstBytes fragment, RecordScratch& scratch,
+                                              StageNanos* timing = nullptr);
 
 struct WriterOpen {
     Bytes payload;
@@ -105,7 +116,7 @@ Result<WriterOpen> open_record_writer(const ContextKeys& ctx, Direction dir, uin
                                       uint8_t context_id, ConstBytes fragment);
 Result<WriterOpenView> open_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                           uint8_t context_id, ConstBytes fragment,
-                                          RecordScratch& scratch);
+                                          RecordScratch& scratch, StageNanos* timing = nullptr);
 
 // Writer-side reseal with a (possibly modified) payload; regenerates writer
 // and reader MACs and forwards `endpoint_mac` untouched.
@@ -114,7 +125,7 @@ Bytes reseal_record_writer(const ContextKeys& ctx, Direction dir, uint64_t seq,
                            Rng& rng);
 void reseal_record_writer_into(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                uint8_t context_id, ConstBytes payload, ConstBytes endpoint_mac,
-                               Rng& rng, Bytes& out);
+                               Rng& rng, Bytes& out, StageNanos* timing = nullptr);
 
 // Reader-side open: decrypt and require a valid reader MAC. The caller
 // forwards the original fragment bytes.
@@ -122,7 +133,7 @@ Result<Bytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t
                                  uint8_t context_id, ConstBytes fragment);
 Result<ConstBytes> open_record_reader(const ContextKeys& ctx, Direction dir, uint64_t seq,
                                       uint8_t context_id, ConstBytes fragment,
-                                      RecordScratch& scratch);
+                                      RecordScratch& scratch, StageNanos* timing = nullptr);
 
 // ---- Optional mode (b) of §3.4: signed records -------------------------
 //

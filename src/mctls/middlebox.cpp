@@ -23,6 +23,18 @@ MiddleboxSession::MiddleboxSession(MiddleboxConfig cfg) : cfg_(std::move(cfg))
                       ? (cfg_.name.empty() ? "mbox" : cfg_.name)
                       : cfg_.trace_actor;
     if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
+    if (cfg_.spans) span_actor_ = cfg_.spans->intern(actor_name_);
+}
+
+// Align the just-pushed outgoing unit with its span context (pads any
+// preceding untraced units with invalid contexts).
+void MiddleboxSession::tag_last_unit(From from, obs::SpanContext ctx)
+{
+    auto& out = from == From::client ? to_server_ : to_client_;
+    auto& sp = from == From::client ? to_server_spans_ : to_client_spans_;
+    if (out.empty()) return;
+    sp.resize(out.size() - 1);
+    sp.push_back(ctx);
 }
 
 Status MiddleboxSession::fail(std::string message)
@@ -674,6 +686,16 @@ Permission MiddleboxSession::permission(uint8_t context_id) const
 
 Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& view)
 {
+    // Pop the incoming transport span context first (even on failure paths)
+    // so the FIFO stays aligned with the app-record stream.
+    obs::SpanContext in_ctx;
+    if (obs::span_on(cfg_.spans)) {
+        auto& q = from == From::client ? rx_from_client_ : rx_from_server_;
+        if (!q.empty()) {
+            in_ctx = q.front();
+            q.pop_front();
+        }
+    }
     if (!keys_ready_)
         return fail(AlertDescription::unexpected_message,
                     "mctls mbox: application data before key material");
@@ -681,6 +703,28 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
     Direction dir =
         from == From::client ? Direction::client_to_server : Direction::server_to_client;
     uint64_t seq = side.app_seq++;
+
+    bool traced = obs::span_on(cfg_.spans) && in_ctx.valid();
+    StageNanos stage_ns;
+    StageNanos* tp = traced ? &stage_ns : nullptr;
+    // Instant hop span on the sim clock (crypto costs ride in cpu_ns);
+    // returns the span id so the outgoing unit can chain the next hop.
+    auto emit_span = [&](obs::Stage st, uint64_t cpu, uint64_t a) -> uint64_t {
+        uint64_t now = cfg_.spans->now();
+        obs::SpanRecord r;
+        r.trace_id = in_ctx.trace_id;
+        r.span_id = cfg_.spans->next_span_id();
+        r.parent_id = in_ctx.span_id;
+        r.start_ts = now;
+        r.end_ts = now;
+        r.cpu_ns = cpu;
+        r.actor = span_actor_;
+        r.ctx = view.context_id;
+        r.a = a;
+        r.stage = st;
+        cfg_.spans->emit(r);
+        return r.span_id;
+    };
 
     Permission perm = permission(view.context_id);
     // Mid-rekey, a direction that already switched runs under the pending
@@ -700,12 +744,15 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_forward_blind,
                    view.context_id, view.payload.size());
         forward_wire(from, view.wire, /*own_unit=*/true);
+        if (traced)
+            tag_last_unit(from, {in_ctx.trace_id,
+                                 emit_span(obs::Stage::forward, 0, view.wire.size())});
         return {};
     }
 
     if (perm == Permission::read) {
         auto payload = open_record_reader(keys->second, dir, seq, view.context_id,
-                                          view.payload, open_scratch_);
+                                          view.payload, open_scratch_, tp);
         if (!payload) {
             ++mac_failures_;
             obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
@@ -721,12 +768,18 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
                    payload.value().size(), 1);
         if (cfg_.observe) cfg_.observe(view.context_id, dir, payload.value());
         forward_wire(from, view.wire, /*own_unit=*/true);  // original bytes
+        if (traced) {
+            emit_span(obs::Stage::decrypt_verify, stage_ns.mac_ns + stage_ns.cipher_ns,
+                      stage_ns.macs);
+            tag_last_unit(from, {in_ctx.trace_id,
+                                 emit_span(obs::Stage::forward, 0, view.wire.size())});
+        }
         return {};
     }
 
     // Writer.
     auto opened = open_record_writer(keys->second, dir, seq, view.context_id, view.payload,
-                                     open_scratch_);
+                                     open_scratch_, tp);
     if (!opened) {
         ++mac_failures_;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
@@ -748,6 +801,12 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_write_pass,
                    view.context_id, payload.size(), 1);
         forward_wire(from, view.wire, /*own_unit=*/true);
+        if (traced) {
+            emit_span(obs::Stage::decrypt_verify, stage_ns.mac_ns + stage_ns.cipher_ns,
+                      stage_ns.macs);
+            tag_last_unit(from, {in_ctx.trace_id,
+                                 emit_span(obs::Stage::forward, 0, view.wire.size())});
+        }
         return {};
     }
     ++records_rewritten_;
@@ -761,10 +820,20 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
     wire.reserve(client_side_.codec.header_size() + body);
     client_side_.codec.encode_header_into(tls::ContentType::application_data, view.context_id,
                                           body, wire);
+    StageNanos reseal_ns;
     reseal_record_writer_into(keys->second, dir, seq, view.context_id, payload,
-                              opened.value().endpoint_mac, *cfg_.rng, wire);
+                              opened.value().endpoint_mac, *cfg_.rng, wire,
+                              traced ? &reseal_ns : nullptr);
     auto& out = from == From::client ? to_server_ : to_client_;
     out.push_back(std::move(wire));
+    if (traced) {
+        emit_span(obs::Stage::decrypt_verify, stage_ns.mac_ns + stage_ns.cipher_ns,
+                  stage_ns.macs);
+        tag_last_unit(from, {in_ctx.trace_id,
+                             emit_span(obs::Stage::reseal,
+                                       reseal_ns.mac_ns + reseal_ns.cipher_ns,
+                                       payload.size())});
+    }
     return {};
 }
 

@@ -19,6 +19,7 @@
 //            modification), re-encrypt
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -51,6 +52,10 @@ struct MiddleboxConfig {
     // `trace_actor` (defaults to the middlebox name).
     obs::Tracer* tracer = nullptr;
     std::string trace_actor;
+    // Optional latency attribution (see obs/span.h): per-record hop spans
+    // (forward / decrypt_verify / reseal) parented under the incoming
+    // transport context. Null disables; borrowed.
+    obs::SpanCollector* spans = nullptr;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -72,8 +77,44 @@ public:
 
     Status feed_from_client(ConstBytes wire);
     Status feed_from_server(ConstBytes wire);
-    std::vector<Bytes> take_to_client() { return std::exchange(to_client_, {}); }
-    std::vector<Bytes> take_to_server() { return std::exchange(to_server_, {}); }
+    std::vector<Bytes> take_to_client()
+    {
+        if (obs::span_on(cfg_.spans)) {
+            to_client_spans_.resize(to_client_.size());
+            taken_to_client_spans_ = std::move(to_client_spans_);
+            to_client_spans_.clear();
+        }
+        return std::exchange(to_client_, {});
+    }
+    std::vector<Bytes> take_to_server()
+    {
+        if (obs::span_on(cfg_.spans)) {
+            to_server_spans_.resize(to_server_.size());
+            taken_to_server_spans_ = std::move(to_server_spans_);
+            to_server_spans_.clear();
+        }
+        return std::exchange(to_server_, {});
+    }
+
+    // Span contexts aligned with the units returned by the most recent
+    // take_to_client()/take_to_server() (invalid = untraced unit). Same
+    // contract as mctls::Session::take_unit_spans().
+    std::vector<obs::SpanContext> take_to_client_spans()
+    {
+        return std::exchange(taken_to_client_spans_, {});
+    }
+    std::vector<obs::SpanContext> take_to_server_spans()
+    {
+        return std::exchange(taken_to_server_spans_, {});
+    }
+
+    // FIFO of incoming transport span contexts per side; the driver pushes
+    // one per traced unit delivered, before feeding the bytes.
+    void queue_rx_span(bool from_client, obs::SpanContext ctx)
+    {
+        if (!obs::span_on(cfg_.spans) || !ctx.valid()) return;
+        (from_client ? rx_from_client_ : rx_from_server_).push_back(ctx);
+    }
 
     bool handshake_complete() const { return keys_ready_; }
     bool failed() const { return failed_; }
@@ -243,6 +284,13 @@ private:
     };
     uint16_t trace_actor_ = 0;
     std::string actor_name_;
+    // Latency attribution (cfg_.spans): see mctls::Session for the
+    // alignment argument — pushes and pops ride the same in-order stream.
+    uint16_t span_actor_ = 0;
+    std::vector<obs::SpanContext> to_client_spans_, to_server_spans_;
+    std::vector<obs::SpanContext> taken_to_client_spans_, taken_to_server_spans_;
+    std::deque<obs::SpanContext> rx_from_client_, rx_from_server_;
+    void tag_last_unit(From from, obs::SpanContext ctx);
     std::map<uint8_t, CtxCounters> ctx_counters_;
     uint64_t macs_generated_ = 0;
     uint64_t macs_verified_ = 0;

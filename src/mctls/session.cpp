@@ -1,6 +1,7 @@
 #include "mctls/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -38,6 +39,7 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
                       ? (is_client_ ? "mctls-client" : "mctls-server")
                       : cfg_.trace_actor;
     if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
+    if (cfg_.spans) span_actor_ = cfg_.spans->intern(actor_name_);
     if (is_client_) {
         if (cfg_.contexts.empty())
             throw std::invalid_argument("mctls::Session: client needs at least one context");
@@ -973,6 +975,13 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
 
 Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
 {
+    // Pop the incoming transport span context before any failure path so a
+    // bad-MAC record still consumes its context and the FIFO stays aligned.
+    obs::SpanContext in_ctx;
+    if (obs::span_on(cfg_.spans) && !rx_span_queue_.empty()) {
+        in_ctx = rx_span_queue_.front();
+        rx_span_queue_.pop_front();
+    }
     if (state_ != State::established)
         return fail(AlertDescription::unexpected_message, "mctls: early application data");
     auto keys = context_keys_.find(context_id);
@@ -981,8 +990,10 @@ Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
                     "mctls: record for unknown context");
 
     Direction dir = is_client_ ? Direction::server_to_client : Direction::client_to_server;
+    StageNanos stage_ns;
+    StageNanos* tp = (obs::span_on(cfg_.spans) && in_ctx.valid()) ? &stage_ns : nullptr;
     auto opened = open_record_endpoint(keys->second, endpoint_keys_, dir, app_recv_seq_,
-                                       context_id, payload, open_scratch_);
+                                       context_id, payload, open_scratch_, tp);
     if (!opened) {
         ++mac_failures_;
         obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
@@ -999,6 +1010,27 @@ Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
     ++cc.records_in;
     obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, context_id,
                opened.value().payload.size(), 2);
+    if (tp) {
+        uint64_t now = cfg_.spans->now();
+        obs::SpanRecord r;
+        r.trace_id = in_ctx.trace_id;
+        r.span_id = cfg_.spans->next_span_id();
+        r.parent_id = in_ctx.span_id;
+        r.start_ts = now;
+        r.end_ts = now;
+        r.cpu_ns = stage_ns.mac_ns + stage_ns.cipher_ns;
+        r.actor = span_actor_;
+        r.ctx = context_id;
+        r.a = stage_ns.macs;
+        r.stage = obs::Stage::decrypt_verify;
+        cfg_.spans->emit(r);
+        obs::SpanRecord d = r;
+        d.span_id = cfg_.spans->next_span_id();
+        d.cpu_ns = 0;
+        d.a = opened.value().payload.size();
+        d.stage = obs::Stage::deliver;
+        cfg_.spans->emit(d);
+    }
     app_chunks_.push_back(
         {context_id, to_bytes(opened.value().payload), opened.value().from_endpoint});
     return {};
@@ -1020,9 +1052,50 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
         size_t body = sealed_record_size(take);
         Bytes wire;
         wire.reserve(codec_.header_size() + body);
+        StageNanos stage_ns;
+        StageNanos* tp = obs::span_on(cfg_.spans) ? &stage_ns : nullptr;
+        uint64_t encode_ns = 0;
+        std::chrono::steady_clock::time_point t0;
+        if (tp) t0 = std::chrono::steady_clock::now();
         codec_.encode_header_into(tls::ContentType::application_data, context_id, body, wire);
+        if (tp)
+            encode_ns = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
         seal_record_into(keys->second, endpoint_keys_, dir, app_send_seq_, context_id,
-                         data.subspan(off, take), *cfg_.rng, wire);
+                         data.subspan(off, take), *cfg_.rng, wire, tp);
+        if (tp) {
+            // Root span for this record's trace, plus CPU-stage children.
+            // Sim time does not advance inside the session, so the root is
+            // an instant here; its true end is the final deliver span.
+            obs::SpanContext rec = cfg_.spans->begin_trace();
+            uint64_t now = cfg_.spans->now();
+            obs::SpanRecord root;
+            root.trace_id = rec.trace_id;
+            root.span_id = rec.span_id;
+            root.start_ts = now;
+            root.end_ts = now;
+            root.actor = span_actor_;
+            root.ctx = context_id;
+            root.a = take;
+            root.stage = obs::Stage::record;
+            cfg_.spans->emit(root);
+            auto child = [&](obs::Stage st, uint64_t cpu, uint64_t a) {
+                obs::SpanRecord r = root;
+                r.span_id = cfg_.spans->next_span_id();
+                r.parent_id = rec.span_id;
+                r.cpu_ns = cpu;
+                r.a = a;
+                r.stage = st;
+                cfg_.spans->emit(r);
+            };
+            child(obs::Stage::encode, encode_ns, wire.size());
+            child(obs::Stage::mac, stage_ns.mac_ns, stage_ns.macs);
+            child(obs::Stage::encrypt, stage_ns.cipher_ns, take);
+            unit_spans_.resize(write_units_.size());  // pad untraced units
+            unit_spans_.push_back(rec);
+        }
         ++app_send_seq_;
         app_overhead_bytes_ += wire.size() - take;
         ++app_records_sent_;
@@ -1570,7 +1643,22 @@ std::vector<AppChunk> Session::take_app_data()
 
 std::vector<Bytes> Session::take_write_units()
 {
+    if (obs::span_on(cfg_.spans)) {
+        unit_spans_.resize(write_units_.size());  // pad trailing untraced units
+        taken_unit_spans_ = std::move(unit_spans_);
+        unit_spans_.clear();
+    }
     return std::exchange(write_units_, {});
+}
+
+std::vector<obs::SpanContext> Session::take_unit_spans()
+{
+    return std::exchange(taken_unit_spans_, {});
+}
+
+void Session::queue_rx_span(obs::SpanContext ctx)
+{
+    if (obs::span_on(cfg_.spans) && ctx.valid()) rx_span_queue_.push_back(ctx);
 }
 
 }  // namespace mct::mctls

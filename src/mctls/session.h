@@ -9,6 +9,7 @@
 // flights coalesce into one unit; each application record is its own unit.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -62,6 +63,11 @@ struct SessionConfig {
     // `trace_actor` (defaults to "mctls-client"/"mctls-server").
     obs::Tracer* tracer = nullptr;
     std::string trace_actor;
+    // Optional latency attribution (see obs/span.h): every sealed app record
+    // starts a trace with encode/mac/encrypt child spans, every opened one
+    // emits decrypt_verify/deliver spans parented under the incoming
+    // transport context. Null disables; borrowed.
+    obs::SpanCollector* spans = nullptr;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -97,6 +103,18 @@ public:
     void start();  // client only
     Status feed(ConstBytes wire);
     std::vector<Bytes> take_write_units();
+
+    // Span contexts aligned index-for-index with the units returned by the
+    // most recent take_write_units() (invalid context = untraced unit, e.g.
+    // a handshake flight). Call immediately after take_write_units(); the
+    // driver attaches each valid context to its unit's transport send via
+    // Connection::send_traced.
+    std::vector<obs::SpanContext> take_unit_spans();
+
+    // FIFO of incoming transport span contexts: the driver pushes one per
+    // traced unit delivered by the transport (Connection::take_rx_spans)
+    // BEFORE feeding the bytes; handle_app_record pops one per app record.
+    void queue_rx_span(obs::SpanContext ctx);
 
     bool handshake_complete() const { return state_ == State::established; }
     bool failed() const { return state_ == State::failed; }
@@ -301,6 +319,15 @@ private:
     };
     uint16_t trace_actor_ = 0;
     std::string actor_name_;
+    // Latency attribution (cfg_.spans): outgoing contexts pad-aligned with
+    // write_units_ (see take_unit_spans), incoming contexts FIFO-matched
+    // against app records — pushes and pops ride the same in-order stream,
+    // and only traced app-record units ever produce contexts, so the queues
+    // can never skew.
+    uint16_t span_actor_ = 0;
+    std::vector<obs::SpanContext> unit_spans_;
+    std::vector<obs::SpanContext> taken_unit_spans_;
+    std::deque<obs::SpanContext> rx_span_queue_;
     std::map<uint8_t, CtxCounters> ctx_counters_;
     uint64_t app_records_received_ = 0;
     uint64_t macs_generated_ = 0;

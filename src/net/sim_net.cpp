@@ -37,6 +37,61 @@ void Connection::send(ConstBytes data)
     if (established_) pump();
 }
 
+void Connection::send_traced(ConstBytes data, obs::SpanContext ctx)
+{
+    if (obs::span_on(spans_) && ctx.valid() && !data.empty()) {
+        SpanAnnotation a;
+        a.start_seq = app_bytes_sent_;
+        a.end_seq = app_bytes_sent_ + data.size();
+        a.ctx = ctx;
+        a.enqueue_ts = loop_->now();
+        tx_spans_.push_back(a);
+    }
+    send(data);
+}
+
+std::vector<obs::SpanContext> Connection::take_rx_spans()
+{
+    std::vector<obs::SpanContext> out(rx_spans_.begin(), rx_spans_.end());
+    rx_spans_.clear();
+    return out;
+}
+
+// Runs on the receiving endpoint: the sender (peer_) owns the annotations,
+// and our recv_expected_ is the cumulative in-order position in the sender's
+// stream coordinates, so every annotation ending at or before it has been
+// fully delivered.
+void Connection::complete_delivered_spans()
+{
+    Connection* sender = peer_;
+    if (!sender || !obs::span_on(sender->spans_)) return;
+    obs::SpanCollector* col = sender->spans_;
+    while (!sender->tx_spans_.empty() && sender->tx_spans_.front().end_seq <= recv_expected_) {
+        SpanAnnotation a = sender->tx_spans_.front();
+        sender->tx_spans_.pop_front();
+        uint64_t first_tx = a.transmitted ? a.first_tx_ts : a.enqueue_ts;
+        obs::SpanRecord q;
+        q.trace_id = a.ctx.trace_id;
+        q.span_id = col->next_span_id();
+        q.parent_id = a.ctx.span_id;
+        q.start_ts = a.enqueue_ts;
+        q.end_ts = first_tx;
+        q.actor = sender->span_actor_;
+        q.a = a.end_seq - a.start_seq;
+        q.stage = obs::Stage::queue_wait;
+        col->emit(q);
+        obs::SpanRecord t = q;
+        t.span_id = col->next_span_id();
+        t.start_ts = first_tx;
+        t.end_ts = loop_->now();
+        t.stage = obs::Stage::transmit;
+        col->emit(t);
+        // The next hop parents under the transmit span, chaining the tree
+        // across middleboxes.
+        rx_spans_.push_back({a.ctx.trace_id, t.span_id});
+    }
+}
+
 void Connection::close()
 {
     if (fin_queued_) return;
@@ -95,6 +150,18 @@ void Connection::send_segment_at(size_t offset, size_t payload_len)
 {
     Bytes payload(window_.begin() + offset, window_.begin() + offset + payload_len);
     uint64_t seq = acked_ + offset;
+    if (obs::span_on(spans_)) {
+        // First transmission of an annotated range's first byte ends its
+        // queue_wait. Annotations are ordered by start_seq; retransmissions
+        // (go-back-N) re-cover old bytes but the flag keeps the first stamp.
+        for (auto& a : tx_spans_) {
+            if (a.start_seq >= seq + payload_len) break;
+            if (!a.transmitted && a.start_seq >= seq) {
+                a.transmitted = true;
+                a.first_tx_ts = loop_->now();
+            }
+        }
+    }
     capture_frame(CaptureFrameKind::data, seq, payload);
     next_offset_ = std::max(next_offset_, offset + payload_len);
     wire_bytes_sent_ += payload_len + kHeaderBytes;
@@ -128,6 +195,7 @@ void Connection::on_segment_arrival(uint64_t seq, Bytes payload, bool fin)
     // just re-ACK the cumulative position.
 
     app_bytes_received_ += deliver.size();
+    complete_delivered_spans();  // before on_data_: contexts precede bytes
     Connection* self = this;
     uint64_t cumulative = recv_expected_;
     wire_bytes_sent_ += kHeaderBytes;
@@ -262,6 +330,12 @@ ConnectionPtr SimNet::connect(const std::string& from, const std::string& to, ui
     client->trace_actor_ = trace_actor_;
     server->tracer_ = tracer_;
     server->trace_actor_ = trace_actor_;
+    if (spans_) {
+        client->spans_ = spans_;
+        client->span_actor_ = spans_->intern("tcp:" + from + "->" + to);
+        server->spans_ = spans_;
+        server->span_actor_ = spans_->intern("tcp:" + to + "->" + from);
+    }
     if (capture_) {
         CaptureFlow flow;
         flow.id = next_flow_id_++;

@@ -27,6 +27,7 @@
 
 #include "net/capture.h"
 #include "net/event_loop.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -86,6 +87,19 @@ class Connection {
 public:
     // Queue application data; the TCP model segments and paces it.
     void send(ConstBytes data);
+    // Traced send: same as send(), but annotates the byte range with a span
+    // context. When the peer delivers the range's last byte in order, the
+    // connection emits queue_wait (enqueue → first byte handed to the link)
+    // and transmit (link serialization + propagation → in-order delivery)
+    // spans parented under ctx.span_id, and queues a continuation context
+    // for the peer (trace id + the transmit span as parent) retrievable via
+    // take_rx_spans(). Falls back to plain send() when no collector is
+    // attached or ctx is invalid.
+    void send_traced(ConstBytes data, obs::SpanContext ctx);
+    // Span contexts for traced ranges fully delivered to this endpoint, in
+    // stream order. The caller (a session pulling from on_data) matches them
+    // FIFO against the records it decodes.
+    std::vector<obs::SpanContext> take_rx_spans();
     // Half-close after all queued data: peer sees on_close.
     void close();
     // Crash-style close: unsent queued data is discarded (a dead process
@@ -183,6 +197,25 @@ private:
     uint64_t app_bytes_received_ = 0;
     uint64_t wire_bytes_sent_ = 0;
     uint64_t segments_sent_ = 0;
+
+    // Latency attribution (see obs/span.h). Annotations track traced byte
+    // ranges in absolute stream coordinates (cumulative app bytes), which
+    // survive window_ compaction on ACK; the receiver's recv_expected_ is in
+    // the same coordinate space, so completion is a plain comparison.
+    struct SpanAnnotation {
+        uint64_t start_seq = 0;  // absolute stream seq of the first byte
+        uint64_t end_seq = 0;    // one past the last byte
+        obs::SpanContext ctx;
+        uint64_t enqueue_ts = 0;
+        uint64_t first_tx_ts = 0;
+        bool transmitted = false;
+    };
+    std::deque<SpanAnnotation> tx_spans_;    // oldest first; drained by the peer
+    std::deque<obs::SpanContext> rx_spans_;  // delivered to this endpoint
+    obs::SpanCollector* spans_ = nullptr;
+    uint16_t span_actor_ = 0;  // interned "tcp:<from>-><to>" (this tx side)
+
+    void complete_delivered_spans();
 };
 
 class SimNet {
@@ -222,6 +255,11 @@ public:
     // detaches (future connections only).
     void set_capture(CaptureSink* sink) { capture_ = sink; }
 
+    // Attach a span collector for latency attribution: connections opened
+    // after this call annotate traced sends and emit queue_wait/transmit
+    // spans on a per-hop "tcp:<from>-><to>" actor. Attach before connect().
+    void set_spans(obs::SpanCollector* spans) { spans_ = spans; }
+
     EventLoop& loop() { return loop_; }
 
 private:
@@ -237,6 +275,7 @@ private:
     obs::Tracer* tracer_ = nullptr;
     uint16_t trace_actor_ = 0;
     CaptureSink* capture_ = nullptr;
+    obs::SpanCollector* spans_ = nullptr;
     uint32_t next_flow_id_ = 1;
 };
 

@@ -90,15 +90,42 @@ std::string prometheus_name(const std::string& name)
 
 }  // namespace
 
+std::string prometheus_escape_label(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\') out.append("\\\\");
+        else if (c == '"') out.append("\\\"");
+        else if (c == '\n') out.append("\\n");
+        else out.push_back(c);
+    }
+    return out;
+}
+
+std::string prometheus_escape_help(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\') out.append("\\\\");
+        else if (c == '\n') out.append("\\n");
+        else out.push_back(c);
+    }
+    return out;
+}
+
 void MetricsRegistry::to_prometheus(std::string* out) const
 {
     for (const auto& [name, c] : counters_) {
         std::string n = prometheus_name(name);
+        out->append("# HELP " + n + " " + prometheus_escape_help(name) + "\n");
         out->append("# TYPE " + n + " counter\n");
         out->append(n + " " + std::to_string(c->value()) + "\n");
     }
     for (const auto& [name, h] : histograms_) {
         std::string n = prometheus_name(name);
+        out->append("# HELP " + n + " " + prometheus_escape_help(name) + "\n");
         out->append("# TYPE " + n + " histogram\n");
         // Cumulative buckets: values land in [lower_bound(i),
         // lower_bound(i+1)), so the inclusive upper bound of bucket i is
@@ -108,8 +135,8 @@ void MetricsRegistry::to_prometheus(std::string* out) const
             if (h->bucket_count_at(i) == 0) continue;
             cum += h->bucket_count_at(i);
             uint64_t le = Histogram::bucket_lower_bound(i + 1) - 1;
-            out->append(n + "_bucket{le=\"" + std::to_string(le) + "\"} " +
-                        std::to_string(cum) + "\n");
+            out->append(n + "_bucket{le=\"" + prometheus_escape_label(std::to_string(le)) +
+                        "\"} " + std::to_string(cum) + "\n");
         }
         out->append(n + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n");
         out->append(n + "_sum " + std::to_string(h->sum()) + "\n");

@@ -78,12 +78,20 @@ public:
     // leading digit gains a '_' prefix). Counters export as `counter`;
     // histograms as cumulative `_bucket{le="..."}` series (only buckets
     // that change the cumulative count, plus `+Inf`) with `_sum` and
-    // `_count`.
+    // `_count`. Every family gets a `# HELP` line carrying the original
+    // (unsanitized) instrument name, escaped per the format, so a scraper
+    // can map samples back to registry names losslessly.
     void to_prometheus(std::string* out) const;
 
 private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+// Exposition-format escaping (text format 0.0.4). Label values escape
+// backslash, double-quote, and newline; HELP text escapes backslash and
+// newline only (quotes are legal there).
+std::string prometheus_escape_label(std::string_view v);
+std::string prometheus_escape_help(std::string_view v);
 
 }  // namespace mct::obs

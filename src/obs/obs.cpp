@@ -107,4 +107,15 @@ void Hub::publish_cache(const std::string& prefix, const util::CacheStats& s)
     set("bytes", s.bytes);
 }
 
+void Hub::publish_spans(const SpanCollector& spans)
+{
+    for (const auto& r : spans.ordered()) {
+        std::string stage = to_string(r.stage);
+        metrics.histogram("span." + stage + ".sim_us")
+            ->record(r.end_ts >= r.start_ts ? r.end_ts - r.start_ts : 0);
+        if (r.cpu_ns) metrics.histogram("span." + stage + ".cpu_ns")->record(r.cpu_ns);
+    }
+    metrics.counter("span.dropped")->set(spans.dropped());
+}
+
 }  // namespace mct::obs

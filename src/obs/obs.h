@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "util/shard_cache.h"
 
@@ -82,6 +83,13 @@ struct Hub {
     // "<prefix>.evictions", ...). Same set-in-place semantics; the PR 5
     // Prometheus endpoint exports these like any other counter.
     void publish_cache(const std::string& prefix, const util::CacheStats& s);
+
+    // Aggregate the collector's retained spans into per-stage histograms:
+    // "span.<stage>.sim_us" (sim-clock duration) and, for stages carrying a
+    // measured CPU cost, "span.<stage>.cpu_ns"; plus a "span.dropped"
+    // counter for ring overwrites. Histograms accumulate, so call once per
+    // run (the testbed does, at publish_stats time).
+    void publish_spans(const SpanCollector& spans);
 };
 
 }  // namespace mct::obs

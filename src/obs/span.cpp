@@ -1,0 +1,53 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace mct::obs {
+
+const char* to_string(Stage s)
+{
+    switch (s) {
+    case Stage::record: return "record";
+    case Stage::encode: return "encode";
+    case Stage::mac: return "mac";
+    case Stage::encrypt: return "encrypt";
+    case Stage::queue_wait: return "queue_wait";
+    case Stage::transmit: return "transmit";
+    case Stage::reseal: return "reseal";
+    case Stage::forward: return "forward";
+    case Stage::decrypt_verify: return "decrypt_verify";
+    case Stage::deliver: return "deliver";
+    case Stage::handshake: return "handshake";
+    }
+    return "?";
+}
+
+SpanCollector::SpanCollector(size_t capacity) : capacity_(capacity ? capacity : 1)
+{
+    buffer_.resize(capacity_);
+}
+
+uint16_t SpanCollector::intern(std::string_view name)
+{
+    for (size_t i = 0; i < actors_.size(); ++i)
+        if (actors_[i] == name) return static_cast<uint16_t>(i);
+    actors_.emplace_back(name);
+    return static_cast<uint16_t>(actors_.size() - 1);
+}
+
+const std::string& SpanCollector::actor_name(uint16_t id) const
+{
+    return id < actors_.size() ? actors_[id] : actors_[0];
+}
+
+std::vector<SpanRecord> SpanCollector::ordered() const
+{
+    std::vector<SpanRecord> out;
+    uint64_t retained = std::min<uint64_t>(next_seq_, capacity_);
+    out.reserve(retained);
+    uint64_t first = next_seq_ - retained;
+    for (uint64_t s = first; s < next_seq_; ++s) out.push_back(buffer_[s % capacity_]);
+    return out;
+}
+
+}  // namespace mct::obs

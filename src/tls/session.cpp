@@ -1,5 +1,6 @@
 #include "tls/session.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -27,6 +28,7 @@ Session::Session(SessionConfig cfg) : cfg_(std::move(cfg))
                       ? (cfg_.role == Role::client ? "tls-client" : "tls-server")
                       : cfg_.trace_actor;
     if (cfg_.tracer) trace_actor_ = cfg_.tracer->intern(actor_name_);
+    if (cfg_.spans) span_actor_ = cfg_.spans->intern(actor_name_);
 }
 
 Status Session::fail(std::string message)
@@ -274,14 +276,48 @@ Status Session::handle_record(const Record& record)
         // In-band rekeying is an mcTLS extension; baseline TLS rejects it.
         return fail(AlertDescription::unexpected_message, "tls: unexpected rekey record");
     case ContentType::application_data: {
+        // Pop the transport span context before any failure path (see
+        // mctls::Session::handle_app_record for the alignment argument).
+        obs::SpanContext in_ctx;
+        if (obs::span_on(cfg_.spans) && !rx_span_queue_.empty()) {
+            in_ctx = rx_span_queue_.front();
+            rx_span_queue_.pop_front();
+        }
         if (state_ != State::established)
             return fail(AlertDescription::unexpected_message, "tls: early app data");
+        std::chrono::steady_clock::time_point t0;
+        bool sp = obs::span_on(cfg_.spans) && in_ctx.valid();
+        if (sp) t0 = std::chrono::steady_clock::now();
         auto plain = recv_protector_->unprotect(record.type, 0, record.payload);
         if (!plain) {
             ++mac_failures_;
             obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail, 0,
                        record.payload.size());
             return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
+        }
+        if (sp) {
+            uint64_t cpu = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            uint64_t now = cfg_.spans->now();
+            obs::SpanRecord r;
+            r.trace_id = in_ctx.trace_id;
+            r.span_id = cfg_.spans->next_span_id();
+            r.parent_id = in_ctx.span_id;
+            r.start_ts = now;
+            r.end_ts = now;
+            r.cpu_ns = cpu;
+            r.actor = span_actor_;
+            r.a = 1;
+            r.stage = obs::Stage::decrypt_verify;
+            cfg_.spans->emit(r);
+            obs::SpanRecord d = r;
+            d.span_id = cfg_.spans->next_span_id();
+            d.cpu_ns = 0;
+            d.a = plain.value().size();
+            d.stage = obs::Stage::deliver;
+            cfg_.spans->emit(d);
         }
         ++macs_verified_;
         ++app_records_received_;
@@ -585,7 +621,38 @@ Status Session::send_app_data(ConstBytes data)
         Bytes wire;
         wire.reserve(codec_.header_size() + body);
         codec_.encode_header_into(ContentType::application_data, 0, body, wire);
+        std::chrono::steady_clock::time_point t0;
+        bool sp = obs::span_on(cfg_.spans);
+        if (sp) t0 = std::chrono::steady_clock::now();
         send_protector_->protect_into(ContentType::application_data, 0, chunk, *cfg_.rng, wire);
+        if (sp) {
+            // Baseline TLS gets a coarser breakdown than mcTLS: one root
+            // plus a single encrypt child covering MAC+CBC (its protector
+            // is one fused operation).
+            uint64_t cpu = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            obs::SpanContext rec = cfg_.spans->begin_trace();
+            uint64_t now = cfg_.spans->now();
+            obs::SpanRecord root;
+            root.trace_id = rec.trace_id;
+            root.span_id = rec.span_id;
+            root.start_ts = now;
+            root.end_ts = now;
+            root.actor = span_actor_;
+            root.a = chunk.size();
+            root.stage = obs::Stage::record;
+            cfg_.spans->emit(root);
+            obs::SpanRecord enc = root;
+            enc.span_id = cfg_.spans->next_span_id();
+            enc.parent_id = rec.span_id;
+            enc.cpu_ns = cpu;
+            enc.stage = obs::Stage::encrypt;
+            cfg_.spans->emit(enc);
+            unit_spans_.resize(write_units_.size());
+            unit_spans_.push_back(rec);
+        }
         app_overhead_bytes_ += wire.size() - chunk.size();
         ++app_records_sent_;
         ++macs_generated_;
@@ -632,7 +699,22 @@ Bytes Session::take_app_data()
 
 std::vector<Bytes> Session::take_write_units()
 {
+    if (obs::span_on(cfg_.spans)) {
+        unit_spans_.resize(write_units_.size());  // pad trailing untraced units
+        taken_unit_spans_ = std::move(unit_spans_);
+        unit_spans_.clear();
+    }
     return std::exchange(write_units_, {});
+}
+
+std::vector<obs::SpanContext> Session::take_unit_spans()
+{
+    return std::exchange(taken_unit_spans_, {});
+}
+
+void Session::queue_rx_span(obs::SpanContext ctx)
+{
+    if (obs::span_on(cfg_.spans) && ctx.valid()) rx_span_queue_.push_back(ctx);
 }
 
 }  // namespace mct::tls

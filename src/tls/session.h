@@ -12,6 +12,7 @@
 // the full transcript.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,6 +49,8 @@ struct SessionConfig {
     // `trace_actor` (defaults to "tls-client"/"tls-server").
     obs::Tracer* tracer = nullptr;
     std::string trace_actor;
+    // Optional latency attribution (see obs/span.h). Null disables.
+    obs::SpanCollector* spans = nullptr;
     uint64_t now = 100;  // certificate validity check time
     // Handshake deadline for tick(), in the caller's clock units (the
     // deadline arms at the first tick() call). 0 disables the deadline.
@@ -76,6 +79,11 @@ public:
 
     // Wire blobs to transmit, one transport send() each.
     std::vector<Bytes> take_write_units();
+
+    // Span contexts aligned with the most recent take_write_units(), and the
+    // incoming-context FIFO — same contract as mctls::Session.
+    std::vector<obs::SpanContext> take_unit_spans();
+    void queue_rx_span(obs::SpanContext ctx);
 
     bool handshake_complete() const { return state_ == State::established; }
     bool failed() const { return state_ == State::failed; }
@@ -209,6 +217,11 @@ private:
     // Telemetry (see session_stats()).
     uint16_t trace_actor_ = 0;
     std::string actor_name_;
+    // Latency attribution (cfg_.spans): see mctls::Session for alignment.
+    uint16_t span_actor_ = 0;
+    std::vector<obs::SpanContext> unit_spans_;
+    std::vector<obs::SpanContext> taken_unit_spans_;
+    std::deque<obs::SpanContext> rx_span_queue_;
     uint64_t app_records_received_ = 0;
     uint64_t app_bytes_sent_ = 0;
     uint64_t app_bytes_received_ = 0;

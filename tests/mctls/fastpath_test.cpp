@@ -5,6 +5,7 @@
 // report; this test makes the property a CI invariant, not a bench artifact.
 #include <gtest/gtest.h>
 
+#include "obs/span.h"
 #include "tests/mctls/harness.h"
 
 namespace mct::mctls {
@@ -58,6 +59,135 @@ TEST(RecordFastPath, SteadyStateOpensDoNotAllocate)
     EXPECT_EQ(env.client->open_scratch().heap_allocations, client_allocs);
     EXPECT_EQ(env.mboxes[0]->open_scratch().heap_allocations, read_allocs);
     EXPECT_EQ(env.mboxes[1]->open_scratch().heap_allocations, write_allocs);
+}
+
+// The latency-attribution plane must not disturb the fast path: with a span
+// collector attached at every hop and transport contexts flowing record by
+// record — so the instrumented open path runs, not the untraced one — the
+// steady-state scratch still never grows.
+TEST(RecordFastPath, SteadyStateOpensDoNotAllocateWithSpans)
+{
+#if !defined(MCT_OBS_ENABLED)
+    GTEST_SKIP() << "span emission compiled out under MCT_OBS=OFF";
+#endif
+    uint64_t tick = 0;
+    obs::SpanCollector spans(1 << 15);
+    spans.set_clock([&tick] { return ++tick; });
+
+    ChainEnv env;
+    ContextDescription ctx;
+    ctx.id = 1;
+    ctx.purpose = "body";
+    ctx.permissions = {Permission::read, Permission::write};
+    auto infos = env.make_middleboxes(2);
+    auto ccfg = env.client_config(infos, {ctx});
+    ccfg.spans = &spans;
+    env.client = std::make_unique<Session>(ccfg);
+    auto scfg = env.server_config();
+    scfg.spans = &spans;
+    env.server = std::make_unique<Session>(scfg);
+    for (size_t i = 0; i < 2; ++i) {
+        auto mcfg = env.mbox_config(i);
+        mcfg.spans = &spans;
+        env.mboxes.push_back(std::make_unique<MiddleboxSession>(mcfg));
+    }
+    env.handshake();
+    ASSERT_TRUE(env.all_complete());
+
+    // ChainEnv::pump, but pairing every unit with its span context and
+    // queueing it at the receiving hop before the bytes ("contexts precede
+    // bytes"), so the instrumented open path runs end to end.
+    auto pump_spanned = [&] {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            {
+                auto units = env.client->take_write_units();
+                auto ctxs = env.client->take_unit_spans();
+                for (size_t i = 0; i < units.size(); ++i) {
+                    progress = true;
+                    if (i < ctxs.size()) env.mboxes[0]->queue_rx_span(true, ctxs[i]);
+                    (void)env.mboxes[0]->feed_from_client(units[i]);
+                }
+            }
+            for (size_t m = 0; m < env.mboxes.size(); ++m) {
+                auto units = env.mboxes[m]->take_to_server();
+                auto ctxs = env.mboxes[m]->take_to_server_spans();
+                for (size_t i = 0; i < units.size(); ++i) {
+                    progress = true;
+                    if (m + 1 < env.mboxes.size()) {
+                        if (i < ctxs.size())
+                            env.mboxes[m + 1]->queue_rx_span(true, ctxs[i]);
+                        (void)env.mboxes[m + 1]->feed_from_client(units[i]);
+                    } else {
+                        if (i < ctxs.size()) env.server->queue_rx_span(ctxs[i]);
+                        (void)env.server->feed(units[i]);
+                    }
+                }
+            }
+            {
+                auto units = env.server->take_write_units();
+                auto ctxs = env.server->take_unit_spans();
+                for (size_t i = 0; i < units.size(); ++i) {
+                    progress = true;
+                    if (i < ctxs.size())
+                        env.mboxes.back()->queue_rx_span(false, ctxs[i]);
+                    (void)env.mboxes.back()->feed_from_server(units[i]);
+                }
+            }
+            for (size_t m = env.mboxes.size(); m-- > 0;) {
+                auto units = env.mboxes[m]->take_to_client();
+                auto ctxs = env.mboxes[m]->take_to_client_spans();
+                for (size_t i = 0; i < units.size(); ++i) {
+                    progress = true;
+                    if (m > 0) {
+                        if (i < ctxs.size())
+                            env.mboxes[m - 1]->queue_rx_span(false, ctxs[i]);
+                        (void)env.mboxes[m - 1]->feed_from_server(units[i]);
+                    } else {
+                        if (i < ctxs.size()) env.client->queue_rx_span(ctxs[i]);
+                        (void)env.client->feed(units[i]);
+                    }
+                }
+            }
+        }
+    };
+
+    Bytes big(4000, 0x42);
+    ASSERT_TRUE(env.client->send_app_data(1, big).ok());
+    pump_spanned();
+    ASSERT_TRUE(env.server->send_app_data(1, big).ok());
+    pump_spanned();
+    env.server->take_app_data();
+    env.client->take_app_data();
+
+    uint64_t server_allocs = env.server->open_scratch().heap_allocations;
+    uint64_t client_allocs = env.client->open_scratch().heap_allocations;
+    uint64_t read_allocs = env.mboxes[0]->open_scratch().heap_allocations;
+    uint64_t write_allocs = env.mboxes[1]->open_scratch().heap_allocations;
+    uint64_t server_records = env.server->open_scratch().records;
+
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_TRUE(env.client->send_app_data(1, Bytes(1460, uint8_t(i))).ok());
+        ASSERT_TRUE(env.server->send_app_data(1, Bytes(512, uint8_t(i))).ok());
+        pump_spanned();
+    }
+    EXPECT_EQ(env.server->take_app_data().size(), 50u);
+    EXPECT_EQ(env.client->take_app_data().size(), 50u);
+
+    EXPECT_EQ(env.server->open_scratch().records, server_records + 50);
+    EXPECT_EQ(env.server->open_scratch().heap_allocations, server_allocs);
+    EXPECT_EQ(env.client->open_scratch().heap_allocations, client_allocs);
+    EXPECT_EQ(env.mboxes[0]->open_scratch().heap_allocations, read_allocs);
+    EXPECT_EQ(env.mboxes[1]->open_scratch().heap_allocations, write_allocs);
+
+    // The spans actually flowed: the contexts survived the whole chain, so
+    // every delivered record emitted a deliver span at its endpoint.
+    EXPECT_EQ(spans.dropped(), 0u);
+    size_t delivers = 0;
+    for (const auto& s : spans.ordered())
+        if (s.stage == obs::Stage::deliver) ++delivers;
+    EXPECT_GE(delivers, 100u);
 }
 
 }  // namespace

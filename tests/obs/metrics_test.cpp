@@ -188,5 +188,78 @@ TEST(MetricsRegistry, PrometheusEmptyHistogramStillWellFormed)
     EXPECT_NE(text.find("idle_count 0\n"), std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusHelpPrecedesTypeAndKeepsOriginalName)
+{
+    MetricsRegistry reg;
+    reg.counter("span.mac.count")->set(3);
+    reg.histogram("span.mac.cpu_ns")->record(500);
+    std::string text;
+    reg.to_prometheus(&text);
+    // HELP carries the unsanitized registry name, so a scraper can map the
+    // exposition back to the JSON/registry key.
+    size_t help_c = text.find("# HELP span_mac_count span.mac.count\n");
+    size_t type_c = text.find("# TYPE span_mac_count counter\n");
+    ASSERT_NE(help_c, std::string::npos);
+    ASSERT_NE(type_c, std::string::npos);
+    EXPECT_LT(help_c, type_c);
+    size_t help_h = text.find("# HELP span_mac_cpu_ns span.mac.cpu_ns\n");
+    size_t type_h = text.find("# TYPE span_mac_cpu_ns histogram\n");
+    ASSERT_NE(help_h, std::string::npos);
+    ASSERT_NE(type_h, std::string::npos);
+    EXPECT_LT(help_h, type_h);
+}
+
+// Exposition-format unescape (the scraper's side of the contract): HELP text
+// unescapes \\ and \n; label values additionally unescape \".
+std::string prom_unescape(const std::string& s, bool label)
+{
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 == s.size()) {
+            out.push_back(s[i]);
+            continue;
+        }
+        char next = s[++i];
+        if (next == 'n') out.push_back('\n');
+        else if (next == '\\') out.push_back('\\');
+        else if (label && next == '"') out.push_back('"');
+        else { out.push_back('\\'); out.push_back(next); }
+    }
+    return out;
+}
+
+TEST(MetricsRegistry, PrometheusEscapingRoundTrips)
+{
+    // Every class the exposition format escapes: backslash, newline, quote.
+    std::string nasty = "a\\b\nc\"d";
+    EXPECT_EQ(prometheus_escape_help(nasty), "a\\\\b\\nc\"d");
+    EXPECT_EQ(prom_unescape(prometheus_escape_help(nasty), /*label=*/false), nasty);
+    EXPECT_EQ(prometheus_escape_label(nasty), "a\\\\b\\nc\\\"d");
+    EXPECT_EQ(prom_unescape(prometheus_escape_label(nasty), /*label=*/true), nasty);
+    // A metric name containing a newline must not break the HELP line.
+    MetricsRegistry reg;
+    reg.counter("weird\nname")->set(1);
+    std::string text;
+    reg.to_prometheus(&text);
+    EXPECT_NE(text.find("# HELP weird_name weird\\nname\n"), std::string::npos);
+    EXPECT_EQ(text.find("# HELP weird_name weird\nname"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusOverflowBucketExportsUnderInf)
+{
+    MetricsRegistry reg;
+    Histogram* h = reg.histogram("big");
+    h->record(uint64_t(1) << 41);  // overflow bucket, beyond the octave range
+    h->record(10);
+    std::string text;
+    reg.to_prometheus(&text);
+    // The overflow bucket has no finite upper bound: its count appears only
+    // in +Inf, and the last finite cumulative line still excludes it.
+    EXPECT_NE(text.find("big_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+    // 10 lands in the [10, 12) sub-bucket: inclusive upper bound 11.
+    EXPECT_NE(text.find("big_bucket{le=\"11\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("big_count 2\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mct::obs

@@ -1,0 +1,256 @@
+// Latency-attribution spans: collector ring semantics, same-tick causal
+// ordering, the Chrome-trace/Perfetto exporter, handshake-waterfall
+// synthesis, and the span -> metrics aggregation.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/perfetto.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace mct::obs {
+namespace {
+
+SpanRecord make_span(SpanContext ctx, uint64_t parent, Stage stage, uint64_t start,
+                     uint64_t end, uint16_t actor)
+{
+    SpanRecord r;
+    r.trace_id = ctx.trace_id;
+    r.span_id = ctx.span_id;
+    r.parent_id = parent;
+    r.stage = stage;
+    r.start_ts = start;
+    r.end_ts = end;
+    r.actor = actor;
+    return r;
+}
+
+TEST(SpanCollector, IdsAreFreshAndIndependent)
+{
+    SpanCollector c(16);
+    SpanContext a = c.begin_trace();
+    SpanContext b = c.begin_trace();
+    EXPECT_TRUE(a.valid());
+    EXPECT_NE(a.trace_id, b.trace_id);
+    EXPECT_NE(a.span_id, b.span_id);
+    // Span ids never collide with trace ids (independent counters), so
+    // exporters can key maps by either without disambiguation.
+    uint64_t child = c.next_span_id();
+    EXPECT_NE(child, b.span_id);
+    EXPECT_GT(child, b.span_id);
+}
+
+TEST(SpanCollector, DefaultContextIsUntraced)
+{
+    SpanContext ctx;
+    EXPECT_FALSE(ctx.valid());
+}
+
+TEST(SpanCollector, InternNamesActorsAndReservesUnknown)
+{
+    SpanCollector c(16);
+    uint16_t client = c.intern("client");
+    uint16_t hop = c.intern("tcp:client->server");
+    EXPECT_NE(client, 0);
+    EXPECT_EQ(c.intern("client"), client);  // stable
+    EXPECT_EQ(c.actor_name(client), "client");
+    EXPECT_EQ(c.actor_name(hop), "tcp:client->server");
+    EXPECT_EQ(c.actor_name(0), "?");
+}
+
+TEST(SpanCollector, SameTickParentChildKeepCausalOrder)
+{
+    // Crypto runs in zero sim time: a record's root span and every crypto
+    // child carry identical timestamps. The emission seq must still order
+    // parent before child so consumers can rebuild the tree without ts ties.
+    SpanCollector c(16);
+    c.set_clock([] { return 42u; });
+    SpanContext root = c.begin_trace();
+    c.emit(make_span(root, 0, Stage::record, c.now(), c.now(), 1));
+    uint64_t mac_id = c.next_span_id();
+    c.emit(make_span({root.trace_id, mac_id}, root.span_id, Stage::mac, c.now(),
+                     c.now(), 1));
+    uint64_t enc_id = c.next_span_id();
+    c.emit(make_span({root.trace_id, enc_id}, root.span_id, Stage::encrypt, c.now(),
+                     c.now(), 1));
+    auto spans = c.ordered();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].stage, Stage::record);
+    EXPECT_EQ(spans[1].stage, Stage::mac);
+    EXPECT_EQ(spans[2].stage, Stage::encrypt);
+    EXPECT_LT(spans[0].seq, spans[1].seq);
+    EXPECT_LT(spans[1].seq, spans[2].seq);
+    // Children reference the root; all stamped at the same tick.
+    EXPECT_EQ(spans[1].parent_id, spans[0].span_id);
+    EXPECT_EQ(spans[2].parent_id, spans[0].span_id);
+    EXPECT_EQ(spans[0].start_ts, spans[2].start_ts);
+}
+
+TEST(SpanCollector, RingOverwritesOldestAndCountsDropped)
+{
+    SpanCollector c(4);
+    for (uint64_t i = 0; i < 10; ++i) {
+        SpanRecord r;
+        r.trace_id = i + 1;
+        c.emit(r);
+    }
+    EXPECT_EQ(c.spans_emitted(), 10u);
+    EXPECT_EQ(c.dropped(), 6u);
+    auto spans = c.ordered();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest retained first: traces 7..10 survive, in emission order.
+    EXPECT_EQ(spans.front().trace_id, 7u);
+    EXPECT_EQ(spans.back().trace_id, 10u);
+}
+
+TEST(SpanCollector, ZeroCapacityClampsToOne)
+{
+    SpanCollector c(0);
+    SpanRecord r;
+    r.trace_id = 5;
+    c.emit(r);
+    auto spans = c.ordered();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].trace_id, 5u);
+}
+
+TEST(ChromeTrace, SpansAndEventsSerializeLoadable)
+{
+    SpanCollector c(16);
+    uint16_t client = c.intern("client");
+    uint16_t hop = c.intern("tcp:client->server");
+    SpanContext root = c.begin_trace();
+    SpanRecord rec = make_span(root, 0, Stage::record, 100, 100, client);
+    rec.a = 1460;
+    rec.ctx = 2;
+    c.emit(rec);
+    uint64_t tx = c.next_span_id();
+    SpanRecord t = make_span({root.trace_id, tx}, root.span_id, Stage::transmit, 100,
+                             20100, hop);
+    t.cpu_ns = 0;
+    c.emit(t);
+
+    Tracer tracer;
+    uint16_t actor = tracer.intern("client");
+    std::vector<TraceEvent> events;
+    TraceEvent e;
+    e.ts = 100;
+    e.actor = actor;
+    e.type = EventType::record_seal;
+    e.a = 1460;
+    events.push_back(e);
+
+    std::vector<SpanRecord> spans = c.ordered();
+    ChromeTraceInput in;
+    in.spans = &spans;
+    in.span_actors = &c;
+    in.events = &events;
+    in.event_actors = &tracer;
+    std::string doc_text = to_chrome_trace(in);
+
+    auto doc = json_parse(doc_text);
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    const JsonValue* trace_events = doc.value().get("traceEvents");
+    ASSERT_NE(trace_events, nullptr);
+    ASSERT_TRUE(trace_events->is_array());
+
+    size_t complete = 0, instants = 0, metadata = 0;
+    const JsonValue* transmit = nullptr;
+    for (const auto& item : trace_events->items) {
+        const JsonValue* ph = item.get("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->str == "X") {
+            ++complete;
+            if (item.get("name")->str == "transmit") transmit = &item;
+        } else if (ph->str == "i") {
+            ++instants;
+        } else if (ph->str == "M") {
+            ++metadata;
+        }
+    }
+    EXPECT_EQ(complete, 2u);
+    EXPECT_EQ(instants, 1u);
+    EXPECT_GE(metadata, 2u);  // at least process_name entries per actor
+    ASSERT_NE(transmit, nullptr);
+    EXPECT_DOUBLE_EQ(transmit->get("ts")->num, 100.0);
+    EXPECT_DOUBLE_EQ(transmit->get("dur")->num, 20000.0);
+    const JsonValue* args = transmit->get("args");
+    ASSERT_NE(args, nullptr);
+    // Causal chain survives serialization: the hop span names its parent.
+    EXPECT_DOUBLE_EQ(args->get("parent")->num, static_cast<double>(root.span_id));
+    EXPECT_DOUBLE_EQ(args->get("trace")->num, static_cast<double>(root.trace_id));
+}
+
+TEST(ChromeTrace, HandshakePhasesFoldPerActorIntervals)
+{
+    Tracer tracer;
+    uint16_t client = tracer.intern("client");
+    uint16_t server = tracer.intern("server");
+    std::vector<TraceEvent> events;
+    auto push = [&](uint64_t ts, uint16_t actor, EventType type, uint64_t a = 0) {
+        TraceEvent e;
+        e.ts = ts;
+        e.actor = actor;
+        e.type = type;
+        e.a = a;
+        events.push_back(e);
+    };
+    push(0, client, EventType::hs_start);
+    push(100, server, EventType::hs_client_hello, 300);
+    push(250, client, EventType::hs_server_flight, 1200);
+    push(400, client, EventType::hs_complete);
+    push(400, server, EventType::hs_complete);
+    push(500, client, EventType::record_seal);  // not a handshake event
+
+    auto phases = handshake_phases(events, tracer);
+    // An actor's first handshake event anchors its waterfall without
+    // emitting; each later event completes the phase since the anchor.
+    ASSERT_EQ(phases.size(), 3u);
+    const HandshakePhase* flight = nullptr;
+    const HandshakePhase* server_done = nullptr;
+    for (const auto& p : phases) {
+        if (p.phase == std::string("hs_server_flight")) flight = &p;
+        if (p.actor == "server") server_done = &p;
+    }
+    ASSERT_NE(flight, nullptr);
+    EXPECT_EQ(flight->actor, "client");
+    EXPECT_EQ(flight->start_ts, 0u);
+    EXPECT_EQ(flight->end_ts, 250u);
+    EXPECT_EQ(flight->bytes, 1200u);
+    // The server's only phase spans from its anchor (hs_client_hello at 100)
+    // to hs_complete at 400.
+    ASSERT_NE(server_done, nullptr);
+    EXPECT_EQ(server_done->phase, std::string("hs_complete"));
+    EXPECT_EQ(server_done->start_ts, 100u);
+    EXPECT_EQ(server_done->end_ts, 400u);
+    // hs_complete closes the actor's waterfall; the record_seal afterwards
+    // must not reopen it.
+    for (const auto& p : phases) EXPECT_NE(p.phase, std::string("record_seal"));
+}
+
+TEST(Hub, PublishSpansAggregatesStageHistograms)
+{
+    Hub hub;
+    SpanCollector c(16);
+    uint16_t a = c.intern("client");
+    SpanContext root = c.begin_trace();
+    SpanRecord mac = make_span({root.trace_id, c.next_span_id()}, root.span_id,
+                               Stage::mac, 10, 10, a);
+    mac.cpu_ns = 3000;
+    c.emit(mac);
+    SpanRecord tx = make_span({root.trace_id, c.next_span_id()}, root.span_id,
+                              Stage::transmit, 10, 20010, a);
+    c.emit(tx);
+    hub.publish_spans(c);
+    Histogram* sim = hub.metrics.histogram("span.transmit.sim_us");
+    EXPECT_EQ(sim->count(), 1u);
+    EXPECT_EQ(sim->sum(), 20000u);
+    Histogram* cpu = hub.metrics.histogram("span.mac.cpu_ns");
+    EXPECT_EQ(cpu->count(), 1u);
+    EXPECT_EQ(cpu->sum(), 3000u);
+    EXPECT_EQ(hub.metrics.counter("span.dropped")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace mct::obs
