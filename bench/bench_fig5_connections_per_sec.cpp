@@ -12,6 +12,7 @@
 
 #include "bench_json.h"
 #include "chain_bench.h"
+#include "http/chaos.h"
 #include "util/rng.h"
 
 using namespace mct;
@@ -157,6 +158,43 @@ int main()
         });
         std::printf("  K=%-3zu server cps: default=%.0f  client-key-dist=%.0f (%+.0f%%)\n", k,
                     def.server, ckd.server, 100.0 * (ckd.server / def.server - 1.0));
+    }
+
+    // Concurrent-session series (DESIGN.md "Concurrency model & chaos
+    // plane"): N fetch chains multiplexed over one shared server and relay
+    // chain on SimNet, with and without the seeded chaos campaign.
+    // Connections/sec and TTFB percentiles are virtual-time measurements,
+    // so the series is exactly reproducible per seed.
+    std::printf("\nConcurrent sessions over the shared testbed (virtual time):\n");
+    size_t soak_sessions = smoke_mode() ? 40 : 400;
+    for (bool chaos : {false, true}) {
+        http::SoakConfig scfg;
+        scfg.seed = 5;
+        scfg.sessions = soak_sessions;
+        scfg.concurrency = 32;
+        scfg.n_middleboxes = 1;
+        scfg.objects_per_fetch = 1;
+        scfg.object_size = 2000;
+        scfg.chaos = chaos;
+        scfg.state_plane = http::soak_state_plane(scfg.sessions);
+        http::SoakReport soak = http::run_soak(scfg);
+        if (!soak.green() || soak.completed + soak.failed != scfg.sessions) {
+            std::fprintf(stderr, "soak campaign failed (%s)\n",
+                         soak.seed_hint().c_str());
+            return 1;
+        }
+        const char* label = chaos ? "chaos-on" : "chaos-off";
+        std::printf("  %-10s %zu sessions: %.0f conn/s, TTFB p50=%.1f ms "
+                    "p99=%.1f ms, %llu resumed, %zu events\n",
+                    label, soak_sessions, soak.connections_per_sec,
+                    soak.ttfb_p50_ms, soak.ttfb_p99_ms,
+                    static_cast<unsigned long long>(soak.resumed),
+                    soak.events.size());
+        std::string x = "sessions:" + std::to_string(soak_sessions);
+        std::string series = "soak:" + std::string(label);
+        report.point(series + ":cps", x, soak.connections_per_sec);
+        report.point(series + ":ttfb-p50-ms", x, soak.ttfb_p50_ms);
+        report.point(series + ":ttfb-p99-ms", x, soak.ttfb_p99_ms);
     }
     return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Deterministic chaos-plane soak tier: builds the soak_test target and runs
+# every test carrying the `soak` ctest label (~30 s of seeded concurrent-
+# session campaigns with kills, flaps, corruption, latency spikes, rekey
+# storms, and cache-budget squeezes — DESIGN.md "Concurrency model & chaos
+# plane").
+#
+# A red soak prints its campaign seed in every failure message; rerun that
+# exact schedule with:
+#
+#   MCT_CHAOS_SEED=<seed> scripts/soak.sh
+#
+# The acceptance-scale 10k-concurrent-session campaign is skipped unless
+# MCT_SOAK_10K=1 is set (several minutes on one core).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)" --target soak_test
+ctest --test-dir build --output-on-failure -L soak "$@"

@@ -11,19 +11,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/3] tier-1: release build + ctest ==="
+echo "=== [1/4] tier-1: release build + ctest ==="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "=== [2/3] bench gate: smoke benches vs committed baselines ==="
+echo "=== [2/4] bench gate: smoke benches vs committed baselines ==="
 # ctest runs this too (bench_smoke + bench_gate), but an explicit pass keeps
 # the gate in the loop even when "$@" filters the test set, and prints the
 # comparison where it is easy to see.
 cmake --build build --target bench-smoke
 python3 scripts/bench_compare.py build/bench-smoke-json bench/baselines/smoke
 
-echo "=== [3/3] sanitizers: ASan+UBSan build + ctest ==="
+echo "=== [3/4] soak: seeded chaos campaigns (ctest label: soak) ==="
+# Concurrent-session soaks under the deterministic chaos plane (DESIGN.md
+# "Concurrency model & chaos plane"). A red soak prints MCT_CHAOS_SEED=<n>
+# in every failure; scripts/soak.sh replays that exact schedule.
+ctest --test-dir build --output-on-failure -L soak
+
+echo "=== [4/4] sanitizers: ASan+UBSan build + ctest ==="
 scripts/verify_sanitize.sh "$@"
 
 echo "=== verify_all: OK ==="

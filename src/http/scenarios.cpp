@@ -253,4 +253,29 @@ ScenarioResult run_scenario(Scenario s, FaultPlan plan, obs::Hub* hub)
     return result;
 }
 
+SoakConfig scenario_soak(Scenario s, size_t sessions, uint64_t seed)
+{
+    ScenarioSpec spec = scenario_spec(s);
+    TestbedConfig base = base_config(spec);
+
+    SoakConfig soak;
+    soak.seed = seed;
+    soak.mode = Mode::mctls;
+    soak.n_middleboxes = spec.n_middleboxes;
+    soak.mbox_permission = base.mbox_permission;
+    soak.permission_rows = base.permission_rows;
+    soak.sessions = sessions;
+    if (!spec.object_sizes.empty()) {
+        soak.object_size = spec.object_sizes.front();
+        soak.objects_per_fetch =
+            spec.object_sizes.size() < 4 ? spec.object_sizes.size() : 4;
+    }
+    // Soak-sized bounds, degraded the way this deployment degrades.
+    soak.state_plane = soak_state_plane(sessions);
+    soak.state_plane.tls.policy = base.state_plane.tls.policy;
+    soak.state_plane.server.policy = base.state_plane.server.policy;
+    soak.state_plane.middlebox.policy = base.state_plane.middlebox.policy;
+    return soak;
+}
+
 }  // namespace mct::http

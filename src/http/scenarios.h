@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "http/chaos.h"
 #include "http/testbed.h"
 
 namespace mct::http {
@@ -79,5 +80,12 @@ struct ScenarioResult {
 // plans) rerun with the plan's faults injected. `hub` (optional) receives
 // session and cache metrics from the fault run.
 ScenarioResult run_scenario(Scenario s, FaultPlan plan, obs::Hub* hub = nullptr);
+
+// Map a deployment scenario onto a chaos-plane soak: the scenario supplies
+// the chain shape, permissions, and state-plane degradation policies; the
+// soak supplies load shape and campaign. Bounds come from
+// soak_state_plane(sessions) with the scenario's ladder policies applied,
+// so each deployment squeezes the way it would in production.
+SoakConfig scenario_soak(Scenario s, size_t sessions, uint64_t seed);
 
 }  // namespace mct::http

@@ -1,5 +1,6 @@
 #include "http/testbed.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -45,7 +46,7 @@ Request make_request(const std::string& path)
     return req;
 }
 
-Response make_object_response(size_t size)
+Response make_object_response(size_t size, char fill = 'x')
 {
     Response resp;
     resp.status = 200;
@@ -55,16 +56,30 @@ Response make_object_response(size_t size)
         {"Cache-Control", "max-age=3600"},
         {"Server", "mct-sim/1.0"},
     };
-    resp.body.assign(size, 'x');
+    resp.body.assign(size, fill);
     return resp;
 }
 
 size_t parse_object_size(const std::string& path)
 {
-    // Paths look like /obj/<bytes>.
+    // Paths look like /obj/<bytes> (or /f<id>/obj/<bytes> when tagged).
     size_t slash = path.rfind('/');
     if (slash == std::string::npos) return 0;
     return static_cast<size_t>(std::strtoull(path.c_str() + slash + 1, nullptr, 10));
+}
+
+// Session tagging (cfg.tag_sessions): the fetch id rides the request path
+// and determines the object body's fill byte, so the client can verify the
+// plaintext it decrypted belongs to *its* session.
+uint64_t parse_fetch_id(const std::string& path)
+{
+    if (path.size() < 3 || path[0] != '/' || path[1] != 'f') return 0;
+    return std::strtoull(path.c_str() + 2, nullptr, 10);
+}
+
+char fill_for(uint64_t fetch_id)
+{
+    return static_cast<char>('a' + fetch_id % 26);
 }
 
 // Send a channel's pending write units, pairing each with its span context
@@ -141,6 +156,29 @@ struct Testbed::Impl {
     uint64_t maintenance_epoch = 0;     // newest pump event wins; stale ones no-op
     bool maintenance_pending = false;
     net::SimTime maintenance_at = 0;
+
+    // Concurrent-session plane. Every live client attempt registers here by
+    // fetch id so rekey storms reach ALL established sessions, not just the
+    // newest; entries drop out on completion/failure (and lazily when the
+    // weak_ptr expires).
+    struct ClientConn;
+    uint64_t next_fetch_id = 0;
+    std::map<uint64_t, std::weak_ptr<ClientConn>> live_clients;
+    uint64_t completed_count = 0;
+    uint64_t failed_count = 0;
+
+    // Retired-session accounting (cfg.retain_sessions == false): stats fold
+    // into per-class aggregates before the session graph is released, so
+    // totals survive sessions that no longer exist.
+    std::map<std::string, obs::SessionStats> retired_stats;
+    Testbed::OverheadTotals retired_overhead;
+    uint64_t retired_app_bytes = 0;
+    uint64_t retired_sessions = 0;
+
+    // Degradation-rate gauges: last published cumulative totals + sim time.
+    bool gauges_published = false;
+    net::SimTime last_publish_at = 0;
+    uint64_t last_shed = 0, last_declines = 0, last_evictions = 0;
 
     Impl(TestbedConfig config, net::EventLoop* outer_loop)
         : cfg(std::move(config)),
@@ -274,6 +312,83 @@ struct Testbed::Impl {
         return base + "#" + std::to_string(n);
     }
 
+    // ---- Session retirement (cfg.retain_sessions == false) ----
+
+    bool prune() const { return !cfg.retain_sessions; }
+
+    void fold_stats(const std::string& cls, const obs::SessionStats& s)
+    {
+        obs::SessionStats& agg = retired_stats[cls];
+        agg.actor = cls;
+        agg.established |= s.established;
+        agg.resumed |= s.resumed;
+        if (s.epoch > agg.epoch) agg.epoch = s.epoch;
+        agg.rekeys += s.rekeys;
+        agg.handshake_wire_bytes += s.handshake_wire_bytes;
+        agg.app_overhead_bytes += s.app_overhead_bytes;
+        agg.app_records_sent += s.app_records_sent;
+        agg.app_records_received += s.app_records_received;
+        agg.macs_generated += s.macs_generated;
+        agg.macs_verified += s.macs_verified;
+        agg.mac_failures += s.mac_failures;
+        agg.alerts_sent += s.alerts_sent;
+        agg.alerts_received += s.alerts_received;
+        agg.trace_events_dropped += s.trace_events_dropped;
+        for (const auto& c : s.contexts) {
+            auto it = std::find_if(
+                agg.contexts.begin(), agg.contexts.end(),
+                [&](const obs::ContextStats& a) { return a.name == c.name; });
+            if (it == agg.contexts.end()) {
+                agg.contexts.push_back(c);
+                continue;
+            }
+            it->bytes_out += c.bytes_out;
+            it->bytes_in += c.bytes_in;
+            it->records_out += c.records_out;
+            it->records_in += c.records_in;
+        }
+    }
+
+    void retire_channel(const std::string& cls, SecureChannel* channel)
+    {
+        retired_overhead.overhead_bytes += channel->app_overhead_bytes();
+        retired_overhead.records += channel->app_records_sent();
+        fold_stats(cls, channel->session_stats());
+        ++retired_sessions;
+    }
+
+    // Break the connection's reference cycle one tick later: the callbacks
+    // being cleared are the very closures the current stack may be executing
+    // (and the last owners of `anchor`), so clearing synchronously would
+    // free the session graph out from under itself. The deferred event owns
+    // `anchor` until after the clear, making teardown safe wherever it was
+    // triggered from.
+    void release_conn(net::ConnectionPtr conn, std::shared_ptr<void> anchor)
+    {
+        if (!conn) return;
+        loop->schedule(0, [this, conn = std::move(conn), anchor = std::move(anchor)] {
+            retired_app_bytes += conn->app_bytes_sent();
+            conn->set_on_connect({});
+            conn->set_on_data({});
+            conn->set_on_close({});
+        });
+    }
+
+    // Bounded garbage collection for the per-relay connection lists: closed
+    // legs accumulate under churn (every retired session leaves two), so
+    // compact once the list outgrows a threshold. Amortized O(1) per
+    // session; kill faults keep iterating a small live set.
+    void compact_relay_conns(size_t index)
+    {
+        auto& v = relay_conns[index];
+        if (v.size() < 64) return;
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [](const net::ConnectionPtr& c) {
+                                   return c->close_queued();
+                               }),
+                v.end());
+    }
+
     // ---- State plane ----
 
     // Degradation decisions become trace events (routine hit/miss traffic
@@ -325,7 +440,7 @@ struct Testbed::Impl {
         };
         state.on_rekey_due = [this](uint64_t now) {
             obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_rekey_due);
-            rekey_active_client();
+            rekey_live_sessions();
         };
         state.on_excise_due = [this](size_t index, uint64_t now) {
             // The grace expired with the relay still down: drop its rejoin
@@ -615,6 +730,7 @@ struct Testbed::Impl {
         RequestParser parser;
         net::ConnectionPtr conn;
         Impl* impl;
+        bool retired = false;
 
         void flush() { flush_channel(channel.get(), conn); }
 
@@ -631,7 +747,10 @@ struct Testbed::Impl {
             while (true) {
                 auto req = parser.next();
                 if (!req.ok() || !req.value().has_value()) break;
-                Response resp = make_object_response(parse_object_size(req.value()->path));
+                const std::string& path = req.value()->path;
+                Response resp = make_object_response(
+                    parse_object_size(path),
+                    impl->cfg.tag_sessions ? fill_for(parse_fetch_id(path)) : 'x');
                 for (auto& part : partition_response(impl->cfg.strategy, resp)) {
                     (void)channel->send_part(part.context_id, part.data);
                     flush();  // one transport send per part/record
@@ -645,6 +764,14 @@ struct Testbed::Impl {
         }
     };
 
+    void retire_server(const std::shared_ptr<ServerConn>& state)
+    {
+        if (!prune() || state->retired) return;
+        state->retired = true;
+        retire_channel("server", state->channel.get());
+        release_conn(state->conn, state);
+    }
+
     void start_server()
     {
         net.listen("server", kPort, [this](net::ConnectionPtr conn) {
@@ -652,20 +779,27 @@ struct Testbed::Impl {
             state->impl = this;
             state->conn = conn;
             state->channel = make_server_channel();
-            all_channels.emplace_back(unique_label("server"), state->channel.get());
+            if (!prune())
+                all_channels.emplace_back(unique_label("server"), state->channel.get());
             conn->set_nagle(cfg.nagle);
             conn->set_on_data([state](ConstBytes data) { state->on_data(data); });
-            conn->set_on_close([state] {
+            conn->set_on_close([this, state] {
                 // EOF without close_notify: typed truncation at the server.
+                // (After a clean close_notify exchange this is the normal
+                // FIN and a no-op for the channel.) The transport is gone
+                // either way: the per-connection session can retire.
                 state->channel->transport_closed();
+                retire_server(state);
             });
             arm_channel_deadline(state, state->channel.get(), conn,
                                  [state](const std::string&) {
                                      if (!state->conn->close_queued())
                                          state->conn->close();
                                  });
-            anchors.push_back(state);
-            tracked_conns.push_back(conn);
+            if (!prune()) {
+                anchors.push_back(state);
+                tracked_conns.push_back(conn);
+            }
         });
     }
 
@@ -674,6 +808,7 @@ struct Testbed::Impl {
     struct BlindRelay {
         net::ConnectionPtr down, up;
         bool up_ready = false;
+        bool retired = false;
         Bytes up_backlog;
 
         void down_data(ConstBytes data)
@@ -705,6 +840,7 @@ struct Testbed::Impl {
         std::unique_ptr<TlsChannel> up_tls;    // client role toward next hop
         net::ConnectionPtr down, up;
         bool up_ready = false;
+        bool retired = false;
 
         void flush_down() { flush_channel(down_tls.get(), down); }
         void flush_up()
@@ -742,6 +878,7 @@ struct Testbed::Impl {
         std::unique_ptr<mctls::MiddleboxSession> session;
         net::ConnectionPtr down, up;
         bool up_ready = false;
+        bool retired = false;
         std::vector<Bytes> up_backlog;
         std::vector<obs::SpanContext> up_backlog_spans;
 
@@ -807,6 +944,7 @@ struct Testbed::Impl {
                 return;
             }
             down->set_nagle(cfg.nagle);
+            if (prune()) compact_relay_conns(index);
             relay_conns[index].push_back(down);
 
             // Proxies open the upstream leg when the first downstream bytes
@@ -818,7 +956,7 @@ struct Testbed::Impl {
                                                         auto on_close) {
                 auto up = net.connect(host, next_alive_host(index), kPort);
                 up->set_nagle(cfg.nagle);
-                tracked_conns.push_back(up);
+                if (!prune()) tracked_conns.push_back(up);
                 relay_conns[index].push_back(up);
                 up->set_on_connect(on_connect);
                 up->set_on_data(on_data);
@@ -831,19 +969,31 @@ struct Testbed::Impl {
             case Mode::e2e_tls: {
                 auto relay = std::make_shared<BlindRelay>();
                 relay->down = down;
-                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                auto retire = [this, relay] {
+                    if (!prune() || relay->retired) return;
+                    relay->retired = true;
+                    release_conn(relay->down, relay);
+                    release_conn(relay->up, relay);
+                };
+                down->set_on_data([relay, connect_upstream, retire](ConstBytes d) {
                     if (!relay->up) {
                         relay->up = connect_upstream(
                             [relay] { relay->up_connected(); },
                             [relay](ConstBytes b) {
                                 if (!relay->down->close_queued()) relay->down->send(b);
                             },
-                            [relay] { relay->side_closed(/*from_down=*/false); });
+                            [relay, retire] {
+                                relay->side_closed(/*from_down=*/false);
+                                retire();
+                            });
                     }
                     relay->down_data(d);
                 });
-                down->set_on_close([relay] { relay->side_closed(/*from_down=*/true); });
-                anchors.push_back(relay);
+                down->set_on_close([relay, retire] {
+                    relay->side_closed(/*from_down=*/true);
+                    retire();
+                });
+                if (!prune()) anchors.push_back(relay);
                 break;
             }
             case Mode::split_tls: {
@@ -869,11 +1019,21 @@ struct Testbed::Impl {
                 relay->up_tls = std::make_unique<TlsChannel>(std::move(up_cfg));
                 // Stats only: keep these out of all_channels so §5.2 overhead
                 // accounting stays endpoint-to-endpoint as before.
-                split_channels.emplace_back(unique_label(host + "-down"),
-                                            relay->down_tls.get());
-                split_channels.emplace_back(unique_label(host + "-up"),
-                                            relay->up_tls.get());
-                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                if (!prune()) {
+                    split_channels.emplace_back(unique_label(host + "-down"),
+                                                relay->down_tls.get());
+                    split_channels.emplace_back(unique_label(host + "-up"),
+                                                relay->up_tls.get());
+                }
+                auto retire = [this, relay, host] {
+                    if (!prune() || relay->retired) return;
+                    relay->retired = true;
+                    fold_stats(host + "-down", relay->down_tls->session_stats());
+                    fold_stats(host + "-up", relay->up_tls->session_stats());
+                    release_conn(relay->down, relay);
+                    release_conn(relay->up, relay);
+                };
+                down->set_on_data([relay, connect_upstream, retire](ConstBytes d) {
                     if (!relay->up) {
                         relay->up = connect_upstream(
                             [relay] {
@@ -886,20 +1046,22 @@ struct Testbed::Impl {
                                 (void)relay->up_tls->on_bytes(b);
                                 relay->pump();
                             },
-                            [relay] {
+                            [relay, retire] {
                                 relay->up_tls->transport_closed();
                                 if (!relay->down->close_queued()) relay->down->close();
+                                retire();
                             });
                     }
                     drain_rx_spans(relay->down, relay->down_tls.get());
                     (void)relay->down_tls->on_bytes(d);
                     relay->pump();
                 });
-                down->set_on_close([relay] {
+                down->set_on_close([relay, retire] {
                     relay->down_tls->transport_closed();
                     if (relay->up && !relay->up->close_queued()) relay->up->close();
+                    retire();
                 });
-                anchors.push_back(relay);
+                if (!prune()) anchors.push_back(relay);
                 break;
             }
             case Mode::mctls: {
@@ -920,8 +1082,17 @@ struct Testbed::Impl {
                 if (continuity()) mcfg.session_cache = &state.middlebox_cache(index);
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
-                relay_sessions.emplace_back(unique_label(host), relay->session.get());
-                down->set_on_data([relay, connect_upstream](ConstBytes d) {
+                if (!prune())
+                    relay_sessions.emplace_back(unique_label(host), relay->session.get());
+                auto retire = [this, relay, host] {
+                    if (!prune() || relay->retired) return;
+                    relay->retired = true;
+                    fold_stats(host, relay->session->session_stats());
+                    ++retired_sessions;
+                    release_conn(relay->down, relay);
+                    release_conn(relay->up, relay);
+                };
+                down->set_on_data([relay, connect_upstream, retire](ConstBytes d) {
                     if (!relay->up) {
                         relay->up = connect_upstream(
                             [relay] { relay->up_connected(); },
@@ -931,15 +1102,21 @@ struct Testbed::Impl {
                                 (void)relay->session->feed_from_server(b);
                                 relay->pump();
                             },
-                            [relay] { relay->side_closed(/*from_down=*/false); });
+                            [relay, retire] {
+                                relay->side_closed(/*from_down=*/false);
+                                retire();
+                            });
                     }
                     for (const auto& ctx : relay->down->take_rx_spans())
                         relay->session->queue_rx_span(true, ctx);
                     (void)relay->session->feed_from_client(d);
                     relay->pump();
                 });
-                down->set_on_close([relay] { relay->side_closed(/*from_down=*/true); });
-                anchors.push_back(relay);
+                down->set_on_close([relay, retire] {
+                    relay->side_closed(/*from_down=*/true);
+                    retire();
+                });
+                if (!prune()) anchors.push_back(relay);
                 break;
             }
             }
@@ -948,7 +1125,7 @@ struct Testbed::Impl {
 
     // ---- Client ----
 
-    struct ClientConn {
+    struct ClientConn : std::enable_shared_from_this<ClientConn> {
         Impl* impl;
         net::ConnectionPtr conn;
         std::unique_ptr<SecureChannel> channel;
@@ -974,13 +1151,22 @@ struct Testbed::Impl {
         {
             if (attempt_done) return;
             attempt_done = true;
-            // Clear on_connect too: a dead middlebox's FIN can outrun its
-            // SYN-ACK, and a late establish must not start() a dead channel.
-            conn->set_on_connect({});
-            conn->set_on_data({});
-            conn->set_on_close({});
+            if (!impl->prune()) {
+                // Clear on_connect too: a dead middlebox's FIN can outrun
+                // its SYN-ACK, and a late establish must not start() a dead
+                // channel. In prune mode these callbacks are the attempt's
+                // only owners, so clearing happens via release_conn one tick
+                // later instead; the attempt_done guards cover the gap.
+                conn->set_on_connect({});
+                conn->set_on_data({});
+                conn->set_on_close({});
+            }
             if (!conn->close_queued()) conn->abort();
             impl->capture_ticket(channel.get());
+            if (impl->prune()) {
+                impl->retire_channel("client", channel.get());
+                impl->release_conn(conn, shared_from_this());
+            }
             std::vector<size_t> remaining(pending.begin(), pending.end());
             impl->attempt_failed(std::move(remaining), result, on_done,
                                  std::move(reason));
@@ -993,7 +1179,11 @@ struct Testbed::Impl {
                 result->handshake_done = impl->loop->now();
                 result->handshake_wire_bytes = channel->handshake_wire_bytes();
             }
-            Request req = make_request("/obj/" + std::to_string(pending.front()));
+            std::string size_str = std::to_string(pending.front());
+            Request req = make_request(
+                impl->cfg.tag_sessions
+                    ? "/f" + std::to_string(result->id) + "/obj/" + size_str
+                    : "/obj/" + size_str);
             for (auto& part : partition_request(impl->cfg.strategy, req)) {
                 (void)channel->send_part(part.context_id, part.data);
                 flush();
@@ -1025,6 +1215,14 @@ struct Testbed::Impl {
                     return;
                 }
                 if (!resp.value().has_value()) break;
+                if (impl->cfg.tag_sessions) {
+                    // Organic isolation check: every body byte must carry
+                    // this fetch's fill. Anything else is another session's
+                    // plaintext (or corruption) delivered to this client.
+                    char want = fill_for(result->id);
+                    for (char c : resp.value()->body)
+                        if (c != want) ++result->body_mismatch_bytes;
+                }
                 result->object_done.push_back(impl->loop->now());
                 pending.pop_front();
                 request_outstanding = false;
@@ -1049,33 +1247,49 @@ struct Testbed::Impl {
             obs::trace_at(impl->tracer, impl->loop->now(), impl->actor_testbed,
                           obs::EventType::fetch_complete, 0,
                           result->app_bytes_received, result->attempts);
+            ++impl->completed_count;
+            impl->live_clients.erase(result->id);
+            if (impl->prune()) {
+                channel->close();  // polite close_notify toward the server
+                flush();
+                if (!conn->close_queued()) conn->close();
+                impl->retire_channel("client", channel.get());
+                impl->release_conn(conn, shared_from_this());
+            }
             impl->fetch_finished();
             if (on_done) on_done();
         }
     };
 
-    // Most recent client attempt; anchored for the testbed's lifetime, so
-    // the weak_ptr only protects against pre-first-fetch deadlines.
-    std::weak_ptr<ClientConn> active_client;
-
-    // Epoch-age deadline fired: bump the live client session's key epoch in
-    // place via the three-phase in-band rekey. Only meaningful for an
-    // established contributory-mode mcTLS channel; anything else skips this
-    // deadline (the next one fires regardless).
-    void rekey_active_client()
+    // Epoch-age deadline fired (or a chaos campaign asked for a rekey
+    // storm): bump every live client session's key epoch in place via the
+    // three-phase in-band rekey. Only meaningful for established
+    // contributory-mode mcTLS channels; anything else skips this deadline
+    // (the next one fires regardless). Returns how many rekeys started.
+    size_t rekey_live_sessions()
     {
-        if (cfg.mode != Mode::mctls || cfg.client_key_distribution) return;
-        auto client = active_client.lock();
-        if (!client || client->attempt_done) return;
-        auto* m = dynamic_cast<McTlsChannel*>(client->channel.get());
-        if (!m || !m->ready()) return;
-        if (!m->session().initiate_rekey()) return;
-        client->flush();
+        if (cfg.mode != Mode::mctls || cfg.client_key_distribution) return 0;
+        size_t n = 0;
+        for (auto it = live_clients.begin(); it != live_clients.end();) {
+            auto client = it->second.lock();
+            if (!client || client->attempt_done) {
+                it = live_clients.erase(it);
+                continue;
+            }
+            auto* m = dynamic_cast<McTlsChannel*>(client->channel.get());
+            if (m && m->ready() && m->session().initiate_rekey()) {
+                client->flush();
+                ++n;
+            }
+            ++it;
+        }
+        return n;
     }
 
     FetchPtr fetch_sequence(std::vector<size_t> sizes, std::function<void()> on_done)
     {
         auto result = std::make_shared<Fetch>();
+        result->id = ++next_fetch_id;
         result->start = loop->now();
         ++outstanding_fetches;
         schedule_maintenance();
@@ -1096,10 +1310,12 @@ struct Testbed::Impl {
         state->on_done = std::move(on_done);
         state->pending.assign(sizes.begin(), sizes.end());
         state->channel = make_client_channel();
-        all_channels.emplace_back(unique_label("client"), state->channel.get());
+        if (!prune())
+            all_channels.emplace_back(unique_label("client"), state->channel.get());
         state->conn = net.connect("client", client_first_hop(), kPort);
         state->conn->set_nagle(cfg.nagle);
         state->conn->set_on_connect([state] {
+            if (state->attempt_done) return;
             state->channel->start();
             state->flush();
             state->maybe_send_request();  // NoEncrypt is ready immediately
@@ -1110,9 +1326,11 @@ struct Testbed::Impl {
                              [state](const std::string& reason) {
                                  state->attempt_failed(reason);
                              });
-        active_client = state;
-        anchors.push_back(state);
-        tracked_conns.push_back(state->conn);
+        live_clients[state->result->id] = state;
+        if (!prune()) {
+            anchors.push_back(state);
+            tracked_conns.push_back(state->conn);
+        }
     }
 
     // A client attempt failed: retry with backoff under the configured
@@ -1129,6 +1347,8 @@ struct Testbed::Impl {
         if (!can_retry) {
             result->failed = true;
             result->done = loop->now();
+            ++failed_count;
+            live_clients.erase(result->id);
             fetch_finished();
             if (on_done) on_done();
             return;
@@ -1177,12 +1397,14 @@ struct Testbed::Impl {
             totals.overhead_bytes += channel->app_overhead_bytes();
             totals.records += channel->app_records_sent();
         }
+        totals.overhead_bytes += retired_overhead.overhead_bytes;
+        totals.records += retired_overhead.records;
         return totals;
     }
 
     uint64_t total_app_bytes() const
     {
-        uint64_t total = 0;
+        uint64_t total = retired_app_bytes;
         for (const auto& conn : tracked_conns)
             total += conn->app_bytes_sent();
         return total;
@@ -1197,6 +1419,11 @@ struct Testbed::Impl {
             cfg.obs->publish(label, channel->session_stats());
         for (const auto& [label, session] : relay_sessions)
             cfg.obs->publish(label, session->session_stats());
+        // Prune mode folds each retired session into a per-class aggregate
+        // ("client", "server", "mbox0", ...) at retirement time.
+        for (const auto& [cls, stats] : retired_stats) cfg.obs->publish(cls, stats);
+        cfg.obs->metrics.counter("fetch.completed")->set(completed_count);
+        cfg.obs->metrics.counter("fetch.failed")->set(failed_count);
         cfg.obs->metrics.counter("loop.events_run")->set(loop->events_run());
         cfg.obs->metrics.counter("loop.events_scheduled")->set(loop->events_scheduled());
         auto snap = state.snapshot();
@@ -1209,6 +1436,33 @@ struct Testbed::Impl {
         cfg.obs->metrics.counter("state.excisions_signalled")
             ->set(snap.excisions_signalled);
         cfg.obs->metrics.counter("state.excisions_applied")->set(snap.excisions_applied);
+        // Degradation gauges: instantaneous live-session count plus
+        // shed/decline/evict rates (per simulated second) over the window
+        // since the previous publish — the overload signals an operator
+        // would watch on the Prometheus hub.
+        cfg.obs->metrics.gauge("sessions.live")
+            ->set(static_cast<double>(outstanding_fetches));
+        uint64_t shed_total = snap.tls.shed + snap.server.shed + snap.middlebox.shed;
+        uint64_t decline_total =
+            snap.tls.declines + snap.server.declines + snap.middlebox.declines;
+        uint64_t evict_total =
+            snap.tls.evictions + snap.server.evictions + snap.middlebox.evictions;
+        net::SimTime now = loop->now();
+        double shed_rate = 0, decline_rate = 0, evict_rate = 0;
+        if (gauges_published && now > last_publish_at) {
+            double secs = static_cast<double>(now - last_publish_at) / 1e6;
+            shed_rate = static_cast<double>(shed_total - last_shed) / secs;
+            decline_rate = static_cast<double>(decline_total - last_declines) / secs;
+            evict_rate = static_cast<double>(evict_total - last_evictions) / secs;
+        }
+        cfg.obs->metrics.gauge("cache.shed_rate")->set(shed_rate);
+        cfg.obs->metrics.gauge("cache.decline_rate")->set(decline_rate);
+        cfg.obs->metrics.gauge("cache.evict_rate")->set(evict_rate);
+        gauges_published = true;
+        last_publish_at = now;
+        last_shed = shed_total;
+        last_declines = decline_total;
+        last_evictions = evict_total;
         if (cfg.spans) cfg.obs->publish_spans(*cfg.spans);
     }
 };
@@ -1250,6 +1504,36 @@ void Testbed::publish_session_stats()
 mctls::StatePlane& Testbed::state_plane()
 {
     return impl_->state;
+}
+
+net::SimNet& Testbed::sim_net()
+{
+    return impl_->net;
+}
+
+void Testbed::inject_fault(const FaultEvent& fault)
+{
+    impl_->apply_fault(fault);
+}
+
+size_t Testbed::rekey_live_sessions()
+{
+    return impl_->rekey_live_sessions();
+}
+
+size_t Testbed::live_fetches() const
+{
+    return impl_->outstanding_fetches;
+}
+
+uint64_t Testbed::completed_fetches() const
+{
+    return impl_->completed_count;
+}
+
+uint64_t Testbed::failed_fetches() const
+{
+    return impl_->failed_count;
 }
 
 }  // namespace mct::http

@@ -112,6 +112,19 @@ struct TestbedConfig {
     // behaviour identical to the pre-state-plane testbed.
     mctls::StatePlaneConfig state_plane;
 
+    // Concurrent-session soak knobs (DESIGN.md "Concurrency model & chaos
+    // plane"). tag_sessions threads the fetch id through the request path
+    // and derives the object body's fill byte from it, so every client can
+    // verify it received *its* object — an organic cross-session plaintext
+    // isolation check. Off by default: the deterministic figure benches
+    // depend on the exact untagged wire bytes.
+    bool tag_sessions = false;
+    // retain_sessions=false releases each session's graph (channels, relay
+    // sessions, connection callbacks) once its fetch completes, folding its
+    // stats into per-class aggregates — required to hold 10k+ sequential
+    // sessions without the testbed's keep-everything-alive default.
+    bool retain_sessions = true;
+
     // Telemetry hub. When set, every session created by the testbed emits
     // trace events under a stable actor name ("client", "server", "mboxN"),
     // the tracer's clock is bound to the sim loop, SimNet fault events are
@@ -146,6 +159,7 @@ public:
     void run() { loop_.run(); }
 
     struct Fetch {
+        uint64_t id = 0;  // unique per fetch_sequence call, 1-based
         net::SimTime start = 0;
         net::SimTime handshake_done = 0;
         net::SimTime first_byte = 0;
@@ -161,6 +175,10 @@ public:
         uint64_t app_overhead_bytes = 0;    // client channel record overhead
         uint64_t app_bytes_received = 0;
         uint64_t wire_bytes_client_link = 0;  // all TCP payload+headers at client
+        // tag_sessions only: object-body bytes that did not carry this
+        // fetch's fill byte. Nonzero means another session's plaintext (or
+        // corrupted plaintext) was delivered to this client.
+        uint64_t body_mismatch_bytes = 0;
     };
     using FetchPtr = std::shared_ptr<Fetch>;
 
@@ -197,6 +215,23 @@ public:
     // maintenance (sweeps/rekey/excision deadlines tick off the sim loop
     // while fetches are outstanding).
     mctls::StatePlane& state_plane();
+
+    // The simulated network (chaos campaigns reach link-level faults —
+    // latency scaling, partitions — directly).
+    net::SimNet& sim_net();
+
+    // Chaos plane entry points. inject_fault applies a fault immediately
+    // (campaign schedulers own the timing; cfg.faults remains the declarative
+    // route). rekey_live_sessions initiates the three-phase in-band rekey on
+    // every live established contributory-mode mcTLS client — a rekey storm
+    // when many sessions are up — and returns how many were started.
+    void inject_fault(const FaultEvent& fault);
+    size_t rekey_live_sessions();
+
+    // Concurrency counters: fetches currently in flight / finished so far.
+    size_t live_fetches() const;
+    uint64_t completed_fetches() const;
+    uint64_t failed_fetches() const;
 
 private:
     struct Impl;

@@ -63,6 +63,24 @@ void StatePlane::excise_middlebox(size_t index)
     ++excisions_applied_;
 }
 
+void StatePlane::scale_budgets(double factor)
+{
+    if (factor < 0) factor = 0;
+    budget_factor_ = factor;
+    auto scaled = [factor](uint64_t v) -> uint64_t {
+        if (v == 0) return 0;  // unbounded stays unbounded
+        double s = static_cast<double>(v) * factor;
+        return s < 1.0 ? 1 : static_cast<uint64_t>(s);
+    };
+    auto apply = [&](auto& cache, const util::CacheConfig& base) {
+        cache.set_capacity(static_cast<size_t>(scaled(base.capacity)));
+        cache.set_memory_budget(scaled(base.memory_budget));
+    };
+    apply(tls_, cfg_.tls);
+    apply(server_, cfg_.server);
+    for (auto& cache : mbox_) apply(cache, cfg_.middlebox);
+}
+
 util::CacheStats StatePlane::add(util::CacheStats a, const util::CacheStats& b)
 {
     a.hits += b.hits;

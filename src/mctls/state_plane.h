@@ -75,6 +75,14 @@ public:
     // once it has actually excised the middlebox from live sessions.
     void excise_middlebox(size_t index);
 
+    // Scale every cache's standing bounds (capacity and memory budget) by
+    // `factor` relative to the *configured* bounds — factor 0.5 halves them,
+    // 1.0 restores the original config. Shrinking evicts immediately, so a
+    // byte-budget invariant holds across the squeeze (the chaos plane's
+    // cache-budget squeeze rides this). Unbounded budgets (0) stay 0.
+    void scale_budgets(double factor);
+    double budget_factor() const { return budget_factor_; }
+
     // Hooks fired from tick(). All optional.
     std::function<void(uint64_t now)> on_rekey_due;
     std::function<void(size_t index, uint64_t now)> on_excise_due;
@@ -103,6 +111,7 @@ private:
     std::vector<MiddleboxSessionCache> mbox_;
     util::TickScheduler sched_;
     std::vector<uint64_t> excise_timer_;  // pending task id per relay; 0 = none
+    double budget_factor_ = 1.0;
     uint64_t sweeps_ = 0;
     uint64_t swept_entries_ = 0;
     uint64_t rekeys_signalled_ = 0;

@@ -26,7 +26,8 @@ void Link::transmit(size_t wire_bytes, std::function<void()> on_arrival)
         ++packets_dropped_;  // consumed link time, never arrives
         return;
     }
-    loop_.schedule_at(busy_until_ + cfg_.latency, std::move(on_arrival));
+    auto latency = static_cast<SimTime>(static_cast<double>(cfg_.latency) * latency_factor_);
+    loop_.schedule_at(busy_until_ + latency, std::move(on_arrival));
 }
 
 void Connection::send(ConstBytes data)
@@ -295,6 +296,12 @@ void SimNet::set_tracer(obs::Tracer* tracer)
         conn->tracer_ = tracer_;
         conn->trace_actor_ = trace_actor_;
     }
+}
+
+void SimNet::set_link_latency_factor(const std::string& a, const std::string& b, double factor)
+{
+    link_between(a, b)->set_latency_factor(factor);
+    link_between(b, a)->set_latency_factor(factor);
 }
 
 void SimNet::set_link_down(const std::string& a, const std::string& b, bool down)

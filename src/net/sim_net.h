@@ -60,6 +60,13 @@ public:
     void set_down(bool down) { down_ = down; }
     bool down() const { return down_; }
 
+    // Degradation: scale propagation delay at runtime (congestion / delay
+    // fault). Applies to packets transmitted after the call; factor 1
+    // restores nominal latency. In-flight packets keep their old arrival
+    // time, exactly like a real route change.
+    void set_latency_factor(double factor) { latency_factor_ = factor < 0 ? 0 : factor; }
+    double latency_factor() const { return latency_factor_; }
+
     uint64_t bytes_carried() const { return bytes_carried_; }
     uint64_t packets_dropped() const { return packets_dropped_; }
     bool lossy() const { return cfg_.loss_rate > 0 || cfg_.faultable; }
@@ -70,6 +77,7 @@ private:
     Rng* rng_;
     SimTime busy_until_ = 0;
     bool down_ = false;
+    double latency_factor_ = 1.0;
     uint64_t bytes_carried_ = 0;
     uint64_t packets_dropped_ = 0;
 };
@@ -241,6 +249,9 @@ public:
     void listen(const std::string& host, uint16_t port, AcceptCallback on_accept);
     // Take the duplex link between a and b down (or back up).
     void set_link_down(const std::string& a, const std::string& b, bool down);
+    // Scale the duplex link's propagation delay (both directions): the
+    // chaos plane's "delay" fault. Factor 1 restores the nominal latency.
+    void set_link_latency_factor(const std::string& a, const std::string& b, double factor);
     // Open a connection from `from` to `to`:`port`; hosts must share a link.
     // The returned connection fires on_connect once the handshake completes.
     ConnectionPtr connect(const std::string& from, const std::string& to, uint16_t port);

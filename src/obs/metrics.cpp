@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
 
 #include "obs/json.h"
 
@@ -65,6 +66,14 @@ Counter* MetricsRegistry::counter(std::string_view name)
     return it->second.get();
 }
 
+Gauge* MetricsRegistry::gauge(std::string_view name)
+{
+    auto it = gauges_.find(std::string(name));
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    return it->second.get();
+}
+
 Histogram* MetricsRegistry::histogram(std::string_view name)
 {
     auto it = histograms_.find(std::string(name));
@@ -86,6 +95,13 @@ std::string prometheus_name(const std::string& name)
         out.push_back(ok ? c : '_');
     }
     return out;
+}
+
+std::string format_double(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
 }
 
 }  // namespace
@@ -123,6 +139,12 @@ void MetricsRegistry::to_prometheus(std::string* out) const
         out->append("# TYPE " + n + " counter\n");
         out->append(n + " " + std::to_string(c->value()) + "\n");
     }
+    for (const auto& [name, g] : gauges_) {
+        std::string n = prometheus_name(name);
+        out->append("# HELP " + n + " " + prometheus_escape_help(name) + "\n");
+        out->append("# TYPE " + n + " gauge\n");
+        out->append(n + " " + format_double(g->value()) + "\n");
+    }
     for (const auto& [name, h] : histograms_) {
         std::string n = prometheus_name(name);
         out->append("# HELP " + n + " " + prometheus_escape_help(name) + "\n");
@@ -153,6 +175,13 @@ void MetricsRegistry::to_json(std::string* out) const
     for (const auto& [name, c] : counters_) {
         w.key(name);
         w.value(c->value());
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, g] : gauges_) {
+        w.key(name);
+        w.value(g->value());
     }
     w.end_object();
     w.key("histograms");

@@ -26,6 +26,19 @@ private:
     uint64_t value_ = 0;
 };
 
+// An instantaneous value that can go up and down (live session count,
+// rates derived from counter deltas). Stored as double so rate gauges do
+// not truncate.
+class Gauge {
+public:
+    void set(double v) { value_ = v; }
+    void add(double d) { value_ += d; }
+    double value() const { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
 class Histogram {
 public:
     // Bucket layout: [0] holds exact zeros, then kOctaves * kSubBuckets
@@ -64,12 +77,15 @@ private:
 class MetricsRegistry {
 public:
     Counter* counter(std::string_view name);
+    Gauge* gauge(std::string_view name);
     Histogram* histogram(std::string_view name);
 
     const std::map<std::string, std::unique_ptr<Counter>>& counters() const { return counters_; }
+    const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
     const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const { return histograms_; }
 
     // One JSON object: {"counters":{name:value,...},
+    //                   "gauges":{name:value,...},
     //                   "histograms":{name:{count,sum,min,max,mean,p50,p90,p99},...}}
     void to_json(std::string* out) const;
 
@@ -85,6 +101,7 @@ public:
 
 private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

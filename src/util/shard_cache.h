@@ -310,6 +310,24 @@ public:
     size_t shard_count() const { return shards_.size(); }
     const CacheConfig& config() const { return cfg_; }
 
+    // Runtime bound changes (operator tightening a budget under pressure, or
+    // the chaos plane squeezing live caches). Shrinking evicts coldest
+    // entries immediately — round-robin across shards so no single shard is
+    // drained first — until the cache is back within both bounds. The
+    // degradation policy governs *inserts*; a shrink must reclaim, so it
+    // always evicts (counted as evictions) even under `decline`.
+    void set_capacity(size_t capacity)
+    {
+        cfg_.capacity = capacity;
+        shrink_to_fit();
+    }
+
+    void set_memory_budget(uint64_t budget)
+    {
+        cfg_.memory_budget = budget;
+        shrink_to_fit();
+    }
+
     CacheStats stats() const
     {
         CacheStats total;
@@ -427,6 +445,35 @@ private:
             notify(CacheEvent::shed, freed);
         }
         return true;
+    }
+
+    // True while the cache exceeds its *standing* bounds (no incoming entry
+    // involved) — the shrink predicate, distinct from over_limit()'s
+    // would-an-insert-fit check.
+    bool over_standing_bounds() const
+    {
+        if (entries_.load(std::memory_order_relaxed) > cfg_.capacity) return true;
+        return cfg_.memory_budget != 0 &&
+               bytes_.load(std::memory_order_relaxed) > cfg_.memory_budget;
+    }
+
+    void shrink_to_fit()
+    {
+        while (over_standing_bounds()) {
+            bool any = false;
+            for (auto& sp : shards_) {
+                if (!over_standing_bounds()) break;
+                Shard& shard = *sp;
+                std::lock_guard<std::mutex> lock(shard.mu);
+                if (shard.lru.empty()) continue;
+                uint64_t freed = shard.lru.back().bytes;
+                unlink(shard, std::prev(shard.lru.end()));
+                shard.stats.evictions++;
+                notify(CacheEvent::evicted, freed);
+                any = true;
+            }
+            if (!any) break;  // concurrent erases emptied everything
+        }
     }
 
     CacheConfig cfg_;

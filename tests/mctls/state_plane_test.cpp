@@ -274,5 +274,38 @@ TEST(StatePlane, BoundedCachesSurviveRepeatedResumeCycles)
     EXPECT_LE(snap.middlebox.entries, 1u);
 }
 
+TEST(StatePlane, ScaleBudgetsSqueezesAndRestores)
+{
+    StatePlaneConfig cfg;
+    cfg.server.capacity = 8;
+    cfg.server.shards = 1;
+    cfg.middlebox.capacity = 8;
+    cfg.middlebox.shards = 1;
+    StatePlane plane(cfg, /*n_middleboxes=*/2);
+    for (uint8_t i = 0; i < 8; ++i) {
+        plane.server_cache().put(server_ticket(i));
+        plane.middlebox_cache(0).put(relay_ticket(i));
+        plane.middlebox_cache(1).put(relay_ticket(i));
+    }
+    ASSERT_EQ(plane.server_cache().size(), 8u);
+
+    // Squeeze to a quarter: every cache sheds down to the scaled bound
+    // immediately (coldest first), and the factor is observable.
+    plane.scale_budgets(0.25);
+    EXPECT_DOUBLE_EQ(plane.budget_factor(), 0.25);
+    EXPECT_EQ(plane.server_cache().size(), 2u);
+    EXPECT_EQ(plane.middlebox_cache(0).size(), 2u);
+    EXPECT_EQ(plane.middlebox_cache(1).size(), 2u);
+    EXPECT_GE(plane.snapshot().server.evictions, 6u);
+
+    // Restore: bounds go back to the configured values; the population
+    // regrows organically (nothing is resurrected).
+    plane.scale_budgets(1.0);
+    EXPECT_EQ(plane.server_cache().config().capacity, 8u);
+    EXPECT_EQ(plane.server_cache().size(), 2u);
+    for (uint8_t i = 8; i < 12; ++i) plane.server_cache().put(server_ticket(i));
+    EXPECT_EQ(plane.server_cache().size(), 6u);
+}
+
 }  // namespace
 }  // namespace mct::mctls

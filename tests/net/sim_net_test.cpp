@@ -40,6 +40,29 @@ TEST(SimNet, AcceptFiresAtHalfRtt)
     EXPECT_EQ(accepted_at, 20_ms);
 }
 
+TEST(SimNet, LatencyFactorScalesPropagationDelay)
+{
+    // A delay fault: tripling the link's latency factor makes the connect
+    // RTT 3x, and restoring factor 1 restores the nominal timing for
+    // packets sent afterwards.
+    TwoHosts env;
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    env.net.set_link_latency_factor("client", "server", 3.0);
+    auto conn = env.net.connect("client", "server", 80);
+    SimTime connected_at = 0;
+    conn->set_on_connect([&] { connected_at = env.loop.now(); });
+    env.loop.run();
+    EXPECT_EQ(connected_at, 120_ms);  // 3 * (SYN + SYN-ACK over 20 ms links)
+
+    env.net.set_link_latency_factor("client", "server", 1.0);
+    env.net.listen("server", 81, [](ConnectionPtr) {});
+    auto conn2 = env.net.connect("client", "server", 81);
+    SimTime second_at = 0;
+    conn2->set_on_connect([&] { second_at = env.loop.now(); });
+    env.loop.run();
+    EXPECT_EQ(second_at, connected_at + 40_ms);
+}
+
 TEST(SimNet, EchoRoundTrip)
 {
     TwoHosts env;

@@ -261,5 +261,44 @@ TEST(MetricsRegistry, PrometheusOverflowBucketExportsUnderInf)
     EXPECT_NE(text.find("big_count 2\n"), std::string::npos);
 }
 
+TEST(Gauge, SetAddAndRegistryIdentity)
+{
+    MetricsRegistry reg;
+    Gauge* g = reg.gauge("sessions.live");
+    EXPECT_DOUBLE_EQ(g->value(), 0.0);
+    g->set(12);
+    g->add(3);
+    g->add(-5);
+    EXPECT_DOUBLE_EQ(g->value(), 10.0);
+    EXPECT_EQ(reg.gauge("sessions.live"), g);
+    EXPECT_EQ(reg.gauges().size(), 1u);
+}
+
+TEST(Gauge, JsonAndPrometheusExposition)
+{
+    MetricsRegistry reg;
+    reg.gauge("sessions.live")->set(42);
+    reg.gauge("cache.shed_rate")->set(1.5);
+    std::string out;
+    reg.to_json(&out);
+    auto doc = json_parse(out);
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    const JsonValue* gauges = doc.value().get("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->get("sessions.live"), nullptr);
+    EXPECT_DOUBLE_EQ(gauges->get("sessions.live")->num, 42.0);
+    ASSERT_NE(gauges->get("cache.shed_rate"), nullptr);
+    EXPECT_DOUBLE_EQ(gauges->get("cache.shed_rate")->num, 1.5);
+
+    std::string text;
+    reg.to_prometheus(&text);
+    EXPECT_NE(text.find("# TYPE sessions_live gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("sessions_live 42\n"), std::string::npos);
+    EXPECT_NE(text.find("cache_shed_rate 1.5\n"), std::string::npos);
+    // Gauges carry the HELP line with the unsanitized name like every
+    // other family.
+    EXPECT_NE(text.find("# HELP sessions_live sessions.live\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mct::obs

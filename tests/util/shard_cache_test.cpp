@@ -4,7 +4,10 @@
 // the stats/observer plumbing the testbed builds its telemetry on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -293,6 +296,156 @@ TEST(ShardCache, MoveCarriesEntriesAndAccounting)
     EXPECT_EQ(moved.size(), 2u);
     EXPECT_NE(moved.find(id_of("a")), nullptr);
     EXPECT_GT(moved.memory_bytes(), 0u);
+}
+
+TEST(ShardCache, BudgetBoundaryExactFitIsAdmitted)
+{
+    // An insert that lands *exactly* on the byte budget must be admitted
+    // without any degradation decision; one byte more must trigger one.
+    uint64_t per_entry = Cache::kNodeOverhead + 1 + 1 + 8;  // key + id + payload
+    CacheConfig cc = single_shard(1000);
+    cc.memory_budget = 2 * per_entry;
+    Cache cache(cc);
+    EXPECT_EQ(cache.put(val("a")), PutOutcome::inserted);
+    EXPECT_EQ(cache.put(val("b")), PutOutcome::inserted);
+    EXPECT_EQ(cache.memory_bytes(), cc.memory_budget);  // exactly full
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // One more byte anywhere cannot fit: the ladder fires.
+    EXPECT_EQ(cache.put(val("c")), PutOutcome::inserted);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.memory_bytes(), cc.memory_budget);
+}
+
+TEST(ShardCache, BudgetBoundaryDeclineAtExactlyFull)
+{
+    // Threshold crossing under `decline`: the entry that would push the
+    // cache past the budget is refused, the resident set is untouched, and
+    // the accounting stays exactly at the boundary.
+    uint64_t per_entry = Cache::kNodeOverhead + 1 + 1 + 8;
+    CacheConfig cc = single_shard(1000);
+    cc.memory_budget = 2 * per_entry;
+    cc.policy = DegradationPolicy::decline;
+    Cache cache(cc);
+    cache.put(val("a"));
+    cache.put(val("b"));
+    ASSERT_EQ(cache.memory_bytes(), cc.memory_budget);
+    EXPECT_EQ(cache.put(val("c")), PutOutcome::declined);
+    EXPECT_EQ(cache.memory_bytes(), cc.memory_budget);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().declines, 1u);
+
+    // A same-key replace of identical size still fits (the old node is
+    // unlinked before the room check), so exactly-full is not a deadlock.
+    EXPECT_EQ(cache.put(val("a")), PutOutcome::replaced);
+    EXPECT_EQ(cache.memory_bytes(), cc.memory_budget);
+}
+
+TEST(ShardCache, BudgetBoundaryShedCrossingDropsBatchThenAdmits)
+{
+    uint64_t per_entry = Cache::kNodeOverhead + 2 + 2 + 8;  // 2-char keys
+    CacheConfig cc = single_shard(1000);
+    cc.memory_budget = 4 * per_entry;
+    cc.policy = DegradationPolicy::shed;
+    cc.shed_batch = 2;
+    Cache cache(cc);
+    for (int i = 0; i < 4; ++i) cache.put(val("k" + std::to_string(i)));
+    ASSERT_EQ(cache.memory_bytes(), cc.memory_budget);
+
+    // Crossing the full budget sheds one batch (2 coldest), then admits.
+    EXPECT_EQ(cache.put(val("n0")), PutOutcome::inserted);
+    EXPECT_EQ(cache.stats().shed, 2u);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_LE(cache.memory_bytes(), cc.memory_budget);
+    EXPECT_EQ(cache.find(id_of("k0")), nullptr);
+    EXPECT_EQ(cache.find(id_of("k1")), nullptr);
+    EXPECT_NE(cache.find(id_of("n0")), nullptr);
+}
+
+TEST(ShardCache, ConcurrentInsertEvictHoldsByteBudgetAtExactlyFull)
+{
+    // Writers hammer a budget sized to hold exactly 8 same-sized entries
+    // while a reader polls the accounting. The byte budget must hold at
+    // every instant (entries are only charged under the shard lock after
+    // make_room), and the final state must balance insert/evict counters.
+    uint64_t per_entry = Cache::kNodeOverhead + 4 + 4 + 8;  // "wNNN" keys
+    CacheConfig cc;
+    cc.capacity = 1 << 20;
+    cc.shards = 1;  // one shard = the global bound is also the shard bound
+    cc.memory_budget = 8 * per_entry;
+    Cache cache(cc);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> budget_breaches{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            if (cache.memory_bytes() > cc.memory_budget)
+                budget_breaches.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < 2000; ++i) {
+                char key[8];
+                std::snprintf(key, sizeof(key), "w%d%02d", t, i % 64);
+                (void)cache.put(val(key));
+                if ((i & 15) == 0) (void)cache.lookup(id_of(key), 0, nullptr);
+            }
+        });
+    }
+    for (auto& w : writers) w.join();
+    stop.store(true, std::memory_order_release);
+    reader.join();
+
+    EXPECT_EQ(budget_breaches.load(), 0u);
+    EXPECT_LE(cache.memory_bytes(), cc.memory_budget);
+    EXPECT_EQ(cache.size(), cache.memory_bytes() / per_entry);
+    CacheStats s = cache.stats();
+    // Conservation: every insert either still lives or was evicted.
+    EXPECT_EQ(s.insertions, s.evictions + cache.size());
+}
+
+TEST(ShardCache, SetMemoryBudgetShrinksToFitImmediately)
+{
+    uint64_t per_entry = Cache::kNodeOverhead + 2 + 2 + 8;
+    CacheConfig cc = single_shard(1000);
+    cc.memory_budget = 8 * per_entry;
+    Cache cache(cc);
+    for (int i = 0; i < 8; ++i) cache.put(val("k" + std::to_string(i)));
+    ASSERT_EQ(cache.size(), 8u);
+
+    // Squeeze to half: the 4 coldest go immediately, not lazily on the
+    // next put, so a budget invariant checker never sees an overshoot.
+    cache.set_memory_budget(4 * per_entry);
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_LE(cache.memory_bytes(), 4 * per_entry);
+    EXPECT_EQ(cache.config().memory_budget, 4 * per_entry);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(cache.find(id_of("k" + std::to_string(i))), nullptr) << i;
+    for (int i = 4; i < 8; ++i)
+        EXPECT_NE(cache.find(id_of("k" + std::to_string(i))), nullptr) << i;
+    EXPECT_EQ(cache.stats().evictions, 4u);
+
+    // Restoring the budget does not resurrect anything.
+    cache.set_memory_budget(8 * per_entry);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(ShardCache, SetCapacityShrinksEvenUnderDeclinePolicy)
+{
+    // The degradation policy governs inserts; an operator shrink must
+    // reclaim regardless, otherwise a `decline` cache could never be
+    // squeezed below its standing population.
+    CacheConfig cc = single_shard(8);
+    cc.policy = DegradationPolicy::decline;
+    Cache cache(cc);
+    for (int i = 0; i < 8; ++i) cache.put(val("k" + std::to_string(i)));
+    cache.set_capacity(3);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 5u);
+    EXPECT_NE(cache.find(id_of("k7")), nullptr);  // hottest survive
+    EXPECT_EQ(cache.find(id_of("k0")), nullptr);
 }
 
 }  // namespace
