@@ -21,6 +21,7 @@
 
 #include "bench_json.h"
 #include "bench_timing.h"
+#include "crypto/cpu.h"
 #include "crypto/ed25519.h"
 #include "mctls/context_crypto.h"
 #include "tls/record.h"
@@ -80,6 +81,18 @@ int main()
             tls_seal.protect_into(tls::ContentType::application_data, 0, payload, rng, *wire);
             ++sealed_records;
         }));
+        // Full record seal with the crypto pinned to the portable scalar
+        // table: what the paper's numbers look like without AES-NI/SHA-NI,
+        // and a host-independent series (the scalar arm exists everywhere).
+        {
+            crypto::ScopedDispatchOverride pin(crypto::scalar_dispatch());
+            report.point("mctls_seal@scalar", x, bench::ops_per_sec([&] {
+                PooledBuffer wire(pool, mctls::sealed_record_size(payload.size()));
+                mctls::seal_record_into(ctx, endpoint, mctls::Direction::client_to_server, seq++,
+                                        1, payload, rng, *wire);
+                ++sealed_records;
+            }));
+        }
     }
 
     // Optional mode (b): the paper judged per-record signatures too costly

@@ -8,6 +8,7 @@
 #include "bench_json.h"
 #include "bench_timing.h"
 #include "crypto/aes.h"
+#include "crypto/cpu.h"
 #include "crypto/drbg.h"
 #include "crypto/ed25519.h"
 #include "crypto/hmac.h"
@@ -54,7 +55,40 @@ int main()
             auto r = crypto::aes128_cbc_decrypt_into(cipher, ct, plain);
             (void)r;
         }));
+        Bytes nonce = rng.bytes(16);
+        report.point("aes128_ctr_MBps", x, mb * bench::ops_per_sec([&] {
+            auto r = crypto::aes128_ctr(key16, nonce, data);
+            (void)r;
+        }));
+
+        // The same bulk primitives pinned to the portable scalar table. The
+        // "@scalar" series exist on every host (the scalar arm always
+        // compiles), so baselines stay structurally comparable across
+        // machines with and without AES-NI/SHA-NI; the ratio against the
+        // rows above is the dispatch speedup on this host.
+        {
+            crypto::ScopedDispatchOverride pin(crypto::scalar_dispatch());
+            report.point("sha256_MBps@scalar", x,
+                         mb * bench::ops_per_sec([&] { crypto::Sha256::digest(data); }));
+            report.point("hmac_sha256_MBps@scalar", x, mb * bench::ops_per_sec([&] {
+                crypto::HmacSha256::mac(key32, data);
+            }));
+            report.point("aes128_cbc_encrypt_MBps@scalar", x, mb * bench::ops_per_sec([&] {
+                crypto::aes128_cbc_encrypt(key16, data, rng);
+            }));
+            report.point("aes128_cbc_decrypt_MBps@scalar", x, mb * bench::ops_per_sec([&] {
+                auto r = crypto::aes128_cbc_decrypt(key16, ct);
+                (void)r;
+            }));
+            report.point("aes128_ctr_MBps@scalar", x, mb * bench::ops_per_sec([&] {
+                auto r = crypto::aes128_ctr(key16, nonce, data);
+                (void)r;
+            }));
+        }
     }
+    // Which table the unpinned rows above ran on (1 = hardware backend).
+    if (crypto::accelerated_dispatch() != nullptr)
+        report.metrics().counter("backend_accelerated")->add();
 
     {
         Bytes secret = rng.bytes(48);

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification in one shot: the plain release build + full ctest
 # (the gate every PR must keep green), then the ASan+UBSan configuration
-# via scripts/verify_sanitize.sh. Extra arguments are forwarded to both
-# ctest invocations (e.g. `scripts/verify_all.sh -R StatePlane`).
+# via scripts/verify_sanitize.sh, then the forced-scalar crypto build.
+# Extra arguments are forwarded to the ctest invocations
+# (e.g. `scripts/verify_all.sh -R StatePlane`).
 #
 # The sanitizer pass is not optional garnish: the state-plane eviction,
 # sweep, and crash-restart teardown paths (DESIGN.md "State plane",
@@ -11,25 +12,36 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] tier-1: release build + ctest ==="
+echo "=== [1/5] tier-1: release build + ctest ==="
 cmake -B build -S .
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" "$@"
 
-echo "=== [2/4] bench gate: smoke benches vs committed baselines ==="
+echo "=== [2/5] bench gate: smoke benches vs committed baselines ==="
 # ctest runs this too (bench_smoke + bench_gate), but an explicit pass keeps
 # the gate in the loop even when "$@" filters the test set, and prints the
 # comparison where it is easy to see.
 cmake --build build --target bench-smoke
 python3 scripts/bench_compare.py build/bench-smoke-json bench/baselines/smoke
 
-echo "=== [3/4] soak: seeded chaos campaigns (ctest label: soak) ==="
+echo "=== [3/5] soak: seeded chaos campaigns (ctest label: soak) ==="
 # Concurrent-session soaks under the deterministic chaos plane (DESIGN.md
 # "Concurrency model & chaos plane"). A red soak prints MCT_CHAOS_SEED=<n>
 # in every failure; scripts/soak.sh replays that exact schedule.
 ctest --test-dir build --output-on-failure -L soak
 
-echo "=== [4/4] sanitizers: ASan+UBSan build + ctest ==="
+echo "=== [4/5] sanitizers: ASan+UBSan build + ctest ==="
 scripts/verify_sanitize.sh "$@"
+
+echo "=== [5/5] forced-scalar: portable-only crypto build + ctest ==="
+# -DMCT_FORCE_SCALAR=ON compiles the AES-NI/SHA-NI translation units out
+# entirely — the configuration a non-x86 host builds (DESIGN.md "Crypto
+# dispatch"). Running the full suite against it proves the portable scalar
+# code still carries the protocol on its own, including the golden
+# wire-byte tests (ciphertext is backend-invariant). MCT_FORCE_SCALAR=1 in
+# the environment additionally exercises the runtime pin on that build.
+cmake -B build-scalar -S . -DMCT_FORCE_SCALAR=ON
+cmake --build build-scalar -j "$(nproc)"
+MCT_FORCE_SCALAR=1 ctest --test-dir build-scalar --output-on-failure -j "$(nproc)" "$@"
 
 echo "=== verify_all: OK ==="

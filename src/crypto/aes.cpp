@@ -3,97 +3,128 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "crypto/cpu.h"
+
 namespace mct::crypto {
 
 namespace {
 
 // GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
-uint8_t gmul(uint8_t a, uint8_t b)
+constexpr uint8_t gmul(uint8_t a, uint8_t b)
 {
     uint8_t p = 0;
     for (int i = 0; i < 8; ++i) {
         if (b & 1) p ^= a;
         bool hi = a & 0x80;
-        a <<= 1;
+        a = static_cast<uint8_t>(a << 1);
         if (hi) a ^= 0x1b;
         b >>= 1;
     }
     return p;
 }
 
-uint8_t rotl8(uint8_t x, unsigned n)
+constexpr uint8_t rotl8(uint8_t x, unsigned n)
 {
     return static_cast<uint8_t>(x << n | x >> (8 - n));
 }
 
 struct Tables {
-    std::array<uint8_t, 256> sbox;
-    std::array<uint8_t, 256> inv_sbox;
-    std::array<uint8_t, 11> rcon;
+    std::array<uint8_t, 256> sbox{};
+    std::array<uint8_t, 256> inv_sbox{};
+    std::array<uint8_t, 11> rcon{};
     // Fixed-multiplier GF(2^8) product tables for MixColumns and its
     // inverse; indexed as mul[k][x] with k in {2,3,9,11,13,14}.
-    std::array<std::array<uint8_t, 256>, 15> mul;
+    std::array<std::array<uint8_t, 256>, 15> mul{};
 };
 
-const Tables& tables()
+// Derived entirely at compile time (the 256x256 inverse scan runs in the
+// constexpr evaluator), so first use costs nothing at runtime: the first
+// record's crypto span and first-iteration bench samples see steady-state
+// block costs. tests/crypto pin both the FIPS vectors and the first-use
+// timing property.
+constexpr Tables make_tables()
 {
-    static const Tables t = [] {
-        Tables out{};
-        // Multiplicative inverses by brute force (256*256 once, at startup).
-        std::array<uint8_t, 256> inv{};
-        for (int a = 1; a < 256; ++a) {
-            for (int b = 1; b < 256; ++b) {
-                if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
-                    inv[a] = static_cast<uint8_t>(b);
-                    break;
-                }
+    Tables out{};
+    // Multiplicative inverses by brute force, once, in the compiler.
+    std::array<uint8_t, 256> inv{};
+    for (int a = 1; a < 256; ++a) {
+        for (int b = 1; b < 256; ++b) {
+            if (gmul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)) == 1) {
+                inv[a] = static_cast<uint8_t>(b);
+                break;
             }
         }
-        for (int a = 0; a < 256; ++a) {
-            uint8_t x = inv[a];
-            uint8_t s = static_cast<uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^
-                                             rotl8(x, 4) ^ 0x63);
-            out.sbox[a] = s;
-            out.inv_sbox[s] = static_cast<uint8_t>(a);
-        }
-        uint8_t rc = 1;
-        for (int i = 1; i <= 10; ++i) {
-            out.rcon[i] = rc;
-            rc = gmul(rc, 2);
-        }
-        for (int k : {2, 3, 9, 11, 13, 14}) {
-            for (int x = 0; x < 256; ++x)
-                out.mul[k][x] = gmul(static_cast<uint8_t>(k), static_cast<uint8_t>(x));
-        }
-        return out;
-    }();
-    return t;
+    }
+    for (int a = 0; a < 256; ++a) {
+        uint8_t x = inv[a];
+        uint8_t s = static_cast<uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^
+                                         rotl8(x, 4) ^ 0x63);
+        out.sbox[a] = s;
+        out.inv_sbox[s] = static_cast<uint8_t>(a);
+    }
+    uint8_t rc = 1;
+    for (int i = 1; i <= 10; ++i) {
+        out.rcon[i] = rc;
+        rc = gmul(rc, 2);
+    }
+    for (int k : {2, 3, 9, 11, 13, 14}) {
+        for (int x = 0; x < 256; ++x)
+            out.mul[k][x] = gmul(static_cast<uint8_t>(k), static_cast<uint8_t>(x));
+    }
+    return out;
+}
+
+constexpr Tables kTables = make_tables();
+
+// InvMixColumns of one 16-byte round key, for the equivalent-inverse-cipher
+// schedule (what AESIMC computes).
+void inv_mix_columns(const uint8_t in[16], uint8_t out[16])
+{
+    const auto& m9 = kTables.mul[9];
+    const auto& m11 = kTables.mul[11];
+    const auto& m13 = kTables.mul[13];
+    const auto& m14 = kTables.mul[14];
+    for (int c = 0; c < 4; ++c) {
+        const uint8_t* col = in + 4 * c;
+        uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        out[4 * c + 0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3];
+        out[4 * c + 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3];
+        out[4 * c + 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3];
+        out[4 * c + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3];
+    }
 }
 
 }  // namespace
 
-Aes128::Aes128(ConstBytes key)
+namespace detail {
+
+void aes128_expand_scalar(const uint8_t key[16], uint8_t rk[176], uint8_t drk[176])
 {
-    if (key.size() != kKeySize) throw std::invalid_argument("Aes128: key must be 16 bytes");
-    const auto& t = tables();
-    std::memcpy(round_keys_[0].data(), key.data(), 16);
+    const auto& t = kTables;
+    std::memcpy(rk, key, 16);
     for (int round = 1; round <= 10; ++round) {
-        const auto& prev = round_keys_[round - 1];
-        auto& rk = round_keys_[round];
+        const uint8_t* prev = rk + 16 * (round - 1);
+        uint8_t* out = rk + 16 * round;
         // First word: RotWord + SubWord + Rcon.
         uint8_t w[4] = {prev[13], prev[14], prev[15], prev[12]};
         for (auto& b : w) b = t.sbox[b];
         w[0] ^= t.rcon[round];
-        for (int i = 0; i < 4; ++i) rk[i] = prev[i] ^ w[i];
-        for (int i = 4; i < 16; ++i) rk[i] = prev[i] ^ rk[i - 4];
+        for (int i = 0; i < 4; ++i) out[i] = prev[i] ^ w[i];
+        for (int i = 4; i < 16; ++i) out[i] = prev[i] ^ out[i - 4];
     }
+    // Equivalent-inverse-cipher schedule: rk[10], InvMixColumns(rk[9..1]),
+    // rk[0]. Identical bytes to what AESIMC produces, so an Aes128 expanded
+    // here can be decrypted by the AES-NI backend and vice versa.
+    std::memcpy(drk, rk + 160, 16);
+    for (int i = 1; i <= 9; ++i) inv_mix_columns(rk + 16 * (10 - i), drk + 16 * i);
+    std::memcpy(drk + 160, rk, 16);
 }
 
-void Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const
+void aes128_encrypt_block_scalar(const uint8_t rk[176], const uint8_t in[16], uint8_t out[16])
 {
-    const auto& t = tables();
+    const auto& t = kTables;
     uint8_t s[16];
-    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[0][i];
+    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ rk[i];
     for (int round = 1; round <= 10; ++round) {
         // SubBytes.
         for (auto& b : s) b = t.sbox[b];
@@ -116,16 +147,19 @@ void Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const
                 col[3] = m3[a0] ^ a1 ^ a2 ^ m2[a3];
             }
         }
-        for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round][i];
+        const uint8_t* round_key = rk + 16 * round;
+        for (int i = 0; i < 16; ++i) s[i] ^= round_key[i];
     }
     std::memcpy(out, s, 16);
 }
 
-void Aes128::decrypt_block(const uint8_t in[16], uint8_t out[16]) const
+void aes128_decrypt_block_scalar(const uint8_t rk[176], const uint8_t drk[176],
+                                 const uint8_t in[16], uint8_t out[16])
 {
-    const auto& t = tables();
+    (void)drk;  // the straight inverse cipher uses the encryption schedule
+    const auto& t = kTables;
     uint8_t s[16];
-    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[10][i];
+    for (int i = 0; i < 16; ++i) s[i] = in[i] ^ rk[160 + i];
     for (int round = 9; round >= 0; --round) {
         // InvShiftRows.
         uint8_t tmp[16];
@@ -136,28 +170,76 @@ void Aes128::decrypt_block(const uint8_t in[16], uint8_t out[16]) const
         // InvSubBytes.
         for (auto& b : s) b = t.inv_sbox[b];
         // AddRoundKey.
-        for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[round][i];
+        const uint8_t* round_key = rk + 16 * round;
+        for (int i = 0; i < 16; ++i) s[i] ^= round_key[i];
         // InvMixColumns (skipped after the last round-key add).
-        if (round != 0) {
-            const auto& m9 = t.mul[9];
-            const auto& m11 = t.mul[11];
-            const auto& m13 = t.mul[13];
-            const auto& m14 = t.mul[14];
-            for (int c = 0; c < 4; ++c) {
-                uint8_t* col = s + 4 * c;
-                uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-                col[0] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3];
-                col[1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3];
-                col[2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3];
-                col[3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3];
-            }
-        }
+        if (round != 0) inv_mix_columns(s, s);
     }
     std::memcpy(out, s, 16);
 }
 
+void aes128_cbc_encrypt_blocks_scalar(const uint8_t rk[176], uint8_t chain[16], const uint8_t* in,
+                                      uint8_t* out, size_t nblocks)
+{
+    constexpr size_t B = Aes128::kBlockSize;
+    uint8_t xored[B];
+    for (size_t b = 0; b < nblocks; ++b) {
+        for (size_t i = 0; i < B; ++i) xored[i] = in[b * B + i] ^ chain[i];
+        aes128_encrypt_block_scalar(rk, xored, out + b * B);
+        std::memcpy(chain, out + b * B, B);
+    }
+}
+
+void aes128_cbc_decrypt_blocks_scalar(const uint8_t rk[176], const uint8_t drk[176],
+                                      const uint8_t iv[16], const uint8_t* in, uint8_t* out,
+                                      size_t nblocks)
+{
+    constexpr size_t B = Aes128::kBlockSize;
+    const uint8_t* prev = iv;
+    for (size_t b = 0; b < nblocks; ++b) {
+        uint8_t block[B];
+        aes128_decrypt_block_scalar(rk, drk, in + b * B, block);
+        for (size_t i = 0; i < B; ++i) out[b * B + i] = block[i] ^ prev[i];
+        prev = in + b * B;
+    }
+}
+
+void aes128_ctr_xor_scalar(const uint8_t rk[176], uint8_t counter[16], const uint8_t* in,
+                           uint8_t* out, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        uint8_t keystream[16];
+        aes128_encrypt_block_scalar(rk, counter, keystream);
+        size_t take = std::min<size_t>(16, len - off);
+        for (size_t i = 0; i < take; ++i) out[off + i] = in[off + i] ^ keystream[i];
+        off += take;
+        for (int i = 15; i >= 0; --i) {
+            if (++counter[i] != 0) break;
+        }
+    }
+}
+
+}  // namespace detail
+
+Aes128::Aes128(ConstBytes key) : dispatch_(&dispatch())
+{
+    if (key.size() != kKeySize) throw std::invalid_argument("Aes128: key must be 16 bytes");
+    dispatch_->aes128_expand(key.data(), rk_.data(), drk_.data());
+}
+
+void Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const
+{
+    dispatch_->aes128_encrypt_block(rk_.data(), in, out);
+}
+
+void Aes128::decrypt_block(const uint8_t in[16], uint8_t out[16]) const
+{
+    dispatch_->aes128_decrypt_block(rk_.data(), drk_.data(), in, out);
+}
+
 CbcEncryptStream::CbcEncryptStream(const Aes128& cipher, Rng& rng, Bytes& out)
-    : cipher_(cipher), out_(out)
+    : cipher_(cipher), dispatch_(cipher.backend()), out_(out)
 {
     size_t iv_off = out_.size();
     out_.resize(iv_off + Aes128::kBlockSize);
@@ -167,12 +249,9 @@ CbcEncryptStream::CbcEncryptStream(const Aes128& cipher, Rng& rng, Bytes& out)
 
 void CbcEncryptStream::emit_block(const uint8_t block[Aes128::kBlockSize])
 {
-    uint8_t xored[Aes128::kBlockSize];
-    for (size_t i = 0; i < Aes128::kBlockSize; ++i) xored[i] = block[i] ^ chain_[i];
     size_t off = out_.size();
     out_.resize(off + Aes128::kBlockSize);
-    cipher_.encrypt_block(xored, out_.data() + off);
-    std::memcpy(chain_, out_.data() + off, Aes128::kBlockSize);
+    dispatch_.aes128_cbc_encrypt_blocks(cipher_.round_keys(), chain_, block, out_.data() + off, 1);
 }
 
 void CbcEncryptStream::update(ConstBytes data)
@@ -190,23 +269,15 @@ void CbcEncryptStream::update(ConstBytes data)
             pending_len_ = 0;
         }
     }
-    // Bulk path: one resize for all whole blocks, chaining through the
-    // output buffer directly instead of round-tripping chain_ per block.
+    // Bulk path: one resize, then every whole block in one dispatch call
+    // (the accelerated backend keeps the key schedule in registers across
+    // the run). chain_ carries the CBC state between calls.
     size_t nblocks = (data.size() - offset) / B;
     if (nblocks > 0) {
         size_t off = out_.size();
         out_.resize(off + nblocks * B);
-        uint8_t* dst = out_.data() + off;
-        const uint8_t* prev = dst - B;  // previous ciphertext block (or IV)
-        uint8_t xored[B];
-        for (size_t b = 0; b < nblocks; ++b) {
-            const uint8_t* src = data.data() + offset + b * B;
-            for (size_t i = 0; i < B; ++i) xored[i] = src[i] ^ prev[i];
-            cipher_.encrypt_block(xored, dst);
-            prev = dst;
-            dst += B;
-        }
-        std::memcpy(chain_, prev, B);
+        dispatch_.aes128_cbc_encrypt_blocks(cipher_.round_keys(), chain_,
+                                            data.data() + offset, out_.data() + off, nblocks);
         offset += nblocks * B;
     }
     if (offset < data.size()) {
@@ -245,14 +316,10 @@ bool aes128_cbc_decrypt_raw_into(const Aes128& cipher, ConstBytes iv_and_ciphert
     if (iv_and_ciphertext.size() < 2 * B || iv_and_ciphertext.size() % B != 0) return false;
     size_t base = out.size();
     out.resize(base + iv_and_ciphertext.size() - B);
-    const uint8_t* prev = iv_and_ciphertext.data();
-    uint8_t* dst = out.data() + base;
-    for (size_t off = B; off < iv_and_ciphertext.size(); off += B) {
-        uint8_t block[16];
-        cipher.decrypt_block(iv_and_ciphertext.data() + off, block);
-        for (size_t i = 0; i < B; ++i) dst[off - B + i] = block[i] ^ prev[i];
-        prev = iv_and_ciphertext.data() + off;
-    }
+    cipher.backend().aes128_cbc_decrypt_blocks(cipher.round_keys(), cipher.dec_round_keys(),
+                                               iv_and_ciphertext.data(),
+                                               iv_and_ciphertext.data() + B, out.data() + base,
+                                               (iv_and_ciphertext.size() - B) / B);
     return true;
 }
 
@@ -291,24 +358,17 @@ Result<Bytes> aes128_cbc_decrypt(ConstBytes key, ConstBytes iv_and_ciphertext)
     return out;
 }
 
-Bytes aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data)
+Result<Bytes> aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data)
 {
-    if (nonce16.size() != 16) throw std::invalid_argument("ctr: nonce must be 16 bytes");
+    if (key.size() != Aes128::kKeySize) return err("ctr: key must be 16 bytes");
+    if (nonce16.size() != 16) return err("ctr: nonce must be 16 bytes");
     Aes128 cipher(key);
     uint8_t counter[16];
     std::memcpy(counter, nonce16.data(), 16);
     Bytes out(data.size());
-    size_t off = 0;
-    while (off < data.size()) {
-        uint8_t keystream[16];
-        cipher.encrypt_block(counter, keystream);
-        size_t take = std::min<size_t>(16, data.size() - off);
-        for (size_t i = 0; i < take; ++i) out[off + i] = data[off + i] ^ keystream[i];
-        off += take;
-        for (int i = 15; i >= 0; --i) {
-            if (++counter[i] != 0) break;
-        }
-    }
+    if (!data.empty())
+        cipher.backend().aes128_ctr_xor(cipher.round_keys(), counter, data.data(), out.data(),
+                                        data.size());
     return out;
 }
 

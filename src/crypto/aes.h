@@ -1,9 +1,15 @@
 // AES-128 (FIPS 197) block cipher plus CBC (PKCS#7) and CTR modes.
 //
 // The S-box and round constants are derived from their algebraic definition
-// (GF(2^8) inversion + affine map) at first use and the cipher is validated
-// against the FIPS 197 vectors in tests/crypto. CBC+HMAC matches the
-// paper's AES128-SHA256 record protection.
+// (GF(2^8) inversion + affine map) at compile time and the cipher is
+// validated against the FIPS 197 vectors in tests/crypto. CBC+HMAC matches
+// the paper's AES128-SHA256 record protection.
+//
+// All bulk work routes through the active crypto dispatch table
+// (crypto/cpu.h): AES-NI on CPUs that have it, the portable scalar code
+// otherwise. Ciphertext bytes are identical either way (CBC/CTR are
+// deterministic in key, IV and input); tests/crypto/backend_equiv_test.cpp
+// holds the two arms to byte equality.
 #pragma once
 
 #include <array>
@@ -15,18 +21,35 @@
 
 namespace mct::crypto {
 
+struct CryptoDispatch;
+
 class Aes128 {
 public:
     static constexpr size_t kBlockSize = 16;
     static constexpr size_t kKeySize = 16;
+    static constexpr size_t kScheduleSize = 176;  // 11 round keys, flat
 
+    // Precondition: key.size() == kKeySize. Keys are derived inside this
+    // library (PRF output), so a bad size is a programming error, not a
+    // remote-triggerable condition; it throws std::invalid_argument.
     explicit Aes128(ConstBytes key);
 
     void encrypt_block(const uint8_t in[16], uint8_t out[16]) const;
     void decrypt_block(const uint8_t in[16], uint8_t out[16]) const;
 
+    // Raw schedules + the dispatch table this object was bound to at
+    // construction, for the mode helpers below (internal use).
+    const uint8_t* round_keys() const { return rk_.data(); }
+    const uint8_t* dec_round_keys() const { return drk_.data(); }
+    const CryptoDispatch& backend() const { return *dispatch_; }
+
 private:
-    std::array<std::array<uint8_t, 16>, 11> round_keys_;
+    // Encryption schedule and the equivalent-inverse-cipher schedule (see
+    // crypto/cpu.h); both are filled at construction so any backend can
+    // drive this object.
+    alignas(16) std::array<uint8_t, kScheduleSize> rk_;
+    alignas(16) std::array<uint8_t, kScheduleSize> drk_;
+    const CryptoDispatch* dispatch_;
 };
 
 // CBC with PKCS#7 padding; the IV is prepended to the ciphertext
@@ -47,8 +70,9 @@ constexpr size_t cbc_ciphertext_size(size_t plaintext_len)
 // concatenation of all update() spans. finish() must be called exactly once;
 // it appends the final PKCS#7-padded block. The stream owns the tail of
 // `out` while alive: the caller must not append to (or shrink) `out`
-// between construction and finish(), as the CBC chain reads the previous
-// ciphertext block straight out of the buffer.
+// between construction and finish(). The key schedule and dispatch table
+// are taken from `cipher`, so a protector's cached Aes128 pays for key
+// expansion exactly once.
 class CbcEncryptStream {
 public:
     CbcEncryptStream(const Aes128& cipher, Rng& rng, Bytes& out);
@@ -59,6 +83,7 @@ private:
     void emit_block(const uint8_t block[Aes128::kBlockSize]);
 
     const Aes128& cipher_;
+    const CryptoDispatch& dispatch_;  // cached: one indirection per call, not per block
     Bytes& out_;
     uint8_t chain_[Aes128::kBlockSize];    // previous ciphertext block (or IV)
     uint8_t pending_[Aes128::kBlockSize];  // partial plaintext block
@@ -67,7 +92,9 @@ private:
 
 // Append-to-buffer variants for the record fast path; they reuse a cached
 // key schedule and an existing output buffer so steady-state callers do no
-// per-record heap allocation.
+// per-record heap allocation. `plaintext` may view into `out` (e.g. sealing
+// a buffer onto its own tail) provided the caller reserved capacity so the
+// append does not reallocate.
 void aes128_cbc_encrypt_into(const Aes128& cipher, ConstBytes plaintext, Rng& rng, Bytes& out);
 
 // Appends the decrypted, still-padded plaintext to `out`; returns false if
@@ -84,6 +111,8 @@ Result<size_t> aes128_cbc_decrypt_into(const Aes128& cipher, ConstBytes iv_and_c
                                        Bytes& out);
 
 // CTR keystream mode; nonce is 16 bytes used as the initial counter block.
-Bytes aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data);
+// A wrong-sized key or nonce is reported as an error (never thrown), so the
+// record layer has no throwing crypto edge.
+Result<Bytes> aes128_ctr(ConstBytes key, ConstBytes nonce16, ConstBytes data);
 
 }  // namespace mct::crypto

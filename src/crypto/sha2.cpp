@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/bigint.h"
+#include "crypto/cpu.h"
 
 namespace mct::crypto {
 
@@ -25,9 +26,62 @@ constexpr std::array<unsigned, 80> first_80_primes()
     return primes;
 }
 
-// frac(p^(1/k)) scaled to `frac_bits` bits, exactly:
-// floor(p^(1/k) * 2^frac_bits) = floor((p * 2^(k*frac_bits))^(1/k)), minus
-// the integer part shifted up.
+using u128 = unsigned __int128;
+
+// floor(n^(1/k)) by bisection; the roots we take fit well below 2^43.
+constexpr uint64_t iroot_u128(u128 n, int k)
+{
+    uint64_t lo = 0, hi = uint64_t{1} << 43;
+    while (lo + 1 < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        u128 p = 1;
+        bool overflow = false;
+        for (int i = 0; i < k; ++i) {
+            if (p > ~u128{0} / mid) {
+                overflow = true;
+                break;
+            }
+            p *= mid;
+        }
+        if (!overflow && p <= n) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return lo;
+}
+
+// frac(p^(1/k)) scaled to 32 bits, exactly:
+// floor(p^(1/k) * 2^32) = floor((p * 2^(32k))^(1/k)); the uint32_t cast
+// keeps only the fractional bits (the integer part sits above bit 32).
+constexpr uint32_t root_fraction32(unsigned p, int k)
+{
+    return static_cast<uint32_t>(iroot_u128(u128{p} << (32 * k), k));
+}
+
+struct Sha256Constants {
+    std::array<uint32_t, 8> iv{};
+    std::array<uint32_t, 64> k{};
+};
+
+// Compile-time SHA-256 constants: the record path's HMACs hash from the
+// very first record at steady-state cost, with no lazy derivation inside
+// the first session's crypto span.
+constexpr Sha256Constants make_sha256_constants()
+{
+    Sha256Constants out{};
+    auto primes = first_80_primes();
+    for (int i = 0; i < 8; ++i) out.iv[i] = root_fraction32(primes[i], 2);
+    for (int i = 0; i < 64; ++i) out.k[i] = root_fraction32(primes[i], 3);
+    return out;
+}
+
+constexpr Sha256Constants kSha256 = make_sha256_constants();
+
+// frac(p^(1/k)) scaled to `frac_bits` bits via BigUint (the SHA-512
+// constants need 192-bit intermediates); derived at first use, warmed by
+// crypto_warmup().
 uint64_t root_fraction(unsigned p, unsigned k, unsigned frac_bits)
 {
     BigUint scaled = BigUint(p) << (k * frac_bits);
@@ -37,29 +91,10 @@ uint64_t root_fraction(unsigned p, unsigned k, unsigned frac_bits)
     return frac.to_u64();
 }
 
-struct Sha256Constants {
-    std::array<uint32_t, 8> iv;
-    std::array<uint32_t, 64> k;
-};
-
 struct Sha512Constants {
     std::array<uint64_t, 8> iv;
     std::array<uint64_t, 80> k;
 };
-
-const Sha256Constants& sha256_constants()
-{
-    static const Sha256Constants c = [] {
-        Sha256Constants out;
-        auto primes = first_80_primes();
-        for (int i = 0; i < 8; ++i)
-            out.iv[i] = static_cast<uint32_t>(root_fraction(primes[i], 2, 32));
-        for (int i = 0; i < 64; ++i)
-            out.k[i] = static_cast<uint32_t>(root_fraction(primes[i], 3, 32));
-        return out;
-    }();
-    return c;
-}
 
 const Sha512Constants& sha512_constants()
 {
@@ -87,50 +122,62 @@ inline uint64_t rotr64(uint64_t x, unsigned n)
 
 }  // namespace
 
-Sha256::Sha256() : state_(sha256_constants().iv) {}
+namespace detail {
 
-void Sha256::compress(const uint8_t* block)
+const uint32_t* sha256_round_constants()
 {
-    const auto& K = sha256_constants().k;
-    uint32_t w[64];
-    for (int i = 0; i < 16; ++i) {
-        w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
-               static_cast<uint32_t>(block[4 * i + 1]) << 16 |
-               static_cast<uint32_t>(block[4 * i + 2]) << 8 |
-               static_cast<uint32_t>(block[4 * i + 3]);
-    }
-    for (int i = 16; i < 64; ++i) {
-        uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
-        uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-    }
-    uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-    uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-    for (int i = 0; i < 64; ++i) {
-        uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
-        uint32_t ch = (e & f) ^ (~e & g);
-        uint32_t t1 = h + s1 + ch + K[i] + w[i];
-        uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
-        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        uint32_t t2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + t1;
-        d = c;
-        c = b;
-        b = a;
-        a = t1 + t2;
-    }
-    state_[0] += a;
-    state_[1] += b;
-    state_[2] += c;
-    state_[3] += d;
-    state_[4] += e;
-    state_[5] += f;
-    state_[6] += g;
-    state_[7] += h;
+    return kSha256.k.data();
 }
+
+void sha256_compress_scalar(uint32_t state[8], const uint8_t* blocks, size_t nblocks)
+{
+    const auto& K = kSha256.k;
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        const uint8_t* block = blocks + 64 * blk;
+        uint32_t w[64];
+        for (int i = 0; i < 16; ++i) {
+            w[i] = static_cast<uint32_t>(block[4 * i]) << 24 |
+                   static_cast<uint32_t>(block[4 * i + 1]) << 16 |
+                   static_cast<uint32_t>(block[4 * i + 2]) << 8 |
+                   static_cast<uint32_t>(block[4 * i + 3]);
+        }
+        for (int i = 16; i < 64; ++i) {
+            uint32_t s0 = rotr32(w[i - 15], 7) ^ rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+            uint32_t s1 = rotr32(w[i - 2], 17) ^ rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+        }
+        uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+        uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+        for (int i = 0; i < 64; ++i) {
+            uint32_t s1 = rotr32(e, 6) ^ rotr32(e, 11) ^ rotr32(e, 25);
+            uint32_t ch = (e & f) ^ (~e & g);
+            uint32_t t1 = h + s1 + ch + K[i] + w[i];
+            uint32_t s0 = rotr32(a, 2) ^ rotr32(a, 13) ^ rotr32(a, 22);
+            uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+            uint32_t t2 = s0 + maj;
+            h = g;
+            g = f;
+            f = e;
+            e = d + t1;
+            d = c;
+            c = b;
+            b = a;
+            a = t1 + t2;
+        }
+        state[0] += a;
+        state[1] += b;
+        state[2] += c;
+        state[3] += d;
+        state[4] += e;
+        state[5] += f;
+        state[6] += g;
+        state[7] += h;
+    }
+}
+
+}  // namespace detail
+
+Sha256::Sha256() : state_(kSha256.iv), dispatch_(&dispatch()) {}
 
 void Sha256::update(ConstBytes data)
 {
@@ -143,13 +190,16 @@ void Sha256::update(ConstBytes data)
         buffered_ += take;
         offset = take;
         if (buffered_ == kBlockSize) {
-            compress(buffer_.data());
+            dispatch_->sha256_compress(state_.data(), buffer_.data(), 1);
             buffered_ = 0;
         }
     }
-    while (offset + kBlockSize <= data.size()) {
-        compress(data.data() + offset);
-        offset += kBlockSize;
+    // All whole blocks in one dispatch call: the accelerated backend keeps
+    // its packed state in registers across the run.
+    size_t nblocks = (data.size() - offset) / kBlockSize;
+    if (nblocks > 0) {
+        dispatch_->sha256_compress(state_.data(), data.data() + offset, nblocks);
+        offset += nblocks * kBlockSize;
     }
     if (offset < data.size()) {
         std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);

@@ -1,9 +1,14 @@
 // SHA-256 and SHA-512 (FIPS 180-4).
 //
-// Round constants and initial hash values are derived at first use from the
-// fractional parts of prime roots (the FIPS definition) using exact integer
-// arithmetic, and the whole construction is validated against published test
-// vectors in tests/crypto.
+// Round constants and initial hash values are derived from the fractional
+// parts of prime roots (the FIPS definition) using exact integer
+// arithmetic — at compile time for SHA-256 (so first use costs nothing on
+// the record path), at first use for SHA-512 — and the whole construction
+// is validated against published test vectors in tests/crypto.
+//
+// SHA-256 compression routes through the crypto dispatch table
+// (crypto/cpu.h): SHA-NI when the CPU has it, the portable scalar rounds
+// otherwise, with identical digests either way.
 #pragma once
 
 #include <array>
@@ -12,6 +17,8 @@
 #include "util/bytes.h"
 
 namespace mct::crypto {
+
+struct CryptoDispatch;
 
 class Sha256 {
 public:
@@ -26,12 +33,12 @@ public:
     static Bytes digest(ConstBytes data);
 
 private:
-    void compress(const uint8_t* block);
-
     std::array<uint32_t, 8> state_;
     std::array<uint8_t, kBlockSize> buffer_;
     size_t buffered_ = 0;
     uint64_t total_bytes_ = 0;
+    // Bound at construction so one object never mixes backends mid-stream.
+    const CryptoDispatch* dispatch_;
 };
 
 class Sha512 {

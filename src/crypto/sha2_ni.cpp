@@ -1,0 +1,75 @@
+// SHA-NI backend for the crypto dispatch table (crypto/cpu.h).
+//
+// Compiled with -msha -mssse3 -msse4.1 (x86 only); only dispatched when the
+// CPUID probe reported SHA extensions. The round constants come from the
+// same compile-time prime-root derivation the scalar code uses
+// (detail::sha256_round_constants), and the state transform is the
+// standard two-lane SHA256RNDS2 packing: STATE0 = {A,B,E,F},
+// STATE1 = {C,D,G,H}, message schedule advanced four words at a time with
+// SHA256MSG1/SHA256MSG2.
+#include "crypto/cpu.h"
+
+#ifdef MCT_X86_CRYPTO_BACKENDS
+
+#include <immintrin.h>
+
+namespace mct::crypto::detail {
+
+void sha256_compress_shani(uint32_t state[8], const uint8_t* blocks, size_t nblocks)
+{
+    const uint32_t* K = sha256_round_constants();
+    // Per-lane big-endian load shuffle.
+    const __m128i kByteSwap = _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+    __m128i tmp = _mm_shuffle_epi32(_mm_loadu_si128(reinterpret_cast<const __m128i*>(state)),
+                                    0xB1);  // CDAB
+    __m128i state1 = _mm_shuffle_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4)), 0x1B);  // EFGH
+    __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);                         // ABEF
+    state1 = _mm_blend_epi16(state1, tmp, 0xF0);                              // CDGH
+
+    for (size_t blk = 0; blk < nblocks; ++blk) {
+        const uint8_t* p = blocks + 64 * blk;
+        const __m128i abef_save = state0;
+        const __m128i cdgh_save = state1;
+
+        // Four rounds: two SHA256RNDS2, consuming W+K lane pairs.
+        auto rounds4 = [&](__m128i wk) {
+            state1 = _mm_sha256rnds2_epu32(state1, state0, wk);
+            state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(wk, 0x0E));
+        };
+        auto k4 = [&](int group) {
+            return _mm_loadu_si128(reinterpret_cast<const __m128i*>(K + 4 * group));
+        };
+
+        __m128i m[4];
+        for (int i = 0; i < 4; ++i) {
+            m[i] = _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16 * i)),
+                                    kByteSwap);
+            rounds4(_mm_add_epi32(m[i], k4(i)));
+        }
+        // Groups 4..15 extend the schedule: W[4i..4i+3] from the previous
+        // sixteen words (FIPS 180-4 sigma recurrence, fused in MSG1/MSG2).
+        for (int i = 4; i < 16; ++i) {
+            __m128i w = _mm_sha256msg1_epu32(m[i % 4], m[(i + 1) % 4]);
+            w = _mm_add_epi32(w, _mm_alignr_epi8(m[(i + 3) % 4], m[(i + 2) % 4], 4));
+            w = _mm_sha256msg2_epu32(w, m[(i + 3) % 4]);
+            m[i % 4] = w;
+            rounds4(_mm_add_epi32(w, k4(i)));
+        }
+
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+    }
+
+    tmp = _mm_shuffle_epi32(state0, 0x1B);                // FEBA
+    state1 = _mm_shuffle_epi32(state1, 0xB1);             // DCHG
+    state0 = _mm_blend_epi16(tmp, state1, 0xF0);          // DCBA
+    state1 = _mm_alignr_epi8(state1, tmp, 8);             // ABEF -> HGFE
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+}  // namespace mct::crypto::detail
+
+#endif  // MCT_X86_CRYPTO_BACKENDS

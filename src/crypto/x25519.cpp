@@ -66,6 +66,8 @@ X25519KeyPair x25519_keypair(Rng& rng)
 
 Result<Bytes> x25519_shared(ConstBytes private_key, ConstBytes peer_public)
 {
+    if (private_key.size() != 32) return err("x25519: private key must be 32 bytes");
+    if (peer_public.size() != 32) return err("x25519: peer public key must be 32 bytes");
     Bytes shared = x25519(private_key, peer_public);
     uint8_t acc = 0;
     for (uint8_t b : shared) acc |= b;

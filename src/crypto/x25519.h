@@ -23,7 +23,9 @@ Bytes x25519(ConstBytes scalar32, ConstBytes u32);
 X25519KeyPair x25519_keypair(Rng& rng);
 
 // DHCombine: shared secret from our private key and the peer's public key.
-// Fails on an all-zero result (low-order peer point).
+// Fails on an all-zero result (low-order peer point) and on a wrong-sized
+// peer key — the peer's share arrives off the wire, so a bad length must be
+// a handshake error, never a thrown exception.
 Result<Bytes> x25519_shared(ConstBytes private_key, ConstBytes peer_public);
 
 }  // namespace mct::crypto

@@ -26,7 +26,12 @@ void Link::transmit(size_t wire_bytes, std::function<void()> on_arrival)
         ++packets_dropped_;  // consumed link time, never arrives
         return;
     }
-    auto latency = static_cast<SimTime>(static_cast<double>(cfg_.latency) * latency_factor_);
+    auto latency = static_cast<SimTime>(
+        std::ceil(static_cast<double>(cfg_.latency) * latency_factor_));
+    // A spike factor must always delay: truncating `latency * factor` to
+    // ticks silently turned chaos latency spikes into no-ops on zero- and
+    // one-tick links, so round up and enforce at least one extra tick.
+    if (latency_factor_ > 1.0 && latency <= cfg_.latency) latency = cfg_.latency + 1;
     loop_.schedule_at(busy_until_ + latency, std::move(on_arrival));
 }
 

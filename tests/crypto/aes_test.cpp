@@ -109,9 +109,9 @@ TEST(Ctr, KeystreamIsXorSymmetric)
     Bytes key = rng.bytes(16);
     Bytes nonce = rng.bytes(16);
     Bytes pt = rng.bytes(100);
-    Bytes ct = aes128_ctr(key, nonce, pt);
+    Bytes ct = aes128_ctr(key, nonce, pt).value();
     EXPECT_NE(ct, pt);
-    EXPECT_EQ(aes128_ctr(key, nonce, ct), pt);
+    EXPECT_EQ(aes128_ctr(key, nonce, ct).value(), pt);
 }
 
 TEST(Ctr, CounterAdvancesAcrossBlocks)
@@ -120,7 +120,7 @@ TEST(Ctr, CounterAdvancesAcrossBlocks)
     Bytes key = rng.bytes(16);
     Bytes nonce(16, 0);
     Bytes zeros(48, 0);
-    Bytes ks = aes128_ctr(key, nonce, zeros);
+    Bytes ks = aes128_ctr(key, nonce, zeros).value();
     // The three keystream blocks must be pairwise distinct.
     Bytes b0(ks.begin(), ks.begin() + 16);
     Bytes b1(ks.begin() + 16, ks.begin() + 32);
@@ -129,9 +129,13 @@ TEST(Ctr, CounterAdvancesAcrossBlocks)
     EXPECT_NE(b1, b2);
 }
 
-TEST(Ctr, RejectsBadNonce)
+TEST(Ctr, RejectsBadNonceAndKeyAsError)
 {
-    EXPECT_THROW(aes128_ctr(Bytes(16, 0), Bytes(8, 0), Bytes(16, 0)), std::invalid_argument);
+    // Errors, not exceptions: the record layer has no throwing crypto edge.
+    auto bad_nonce = aes128_ctr(Bytes(16, 0), Bytes(8, 0), Bytes(16, 0));
+    EXPECT_FALSE(bad_nonce.ok());
+    auto bad_key = aes128_ctr(Bytes(15, 0), Bytes(16, 0), Bytes(16, 0));
+    EXPECT_FALSE(bad_key.ok());
 }
 
 }  // namespace

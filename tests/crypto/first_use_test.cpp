@@ -1,0 +1,91 @@
+// First-use cost regression for the AES tables (its own binary so "first
+// use in the process" is well defined).
+//
+// The S-box used to be derived by a brute-force 256x256 GF(2^8) scan inside
+// a function-local static, so the first Aes128 constructed in a process —
+// typically mid-handshake — paid ~65k field multiplications before its
+// first block. The tables are now constexpr, so the first encryption must
+// cost the same as the ten-thousandth, within scheduling noise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/sha2.h"
+
+namespace mct::crypto {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ns(Clock::time_point a, Clock::time_point b)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+TEST(FirstUse, AesTablesCostNothingToInitialize)
+{
+    // Nothing crypto-related has run yet in this process (this binary links
+    // only this test file). Time the very first construct+encrypt.
+    Bytes key(16, 0x42);
+    uint8_t block[16] = {0}, out[16];
+    auto t0 = Clock::now();
+    {
+        Aes128 first(key);
+        first.encrypt_block(block, out);
+    }
+    auto t1 = Clock::now();
+    uint64_t first_ns = ns(t0, t1);
+
+    // Steady state: median of many construct+encrypt iterations.
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 200; ++i) {
+        auto a = Clock::now();
+        Aes128 cipher(key);
+        cipher.encrypt_block(block, out);
+        auto b = Clock::now();
+        samples.push_back(ns(a, b));
+    }
+    std::sort(samples.begin(), samples.end());
+    uint64_t median_ns = samples[samples.size() / 2];
+
+    // The old lazy scan cost milliseconds. Constexpr tables leave only cold
+    // caches and clock granularity on the first call; 100us (or 100x the
+    // steady median, whichever is larger) is orders of magnitude below the
+    // old cost and far above legitimate jitter.
+    uint64_t budget = std::max<uint64_t>(100'000, 100 * median_ns);
+    EXPECT_LT(first_ns, budget)
+        << "first=" << first_ns << "ns median=" << median_ns << "ns";
+}
+
+TEST(FirstUse, Sha256ConstantsCostNothingToInitialize)
+{
+    // Same property for the SHA-256 round constants (constexpr integer
+    // roots, no BigUint derivation at runtime).
+    Bytes data(64, 0x5a);
+    auto t0 = Clock::now();
+    Bytes first = Sha256::digest(data);
+    auto t1 = Clock::now();
+    uint64_t first_ns = ns(t0, t1);
+
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 200; ++i) {
+        auto a = Clock::now();
+        Bytes d = Sha256::digest(data);
+        auto b = Clock::now();
+        ASSERT_EQ(d, first);
+        samples.push_back(ns(a, b));
+    }
+    std::sort(samples.begin(), samples.end());
+    uint64_t median_ns = samples[samples.size() / 2];
+
+    uint64_t budget = std::max<uint64_t>(100'000, 100 * median_ns);
+    EXPECT_LT(first_ns, budget)
+        << "first=" << first_ns << "ns median=" << median_ns << "ns";
+}
+
+}  // namespace
+}  // namespace mct::crypto

@@ -79,5 +79,17 @@ TEST(X25519, RejectsBadSizes)
     EXPECT_THROW(x25519(base_u(), Bytes(33, 0)), std::invalid_argument);
 }
 
+TEST(X25519, SharedSecretRejectsBadLengthsAsErrors)
+{
+    // The peer public key arrives off the wire, so x25519_shared must report
+    // bad lengths as Results, never throw (sessions only handle errors).
+    TestRng rng(36);
+    auto kp = x25519_keypair(rng);
+    EXPECT_FALSE(x25519_shared(kp.private_key, Bytes(31, 9)).ok());
+    EXPECT_FALSE(x25519_shared(kp.private_key, Bytes(33, 9)).ok());
+    EXPECT_FALSE(x25519_shared(kp.private_key, {}).ok());
+    EXPECT_FALSE(x25519_shared(Bytes(31, 1), base_u()).ok());
+}
+
 }  // namespace
 }  // namespace mct::crypto

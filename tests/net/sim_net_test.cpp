@@ -63,6 +63,41 @@ TEST(SimNet, LatencyFactorScalesPropagationDelay)
     EXPECT_EQ(second_at, connected_at + 40_ms);
 }
 
+TEST(SimNet, LatencyFactorSpikesZeroLatencyLink)
+{
+    // Regression: `latency * factor` used to truncate to ticks, so a chaos
+    // latency spike on a zero-latency link was a silent no-op (and a
+    // 1-tick link ignored factors below 2). A spike factor must always
+    // cost at least one extra tick.
+    TwoHosts env({0, 0});
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    env.net.set_link_latency_factor("client", "server", 10.0);
+    auto conn = env.net.connect("client", "server", 80);
+    SimTime connected_at = 0;
+    bool connected = false;
+    conn->set_on_connect([&] {
+        connected_at = env.loop.now();
+        connected = true;
+    });
+    env.loop.run();
+    EXPECT_TRUE(connected);
+    EXPECT_GE(connected_at, 2u);  // SYN + SYN-ACK, each >= one spiked tick
+}
+
+TEST(SimNet, LatencyFactorFractionalSpikeRoundsUp)
+{
+    // factor 1.4 on a 1-tick link used to truncate back to 1 tick; it must
+    // round up so the spike is visible.
+    TwoHosts env({1, 0});
+    env.net.listen("server", 80, [](ConnectionPtr) {});
+    env.net.set_link_latency_factor("client", "server", 1.4);
+    auto conn = env.net.connect("client", "server", 80);
+    SimTime connected_at = 0;
+    conn->set_on_connect([&] { connected_at = env.loop.now(); });
+    env.loop.run();
+    EXPECT_EQ(connected_at, 4u);  // ceil(1 * 1.4) = 2 ticks each way
+}
+
 TEST(SimNet, EchoRoundTrip)
 {
     TwoHosts env;
