@@ -27,8 +27,21 @@ python3 scripts/bench_compare.py build/bench-smoke-json bench/baselines/smoke
 echo "=== [3/5] soak: seeded chaos campaigns (ctest label: soak) ==="
 # Concurrent-session soaks under the deterministic chaos plane (DESIGN.md
 # "Concurrency model & chaos plane"). A red soak prints MCT_CHAOS_SEED=<n>
-# in every failure; scripts/soak.sh replays that exact schedule.
+# in every failure; scripts/soak.sh replays that exact schedule. With
+# MCT_INCIDENT_DIR exported, every campaign leaves an incident bundle
+# (DESIGN.md §17) in build/incidents — triage with build/examples/mcreport.
+# Absolute path: ctest runs tests from their own directories, and a
+# relative incident dir would silently fail to open there.
+MCT_INCIDENT_DIR="${MCT_INCIDENT_DIR:-build/incidents}"
+mkdir -p "$MCT_INCIDENT_DIR"
+MCT_INCIDENT_DIR="$(cd "$MCT_INCIDENT_DIR" && pwd)"
+export MCT_INCIDENT_DIR
 ctest --test-dir build --output-on-failure -L soak
+# Incident forensics gate: a campaign forced to violate liveness under a
+# fixed seed must emit a bundle that parses and round-trips byte-identically
+# (tests/http/incident_test.cpp; also part of the tier-1 ctest above — the
+# explicit pass keeps the gate alive when "$@" filters the suite).
+ctest --test-dir build --output-on-failure -R 'Incident\.'
 
 echo "=== [4/5] sanitizers: ASan+UBSan build + ctest ==="
 scripts/verify_sanitize.sh "$@"

@@ -12,6 +12,8 @@
 #include "inspect/keyring.h"
 #include "mctls/keylog.h"
 #include "net/capture.h"
+#include "obs/flight.h"
+#include "obs/incident.h"
 #include "obs/span.h"
 #include "tls/keylog.h"
 #include "util/rng.h"
@@ -44,6 +46,44 @@ std::string hop_right(size_t hop, size_t n_mbox)
     return hop == n_mbox ? "server" : "mbox" + std::to_string(hop);
 }
 
+// Capture tail → incident summaries: the newest `tail` frames (plus every
+// flow they reference) as obs-layer structs, payload heads bounded to 16
+// bytes of hex — enough to line wire activity up against the event rings
+// without embedding the whole MCCAP capture in the bundle.
+void incident_capture_tail(const net::Capture& capture, size_t tail,
+                           std::vector<obs::IncidentFlow>& flows,
+                           std::vector<obs::IncidentFrame>& frames)
+{
+    size_t first = capture.frames.size() > tail ? capture.frames.size() - tail : 0;
+    std::set<uint32_t> used;
+    for (size_t i = first; i < capture.frames.size(); ++i) {
+        const net::CaptureFrame& f = capture.frames[i];
+        used.insert(f.flow);
+        obs::IncidentFrame out;
+        out.ts = f.ts;
+        out.flow = f.flow;
+        out.dir = f.dir;
+        switch (f.kind) {
+        case net::CaptureFrameKind::syn: out.kind = "syn"; break;
+        case net::CaptureFrameKind::data: out.kind = "data"; break;
+        case net::CaptureFrameKind::fin: out.kind = "fin"; break;
+        }
+        out.seq = f.seq;
+        out.len = f.payload.size();
+        static const char* hex = "0123456789abcdef";
+        size_t head = std::min<size_t>(f.payload.size(), 16);
+        for (size_t b = 0; b < head; ++b) {
+            out.head.push_back(hex[f.payload[b] >> 4]);
+            out.head.push_back(hex[f.payload[b] & 0xf]);
+        }
+        frames.push_back(std::move(out));
+    }
+    for (const net::CaptureFlow& fl : capture.flows) {
+        if (!used.count(fl.id)) continue;
+        flows.push_back({fl.id, fl.initiator, fl.responder, fl.port, fl.opened_at});
+    }
+}
+
 // Percentile over a sorted vector (nearest-rank); 0 when empty.
 double percentile_ms(const std::vector<net::SimTime>& sorted, double p)
 {
@@ -74,6 +114,11 @@ struct Campaign {
     std::vector<uint8_t> hop_down;   // per hop
     std::vector<uint8_t> hop_slow;   // per hop (latency factor applied)
     bool squeezed = false;
+
+    // Sessions worth bundling on an incident: permanently failed fetches,
+    // liveness-flagged stalls, isolation victims. sid 0 (the shared
+    // infrastructure rings) is always added by affected_sids().
+    std::set<uint64_t> affected;
 
     // Liveness watchdog: progress snapshot + consecutive stalled polls.
     struct Progress {
@@ -276,16 +321,19 @@ struct Campaign {
                     ttfbs.push_back(f->first_byte - f->start);
             } else {
                 ++report.failed;
+                affected.insert(f->id);
                 if (report.failure_samples.size() < 10)
                     report.failure_samples.push_back(
                         "session " + std::to_string(f->id) + " after " +
                         std::to_string(f->attempts) + " attempts: " + f->error);
             }
             report.mismatch_bytes += f->body_mismatch_bytes;
-            if (f->body_mismatch_bytes > 0)
+            if (f->body_mismatch_bytes > 0) {
+                affected.insert(f->id);
                 violation("isolation: session " + std::to_string(f->id) +
                           " received " + std::to_string(f->body_mismatch_bytes) +
                           " bytes of foreign plaintext");
+            }
             watch.erase(it->first);
             it = live.erase(it);
         }
@@ -335,6 +383,7 @@ struct Campaign {
             }
             if (++p.stalled >= cfg.stall_polls && !p.flagged) {
                 p.flagged = true;
+                affected.insert(id);
                 violation("liveness: session " + std::to_string(id) + " made no " +
                           "progress for " + std::to_string(p.stalled) +
                           " polls (attempt " + std::to_string(fetch->attempts) +
@@ -471,6 +520,15 @@ struct Campaign {
         report.ttfb_p99_ms = percentile_ms(ttfbs, 0.99);
     }
 
+    // Ring filter for the incident bundle: the sessions implicated above
+    // plus sid 0 (server / relay / state-plane infrastructure rings).
+    std::vector<uint64_t> affected_sids() const
+    {
+        std::vector<uint64_t> sids{0};
+        sids.insert(sids.end(), affected.begin(), affected.end());
+        return sids;
+    }
+
     std::vector<net::SimTime> ttfbs;
 };
 
@@ -533,6 +591,7 @@ SoakReport run_soak(const SoakConfig& cfg)
 
     obs::Hub local_hub;
     tb.obs = cfg.hub ? cfg.hub : &local_hub;
+    obs::Hub* tb_obs = tb.obs;
 
     tls::KeyLogMemory keylog;
     tb.keylog = &keylog;
@@ -545,6 +604,12 @@ SoakReport run_soak(const SoakConfig& cfg)
         spans = std::make_unique<obs::SpanCollector>(cfg.span_capacity);
         tb.spans = spans.get();
     }
+
+    obs::FlightRecorder::Config fr_cfg;
+    fr_cfg.ring_capacity = cfg.flight_ring_capacity;
+    fr_cfg.max_rings = cfg.flight_max_rings;
+    obs::FlightRecorder flight(fr_cfg);
+    tb.flight = &flight;
 
     Testbed bed(std::move(tb));
     auto campaign = std::make_shared<Campaign>(cfg, bed);
@@ -561,6 +626,33 @@ SoakReport run_soak(const SoakConfig& cfg)
     if (cfg.audit_capture) campaign->check_least_privilege(capture.capture, keylog);
     campaign->finalize();
     bed.publish_session_stats();  // gauges + per-class aggregates on the hub
+
+    // Incident bundle: MCT_INCIDENT_DIR overrides the configured directory;
+    // no directory means no bundle. Red campaigns always write; green ones
+    // only when incident_on_green asked for a replayable artifact anyway.
+    std::string dir = cfg.incident_dir;
+    if (const char* env = std::getenv("MCT_INCIDENT_DIR"); env && *env) dir = env;
+    SoakReport& report = campaign->report;
+    if (!dir.empty() && (!report.green() || cfg.incident_on_green)) {
+        obs::IncidentMeta meta;
+        meta.reason = report.green() ? "green" : report.violations.front();
+        meta.seed = report.seed;
+        meta.schedule_digest = report.schedule_digest;
+        meta.rerun = "MCT_CHAOS_SEED=" + std::to_string(report.seed);
+        meta.violations = report.violations;
+
+        obs::IncidentSources src;
+        src.metrics = &tb_obs->metrics;
+        src.flight = &flight;
+        src.sids = campaign->affected_sids();
+        if (spans) src.spans = spans.get();
+        for (const auto& e : report.events) src.chaos.push_back({e.at, e.kind, e.arg});
+        if (cfg.audit_capture)
+            incident_capture_tail(capture.capture, 256, src.flows, src.frames);
+
+        report.incident_path = obs::IncidentManager(dir, cfg.incident_tag)
+                                   .write(meta, src);
+    }
     return campaign->report;
 }
 

@@ -88,6 +88,24 @@ struct SoakConfig {
     // Optional external hub: live-session and shed/decline/evict-rate
     // gauges land here. Null = a soak-internal hub is used.
     obs::Hub* hub = nullptr;
+
+    // Flight-recorder forensics (DESIGN.md §17). Every soak runs with a
+    // recorder attached: each fetch gets a black-box ring (ring_capacity
+    // events), the infrastructure shares rings under sid 0, and closed
+    // rings recycle once max_rings are live — sized here so a default
+    // campaign retains every failed session's history.
+    size_t flight_ring_capacity = 128;
+    size_t flight_max_rings = 4096;
+
+    // Incident bundles. When incident_dir is non-empty (or MCT_INCIDENT_DIR
+    // is set, which overrides it), the soak writes
+    // "<dir>/incident-<tag>-seed<seed>.jsonl" after the campaign: always on
+    // a red run, and on green runs too when incident_on_green is set (so
+    // scripts/soak.sh can always print a replayable artifact path). The
+    // directory must exist.
+    std::string incident_dir;
+    std::string incident_tag = "soak";
+    bool incident_on_green = true;
 };
 
 // Cache bounds sized so `sessions` concurrent sessions exercise the
@@ -126,6 +144,10 @@ struct SoakReport {
     double connections_per_sec = 0;  // completed / virtual second
     double ttfb_p50_ms = 0;
     double ttfb_p99_ms = 0;
+
+    // Path of the incident bundle written for this campaign ("" when bundle
+    // writing was off or the write failed).
+    std::string incident_path;
 
     bool green() const { return violations.empty(); }
     // "campaign seed 42 (rerun: MCT_CHAOS_SEED=42)" — stitch this into

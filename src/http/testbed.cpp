@@ -138,6 +138,14 @@ struct Testbed::Impl {
     obs::Tracer* tracer = nullptr;
     uint16_t actor_testbed = 0;
 
+    // Flight recorder (null when cfg.flight is unset). Client rings are
+    // opened per fetch id in start_attempt; these are the shared
+    // infrastructure rings under sid 0.
+    obs::FlightRecorder* flight = nullptr;
+    obs::FlightRing* state_ring = nullptr;
+    obs::FlightRing* server_ring = nullptr;
+    std::vector<obs::FlightRing*> mbox_rings;  // by relay index; entries may be null
+
     // Fault state.
     std::vector<char> mbox_dead;        // by relay index
     std::vector<char> corrupt_armed;    // one-shot byte flip per relay
@@ -239,6 +247,15 @@ struct Testbed::Impl {
             cfg.spans->set_clock([clock_loop] { return clock_loop->now(); });
             net.set_spans(cfg.spans);
         }
+        if (cfg.flight) {
+            flight = cfg.flight;
+            net::EventLoop* clock_loop = loop;
+            flight->set_clock([clock_loop] { return clock_loop->now(); });
+            state_ring = flight->open(0, "state");
+            server_ring = flight->open(0, "server");
+            for (size_t i = 0; i < cfg.n_middleboxes; ++i)
+                mbox_rings.push_back(flight->open(0, mbox_host(i)));
+        }
         wire_state_plane();
         build_topology();
         start_server();
@@ -333,6 +350,10 @@ struct Testbed::Impl {
         agg.mac_failures += s.mac_failures;
         agg.alerts_sent += s.alerts_sent;
         agg.alerts_received += s.alerts_received;
+        for (const auto& [type, n] : s.alerts_sent_by_type)
+            agg.alerts_sent_by_type[type] += n;
+        for (const auto& [type, n] : s.alerts_received_by_type)
+            agg.alerts_received_by_type[type] += n;
         agg.trace_events_dropped += s.trace_events_dropped;
         for (const auto& c : s.contexts) {
             auto it = std::find_if(
@@ -414,14 +435,15 @@ struct Testbed::Impl {
         default:
             return;
         }
-        obs::trace_at(tracer, loop->now(), actor_testbed, type, cache_id, detail);
+        obs::trace_at(tracer, state_ring, loop->now(), actor_testbed, type, cache_id,
+                      detail);
     }
 
     void wire_state_plane()
     {
         net::EventLoop* clock_loop = loop;
         state.set_clock([clock_loop] { return clock_loop->now(); });
-        if (tracer) {
+        if (tracer || state_ring) {
             state.tls_cache().set_observer([this](util::CacheEvent e, uint64_t d) {
                 trace_cache_event(0, e, d);
             });
@@ -435,11 +457,12 @@ struct Testbed::Impl {
                     });
         }
         state.on_sweep = [this](size_t reclaimed, uint64_t now) {
-            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_sweep, 0,
-                          reclaimed);
+            obs::trace_at(tracer, state_ring, now, actor_testbed,
+                          obs::EventType::state_sweep, 0, reclaimed);
         };
         state.on_rekey_due = [this](uint64_t now) {
-            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_rekey_due);
+            obs::trace_at(tracer, state_ring, now, actor_testbed,
+                          obs::EventType::state_rekey_due);
             rekey_live_sessions();
         };
         state.on_excise_due = [this](size_t index, uint64_t now) {
@@ -447,8 +470,8 @@ struct Testbed::Impl {
             // state so a zombie restart cannot resume old sessions. Live
             // traffic already routes around it (or the excise retry path
             // splices it out of the composition).
-            obs::trace_at(tracer, now, actor_testbed, obs::EventType::state_excise_due,
-                          0, index);
+            obs::trace_at(tracer, state_ring, now, actor_testbed,
+                          obs::EventType::state_excise_due, 0, index);
             state.excise_middlebox(index);
         };
     }
@@ -482,7 +505,8 @@ struct Testbed::Impl {
 
     void apply_fault(const FaultEvent& fault)
     {
-        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::fault_injected,
+        obs::trace_at(tracer, state_ring, loop->now(), actor_testbed,
+                      obs::EventType::fault_injected,
                       0, static_cast<uint64_t>(fault.kind),
                       fault.kind == FaultEvent::Kind::link_down ||
                               fault.kind == FaultEvent::Kind::link_up
@@ -629,7 +653,13 @@ struct Testbed::Impl {
         }
     }
 
-    std::unique_ptr<SecureChannel> make_client_channel()
+    // Get-or-create the black box for one fetch's client session.
+    obs::FlightRing* client_ring(uint64_t fetch_id)
+    {
+        return flight ? flight->open(fetch_id, "client") : nullptr;
+    }
+
+    std::unique_ptr<SecureChannel> make_client_channel(obs::FlightRing* ring)
     {
         switch (effective_mode()) {
         case Mode::no_encrypt:
@@ -646,6 +676,7 @@ struct Testbed::Impl {
             tcfg.trace_actor = "client";
             tcfg.keylog = cfg.keylog;
             tcfg.spans = cfg.spans;
+            tcfg.flight = ring;
             if (continuity() && client_tls_ticket.valid())
                 tcfg.ticket = &client_tls_ticket;
             return std::make_unique<TlsChannel>(std::move(tcfg));
@@ -662,6 +693,7 @@ struct Testbed::Impl {
             mcfg.trace_actor = "client";
             mcfg.keylog = cfg.keylog;
             mcfg.spans = cfg.spans;
+            mcfg.flight = ring;
             if (continuity() && client_mctls_ticket.valid())
                 mcfg.ticket = &client_mctls_ticket;
             return std::make_unique<McTlsChannel>(std::move(mcfg));
@@ -686,6 +718,7 @@ struct Testbed::Impl {
             tcfg.tracer = tracer;
             tcfg.trace_actor = "server";
             tcfg.spans = cfg.spans;
+            tcfg.flight = server_ring;
             if (continuity()) tcfg.session_cache = &state.tls_cache();
             return std::make_unique<TlsChannel>(std::move(tcfg));
         }
@@ -701,6 +734,7 @@ struct Testbed::Impl {
             mcfg.tracer = tracer;
             mcfg.trace_actor = "server";
             mcfg.spans = cfg.spans;
+            mcfg.flight = server_ring;
             if (continuity()) mcfg.session_cache = &state.server_cache();
             return std::make_unique<McTlsChannel>(std::move(mcfg));
         }
@@ -1007,6 +1041,7 @@ struct Testbed::Impl {
                 down_cfg.tracer = tracer;
                 down_cfg.trace_actor = host + "-down";
                 down_cfg.spans = cfg.spans;
+                down_cfg.flight = index < mbox_rings.size() ? mbox_rings[index] : nullptr;
                 relay->down_tls = std::make_unique<TlsChannel>(std::move(down_cfg));
                 tls::SessionConfig up_cfg;
                 up_cfg.role = tls::Role::client;
@@ -1016,6 +1051,7 @@ struct Testbed::Impl {
                 up_cfg.tracer = tracer;
                 up_cfg.trace_actor = host + "-up";
                 up_cfg.spans = cfg.spans;
+                up_cfg.flight = index < mbox_rings.size() ? mbox_rings[index] : nullptr;
                 relay->up_tls = std::make_unique<TlsChannel>(std::move(up_cfg));
                 // Stats only: keep these out of all_channels so §5.2 overhead
                 // accounting stays endpoint-to-endpoint as before.
@@ -1079,6 +1115,7 @@ struct Testbed::Impl {
                 mcfg.tracer = tracer;
                 mcfg.trace_actor = host;
                 mcfg.spans = cfg.spans;
+                mcfg.flight = index < mbox_rings.size() ? mbox_rings[index] : nullptr;
                 if (continuity()) mcfg.session_cache = &state.middlebox_cache(index);
                 if (customize_middlebox) customize_middlebox(index, mcfg);
                 relay->session = std::make_unique<mctls::MiddleboxSession>(std::move(mcfg));
@@ -1128,6 +1165,7 @@ struct Testbed::Impl {
     struct ClientConn : std::enable_shared_from_this<ClientConn> {
         Impl* impl;
         net::ConnectionPtr conn;
+        obs::FlightRing* ring = nullptr;  // this fetch's black box
         std::unique_ptr<SecureChannel> channel;
         ResponseParser parser;
         std::deque<size_t> pending;
@@ -1244,9 +1282,10 @@ struct Testbed::Impl {
             result->app_overhead_bytes = channel->app_overhead_bytes();
             result->wire_bytes_client_link = conn->wire_bytes_sent();
             impl->capture_ticket(channel.get());
-            obs::trace_at(impl->tracer, impl->loop->now(), impl->actor_testbed,
+            obs::trace_at(impl->tracer, ring, impl->loop->now(), impl->actor_testbed,
                           obs::EventType::fetch_complete, 0,
                           result->app_bytes_received, result->attempts);
+            if (impl->flight) impl->flight->close(ring);
             ++impl->completed_count;
             impl->live_clients.erase(result->id);
             if (impl->prune()) {
@@ -1301,15 +1340,17 @@ struct Testbed::Impl {
                        std::function<void()> on_done)
     {
         ++result->attempts;
-        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::attempt_start,
-                      0, result->attempts, sizes.size());
+        obs::FlightRing* ring = client_ring(result->id);
+        obs::trace_at(tracer, ring, loop->now(), actor_testbed,
+                      obs::EventType::attempt_start, 0, result->attempts, sizes.size());
         if (fallback_engaged && cfg.mode == Mode::mctls) result->fell_back_to_tls = true;
         auto state = std::make_shared<ClientConn>();
         state->impl = this;
         state->result = std::move(result);
         state->on_done = std::move(on_done);
         state->pending.assign(sizes.begin(), sizes.end());
-        state->channel = make_client_channel();
+        state->ring = ring;
+        state->channel = make_client_channel(ring);
         if (!prune())
             all_channels.emplace_back(unique_label("client"), state->channel.get());
         state->conn = net.connect("client", client_first_hop(), kPort);
@@ -1339,14 +1380,16 @@ struct Testbed::Impl {
                         std::function<void()> on_done, std::string reason)
     {
         result->error = std::move(reason);
-        obs::trace_at(tracer, loop->now(), actor_testbed, obs::EventType::attempt_failed,
-                      0, result->attempts);
+        obs::FlightRing* ring = flight ? client_ring(result->id) : nullptr;
+        obs::trace_at(tracer, ring, loop->now(), actor_testbed,
+                      obs::EventType::attempt_failed, 0, result->attempts);
         bool can_retry = cfg.recovery != RecoveryPolicy::abort &&
                          result->attempts < cfg.retry.max_attempts &&
                          !remaining.empty();
         if (!can_retry) {
             result->failed = true;
             result->done = loop->now();
+            if (flight) flight->close(ring);
             ++failed_count;
             live_clients.erase(result->id);
             fetch_finished();
@@ -1413,15 +1456,51 @@ struct Testbed::Impl {
     void publish_stats()
     {
         if (!cfg.obs) return;
-        for (const auto& [label, channel] : all_channels)
-            cfg.obs->publish(label, channel->session_stats());
-        for (const auto& [label, channel] : split_channels)
-            cfg.obs->publish(label, channel->session_stats());
-        for (const auto& [label, session] : relay_sessions)
-            cfg.obs->publish(label, session->session_stats());
+        // Global per-alert-type counters ("alerts.sent.<type>") accumulate
+        // across every session in the testbed; per-label variants are
+        // published by Hub::publish under "<label>.alerts.sent.<type>".
+        std::map<std::string, uint64_t> alerts_sent, alerts_received;
+        auto acc_alerts = [&](const obs::SessionStats& s) {
+            for (const auto& [type, n] : s.alerts_sent_by_type) alerts_sent[type] += n;
+            for (const auto& [type, n] : s.alerts_received_by_type)
+                alerts_received[type] += n;
+        };
+        for (const auto& [label, channel] : all_channels) {
+            obs::SessionStats s = channel->session_stats();
+            acc_alerts(s);
+            cfg.obs->publish(label, s);
+        }
+        for (const auto& [label, channel] : split_channels) {
+            obs::SessionStats s = channel->session_stats();
+            acc_alerts(s);
+            cfg.obs->publish(label, s);
+        }
+        for (const auto& [label, session] : relay_sessions) {
+            obs::SessionStats s = session->session_stats();
+            acc_alerts(s);
+            cfg.obs->publish(label, s);
+        }
         // Prune mode folds each retired session into a per-class aggregate
         // ("client", "server", "mbox0", ...) at retirement time.
-        for (const auto& [cls, stats] : retired_stats) cfg.obs->publish(cls, stats);
+        for (const auto& [cls, stats] : retired_stats) {
+            acc_alerts(stats);
+            cfg.obs->publish(cls, stats);
+        }
+        for (const auto& [type, n] : alerts_sent)
+            cfg.obs->metrics.counter("alerts.sent." + type)->set(n);
+        for (const auto& [type, n] : alerts_received)
+            cfg.obs->metrics.counter("alerts.received." + type)->set(n);
+        cfg.obs->publish_trace_health();
+        if (flight) {
+            cfg.obs->metrics.counter("obs.flight.events")->set(flight->events_recorded());
+            cfg.obs->metrics.counter("obs.flight.dropped")->set(flight->events_dropped());
+            cfg.obs->metrics.counter("obs.flight.rings_opened")
+                ->set(flight->rings_opened());
+            cfg.obs->metrics.counter("obs.flight.rings_denied")
+                ->set(flight->rings_denied());
+            cfg.obs->metrics.counter("obs.flight.rings_recycled")
+                ->set(flight->rings_recycled());
+        }
         cfg.obs->metrics.counter("fetch.completed")->set(completed_count);
         cfg.obs->metrics.counter("fetch.failed")->set(failed_count);
         cfg.obs->metrics.counter("loop.events_run")->set(loop->events_run());

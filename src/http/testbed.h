@@ -148,6 +148,14 @@ struct TestbedConfig {
     // publish_session_stats() folds stage histograms into cfg.obs. Borrowed;
     // must outlive the testbed. Null = off, zero overhead on the data path.
     obs::SpanCollector* spans = nullptr;
+
+    // Flight-recorder forensics (DESIGN.md §17). When set, every client
+    // fetch gets its own black-box ring keyed by fetch id (label "client"),
+    // the server / relays / state plane share infrastructure rings under
+    // sid 0 ("server", "mboxN", "state"), and the recorder's clock is bound
+    // to the sim loop. Incident bundles snapshot these rings after a failed
+    // campaign. Borrowed; must outlive the testbed. Null = off.
+    obs::FlightRecorder* flight = nullptr;
 };
 
 class Testbed {

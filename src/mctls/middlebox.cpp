@@ -58,7 +58,7 @@ Status MiddleboxSession::fail_with(SessionError::Origin origin,
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
     if (in_handshake)
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_failed, 0,
                    static_cast<uint64_t>(description));
     // A middlebox failure affects both directions: alert both endpoints.
     if (emit_alert) send_alert_both(tls::fatal_alert(description));
@@ -70,7 +70,8 @@ void MiddleboxSession::send_alert_both(const tls::Alert& alert)
     if (alert_sent_ && alert_sent_->is_fatal()) return;  // at most one fatal
     alert_sent_ = alert;
     ++alerts_sent_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+    ++alerts_sent_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_sent, kControlContext,
                static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     to_client_.push_back(client_side_.codec.encode(rec));
@@ -94,7 +95,8 @@ Status MiddleboxSession::handle_alert_record(From from, const tls::RecordView& v
     if (!alert) return {};  // unparsable: forwarded anyway, endpoints decide
     peer_alert_ = alert.value();
     ++alerts_received_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, kControlContext,
+    ++alerts_received_by_type_[to_string(alert.value().description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_received, kControlContext,
                static_cast<uint64_t>(alert.value().description));
     if (alert.value().is_fatal()) {
         torn_down_ = true;
@@ -138,7 +140,8 @@ void MiddleboxSession::transport_closed(bool from_client_side)
     tls::Alert alert = tls::fatal_alert(AlertDescription::middlebox_failure);
     alert_sent_ = alert;
     ++alerts_sent_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+    ++alerts_sent_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_sent, kControlContext,
                static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     auto& out = from_client_side ? to_server_ : to_client_;
@@ -246,7 +249,7 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
         if (entity_index_ == SIZE_MAX)
             return fail(AlertDescription::middlebox_failure,
                         "mctls mbox: not listed in the session's middlebox list");
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_client_hello,
                    static_cast<uint16_t>(entity_index_), msg.body.size());
         // A resumption offer we have cached pairwise keys for: if the server
         // echoes the id we can rejoin without fresh DH exchanges.
@@ -279,7 +282,7 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
             resumed_ = true;
             pairwise_client_ = resume_ticket_.pairwise_client;
             pairwise_server_ = resume_ticket_.pairwise_server;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rejoin,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_rejoin,
                        static_cast<uint16_t>(entity_index_), middleboxes_.size());
         } else if (!session_id_.empty() && session_id_ == offered_session_id_ &&
                    !resume_candidate_) {
@@ -291,7 +294,7 @@ Status MiddleboxSession::handle_handshake(From from, const tls::HandshakeMessage
             // a session we were never entitled to break.
             rejoin_missed_ = true;
             keys_ready_ = true;  // established, with no contexts readable
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_reject,
                        static_cast<uint16_t>(entity_index_), middleboxes_.size());
         }
         forward_handshake(from, msg);
@@ -389,7 +392,7 @@ void MiddleboxSession::inject_bundle()
     Bytes bundle = concat(hello.to_message().serialize(),
                           kx_client.to_message().serialize(),
                           kx_server.to_message().serialize());
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_mbox_hello,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_mbox_hello,
                static_cast<uint16_t>(entity_index_), bundle.size());
     tls::Record rec{tls::ContentType::handshake, kControlContext, bundle};
     // Toward the client: part of the flight currently being relayed.
@@ -477,9 +480,9 @@ void MiddleboxSession::try_finalize_keys()
             permissions_[e.context_id] = e.permission;
         }
         keys_ready_ = true;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_key_distribution, 0,
                    context_keys_.size(), 1);
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                    context_keys_.size());
         if (cfg_.session_cache) cfg_.session_cache->put(ticket());
         return;
@@ -511,9 +514,9 @@ void MiddleboxSession::try_finalize_keys()
         }
     }
     keys_ready_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_key_distribution, 0,
                context_keys_.size(), 0);
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                context_keys_.size());
     if (cfg_.session_cache) cfg_.session_cache->put(ticket());
 }
@@ -582,11 +585,11 @@ Status MiddleboxSession::handle_rekey_record(From from, const tls::RecordView& v
             pending_client_material_ = entries.take();
             pending_client_seen_ = true;
         }
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::rekey_init,
                    static_cast<uint16_t>(entity_index_), rk.epoch,
                    pending_revoked_ ? 1 : 0);
         if (pending_revoked_)
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_excised,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_excised,
                        static_cast<uint16_t>(entity_index_), rk.epoch);
         return {};
     }
@@ -674,7 +677,7 @@ void MiddleboxSession::finish_rekey_if_switched()
     pending_client_material_.clear();
     pending_server_material_.clear();
     pending_client_seen_ = pending_server_seen_ = false;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_complete,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::rekey_complete,
                static_cast<uint16_t>(entity_index_), epoch_);
 }
 
@@ -741,7 +744,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
         CtxCounters& cc = ctx_counters_[view.context_id];
         cc.bytes_in += view.payload.size();  // opaque: only wire size visible
         ++cc.records_in;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_forward_blind,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_forward_blind,
                    view.context_id, view.payload.size());
         forward_wire(from, view.wire, /*own_unit=*/true);
         if (traced)
@@ -755,7 +758,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
                                           view.payload, open_scratch_, tp);
         if (!payload) {
             ++mac_failures_;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mac_verify_fail,
                        view.context_id, view.payload.size());
             return fail(AlertDescription::bad_record_mac, payload.error().message);
         }
@@ -764,7 +767,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
         CtxCounters& cc = ctx_counters_[view.context_id];
         cc.bytes_in += payload.value().size();
         ++cc.records_in;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_read, view.context_id,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_read, view.context_id,
                    payload.value().size(), 1);
         if (cfg_.observe) cfg_.observe(view.context_id, dir, payload.value());
         forward_wire(from, view.wire, /*own_unit=*/true);  // original bytes
@@ -782,7 +785,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
                                      open_scratch_, tp);
     if (!opened) {
         ++mac_failures_;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mac_verify_fail,
                    view.context_id, view.payload.size());
         return fail(AlertDescription::bad_record_mac, opened.error().message);
     }
@@ -798,7 +801,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
     bool modified = !equal(payload, opened.value().payload);
     if (!modified) {
         // Unmodified: forward the original record, MACs untouched.
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_write_pass,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_write_pass,
                    view.context_id, payload.size(), 1);
         forward_wire(from, view.wire, /*own_unit=*/true);
         if (traced) {
@@ -811,7 +814,7 @@ Status MiddleboxSession::handle_app_record(From from, const tls::RecordView& vie
     }
     ++records_rewritten_;
     macs_generated_ += 2;  // regenerated writer + reader MACs
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mbox_rewrite, view.context_id,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mbox_rewrite, view.context_id,
                payload.size(), 2);
     // Reseal straight into the outgoing wire unit: header first, fragment
     // appended in place (endpoint MAC still borrowed from the scratch).
@@ -850,6 +853,8 @@ obs::SessionStats MiddleboxSession::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    s.alerts_sent_by_type = alerts_sent_by_type_;
+    s.alerts_received_by_type = alerts_received_by_type_;
     if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     for (const auto& ctx : contexts_) {
         obs::ContextStats cs;

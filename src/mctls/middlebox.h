@@ -56,6 +56,8 @@ struct MiddleboxConfig {
     // (forward / decrypt_verify / reseal) parented under the incoming
     // transport context. Null disables; borrowed.
     obs::SpanCollector* spans = nullptr;
+    // Optional per-session black box (obs/flight.h). Borrowed; null disables.
+    obs::FlightRing* flight = nullptr;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -297,6 +299,8 @@ private:
     uint64_t mac_failures_ = 0;
     uint64_t alerts_sent_ = 0;
     uint64_t alerts_received_ = 0;
+    std::map<std::string, uint64_t> alerts_sent_by_type_;
+    std::map<std::string, uint64_t> alerts_received_by_type_;
 };
 
 }  // namespace mct::mctls

@@ -74,7 +74,7 @@ Status Session::fail_with(SessionError::Origin origin, AlertDescription descript
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
     if (in_handshake)
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_failed, 0,
                    static_cast<uint64_t>(description));
     // Fatal alert to the peer, best effort (never in response to the peer's
     // own fatal alert, which would just echo noise at a dead session).
@@ -93,7 +93,8 @@ void Session::send_alert(const tls::Alert& alert)
     }
     alert_sent_ = alert;
     ++alerts_sent_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, kControlContext,
+    ++alerts_sent_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_sent, kControlContext,
                static_cast<uint64_t>(alert.description));
     tls::Record rec{tls::ContentType::alert, kControlContext, alert.serialize()};
     write_units_.push_back(codec_.encode(rec));
@@ -103,7 +104,8 @@ Status Session::handle_alert(const tls::Alert& alert)
 {
     peer_alert_ = alert;
     ++alerts_received_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, kControlContext,
+    ++alerts_received_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_received, kControlContext,
                static_cast<uint64_t>(alert.description));
     if (alert.is_close_notify()) {
         peer_close_received_ = true;
@@ -142,7 +144,7 @@ void Session::close()
 {
     if (state_ == State::failed || close_sent_) return;
     close_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::session_close);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::session_close);
     send_alert(tls::close_notify_alert());
     // Mid-handshake close abandons the session; an established session keeps
     // receiving until the peer's close_notify arrives.
@@ -246,7 +248,7 @@ void Session::start()
         }
         if (covered) {
             hello.session_id = cfg_.ticket->session_id;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_offer, 0,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_offer, 0,
                        hello.session_id.size());
         }
     }
@@ -261,7 +263,7 @@ void Session::start()
     flush_flight_into_unit(wire, &unit);
     write_units_.push_back(std::move(unit));
     state_ = State::wait_server_flight;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_start, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_start, 0,
                handshake_wire_bytes_);
 }
 
@@ -362,7 +364,7 @@ Status Session::handle_bundle_message(const tls::HandshakeMessage& msg)
         mbox.hello_seen = true;
         transcript_.add_bundle_part(i, 0, wire);
         crypto::count_hash(cfg_.ops);
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_mbox_hello, i,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_mbox_hello, i,
                    wire.size());
 
         bool check = cfg_.trust && (is_client_ || cfg_.authenticate_middleboxes);
@@ -481,7 +483,7 @@ Status Session::client_handle(const tls::HandshakeMessage& msg)
         transcript_.set(Transcript::Slot::server_hello_done, wire);
         crypto::count_hash(cfg_.ops);
         shd_seen_ = true;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_server_flight, 0,
                    handshake_wire_bytes_);
         bool all = std::all_of(mbox_state_.begin(), mbox_state_.end(),
                                [](const MiddleboxState& m) { return m.complete(); });
@@ -518,7 +520,7 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
             suite_ok |= s == tls::kCipherSuiteX25519Ed25519Aes128Sha256;
         if (!suite_ok)
             return fail(AlertDescription::handshake_failure, "mctls: no common cipher suite");
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_client_hello, 0,
                    msg.body.size());
         client_random_ = hello.value().random;
         auto ext = MiddleboxListExtension::parse(hello.value().extensions);
@@ -538,7 +540,7 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         if (server_try_resumption(hello.value()))
             return server_send_resumed_flight(wire);
         if (!hello.value().session_id.empty())
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject, 0,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_reject, 0,
                        hello.value().session_id.size());
 
         ckd_ = cfg_.client_key_distribution;
@@ -601,7 +603,7 @@ Status Session::server_handle(const tls::HandshakeMessage& msg)
         flush_flight_into_unit(flight, &unit);
         write_units_.push_back(std::move(unit));
         state_ = State::wait_client_flight;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_server_flight, 0,
                    handshake_wire_bytes_);
         return {};
     }
@@ -676,7 +678,7 @@ void Session::derive_endpoint_secrets_from_scs()
             crypto::count_keygen(cfg_.ops, 2);  // K^E_readers, K^E_writers
         }
     }
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_key_distribution, 0,
                contexts_.size(), ckd_ ? 1 : 0);
 
     keylog_endpoint_keys(cfg_.keylog, client_random_, endpoint_keys_);
@@ -828,7 +830,7 @@ Status Session::client_send_second_flight()
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::wait_server_second;
@@ -895,12 +897,12 @@ Status Session::server_send_final_flight()
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::established;
     handshake_ever_complete_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                handshake_wire_bytes_);
     if (cfg_.session_cache && !session_id_.empty()) cfg_.session_cache->put(ticket());
     return {};
@@ -931,7 +933,7 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
         if (!crypto::ct_equal(expected, fin.value().verify_data))
             return fail(AlertDescription::decrypt_error,
                         "mctls: server Finished verification failed");
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_verified);
         if (resumed_) {
             append(resumed_transcript_, msg.serialize());
             crypto::count_hash(cfg_.ops);
@@ -939,7 +941,7 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
         }
         state_ = State::established;
         handshake_ever_complete_ = true;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                    handshake_wire_bytes_);
         return {};
     }
@@ -957,11 +959,11 @@ Status Session::verify_peer_finished(const tls::HandshakeMessage& msg)
     if (!crypto::ct_equal(expected, fin.value().verify_data))
         return fail(AlertDescription::decrypt_error,
                     "mctls: client Finished verification failed");
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_verified);
     if (resumed_) {
         state_ = State::established;
         handshake_ever_complete_ = true;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                    handshake_wire_bytes_);
         // Refresh the cache entry: after an excision this narrows the stored
         // composition to the surviving middleboxes.
@@ -996,7 +998,7 @@ Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
                                        context_id, payload, open_scratch_, tp);
     if (!opened) {
         ++mac_failures_;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mac_verify_fail,
                    context_id, payload.size());
         return fail(AlertDescription::bad_record_mac, opened.error().message);
     }
@@ -1008,8 +1010,8 @@ Status Session::handle_app_record(uint8_t context_id, ConstBytes payload)
     CtxCounters& cc = ctx_counters_[context_id];
     cc.bytes_in += opened.value().payload.size();
     ++cc.records_in;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, context_id,
-               opened.value().payload.size(), 2);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::record_open, context_id,
+               opened.value().payload.size(), 2, in_ctx.trace_id);
     if (tp) {
         uint64_t now = cfg_.spans->now();
         obs::SpanRecord r;
@@ -1065,6 +1067,7 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
                     .count());
         seal_record_into(keys->second, endpoint_keys_, dir, app_send_seq_, context_id,
                          data.subspan(off, take), *cfg_.rng, wire, tp);
+        uint64_t span_trace = 0;  // this record's trace id, for the black box
         if (tp) {
             // Root span for this record's trace, plus CPU-stage children.
             // Sim time does not advance inside the session, so the root is
@@ -1095,6 +1098,7 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
             child(obs::Stage::encrypt, stage_ns.cipher_ns, take);
             unit_spans_.resize(write_units_.size());  // pad untraced units
             unit_spans_.push_back(rec);
+            span_trace = rec.trace_id;
         }
         ++app_send_seq_;
         app_overhead_bytes_ += wire.size() - take;
@@ -1104,8 +1108,8 @@ Status Session::send_app_data(uint8_t context_id, ConstBytes data)
         CtxCounters& cc = ctx_counters_[context_id];
         cc.bytes_out += take;
         ++cc.records_out;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_seal, context_id,
-                   take, 3);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::record_seal, context_id,
+                   take, 3, span_trace);
         write_units_.push_back(std::move(wire));
         off += take;
     } while (off < data.size());
@@ -1179,7 +1183,7 @@ bool Session::server_try_resumption(const tls::ClientHello& hello)
 
 Status Session::server_send_resumed_flight(ConstBytes client_hello_wire)
 {
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_accept, 0,
                middleboxes_.size());
     resumed_transcript_.assign(client_hello_wire.begin(), client_hello_wire.end());
     derive_endpoint_secrets_from_scs();
@@ -1241,7 +1245,7 @@ Status Session::server_send_resumed_flight(ConstBytes client_hello_wire)
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::wait_client_flight;
@@ -1262,7 +1266,7 @@ Status Session::client_accept_resumption(ConstBytes server_hello_wire)
     append(resumed_transcript_, server_hello_wire);
     derive_endpoint_secrets_from_scs();
     state_ = State::wait_server_second;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_accept, 0,
                middleboxes_.size());
     return {};
 }
@@ -1314,12 +1318,12 @@ Status Session::client_send_resumed_flight()
     handshake_wire_bytes_ += fin_rec_wire.size();
     append(unit, fin_rec_wire);
     finished_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_sent);
 
     write_units_.push_back(std::move(unit));
     state_ = State::established;
     handshake_ever_complete_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                handshake_wire_bytes_);
     return {};
 }
@@ -1397,7 +1401,7 @@ Status Session::initiate_rekey(const std::vector<std::string>& revoke)
     rec.entries.push_back(std::move(endpoint));
 
     queue_rekey_record(rec);
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init, 0, pending_epoch_,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::rekey_init, 0, pending_epoch_,
                rekey_revoked_.size());
     return {};
 }
@@ -1456,7 +1460,7 @@ void Session::finish_rekey_if_switched()
     rekey_own_partials_.clear();
     pending_context_keys_.clear();
     rekey_revoked_.clear();
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_complete, 0, epoch_);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::rekey_complete, 0, epoch_);
 }
 
 Status Session::handle_rekey_record(const tls::Record& record)
@@ -1526,7 +1530,7 @@ Status Session::handle_rekey_record(const tls::Record& record)
         dir_switched_[0] = dir_switched_[1] = false;
         pending_context_keys_.clear();
         rekey_own_partials_.clear();
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::rekey_init, 0, rk.epoch);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::rekey_init, 0, rk.epoch);
 
         const RekeyEntry* own = nullptr;
         for (const auto& e : rk.entries)
@@ -1617,6 +1621,8 @@ obs::SessionStats Session::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    s.alerts_sent_by_type = alerts_sent_by_type_;
+    s.alerts_received_by_type = alerts_received_by_type_;
     if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     // Report every negotiated context, including idle ones, so callers see
     // the full permission matrix shape in a single snapshot.

@@ -68,6 +68,10 @@ struct SessionConfig {
     // emits decrypt_verify/deliver spans parented under the incoming
     // transport context. Null disables; borrowed.
     obs::SpanCollector* spans = nullptr;
+    // Optional per-session black box (obs/flight.h): traced protocol events
+    // are also stamped into this ring for incident bundles. Borrowed; null
+    // disables.
+    obs::FlightRing* flight = nullptr;
     uint64_t now = 100;
     // Handshake deadline for tick(), in the caller's clock units (armed at
     // the first tick() call). 0 disables the deadline.
@@ -335,6 +339,10 @@ private:
     uint64_t mac_failures_ = 0;
     uint64_t alerts_sent_ = 0;
     uint64_t alerts_received_ = 0;
+    // Keyed by to_string(AlertDescription); alerts are rare and terminal, so
+    // the map insert stays off the record fast path.
+    std::map<std::string, uint64_t> alerts_sent_by_type_;
+    std::map<std::string, uint64_t> alerts_received_by_type_;
 
     // --- Session continuity state ---
     Bytes session_id_;           // assigned (server) or echoed (client)

@@ -38,6 +38,16 @@ void Histogram::record(uint64_t v)
     count_++;
 }
 
+void Histogram::merge(const Histogram& other)
+{
+    if (other.count_ == 0) return;
+    for (size_t i = 0; i < kBucketCount; ++i) buckets_[i] += other.buckets_[i];
+    sum_ += other.sum_;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+}
+
 uint64_t Histogram::quantile(double q) const
 {
     if (count_ == 0) return 0;

@@ -49,6 +49,13 @@ public:
 
     void record(uint64_t v);
 
+    // Fold another histogram's samples into this one. Bucket-exact: merging
+    // then querying a quantile equals recording every sample into one
+    // histogram, because the bucket layout is shared and quantiles only read
+    // buckets (clamped to the merged [min, max]). Used by incident tooling
+    // to recombine per-shard dumps.
+    void merge(const Histogram& other);
+
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }
     uint64_t min() const { return count_ ? min_ : 0; }

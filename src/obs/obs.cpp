@@ -38,6 +38,20 @@ void SessionStats::to_json(std::string* out) const
     w.value(alerts_sent);
     w.key("alerts_received");
     w.value(alerts_received);
+    w.key("alerts_sent_by_type");
+    w.begin_object();
+    for (const auto& [type, n] : alerts_sent_by_type) {
+        w.key(type);
+        w.value(n);
+    }
+    w.end_object();
+    w.key("alerts_received_by_type");
+    w.begin_object();
+    for (const auto& [type, n] : alerts_received_by_type) {
+        w.key(type);
+        w.value(n);
+    }
+    w.end_object();
     w.key("trace_events_dropped");
     w.value(trace_events_dropped);
     w.key("contexts");
@@ -80,6 +94,9 @@ void Hub::publish(const std::string& prefix, const SessionStats& s)
     set("mac_failures", s.mac_failures);
     set("alerts_sent", s.alerts_sent);
     set("alerts_received", s.alerts_received);
+    for (const auto& [type, n] : s.alerts_sent_by_type) set("alerts.sent." + type, n);
+    for (const auto& [type, n] : s.alerts_received_by_type)
+        set("alerts.received." + type, n);
     set("trace_events_dropped", s.trace_events_dropped);
     for (const auto& c : s.contexts) {
         set("ctx." + c.name + ".bytes_out", c.bytes_out);
@@ -116,6 +133,11 @@ void Hub::publish_spans(const SpanCollector& spans)
         if (r.cpu_ns) metrics.histogram("span." + stage + ".cpu_ns")->record(r.cpu_ns);
     }
     metrics.counter("span.dropped")->set(spans.dropped());
+}
+
+void Hub::publish_trace_health()
+{
+    metrics.counter("obs.trace.dropped")->set(tracer.events_dropped());
 }
 
 }  // namespace mct::obs

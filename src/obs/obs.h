@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -59,6 +61,12 @@ struct SessionStats {
     uint64_t alerts_sent = 0;
     uint64_t alerts_received = 0;
 
+    // Per-alert-type breakdown keyed by tls::to_string(AlertDescription)
+    // (string keys: obs cannot see the tls enum). Lets chaos campaigns tell a
+    // close_notify drain from a bad_record_mac storm.
+    std::map<std::string, uint64_t> alerts_sent_by_type;
+    std::map<std::string, uint64_t> alerts_received_by_type;
+
     // Trace events the session's tracer sinks failed to retain (ring-buffer
     // overwrites); nonzero means the captured trace is missing its oldest
     // events and consumers should warn instead of silently truncating.
@@ -90,6 +98,11 @@ struct Hub {
     // counter for ring overwrites. Histograms accumulate, so call once per
     // run (the testbed does, at publish_stats time).
     void publish_spans(const SpanCollector& spans);
+
+    // Surface the tracer's own health as metrics: "obs.trace.dropped" is the
+    // sum of events its sinks failed to retain (ring overwrites). Zero in a
+    // properly-sized steady state — the fast-path test asserts exactly that.
+    void publish_trace_health();
 };
 
 }  // namespace mct::obs

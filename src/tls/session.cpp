@@ -50,7 +50,7 @@ Status Session::fail_with(SessionError::Origin origin, AlertDescription descript
     error_ = std::move(message);
     if (!failure_.failed()) failure_ = {origin, description, error_};
     if (in_handshake)
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_failed, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_failed, 0,
                    static_cast<uint64_t>(description));
     // Fatal alert to the peer, best effort (never in response to the peer's
     // own fatal alert, which would just echo noise at a dead session).
@@ -70,7 +70,8 @@ void Session::send_alert(const Alert& alert)
     }
     alert_sent_ = alert;
     ++alerts_sent_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_sent, 0,
+    ++alerts_sent_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_sent, 0,
                static_cast<uint64_t>(alert.description));
     queue_record({ContentType::alert, 0, alert.serialize()}, /*own_unit=*/true);
 }
@@ -79,7 +80,8 @@ Status Session::handle_alert(const Alert& alert)
 {
     peer_alert_ = alert;
     ++alerts_received_;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::alert_received, 0,
+    ++alerts_received_by_type_[to_string(alert.description)];
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::alert_received, 0,
                static_cast<uint64_t>(alert.description));
     if (alert.is_close_notify()) {
         peer_close_received_ = true;
@@ -118,7 +120,7 @@ void Session::close()
 {
     if (state_ == State::failed || close_sent_) return;
     close_sent_ = true;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::session_close);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::session_close);
     send_alert(close_notify_alert());
     // Mid-handshake close abandons the session; an established session keeps
     // receiving until the peer's close_notify arrives.
@@ -185,7 +187,7 @@ void Session::start()
     hello.cipher_suites = {kCipherSuiteX25519Ed25519Aes128Sha256};
     if (cfg_.ticket && cfg_.ticket->valid()) {
         hello.session_id = cfg_.ticket->session_id;
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_offer, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_offer, 0,
                    hello.session_id.size());
     }
 
@@ -193,7 +195,7 @@ void Session::start()
     queue_handshake(hello.to_message(), &flight);
     flush_flight(std::move(flight));
     state_ = State::wait_server_hello;
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_start, 0, handshake_wire_bytes_);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_start, 0, handshake_wire_bytes_);
 }
 
 Status Session::feed(ConstBytes wire)
@@ -217,14 +219,14 @@ Status Session::handle_record_view(const RecordView& view)
         auto plain = recv_protector_->unprotect_into(view.type, 0, view.payload, recv_scratch_);
         if (!plain) {
             ++mac_failures_;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail, 0,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mac_verify_fail, 0,
                        view.payload.size());
             return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
         }
         ++macs_verified_;
         ++app_records_received_;
         app_bytes_received_ += plain.value();
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, 0, plain.value(), 1);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::record_open, 0, plain.value(), 1);
         append(app_data_, ConstBytes{recv_scratch_.data(), plain.value()});
         return {};
     }
@@ -291,7 +293,7 @@ Status Session::handle_record(const Record& record)
         auto plain = recv_protector_->unprotect(record.type, 0, record.payload);
         if (!plain) {
             ++mac_failures_;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::mac_verify_fail, 0,
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::mac_verify_fail, 0,
                        record.payload.size());
             return fail(AlertDescription::bad_record_mac, "tls: " + plain.error().message);
         }
@@ -322,8 +324,8 @@ Status Session::handle_record(const Record& record)
         ++macs_verified_;
         ++app_records_received_;
         app_bytes_received_ += plain.value().size();
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_open, 0,
-                   plain.value().size(), 1);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::record_open, 0,
+                   plain.value().size(), 1, in_ctx.trace_id);
         append(app_data_, plain.value());
         return {};
     }
@@ -370,7 +372,7 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
             master_secret_ = cfg_.ticket->master_secret;
             derive_key_block();
             state_ = State::wait_server_finish;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept);
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_accept);
         }
         return {};
     }
@@ -399,7 +401,7 @@ Status Session::client_handle_server_flight(const HandshakeMessage& msg)
     case HandshakeType::server_hello_done: {
         if (peer_dh_public_.empty())
             return fail(AlertDescription::unexpected_message, "tls: hello done before SKE");
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_server_flight, 0,
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_server_flight, 0,
                    handshake_wire_bytes_);
         derive_keys();
 
@@ -420,7 +422,7 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
 {
     if (msg.type != HandshakeType::client_hello)
         return fail(AlertDescription::unexpected_message, "tls: expected ClientHello");
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_client_hello, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_client_hello, 0,
                msg.body.size());
     Bytes wire = msg.serialize();
     append(transcript_, wire);
@@ -445,7 +447,7 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
             resumed_ = true;
             session_id_ = offered;
             master_secret_ = cached->master_secret;
-            obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_accept);
+            obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_accept);
 
             Bytes flight;
             ServerHello sh;
@@ -458,7 +460,7 @@ Status Session::server_handle_client_hello(const HandshakeMessage& msg)
             state_ = State::wait_client_finish;
             return {};
         }
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_resume_reject);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_resume_reject);
     }
 
     auto kp = crypto::x25519_keypair(*cfg_.rng);
@@ -549,7 +551,7 @@ void Session::derive_key_block()
         send_protector_ = std::make_unique<CbcHmacProtector>(server_key, server_mac);
         recv_protector_ = std::make_unique<CbcHmacProtector>(client_key, client_mac);
     }
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_key_distribution, 0, 1);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_key_distribution, 0, 1);
 }
 
 Bytes Session::finished_verify_data(const char* label) const
@@ -575,7 +577,7 @@ void Session::send_ccs_and_finished(Bytes*)
         send_protector_->protect(ContentType::handshake, 0, wire, *cfg_.rng);
     crypto::count_enc(cfg_.ops);
     queue_record({ContentType::handshake, 0, protected_payload}, /*own_unit=*/false);
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_sent);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_sent);
 }
 
 Status Session::handle_finished(const HandshakeMessage& msg)
@@ -593,7 +595,7 @@ Status Session::handle_finished(const HandshakeMessage& msg)
 
     append(transcript_, msg.serialize());
     crypto::count_hash(cfg_.ops);
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_finished_verified);
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_finished_verified);
 
     // Full handshake: the server answers the client's Finished. Abbreviated:
     // the order flips — the server spoke first, the client answers here.
@@ -602,7 +604,7 @@ Status Session::handle_finished(const HandshakeMessage& msg)
     state_ = State::established;
     if (cfg_.role == Role::server && cfg_.session_cache && !session_id_.empty())
         cfg_.session_cache->put({session_id_, master_secret_});
-    obs::trace(cfg_.tracer, trace_actor_, obs::EventType::hs_complete, 0,
+    obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::hs_complete, 0,
                handshake_wire_bytes_);
     return {};
 }
@@ -623,6 +625,7 @@ Status Session::send_app_data(ConstBytes data)
         codec_.encode_header_into(ContentType::application_data, 0, body, wire);
         std::chrono::steady_clock::time_point t0;
         bool sp = obs::span_on(cfg_.spans);
+        uint64_t span_trace = 0;  // last record's trace id, for the black box
         if (sp) t0 = std::chrono::steady_clock::now();
         send_protector_->protect_into(ContentType::application_data, 0, chunk, *cfg_.rng, wire);
         if (sp) {
@@ -652,12 +655,14 @@ Status Session::send_app_data(ConstBytes data)
             cfg_.spans->emit(enc);
             unit_spans_.resize(write_units_.size());
             unit_spans_.push_back(rec);
+            span_trace = rec.trace_id;
         }
         app_overhead_bytes_ += wire.size() - chunk.size();
         ++app_records_sent_;
         ++macs_generated_;
         app_bytes_sent_ += chunk.size();
-        obs::trace(cfg_.tracer, trace_actor_, obs::EventType::record_seal, 0, chunk.size(), 1);
+        obs::trace(cfg_.tracer, cfg_.flight, trace_actor_, obs::EventType::record_seal, 0,
+                   chunk.size(), 1, span_trace);
         write_units_.push_back(std::move(wire));
         off += take;
     } while (off < data.size());
@@ -680,6 +685,8 @@ obs::SessionStats Session::session_stats() const
     s.mac_failures = mac_failures_;
     s.alerts_sent = alerts_sent_;
     s.alerts_received = alerts_received_;
+    s.alerts_sent_by_type = alerts_sent_by_type_;
+    s.alerts_received_by_type = alerts_received_by_type_;
     if (cfg_.tracer) s.trace_events_dropped = cfg_.tracer->events_dropped();
     obs::ContextStats app;
     app.name = "app";

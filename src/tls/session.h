@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +52,10 @@ struct SessionConfig {
     std::string trace_actor;
     // Optional latency attribution (see obs/span.h). Null disables.
     obs::SpanCollector* spans = nullptr;
+    // Optional per-session black box (obs/flight.h): every traced protocol
+    // event is also stamped into this ring so the session's last moments
+    // survive for incident bundles. Borrowed; null disables.
+    obs::FlightRing* flight = nullptr;
     uint64_t now = 100;  // certificate validity check time
     // Handshake deadline for tick(), in the caller's clock units (the
     // deadline arms at the first tick() call). 0 disables the deadline.
@@ -230,6 +235,10 @@ private:
     uint64_t mac_failures_ = 0;
     uint64_t alerts_sent_ = 0;
     uint64_t alerts_received_ = 0;
+    // Keyed by to_string(AlertDescription); bumped off the hot path (alerts
+    // are rare and terminal), surfaced via session_stats().
+    std::map<std::string, uint64_t> alerts_sent_by_type_;
+    std::map<std::string, uint64_t> alerts_received_by_type_;
 };
 
 }  // namespace mct::tls

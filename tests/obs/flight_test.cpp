@@ -1,0 +1,200 @@
+// Flight-recorder plane (obs/flight.h): ring wrap accounting, idempotent
+// open per live (sid, label), LRU recycling of closed slots, denial when
+// every slot is live, and snapshot filtering — the contracts the incident
+// bundle (obs/incident.h) builds on.
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+namespace mct::obs {
+namespace {
+
+FlightRecorder::Config small(size_t cap, size_t rings)
+{
+    FlightRecorder::Config cfg;
+    cfg.ring_capacity = cap;
+    cfg.max_rings = rings;
+    return cfg;
+}
+
+TEST(FlightRing, RetainsNewestEventsAfterWrap)
+{
+    FlightRecorder rec(small(4, 2));
+    FlightRing* ring = rec.open(7, "client");
+    ASSERT_NE(ring, nullptr);
+    for (uint64_t i = 0; i < 10; ++i)
+        ring->push(EventType::record_seal, 1, i, 0, 0);
+
+    EXPECT_EQ(ring->total(), 10u);
+    EXPECT_EQ(ring->dropped(), 6u);
+    auto events = ring->events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first, and only the newest four survive the wrap.
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].a, 6 + i);
+        EXPECT_EQ(events[i].type, EventType::record_seal);
+    }
+    EXPECT_EQ(rec.events_recorded(), 10u);
+    EXPECT_EQ(rec.events_dropped(), 6u);
+}
+
+TEST(FlightRing, SeqIsRecorderGlobalAcrossRings)
+{
+    FlightRecorder rec(small(8, 4));
+    FlightRing* a = rec.open(1, "client");
+    FlightRing* b = rec.open(0, "server");
+    a->push(EventType::hs_start);
+    b->push(EventType::hs_start);
+    a->push(EventType::hs_complete);
+
+    auto ea = a->events();
+    auto eb = b->events();
+    ASSERT_EQ(ea.size(), 2u);
+    ASSERT_EQ(eb.size(), 1u);
+    // Interleaving across rings is reconstructable from seq alone.
+    EXPECT_LT(ea[0].seq, eb[0].seq);
+    EXPECT_LT(eb[0].seq, ea[1].seq);
+}
+
+TEST(FlightRing, ClockStampsTimestamps)
+{
+    FlightRecorder rec(small(4, 1));
+    uint64_t now = 100;
+    rec.set_clock([&now] { return now; });
+    FlightRing* ring = rec.open(1, "client");
+    ring->push(EventType::hs_start);
+    now = 250;
+    ring->push(EventType::hs_complete);
+
+    auto events = ring->events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].ts, 100u);
+    EXPECT_EQ(events[1].ts, 250u);
+}
+
+TEST(FlightRecorder, OpenIsIdempotentWhileLive)
+{
+    FlightRecorder rec(small(4, 4));
+    FlightRing* first = rec.open(5, "client");
+    first->push(EventType::hs_start);
+    // A retrying session reopens its pair and keeps appending.
+    FlightRing* again = rec.open(5, "client");
+    EXPECT_EQ(first, again);
+    EXPECT_EQ(rec.rings_opened(), 1u);
+
+    // Same sid, different label is a distinct black box.
+    FlightRing* other = rec.open(5, "server");
+    EXPECT_NE(other, first);
+    EXPECT_EQ(rec.rings_opened(), 2u);
+
+    // After close, the pair maps to a new ring generation.
+    rec.close(first);
+    FlightRing* reborn = rec.open(5, "client");
+    ASSERT_NE(reborn, nullptr);
+    EXPECT_EQ(rec.rings_opened(), 3u);
+}
+
+TEST(FlightRecorder, ClosedRingStaysSnapshotableUntilRecycled)
+{
+    FlightRecorder rec(small(4, 2));
+    FlightRing* ring = rec.open(1, "client");
+    ring->push(EventType::alert_sent, 0, 40, 0, 0);
+    rec.close(ring);
+
+    auto snaps = rec.snapshot();
+    ASSERT_EQ(snaps.size(), 1u);
+    EXPECT_EQ(snaps[0].sid, 1u);
+    EXPECT_EQ(snaps[0].label, "client");
+    ASSERT_EQ(snaps[0].events.size(), 1u);
+    EXPECT_EQ(snaps[0].events[0].a, 40u);
+}
+
+TEST(FlightRecorder, RecyclesOldestClosedSlotFirst)
+{
+    FlightRecorder rec(small(2, 2));
+    FlightRing* a = rec.open(1, "client");
+    a->push(EventType::hs_start);
+    FlightRing* b = rec.open(2, "client");
+    b->push(EventType::hs_start);
+    rec.close(a);  // closed first -> recycled first
+    rec.close(b);
+
+    FlightRing* c = rec.open(3, "client");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(rec.rings_recycled(), 1u);
+    // Session 1's history is gone; session 2's survives.
+    auto snaps = rec.snapshot();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_EQ(snaps[0].sid, 2u);
+    EXPECT_EQ(snaps[1].sid, 3u);
+    // Recycled slot starts empty: no stale events, drop accounting carries.
+    EXPECT_EQ(c->total(), 0u);
+    EXPECT_EQ(rec.events_dropped(), 1u);  // session 1's event, now unretained
+}
+
+TEST(FlightRecorder, DeniesWhenEverySlotIsLive)
+{
+    FlightRecorder rec(small(2, 2));
+    FlightRing* a = rec.open(1, "client");
+    FlightRing* b = rec.open(2, "client");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    // No closed slot to recycle: refuse rather than evict live history.
+    EXPECT_EQ(rec.open(3, "client"), nullptr);
+    EXPECT_EQ(rec.rings_denied(), 1u);
+    // The existing live pair is still reachable.
+    EXPECT_EQ(rec.open(1, "client"), a);
+
+    rec.close(b);
+    EXPECT_NE(rec.open(3, "client"), nullptr);
+}
+
+TEST(FlightRecorder, SnapshotFiltersBySidAndSorts)
+{
+    FlightRecorder rec(small(4, 8));
+    rec.open(3, "client")->push(EventType::hs_start);
+    rec.open(0, "server")->push(EventType::hs_start);
+    rec.open(0, "mbox0")->push(EventType::hs_start);
+    rec.open(1, "client")->push(EventType::hs_start);
+
+    auto all = rec.snapshot();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].label, "mbox0");  // (0, mbox0) < (0, server) < (1, ...)
+    EXPECT_EQ(all[1].label, "server");
+    EXPECT_EQ(all[2].sid, 1u);
+    EXPECT_EQ(all[3].sid, 3u);
+
+    auto filtered = rec.snapshot({0, 3});
+    ASSERT_EQ(filtered.size(), 3u);
+    EXPECT_EQ(filtered[0].sid, 0u);
+    EXPECT_EQ(filtered[1].sid, 0u);
+    EXPECT_EQ(filtered[2].sid, 3u);
+}
+
+TEST(FlightRecorder, TwoSinkHelperFeedsTracerAndRing)
+{
+#if !defined(MCT_OBS_ENABLED)
+    GTEST_SKIP() << "trace/flight emission compiled out under MCT_OBS=OFF";
+#endif
+    RingBufferSink sink(16);
+    Tracer tracer;
+    tracer.add_sink(&sink);
+    uint16_t actor = tracer.intern("client");
+    FlightRecorder rec(small(4, 1));
+    FlightRing* ring = rec.open(1, "client");
+
+    trace(&tracer, ring, actor, EventType::alert_received, 0, 20, 0, 77);
+    // Null sinks are no-ops, not crashes.
+    trace(nullptr, nullptr, actor, EventType::alert_received);
+
+    ASSERT_EQ(sink.ordered().size(), 1u);
+    EXPECT_EQ(sink.ordered()[0].type, EventType::alert_received);
+    auto events = ring->events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].a, 20u);
+    EXPECT_EQ(events[0].span, 77u);  // span id rides only the flight event
+}
+
+}  // namespace
+}  // namespace mct::obs

@@ -3,6 +3,8 @@
 // and overflow-bucket.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -298,6 +300,97 @@ TEST(Gauge, JsonAndPrometheusExposition)
     // Gauges carry the HELP line with the unsanitized name like every
     // other family.
     EXPECT_NE(text.find("# HELP sessions_live sessions.live\n"), std::string::npos);
+}
+
+TEST(Histogram, BucketBoundariesAtOctaveEdges)
+{
+    // A power of two starts a new octave: 2^k lands in sub-bucket 0 of
+    // octave k, and 2^k - 1 in the last sub-bucket of octave k-1. Adjacency
+    // needs k >= 3: below that, octave k-1 spans fewer than kSubBuckets
+    // integers, so its trailing sub-buckets are unreachable.
+    for (int k = 2; k < 20; ++k) {
+        uint64_t pow2 = uint64_t{1} << k;
+        size_t at = Histogram::bucket_index(pow2);
+        size_t below = Histogram::bucket_index(pow2 - 1);
+        EXPECT_EQ(at, 1 + static_cast<size_t>(k) * Histogram::kSubBuckets)
+            << "v=2^" << k;
+        EXPECT_LT(below, at) << "v=2^" << k << "-1";
+        if (k >= 3) EXPECT_EQ(below, at - 1) << "v=2^" << k << "-1";
+        EXPECT_EQ(Histogram::bucket_lower_bound(at), pow2);
+    }
+}
+
+TEST(Histogram, BucketBoundariesAtSubBucketEdges)
+{
+    // Within octave k, sub-bucket s starts exactly at base + base*s/4: the
+    // lower bound is the first value mapping to that bucket and its
+    // predecessor maps one bucket lower.
+    for (int k = 2; k < 20; ++k) {
+        for (int s = 1; s < Histogram::kSubBuckets; ++s) {
+            uint64_t base = uint64_t{1} << k;
+            uint64_t edge = base + (base * static_cast<uint64_t>(s)) /
+                                       Histogram::kSubBuckets;
+            size_t idx = Histogram::bucket_index(edge);
+            EXPECT_EQ(Histogram::bucket_lower_bound(idx), edge)
+                << "k=" << k << " s=" << s;
+            EXPECT_EQ(Histogram::bucket_index(edge - 1), idx - 1)
+                << "k=" << k << " s=" << s;
+        }
+    }
+}
+
+TEST(Histogram, MergeEqualsSingleHistogram)
+{
+    // Bucket-exactness contract: merge(a, b) is indistinguishable from
+    // recording every sample into one histogram — including samples placed
+    // exactly on bucket boundaries and in the overflow bucket.
+    std::vector<uint64_t> left, right;
+    for (int k = 1; k < 24; ++k) {
+        left.push_back(uint64_t{1} << k);          // octave edges
+        right.push_back((uint64_t{1} << k) - 1);   // just below them
+        right.push_back((uint64_t{1} << k) +
+                        ((uint64_t{1} << k) / Histogram::kSubBuckets));
+    }
+    left.push_back(0);
+    right.push_back(uint64_t{1} << 41);  // overflow bucket (>= 2^40)
+
+    Histogram a, b, all;
+    for (uint64_t v : left) {
+        a.record(v);
+        all.record(v);
+    }
+    for (uint64_t v : right) {
+        b.record(v);
+        all.record(v);
+    }
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (size_t i = 0; i < Histogram::kBucketCount; ++i)
+        EXPECT_EQ(a.bucket_count_at(i), all.bucket_count_at(i)) << "bucket " << i;
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+}
+
+TEST(Histogram, MergeIntoEmptyAndFromEmpty)
+{
+    Histogram empty, filled;
+    filled.record(5);
+    filled.record(1000);
+
+    Histogram target;
+    target.merge(filled);  // into empty: adopts min/max wholesale
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_EQ(target.min(), 5u);
+    EXPECT_EQ(target.max(), 1000u);
+    EXPECT_EQ(target.quantile(0.5), filled.quantile(0.5));
+
+    target.merge(empty);  // from empty: a no-op, min must not clobber to 0
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_EQ(target.min(), 5u);
 }
 
 }  // namespace
